@@ -1,0 +1,60 @@
+//! NoC substrate benchmarks: cost-matrix construction, Dijkstra routing and
+//! the flit-level wormhole simulator (ablation: analytic model vs
+//! microarchitectural replay).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ndp_noc::{
+    shortest_path, CommMatrices, FlitSim, Mesh2D, NocParams, NodeId, PacketSpec, PathKind,
+    WeightedNoc,
+};
+
+fn comm_matrices(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comm-matrices");
+    for side in [4usize, 6, 8] {
+        let noc =
+            WeightedNoc::new(Mesh2D::square(side).unwrap(), NocParams::typical(), 3).unwrap();
+        group.bench_with_input(BenchmarkId::new("build", side * side), &noc, |b, noc| {
+            b.iter(|| CommMatrices::build(noc))
+        });
+    }
+    group.finish();
+}
+
+fn dijkstra(c: &mut Criterion) {
+    let noc = WeightedNoc::new(Mesh2D::square(8).unwrap(), NocParams::typical(), 3).unwrap();
+    c.bench_function("dijkstra-corner-to-corner-8x8", |b| {
+        b.iter(|| shortest_path(&noc, NodeId(0), NodeId(63), PathKind::EnergyOriented))
+    });
+}
+
+fn flit_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flit-sim");
+    for packets in [16usize, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("uniform-random", packets),
+            &packets,
+            |b, &packets| {
+                b.iter(|| {
+                    let mesh = Mesh2D::square(4).unwrap();
+                    let mut sim = FlitSim::new(mesh, 4);
+                    // Deterministic pseudo-random pattern (no RNG in the
+                    // hot loop).
+                    for i in 0..packets {
+                        sim.inject(PacketSpec {
+                            src: NodeId((i * 7) % 16),
+                            dst: NodeId((i * 5 + 3) % 16),
+                            flits: 1 + (i % 6),
+                            inject_at: (i as u64) * 2,
+                            route: None,
+                        });
+                    }
+                    sim.run(1_000_000)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, comm_matrices, dijkstra, flit_sim);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion counterpart of Fig. 2(f): solver runtimes.
+//!
+//! * heuristic at growing `M` on the paper's 4×4 platform,
+//! * the exact branch-and-bound on a small instance,
+//! * the three heuristic phases in isolation (ablation: where does the
+//!   heuristic spend its time?).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ndp_bench::InstanceSpec;
+use ndp_core::{phase1, phase2, phase3, solve_heuristic, solve_optimal, OptimalConfig};
+use ndp_milp::SolverOptions;
+
+fn heuristic_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heuristic");
+    for m in [10usize, 20, 50] {
+        let mut spec = InstanceSpec::new(m, 4, 3.0, 1);
+        spec.levels = 6;
+        let problem = spec.build();
+        group.bench_with_input(BenchmarkId::new("solve", m), &problem, |b, p| {
+            b.iter(|| solve_heuristic(p))
+        });
+    }
+    group.finish();
+}
+
+fn heuristic_phases(c: &mut Criterion) {
+    let mut spec = InstanceSpec::new(20, 4, 3.0, 1);
+    spec.levels = 6;
+    let problem = spec.build();
+    let p1 = phase1(&problem).expect("phase 1 feasible");
+    let p2 = phase2(&problem, &p1);
+    let mut group = c.benchmark_group("heuristic-phases");
+    group.bench_function("phase1-frequency-duplication", |b| b.iter(|| phase1(&problem)));
+    group.bench_function("phase2-allocation", |b| b.iter(|| phase2(&problem, &p1)));
+    group.bench_function("phase3-path-selection", |b| b.iter(|| phase3(&problem, &p1, &p2)));
+    group.finish();
+}
+
+fn exact_small(c: &mut Criterion) {
+    let problem = InstanceSpec::new(3, 2, 2.0, 1).build();
+    let cfg = OptimalConfig {
+        solver: SolverOptions::with_time_limit(6.0),
+        ..OptimalConfig::default()
+    };
+    let mut group = c.benchmark_group("exact");
+    group.sample_size(10);
+    group.bench_function("milp-M3-N4", |b| b.iter(|| solve_optimal(&problem, &cfg)));
+    group.finish();
+}
+
+criterion_group!(benches, heuristic_scaling, heuristic_phases, exact_small);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Ablation (beyond the paper): the 3-phase heuristic vs naive mappers at
+//! the paper's platform scale (N = 16, L = 6, M = 20), 20 seeds.
+//!
+//! Reported per mapper: feasibility under the horizon, mean max-energy
+//! (the BE objective), mean total energy and mean balance index φ.
+
+use ndp_bench::{mean_finite, per_seed, InstanceSpec};
+use ndp_core::{
+    first_fit_fastest, random_mapping, round_robin, solve_heuristic, Deployment,
+    ProblemInstance,
+};
+
+fn stats(
+    label: &str,
+    outcomes: &[Option<(f64, f64, f64, bool)>],
+) {
+    let feasible = outcomes.iter().flatten().filter(|(_, _, _, fits)| *fits).count();
+    let max: Vec<f64> = outcomes.iter().flatten().map(|(m, _, _, _)| *m).collect();
+    let total: Vec<f64> = outcomes.iter().flatten().map(|(_, t, _, _)| *t).collect();
+    let phi: Vec<f64> = outcomes.iter().flatten().map(|(_, _, p, _)| *p).collect();
+    println!(
+        "{label:<18} {:>9.2} {:>12.4} {:>12.4} {:>8.3}",
+        feasible as f64 / outcomes.len() as f64,
+        mean_finite(&max),
+        mean_finite(&total),
+        mean_finite(&phi),
+    );
+}
+
+fn measure(problem: &ProblemInstance, d: &Deployment) -> (f64, f64, f64, bool) {
+    let r = d.energy_report(problem);
+    let makespan = problem
+        .tasks
+        .graph()
+        .task_ids()
+        .map(|t| d.end_ms(problem, t))
+        .fold(0.0, f64::max);
+    (r.max_mj(), r.total_mj(), r.balance_index(), makespan <= problem.horizon_ms + 1e-9)
+}
+
+fn main() {
+    let seeds: Vec<u64> = (0..20).collect();
+    println!("# Ablation: heuristic vs baselines (N=16, M=20, L=6, alpha=3)");
+    println!(
+        "{:<18} {:>9} {:>12} {:>12} {:>8}",
+        "mapper", "fits_H", "max_mJ", "total_mJ", "phi"
+    );
+    let run = |f: &(dyn Fn(&ProblemInstance, u64) -> Option<Deployment> + Sync)| {
+        per_seed(&seeds, |seed| {
+            let mut spec = InstanceSpec::new(20, 4, 3.0, seed);
+            spec.levels = 6;
+            let problem = spec.build();
+            f(&problem, seed).map(|d| measure(&problem, &d))
+        })
+    };
+    stats("paper-heuristic", &run(&|p, _| solve_heuristic(p).ok()));
+    stats("round-robin", &run(&|p, _| round_robin(p).ok()));
+    stats("first-fit", &run(&|p, _| first_fit_fastest(p).ok()));
+    stats("random", &run(&|p, s| random_mapping(p, s).ok()));
+}

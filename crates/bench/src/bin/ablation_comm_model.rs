@@ -1,0 +1,45 @@
+//! Ablation (beyond the paper): the paper-faithful per-unit transfer-time
+//! model vs the physically-motivated size-scaled extension
+//! (`CommTimeModel`), on the heuristic at paper scale.
+//!
+//! Size-scaled transfers lengthen receive times in proportion to payloads,
+//! so horizons bind earlier and feasibility drops; energies are unchanged
+//! by construction (only the *time* model differs).
+
+use ndp_bench::{heuristic_point, mean_finite, per_seed, InstanceSpec};
+use ndp_core::CommTimeModel;
+
+fn main() {
+    let seeds: Vec<u64> = (0..20).collect();
+    println!("# Ablation: CommTimeModel::PerUnit (paper) vs SizeScaled (extension)");
+    println!("{:<12} {:>10} {:>12} {:>14}", "model", "feasible", "max_mJ", "makespan_ms");
+    for (label, model) in
+        [("per-unit", CommTimeModel::PerUnit), ("size-scaled", CommTimeModel::SizeScaled)]
+    {
+        let rows = per_seed(&seeds, |seed| {
+            let mut spec = InstanceSpec::new(20, 4, 2.0, seed);
+            spec.levels = 6;
+            let problem = spec.build().with_comm_time_model(model);
+            let (d, _) = heuristic_point(&problem);
+            d.map(|d| {
+                let makespan = problem
+                    .tasks
+                    .graph()
+                    .task_ids()
+                    .map(|t| d.end_ms(&problem, t))
+                    .fold(0.0, f64::max);
+                (d.energy_report(&problem).max_mj(), makespan)
+            })
+        });
+        let feasible =
+            rows.iter().filter(|r| r.is_some()).count() as f64 / rows.len() as f64;
+        let max: Vec<f64> = rows.iter().flatten().map(|(m, _)| *m).collect();
+        let mk: Vec<f64> = rows.iter().flatten().map(|(_, m)| *m).collect();
+        println!(
+            "{label:<12} {:>10.2} {:>12.4} {:>14.3}",
+            feasible,
+            mean_finite(&max),
+            mean_finite(&mk)
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Fig. 2(e): energy-balance index `φ = max_k E_k / min_k E_k` under the BE
+//! vs ME objectives.
+//!
+//! The paper's claim: BE's `φ` is smaller (better balanced) than ME's,
+//! because ME happily concentrates load to save communication energy.
+//! Exact solver, N = 4, L = 4.
+
+use ndp_bench::{exact_solver_options, mean_finite, per_seed, InstanceSpec};
+use ndp_core::{solve_optimal, DeployObjective, OptimalConfig};
+
+fn main() {
+    let seeds: Vec<u64> = (0..5).collect();
+    let task_counts = [3usize, 4, 5, 6];
+    println!("# Fig 2(e): balance index phi, BE vs ME (exact solver, N=4, L=4)");
+    println!("{:>4} {:>10} {:>10}", "M", "BE_phi", "ME_phi");
+    for &m in &task_counts {
+        let rows = per_seed(&seeds, |seed| {
+            let problem = InstanceSpec::new(m, 2, 2.0, seed).build();
+            let phi = |objective| {
+                let cfg = OptimalConfig {
+                    objective,
+                    solver: exact_solver_options(),
+                    ..OptimalConfig::default()
+                };
+                solve_optimal(&problem, &cfg)
+                    .ok()
+                    .and_then(|o| o.deployment)
+                    .map(|d| d.energy_report(&problem).balance_index())
+                    .unwrap_or(f64::NAN)
+            };
+            (phi(DeployObjective::BalanceEnergy), phi(DeployObjective::MinimizeTotalEnergy))
+        });
+        let be = mean_finite(&rows.iter().map(|(b, _)| *b).collect::<Vec<_>>());
+        let me = mean_finite(&rows.iter().map(|(_, m)| *m).collect::<Vec<_>>());
+        println!("{m:>4} {be:>10.3} {me:>10.3}");
+    }
+}

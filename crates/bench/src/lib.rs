@@ -1,0 +1,285 @@
+//! # ndp-bench — the experiment harness
+//!
+//! One binary per figure of the paper's evaluation (§IV):
+//!
+//! | binary  | reproduces | series |
+//! |---------|-----------|--------|
+//! | `fig2a` | Fig. 2(a) | energy & feasibility: multi-path vs single-path (exact solver) |
+//! | `fig2b` | Fig. 2(b) | `M_max` vs `μ` (communication/computation energy ratio) |
+//! | `fig2c` | Fig. 2(c) | `M_d` vs `ε` (V/F energy-gap index) |
+//! | `fig2d` | Fig. 2(d) | total energy: BE vs ME objectives |
+//! | `fig2e` | Fig. 2(e) | balance index `φ`: BE vs ME |
+//! | `fig2f` | Fig. 2(f) | solver wall-time vs `M`: optimal vs heuristic |
+//! | `fig2g` | Fig. 2(g) | energy vs `M`: heuristic overhead over optimal |
+//! | `fig2h` | Fig. 2(h) | feasibility ratio `δ` vs `α`: optimal vs heuristic |
+//!
+//! The exact arm substitutes the in-workspace `ndp-milp` branch-and-bound
+//! for the paper's Gurobi, so the optimal sweeps run at moderated sizes
+//! (`N = 4`, `M ≤ 6`) while the heuristic also runs at the paper's sizes
+//! (`N = 16`, `M = 20`); see DESIGN.md §2 and EXPERIMENTS.md for the
+//! mapping. All instances are seeded and reproducible.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use ndp_core::{
+    solve_heuristic, solve_optimal, CommTimeModel, Deployment, OptimalConfig, OptimalOutcome,
+    ProblemInstance,
+};
+use ndp_milp::{SolveStatus, SolverOptions};
+use ndp_noc::{Mesh2D, NocParams, WeightedNoc};
+use ndp_platform::{Platform, PowerModel, PowerParams, ReliabilityParams, VfTable};
+use ndp_taskset::{generate, GeneratorConfig};
+
+/// Everything needed to instantiate one experiment point.
+#[derive(Debug, Clone)]
+pub struct InstanceSpec {
+    /// Original task count `M`.
+    pub tasks: usize,
+    /// Mesh side (`N = side²`).
+    pub mesh_side: usize,
+    /// Number of V/F levels `L`.
+    pub levels: usize,
+    /// Horizon multiplier `α`.
+    pub alpha: f64,
+    /// Reliability threshold `R_th`.
+    pub reliability_threshold: f64,
+    /// NoC parameters (energy scaling drives the `μ` sweeps).
+    pub noc: NocParams,
+    /// Voltage corner pair for the synthetic V/F table (drives `ε`).
+    pub v_range: (f64, f64),
+    /// Frequency corner pair in MHz.
+    pub f_range: (f64, f64),
+    /// Fault-model parameters.
+    pub reliability: ReliabilityParams,
+    /// Power-model parameters (leakage scaling drives the `ε` sweeps).
+    pub power: PowerParams,
+    /// RNG seed for both the task graph and the NoC link weights.
+    pub seed: u64,
+}
+
+impl InstanceSpec {
+    /// The evaluation defaults at a given size/seed; `L = 4` synthetic V/F
+    /// table spanning the 70 nm corner points.
+    pub fn new(tasks: usize, mesh_side: usize, alpha: f64, seed: u64) -> Self {
+        InstanceSpec {
+            tasks,
+            mesh_side,
+            levels: 4,
+            alpha,
+            reliability_threshold: 0.95,
+            noc: NocParams::typical(),
+            v_range: (0.85, 1.10),
+            f_range: (300.0, 1000.0),
+            reliability: ReliabilityParams::typical(),
+            power: PowerParams::bulk_70nm(),
+            seed,
+        }
+    }
+
+    /// Materializes the problem instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid spec fields (experiment code treats these as
+    /// programmer errors, not recoverable conditions).
+    pub fn build(&self) -> ProblemInstance {
+        let cfg = GeneratorConfig::typical(self.tasks);
+        let graph = generate(&cfg, self.seed).expect("valid generator config");
+        let vf = VfTable::synthetic(self.levels, self.v_range, self.f_range)
+            .expect("valid V/F corners");
+        let platform = Platform::new(
+            self.mesh_side * self.mesh_side,
+            vf,
+            PowerModel::new(self.power),
+            self.reliability,
+        )
+        .expect("valid platform");
+        let noc = WeightedNoc::new(
+            Mesh2D::square(self.mesh_side).expect("positive side"),
+            self.noc,
+            self.seed,
+        )
+        .expect("valid NoC params");
+        ProblemInstance::from_original(
+            &graph,
+            platform,
+            noc,
+            self.reliability_threshold,
+            self.alpha,
+        )
+        .expect("valid problem")
+        .with_comm_time_model(CommTimeModel::PerUnit)
+    }
+}
+
+/// Default per-solve budget for the exact arm.
+pub fn exact_solver_options() -> SolverOptions {
+    let mut o = SolverOptions::with_time_limit(6.0);
+    o.relative_gap = 1e-4;
+    o
+}
+
+/// Outcome of one exact solve, reduced to what the figures need.
+#[derive(Debug, Clone, Copy)]
+pub struct ExactPoint {
+    /// Feasible solution found.
+    pub feasible: bool,
+    /// Proved optimal (vs. stopped at a limit).
+    pub proven: bool,
+    /// Objective in mJ when feasible.
+    pub objective_mj: f64,
+    /// Wall time in seconds.
+    pub seconds: f64,
+    /// Branch-and-bound nodes.
+    pub nodes: u64,
+    /// Relative optimality gap of the incumbent (0 when proven optimal,
+    /// infinite when infeasible/unknown).
+    pub gap: f64,
+}
+
+/// Reduces an [`OptimalOutcome`] (or error) to an [`ExactPoint`].
+pub fn reduce_outcome(
+    outcome: &std::result::Result<OptimalOutcome, ndp_core::DeployError>,
+    seconds: f64,
+) -> ExactPoint {
+    match outcome {
+        Ok(OptimalOutcome {
+            deployment: Some(_),
+            status,
+            objective_mj,
+            best_bound_mj,
+            nodes,
+            ..
+        }) => {
+            let obj = objective_mj.unwrap_or(f64::NAN);
+            let gap = ((obj - best_bound_mj).abs() / obj.abs().max(1e-9)).max(0.0);
+            ExactPoint {
+                feasible: true,
+                proven: *status == SolveStatus::Optimal,
+                objective_mj: obj,
+                seconds,
+                nodes: *nodes,
+                gap: if *status == SolveStatus::Optimal { 0.0 } else { gap },
+            }
+        }
+        Ok(out) => ExactPoint {
+            feasible: false,
+            proven: out.status == SolveStatus::Infeasible,
+            objective_mj: f64::NAN,
+            seconds,
+            nodes: out.nodes,
+            gap: f64::INFINITY,
+        },
+        Err(_) => ExactPoint {
+            feasible: false,
+            proven: false,
+            objective_mj: f64::NAN,
+            seconds,
+            nodes: 0,
+            gap: f64::INFINITY,
+        },
+    }
+}
+
+/// Runs the exact solver on `problem` with `config`, reducing the outcome.
+pub fn exact_point(problem: &ProblemInstance, config: &OptimalConfig) -> ExactPoint {
+    let t0 = std::time::Instant::now();
+    let outcome = solve_optimal(problem, config);
+    reduce_outcome(&outcome, t0.elapsed().as_secs_f64())
+}
+
+
+/// Runs the heuristic, returning the deployment and wall time.
+pub fn heuristic_point(problem: &ProblemInstance) -> (Option<Deployment>, f64) {
+    let t0 = std::time::Instant::now();
+    let d = solve_heuristic(problem).ok();
+    (d, t0.elapsed().as_secs_f64())
+}
+
+/// Maps `f` over the seeds in parallel (one thread per seed, bounded by the
+/// machine's parallelism) and returns results in seed order.
+pub fn per_seed<T: Send>(seeds: &[u64], f: impl Fn(u64) -> T + Sync) -> Vec<T> {
+    let max_par = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let mut out: Vec<Option<T>> = (0..seeds.len()).map(|_| None).collect();
+    for chunk in seeds.chunks(max_par).zip_longest_indices() {
+        let (start, batch) = chunk;
+        crossbeam::scope(|s| {
+            let f = &f;
+            let handles: Vec<_> = batch
+                .iter()
+                .map(|&seed| s.spawn(move |_| f(seed)))
+                .collect();
+            for (off, h) in handles.into_iter().enumerate() {
+                out[start + off] = Some(h.join().expect("experiment thread must not panic"));
+            }
+        })
+        .expect("scope");
+    }
+    out.into_iter().map(|o| o.expect("filled")).collect()
+}
+
+/// Helper iterator: chunks with their starting indices.
+trait ChunkIndexExt<'a, T> {
+    fn zip_longest_indices(self) -> Vec<(usize, &'a [T])>;
+}
+
+impl<'a, T> ChunkIndexExt<'a, T> for std::slice::Chunks<'a, T> {
+    fn zip_longest_indices(self) -> Vec<(usize, &'a [T])> {
+        let mut start = 0;
+        let mut out = Vec::new();
+        for c in self {
+            out.push((start, c));
+            start += c.len();
+        }
+        out
+    }
+}
+
+/// Mean of the finite entries of `values` (NaN when none).
+pub fn mean_finite(values: &[f64]) -> f64 {
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        f64::NAN
+    } else {
+        finite.iter().sum::<f64>() / finite.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_builds_reproducibly() {
+        let a = InstanceSpec::new(6, 2, 2.0, 3).build();
+        let b = InstanceSpec::new(6, 2, 2.0, 3).build();
+        assert_eq!(a.horizon_ms, b.horizon_ms);
+        assert_eq!(a.num_tasks(), 12);
+        assert_eq!(a.num_processors(), 4);
+        assert_eq!(a.num_levels(), 4);
+    }
+
+    #[test]
+    fn per_seed_preserves_order() {
+        let seeds: Vec<u64> = (0..17).collect();
+        let out = per_seed(&seeds, |s| s * 2);
+        assert_eq!(out, seeds.iter().map(|s| s * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mean_finite_skips_nan() {
+        assert_eq!(mean_finite(&[1.0, f64::NAN, 3.0]), 2.0);
+        assert!(mean_finite(&[f64::NAN]).is_nan());
+    }
+
+    #[test]
+    fn heuristic_point_runs() {
+        let p = InstanceSpec::new(8, 3, 4.0, 1).build();
+        let (d, secs) = heuristic_point(&p);
+        assert!(secs >= 0.0);
+        if let Some(d) = d {
+            assert!(ndp_core::is_valid(&p, &d));
+        }
+    }
+}

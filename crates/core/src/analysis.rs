@@ -1,0 +1,127 @@
+//! Metrics used by the paper's evaluation (Fig. 2(b)–(e)).
+
+use crate::problem::ProblemInstance;
+use crate::solution::Deployment;
+
+/// The paper's `μ = e_k^comm / e_k^comp` index of Fig. 2(b):
+/// maximum per-unit communication energy over the NoC divided by the
+/// maximum per-task computation energy over all tasks and levels.
+pub fn communication_computation_ratio(problem: &ProblemInstance) -> f64 {
+    let e_comm = problem.comm.max_energy_any_mj();
+    let mut e_comp = 0.0_f64;
+    for i in problem.tasks.graph().task_ids() {
+        for (l, _) in problem.platform.vf_table().iter() {
+            e_comp = e_comp.max(problem.exec_energy_mj(i, l));
+        }
+    }
+    if e_comp == 0.0 {
+        return 0.0;
+    }
+    e_comm / e_comp
+}
+
+/// The paper's `ε = max_l(P_l/f_l) / min_l(P_l/f_l)` index of Fig. 2(c).
+pub fn energy_gap_index(problem: &ProblemInstance) -> f64 {
+    problem.platform.vf_table().energy_gap_index(problem.platform.power_model())
+}
+
+/// `M_max`: the maximum number of tasks on any single processor
+/// (Fig. 2(b)).
+pub fn max_tasks_per_processor(problem: &ProblemInstance, d: &Deployment) -> usize {
+    d.tasks_per_processor(problem).into_iter().max().unwrap_or(0)
+}
+
+/// `M_d`: the number of duplicates that run (Fig. 2(c)).
+pub fn duplicated_count(problem: &ProblemInstance, d: &Deployment) -> usize {
+    d.duplicated_count(problem)
+}
+
+/// Feasibility ratio `δ = n_f / n_a` over a batch of outcomes (Fig. 2(h)).
+pub fn feasibility_ratio(outcomes: &[bool]) -> f64 {
+    if outcomes.is_empty() {
+        return 0.0;
+    }
+    outcomes.iter().filter(|&&f| f).count() as f64 / outcomes.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndp_noc::{Mesh2D, NocParams, WeightedNoc};
+    use ndp_platform::Platform;
+    use ndp_taskset::{generate, GeneratorConfig};
+
+    fn problem(scale: f64) -> ProblemInstance {
+        let g = generate(&GeneratorConfig::typical(8), 4).unwrap();
+        ProblemInstance::from_original(
+            &g,
+            Platform::homogeneous(4).unwrap(),
+            WeightedNoc::new(
+                Mesh2D::square(2).unwrap(),
+                NocParams::typical().scale_energy(scale),
+                4,
+            )
+            .unwrap(),
+            0.95,
+            3.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mu_scales_with_comm_energy() {
+        let lo = communication_computation_ratio(&problem(1.0));
+        let hi = communication_computation_ratio(&problem(10.0));
+        assert!(hi > lo * 5.0, "mu must scale with the energy knob");
+    }
+
+    #[test]
+    fn epsilon_above_one() {
+        assert!(energy_gap_index(&problem(1.0)) > 1.0);
+    }
+
+    #[test]
+    fn feasibility_ratio_basics() {
+        assert_eq!(feasibility_ratio(&[]), 0.0);
+        assert_eq!(feasibility_ratio(&[true, false, true, true]), 0.75);
+    }
+}
+
+#[cfg(test)]
+mod epsilon_crossover {
+    use ndp_platform::{PowerModel, PowerParams, VfTable};
+
+    /// The arithmetic behind the paper's Fig. 2(c) claim: executing one
+    /// task at the fast level costs `ε ×` the per-cycle energy of the slow
+    /// level, while executing two slow copies costs `2 ×`; so duplication
+    /// becomes the cheaper way to reach the reliability target exactly when
+    /// `ε > 2` (total-energy accounting).
+    #[test]
+    fn duplication_beats_fast_single_exactly_when_epsilon_exceeds_two() {
+        // Low-leakage model so ε tracks the dynamic v² scaling cleanly.
+        let mut params = PowerParams::bulk_70nm();
+        params.lg = 1.0e3;
+        let power = PowerModel::new(params);
+        for span in [0.05_f64, 0.2, 0.4, 0.6, 0.9] {
+            let table = VfTable::synthetic(4, (0.85, 0.85 + span), (300.0, 1000.0)).unwrap();
+            let eps = table.energy_gap_index(&power);
+            let cycles = 2.0e6;
+            let slow = table.level(table.slowest());
+            let fast = table.level(table.fastest());
+            let one_fast = power.exec_energy_mj(cycles, fast);
+            let two_slow = 2.0 * power.exec_energy_mj(cycles, slow);
+            if eps > 2.05 {
+                assert!(
+                    two_slow < one_fast,
+                    "span {span}: ε={eps:.2} > 2 but two-slow {two_slow} ≥ one-fast {one_fast}"
+                );
+            }
+            if eps < 1.95 {
+                assert!(
+                    two_slow > one_fast,
+                    "span {span}: ε={eps:.2} < 2 but two-slow {two_slow} ≤ one-fast {one_fast}"
+                );
+            }
+        }
+    }
+}

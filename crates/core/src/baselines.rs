@@ -1,0 +1,182 @@
+//! Baseline mappers used as comparison points in the extended evaluation.
+//!
+//! The paper compares its deployment against single-path routing and the
+//! ME objective. The ablation benches additionally compare against the
+//! simple mappers every NoC-mapping paper gets measured against:
+//!
+//! * [`round_robin`] — tasks striped over processors in priority order,
+//! * [`first_fit_fastest`] — everything at `f_max` on the first processor
+//!   that keeps the horizon (classic "performance-first" mapping),
+//! * [`random_mapping`] — seeded uniform random allocation.
+//!
+//! All baselines reuse phase 1 (frequency + duplication) so they satisfy
+//! the deadline/reliability constraints, keep list scheduling and the
+//! energy-oriented default paths, and are checked by the same referee.
+
+use crate::error::Result;
+use crate::heuristic::{phase1, Phase1};
+use crate::problem::ProblemInstance;
+use crate::schedule::{list_schedule, priority_order};
+use crate::solution::{Deployment, PathChoice};
+use ndp_noc::PathKind;
+use ndp_platform::ProcessorId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn assemble(problem: &ProblemInstance, p1: &Phase1, processor: Vec<ProcessorId>) -> Deployment {
+    let paths = PathChoice::uniform(problem.num_processors(), PathKind::EnergyOriented);
+    let mut d = Deployment {
+        active: p1.active.clone(),
+        frequency: p1.frequency.clone(),
+        processor,
+        start_ms: vec![0.0; problem.tasks.graph().num_tasks()],
+        paths,
+    };
+    let schedule = list_schedule(problem, &p1.active, &p1.frequency, &d.processor, |t| {
+        d.comm_time_ms(problem, t)
+    });
+    d.start_ms = schedule.start_ms;
+    d
+}
+
+/// Stripes active tasks over processors in priority order.
+///
+/// # Errors
+///
+/// Propagates phase-1 infeasibility (deadlines/reliability).
+pub fn round_robin(problem: &ProblemInstance) -> Result<Deployment> {
+    let p1 = phase1(problem)?;
+    let n = problem.num_processors();
+    let mut processor = vec![ProcessorId(0); problem.tasks.graph().num_tasks()];
+    for (idx, t) in priority_order(problem, &p1.active).into_iter().enumerate() {
+        processor[t.index()] = ProcessorId(idx % n);
+    }
+    Ok(assemble(problem, &p1, processor))
+}
+
+/// Packs tasks onto the lowest-indexed processor whose queue still fits the
+/// horizon, spilling to the next processor otherwise.
+///
+/// # Errors
+///
+/// Propagates phase-1 infeasibility (deadlines/reliability).
+pub fn first_fit_fastest(problem: &ProblemInstance) -> Result<Deployment> {
+    let p1 = phase1(problem)?;
+    let n = problem.num_processors();
+    let mut processor = vec![ProcessorId(0); problem.tasks.graph().num_tasks()];
+    let mut load_ms = vec![0.0_f64; n];
+    for t in priority_order(problem, &p1.active) {
+        let dur = problem.exec_time_ms(t, p1.frequency[t.index()]);
+        let k = (0..n)
+            .find(|&k| load_ms[k] + dur <= problem.horizon_ms)
+            .unwrap_or_else(|| {
+                // Nothing fits: take the least-loaded processor and let the
+                // referee/horizon check decide.
+                (0..n)
+                    .min_by(|&a, &b| {
+                        load_ms[a].partial_cmp(&load_ms[b]).expect("finite loads")
+                    })
+                    .expect("at least one processor")
+            });
+        processor[t.index()] = ProcessorId(k);
+        load_ms[k] += dur;
+    }
+    Ok(assemble(problem, &p1, processor))
+}
+
+/// Uniform random allocation (seeded).
+///
+/// # Errors
+///
+/// Propagates phase-1 infeasibility (deadlines/reliability).
+pub fn random_mapping(problem: &ProblemInstance, seed: u64) -> Result<Deployment> {
+    let p1 = phase1(problem)?;
+    let n = problem.num_processors();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6261_7365_6c69_6e65);
+    let processor = (0..problem.tasks.graph().num_tasks())
+        .map(|_| ProcessorId(rng.gen_range(0..n)))
+        .collect();
+    Ok(assemble(problem, &p1, processor))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristic::solve_heuristic;
+    use crate::validate::validate;
+    use ndp_noc::{Mesh2D, NocParams, WeightedNoc};
+    use ndp_platform::Platform;
+    use ndp_taskset::{generate, GeneratorConfig};
+
+    fn instance(seed: u64) -> ProblemInstance {
+        let g = generate(&GeneratorConfig::typical(10), seed).unwrap();
+        ProblemInstance::from_original(
+            &g,
+            Platform::homogeneous(9).unwrap(),
+            WeightedNoc::new(Mesh2D::square(3).unwrap(), NocParams::typical(), seed).unwrap(),
+            0.95,
+            6.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn baselines_produce_schedules_the_referee_can_judge() {
+        let p = instance(3);
+        for d in [
+            round_robin(&p).unwrap(),
+            first_fit_fastest(&p).unwrap(),
+            random_mapping(&p, 1).unwrap(),
+        ] {
+            // Baselines may overrun tight horizons, but precedence,
+            // non-overlap, deadlines and reliability must always hold
+            // (phase 1 + list scheduling guarantee them).
+            for v in validate(&p, &d) {
+                assert!(
+                    matches!(v, crate::validate::Violation::HorizonExceeded { .. }),
+                    "unexpected violation: {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heuristic_beats_random_on_balanced_energy_usually() {
+        let mut wins = 0;
+        let mut total = 0;
+        for seed in 0..10 {
+            let p = instance(seed);
+            let (Ok(h), Ok(r)) = (solve_heuristic(&p), random_mapping(&p, seed)) else {
+                continue;
+            };
+            total += 1;
+            if h.energy_report(&p).max_mj() <= r.energy_report(&p).max_mj() + 1e-9 {
+                wins += 1;
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            wins * 2 >= total,
+            "heuristic should beat random at least half the time ({wins}/{total})"
+        );
+    }
+
+    #[test]
+    fn round_robin_spreads_tasks() {
+        let p = instance(5);
+        let d = round_robin(&p).unwrap();
+        let counts = d.tasks_per_processor(&p);
+        let max = counts.iter().max().unwrap();
+        let min = counts.iter().min().unwrap();
+        assert!(max - min <= 1 + 1, "round robin should stripe within ~1 task");
+    }
+
+    #[test]
+    fn random_mapping_is_seed_deterministic() {
+        let p = instance(7);
+        assert_eq!(
+            random_mapping(&p, 9).unwrap().processor,
+            random_mapping(&p, 9).unwrap().processor
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Error types for the deployment crate.
+
+use std::fmt;
+
+/// Errors raised while building or solving deployment problems.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeployError {
+    /// The platform's processor count must equal the mesh node count.
+    PlatformMeshMismatch {
+        /// Processors in the platform.
+        processors: usize,
+        /// Nodes in the mesh.
+        nodes: usize,
+    },
+    /// A scalar parameter was out of range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// The heuristic could not satisfy a constraint; carries the phase and a
+    /// human-readable reason.
+    HeuristicInfeasible {
+        /// Phase 1, 2 or 3.
+        phase: u8,
+        /// What failed.
+        reason: String,
+    },
+    /// The underlying MILP solver failed (numerics, limits).
+    Solver(ndp_milp::MilpError),
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeployError::PlatformMeshMismatch { processors, nodes } => write!(
+                f,
+                "platform has {processors} processors but the mesh has {nodes} nodes"
+            ),
+            DeployError::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter {name} = {value}")
+            }
+            DeployError::HeuristicInfeasible { phase, reason } => {
+                write!(f, "heuristic phase {phase} infeasible: {reason}")
+            }
+            DeployError::Solver(e) => write!(f, "MILP solver error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeployError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ndp_milp::MilpError> for DeployError {
+    fn from(e: ndp_milp::MilpError) -> Self {
+        DeployError::Solver(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DeployError>;

@@ -1,0 +1,76 @@
+//! # ndp-core — energy/real-time/reliability-aware task deployment
+//!
+//! The primary contribution of the reproduced paper (*Energy Efficient,
+//! Real-time and Reliable Task Deployment on NoC-based Multicores with
+//! DVFS*, DATE 2022): jointly deciding
+//!
+//! 1. frequency assignment (`y_il`),
+//! 2. task duplication (`h_i`),
+//! 3. multi-path data routing (`c_{βγρ}`),
+//! 4. task allocation (`x_ik`) and
+//! 5. task scheduling (`u_ij`, `tˢ_i`)
+//!
+//! to minimize the maximum per-processor energy under real-time and
+//! reliability constraints.
+//!
+//! Two solution routes are provided:
+//!
+//! * [`solve_optimal`] — the exact route: the MINLP is linearized into an
+//!   MILP ([`build_milp`]) and solved by the in-workspace `ndp-milp`
+//!   branch-and-bound (substituting for the paper's Gurobi).
+//! * [`solve_heuristic`] — the paper's 3-phase decomposition heuristic
+//!   (Algorithms 1–3).
+//!
+//! Every deployment from either route can be checked by the independent
+//! constraint referee in [`validate`].
+//!
+//! ```
+//! use ndp_core::{solve_heuristic, validate, ProblemInstance};
+//! use ndp_noc::{Mesh2D, NocParams, WeightedNoc};
+//! use ndp_platform::Platform;
+//! use ndp_taskset::{generate, GeneratorConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let graph = generate(&GeneratorConfig::typical(8), 42)?;
+//! let problem = ProblemInstance::from_original(
+//!     &graph,
+//!     Platform::homogeneous(16)?,
+//!     WeightedNoc::new(Mesh2D::square(4)?, NocParams::typical(), 42)?,
+//!     0.95, // R_th
+//!     3.0,  // α
+//! )?;
+//! let deployment = solve_heuristic(&problem)?;
+//! assert!(validate(&problem, &deployment).is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod analysis;
+mod baselines;
+mod error;
+mod formulation;
+mod heuristic;
+mod optimal;
+mod problem;
+mod report;
+mod schedule;
+mod solution;
+mod validate;
+
+pub use baselines::{first_fit_fastest, random_mapping, round_robin};
+pub use report::{energy_table, gantt};
+pub use analysis::{
+    communication_computation_ratio, duplicated_count, energy_gap_index, feasibility_ratio,
+    max_tasks_per_processor,
+};
+pub use error::{DeployError, Result};
+pub use formulation::{build_milp, DeployObjective, MilpEncoding, PathMode};
+pub use heuristic::{phase1, phase2, phase3, solve_heuristic, Phase1, Phase2};
+pub use optimal::{solve_optimal, OptimalConfig, OptimalOutcome};
+pub use problem::{scheduling_horizon, CommTimeModel, ProblemInstance};
+pub use schedule::{list_schedule, priority_order, Schedule};
+pub use solution::{Deployment, EnergyReport, PathChoice};
+pub use validate::{is_valid, validate, Violation, VALIDATION_TOL};

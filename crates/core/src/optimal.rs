@@ -1,0 +1,206 @@
+//! Exact solution of the deployment MILP.
+//!
+//! This is the paper's "Optimal" arm: problem (10) linearized by
+//! [`build_milp`](crate::formulation::build_milp) and handed to the
+//! `ndp-milp` branch-and-bound (substituting for Gurobi; see DESIGN.md).
+//! The 3-phase heuristic can seed the search as a MIP warm start, which is
+//! the standard way to make exact solvers practical on these models.
+
+use crate::error::Result;
+use crate::formulation::{build_milp, DeployObjective, MilpEncoding, PathMode};
+use crate::heuristic::solve_heuristic;
+use crate::problem::ProblemInstance;
+use crate::solution::Deployment;
+use crate::validate::is_valid;
+use ndp_milp::{SolveStatus, SolverOptions};
+
+/// Configuration of an exact solve.
+#[derive(Debug, Clone)]
+pub struct OptimalConfig {
+    /// Routing flexibility.
+    pub path_mode: PathMode,
+    /// BE or ME objective.
+    pub objective: DeployObjective,
+    /// Seed branch and bound with the heuristic solution when it is
+    /// feasible (default: true).
+    pub warm_start_with_heuristic: bool,
+    /// An additional caller-provided warm start (e.g. the single-path
+    /// optimum when solving the multi-path model). The better of this and
+    /// the heuristic seed is used.
+    pub warm_start_deployment: Option<Deployment>,
+    /// Options forwarded to the MILP solver.
+    pub solver: SolverOptions,
+}
+
+impl Default for OptimalConfig {
+    fn default() -> Self {
+        OptimalConfig {
+            path_mode: PathMode::Multi,
+            objective: DeployObjective::BalanceEnergy,
+            warm_start_with_heuristic: true,
+            warm_start_deployment: None,
+            solver: SolverOptions::default(),
+        }
+    }
+}
+
+/// Outcome of an exact solve.
+#[derive(Debug, Clone)]
+pub struct OptimalOutcome {
+    /// The extracted deployment, when one exists.
+    pub deployment: Option<Deployment>,
+    /// Raw solver status.
+    pub status: SolveStatus,
+    /// Objective value (mJ) when a deployment exists.
+    pub objective_mj: Option<f64>,
+    /// Proven bound on the optimum (mJ).
+    pub best_bound_mj: f64,
+    /// Branch-and-bound nodes processed.
+    pub nodes: u64,
+    /// Wall-clock seconds spent in the solver.
+    pub solve_seconds: f64,
+}
+
+impl OptimalOutcome {
+    /// Whether a (not necessarily proven-optimal) deployment was found.
+    pub fn is_feasible(&self) -> bool {
+        self.deployment.is_some()
+    }
+}
+
+/// Solves the deployment problem exactly.
+///
+/// # Errors
+///
+/// Propagates [`DeployError::Solver`](crate::DeployError::Solver) on
+/// numerical failure; infeasibility is reported through
+/// [`OptimalOutcome::status`].
+pub fn solve_optimal(problem: &ProblemInstance, config: &OptimalConfig) -> Result<OptimalOutcome> {
+    let mut encoding: MilpEncoding = build_milp(problem, config.path_mode, config.objective)?;
+    // Collect warm-start candidates and keep the best objective.
+    let mut candidates: Vec<Deployment> = Vec::new();
+    if config.warm_start_with_heuristic {
+        if let Ok(h) = solve_heuristic(problem) {
+            candidates.push(h);
+        }
+    }
+    if let Some(d) = &config.warm_start_deployment {
+        candidates.push(d.clone());
+    }
+    let score = |d: &Deployment| match config.objective {
+        DeployObjective::BalanceEnergy => d.energy_report(problem).max_mj(),
+        DeployObjective::MinimizeTotalEnergy => d.energy_report(problem).total_mj(),
+    };
+    let best = candidates
+        .into_iter()
+        .filter(|d| is_valid(problem, d))
+        .min_by(|a, b| score(a).partial_cmp(&score(b)).expect("finite energies"));
+    if let Some(d) = best {
+        let vals = encoding.warm_start_values(problem, &d);
+        encoding.model.set_warm_start(vals)?;
+    }
+    let sol = encoding.model.solve_with(&config.solver)?;
+    let deployment = if sol.status().has_solution() {
+        Some(encoding.extract(problem, &sol))
+    } else {
+        None
+    };
+    let objective_mj = deployment.as_ref().map(|_| sol.objective_value());
+    Ok(OptimalOutcome {
+        deployment,
+        status: sol.status(),
+        objective_mj,
+        best_bound_mj: sol.best_bound(),
+        nodes: sol.node_count(),
+        solve_seconds: sol.solve_seconds(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+    use ndp_noc::{Mesh2D, NocParams, PathKind, WeightedNoc};
+    use ndp_platform::Platform;
+    use ndp_taskset::{generate, GeneratorConfig, GraphShape};
+
+    fn small_instance(m: usize, seed: u64, alpha: f64) -> ProblemInstance {
+        let mut cfg = GeneratorConfig::typical(m);
+        cfg.shape = GraphShape::Chain;
+        let g = generate(&cfg, seed).unwrap();
+        ProblemInstance::from_original(
+            &g,
+            Platform::homogeneous(4).unwrap(),
+            WeightedNoc::new(Mesh2D::square(2).unwrap(), NocParams::typical(), seed).unwrap(),
+            0.95,
+            alpha,
+        )
+        .unwrap()
+    }
+
+    fn quick_solver() -> SolverOptions {
+        SolverOptions::with_time_limit(20.0)
+    }
+
+    #[test]
+    fn optimal_solution_is_valid() {
+        let p = small_instance(3, 1, 3.0);
+        let cfg = OptimalConfig { solver: quick_solver(), ..OptimalConfig::default() };
+        let out = solve_optimal(&p, &cfg).unwrap();
+        assert!(out.is_feasible(), "status {:?}", out.status);
+        let d = out.deployment.unwrap();
+        let v = validate(&p, &d);
+        assert!(v.is_empty(), "violations: {v:?}");
+    }
+
+    #[test]
+    fn optimal_beats_or_matches_heuristic() {
+        let p = small_instance(3, 2, 3.0);
+        let h = solve_heuristic(&p).unwrap();
+        let h_obj = h.energy_report(&p).max_mj();
+        let cfg = OptimalConfig { solver: quick_solver(), ..OptimalConfig::default() };
+        let out = solve_optimal(&p, &cfg).unwrap();
+        if out.status == SolveStatus::Optimal {
+            let o_obj = out.objective_mj.unwrap();
+            assert!(
+                o_obj <= h_obj + 1e-6,
+                "optimal {o_obj} must not exceed heuristic {h_obj}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_path_never_beats_multi_path() {
+        let p = small_instance(3, 3, 3.0);
+        let multi = solve_optimal(
+            &p,
+            &OptimalConfig { solver: quick_solver(), ..OptimalConfig::default() },
+        )
+        .unwrap();
+        let single = solve_optimal(
+            &p,
+            &OptimalConfig {
+                path_mode: PathMode::SingleFixed(PathKind::EnergyOriented),
+                solver: quick_solver(),
+                ..OptimalConfig::default()
+            },
+        )
+        .unwrap();
+        if multi.status == SolveStatus::Optimal && single.status == SolveStatus::Optimal {
+            assert!(multi.objective_mj.unwrap() <= single.objective_mj.unwrap() + 1e-6);
+        }
+    }
+
+    #[test]
+    fn infeasible_under_impossible_horizon() {
+        let p = small_instance(3, 4, 3.0).with_horizon(1e-4);
+        let cfg = OptimalConfig {
+            warm_start_with_heuristic: false,
+            solver: quick_solver(),
+            ..OptimalConfig::default()
+        };
+        let out = solve_optimal(&p, &cfg).unwrap();
+        assert_eq!(out.status, SolveStatus::Infeasible);
+        assert!(!out.is_feasible());
+    }
+}

@@ -1,0 +1,274 @@
+//! The deployment problem instance.
+//!
+//! Bundles everything problem (10) of the paper needs: the duplicated task
+//! graph, the DVFS platform, the weighted NoC with its precomputed cost
+//! matrices, the reliability threshold `R_th` and the scheduling horizon
+//! `H = α·Σ_{i∈C}(t̄ᵢ^comp + t̄ᵢ^comm)` over the critical path `C`.
+
+use crate::error::{DeployError, Result};
+use ndp_noc::{CommMatrices, NodeId, WeightedNoc};
+use ndp_platform::{LevelId, Platform, ProcessorId};
+use ndp_taskset::{DuplicatedGraph, TaskGraph, TaskId};
+
+/// How transfer *time* scales with payload size.
+///
+/// The paper's `t_i^comm` (§II-B.5) sums the per-unit latencies `t_{βγρ}`
+/// without multiplying by `s_ij`, while communication *energy* does scale
+/// with `s_ij`. [`CommTimeModel::PerUnit`] reproduces that exactly;
+/// [`CommTimeModel::SizeScaled`] is the physically-motivated extension where
+/// latency also scales with payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CommTimeModel {
+    /// Paper-faithful: transfer time is the per-unit path latency.
+    #[default]
+    PerUnit,
+    /// Extension: transfer time is `s_ij ×` per-unit path latency.
+    SizeScaled,
+}
+
+/// A fully specified instance of the task deployment problem.
+#[derive(Debug, Clone)]
+pub struct ProblemInstance {
+    /// Duplicated task graph (`2M` tasks).
+    pub tasks: DuplicatedGraph,
+    /// The DVFS multicore.
+    pub platform: Platform,
+    /// The weighted NoC.
+    pub noc: WeightedNoc,
+    /// Precomputed `t_{βγρ}` / `e_{βγkρ}` tensors.
+    pub comm: CommMatrices,
+    /// Reliability threshold `R_th`.
+    pub reliability_threshold: f64,
+    /// Scheduling horizon `H` in ms.
+    pub horizon_ms: f64,
+    /// Transfer-time scaling rule.
+    pub comm_time_model: CommTimeModel,
+}
+
+impl ProblemInstance {
+    /// Builds an instance from an original (non-duplicated) task graph,
+    /// computing `H` from `alpha` via the paper's critical-path formula.
+    ///
+    /// # Errors
+    ///
+    /// * [`DeployError::PlatformMeshMismatch`] if the platform has a
+    ///   different processor count than the mesh has nodes.
+    /// * [`DeployError::InvalidParameter`] for a non-positive `alpha` or a
+    ///   threshold outside `(0, 1)`.
+    pub fn from_original(
+        original: &TaskGraph,
+        platform: Platform,
+        noc: WeightedNoc,
+        reliability_threshold: f64,
+        alpha: f64,
+    ) -> Result<Self> {
+        if platform.num_processors() != noc.mesh().num_nodes() {
+            return Err(DeployError::PlatformMeshMismatch {
+                processors: platform.num_processors(),
+                nodes: noc.mesh().num_nodes(),
+            });
+        }
+        if !(alpha.is_finite() && alpha > 0.0) {
+            return Err(DeployError::InvalidParameter { name: "alpha", value: alpha });
+        }
+        if !(reliability_threshold > 0.0 && reliability_threshold < 1.0) {
+            return Err(DeployError::InvalidParameter {
+                name: "reliability_threshold",
+                value: reliability_threshold,
+            });
+        }
+        let comm = CommMatrices::build(&noc);
+        let horizon_ms = scheduling_horizon(original, &platform, &comm, alpha);
+        Ok(ProblemInstance {
+            tasks: DuplicatedGraph::expand(original),
+            platform,
+            noc,
+            comm,
+            reliability_threshold,
+            horizon_ms,
+            comm_time_model: CommTimeModel::default(),
+        })
+    }
+
+    /// Overrides the transfer-time model, builder-style.
+    pub fn with_comm_time_model(mut self, model: CommTimeModel) -> Self {
+        self.comm_time_model = model;
+        self
+    }
+
+    /// Overrides the horizon, builder-style (useful for sweeps that fix `H`
+    /// independently of `α`).
+    pub fn with_horizon(mut self, horizon_ms: f64) -> Self {
+        self.horizon_ms = horizon_ms;
+        self
+    }
+
+    /// Number of original tasks `M`.
+    pub fn num_original(&self) -> usize {
+        self.tasks.original_count()
+    }
+
+    /// Total task count `2M`.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.total_count()
+    }
+
+    /// Number of processors `N`.
+    pub fn num_processors(&self) -> usize {
+        self.platform.num_processors()
+    }
+
+    /// Number of V/F levels `L`.
+    pub fn num_levels(&self) -> usize {
+        self.platform.vf_table().len()
+    }
+
+    /// The NoC node of a processor (identity mapping: processor `k` sits at
+    /// mesh node `k`).
+    pub fn node_of(&self, k: ProcessorId) -> NodeId {
+        NodeId(k.index())
+    }
+
+    /// Execution time `C_i / f_l` in ms.
+    pub fn exec_time_ms(&self, i: TaskId, l: LevelId) -> f64 {
+        self.platform.exec_time_ms(self.tasks.graph().task(i).wcec, l)
+    }
+
+    /// Computation energy `e_i^comp = P_l · C_i / f_l` in mJ.
+    pub fn exec_energy_mj(&self, i: TaskId, l: LevelId) -> f64 {
+        self.platform.exec_energy_mj(self.tasks.graph().task(i).wcec, l)
+    }
+
+    /// Task reliability `r_{il}`.
+    pub fn reliability(&self, i: TaskId, l: LevelId) -> f64 {
+        self.platform.task_reliability(self.tasks.graph().task(i).wcec, l)
+    }
+
+    /// The time weight applied to a transfer of `s` units (1 or `s`
+    /// depending on [`CommTimeModel`]).
+    pub fn time_weight(&self, data_size: f64) -> f64 {
+        match self.comm_time_model {
+            CommTimeModel::PerUnit => 1.0,
+            CommTimeModel::SizeScaled => data_size,
+        }
+    }
+
+    /// Lemma 2.1's `σ = min_{i,l} |r_{il} − R_th|`, floored away from zero.
+    pub fn sigma(&self) -> f64 {
+        let mut sigma = f64::MAX;
+        for i in self.tasks.graph().task_ids() {
+            for (l, _) in self.platform.vf_table().iter() {
+                sigma = sigma.min((self.reliability(i, l) - self.reliability_threshold).abs());
+            }
+        }
+        sigma.max(1e-9)
+    }
+
+    /// `max_{i,l} r_{il}` (denominator in Lemma 2.1's constraint (4)).
+    pub fn max_reliability(&self) -> f64 {
+        let mut rmax = 0.0_f64;
+        for i in self.tasks.graph().task_ids() {
+            for (l, _) in self.platform.vf_table().iter() {
+                rmax = rmax.max(self.reliability(i, l));
+            }
+        }
+        rmax
+    }
+}
+
+/// The paper's horizon formula (§IV):
+/// `H = α · Σ_{i∈C} (t̄ᵢ^comp + t̄ᵢ^comm)` where `C` is the critical path of
+/// the original graph, `t̄ᵢ^comp = (C_i/f_min + C_i/f_max)/2` and
+/// `t̄ᵢ^comm = M₁ · (max t_{βγρ} + min t_{βγρ})/2` with `M₁` the number of
+/// predecessors of `τ_i`.
+pub fn scheduling_horizon(
+    original: &TaskGraph,
+    platform: &Platform,
+    comm: &CommMatrices,
+    alpha: f64,
+) -> f64 {
+    if original.is_empty() {
+        return 0.0;
+    }
+    let (tmin, tmax) = if comm.num_nodes() > 1 {
+        (comm.min_time_ms(), comm.max_time_ms())
+    } else {
+        (0.0, 0.0)
+    };
+    let avg_comm = (tmin + tmax) / 2.0;
+    let weight = |t: TaskId| {
+        let wcec = original.task(t).wcec;
+        let slow = platform.exec_time_ms(wcec, platform.vf_table().slowest());
+        let fast = platform.exec_time_ms(wcec, platform.vf_table().fastest());
+        let comp = (slow + fast) / 2.0;
+        let m1 = original.in_degree(t) as f64;
+        comp + m1 * avg_comm
+    };
+    let path = original.critical_path(weight);
+    alpha * path.into_iter().map(weight).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndp_noc::{Mesh2D, NocParams};
+    use ndp_taskset::{generate, GeneratorConfig};
+
+    fn instance(m: usize, n_side: usize, alpha: f64) -> ProblemInstance {
+        let g = generate(&GeneratorConfig::typical(m), 1).unwrap();
+        let platform = Platform::homogeneous(n_side * n_side).unwrap();
+        let noc =
+            WeightedNoc::new(Mesh2D::square(n_side).unwrap(), NocParams::typical(), 1).unwrap();
+        ProblemInstance::from_original(&g, platform, noc, 0.95, alpha).unwrap()
+    }
+
+    #[test]
+    fn horizon_scales_with_alpha() {
+        let a = instance(10, 3, 1.0);
+        let b = instance(10, 3, 2.0);
+        assert!((b.horizon_ms - 2.0 * a.horizon_ms).abs() < 1e-9);
+        assert!(a.horizon_ms > 0.0);
+    }
+
+    #[test]
+    fn mismatched_platform_rejected() {
+        let g = generate(&GeneratorConfig::typical(4), 0).unwrap();
+        let platform = Platform::homogeneous(5).unwrap();
+        let noc = WeightedNoc::new(Mesh2D::square(2).unwrap(), NocParams::typical(), 0).unwrap();
+        assert!(matches!(
+            ProblemInstance::from_original(&g, platform, noc, 0.9, 1.0),
+            Err(DeployError::PlatformMeshMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let g = generate(&GeneratorConfig::typical(4), 0).unwrap();
+        let mk = || {
+            (
+                Platform::homogeneous(4).unwrap(),
+                WeightedNoc::new(Mesh2D::square(2).unwrap(), NocParams::typical(), 0).unwrap(),
+            )
+        };
+        let (p, n) = mk();
+        assert!(ProblemInstance::from_original(&g, p, n, 0.9, 0.0).is_err());
+        let (p, n) = mk();
+        assert!(ProblemInstance::from_original(&g, p, n, 1.5, 1.0).is_err());
+    }
+
+    #[test]
+    fn sigma_positive_and_rmax_in_unit_interval() {
+        let p = instance(6, 2, 1.0);
+        assert!(p.sigma() > 0.0);
+        let rmax = p.max_reliability();
+        assert!(rmax > 0.0 && rmax <= 1.0);
+    }
+
+    #[test]
+    fn duplicated_counts() {
+        let p = instance(7, 2, 1.0);
+        assert_eq!(p.num_original(), 7);
+        assert_eq!(p.num_tasks(), 14);
+        assert_eq!(p.num_processors(), 4);
+    }
+}

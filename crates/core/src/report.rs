@@ -1,0 +1,127 @@
+//! Human-readable deployment reports.
+//!
+//! Renders a deployment as a text Gantt chart plus energy table — the
+//! format the examples print and the harness logs.
+
+use crate::problem::ProblemInstance;
+use crate::solution::Deployment;
+use std::fmt::Write as _;
+
+/// Renders an ASCII Gantt chart of the deployment: one row per processor,
+/// `width` columns spanning `[0, horizon]`.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn gantt(problem: &ProblemInstance, d: &Deployment, width: usize) -> String {
+    assert!(width > 0, "chart needs at least one column");
+    let n = problem.num_processors();
+    let horizon = problem.horizon_ms.max(1e-9);
+    let mut rows: Vec<Vec<char>> = vec![vec!['.'; width]; n];
+    let glyphs: Vec<char> = ('A'..='Z').chain('a'..='z').chain('0'..='9').collect();
+    for t in problem.tasks.graph().task_ids() {
+        if !d.active[t.index()] {
+            continue;
+        }
+        let k = d.processor[t.index()].index();
+        let s = d.start_ms[t.index()] / horizon;
+        let e = d.end_ms(problem, t) / horizon;
+        let c0 = ((s * width as f64) as usize).min(width - 1);
+        let c1 = ((e * width as f64).ceil() as usize).clamp(c0 + 1, width);
+        let glyph = glyphs[t.index() % glyphs.len()];
+        for c in rows[k].iter_mut().take(c1).skip(c0) {
+            // Column rounding can map two adjacent short tasks onto the
+            // same cell; keep the earlier task's glyph.
+            if *c == '.' {
+                *c = glyph;
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "time 0 {:-^w$} {:.3} ms", "", horizon, w = width.saturating_sub(12));
+    for (k, row) in rows.iter().enumerate() {
+        let _ = writeln!(out, "θ{k:<3} {}", row.iter().collect::<String>());
+    }
+    out
+}
+
+/// Renders the per-processor energy table with totals.
+pub fn energy_table(problem: &ProblemInstance, d: &Deployment) -> String {
+    let report = d.energy_report(problem);
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>5} {:>12} {:>12} {:>12}", "proc", "comp (mJ)", "comm (mJ)", "total");
+    for k in 0..problem.num_processors() {
+        let total = report.comp_mj[k] + report.comm_mj[k];
+        if total == 0.0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{:>5} {:>12.4} {:>12.4} {:>12.4}",
+            format!("θ{k}"),
+            report.comp_mj[k],
+            report.comm_mj[k],
+            total
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:>5} {:>12.4} {:>12.4} {:>12.4}  (max {:.4}, φ {:.3})",
+        "Σ",
+        report.comp_mj.iter().sum::<f64>(),
+        report.comm_mj.iter().sum::<f64>(),
+        report.total_mj(),
+        report.max_mj(),
+        report.balance_index()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristic::solve_heuristic;
+    use ndp_noc::{Mesh2D, NocParams, WeightedNoc};
+    use ndp_platform::Platform;
+    use ndp_taskset::{generate, GeneratorConfig};
+
+    fn solved() -> (ProblemInstance, Deployment) {
+        let g = generate(&GeneratorConfig::typical(8), 1).unwrap();
+        let p = ProblemInstance::from_original(
+            &g,
+            Platform::homogeneous(4).unwrap(),
+            WeightedNoc::new(Mesh2D::square(2).unwrap(), NocParams::typical(), 1).unwrap(),
+            0.95,
+            6.0,
+        )
+        .unwrap();
+        let d = solve_heuristic(&p).unwrap();
+        (p, d)
+    }
+
+    #[test]
+    fn gantt_has_one_row_per_processor() {
+        let (p, d) = solved();
+        let chart = gantt(&p, &d, 60);
+        assert_eq!(chart.lines().count(), p.num_processors() + 1);
+        // Every active task's glyph appears somewhere.
+        let active = d.active.iter().filter(|&&a| a).count();
+        assert!(active > 0);
+        assert!(chart.contains('A'));
+    }
+
+    #[test]
+    fn energy_table_contains_totals() {
+        let (p, d) = solved();
+        let table = energy_table(&p, &d);
+        assert!(table.contains('Σ'));
+        assert!(table.contains('φ'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn zero_width_panics() {
+        let (p, d) = solved();
+        let _ = gantt(&p, &d, 0);
+    }
+}

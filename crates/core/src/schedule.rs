@@ -1,0 +1,176 @@
+//! List scheduling shared by the heuristic phases.
+//!
+//! Given activation, frequency and allocation decisions, computes start
+//! times that satisfy the precedence constraint (6) and the non-overlapping
+//! constraint (7): tasks become ready when every active predecessor has
+//! finished plus the task's receive time `t_i^comm`, and each processor runs
+//! one task at a time in the paper's layer-major priority order
+//! (Algorithm 2, step b: layers ascending, WCEC descending within a layer).
+
+use crate::problem::ProblemInstance;
+use ndp_platform::{LevelId, ProcessorId};
+use ndp_taskset::TaskId;
+
+/// Computed start/end times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Start times in ms (0 for inactive tasks).
+    pub start_ms: Vec<f64>,
+    /// End times in ms (equal to start for inactive tasks).
+    pub end_ms: Vec<f64>,
+}
+
+impl Schedule {
+    /// The completion time of the latest task.
+    pub fn makespan_ms(&self) -> f64 {
+        self.end_ms.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+/// The paper's task priority: layer ascending, WCEC descending, id
+/// ascending. Returns active task ids in scheduling order.
+pub fn priority_order(problem: &ProblemInstance, active: &[bool]) -> Vec<TaskId> {
+    let graph = problem.tasks.graph();
+    let layers = graph.layers();
+    let mut order: Vec<TaskId> =
+        graph.task_ids().filter(|t| active[t.index()]).collect();
+    order.sort_by(|&a, &b| {
+        layers[a.index()]
+            .cmp(&layers[b.index()])
+            .then_with(|| {
+                graph
+                    .task(b)
+                    .wcec
+                    .partial_cmp(&graph.task(a).wcec)
+                    .expect("finite WCECs")
+            })
+            .then_with(|| a.cmp(&b))
+    });
+    order
+}
+
+/// Builds the schedule by list scheduling.
+///
+/// `comm_time(i)` must return the total receive time `t_i^comm` of task `i`
+/// under the caller's current (or estimated) allocation and path choice.
+pub fn list_schedule(
+    problem: &ProblemInstance,
+    active: &[bool],
+    frequency: &[LevelId],
+    processor: &[ProcessorId],
+    comm_time: impl Fn(TaskId) -> f64,
+) -> Schedule {
+    let graph = problem.tasks.graph();
+    let n_tasks = graph.num_tasks();
+    let order = priority_order(problem, active);
+    let mut start = vec![0.0; n_tasks];
+    let mut end = vec![0.0; n_tasks];
+    let mut scheduled = vec![false; n_tasks];
+    let mut proc_free = vec![0.0; problem.num_processors()];
+    let mut remaining: Vec<TaskId> = order;
+    while !remaining.is_empty() {
+        // First task in priority order whose active predecessors are done.
+        let pos = remaining
+            .iter()
+            .position(|&t| {
+                graph
+                    .predecessors(t)
+                    .all(|(p, _)| !active[p.index()] || scheduled[p.index()])
+            })
+            .expect("a DAG always has a ready task");
+        let t = remaining.remove(pos);
+        let ready = graph
+            .predecessors(t)
+            .filter(|(p, _)| active[p.index()])
+            .map(|(p, _)| end[p.index()])
+            .fold(0.0, f64::max)
+            + comm_time(t);
+        let k = processor[t.index()].index();
+        let s = ready.max(proc_free[k]);
+        let e = s + problem.exec_time_ms(t, frequency[t.index()]);
+        start[t.index()] = s;
+        end[t.index()] = e;
+        proc_free[k] = e;
+        scheduled[t.index()] = true;
+    }
+    Schedule { start_ms: start, end_ms: end }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::ProblemInstance;
+    use ndp_noc::{Mesh2D, NocParams, WeightedNoc};
+    use ndp_platform::Platform;
+    use ndp_taskset::{Task, TaskGraph};
+
+    fn chain_problem() -> ProblemInstance {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(Task::new("a", 1e6, 50.0));
+        let b = g.add_task(Task::new("b", 2e6, 50.0));
+        g.add_edge(a, b, 2.0).unwrap();
+        ProblemInstance::from_original(
+            &g,
+            Platform::homogeneous(4).unwrap(),
+            WeightedNoc::new(Mesh2D::square(2).unwrap(), NocParams::typical(), 0).unwrap(),
+            0.9,
+            10.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn chain_respects_precedence_and_comm() {
+        let p = chain_problem();
+        let fastest = p.platform.vf_table().fastest();
+        let active = vec![true, true, false, false];
+        let freq = vec![fastest; 4];
+        let procs = vec![ProcessorId(0), ProcessorId(1), ProcessorId(0), ProcessorId(0)];
+        let s = list_schedule(&p, &active, &freq, &procs, |t| {
+            if t == TaskId(1) {
+                0.5
+            } else {
+                0.0
+            }
+        });
+        let end_a = s.end_ms[0];
+        assert!((s.start_ms[1] - (end_a + 0.5)).abs() < 1e-12);
+        assert!(s.makespan_ms() > end_a);
+    }
+
+    #[test]
+    fn same_processor_tasks_serialize() {
+        let p = chain_problem();
+        let fastest = p.platform.vf_table().fastest();
+        // Two independent tasks (a and the *duplicate* of a) on processor 0.
+        let active = vec![true, false, true, false];
+        let freq = vec![fastest; 4];
+        let procs = vec![ProcessorId(0); 4];
+        let s = list_schedule(&p, &active, &freq, &procs, |_| 0.0);
+        let (s0, e0) = (s.start_ms[0], s.end_ms[0]);
+        let (s2, e2) = (s.start_ms[2], s.end_ms[2]);
+        assert!(e0 <= s2 + 1e-12 || e2 <= s0 + 1e-12, "intervals must not overlap");
+    }
+
+    #[test]
+    fn inactive_tasks_stay_at_zero() {
+        let p = chain_problem();
+        let fastest = p.platform.vf_table().fastest();
+        let active = vec![true, true, false, false];
+        let freq = vec![fastest; 4];
+        let procs = vec![ProcessorId(0); 4];
+        let s = list_schedule(&p, &active, &freq, &procs, |_| 0.0);
+        assert_eq!(s.start_ms[2], 0.0);
+        assert_eq!(s.end_ms[3], 0.0);
+    }
+
+    #[test]
+    fn priority_order_is_layer_major() {
+        let p = chain_problem();
+        let order = priority_order(&p, &[true, true, true, true]);
+        let layers = p.tasks.graph().layers();
+        for w in order.windows(2) {
+            assert!(layers[w[0].index()] <= layers[w[1].index()]);
+        }
+    }
+}

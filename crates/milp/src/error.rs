@@ -1,0 +1,78 @@
+//! Error types for the MILP solver.
+
+use std::fmt;
+
+/// Errors produced while building or solving a model.
+///
+/// Every public fallible operation in this crate returns
+/// [`Result<T, MilpError>`](crate::Result).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MilpError {
+    /// A variable id referenced a variable that does not belong to the model.
+    UnknownVariable {
+        /// The offending variable index.
+        index: usize,
+        /// Number of variables in the model.
+        len: usize,
+    },
+    /// A variable was created with `lb > ub` or a non-finite bound where a
+    /// finite one is required.
+    InvalidBounds {
+        /// Variable name (empty if unnamed).
+        name: String,
+        /// Lower bound supplied.
+        lb: f64,
+        /// Upper bound supplied.
+        ub: f64,
+    },
+    /// A coefficient, bound or right-hand side was NaN.
+    NotANumber {
+        /// Human-readable location of the NaN.
+        context: String,
+    },
+    /// The model has no objective-improving direction and no constraints,
+    /// or the simplex detected an unbounded ray.
+    Unbounded,
+    /// The simplex exceeded its iteration limit; usually indicates numerical
+    /// trouble rather than a genuinely hard LP.
+    IterationLimit {
+        /// The limit that was hit.
+        limit: usize,
+    },
+    /// A warm-start vector had the wrong length.
+    WarmStartLength {
+        /// Supplied length.
+        got: usize,
+        /// Expected length (number of variables).
+        expected: usize,
+    },
+    /// Internal numerical failure (singular basis that could not be repaired).
+    SingularBasis,
+}
+
+impl fmt::Display for MilpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MilpError::UnknownVariable { index, len } => {
+                write!(f, "variable index {index} out of range for model with {len} variables")
+            }
+            MilpError::InvalidBounds { name, lb, ub } => {
+                write!(f, "invalid bounds [{lb}, {ub}] for variable `{name}`")
+            }
+            MilpError::NotANumber { context } => write!(f, "NaN encountered in {context}"),
+            MilpError::Unbounded => write!(f, "problem is unbounded"),
+            MilpError::IterationLimit { limit } => {
+                write!(f, "simplex iteration limit of {limit} exceeded")
+            }
+            MilpError::WarmStartLength { got, expected } => {
+                write!(f, "warm start has {got} values but the model has {expected} variables")
+            }
+            MilpError::SingularBasis => write!(f, "singular basis could not be repaired"),
+        }
+    }
+}
+
+impl std::error::Error for MilpError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, MilpError>;

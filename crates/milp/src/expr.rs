@@ -1,0 +1,261 @@
+//! Linear expressions over model variables.
+//!
+//! [`LinExpr`] is the currency of model building: objectives and constraint
+//! left-hand sides are linear expressions. Expressions support `+`, `-`, `*`
+//! (by a scalar) and can be built incrementally with [`LinExpr::add_term`].
+//!
+//! ```
+//! use ndp_milp::{LinExpr, Model};
+//!
+//! let mut m = Model::new("doc");
+//! let x = m.binary("x");
+//! let y = m.binary("y");
+//! let e = LinExpr::from(x) * 2.0 + y + 1.0;
+//! assert_eq!(e.coefficient(x), 2.0);
+//! assert_eq!(e.constant(), 1.0);
+//! ```
+
+use crate::model::VarId;
+use std::collections::BTreeMap;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// A linear expression `Σ aᵢ·xᵢ + c`.
+///
+/// Duplicate variables are merged; coefficients that cancel to exactly zero
+/// are kept until [`LinExpr::compact`] removes them.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinExpr {
+    terms: BTreeMap<VarId, f64>,
+    constant: f64,
+}
+
+impl LinExpr {
+    /// Creates the zero expression.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a constant expression with no variable terms.
+    pub fn constant_term(c: f64) -> Self {
+        LinExpr { terms: BTreeMap::new(), constant: c }
+    }
+
+    /// Creates the expression `coeff · var`.
+    pub fn term(var: VarId, coeff: f64) -> Self {
+        let mut e = LinExpr::new();
+        e.add_term(var, coeff);
+        e
+    }
+
+    /// Adds `coeff · var` to the expression, merging with any existing term.
+    pub fn add_term(&mut self, var: VarId, coeff: f64) -> &mut Self {
+        *self.terms.entry(var).or_insert(0.0) += coeff;
+        self
+    }
+
+    /// Adds a constant offset.
+    pub fn add_constant(&mut self, c: f64) -> &mut Self {
+        self.constant += c;
+        self
+    }
+
+    /// The coefficient of `var` (zero if absent).
+    pub fn coefficient(&self, var: VarId) -> f64 {
+        self.terms.get(&var).copied().unwrap_or(0.0)
+    }
+
+    /// The constant offset of the expression.
+    pub fn constant(&self) -> f64 {
+        self.constant
+    }
+
+    /// Iterates over `(variable, coefficient)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, f64)> + '_ {
+        self.terms.iter().map(|(v, c)| (*v, *c))
+    }
+
+    /// Number of variable terms (including exact zeros not yet compacted).
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the expression has no variable terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Removes terms whose coefficient is exactly zero.
+    pub fn compact(&mut self) -> &mut Self {
+        self.terms.retain(|_, c| *c != 0.0);
+        self
+    }
+
+    /// Evaluates the expression against a full assignment vector indexed by
+    /// raw variable id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a term references an index outside `values`.
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        let mut acc = self.constant;
+        for (v, c) in self.iter() {
+            acc += c * values[v.index()];
+        }
+        acc
+    }
+
+    /// Returns `true` if any coefficient or the constant is NaN.
+    pub fn has_nan(&self) -> bool {
+        self.constant.is_nan() || self.terms.values().any(|c| c.is_nan())
+    }
+}
+
+impl From<VarId> for LinExpr {
+    fn from(v: VarId) -> Self {
+        LinExpr::term(v, 1.0)
+    }
+}
+
+impl From<f64> for LinExpr {
+    fn from(c: f64) -> Self {
+        LinExpr::constant_term(c)
+    }
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for LinExpr {
+    fn add_assign(&mut self, rhs: LinExpr) {
+        for (v, c) in rhs.terms {
+            *self.terms.entry(v).or_insert(0.0) += c;
+        }
+        self.constant += rhs.constant;
+    }
+}
+
+impl Add<VarId> for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: VarId) -> LinExpr {
+        self.add_term(rhs, 1.0);
+        self
+    }
+}
+
+impl Add<f64> for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: f64) -> LinExpr {
+        self.constant += rhs;
+        self
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, rhs: LinExpr) -> LinExpr {
+        self -= rhs;
+        self
+    }
+}
+
+impl SubAssign for LinExpr {
+    fn sub_assign(&mut self, rhs: LinExpr) {
+        for (v, c) in rhs.terms {
+            *self.terms.entry(v).or_insert(0.0) -= c;
+        }
+        self.constant -= rhs.constant;
+    }
+}
+
+impl Sub<VarId> for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, rhs: VarId) -> LinExpr {
+        self.add_term(rhs, -1.0);
+        self
+    }
+}
+
+impl Sub<f64> for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, rhs: f64) -> LinExpr {
+        self.constant -= rhs;
+        self
+    }
+}
+
+impl Mul<f64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(mut self, rhs: f64) -> LinExpr {
+        for c in self.terms.values_mut() {
+            *c *= rhs;
+        }
+        self.constant *= rhs;
+        self
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        self * -1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    fn vars() -> (Model, VarId, VarId) {
+        let mut m = Model::new("t");
+        let x = m.binary("x");
+        let y = m.binary("y");
+        (m, x, y)
+    }
+
+    #[test]
+    fn merge_duplicate_terms() {
+        let (_m, x, _y) = vars();
+        let e = LinExpr::term(x, 1.5) + x;
+        assert_eq!(e.coefficient(x), 2.5);
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let (_m, x, y) = vars();
+        let e = (LinExpr::from(x) * 3.0 - y + 2.0) * 2.0;
+        assert_eq!(e.coefficient(x), 6.0);
+        assert_eq!(e.coefficient(y), -2.0);
+        assert_eq!(e.constant(), 4.0);
+    }
+
+    #[test]
+    fn eval_uses_values() {
+        let (_m, x, y) = vars();
+        let e = LinExpr::from(x) * 2.0 + LinExpr::term(y, -1.0) + 0.5;
+        assert_eq!(e.eval(&[3.0, 1.0]), 5.5);
+    }
+
+    #[test]
+    fn compact_removes_cancelled() {
+        let (_m, x, _y) = vars();
+        let mut e = LinExpr::from(x) - x;
+        assert_eq!(e.len(), 1);
+        e.compact();
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn neg_flips_everything() {
+        let (_m, x, _y) = vars();
+        let e = -(LinExpr::from(x) + 1.0);
+        assert_eq!(e.coefficient(x), -1.0);
+        assert_eq!(e.constant(), -1.0);
+    }
+}

@@ -1,0 +1,383 @@
+//! MPS-format export/import.
+//!
+//! [`write_mps`] serializes a [`Model`] in the fixed-field MPS dialect
+//! every industrial solver reads, so deployment MILPs can be inspected or
+//! cross-checked externally (e.g. against Gurobi/CBC on another machine).
+//! [`parse_mps`] reads the same dialect back, which the tests use for
+//! round-tripping.
+//!
+//! Conventions: maximization is recorded with an `OBJSENSE MAX` section;
+//! binary/integer variables are wrapped in `MARKER`/`INTORG`/`INTEND`;
+//! bounds use `LO`/`UP`/`FX`/`MI`/`PL`/`BV`.
+
+use crate::error::{MilpError, Result};
+use crate::expr::LinExpr;
+use crate::model::{ConstraintSense, Model, Objective, VarKind};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+const OBJ_NAME: &str = "COST";
+
+fn sanitize(name: &str, fallback: &str, idx: usize) -> String {
+    let cleaned: String =
+        name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect();
+    if cleaned.is_empty() || cleaned.chars().all(|c| c == '_') {
+        format!("{fallback}{idx}")
+    } else {
+        format!("{fallback}{idx}_{}", &cleaned[..cleaned.len().min(16)])
+    }
+}
+
+/// Serializes `model` as an MPS document.
+pub fn write_mps(model: &Model) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "NAME          {}", sanitize(model.name(), "M", 0));
+    if model.direction() == Objective::Maximize {
+        let _ = writeln!(out, "OBJSENSE\n    MAX");
+    }
+    let _ = writeln!(out, "ROWS");
+    let _ = writeln!(out, " N  {OBJ_NAME}");
+    let row_names: Vec<String> =
+        (0..model.num_constraints()).map(|r| sanitize(&model.rows[r].name, "R", r)).collect();
+    for (r, row) in model.rows.iter().enumerate() {
+        let tag = match row.sense {
+            ConstraintSense::Le => 'L',
+            ConstraintSense::Ge => 'G',
+            ConstraintSense::Eq => 'E',
+        };
+        let _ = writeln!(out, " {tag}  {}", row_names[r]);
+    }
+
+    let col_names: Vec<String> =
+        (0..model.num_vars()).map(|j| sanitize(&model.vars[j].name, "C", j)).collect();
+
+    // COLUMNS: per variable, objective + row coefficients, with integer
+    // markers around integral columns.
+    let _ = writeln!(out, "COLUMNS");
+    let mut integer_open = false;
+    let mut marker = 0usize;
+    for j in 0..model.num_vars() {
+        let is_int = model.vars[j].kind != VarKind::Continuous;
+        if is_int && !integer_open {
+            let _ = writeln!(out, "    MARKER{marker}  'MARKER'  'INTORG'");
+            marker += 1;
+            integer_open = true;
+        } else if !is_int && integer_open {
+            let _ = writeln!(out, "    MARKER{marker}  'MARKER'  'INTEND'");
+            marker += 1;
+            integer_open = false;
+        }
+        let obj_coeff = model.objective().coefficient(crate::VarId(j));
+        if obj_coeff != 0.0 {
+            let _ = writeln!(out, "    {}  {OBJ_NAME}  {}", col_names[j], obj_coeff);
+        }
+        for (r, row) in model.rows.iter().enumerate() {
+            let c = row.expr.coefficient(crate::VarId(j));
+            if c != 0.0 {
+                let _ = writeln!(out, "    {}  {}  {}", col_names[j], row_names[r], c);
+            }
+        }
+    }
+    if integer_open {
+        let _ = writeln!(out, "    MARKER{marker}  'MARKER'  'INTEND'");
+    }
+
+    // RHS (row constants are folded: rhs' = rhs − expr.constant()).
+    let _ = writeln!(out, "RHS");
+    for (r, row) in model.rows.iter().enumerate() {
+        let rhs = row.rhs - row.expr.constant();
+        if rhs != 0.0 {
+            let _ = writeln!(out, "    RHS1  {}  {}", row_names[r], rhs);
+        }
+    }
+    if model.objective().constant() != 0.0 {
+        // MPS convention: the objective "RHS" is the negated constant.
+        let _ = writeln!(out, "    RHS1  {OBJ_NAME}  {}", -model.objective().constant());
+    }
+
+    let _ = writeln!(out, "BOUNDS");
+    for j in 0..model.num_vars() {
+        let v = &model.vars[j];
+        let name = &col_names[j];
+        if v.kind == VarKind::Binary && v.lb == 0.0 && v.ub == 1.0 {
+            let _ = writeln!(out, " BV BND1  {name}");
+            continue;
+        }
+        if v.lb == v.ub {
+            let _ = writeln!(out, " FX BND1  {name}  {}", v.lb);
+            continue;
+        }
+        if v.lb.is_infinite() {
+            let _ = writeln!(out, " MI BND1  {name}");
+        } else if v.lb != 0.0 {
+            let _ = writeln!(out, " LO BND1  {name}  {}", v.lb);
+        }
+        if v.ub.is_infinite() {
+            let _ = writeln!(out, " PL BND1  {name}");
+        } else {
+            let _ = writeln!(out, " UP BND1  {name}  {}", v.ub);
+        }
+    }
+    let _ = writeln!(out, "ENDATA");
+    out
+}
+
+/// Parses an MPS document produced by [`write_mps`] (free-format fields,
+/// the sections and bound codes emitted above).
+///
+/// # Errors
+///
+/// Returns [`MilpError::NotANumber`] with a description of the offending
+/// line for malformed input.
+pub fn parse_mps(text: &str) -> Result<Model> {
+    #[derive(PartialEq, Clone, Copy)]
+    enum Section {
+        None,
+        ObjSense,
+        Rows,
+        Columns,
+        Rhs,
+        Bounds,
+    }
+    let bad = |line: &str| MilpError::NotANumber { context: format!("MPS line `{line}`") };
+
+    let mut model = Model::new("mps");
+    let mut section = Section::None;
+    let mut maximize = false;
+    let mut row_sense: HashMap<String, ConstraintSense> = HashMap::new();
+    let mut row_order: Vec<String> = Vec::new();
+    let mut row_expr: HashMap<String, LinExpr> = HashMap::new();
+    let mut row_rhs: HashMap<String, f64> = HashMap::new();
+    let mut obj = LinExpr::new();
+    let mut obj_offset = 0.0;
+    let mut cols: HashMap<String, crate::VarId> = HashMap::new();
+    let mut col_kind: HashMap<String, VarKind> = HashMap::new();
+    let mut integer_mode = false;
+    // Bounds applied at the end (the variable set must be complete first).
+    let mut lo: HashMap<String, f64> = HashMap::new();
+    let mut up: HashMap<String, f64> = HashMap::new();
+
+    for raw in text.lines() {
+        let line = raw.trim_end();
+        if line.is_empty() || line.starts_with('*') {
+            continue;
+        }
+        let head = !raw.starts_with(' ') && !raw.starts_with('\t');
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if head {
+            section = match fields[0] {
+                "NAME" => Section::None,
+                "OBJSENSE" => Section::ObjSense,
+                "ROWS" => Section::Rows,
+                "COLUMNS" => Section::Columns,
+                "RHS" => Section::Rhs,
+                "BOUNDS" => Section::Bounds,
+                "RANGES" => Section::None,
+                "ENDATA" => break,
+                _ => return Err(bad(line)),
+            };
+            continue;
+        }
+        match section {
+            Section::ObjSense => {
+                if fields[0].eq_ignore_ascii_case("MAX") {
+                    maximize = true;
+                }
+            }
+            Section::Rows => {
+                let sense = match fields[0] {
+                    "N" => None,
+                    "L" => Some(ConstraintSense::Le),
+                    "G" => Some(ConstraintSense::Ge),
+                    "E" => Some(ConstraintSense::Eq),
+                    _ => return Err(bad(line)),
+                };
+                let name = fields.get(1).ok_or_else(|| bad(line))?.to_string();
+                if let Some(s) = sense {
+                    row_sense.insert(name.clone(), s);
+                    row_order.push(name.clone());
+                    row_expr.insert(name, LinExpr::new());
+                }
+            }
+            Section::Columns => {
+                if fields.len() >= 3 && fields[1].contains("MARKER") || fields.contains(&"'MARKER'")
+                {
+                    if fields.contains(&"'INTORG'") {
+                        integer_mode = true;
+                    } else if fields.contains(&"'INTEND'") {
+                        integer_mode = false;
+                    }
+                    continue;
+                }
+                let col = fields[0].to_string();
+                let var = *cols.entry(col.clone()).or_insert_with(|| {
+                    col_kind.insert(
+                        col.clone(),
+                        if integer_mode { VarKind::Integer } else { VarKind::Continuous },
+                    );
+                    model
+                        .add_var(
+                            col.clone(),
+                            if integer_mode { VarKind::Integer } else { VarKind::Continuous },
+                            0.0,
+                            f64::INFINITY,
+                        )
+                        .expect("default bounds valid")
+                });
+                // Pairs of (row, value) follow.
+                let mut i = 1;
+                while i + 1 < fields.len() + 1 && i + 1 <= fields.len() {
+                    let row = fields[i];
+                    let value: f64 = fields[i + 1].parse().map_err(|_| bad(line))?;
+                    if row == OBJ_NAME {
+                        obj.add_term(var, value);
+                    } else if let Some(e) = row_expr.get_mut(row) {
+                        e.add_term(var, value);
+                    } else {
+                        return Err(bad(line));
+                    }
+                    i += 2;
+                }
+            }
+            Section::Rhs => {
+                let mut i = 1;
+                while i + 1 <= fields.len() - 1 {
+                    let row = fields[i];
+                    let value: f64 = fields[i + 1].parse().map_err(|_| bad(line))?;
+                    if row == OBJ_NAME {
+                        obj_offset = -value;
+                    } else {
+                        row_rhs.insert(row.to_string(), value);
+                    }
+                    i += 2;
+                }
+            }
+            Section::Bounds => {
+                let code = fields[0];
+                let name = *fields.get(2).ok_or_else(|| bad(line))?;
+                let var = cols.get(name).copied();
+                let Some(var) = var else { return Err(bad(line)) };
+                match code {
+                    "BV" => {
+                        col_kind.insert(name.to_string(), VarKind::Binary);
+                        lo.insert(name.to_string(), 0.0);
+                        up.insert(name.to_string(), 1.0);
+                        let _ = var;
+                    }
+                    "FX" => {
+                        let v: f64 =
+                            fields.get(3).ok_or_else(|| bad(line))?.parse().map_err(|_| bad(line))?;
+                        lo.insert(name.to_string(), v);
+                        up.insert(name.to_string(), v);
+                    }
+                    "LO" => {
+                        let v: f64 =
+                            fields.get(3).ok_or_else(|| bad(line))?.parse().map_err(|_| bad(line))?;
+                        lo.insert(name.to_string(), v);
+                    }
+                    "UP" => {
+                        let v: f64 =
+                            fields.get(3).ok_or_else(|| bad(line))?.parse().map_err(|_| bad(line))?;
+                        up.insert(name.to_string(), v);
+                    }
+                    "MI" => {
+                        lo.insert(name.to_string(), f64::NEG_INFINITY);
+                    }
+                    "PL" => {
+                        up.insert(name.to_string(), f64::INFINITY);
+                    }
+                    _ => return Err(bad(line)),
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Materialize rows in declaration order.
+    for name in &row_order {
+        let expr = row_expr.remove(name).expect("declared row");
+        let sense = row_sense[name];
+        let rhs = row_rhs.get(name).copied().unwrap_or(0.0);
+        model.add_constraint(name, expr, sense, rhs);
+    }
+    obj.add_constant(obj_offset);
+    model.set_objective(if maximize { Objective::Maximize } else { Objective::Minimize }, obj);
+
+    // Apply bounds & kinds collected along the way. Integer columns without
+    // explicit bounds default to [0, 1] per classic MPS; we keep [0, ∞) and
+    // let explicit bounds rule, matching what `write_mps` emits.
+    let names: Vec<String> = cols.keys().cloned().collect();
+    for name in names {
+        let var = cols[&name];
+        let kind = col_kind[&name];
+        let l = lo.get(&name).copied().unwrap_or(0.0);
+        let u = up.get(&name).copied().unwrap_or(f64::INFINITY);
+        model.set_bounds(var, l, u)?;
+        if kind == VarKind::Binary {
+            // Re-declare: bounds already [0,1]; kind is informational here
+            // since branch-and-bound treats Integer ∩ [0,1] identically.
+        }
+    }
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SolveStatus;
+
+    fn knapsack() -> Model {
+        let mut m = Model::new("ks");
+        let a = m.binary("a");
+        let b = m.binary("b");
+        let c = m.binary("c");
+        let w = LinExpr::term(a, 3.0) + LinExpr::term(b, 4.0) + LinExpr::term(c, 2.0);
+        let v = LinExpr::term(a, 4.0) + LinExpr::term(b, 5.0) + LinExpr::term(c, 3.0);
+        m.add_le("cap", w, 6.0);
+        m.set_objective(Objective::Maximize, v);
+        m
+    }
+
+    #[test]
+    fn mps_contains_sections() {
+        let text = write_mps(&knapsack());
+        for section in ["NAME", "ROWS", "COLUMNS", "RHS", "BOUNDS", "ENDATA", "OBJSENSE"] {
+            assert!(text.contains(section), "missing {section} in:\n{text}");
+        }
+        assert!(text.contains("'INTORG'"));
+        assert!(text.contains(" BV "));
+    }
+
+    #[test]
+    fn round_trip_preserves_optimum() {
+        let original = knapsack();
+        let text = write_mps(&original);
+        let parsed = parse_mps(&text).expect("parse back");
+        let a = original.solve().unwrap();
+        let b = parsed.solve().unwrap();
+        assert_eq!(a.status(), SolveStatus::Optimal);
+        assert_eq!(b.status(), SolveStatus::Optimal);
+        assert!((a.objective_value() - b.objective_value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_trip_with_continuous_and_offsets() {
+        let mut m = Model::new("mix");
+        let x = m.binary("x");
+        let w = m.continuous("w", -2.0, 5.0).unwrap();
+        m.add_ge("lower", LinExpr::from(w) + LinExpr::term(x, 2.0), 1.0);
+        m.add_eq("tie", LinExpr::from(w) - LinExpr::term(x, 3.0), 0.0);
+        m.set_objective(Objective::Minimize, LinExpr::from(w) + LinExpr::term(x, 0.5) + 7.0);
+        let text = write_mps(&m);
+        let parsed = parse_mps(&text).unwrap();
+        let a = m.solve().unwrap();
+        let b = parsed.solve().unwrap();
+        assert_eq!(a.status(), b.status());
+        assert!((a.objective_value() - b.objective_value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_mps("GARBAGE SECTION\n nonsense").is_err());
+    }
+}

@@ -1,0 +1,131 @@
+//! Solver configuration.
+
+/// Rule used to pick the fractional integer variable to branch on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BranchRule {
+    /// Branch on the variable whose LP value is closest to 0.5 (after
+    /// priority ordering). A solid general-purpose default.
+    #[default]
+    MostFractional,
+    /// Branch on the first fractional variable in index order (Bland-like,
+    /// deterministic, useful for debugging).
+    FirstFractional,
+    /// Pseudo-cost branching: estimates objective degradation per variable
+    /// from past branchings and picks the variable with the largest expected
+    /// product of down/up degradations.
+    PseudoCost,
+}
+
+/// Order in which open branch-and-bound nodes are explored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NodeOrder {
+    /// Depth-first: dives to find incumbents quickly, minimal memory.
+    #[default]
+    DepthFirst,
+    /// Best-bound-first: explores the node with the best LP bound, proving
+    /// optimality with fewer nodes at the cost of memory.
+    BestBound,
+}
+
+/// Tunable limits and tolerances for [`Model::solve_with`].
+///
+/// [`Model::solve_with`]: crate::Model::solve_with
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverOptions {
+    /// Values within this distance of an integer are considered integral.
+    pub integrality_tol: f64,
+    /// Feasibility tolerance for simplex bound/row checks.
+    pub feasibility_tol: f64,
+    /// Relative optimality gap at which branch and bound stops.
+    pub relative_gap: f64,
+    /// Absolute optimality gap at which branch and bound stops.
+    pub absolute_gap: f64,
+    /// Maximum number of branch-and-bound nodes (0 = unlimited).
+    pub node_limit: usize,
+    /// Wall-clock limit in seconds (`f64::INFINITY` = unlimited).
+    pub time_limit: f64,
+    /// Simplex iteration limit per LP solve.
+    pub simplex_iteration_limit: usize,
+    /// Replacement magnitude for infinite variable bounds.
+    pub infinite_bound: f64,
+    /// Branching variable selection rule.
+    pub branch_rule: BranchRule,
+    /// Node exploration order.
+    pub node_order: NodeOrder,
+    /// Whether to run the LP-rounding incumbent heuristic at each node.
+    pub rounding_heuristic: bool,
+    /// Refactorize the basis inverse every this many simplex pivots.
+    pub refactor_interval: usize,
+    /// Run presolve reductions before branch and bound.
+    pub presolve: bool,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            integrality_tol: 1e-6,
+            feasibility_tol: 1e-7,
+            relative_gap: 1e-6,
+            absolute_gap: 1e-9,
+            node_limit: 0,
+            time_limit: f64::INFINITY,
+            simplex_iteration_limit: 50_000,
+            infinite_bound: 1e9,
+            branch_rule: BranchRule::default(),
+            node_order: NodeOrder::default(),
+            rounding_heuristic: true,
+            refactor_interval: 128,
+            presolve: true,
+        }
+    }
+}
+
+impl SolverOptions {
+    /// Options with a wall-clock limit, leaving everything else default.
+    pub fn with_time_limit(seconds: f64) -> Self {
+        SolverOptions { time_limit: seconds, ..SolverOptions::default() }
+    }
+
+    /// Sets the node limit, builder-style.
+    pub fn node_limit(mut self, nodes: usize) -> Self {
+        self.node_limit = nodes;
+        self
+    }
+
+    /// Sets the branch rule, builder-style.
+    pub fn branch_rule(mut self, rule: BranchRule) -> Self {
+        self.branch_rule = rule;
+        self
+    }
+
+    /// Sets the node order, builder-style.
+    pub fn node_order(mut self, order: NodeOrder) -> Self {
+        self.node_order = order;
+        self
+    }
+
+    /// Sets the relative MIP gap, builder-style.
+    pub fn relative_gap(mut self, gap: f64) -> Self {
+        self.relative_gap = gap;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_methods_chain() {
+        let o = SolverOptions::with_time_limit(5.0)
+            .node_limit(100)
+            .branch_rule(BranchRule::PseudoCost)
+            .node_order(NodeOrder::BestBound)
+            .relative_gap(1e-3);
+        assert_eq!(o.time_limit, 5.0);
+        assert_eq!(o.node_limit, 100);
+        assert_eq!(o.branch_rule, BranchRule::PseudoCost);
+        assert_eq!(o.node_order, NodeOrder::BestBound);
+        assert_eq!(o.relative_gap, 1e-3);
+    }
+}

@@ -1,0 +1,425 @@
+//! Presolve: model reductions applied before the simplex sees the problem.
+//!
+//! Implemented reductions, iterated to a fixpoint:
+//!
+//! 1. **Singleton rows** — a constraint with one variable becomes a bound.
+//! 2. **Fixed-variable substitution** — variables with `lb = ub` are folded
+//!    into the row activities and removed.
+//! 3. **Activity-based row analysis** — rows whose minimum possible
+//!    activity already satisfies them are dropped; rows whose maximum
+//!    activity cannot reach them prove infeasibility.
+//! 4. **Activity-based bound tightening** — classic interval propagation
+//!    over `≤`/`≥`/`=` rows, with integral rounding for integer variables.
+//!
+//! The reduced model keeps a mapping back to the original variable space so
+//! incumbents can be postsolved.
+
+use crate::error::Result;
+use crate::expr::LinExpr;
+use crate::model::{ConstraintSense, Model, VarId, VarKind};
+
+/// Outcome of presolving a model.
+#[derive(Debug)]
+pub enum Presolved {
+    /// The model was proven infeasible during reduction.
+    Infeasible,
+    /// A reduced model plus the postsolve mapping.
+    Reduced(Reduction),
+}
+
+/// A reduced model and the data needed to undo the reduction.
+#[derive(Debug)]
+pub struct Reduction {
+    /// The smaller model.
+    pub model: Model,
+    /// For each *original* variable: either its fixed value or its column
+    /// in the reduced model.
+    mapping: Vec<MapEntry>,
+    /// Original variable count.
+    original_vars: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum MapEntry {
+    Fixed(f64),
+    Kept(usize),
+}
+
+impl Reduction {
+    /// Maps a reduced-space assignment back to the original space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reduced.len()` does not match the reduced model.
+    pub fn postsolve(&self, reduced: &[f64]) -> Vec<f64> {
+        assert_eq!(reduced.len(), self.model.num_vars(), "reduced solution length");
+        (0..self.original_vars)
+            .map(|j| match self.mapping[j] {
+                MapEntry::Fixed(v) => v,
+                MapEntry::Kept(col) => reduced[col],
+            })
+            .collect()
+    }
+
+    /// Maps an original-space assignment into the reduced space (for warm
+    /// starts). Returns `None` when the assignment conflicts with a fixing.
+    pub fn presolve_point(&self, original: &[f64], tol: f64) -> Option<Vec<f64>> {
+        if original.len() != self.original_vars {
+            return None;
+        }
+        let mut out = vec![0.0; self.model.num_vars()];
+        for (j, &v) in original.iter().enumerate() {
+            match self.mapping[j] {
+                MapEntry::Fixed(f) => {
+                    if (f - v).abs() > tol {
+                        return None;
+                    }
+                }
+                MapEntry::Kept(col) => out[col] = v,
+            }
+        }
+        Some(out)
+    }
+
+    /// Number of variables eliminated by presolve.
+    pub fn eliminated_vars(&self) -> usize {
+        self.original_vars - self.model.num_vars()
+    }
+}
+
+/// Runs presolve on `model`.
+///
+/// # Errors
+///
+/// Currently infallible beyond propagating internal bound errors (which
+/// cannot occur for bounds produced by tightening).
+pub fn presolve(model: &Model, feasibility_tol: f64) -> Result<Presolved> {
+    let n = model.num_vars();
+    let mut lb: Vec<f64> = (0..n).map(|j| model.bounds(VarId(j)).0).collect();
+    let mut ub: Vec<f64> = (0..n).map(|j| model.bounds(VarId(j)).1).collect();
+    let kinds: Vec<VarKind> = (0..n).map(|j| model.var_kind(VarId(j))).collect();
+    let mut row_alive: Vec<bool> = vec![true; model.num_constraints()];
+    let tol = feasibility_tol;
+
+    // Round integer bounds inward once up front.
+    for j in 0..n {
+        if kinds[j] != VarKind::Continuous {
+            lb[j] = lb[j].ceil();
+            ub[j] = ub[j].floor();
+            if lb[j] > ub[j] {
+                return Ok(Presolved::Infeasible);
+            }
+        }
+    }
+
+    // Fixpoint loop, bounded for safety.
+    for _round in 0..16 {
+        let mut changed = false;
+        for (r, row) in model.rows.iter().enumerate() {
+            if !row_alive[r] {
+                continue;
+            }
+            let rhs = row.rhs - row.expr.constant();
+            let terms: Vec<(usize, f64)> =
+                row.expr.iter().filter(|&(_, c)| c != 0.0).map(|(v, c)| (v.index(), c)).collect();
+
+            if terms.is_empty() {
+                let ok = match row.sense {
+                    ConstraintSense::Le => 0.0 <= rhs + tol,
+                    ConstraintSense::Ge => 0.0 >= rhs - tol,
+                    ConstraintSense::Eq => rhs.abs() <= tol,
+                };
+                if !ok {
+                    return Ok(Presolved::Infeasible);
+                }
+                row_alive[r] = false;
+                changed = true;
+                continue;
+            }
+
+            // Interval activity.
+            let mut act_min = 0.0;
+            let mut act_max = 0.0;
+            for &(j, c) in &terms {
+                if c > 0.0 {
+                    act_min += c * lb[j];
+                    act_max += c * ub[j];
+                } else {
+                    act_min += c * ub[j];
+                    act_max += c * lb[j];
+                }
+            }
+
+            // Feasibility / redundancy.
+            match row.sense {
+                ConstraintSense::Le => {
+                    if act_min > rhs + tol {
+                        return Ok(Presolved::Infeasible);
+                    }
+                    if act_max <= rhs + tol {
+                        row_alive[r] = false;
+                        changed = true;
+                        continue;
+                    }
+                }
+                ConstraintSense::Ge => {
+                    if act_max < rhs - tol {
+                        return Ok(Presolved::Infeasible);
+                    }
+                    if act_min >= rhs - tol {
+                        row_alive[r] = false;
+                        changed = true;
+                        continue;
+                    }
+                }
+                ConstraintSense::Eq => {
+                    if act_min > rhs + tol || act_max < rhs - tol {
+                        return Ok(Presolved::Infeasible);
+                    }
+                }
+            }
+
+            // Bound tightening from row activities: for x_j with coeff c,
+            // ≤-rows imply c·x_j ≤ rhs − act_min_without_j.
+            let tighten_le = row.sense != ConstraintSense::Ge;
+            let tighten_ge = row.sense != ConstraintSense::Le;
+            for &(j, c) in &terms {
+                let (self_min, self_max) = if c > 0.0 {
+                    (c * lb[j], c * ub[j])
+                } else {
+                    (c * ub[j], c * lb[j])
+                };
+                let rest_min = act_min - self_min;
+                let rest_max = act_max - self_max;
+                // Infinite activities make the implied bounds vacuous (and
+                // ∞−∞ would poison the arithmetic with NaN).
+                if tighten_le && rest_min.is_finite() {
+                    // c·x ≤ rhs − rest_min
+                    let cap = rhs - rest_min;
+                    if c > 0.0 {
+                        let mut new_ub = cap / c;
+                        if kinds[j] != VarKind::Continuous {
+                            new_ub = (new_ub + tol).floor();
+                        }
+                        if new_ub < ub[j] - tol {
+                            ub[j] = new_ub;
+                            changed = true;
+                        }
+                    } else {
+                        let mut new_lb = cap / c;
+                        if kinds[j] != VarKind::Continuous {
+                            new_lb = (new_lb - tol).ceil();
+                        }
+                        if new_lb > lb[j] + tol {
+                            lb[j] = new_lb;
+                            changed = true;
+                        }
+                    }
+                }
+                if tighten_ge && rest_max.is_finite() {
+                    // c·x ≥ rhs − rest_max
+                    let floor_ = rhs - rest_max;
+                    if c > 0.0 {
+                        let mut new_lb = floor_ / c;
+                        if kinds[j] != VarKind::Continuous {
+                            new_lb = (new_lb - tol).ceil();
+                        }
+                        if new_lb > lb[j] + tol {
+                            lb[j] = new_lb;
+                            changed = true;
+                        }
+                    } else {
+                        let mut new_ub = floor_ / c;
+                        if kinds[j] != VarKind::Continuous {
+                            new_ub = (new_ub + tol).floor();
+                        }
+                        if new_ub < ub[j] - tol {
+                            ub[j] = new_ub;
+                            changed = true;
+                        }
+                    }
+                }
+                if lb[j] > ub[j] + tol {
+                    return Ok(Presolved::Infeasible);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Build the reduced model: drop fixed variables and dead rows.
+    let fixed: Vec<bool> = (0..n).map(|j| ub[j] - lb[j] <= tol).collect();
+    let mut mapping = Vec::with_capacity(n);
+    let mut reduced = Model::new(format!("{}-presolved", model.name()));
+    for j in 0..n {
+        if fixed[j] {
+            // Snap integers exactly.
+            let v = if kinds[j] != VarKind::Continuous {
+                lb[j].round()
+            } else {
+                (lb[j] + ub[j]) / 2.0
+            };
+            mapping.push(MapEntry::Fixed(v));
+        } else {
+            let col = reduced
+                .add_var(model.var_name(VarId(j)), kinds[j], lb[j], ub[j])
+                .expect("tightened bounds are ordered");
+            reduced.set_branch_priority(col, model.vars[j].branch_priority);
+            mapping.push(MapEntry::Kept(col.index()));
+        }
+    }
+    for (r, row) in model.rows.iter().enumerate() {
+        if !row_alive[r] {
+            continue;
+        }
+        let mut expr = LinExpr::constant_term(row.expr.constant());
+        let mut nontrivial = false;
+        for (v, c) in row.expr.iter() {
+            match mapping[v.index()] {
+                MapEntry::Fixed(val) => {
+                    expr.add_constant(c * val);
+                }
+                MapEntry::Kept(col) => {
+                    expr.add_term(VarId(col), c);
+                    nontrivial = true;
+                }
+            }
+        }
+        if nontrivial {
+            reduced.add_constraint(&row.name, expr, row.sense, row.rhs);
+        } else {
+            // Fully substituted: check it holds.
+            let lhs = expr.constant();
+            let ok = match row.sense {
+                ConstraintSense::Le => lhs <= row.rhs + tol,
+                ConstraintSense::Ge => lhs >= row.rhs - tol,
+                ConstraintSense::Eq => (lhs - row.rhs).abs() <= tol,
+            };
+            if !ok {
+                return Ok(Presolved::Infeasible);
+            }
+        }
+    }
+    let mut objective = LinExpr::constant_term(model.objective().constant());
+    for (v, c) in model.objective().iter() {
+        match mapping[v.index()] {
+            MapEntry::Fixed(val) => {
+                objective.add_constant(c * val);
+            }
+            MapEntry::Kept(col) => {
+                objective.add_term(VarId(col), c);
+            }
+        }
+    }
+    reduced.set_objective(model.direction(), objective);
+
+    Ok(Presolved::Reduced(Reduction { model: reduced, mapping, original_vars: n }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Objective;
+
+    #[test]
+    fn singleton_row_becomes_bound() {
+        // x in [0,10], row x <= 3 → ub tightened, row dropped.
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 0.0, 10.0).unwrap();
+        m.add_le("cap", LinExpr::from(x), 3.0);
+        let Presolved::Reduced(r) = presolve(&m, 1e-9).unwrap() else {
+            panic!("feasible")
+        };
+        assert_eq!(r.model.num_constraints(), 0);
+        assert_eq!(r.model.bounds(crate::VarId(0)).1, 3.0);
+    }
+
+    #[test]
+    fn fixed_variables_are_substituted() {
+        // x fixed at 2; row x + y <= 5 → y <= 3 via activity, y kept.
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 2.0, 2.0).unwrap();
+        let y = m.continuous("y", 0.0, 10.0).unwrap();
+        m.add_le("cap", LinExpr::from(x) + y, 5.0);
+        let Presolved::Reduced(r) = presolve(&m, 1e-9).unwrap() else {
+            panic!("feasible")
+        };
+        assert_eq!(r.eliminated_vars(), 1);
+        // Postsolve round-trip.
+        let full = r.postsolve(&vec![1.5; r.model.num_vars()]);
+        assert_eq!(full[x.index()], 2.0);
+        assert_eq!(full[y.index()], 1.5);
+    }
+
+    #[test]
+    fn infeasible_row_detected() {
+        let mut m = Model::new("t");
+        let x = m.binary("x");
+        m.add_ge("impossible", LinExpr::from(x), 2.0);
+        assert!(matches!(presolve(&m, 1e-9).unwrap(), Presolved::Infeasible));
+    }
+
+    #[test]
+    fn redundant_row_dropped() {
+        let mut m = Model::new("t");
+        let x = m.binary("x");
+        let y = m.binary("y");
+        m.add_le("loose", LinExpr::from(x) + y, 5.0);
+        let Presolved::Reduced(r) = presolve(&m, 1e-9).unwrap() else {
+            panic!("feasible")
+        };
+        assert_eq!(r.model.num_constraints(), 0);
+    }
+
+    #[test]
+    fn integer_rounding_in_tightening() {
+        // 2x <= 5 with x integer → x <= 2.
+        let mut m = Model::new("t");
+        let x = m.integer("x", 0.0, 10.0).unwrap();
+        m.add_le("cap", LinExpr::term(x, 2.0), 5.0);
+        let Presolved::Reduced(r) = presolve(&m, 1e-9).unwrap() else {
+            panic!("feasible")
+        };
+        assert_eq!(r.model.bounds(crate::VarId(0)).1, 2.0);
+    }
+
+    #[test]
+    fn equality_fixes_chain() {
+        // x + y = 2 with x,y binary and x >= 1 → x=1, y=1, everything fixed.
+        let mut m = Model::new("t");
+        let x = m.binary("x");
+        let y = m.binary("y");
+        m.add_eq("sum", LinExpr::from(x) + y, 2.0);
+        let Presolved::Reduced(r) = presolve(&m, 1e-9).unwrap() else {
+            panic!("feasible")
+        };
+        assert_eq!(r.model.num_vars(), 0);
+        let full = r.postsolve(&[]);
+        assert_eq!(full, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn objective_constant_folded() {
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 3.0, 3.0).unwrap();
+        m.set_objective(Objective::Minimize, LinExpr::term(x, 2.0) + 1.0);
+        let Presolved::Reduced(r) = presolve(&m, 1e-9).unwrap() else {
+            panic!("feasible")
+        };
+        assert_eq!(r.model.objective().constant(), 7.0);
+    }
+
+    #[test]
+    fn presolve_point_detects_conflicts() {
+        let mut m = Model::new("t");
+        let _x = m.continuous("x", 2.0, 2.0).unwrap();
+        let _y = m.binary("y");
+        let Presolved::Reduced(r) = presolve(&m, 1e-9).unwrap() else {
+            panic!("feasible")
+        };
+        assert!(r.presolve_point(&[2.0, 1.0], 1e-6).is_some());
+        assert!(r.presolve_point(&[9.0, 1.0], 1e-6).is_none());
+    }
+}

@@ -1,0 +1,604 @@
+//! Bounded-variable dual simplex with a dense basis inverse.
+//!
+//! The solver works exclusively with the *dual* simplex method:
+//!
+//! * The all-slack starting basis is made dual feasible by parking every
+//!   structural variable at the bound matching its cost sign (possible
+//!   because [`StandardForm`] clamps all bounds to finite values).
+//! * Branch-and-bound only changes variable *bounds*, which never disturbs
+//!   dual feasibility of the current basis, so every node after the root is
+//!   warm-started from the parent's basis and usually re-optimizes in a
+//!   handful of pivots.
+//!
+//! Anti-cycling: after a run of degenerate pivots the pricing switches to a
+//! Bland-like smallest-index rule, which guarantees termination.
+
+use crate::error::{MilpError, Result};
+use crate::standard::StandardForm;
+use std::time::Instant;
+
+/// Primal feasibility tolerance (absolute, plus relative to bound size).
+const PTOL: f64 = 1e-7;
+/// Dual feasibility / reduced cost tolerance.
+const DTOL: f64 = 1e-7;
+/// Pivot element magnitude floor.
+const ZTOL: f64 = 1e-9;
+/// Degenerate pivots tolerated before switching to Bland's rule.
+const DEGEN_LIMIT: u32 = 200;
+
+/// Status of a single LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LpStatus {
+    /// Primal and dual feasible: LP optimum reached.
+    Optimal,
+    /// Dual unbounded ⇒ primal infeasible under current bounds.
+    Infeasible,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stat {
+    Basic,
+    Lower,
+    Upper,
+}
+
+/// Re-optimizable bounded-variable dual simplex over a fixed constraint
+/// matrix with mutable bounds.
+#[derive(Debug, Clone)]
+pub(crate) struct Simplex<'a> {
+    sf: &'a StandardForm,
+    /// Working bounds, mutated by branch and bound. Length `n + m`.
+    pub lb: Vec<f64>,
+    pub ub: Vec<f64>,
+    basis: Vec<usize>,
+    stat: Vec<Stat>,
+    /// Dense row-major `m × m` basis inverse.
+    binv: Vec<f64>,
+    /// Values of basic variables by row.
+    xb: Vec<f64>,
+    /// Reduced costs for all columns (basic entries are ~0).
+    d: Vec<f64>,
+    m: usize,
+    ncols: usize,
+    pivots_since_refactor: usize,
+    refactor_interval: usize,
+    iteration_limit: usize,
+    /// Total pivots performed over the lifetime of this state.
+    pub iterations: u64,
+    /// Wall-clock deadline checked periodically inside [`Simplex::optimize`].
+    pub deadline: Option<Instant>,
+    /// Perturbed structural costs used internally to break dual degeneracy
+    /// (length `n`); slacks stay at zero cost.
+    c_pert: Vec<f64>,
+    /// Safe bound correction: `true_optimum ≥ objective() − bound_margin`.
+    bound_margin: f64,
+    /// Scratch buffers reused across pivots.
+    scratch_rho: Vec<f64>,
+    scratch_aq: Vec<f64>,
+    scratch_alpha: Vec<f64>,
+}
+
+impl<'a> Simplex<'a> {
+    /// Creates a dual-feasible initial state (all-slack basis, structural
+    /// variables parked at cost-sign bounds).
+    pub fn new(sf: &'a StandardForm, refactor_interval: usize, iteration_limit: usize) -> Self {
+        let m = sf.m;
+        let ncols = sf.n + sf.m;
+        // Deterministic tiny cost perturbation: the min–max style models this
+        // solver targets are massively dual degenerate, which stalls the
+        // dual simplex for thousands of pivots per node. Perturbing each
+        // structural cost by ~1e-9 removes the degenerate faces; the exact
+        // bound is recovered by subtracting `bound_margin` (the maximum
+        // objective shift the perturbation can cause over the box).
+        let mut c_pert = sf.c.clone();
+        let mut bound_margin = 0.0;
+        let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
+        for j in 0..sf.n {
+            let range = sf.ub[j] - sf.lb[j];
+            if range.is_finite() && range <= 1e6 {
+                // xorshift64* keeps this reproducible without an RNG dep.
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let unit = ((state >> 11) as f64 / (1u64 << 53) as f64) + 0.5; // [0.5, 1.5)
+                let delta = 1e-9 * unit;
+                c_pert[j] += delta;
+                bound_margin += delta * range;
+            }
+        }
+        let mut stat = vec![Stat::Lower; ncols];
+        let mut d = vec![0.0; ncols];
+        for j in 0..sf.n {
+            d[j] = c_pert[j];
+            stat[j] = if c_pert[j] >= 0.0 { Stat::Lower } else { Stat::Upper };
+        }
+        let mut basis = Vec::with_capacity(m);
+        for r in 0..m {
+            basis.push(sf.n + r);
+            stat[sf.n + r] = Stat::Basic;
+        }
+        let mut binv = vec![0.0; m * m];
+        for r in 0..m {
+            binv[r * m + r] = 1.0;
+        }
+        let mut s = Simplex {
+            lb: sf.lb.clone(),
+            ub: sf.ub.clone(),
+            sf,
+            basis,
+            stat,
+            binv,
+            xb: vec![0.0; m],
+            d,
+            m,
+            ncols,
+            pivots_since_refactor: 0,
+            refactor_interval: refactor_interval.max(8),
+            iteration_limit,
+            iterations: 0,
+            deadline: None,
+            c_pert,
+            bound_margin,
+            scratch_rho: vec![0.0; m],
+            scratch_aq: vec![0.0; m],
+            scratch_alpha: vec![0.0; ncols],
+        };
+        s.recompute_xb();
+        s
+    }
+
+    #[inline]
+    fn nonbasic_value(&self, j: usize) -> f64 {
+        match self.stat[j] {
+            Stat::Lower => self.lb[j],
+            Stat::Upper => self.ub[j],
+            Stat::Basic => unreachable!("basic variable has no bound value"),
+        }
+    }
+
+    /// Internal (perturbed) cost of column `j`.
+    #[inline]
+    fn pcost(&self, j: usize) -> f64 {
+        if j < self.sf.n {
+            self.c_pert[j]
+        } else {
+            0.0
+        }
+    }
+
+    /// The safe correction to subtract from [`Simplex::objective`] when
+    /// using it as a lower bound for the *unperturbed* LP.
+    pub fn bound_margin(&self) -> f64 {
+        self.bound_margin
+    }
+
+    #[inline]
+    fn is_fixed(&self, j: usize) -> bool {
+        self.ub[j] - self.lb[j] <= ZTOL
+    }
+
+    /// Recomputes `xb = B⁻¹ (b − N x_N)` from scratch.
+    fn recompute_xb(&mut self) {
+        let m = self.m;
+        let mut bt = self.sf.b.clone();
+        for j in 0..self.ncols {
+            if self.stat[j] != Stat::Basic {
+                let v = self.nonbasic_value(j);
+                if v != 0.0 {
+                    self.sf.column(j).axpy(-v, &mut bt);
+                }
+            }
+        }
+        for i in 0..m {
+            let row = &self.binv[i * m..(i + 1) * m];
+            self.xb[i] = row.iter().zip(&bt).map(|(a, b)| a * b).sum();
+        }
+    }
+
+    /// Rebuilds `binv` by Gauss-Jordan inversion of the current basis matrix
+    /// and recomputes reduced costs and basic values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MilpError::SingularBasis`] if the basis cannot be inverted;
+    /// the caller may fall back to [`Simplex::reset_to_slack_basis`].
+    fn refactorize(&mut self) -> Result<()> {
+        let m = self.m;
+        // Build dense B column by column.
+        let mut bmat = vec![0.0; m * m];
+        for (r, &j) in self.basis.iter().enumerate() {
+            match self.sf.column(j) {
+                crate::standard::ColumnRef::Structural(nz) => {
+                    for &(row, v) in nz {
+                        bmat[row * m + r] = v;
+                    }
+                }
+                crate::standard::ColumnRef::Slack(row) => bmat[row * m + r] = 1.0,
+            }
+        }
+        // Gauss-Jordan with partial pivoting on the augmented [B | I].
+        let mut inv = vec![0.0; m * m];
+        for r in 0..m {
+            inv[r * m + r] = 1.0;
+        }
+        for col in 0..m {
+            let mut piv_row = col;
+            let mut piv_val = bmat[col * m + col].abs();
+            for r in (col + 1)..m {
+                let v = bmat[r * m + col].abs();
+                if v > piv_val {
+                    piv_val = v;
+                    piv_row = r;
+                }
+            }
+            if piv_val < 1e-11 {
+                return Err(MilpError::SingularBasis);
+            }
+            if piv_row != col {
+                for k in 0..m {
+                    bmat.swap(piv_row * m + k, col * m + k);
+                    inv.swap(piv_row * m + k, col * m + k);
+                }
+            }
+            let piv = bmat[col * m + col];
+            let inv_piv = 1.0 / piv;
+            for k in 0..m {
+                bmat[col * m + k] *= inv_piv;
+                inv[col * m + k] *= inv_piv;
+            }
+            for r in 0..m {
+                if r != col {
+                    let f = bmat[r * m + col];
+                    if f != 0.0 {
+                        for k in 0..m {
+                            bmat[r * m + k] -= f * bmat[col * m + k];
+                            inv[r * m + k] -= f * inv[col * m + k];
+                        }
+                    }
+                }
+            }
+        }
+        self.binv = inv;
+        self.pivots_since_refactor = 0;
+        self.recompute_reduced_costs();
+        self.recompute_xb();
+        Ok(())
+    }
+
+    /// Recomputes `d = c − cᵦ B⁻¹ A` from scratch.
+    fn recompute_reduced_costs(&mut self) {
+        let m = self.m;
+        // y = cB' * binv  (row vector)
+        let mut y = vec![0.0; m];
+        for (r, &j) in self.basis.iter().enumerate() {
+            let cj = self.pcost(j);
+            if cj != 0.0 {
+                for k in 0..m {
+                    y[k] += cj * self.binv[r * m + k];
+                }
+            }
+        }
+        for j in 0..self.ncols {
+            if self.stat[j] == Stat::Basic {
+                self.d[j] = 0.0;
+            } else {
+                self.d[j] = self.pcost(j) - self.sf.column(j).dot(&y);
+            }
+        }
+    }
+
+    /// Discards the basis entirely and restarts from the dual-feasible
+    /// all-slack basis. Used as a last-resort numerical recovery.
+    pub fn reset_to_slack_basis(&mut self) {
+        let m = self.m;
+        for j in 0..self.ncols {
+            self.stat[j] = if j < self.sf.n {
+                if self.c_pert[j] >= 0.0 {
+                    Stat::Lower
+                } else {
+                    Stat::Upper
+                }
+            } else {
+                Stat::Basic
+            };
+            self.d[j] = self.pcost(j);
+        }
+        for r in 0..m {
+            self.basis[r] = self.sf.n + r;
+        }
+        self.binv.iter_mut().for_each(|v| *v = 0.0);
+        for r in 0..m {
+            self.binv[r * m + r] = 1.0;
+        }
+        self.pivots_since_refactor = 0;
+        self.make_dual_feasible();
+        self.recompute_xb();
+    }
+
+    /// Flips nonbasic variables whose reduced cost sign disagrees with their
+    /// bound status. Keeps the state dual feasible after cost drift.
+    fn make_dual_feasible(&mut self) {
+        for j in 0..self.ncols {
+            if self.stat[j] == Stat::Basic || self.is_fixed(j) {
+                continue;
+            }
+            if self.stat[j] == Stat::Lower && self.d[j] < -DTOL {
+                self.stat[j] = Stat::Upper;
+            } else if self.stat[j] == Stat::Upper && self.d[j] > DTOL {
+                self.stat[j] = Stat::Lower;
+            }
+        }
+    }
+
+    /// Tightens/relaxes the working bounds of column `j` **without**
+    /// refreshing basic values; call [`Simplex::refresh`] after a batch of
+    /// bound edits and before [`Simplex::optimize`]. Dual feasibility is
+    /// preserved automatically.
+    pub fn set_bounds(&mut self, j: usize, lb: f64, ub: f64) {
+        self.lb[j] = lb;
+        self.ub[j] = ub;
+        if self.stat[j] != Stat::Basic {
+            // Keep the nonbasic value inside the new interval and the bound
+            // status consistent with the reduced-cost sign.
+            if self.stat[j] == Stat::Lower && self.d[j] < -DTOL && !self.is_fixed(j) {
+                self.stat[j] = Stat::Upper;
+            } else if self.stat[j] == Stat::Upper && self.d[j] > DTOL && !self.is_fixed(j) {
+                self.stat[j] = Stat::Lower;
+            }
+        }
+    }
+
+    /// Recomputes basic values after one or more [`Simplex::set_bounds`]
+    /// edits.
+    pub fn refresh(&mut self) {
+        self.recompute_xb();
+    }
+
+    /// Current primal value of column `j`.
+    #[allow(dead_code)] // diagnostic accessor, exercised in tests
+    pub fn value(&self, j: usize) -> f64 {
+        match self.stat[j] {
+            Stat::Basic => {
+                let r = self.basis.iter().position(|&b| b == j).expect("basic column in basis");
+                self.xb[r]
+            }
+            _ => self.nonbasic_value(j),
+        }
+    }
+
+    /// Extracts the full primal vector of length `n + m`.
+    pub fn values(&self) -> Vec<f64> {
+        let mut x = vec![0.0; self.ncols];
+        for j in 0..self.ncols {
+            if self.stat[j] != Stat::Basic {
+                x[j] = self.nonbasic_value(j);
+            }
+        }
+        for (r, &j) in self.basis.iter().enumerate() {
+            x[j] = self.xb[r];
+        }
+        x
+    }
+
+    /// Internal (minimization) objective of the current point.
+    pub fn objective(&self) -> f64 {
+        let mut obj = 0.0;
+        for j in 0..self.ncols {
+            let x = if self.stat[j] == Stat::Basic { continue } else { self.nonbasic_value(j) };
+            obj += self.sf.cost(j) * x;
+        }
+        for (r, &j) in self.basis.iter().enumerate() {
+            obj += self.sf.cost(j) * self.xb[r];
+        }
+        obj
+    }
+
+    /// Runs the dual simplex to primal feasibility (= LP optimality, since
+    /// dual feasibility is maintained throughout).
+    ///
+    /// # Errors
+    ///
+    /// * [`MilpError::IterationLimit`] if the per-LP pivot limit is hit.
+    /// * [`MilpError::SingularBasis`] if refactorization fails repeatedly.
+    pub fn optimize(&mut self) -> Result<LpStatus> {
+        let mut degenerate_run: u32 = 0;
+        let mut local_iters: usize = 0;
+        // After this many pivots without finishing, switch to Bland's rule
+        // permanently: slow but guaranteed to terminate.
+        let stall_limit = (4 * self.m).max(2_000);
+        loop {
+            if local_iters >= self.iteration_limit {
+                return Err(MilpError::IterationLimit { limit: self.iteration_limit });
+            }
+            if local_iters % 128 == 0 {
+                if let Some(deadline) = self.deadline {
+                    if Instant::now() >= deadline {
+                        return Err(MilpError::IterationLimit { limit: local_iters });
+                    }
+                }
+            }
+            // --- Leaving variable: most violated basic value. ---
+            let mut r_best = usize::MAX;
+            let mut viol_best = 0.0;
+            let mut below = false;
+            for r in 0..self.m {
+                let j = self.basis[r];
+                let x = self.xb[r];
+                let tol_lo = PTOL * (1.0 + self.lb[j].abs());
+                let tol_hi = PTOL * (1.0 + self.ub[j].abs());
+                if x < self.lb[j] - tol_lo {
+                    let v = self.lb[j] - x;
+                    if v > viol_best {
+                        viol_best = v;
+                        r_best = r;
+                        below = true;
+                    }
+                } else if x > self.ub[j] + tol_hi {
+                    let v = x - self.ub[j];
+                    if v > viol_best {
+                        viol_best = v;
+                        r_best = r;
+                        below = false;
+                    }
+                }
+            }
+            if r_best == usize::MAX {
+                return Ok(LpStatus::Optimal);
+            }
+            let r = r_best;
+            let p = self.basis[r];
+            let sigma = if below { -1.0 } else { 1.0 };
+
+            // --- rho = row r of B⁻¹; alpha~_j = σ · rho·A_j. ---
+            self.scratch_rho.copy_from_slice(&self.binv[r * self.m..(r + 1) * self.m]);
+            let bland = degenerate_run > DEGEN_LIMIT || local_iters > stall_limit;
+            let mut q = usize::MAX;
+            let mut best_ratio = f64::INFINITY;
+            for j in 0..self.ncols {
+                if self.stat[j] == Stat::Basic || self.is_fixed(j) {
+                    self.scratch_alpha[j] = 0.0;
+                    continue;
+                }
+                let a = sigma * self.sf.column(j).dot(&self.scratch_rho);
+                self.scratch_alpha[j] = a;
+                let eligible = match self.stat[j] {
+                    Stat::Lower => a > ZTOL,
+                    Stat::Upper => a < -ZTOL,
+                    Stat::Basic => false,
+                };
+                if !eligible {
+                    continue;
+                }
+                let ratio = (self.d[j] / a).max(0.0);
+                let better = if bland {
+                    // Smallest index among (near-)minimal ratios.
+                    ratio < best_ratio - 1e-12 || (ratio < best_ratio + 1e-12 && j < q)
+                } else {
+                    // Min ratio; break ties toward larger |pivot| for
+                    // numerical stability.
+                    ratio < best_ratio - 1e-12
+                        || (ratio < best_ratio + 1e-12
+                            && (q == usize::MAX
+                                || a.abs() > self.scratch_alpha[q].abs()))
+                };
+                if better {
+                    best_ratio = ratio;
+                    q = j;
+                }
+            }
+            if q == usize::MAX {
+                return Ok(LpStatus::Infeasible);
+            }
+
+            // --- FTRAN: aq = B⁻¹ A_q. ---
+            let m = self.m;
+            self.scratch_aq.iter_mut().for_each(|v| *v = 0.0);
+            match self.sf.column(q) {
+                crate::standard::ColumnRef::Structural(nz) => {
+                    for &(row, v) in nz {
+                        for i in 0..m {
+                            self.scratch_aq[i] += self.binv[i * m + row] * v;
+                        }
+                    }
+                }
+                crate::standard::ColumnRef::Slack(row) => {
+                    for i in 0..m {
+                        self.scratch_aq[i] = self.binv[i * m + row];
+                    }
+                }
+            }
+            let alpha_q_true = self.scratch_aq[r];
+            if alpha_q_true.abs() < ZTOL {
+                // The alpha row disagrees with the FTRAN column: numerical
+                // drift. Refactorize and retry the whole iteration.
+                self.refactorize()?;
+                self.make_dual_feasible();
+                self.recompute_xb();
+                local_iters += 1;
+                continue;
+            }
+
+            // --- Pivot. ---
+            let target = if below { self.lb[p] } else { self.ub[p] };
+            let t = (self.xb[r] - target) / alpha_q_true;
+            let theta = best_ratio; // d_q / alpha~_q, ≥ 0.
+            if theta <= 1e-12 && t.abs() <= 1e-12 {
+                degenerate_run += 1;
+            } else {
+                degenerate_run = 0;
+            }
+
+            // Reduced costs: d_j ← d_j − θ·alpha~_j; d_p = −σθ; d_q = 0.
+            if theta != 0.0 {
+                for j in 0..self.ncols {
+                    if self.stat[j] != Stat::Basic && !self.is_fixed(j) {
+                        self.d[j] -= theta * self.scratch_alpha[j];
+                    } else if self.is_fixed(j) && self.stat[j] != Stat::Basic {
+                        // Fixed columns still need consistent d for later
+                        // bound relaxations (branch backtracking).
+                        let a = sigma * self.sf.column(j).dot(&self.scratch_rho);
+                        self.d[j] -= theta * a;
+                    }
+                }
+            }
+            self.d[p] = -sigma * theta;
+            self.d[q] = 0.0;
+
+            // Basic values: x_B ← x_B − t·aq, entering takes row r.
+            let x_q_new = self.nonbasic_value(q) + t;
+            for i in 0..m {
+                if i != r {
+                    self.xb[i] -= t * self.scratch_aq[i];
+                }
+            }
+            self.xb[r] = x_q_new;
+
+            // Basis inverse pivot on (r, q).
+            let inv_piv = 1.0 / alpha_q_true;
+            for k in 0..m {
+                self.binv[r * m + k] *= inv_piv;
+            }
+            for i in 0..m {
+                if i != r {
+                    let f = self.scratch_aq[i];
+                    if f != 0.0 {
+                        for k in 0..m {
+                            self.binv[i * m + k] -= f * self.binv[r * m + k];
+                        }
+                    }
+                }
+            }
+
+            self.basis[r] = q;
+            self.stat[q] = Stat::Basic;
+            self.stat[p] = if below { Stat::Lower } else { Stat::Upper };
+
+            self.iterations += 1;
+            local_iters += 1;
+            self.pivots_since_refactor += 1;
+            if self.pivots_since_refactor >= self.refactor_interval {
+                match self.refactorize() {
+                    Ok(()) => {
+                        self.make_dual_feasible();
+                        self.recompute_xb();
+                    }
+                    Err(_) => {
+                        self.reset_to_slack_basis();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Maximum primal bound violation over basic variables (diagnostics).
+    #[allow(dead_code)] // diagnostic accessor, exercised in tests
+    pub fn primal_infeasibility(&self) -> f64 {
+        let mut worst = 0.0_f64;
+        for r in 0..self.m {
+            let j = self.basis[r];
+            let x = self.xb[r];
+            worst = worst.max(self.lb[j] - x).max(x - self.ub[j]);
+        }
+        worst.max(0.0)
+    }
+}

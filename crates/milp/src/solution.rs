@@ -1,0 +1,141 @@
+//! Solve results.
+
+use crate::model::VarId;
+
+/// Termination status of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolveStatus {
+    /// Proved optimal within the configured gap.
+    Optimal,
+    /// Proved infeasible.
+    Infeasible,
+    /// Proved unbounded (an improving ray exists).
+    Unbounded,
+    /// Stopped at a limit with at least one feasible incumbent.
+    Feasible,
+    /// Stopped at a limit without any incumbent.
+    Unknown,
+}
+
+impl SolveStatus {
+    /// Whether a usable assignment is available.
+    pub fn has_solution(self) -> bool {
+        matches!(self, SolveStatus::Optimal | SolveStatus::Feasible)
+    }
+}
+
+/// Result of solving a [`Model`](crate::Model).
+#[derive(Debug, Clone)]
+pub struct Solution {
+    pub(crate) status: SolveStatus,
+    pub(crate) values: Vec<f64>,
+    pub(crate) objective: f64,
+    pub(crate) best_bound: f64,
+    pub(crate) nodes: u64,
+    pub(crate) simplex_iterations: u64,
+    pub(crate) solve_seconds: f64,
+}
+
+impl Solution {
+    /// The termination status.
+    pub fn status(&self) -> SolveStatus {
+        self.status
+    }
+
+    /// The objective value of the incumbent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no solution is available; check
+    /// [`SolveStatus::has_solution`] first.
+    pub fn objective_value(&self) -> f64 {
+        assert!(self.status.has_solution(), "no incumbent: status {:?}", self.status);
+        self.objective
+    }
+
+    /// The incumbent value of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no solution is available or `var` is out of range.
+    pub fn value(&self, var: VarId) -> f64 {
+        assert!(self.status.has_solution(), "no incumbent: status {:?}", self.status);
+        self.values[var.index()]
+    }
+
+    /// The full assignment indexed by raw variable id.
+    ///
+    /// Empty when no incumbent exists.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The best proven bound on the optimum (lower bound when minimizing,
+    /// upper bound when maximizing). Equal to the objective when optimal.
+    pub fn best_bound(&self) -> f64 {
+        self.best_bound
+    }
+
+    /// Relative gap `|obj − bound| / max(1, |obj|)`; zero when optimal,
+    /// infinite when no incumbent exists.
+    pub fn gap(&self) -> f64 {
+        if !self.status.has_solution() {
+            return f64::INFINITY;
+        }
+        (self.objective - self.best_bound).abs() / self.objective.abs().max(1.0)
+    }
+
+    /// Number of branch-and-bound nodes processed.
+    pub fn node_count(&self) -> u64 {
+        self.nodes
+    }
+
+    /// Total simplex pivots across all LP solves.
+    pub fn simplex_iterations(&self) -> u64 {
+        self.simplex_iterations
+    }
+
+    /// Wall-clock time of the solve in seconds.
+    pub fn solve_seconds(&self) -> f64 {
+        self.solve_seconds
+    }
+
+    /// Rounds `value(var)` to the nearest integer as `i64`; convenient for
+    /// binary/integer variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no solution is available.
+    pub fn int_value(&self, var: VarId) -> i64 {
+        self.value(var).round() as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_has_solution() {
+        assert!(SolveStatus::Optimal.has_solution());
+        assert!(SolveStatus::Feasible.has_solution());
+        assert!(!SolveStatus::Infeasible.has_solution());
+        assert!(!SolveStatus::Unbounded.has_solution());
+        assert!(!SolveStatus::Unknown.has_solution());
+    }
+
+    #[test]
+    #[should_panic(expected = "no incumbent")]
+    fn objective_panics_without_solution() {
+        let s = Solution {
+            status: SolveStatus::Infeasible,
+            values: vec![],
+            objective: 0.0,
+            best_bound: 0.0,
+            nodes: 0,
+            simplex_iterations: 0,
+            solve_seconds: 0.0,
+        };
+        let _ = s.objective_value();
+    }
+}

@@ -1,0 +1,208 @@
+//! Conversion of a [`Model`] into the solver's standard computational form.
+//!
+//! Standard form: minimize `cᵀx` subject to `A x + s = b`, `lb ≤ (x, s) ≤ ub`,
+//! where one slack `s_r` is appended per row and the row sense is encoded in
+//! the slack's bounds:
+//!
+//! * `≤` rows: `s ∈ [0, +∞)`
+//! * `≥` rows: `s ∈ (−∞, 0]`
+//! * `=` rows: `s ∈ [0, 0]`
+//!
+//! Maximization is handled by negating the cost vector; infinite bounds are
+//! clamped to `±options.infinite_bound` so the bounded-variable simplex can
+//! always start from a dual-feasible slack basis.
+
+use crate::model::{ConstraintSense, Model, Objective};
+use crate::options::SolverOptions;
+
+/// A sparse column: `(row, coefficient)` pairs sorted by row.
+pub(crate) type SparseCol = Vec<(usize, f64)>;
+
+/// Standard-form data shared by the simplex and branch-and-bound.
+#[derive(Debug, Clone)]
+pub(crate) struct StandardForm {
+    /// Structural columns (length `n`).
+    pub cols: Vec<SparseCol>,
+    /// Right-hand sides (length `m`).
+    pub b: Vec<f64>,
+    /// Structural costs (length `n`), already negated for maximization.
+    pub c: Vec<f64>,
+    /// Bounds for all `n + m` columns (structural then slack).
+    pub lb: Vec<f64>,
+    /// Upper bounds for all `n + m` columns.
+    pub ub: Vec<f64>,
+    /// Which original bounds were infinite before clamping (for unbounded
+    /// detection), length `n + m`.
+    pub clamped: Vec<bool>,
+    /// Number of structural variables.
+    pub n: usize,
+    /// Number of rows.
+    pub m: usize,
+    /// Constant objective offset from the model's objective expression.
+    pub obj_offset: f64,
+    /// `true` when the model maximizes (results must be negated back).
+    pub maximize: bool,
+}
+
+impl StandardForm {
+    /// Builds the standard form of `model`.
+    pub fn from_model(model: &Model, options: &SolverOptions) -> Self {
+        let n = model.num_vars();
+        let m = model.num_constraints();
+        let big = options.infinite_bound;
+
+        let mut cols: Vec<SparseCol> = vec![Vec::new(); n];
+        let mut b = Vec::with_capacity(m);
+        let mut lb = Vec::with_capacity(n + m);
+        let mut ub = Vec::with_capacity(n + m);
+        let mut clamped = vec![false; n + m];
+
+        for (j, v) in model.vars.iter().enumerate() {
+            let mut l = v.lb;
+            let mut u = v.ub;
+            if l.is_infinite() || l < -big {
+                l = -big;
+                clamped[j] = true;
+            }
+            if u.is_infinite() || u > big {
+                u = big;
+                clamped[j] = true;
+            }
+            lb.push(l);
+            ub.push(u);
+        }
+
+        for (r, row) in model.rows.iter().enumerate() {
+            // Move the expression constant to the right-hand side.
+            let rhs = row.rhs - row.expr.constant();
+            b.push(rhs);
+            for (var, coeff) in row.expr.iter() {
+                if coeff != 0.0 {
+                    cols[var.index()].push((r, coeff));
+                }
+            }
+            let (sl, su) = match row.sense {
+                ConstraintSense::Le => (0.0, big),
+                ConstraintSense::Ge => (-big, 0.0),
+                ConstraintSense::Eq => (0.0, 0.0),
+            };
+            if row.sense != ConstraintSense::Eq {
+                clamped[n + r] = true;
+            }
+            lb.push(sl);
+            ub.push(su);
+        }
+
+        let maximize = model.direction() == Objective::Maximize;
+        let sign = if maximize { -1.0 } else { 1.0 };
+        let mut c = vec![0.0; n];
+        for (var, coeff) in model.objective().iter() {
+            c[var.index()] = sign * coeff;
+        }
+        let obj_offset = model.objective().constant();
+
+        StandardForm { cols, b, c, lb, ub, clamped, n, m, obj_offset, maximize }
+    }
+
+    /// Converts an internal (minimization) objective value back to the
+    /// model's orientation, including the constant offset.
+    pub fn user_objective(&self, internal: f64) -> f64 {
+        let signed = if self.maximize { -internal } else { internal };
+        signed + self.obj_offset
+    }
+
+    /// The column for index `j`: structural columns come from `cols`, slack
+    /// column `n + r` is the unit vector `e_r`.
+    pub fn column(&self, j: usize) -> ColumnRef<'_> {
+        if j < self.n {
+            ColumnRef::Structural(&self.cols[j])
+        } else {
+            ColumnRef::Slack(j - self.n)
+        }
+    }
+
+    /// Cost of column `j` (slacks cost zero).
+    pub fn cost(&self, j: usize) -> f64 {
+        if j < self.n {
+            self.c[j]
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Borrowed view of a standard-form column.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ColumnRef<'a> {
+    /// A structural column with explicit nonzeros.
+    Structural(&'a [(usize, f64)]),
+    /// The slack unit column `e_r`.
+    Slack(usize),
+}
+
+impl ColumnRef<'_> {
+    /// Sparse dot product with a dense vector.
+    #[inline]
+    pub fn dot(&self, dense: &[f64]) -> f64 {
+        match self {
+            ColumnRef::Structural(nz) => nz.iter().map(|&(r, v)| dense[r] * v).sum(),
+            ColumnRef::Slack(r) => dense[*r],
+        }
+    }
+
+    /// Adds `scale ·
+    /// column` into `out`.
+    #[inline]
+    pub fn axpy(&self, scale: f64, out: &mut [f64]) {
+        match self {
+            ColumnRef::Structural(nz) => {
+                for &(r, v) in *nz {
+                    out[r] += scale * v;
+                }
+            }
+            ColumnRef::Slack(r) => out[*r] += scale,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinExpr, Model};
+
+    #[test]
+    fn slack_bounds_encode_sense() {
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 0.0, 10.0).unwrap();
+        m.add_le("le", LinExpr::from(x), 5.0);
+        m.add_ge("ge", LinExpr::from(x), 1.0);
+        m.add_eq("eq", LinExpr::from(x), 2.0);
+        let sf = StandardForm::from_model(&m, &SolverOptions::default());
+        assert_eq!(sf.m, 3);
+        assert_eq!(sf.lb[1], 0.0); // ≤ slack
+        assert!(sf.ub[1] > 1e8);
+        assert!(sf.lb[2] < -1e8); // ≥ slack
+        assert_eq!(sf.ub[2], 0.0);
+        assert_eq!((sf.lb[3], sf.ub[3]), (0.0, 0.0)); // = slack
+    }
+
+    #[test]
+    fn maximize_negates_costs() {
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 0.0, 1.0).unwrap();
+        m.set_objective(crate::Objective::Maximize, LinExpr::term(x, 3.0) + 2.0);
+        let sf = StandardForm::from_model(&m, &SolverOptions::default());
+        assert_eq!(sf.c[0], -3.0);
+        // internal optimum -3 maps back to user objective 3 + offset 2.
+        assert_eq!(sf.user_objective(-3.0), 5.0);
+    }
+
+    #[test]
+    fn expression_constant_moves_to_rhs() {
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 0.0, 10.0).unwrap();
+        m.add_le("r", LinExpr::from(x) + 1.5, 5.0);
+        let sf = StandardForm::from_model(&m, &SolverOptions::default());
+        assert_eq!(sf.b[0], 3.5);
+    }
+}

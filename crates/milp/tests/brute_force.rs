@@ -1,0 +1,187 @@
+//! Cross-validation of the MILP solver against exhaustive enumeration.
+//!
+//! For random all-binary models we enumerate every 0/1 assignment, compute
+//! the true optimum, and require the solver to (a) agree on feasibility and
+//! (b) match the optimal objective exactly. A branch-and-bound that prunes
+//! incorrectly, or a simplex that returns a wrong LP bound, fails here with
+//! high probability.
+
+use ndp_milp::{BranchRule, ConstraintSense, LinExpr, Model, NodeOrder, Objective, SolverOptions,
+    SolveStatus};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomMilp {
+    n: usize,
+    obj: Vec<i32>,
+    maximize: bool,
+    rows: Vec<(Vec<i32>, u8, i32)>, // coeffs, sense code, rhs
+}
+
+fn build(milp: &RandomMilp) -> (Model, Vec<ndp_milp::VarId>) {
+    let mut m = Model::new("random");
+    let vars: Vec<_> = (0..milp.n).map(|i| m.binary(format!("x{i}"))).collect();
+    for (r, (coeffs, sense, rhs)) in milp.rows.iter().enumerate() {
+        let mut e = LinExpr::new();
+        for (j, &c) in coeffs.iter().enumerate() {
+            if c != 0 {
+                e.add_term(vars[j], c as f64);
+            }
+        }
+        let sense = match sense {
+            0 => ConstraintSense::Le,
+            1 => ConstraintSense::Ge,
+            _ => ConstraintSense::Eq,
+        };
+        m.add_constraint(format!("r{r}"), e, sense, *rhs as f64);
+    }
+    let mut obj = LinExpr::new();
+    for (j, &c) in milp.obj.iter().enumerate() {
+        obj.add_term(vars[j], c as f64);
+    }
+    let dir = if milp.maximize { Objective::Maximize } else { Objective::Minimize };
+    m.set_objective(dir, obj);
+    (m, vars)
+}
+
+/// Enumerates all 2^n assignments; returns the best objective if feasible.
+fn brute_force(milp: &RandomMilp) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    for mask in 0u32..(1 << milp.n) {
+        let x: Vec<f64> = (0..milp.n).map(|j| ((mask >> j) & 1) as f64).collect();
+        let feasible = milp.rows.iter().all(|(coeffs, sense, rhs)| {
+            let lhs: f64 = coeffs.iter().zip(&x).map(|(&c, &v)| c as f64 * v).sum();
+            match sense {
+                0 => lhs <= *rhs as f64 + 1e-9,
+                1 => lhs >= *rhs as f64 - 1e-9,
+                _ => (lhs - *rhs as f64).abs() <= 1e-9,
+            }
+        });
+        if !feasible {
+            continue;
+        }
+        let obj: f64 = milp.obj.iter().zip(&x).map(|(&c, &v)| c as f64 * v).sum();
+        best = Some(match best {
+            None => obj,
+            Some(b) => {
+                if milp.maximize {
+                    b.max(obj)
+                } else {
+                    b.min(obj)
+                }
+            }
+        });
+    }
+    best
+}
+
+fn random_milp() -> impl Strategy<Value = RandomMilp> {
+    (2usize..=9, any::<bool>()).prop_flat_map(|(n, maximize)| {
+        let obj = proptest::collection::vec(-9i32..=9, n);
+        let row = (
+            proptest::collection::vec(-5i32..=5, n),
+            0u8..=2,
+            -8i32..=12,
+        );
+        let rows = proptest::collection::vec(row, 1..=5);
+        (obj, rows).prop_map(move |(obj, rows)| RandomMilp { n, obj, maximize, rows })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn solver_matches_enumeration(milp in random_milp()) {
+        let truth = brute_force(&milp);
+        let (m, _) = build(&milp);
+        let sol = m.solve().expect("solver must not error");
+        match truth {
+            None => prop_assert_eq!(sol.status(), SolveStatus::Infeasible),
+            Some(best) => {
+                prop_assert_eq!(sol.status(), SolveStatus::Optimal);
+                prop_assert!((sol.objective_value() - best).abs() < 1e-6,
+                    "solver {} vs brute force {}", sol.objective_value(), best);
+                // The reported incumbent itself must be feasible.
+                prop_assert!(m.is_feasible(sol.values(), 1e-6));
+            }
+        }
+    }
+
+    #[test]
+    fn best_bound_order_matches_enumeration(milp in random_milp()) {
+        let truth = brute_force(&milp);
+        let (m, _) = build(&milp);
+        let opts = SolverOptions::default()
+            .node_order(NodeOrder::BestBound)
+            .branch_rule(BranchRule::PseudoCost);
+        let sol = m.solve_with(&opts).expect("solver must not error");
+        match truth {
+            None => prop_assert_eq!(sol.status(), SolveStatus::Infeasible),
+            Some(best) => {
+                prop_assert_eq!(sol.status(), SolveStatus::Optimal);
+                prop_assert!((sol.objective_value() - best).abs() < 1e-6,
+                    "solver {} vs brute force {}", sol.objective_value(), best);
+            }
+        }
+    }
+
+    #[test]
+    fn gap_is_closed_at_optimality(milp in random_milp()) {
+        let (m, _) = build(&milp);
+        let sol = m.solve().expect("solver must not error");
+        if sol.status() == SolveStatus::Optimal {
+            prop_assert!(sol.gap() <= 1e-5, "gap {} too large", sol.gap());
+        }
+    }
+}
+
+#[test]
+fn mixed_integer_continuous_against_hand_solution() {
+    // max 3x + 2y + w : x,y binary, w in [0, 10] continuous
+    //   2x + y + 0.5w <= 4
+    //   w <= 6x  (w only usable when x chosen)
+    let mut m = Model::new("mixed");
+    let x = m.binary("x");
+    let y = m.binary("y");
+    let w = m.continuous("w", 0.0, 10.0).unwrap();
+    m.add_le(
+        "cap",
+        LinExpr::term(x, 2.0) + LinExpr::from(y) + LinExpr::term(w, 0.5),
+        4.0,
+    );
+    m.add_le("link", LinExpr::from(w) - LinExpr::term(x, 6.0), 0.0);
+    m.set_objective(
+        Objective::Maximize,
+        LinExpr::term(x, 3.0) + LinExpr::term(y, 2.0) + LinExpr::from(w),
+    );
+    let s = m.solve().unwrap();
+    // x=1,y=1: slack for w is 4-3=1 -> w=2 (0.5w<=1) => obj 3+2+2 = 7
+    // x=1,y=0: 0.5w <= 2 -> w=4 but w<=6 -> obj 3+4 = 7 -- tie
+    // x=0: w=0, y=1 -> 2.
+    assert_eq!(s.status(), SolveStatus::Optimal);
+    assert!((s.objective_value() - 7.0).abs() < 1e-6);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    /// Presolve must never change the answer: status and optimal objective
+    /// agree with the raw branch-and-bound on random models.
+    #[test]
+    fn presolve_preserves_semantics(milp in random_milp()) {
+        let (with_presolve, _) = build(&milp);
+        let (without_presolve, _) = build(&milp);
+        let mut opts_off = SolverOptions::default();
+        opts_off.presolve = false;
+        let a = with_presolve.solve().expect("solve with presolve");
+        let b = without_presolve.solve_with(&opts_off).expect("solve without presolve");
+        prop_assert_eq!(a.status(), b.status());
+        if a.status().has_solution() {
+            prop_assert!((a.objective_value() - b.objective_value()).abs() < 1e-6,
+                "presolve {} vs raw {}", a.objective_value(), b.objective_value());
+            // Postsolved incumbents must be feasible in the original model.
+            prop_assert!(with_presolve.is_feasible(a.values(), 1e-6));
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Error types for NoC construction and routing.
+
+use std::fmt;
+
+/// Errors raised by mesh/routing construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NocError {
+    /// Mesh dimensions must both be positive.
+    EmptyMesh {
+        /// Requested columns.
+        cols: usize,
+        /// Requested rows.
+        rows: usize,
+    },
+    /// A parameter (latency/energy weight) was non-finite or negative.
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// No path exists between two nodes (cannot happen in a connected mesh;
+    /// kept for future irregular topologies).
+    NoPath {
+        /// Source node index.
+        from: usize,
+        /// Destination node index.
+        to: usize,
+    },
+}
+
+impl fmt::Display for NocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NocError::EmptyMesh { cols, rows } => {
+                write!(f, "mesh dimensions must be positive, got {cols}x{rows}")
+            }
+            NocError::InvalidParameter { name, value } => {
+                write!(f, "invalid NoC parameter {name} = {value}")
+            }
+            NocError::NoPath { from, to } => write!(f, "no path from node {from} to node {to}"),
+        }
+    }
+}
+
+impl std::error::Error for NocError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, NocError>;

@@ -1,0 +1,227 @@
+//! K-shortest loopless paths (Yen's algorithm).
+//!
+//! The paper fixes the per-pair path set to `P = 2` (energy- and
+//! time-oriented shortest paths). This module generalizes the substrate to
+//! `P ≥ 2`: [`k_shortest_paths`] enumerates the `k` cheapest loopless
+//! routes under either weighting, enabling ablations on richer path sets.
+
+use crate::mesh::NodeId;
+use crate::params::WeightedNoc;
+use crate::routing::{shortest_path, Path, PathKind};
+
+fn path_cost(noc: &WeightedNoc, path: &Path, kind: PathKind) -> f64 {
+    match kind {
+        PathKind::EnergyOriented => path.energy_mj(noc),
+        PathKind::TimeOriented => path.time_ms(noc),
+    }
+}
+
+/// Dijkstra on a subgraph with banned links and banned intermediate nodes.
+fn restricted_shortest(
+    noc: &WeightedNoc,
+    from: NodeId,
+    to: NodeId,
+    kind: PathKind,
+    banned_links: &[(NodeId, NodeId)],
+    banned_nodes: &[NodeId],
+) -> Option<Path> {
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    #[derive(PartialEq)]
+    struct Entry {
+        cost: f64,
+        node: usize,
+    }
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> Ordering {
+            other.cost.partial_cmp(&self.cost).unwrap_or(Ordering::Equal)
+        }
+    }
+
+    let mesh = noc.mesh();
+    let n = mesh.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev = vec![usize::MAX; n];
+    let mut heap = BinaryHeap::new();
+    dist[from.index()] = 0.0;
+    heap.push(Entry { cost: 0.0, node: from.index() });
+    while let Some(Entry { cost, node }) = heap.pop() {
+        if cost > dist[node] {
+            continue;
+        }
+        if node == to.index() {
+            break;
+        }
+        for nb in mesh.neighbors(NodeId(node)) {
+            if banned_nodes.contains(&nb) && nb != to {
+                continue;
+            }
+            if banned_links.contains(&(NodeId(node), nb)) {
+                continue;
+            }
+            let w = match kind {
+                PathKind::EnergyOriented => {
+                    noc.link_energy_mj(NodeId(node), nb) + noc.router_energy_mj()
+                }
+                PathKind::TimeOriented => noc.link_time_ms(NodeId(node), nb) + noc.router_time_ms(),
+            };
+            let next = cost + w;
+            if next < dist[nb.index()] {
+                dist[nb.index()] = next;
+                prev[nb.index()] = node;
+                heap.push(Entry { cost: next, node: nb.index() });
+            }
+        }
+    }
+    if !dist[to.index()].is_finite() {
+        return None;
+    }
+    let mut nodes = vec![to];
+    let mut cur = to.index();
+    while cur != from.index() {
+        cur = prev[cur];
+        if cur == usize::MAX {
+            return None;
+        }
+        nodes.push(NodeId(cur));
+    }
+    nodes.reverse();
+    Some(Path::new(nodes))
+}
+
+/// Returns up to `k` loopless paths from `from` to `to`, cheapest first
+/// under the chosen weighting (Yen's algorithm).
+///
+/// A self-route yields the single trivial path.
+pub fn k_shortest_paths(
+    noc: &WeightedNoc,
+    from: NodeId,
+    to: NodeId,
+    kind: PathKind,
+    k: usize,
+) -> Vec<Path> {
+    if k == 0 {
+        return vec![];
+    }
+    if from == to {
+        return vec![Path::new(vec![from])];
+    }
+    let mut accepted: Vec<Path> = vec![shortest_path(noc, from, to, kind)];
+    let mut candidates: Vec<(f64, Path)> = Vec::new();
+    while accepted.len() < k {
+        let last = accepted.last().expect("nonempty").clone();
+        let last_nodes = last.nodes();
+        // Spur from every node of the previous path except the target.
+        for i in 0..last_nodes.len() - 1 {
+            let spur = last_nodes[i];
+            let root: Vec<NodeId> = last_nodes[..=i].to_vec();
+            // Ban links used by accepted paths sharing this root, and ban
+            // the root's interior nodes to keep paths loopless.
+            let mut banned_links = Vec::new();
+            for p in &accepted {
+                let nodes = p.nodes();
+                if nodes.len() > i && nodes[..=i] == root[..] && nodes.len() > i + 1 {
+                    banned_links.push((nodes[i], nodes[i + 1]));
+                }
+            }
+            let banned_nodes: Vec<NodeId> = root[..i].to_vec();
+            let Some(spur_path) =
+                restricted_shortest(noc, spur, to, kind, &banned_links, &banned_nodes)
+            else {
+                continue;
+            };
+            let mut nodes = root.clone();
+            nodes.extend_from_slice(&spur_path.nodes()[1..]);
+            let cand = Path::new(nodes);
+            let cost = path_cost(noc, &cand, kind);
+            let dup = accepted.iter().any(|p| p == &cand)
+                || candidates.iter().any(|(_, p)| p == &cand);
+            if !dup {
+                candidates.push((cost, cand));
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite costs"));
+        accepted.push(candidates.remove(0).1);
+    }
+    accepted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::Mesh2D;
+    use crate::params::NocParams;
+
+    fn noc() -> WeightedNoc {
+        WeightedNoc::new(Mesh2D::square(4).unwrap(), NocParams::typical(), 9).unwrap()
+    }
+
+    #[test]
+    fn first_path_is_the_shortest() {
+        let noc = noc();
+        let (a, b) = (NodeId(0), NodeId(15));
+        let paths = k_shortest_paths(&noc, a, b, PathKind::EnergyOriented, 3);
+        let direct = shortest_path(&noc, a, b, PathKind::EnergyOriented);
+        assert_eq!(paths[0], direct);
+    }
+
+    #[test]
+    fn costs_are_nondecreasing_and_paths_distinct() {
+        let noc = noc();
+        let paths = k_shortest_paths(&noc, NodeId(0), NodeId(15), PathKind::TimeOriented, 5);
+        assert!(paths.len() >= 2, "a 4x4 mesh has many corner-to-corner routes");
+        let costs: Vec<f64> = paths.iter().map(|p| p.time_ms(&noc)).collect();
+        for w in costs.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12, "costs must be sorted: {costs:?}");
+        }
+        for (i, p) in paths.iter().enumerate() {
+            for q in &paths[i + 1..] {
+                assert_ne!(p, q, "paths must be distinct");
+            }
+        }
+    }
+
+    #[test]
+    fn paths_are_loopless_and_connected() {
+        let noc = noc();
+        let paths = k_shortest_paths(&noc, NodeId(1), NodeId(14), PathKind::EnergyOriented, 6);
+        for p in &paths {
+            let nodes = p.nodes();
+            let mut seen = std::collections::HashSet::new();
+            for n in nodes {
+                assert!(seen.insert(*n), "loop detected in {nodes:?}");
+            }
+            for (a, b) in p.links() {
+                assert_eq!(noc.mesh().manhattan_distance(a, b), 1);
+            }
+            assert_eq!(p.source(), NodeId(1));
+            assert_eq!(p.destination(), NodeId(14));
+        }
+    }
+
+    #[test]
+    fn adjacent_nodes_second_path_detours() {
+        let noc = noc();
+        let paths = k_shortest_paths(&noc, NodeId(0), NodeId(1), PathKind::TimeOriented, 2);
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].hop_count(), 1);
+        assert!(paths[1].hop_count() >= 3, "detour must be longer");
+    }
+
+    #[test]
+    fn self_route_and_zero_k() {
+        let noc = noc();
+        assert!(k_shortest_paths(&noc, NodeId(3), NodeId(3), PathKind::TimeOriented, 4).len() == 1);
+        assert!(k_shortest_paths(&noc, NodeId(0), NodeId(1), PathKind::TimeOriented, 0).is_empty());
+    }
+}

@@ -1,0 +1,43 @@
+//! # ndp-noc — 2D-mesh Network-on-Chip substrate
+//!
+//! NoC models for the `noc-deploy` workspace (paper §II-A.2):
+//!
+//! * [`Mesh2D`] — the 2D-mesh router/processor topology,
+//! * [`WeightedNoc`] — per-link energy/time weights with seeded variation,
+//! * [`xy_path`] / [`shortest_path`] — deterministic XY routing and
+//!   Dijkstra-based energy-/time-oriented paths (the paper's `ρ ∈ {1, 2}`),
+//! * [`CommMatrices`] — the precomputed `t_{βγρ}` and `e_{βγkρ}` tensors,
+//! * [`FlitSim`] — a flit-level wormhole simulator with input-buffered
+//!   routers and round-robin arbitration, used to validate the analytic
+//!   model and expose contention.
+//!
+//! ```
+//! use ndp_noc::{CommMatrices, Mesh2D, NocParams, NodeId, PathKind, WeightedNoc};
+//!
+//! let noc = WeightedNoc::new(Mesh2D::square(4)?, NocParams::typical(), 1)?;
+//! let mats = CommMatrices::build(&noc);
+//! // The energy-oriented path never loses on energy.
+//! let (a, b) = (NodeId(0), NodeId(10));
+//! assert!(mats.total_energy_mj(a, b, PathKind::EnergyOriented)
+//!     <= mats.total_energy_mj(a, b, PathKind::TimeOriented));
+//! # Ok::<(), ndp_noc::NocError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod flitsim;
+mod kpaths;
+mod matrices;
+mod mesh;
+mod params;
+mod routing;
+
+pub use error::{NocError, Result};
+pub use flitsim::{FlitSim, PacketResult, PacketSpec, SimReport};
+pub use kpaths::k_shortest_paths;
+pub use matrices::CommMatrices;
+pub use mesh::{Coord, Link, Mesh2D, NodeId};
+pub use params::{NocParams, WeightedNoc};
+pub use routing::{shortest_path, xy_path, Path, PathKind};

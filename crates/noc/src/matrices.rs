@@ -1,0 +1,255 @@
+//! The paper's communication cost matrices.
+//!
+//! From the weighted NoC graph we precompute, for every ordered processor
+//! pair `(β, γ)` and every path option `ρ`:
+//!
+//! * `t_{βγρ}` — per-unit-data transfer latency (ms),
+//! * `e_{βγkρ}` — per-unit-data energy consumed **at processor k** (mJ),
+//!
+//! exactly the `t` and `e` tensors of §II-A.2. Same-processor transfers are
+//! free (`β = γ ⇒` zero time and energy, paper citation [12]).
+
+use crate::mesh::NodeId;
+use crate::params::WeightedNoc;
+use crate::routing::{shortest_path, Path, PathKind};
+use serde::{Deserialize, Serialize};
+
+/// Precomputed per-pair path tables and cost tensors.
+///
+/// ```
+/// use ndp_noc::{CommMatrices, Mesh2D, NocParams, NodeId, PathKind, WeightedNoc};
+///
+/// let noc = WeightedNoc::new(Mesh2D::square(4)?, NocParams::typical(), 7)?;
+/// let mats = CommMatrices::build(&noc);
+/// let (a, b) = (NodeId(0), NodeId(15));
+/// assert!(mats.time_ms(a, b, PathKind::TimeOriented)
+///     <= mats.time_ms(a, b, PathKind::EnergyOriented));
+/// # Ok::<(), ndp_noc::NocError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommMatrices {
+    n: usize,
+    /// `t[β·n·2 + γ·2 + ρ]`
+    time: Vec<f64>,
+    /// `e[((β·n + γ)·n + k)·2 + ρ]`
+    energy: Vec<f64>,
+    /// `paths[β·n·2 + γ·2 + ρ]`
+    paths: Vec<Path>,
+}
+
+impl CommMatrices {
+    /// Precomputes both path options for every ordered pair.
+    pub fn build(noc: &WeightedNoc) -> Self {
+        let n = noc.mesh().num_nodes();
+        let mut time = vec![0.0; n * n * 2];
+        let mut energy = vec![0.0; n * n * n * 2];
+        let mut paths = Vec::with_capacity(n * n * 2);
+        for b in 0..n {
+            for g in 0..n {
+                for kind in PathKind::ALL {
+                    let p = shortest_path(noc, NodeId(b), NodeId(g), kind);
+                    let rho = kind.index();
+                    time[(b * n + g) * 2 + rho] = p.time_ms(noc);
+                    for k in 0..n {
+                        energy[((b * n + g) * n + k) * 2 + rho] =
+                            p.energy_at_mj(noc, NodeId(k));
+                    }
+                    paths.push(p);
+                }
+            }
+        }
+        CommMatrices { n, time, energy, paths }
+    }
+
+    /// Number of processors `N`.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// `t_{βγρ}`: per-unit latency from `beta` to `gamma` through the `rho`
+    /// path, in ms. Zero when `beta == gamma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node index is out of range.
+    pub fn time_ms(&self, beta: NodeId, gamma: NodeId, rho: PathKind) -> f64 {
+        self.time[(beta.index() * self.n + gamma.index()) * 2 + rho.index()]
+    }
+
+    /// `e_{βγkρ}`: per-unit energy at processor `k` for a `beta → gamma`
+    /// transfer through the `rho` path, in mJ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node index is out of range.
+    pub fn energy_at_mj(&self, beta: NodeId, gamma: NodeId, k: NodeId, rho: PathKind) -> f64 {
+        self.energy[((beta.index() * self.n + gamma.index()) * self.n + k.index()) * 2
+            + rho.index()]
+    }
+
+    /// Total per-unit energy of a transfer (sum over all `k`).
+    pub fn total_energy_mj(&self, beta: NodeId, gamma: NodeId, rho: PathKind) -> f64 {
+        (0..self.n).map(|k| self.energy_at_mj(beta, gamma, NodeId(k), rho)).sum()
+    }
+
+    /// The concrete route behind `(beta, gamma, rho)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node index is out of range.
+    pub fn path(&self, beta: NodeId, gamma: NodeId, rho: PathKind) -> &Path {
+        &self.paths[(beta.index() * self.n + gamma.index()) * 2 + rho.index()]
+    }
+
+    /// `max_{β≠γ,ρ} t_{βγρ}` — used by the heuristic's averaged
+    /// communication time (paper §III, P3).
+    pub fn max_time_ms(&self) -> f64 {
+        self.fold_time(f64::MIN, f64::max)
+    }
+
+    /// `min_{β≠γ,ρ} t_{βγρ}`.
+    pub fn min_time_ms(&self) -> f64 {
+        self.fold_time(f64::MAX, f64::min)
+    }
+
+    fn fold_time(&self, init: f64, f: impl Fn(f64, f64) -> f64) -> f64 {
+        let mut acc = init;
+        for b in 0..self.n {
+            for g in 0..self.n {
+                if b == g {
+                    continue;
+                }
+                for rho in 0..2 {
+                    acc = f(acc, self.time[(b * self.n + g) * 2 + rho]);
+                }
+            }
+        }
+        acc
+    }
+
+    /// `max_{β≠γ} e_{βγkρ}` for a fixed processor `k` and path kind.
+    pub fn max_energy_at_mj(&self, k: NodeId, rho: PathKind) -> f64 {
+        self.fold_energy_at(k, rho, f64::MIN, f64::max)
+    }
+
+    /// `min_{β≠γ} e_{βγkρ}` for a fixed processor `k` and path kind.
+    pub fn min_energy_at_mj(&self, k: NodeId, rho: PathKind) -> f64 {
+        self.fold_energy_at(k, rho, f64::MAX, f64::min)
+    }
+
+    fn fold_energy_at(
+        &self,
+        k: NodeId,
+        rho: PathKind,
+        init: f64,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> f64 {
+        let mut acc = init;
+        for b in 0..self.n {
+            for g in 0..self.n {
+                if b == g {
+                    continue;
+                }
+                acc = f(acc, self.energy_at_mj(NodeId(b), NodeId(g), k, rho));
+            }
+        }
+        acc
+    }
+
+    /// `max_{β,γ,k,ρ} e_{βγkρ}` — the paper's `e_k^comm` numerator for the
+    /// `μ` index of Fig. 2(b).
+    pub fn max_energy_any_mj(&self) -> f64 {
+        let mut acc = f64::MIN;
+        for &e in &self.energy {
+            acc = acc.max(e);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::Mesh2D;
+    use crate::params::NocParams;
+
+    fn mats(side: usize, seed: u64) -> (WeightedNoc, CommMatrices) {
+        let noc =
+            WeightedNoc::new(Mesh2D::square(side).unwrap(), NocParams::typical(), seed).unwrap();
+        let m = CommMatrices::build(&noc);
+        (noc, m)
+    }
+
+    #[test]
+    fn diagonal_is_free() {
+        let (_, m) = mats(3, 1);
+        for k in 0..9 {
+            for rho in PathKind::ALL {
+                assert_eq!(m.time_ms(NodeId(k), NodeId(k), rho), 0.0);
+                assert_eq!(m.total_energy_mj(NodeId(k), NodeId(k), rho), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn energy_oriented_dominates_energy_time_oriented_dominates_time() {
+        let (_, m) = mats(4, 3);
+        for b in 0..16 {
+            for g in 0..16 {
+                let (b, g) = (NodeId(b), NodeId(g));
+                assert!(
+                    m.total_energy_mj(b, g, PathKind::EnergyOriented)
+                        <= m.total_energy_mj(b, g, PathKind::TimeOriented) + 1e-12
+                );
+                assert!(
+                    m.time_ms(b, g, PathKind::TimeOriented)
+                        <= m.time_ms(b, g, PathKind::EnergyOriented) + 1e-12
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_processor_energies_sum_to_path_energy() {
+        let (noc, m) = mats(4, 17);
+        for b in 0..16 {
+            for g in 0..16 {
+                for rho in PathKind::ALL {
+                    let (b, g) = (NodeId(b), NodeId(g));
+                    let path_e = m.path(b, g, rho).energy_mj(&noc);
+                    assert!((m.total_energy_mj(b, g, rho) - path_e).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn off_path_processors_consume_nothing() {
+        let (_, m) = mats(4, 2);
+        let (b, g) = (NodeId(0), NodeId(1));
+        let p = m.path(b, g, PathKind::TimeOriented).clone();
+        for k in 0..16 {
+            if !p.contains(NodeId(k)) {
+                assert_eq!(m.energy_at_mj(b, g, NodeId(k), PathKind::TimeOriented), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn min_max_helpers_bracket_everything() {
+        let (_, m) = mats(3, 8);
+        let (lo, hi) = (m.min_time_ms(), m.max_time_ms());
+        assert!(lo > 0.0 && hi >= lo);
+        for b in 0..9 {
+            for g in 0..9 {
+                if b == g {
+                    continue;
+                }
+                for rho in PathKind::ALL {
+                    let t = m.time_ms(NodeId(b), NodeId(g), rho);
+                    assert!(t >= lo - 1e-12 && t <= hi + 1e-12);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! NoC cost parameters and the weighted communication graph.
+//!
+//! The paper associates a weight `w_ij` with every directed link: the energy
+//! (or time) needed to move one unit of data across it. Energy- and
+//! time-oriented path selection only differ when the two weightings rank
+//! links differently, so [`WeightedNoc`] applies independent, seeded,
+//! per-link multipliers to the base energy and latency costs — modelling
+//! process variation and heterogeneous link loads.
+
+use crate::error::{NocError, Result};
+use crate::mesh::{Mesh2D, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Per-unit-data cost parameters of the NoC.
+///
+/// Defaults are chosen so that a multi-hop transfer of a typical task
+/// payload is commensurate with a task execution (paper Fig. 2(b) sweeps the
+/// ratio `μ` between the two).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NocParams {
+    /// Latency added per link traversal, ms per unit of data.
+    pub link_time_ms: f64,
+    /// Latency added per router traversal, ms per unit of data.
+    pub router_time_ms: f64,
+    /// Energy per link traversal, mJ per unit of data (attributed to the
+    /// sending router's processor).
+    pub link_energy_mj: f64,
+    /// Energy per router traversal, mJ per unit of data.
+    pub router_energy_mj: f64,
+    /// Relative per-link variation in `[0, 1)`; `0` makes every minimal
+    /// path equivalent and energy/time paths coincide.
+    pub jitter: f64,
+}
+
+impl NocParams {
+    /// Evaluation defaults (moderate communication/computation ratio,
+    /// 25 % link variation so the two path families genuinely differ).
+    pub fn typical() -> Self {
+        NocParams {
+            link_time_ms: 0.08,
+            router_time_ms: 0.04,
+            link_energy_mj: 0.05,
+            router_energy_mj: 0.02,
+            jitter: 0.25,
+        }
+    }
+
+    /// Scales both energy entries by `factor`, used to sweep the paper's
+    /// `μ = e^comm / e^comp` index (Fig. 2(b)).
+    pub fn scale_energy(mut self, factor: f64) -> Self {
+        self.link_energy_mj *= factor;
+        self.router_energy_mj *= factor;
+        self
+    }
+
+    /// Scales both latency entries by `factor`.
+    pub fn scale_time(mut self, factor: f64) -> Self {
+        self.link_time_ms *= factor;
+        self.router_time_ms *= factor;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        let checks = [
+            ("link_time_ms", self.link_time_ms),
+            ("router_time_ms", self.router_time_ms),
+            ("link_energy_mj", self.link_energy_mj),
+            ("router_energy_mj", self.router_energy_mj),
+        ];
+        for (name, v) in checks {
+            if !v.is_finite() || v < 0.0 {
+                return Err(NocError::InvalidParameter { name, value: v });
+            }
+        }
+        if !self.jitter.is_finite() || !(0.0..1.0).contains(&self.jitter) {
+            return Err(NocError::InvalidParameter { name: "jitter", value: self.jitter });
+        }
+        Ok(())
+    }
+}
+
+impl Default for NocParams {
+    fn default() -> Self {
+        NocParams::typical()
+    }
+}
+
+/// A mesh with per-link energy/time weights.
+///
+/// ```
+/// use ndp_noc::{Mesh2D, NocParams, WeightedNoc};
+///
+/// let mesh = Mesh2D::square(4)?;
+/// let noc = WeightedNoc::new(mesh, NocParams::typical(), 42)?;
+/// let l = noc.mesh().links()[0];
+/// assert!(noc.link_time_ms(l.from, l.to) > 0.0);
+/// # Ok::<(), ndp_noc::NocError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightedNoc {
+    mesh: Mesh2D,
+    params: NocParams,
+    seed: u64,
+    /// Per-link multiplicative factors, indexed by `Mesh2D::link_index`.
+    time_factor: Vec<f64>,
+    energy_factor: Vec<f64>,
+}
+
+impl WeightedNoc {
+    /// Builds the weighted graph with seeded per-link variation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::InvalidParameter`] for invalid `params`.
+    pub fn new(mesh: Mesh2D, params: NocParams, seed: u64) -> Result<Self> {
+        params.validate()?;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6e6f_635f_6c6b_7321);
+        let slots = mesh.link_index_len();
+        let mut time_factor = vec![1.0; slots];
+        let mut energy_factor = vec![1.0; slots];
+        for l in mesh.links() {
+            let idx = mesh.link_index(l.from, l.to);
+            let j = params.jitter;
+            time_factor[idx] = 1.0 + rng.gen_range(-j..=j);
+            energy_factor[idx] = 1.0 + rng.gen_range(-j..=j);
+        }
+        Ok(WeightedNoc { mesh, params, seed, time_factor, energy_factor })
+    }
+
+    /// The underlying mesh.
+    pub fn mesh(&self) -> &Mesh2D {
+        &self.mesh
+    }
+
+    /// The cost parameters.
+    pub fn params(&self) -> &NocParams {
+        &self.params
+    }
+
+    /// The seed used for link variation.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Per-unit latency of the directed link `from → to` in ms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the nodes are not adjacent.
+    pub fn link_time_ms(&self, from: NodeId, to: NodeId) -> f64 {
+        self.params.link_time_ms * self.time_factor[self.mesh.link_index(from, to)]
+    }
+
+    /// Per-unit energy of the directed link `from → to` in mJ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the nodes are not adjacent.
+    pub fn link_energy_mj(&self, from: NodeId, to: NodeId) -> f64 {
+        self.params.link_energy_mj * self.energy_factor[self.mesh.link_index(from, to)]
+    }
+
+    /// Per-unit latency of one router traversal in ms.
+    pub fn router_time_ms(&self) -> f64 {
+        self.params.router_time_ms
+    }
+
+    /// Per-unit energy of one router traversal in mJ.
+    pub fn router_energy_mj(&self) -> f64 {
+        self.params.router_energy_mj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_params_rejected() {
+        let mesh = Mesh2D::square(2).unwrap();
+        let mut p = NocParams::typical();
+        p.link_time_ms = -1.0;
+        assert!(WeightedNoc::new(mesh.clone(), p, 0).is_err());
+        let mut p = NocParams::typical();
+        p.jitter = 1.0;
+        assert!(WeightedNoc::new(mesh, p, 0).is_err());
+    }
+
+    #[test]
+    fn same_seed_same_weights() {
+        let mesh = Mesh2D::square(3).unwrap();
+        let a = WeightedNoc::new(mesh.clone(), NocParams::typical(), 7).unwrap();
+        let b = WeightedNoc::new(mesh.clone(), NocParams::typical(), 7).unwrap();
+        for l in mesh.links() {
+            assert_eq!(a.link_time_ms(l.from, l.to), b.link_time_ms(l.from, l.to));
+        }
+    }
+
+    #[test]
+    fn different_seed_different_weights() {
+        let mesh = Mesh2D::square(3).unwrap();
+        let a = WeightedNoc::new(mesh.clone(), NocParams::typical(), 1).unwrap();
+        let b = WeightedNoc::new(mesh.clone(), NocParams::typical(), 2).unwrap();
+        let diff = mesh
+            .links()
+            .iter()
+            .any(|l| a.link_time_ms(l.from, l.to) != b.link_time_ms(l.from, l.to));
+        assert!(diff);
+    }
+
+    #[test]
+    fn zero_jitter_uniform_weights() {
+        let mesh = Mesh2D::square(3).unwrap();
+        let mut p = NocParams::typical();
+        p.jitter = 0.0;
+        let noc = WeightedNoc::new(mesh.clone(), p, 3).unwrap();
+        for l in mesh.links() {
+            assert_eq!(noc.link_time_ms(l.from, l.to), p.link_time_ms);
+        }
+    }
+
+    #[test]
+    fn energy_scaling_builder() {
+        let p = NocParams::typical().scale_energy(2.0);
+        assert_eq!(p.link_energy_mj, NocParams::typical().link_energy_mj * 2.0);
+        assert_eq!(p.link_time_ms, NocParams::typical().link_time_ms);
+    }
+}

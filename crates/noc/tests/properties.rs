@@ -1,0 +1,81 @@
+//! Property tests for the NoC substrate.
+
+use ndp_noc::{
+    k_shortest_paths, shortest_path, xy_path, CommMatrices, Mesh2D, NocParams, NodeId, PathKind,
+    WeightedNoc,
+};
+use proptest::prelude::*;
+
+fn noc_strategy() -> impl Strategy<Value = WeightedNoc> {
+    (2usize..=5, 2usize..=5, 0.0f64..0.5, any::<u64>()).prop_map(|(c, r, jitter, seed)| {
+        let mut params = NocParams::typical();
+        params.jitter = jitter;
+        WeightedNoc::new(Mesh2D::new(c, r).expect("positive dims"), params, seed)
+            .expect("valid params")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dijkstra's path is never worse than the deterministic XY route under
+    /// the same weighting.
+    #[test]
+    fn dijkstra_beats_or_matches_xy(noc in noc_strategy(), a_raw in 0usize..25, b_raw in 0usize..25) {
+        let n = noc.mesh().num_nodes();
+        let (a, b) = (NodeId(a_raw % n), NodeId(b_raw % n));
+        let xy = xy_path(noc.mesh(), a, b);
+        let pe = shortest_path(&noc, a, b, PathKind::EnergyOriented);
+        let pt = shortest_path(&noc, a, b, PathKind::TimeOriented);
+        prop_assert!(pe.energy_mj(&noc) <= xy.energy_mj(&noc) + 1e-12);
+        prop_assert!(pt.time_ms(&noc) <= xy.time_ms(&noc) + 1e-12);
+    }
+
+    /// Path latency obeys the triangle inequality through any waypoint.
+    #[test]
+    fn time_paths_triangle_inequality(
+        noc in noc_strategy(),
+        a_raw in 0usize..25, b_raw in 0usize..25, c_raw in 0usize..25,
+    ) {
+        let n = noc.mesh().num_nodes();
+        let (a, b, c) = (NodeId(a_raw % n), NodeId(b_raw % n), NodeId(c_raw % n));
+        let direct = shortest_path(&noc, a, c, PathKind::TimeOriented).time_ms(&noc);
+        let via = shortest_path(&noc, a, b, PathKind::TimeOriented).time_ms(&noc)
+            + shortest_path(&noc, b, c, PathKind::TimeOriented).time_ms(&noc);
+        prop_assert!(direct <= via + 1e-9);
+    }
+
+    /// The cost matrices agree with freshly computed shortest paths.
+    #[test]
+    fn matrices_consistent_with_paths(noc in noc_strategy()) {
+        let mats = CommMatrices::build(&noc);
+        let n = noc.mesh().num_nodes();
+        for beta in 0..n {
+            for gamma in 0..n {
+                for rho in PathKind::ALL {
+                    let (b, g) = (NodeId(beta), NodeId(gamma));
+                    let p = mats.path(b, g, rho);
+                    prop_assert!((mats.time_ms(b, g, rho) - p.time_ms(&noc)).abs() < 1e-12);
+                    let total: f64 = (0..n)
+                        .map(|k| mats.energy_at_mj(b, g, NodeId(k), rho))
+                        .sum();
+                    prop_assert!((total - p.energy_mj(&noc)).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    /// Yen's k paths contain the shortest path and stay sorted.
+    #[test]
+    fn yen_paths_sorted(noc in noc_strategy(), a_raw in 0usize..25, b_raw in 0usize..25, k in 1usize..5) {
+        let n = noc.mesh().num_nodes();
+        let (a, b) = (NodeId(a_raw % n), NodeId(b_raw % n));
+        let paths = k_shortest_paths(&noc, a, b, PathKind::EnergyOriented, k);
+        prop_assert!(!paths.is_empty());
+        prop_assert_eq!(&paths[0], &shortest_path(&noc, a, b, PathKind::EnergyOriented));
+        let costs: Vec<f64> = paths.iter().map(|p| p.energy_mj(&noc)).collect();
+        for w in costs.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+}

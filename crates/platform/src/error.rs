@@ -1,0 +1,37 @@
+//! Error types for platform construction.
+
+use std::fmt;
+
+/// Errors raised while constructing platform models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// A V/F level had a non-positive or non-finite voltage/frequency, or
+    /// the table's voltages do not increase with frequency.
+    InvalidLevel {
+        /// Offending voltage (volts).
+        volts: f64,
+        /// Offending frequency (MHz).
+        mhz: f64,
+    },
+    /// A V/F table must contain at least one level.
+    EmptyTable,
+    /// The platform must contain at least one processor.
+    NoProcessors,
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::InvalidLevel { volts, mhz } => {
+                write!(f, "invalid V/F level ({volts} V, {mhz} MHz)")
+            }
+            PlatformError::EmptyTable => write!(f, "V/F table must not be empty"),
+            PlatformError::NoProcessors => write!(f, "platform needs at least one processor"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, PlatformError>;

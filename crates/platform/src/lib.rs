@@ -1,0 +1,37 @@
+//! # ndp-platform — DVFS multicore platform models
+//!
+//! Substrate crate of the `noc-deploy` workspace modelling the processors of
+//! the reproduced paper (§II-A.2/3):
+//!
+//! * [`VfTable`] / [`VfLevel`] — discrete voltage/frequency operating points,
+//! * [`PowerModel`] — static + dynamic CMOS power (`Pˢ + C_e·v²·f`),
+//! * [`ReliabilityModel`] — Poisson transient-fault reliability with
+//!   exponential rate growth under frequency down-scaling,
+//! * [`Platform`] — the assembled homogeneous `N`-processor system.
+//!
+//! Units: volts, MHz, milliseconds, watts, millijoules.
+//!
+//! ```
+//! use ndp_platform::Platform;
+//!
+//! let p = Platform::homogeneous(16)?;
+//! let slow = p.vf_table().slowest();
+//! // Running slower costs time and reliability but saves energy.
+//! assert!(p.exec_energy_mj(1e6, slow) < p.exec_energy_mj(1e6, p.vf_table().fastest()));
+//! # Ok::<(), ndp_platform::PlatformError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod platform;
+mod power;
+mod reliability;
+mod voltage;
+
+pub use error::{PlatformError, Result};
+pub use platform::{Platform, ProcessorId};
+pub use power::{PowerModel, PowerParams};
+pub use reliability::{ReliabilityModel, ReliabilityParams};
+pub use voltage::{LevelId, VfLevel, VfTable};

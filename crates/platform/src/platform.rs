@@ -1,0 +1,153 @@
+//! The assembled multicore platform.
+
+use crate::error::{PlatformError, Result};
+use crate::power::PowerModel;
+use crate::reliability::{ReliabilityModel, ReliabilityParams};
+use crate::voltage::{LevelId, VfTable};
+use serde::{Deserialize, Serialize};
+
+/// Index of a processor `θ_k` in the platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcessorId(pub usize);
+
+impl ProcessorId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A homogeneous DVFS multicore: `N` processors sharing one ISA, one V/F
+/// table, one power model and one fault model (paper §II-A.2).
+///
+/// ```
+/// use ndp_platform::Platform;
+///
+/// let p = Platform::homogeneous(16)?;
+/// assert_eq!(p.num_processors(), 16);
+/// let l = p.vf_table().fastest();
+/// assert!(p.exec_energy_mj(2.0e6, l) > 0.0);
+/// # Ok::<(), ndp_platform::PlatformError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    n: usize,
+    vf: VfTable,
+    power: PowerModel,
+    reliability: ReliabilityModel,
+}
+
+impl Platform {
+    /// Creates a platform from explicit components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::NoProcessors`] when `n == 0`.
+    pub fn new(
+        n: usize,
+        vf: VfTable,
+        power: PowerModel,
+        reliability_params: ReliabilityParams,
+    ) -> Result<Self> {
+        if n == 0 {
+            return Err(PlatformError::NoProcessors);
+        }
+        let reliability = ReliabilityModel::new(reliability_params, &vf);
+        Ok(Platform { n, vf, power, reliability })
+    }
+
+    /// The evaluation default: `n` processors with the 70 nm preset V/F
+    /// table, power and fault parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::NoProcessors`] when `n == 0`.
+    pub fn homogeneous(n: usize) -> Result<Self> {
+        Platform::new(
+            n,
+            VfTable::preset_70nm(),
+            PowerModel::default(),
+            ReliabilityParams::typical(),
+        )
+    }
+
+    /// Number of processors `N`.
+    pub fn num_processors(&self) -> usize {
+        self.n
+    }
+
+    /// Iterates over processor ids.
+    pub fn processors(&self) -> impl Iterator<Item = ProcessorId> {
+        (0..self.n).map(ProcessorId)
+    }
+
+    /// The shared V/F table.
+    pub fn vf_table(&self) -> &VfTable {
+        &self.vf
+    }
+
+    /// The shared power model.
+    pub fn power_model(&self) -> &PowerModel {
+        &self.power
+    }
+
+    /// The shared reliability model.
+    pub fn reliability_model(&self) -> &ReliabilityModel {
+        &self.reliability
+    }
+
+    /// Execution time in ms of `cycles` at level `l` (`t = C/f`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range for the V/F table.
+    pub fn exec_time_ms(&self, cycles: f64, l: LevelId) -> f64 {
+        self.vf.level(l).exec_time_ms(cycles)
+    }
+
+    /// Computation energy in mJ of `cycles` at level `l` (`e = P·C/f`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range for the V/F table.
+    pub fn exec_energy_mj(&self, cycles: f64, l: LevelId) -> f64 {
+        self.power.exec_energy_mj(cycles, self.vf.level(l))
+    }
+
+    /// Reliability `r_il` of `cycles` at level `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range for the V/F table.
+    pub fn task_reliability(&self, cycles: f64, l: LevelId) -> f64 {
+        self.reliability.task_reliability(cycles, self.vf.level(l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_builds() {
+        let p = Platform::homogeneous(4).unwrap();
+        assert_eq!(p.num_processors(), 4);
+        assert_eq!(p.processors().count(), 4);
+    }
+
+    #[test]
+    fn zero_processors_rejected() {
+        assert!(matches!(Platform::homogeneous(0), Err(PlatformError::NoProcessors)));
+    }
+
+    #[test]
+    fn faster_level_is_faster_but_costlier() {
+        let p = Platform::homogeneous(1).unwrap();
+        let slow = p.vf_table().slowest();
+        let fast = p.vf_table().fastest();
+        let cycles = 3e6;
+        assert!(p.exec_time_ms(cycles, fast) < p.exec_time_ms(cycles, slow));
+        assert!(p.exec_energy_mj(cycles, fast) > p.exec_energy_mj(cycles, slow));
+        assert!(p.task_reliability(cycles, fast) > p.task_reliability(cycles, slow));
+    }
+}

@@ -1,0 +1,185 @@
+//! Processor power model (paper §II-A.2).
+//!
+//! The paper adopts the classic DVFS power decomposition of Han et al. /
+//! Martin et al.:
+//!
+//! * static:  `Pˢ = L_g · (v·K₁·e^{K₂·v}·e^{K₃·v_b} + |v_b|·I_b)`
+//! * dynamic: `Pᵈ = C_e · v² · f`
+//!
+//! with `v` the supply voltage, `f` the frequency, `v_b` the body-bias
+//! voltage, `I_b` the body junction leakage current, `C_e` the average
+//! switched capacitance and `L_g` the number of logic gates.
+
+use crate::voltage::VfLevel;
+use serde::{Deserialize, Serialize};
+
+/// Technology parameters of the power model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerParams {
+    /// Average switched capacitance `C_e` in farads.
+    pub ce: f64,
+    /// Number of logic gates `L_g`.
+    pub lg: f64,
+    /// Static current fit parameter `K₁` (amperes).
+    pub k1: f64,
+    /// Static exponential fit parameter `K₂` (1/V).
+    pub k2: f64,
+    /// Body-bias exponential fit parameter `K₃` (1/V).
+    pub k3: f64,
+    /// Body-bias voltage `v_b` in volts (typically negative).
+    pub vb: f64,
+    /// Body junction leakage current `I_b` in amperes.
+    pub ib: f64,
+}
+
+impl PowerParams {
+    /// The 70 nm bulk-CMOS parameter set used by the papers the evaluation
+    /// builds on (Martin et al., adopted by Han et al., the paper's ref.\ 3):
+    /// `K₁ = 5.38·10⁻⁷`, `K₂ = 1.83`, `K₃ = 4.19`, `I_b = 4.8·10⁻¹⁰ A`,
+    /// `C_e = 0.43·10⁻⁹ F`, `v_b = −0.7 V`.
+    ///
+    /// `L_g` is scaled to `4·10⁵` gates so the platform sits in the
+    /// dynamic-power-dominated regime where lowering V/F reduces energy per
+    /// cycle — the regime the paper's DVFS trade-off (and its `ε` index)
+    /// assumes. With the original `4·10⁶` gates leakage dominates and the
+    /// slowest level is *less* efficient per cycle, which contradicts
+    /// Fig. 2(c)'s premise.
+    pub fn bulk_70nm() -> Self {
+        PowerParams {
+            ce: 0.43e-9,
+            lg: 4.0e5,
+            k1: 5.38e-7,
+            k2: 1.83,
+            k3: 4.19,
+            vb: -0.7,
+            ib: 4.8e-10,
+        }
+    }
+}
+
+impl Default for PowerParams {
+    fn default() -> Self {
+        PowerParams::bulk_70nm()
+    }
+}
+
+/// Evaluates static/dynamic/total power and per-task energies for a
+/// [`PowerParams`] set.
+///
+/// ```
+/// use ndp_platform::{PowerModel, PowerParams, VfLevel};
+///
+/// let p = PowerModel::new(PowerParams::bulk_70nm());
+/// let level = VfLevel::new(1.0, 667.0)?;
+/// assert!(p.total_power(level) > 0.0);
+/// # Ok::<(), ndp_platform::PlatformError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    params: PowerParams,
+}
+
+impl PowerModel {
+    /// Creates the model.
+    pub fn new(params: PowerParams) -> Self {
+        PowerModel { params }
+    }
+
+    /// The parameter set.
+    pub fn params(&self) -> &PowerParams {
+        &self.params
+    }
+
+    /// Static power `Pˢ` in watts at supply voltage `level.volts`.
+    pub fn static_power(&self, level: VfLevel) -> f64 {
+        let p = &self.params;
+        let v = level.volts;
+        p.lg * (v * p.k1 * (p.k2 * v).exp() * (p.k3 * p.vb).exp() + p.vb.abs() * p.ib)
+    }
+
+    /// Dynamic power `Pᵈ = C_e·v²·f` in watts (`f` converted from MHz).
+    pub fn dynamic_power(&self, level: VfLevel) -> f64 {
+        self.params.ce * level.volts * level.volts * level.mhz * 1e6
+    }
+
+    /// Total power `P = Pˢ + Pᵈ` in watts.
+    pub fn total_power(&self, level: VfLevel) -> f64 {
+        self.static_power(level) + self.dynamic_power(level)
+    }
+
+    /// Computation energy in millijoules of a task with `cycles` WCEC at
+    /// `level`: `e = P·t` with `t = C/f` in milliseconds.
+    pub fn exec_energy_mj(&self, cycles: f64, level: VfLevel) -> f64 {
+        self.total_power(level) * level.exec_time_ms(cycles)
+    }
+
+    /// Energy per cycle in millijoules: `P_l / f_l` (paper's `ε` numerator /
+    /// denominator terms).
+    pub fn energy_per_cycle_mj(&self, level: VfLevel) -> f64 {
+        self.total_power(level) / (level.mhz * 1e3)
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel::new(PowerParams::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::voltage::VfTable;
+
+    fn model() -> PowerModel {
+        PowerModel::new(PowerParams::bulk_70nm())
+    }
+
+    #[test]
+    fn powers_positive_and_monotone_in_frequency() {
+        let m = model();
+        let t = VfTable::preset_70nm();
+        let mut prev = 0.0;
+        for (_, l) in t.iter() {
+            let p = m.total_power(l);
+            assert!(p > 0.0, "power must be positive");
+            assert!(p > prev, "total power must grow with the level");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn dynamic_power_magnitude_sane() {
+        // 0.43nF * 1V^2 * 1GHz = 0.43 W.
+        let m = model();
+        let l = VfLevel::new(1.0, 1000.0).unwrap();
+        assert!((m.dynamic_power(l) - 0.43).abs() < 1e-12);
+    }
+
+    #[test]
+    fn static_power_small_but_nonzero() {
+        let m = model();
+        let l = VfLevel::new(1.0, 1000.0).unwrap();
+        let s = m.static_power(l);
+        assert!(s > 0.0 && s < m.dynamic_power(l));
+    }
+
+    #[test]
+    fn exec_energy_scales_linearly_with_cycles() {
+        let m = model();
+        let l = VfLevel::new(1.0, 500.0).unwrap();
+        let e1 = m.exec_energy_mj(1e6, l);
+        let e2 = m.exec_energy_mj(2e6, l);
+        assert!((e2 - 2.0 * e1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_per_cycle_higher_at_high_frequency() {
+        // Voltage scaling makes high levels less efficient per cycle.
+        let m = model();
+        let t = VfTable::preset_70nm();
+        let lo = m.energy_per_cycle_mj(t.level(t.slowest()));
+        let hi = m.energy_per_cycle_mj(t.level(t.fastest()));
+        assert!(hi > lo);
+    }
+}

@@ -1,0 +1,135 @@
+//! Transient-fault reliability model (paper §II-A.3).
+//!
+//! Transient faults arrive as a Poisson process whose rate grows
+//! exponentially as the frequency is scaled down (lower voltage ⇒ smaller
+//! critical charge):
+//!
+//! `λ(f) = λ · 10^{d·(f_max − f)/(f_max − f_min)}`
+//!
+//! Executing `C` cycles at frequency `f` then succeeds with probability
+//!
+//! `r(C, f) = e^{−λ(f)·C/f}`
+//!
+//! When a task's reliability falls below the threshold `R_th` the deployment
+//! duplicates it; with both copies present the combined reliability is
+//! `r′ = 1 − (1 − r₁)(1 − r₂)` (faults in both copies are assumed
+//! independent).
+
+use crate::voltage::{VfLevel, VfTable};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the Poisson fault model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityParams {
+    /// Fault rate `λ` at the maximum frequency, in faults per millisecond.
+    pub lambda_max_freq: f64,
+    /// Sensitivity exponent `d` of the rate to frequency down-scaling.
+    pub sensitivity: f64,
+}
+
+impl ReliabilityParams {
+    /// A literature-typical setting: `λ = 10⁻⁶` faults/ms at `f_max`,
+    /// sensitivity `d = 4` (rate grows 10⁴× at `f_min`).
+    pub fn typical() -> Self {
+        ReliabilityParams { lambda_max_freq: 1e-6, sensitivity: 4.0 }
+    }
+}
+
+impl Default for ReliabilityParams {
+    fn default() -> Self {
+        ReliabilityParams::typical()
+    }
+}
+
+/// Evaluates task reliabilities `r_il` over a [`VfTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityModel {
+    params: ReliabilityParams,
+    f_min: f64,
+    f_max: f64,
+}
+
+impl ReliabilityModel {
+    /// Creates a model calibrated to the frequency range of `table`.
+    pub fn new(params: ReliabilityParams, table: &VfTable) -> Self {
+        ReliabilityModel { params, f_min: table.f_min(), f_max: table.f_max() }
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> &ReliabilityParams {
+        &self.params
+    }
+
+    /// The effective fault rate `λ(f)` in faults/ms at `mhz`.
+    pub fn fault_rate_per_ms(&self, mhz: f64) -> f64 {
+        let span = (self.f_max - self.f_min).max(f64::MIN_POSITIVE);
+        let exponent = self.params.sensitivity * (self.f_max - mhz) / span;
+        self.params.lambda_max_freq * 10f64.powf(exponent)
+    }
+
+    /// Reliability `r = e^{−λ(f)·C/f}` of executing `cycles` at `level`.
+    pub fn task_reliability(&self, cycles: f64, level: VfLevel) -> f64 {
+        let t_ms = level.exec_time_ms(cycles);
+        (-self.fault_rate_per_ms(level.mhz) * t_ms).exp()
+    }
+
+    /// Combined reliability of two independent copies:
+    /// `r′ = 1 − (1 − r₁)(1 − r₂)`.
+    pub fn duplicated_reliability(r1: f64, r2: f64) -> f64 {
+        1.0 - (1.0 - r1) * (1.0 - r2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::voltage::VfTable;
+
+    fn model() -> (ReliabilityModel, VfTable) {
+        let t = VfTable::preset_70nm();
+        (ReliabilityModel::new(ReliabilityParams::typical(), &t), t)
+    }
+
+    #[test]
+    fn rate_is_lambda_at_fmax_and_scaled_at_fmin() {
+        let (m, t) = model();
+        let at_max = m.fault_rate_per_ms(t.f_max());
+        let at_min = m.fault_rate_per_ms(t.f_min());
+        assert!((at_max - 1e-6).abs() < 1e-18);
+        assert!((at_min / at_max - 1e4).abs() / 1e4 < 1e-9);
+    }
+
+    #[test]
+    fn reliability_decreases_at_lower_frequency() {
+        let (m, t) = model();
+        let cycles = 5e6;
+        let mut prev = 0.0;
+        for (_, l) in t.iter() {
+            let r = m.task_reliability(cycles, l);
+            assert!(r > prev, "reliability must improve with frequency");
+            assert!(r > 0.0 && r <= 1.0);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn reliability_decreases_with_more_cycles() {
+        let (m, t) = model();
+        let l = t.level(t.slowest());
+        assert!(m.task_reliability(1e6, l) > m.task_reliability(1e7, l));
+    }
+
+    #[test]
+    fn duplication_improves_reliability() {
+        let r = 0.95;
+        let dup = ReliabilityModel::duplicated_reliability(r, r);
+        assert!(dup > r);
+        assert!((dup - 0.9975).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplication_with_perfect_copy_is_perfect() {
+        assert_eq!(ReliabilityModel::duplicated_reliability(1.0, 0.3), 1.0);
+        assert_eq!(ReliabilityModel::duplicated_reliability(0.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Voltage/frequency operating points.
+//!
+//! Every processor in the platform exposes `L` discrete V/F levels
+//! `{(v₁,f₁), …, (v_L,f_L)}` (paper §II-A.2). [`VfTable`] owns the sorted
+//! list and provides the derived quantities used throughout the paper:
+//! `f_min`, `f_max` and the energy-gap index `ε` of Fig. 2(c).
+
+use crate::error::{PlatformError, Result};
+use crate::power::PowerModel;
+use serde::{Deserialize, Serialize};
+
+/// A single voltage/frequency operating point.
+///
+/// Units: volts and megahertz. With times in milliseconds and powers in
+/// watts, task energies come out in millijoules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VfLevel {
+    /// Supply voltage in volts.
+    pub volts: f64,
+    /// Clock frequency in MHz.
+    pub mhz: f64,
+}
+
+impl VfLevel {
+    /// Creates a level after validating positivity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidLevel`] for non-positive or non-finite
+    /// voltage/frequency.
+    pub fn new(volts: f64, mhz: f64) -> Result<Self> {
+        if !(volts.is_finite() && volts > 0.0 && mhz.is_finite() && mhz > 0.0) {
+            return Err(PlatformError::InvalidLevel { volts, mhz });
+        }
+        Ok(VfLevel { volts, mhz })
+    }
+
+    /// Execution time in milliseconds for `cycles` worst-case execution
+    /// cycles at this level: `t = C / f`.
+    pub fn exec_time_ms(&self, cycles: f64) -> f64 {
+        cycles / (self.mhz * 1e3)
+    }
+}
+
+/// Index of a V/F level inside a [`VfTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LevelId(pub usize);
+
+impl LevelId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// An ordered collection of V/F levels shared by all processors (the paper
+/// assumes a homogeneous ISA and identical level sets).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VfTable {
+    levels: Vec<VfLevel>,
+}
+
+impl VfTable {
+    /// Builds a table from levels, sorting by frequency ascending.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::EmptyTable`] when `levels` is empty and
+    /// [`PlatformError::InvalidLevel`] when any level is invalid or voltages
+    /// do not increase with frequency.
+    pub fn new(mut levels: Vec<VfLevel>) -> Result<Self> {
+        if levels.is_empty() {
+            return Err(PlatformError::EmptyTable);
+        }
+        for l in &levels {
+            VfLevel::new(l.volts, l.mhz)?;
+        }
+        levels.sort_by(|a, b| a.mhz.partial_cmp(&b.mhz).expect("finite frequencies"));
+        for w in levels.windows(2) {
+            if w[1].volts < w[0].volts {
+                return Err(PlatformError::InvalidLevel { volts: w[1].volts, mhz: w[1].mhz });
+            }
+        }
+        Ok(VfTable { levels })
+    }
+
+    /// The classic 70 nm six-level table used by the evaluation
+    /// (frequencies 300–1000 MHz, voltages 0.85–1.10 V).
+    pub fn preset_70nm() -> Self {
+        let pts = [
+            (0.85, 300.0),
+            (0.90, 400.0),
+            (0.95, 533.0),
+            (1.00, 667.0),
+            (1.05, 800.0),
+            (1.10, 1000.0),
+        ];
+        VfTable::new(pts.iter().map(|&(v, f)| VfLevel { volts: v, mhz: f }).collect())
+            .expect("preset is valid")
+    }
+
+    /// A synthetic table of `l` levels linearly interpolating voltage and
+    /// frequency between the given corner points. Used by parameter sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::EmptyTable`] when `l == 0`, or
+    /// [`PlatformError::InvalidLevel`] for bad corners.
+    pub fn synthetic(l: usize, v_range: (f64, f64), f_range: (f64, f64)) -> Result<Self> {
+        if l == 0 {
+            return Err(PlatformError::EmptyTable);
+        }
+        let mut levels = Vec::with_capacity(l);
+        for i in 0..l {
+            let t = if l == 1 { 1.0 } else { i as f64 / (l - 1) as f64 };
+            levels.push(VfLevel::new(
+                v_range.0 + t * (v_range.1 - v_range.0),
+                f_range.0 + t * (f_range.1 - f_range.0),
+            )?);
+        }
+        VfTable::new(levels)
+    }
+
+    /// Number of levels `L`.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// The level at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn level(&self, id: LevelId) -> VfLevel {
+        self.levels[id.0]
+    }
+
+    /// Iterates `(LevelId, VfLevel)` in ascending frequency order.
+    pub fn iter(&self) -> impl Iterator<Item = (LevelId, VfLevel)> + '_ {
+        self.levels.iter().enumerate().map(|(i, &l)| (LevelId(i), l))
+    }
+
+    /// Minimum frequency `f_min` in MHz.
+    pub fn f_min(&self) -> f64 {
+        self.levels.first().expect("nonempty").mhz
+    }
+
+    /// Maximum frequency `f_max` in MHz.
+    pub fn f_max(&self) -> f64 {
+        self.levels.last().expect("nonempty").mhz
+    }
+
+    /// The fastest level.
+    pub fn fastest(&self) -> LevelId {
+        LevelId(self.levels.len() - 1)
+    }
+
+    /// The slowest level.
+    pub fn slowest(&self) -> LevelId {
+        LevelId(0)
+    }
+
+    /// The paper's Fig. 2(c) energy-gap index
+    /// `ε = max_l(P_l/f_l) / min_l(P_l/f_l)` (energy per cycle spread).
+    pub fn energy_gap_index(&self, power: &PowerModel) -> f64 {
+        let per_cycle: Vec<f64> =
+            self.levels.iter().map(|l| power.total_power(*l) / l.mhz).collect();
+        let max = per_cycle.iter().cloned().fold(f64::MIN, f64::max);
+        let min = per_cycle.iter().cloned().fold(f64::MAX, f64::min);
+        max / min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::PowerParams;
+
+    #[test]
+    fn preset_is_sorted_and_bounded() {
+        let t = VfTable::preset_70nm();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.f_min(), 300.0);
+        assert_eq!(t.f_max(), 1000.0);
+        assert_eq!(t.level(t.fastest()).mhz, 1000.0);
+        assert_eq!(t.level(t.slowest()).mhz, 300.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let t = VfTable::new(vec![
+            VfLevel { volts: 1.1, mhz: 900.0 },
+            VfLevel { volts: 0.9, mhz: 300.0 },
+        ])
+        .unwrap();
+        assert_eq!(t.f_min(), 300.0);
+    }
+
+    #[test]
+    fn voltage_must_grow_with_frequency() {
+        let r = VfTable::new(vec![
+            VfLevel { volts: 1.1, mhz: 300.0 },
+            VfLevel { volts: 0.9, mhz: 900.0 },
+        ]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn empty_table_rejected() {
+        assert!(matches!(VfTable::new(vec![]), Err(PlatformError::EmptyTable)));
+        assert!(VfTable::synthetic(0, (0.8, 1.1), (300.0, 1000.0)).is_err());
+    }
+
+    #[test]
+    fn invalid_level_rejected() {
+        assert!(VfLevel::new(-1.0, 500.0).is_err());
+        assert!(VfLevel::new(1.0, 0.0).is_err());
+        assert!(VfLevel::new(f64::NAN, 500.0).is_err());
+    }
+
+    #[test]
+    fn exec_time_units() {
+        // 5e6 cycles at 500 MHz = 10 ms.
+        let l = VfLevel::new(1.0, 500.0).unwrap();
+        assert!((l.exec_time_ms(5e6) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn synthetic_interpolates() {
+        let t = VfTable::synthetic(3, (0.8, 1.2), (200.0, 1000.0)).unwrap();
+        assert_eq!(t.len(), 3);
+        let mid = t.level(LevelId(1));
+        assert!((mid.volts - 1.0).abs() < 1e-12);
+        assert!((mid.mhz - 600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_gap_index_above_one() {
+        let t = VfTable::preset_70nm();
+        let p = PowerModel::new(PowerParams::bulk_70nm());
+        assert!(t.energy_gap_index(&p) > 1.0);
+    }
+}

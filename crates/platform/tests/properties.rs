@@ -1,0 +1,72 @@
+//! Property tests for the platform models.
+
+use ndp_platform::{
+    Platform, PowerModel, PowerParams, ReliabilityModel, ReliabilityParams, VfTable,
+};
+use proptest::prelude::*;
+
+fn table_strategy() -> impl Strategy<Value = VfTable> {
+    (2usize..=8, 0.6f64..1.0, 0.05f64..0.6, 100.0f64..600.0, 200.0f64..1400.0).prop_map(
+        |(l, v0, vspan, f0, fspan)| {
+            VfTable::synthetic(l, (v0, v0 + vspan), (f0, f0 + fspan)).expect("valid corners")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Total power strictly increases along the table (higher V and f).
+    #[test]
+    fn power_monotone_in_level(table in table_strategy()) {
+        let p = PowerModel::new(PowerParams::bulk_70nm());
+        let mut prev = 0.0;
+        for (_, l) in table.iter() {
+            let w = p.total_power(l);
+            prop_assert!(w > prev);
+            prev = w;
+        }
+    }
+
+    /// Reliability improves with frequency and degrades with workload, and
+    /// always stays a probability.
+    #[test]
+    fn reliability_is_probability_and_monotone(
+        table in table_strategy(),
+        cycles in 1e4f64..1e8,
+    ) {
+        let r = ReliabilityModel::new(ReliabilityParams::typical(), &table);
+        let mut prev = 0.0;
+        for (_, l) in table.iter() {
+            let v = r.task_reliability(cycles, l);
+            prop_assert!((0.0..=1.0).contains(&v));
+            prop_assert!(v >= prev);
+            prev = v;
+        }
+        let fast = table.level(table.fastest());
+        prop_assert!(r.task_reliability(cycles, fast) >= r.task_reliability(cycles * 2.0, fast));
+    }
+
+    /// Duplication never hurts: `1 − (1−a)(1−b) ≥ max(a, b)` on [0,1].
+    #[test]
+    fn duplication_dominates_both_copies(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        let c = ReliabilityModel::duplicated_reliability(a, b);
+        prop_assert!(c >= a.max(b) - 1e-12);
+        prop_assert!(c <= 1.0 + 1e-12);
+    }
+
+    /// Energy of a task splits linearly: e(c1 + c2) = e(c1) + e(c2).
+    #[test]
+    fn energy_additive_in_cycles(
+        table in table_strategy(),
+        c1 in 1e4f64..1e7,
+        c2 in 1e4f64..1e7,
+    ) {
+        let p = Platform::new(2, table, PowerModel::default(), ReliabilityParams::typical())
+            .expect("valid platform");
+        let l = p.vf_table().fastest();
+        let lhs = p.exec_energy_mj(c1 + c2, l);
+        let rhs = p.exec_energy_mj(c1, l) + p.exec_energy_mj(c2, l);
+        prop_assert!((lhs - rhs).abs() < 1e-9 * lhs.max(1.0));
+    }
+}

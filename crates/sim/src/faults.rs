@@ -1,0 +1,207 @@
+//! Poisson transient-fault injection and Monte-Carlo reliability.
+//!
+//! Each executed task copy fails independently with probability
+//! `1 − r(C_i, f)` where `r` is the platform's Poisson reliability model —
+//! the same model the optimizer reasons with. An *original* task's
+//! computation survives a trial when at least one of its active copies
+//! survives; the deployment survives when every original does. Monte-Carlo
+//! estimates of these probabilities converge to the analytic `r'_i`
+//! (duplicated reliability), which the test suite verifies.
+
+use ndp_core::{Deployment, ProblemInstance};
+use ndp_taskset::TaskId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a fault-injection campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultReport {
+    /// Number of trials.
+    pub trials: u64,
+    /// Trials in which every original task produced a correct result.
+    pub system_successes: u64,
+    /// Per-original-task success counts.
+    pub task_successes: Vec<u64>,
+    /// Total injected faults across all trials and copies.
+    pub injected_faults: u64,
+}
+
+impl FaultReport {
+    /// Estimated system reliability.
+    pub fn system_reliability(&self) -> f64 {
+        self.system_successes as f64 / self.trials as f64
+    }
+
+    /// Estimated reliability of original task `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not an original-task index.
+    pub fn task_reliability(&self, i: TaskId) -> f64 {
+        self.task_successes[i.index()] as f64 / self.trials as f64
+    }
+}
+
+/// Runs `trials` independent fault-injection executions of `deployment`.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+pub fn inject_faults(
+    problem: &ProblemInstance,
+    deployment: &Deployment,
+    trials: u64,
+    seed: u64,
+) -> FaultReport {
+    assert!(trials > 0, "at least one trial required");
+    let m = problem.num_original();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6661_756c_7473_2121);
+    // Per-copy survival probabilities under the chosen frequencies.
+    let survive_p: Vec<f64> = (0..problem.num_tasks())
+        .map(|i| {
+            if deployment.active[i] {
+                problem.reliability(TaskId(i), deployment.frequency[i])
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let mut task_successes = vec![0u64; m];
+    let mut system_successes = 0u64;
+    let mut injected = 0u64;
+    for _ in 0..trials {
+        let mut all_ok = true;
+        for i in 0..m {
+            let copy = i + m;
+            let mut ok = rng.gen_bool(survive_p[i]);
+            if !ok {
+                injected += 1;
+            }
+            if deployment.active[copy] {
+                let copy_ok = rng.gen_bool(survive_p[copy]);
+                if !copy_ok {
+                    injected += 1;
+                }
+                ok = ok || copy_ok;
+            }
+            if ok {
+                task_successes[i] += 1;
+            } else {
+                all_ok = false;
+            }
+        }
+        if all_ok {
+            system_successes += 1;
+        }
+    }
+    FaultReport { trials, system_successes, task_successes, injected_faults: injected }
+}
+
+/// The analytic reliability of original task `i` under `deployment`:
+/// `r_i` or the duplicated `r'_i = 1 − (1 − r_i)(1 − r_{i+M})`.
+pub fn analytic_task_reliability(
+    problem: &ProblemInstance,
+    deployment: &Deployment,
+    i: TaskId,
+) -> f64 {
+    let r = problem.reliability(i, deployment.frequency[i.index()]);
+    let copy = problem.tasks.copy_of(i);
+    if deployment.active[copy.index()] {
+        let rc = problem.reliability(copy, deployment.frequency[copy.index()]);
+        1.0 - (1.0 - r) * (1.0 - rc)
+    } else {
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndp_core::solve_heuristic;
+    use ndp_noc::{Mesh2D, NocParams, WeightedNoc};
+    use ndp_platform::{Platform, PowerModel, ReliabilityParams, VfTable};
+    use ndp_taskset::{generate, GeneratorConfig};
+
+    /// A harsh fault environment so duplication actually triggers and the
+    /// Monte-Carlo estimate has signal.
+    fn harsh_instance(seed: u64) -> Option<(ProblemInstance, Deployment)> {
+        let g = generate(&GeneratorConfig::typical(6), seed).unwrap();
+        let vf = VfTable::preset_70nm();
+        let platform = Platform::new(
+            4,
+            vf,
+            PowerModel::default(),
+            ReliabilityParams { lambda_max_freq: 5e-3, sensitivity: 2.0 },
+        )
+        .unwrap();
+        let p = ProblemInstance::from_original(
+            &g,
+            platform,
+            WeightedNoc::new(Mesh2D::square(2).unwrap(), NocParams::typical(), seed).unwrap(),
+            0.98,
+            4.0,
+        )
+        .unwrap();
+        let d = solve_heuristic(&p).ok()?;
+        Some((p, d))
+    }
+
+    #[test]
+    fn monte_carlo_matches_analytic_reliability() {
+        let Some((p, d)) = harsh_instance(3) else { return };
+        let report = inject_faults(&p, &d, 200_000, 9);
+        for i in p.tasks.originals() {
+            let analytic = analytic_task_reliability(&p, &d, i);
+            let measured = report.task_reliability(i);
+            assert!(
+                (analytic - measured).abs() < 0.01,
+                "{i}: analytic {analytic:.4} vs measured {measured:.4}"
+            );
+            assert!(analytic >= p.reliability_threshold - 1e-9);
+        }
+    }
+
+    #[test]
+    fn system_reliability_is_product_of_task_reliabilities() {
+        let Some((p, d)) = harsh_instance(5) else { return };
+        let report = inject_faults(&p, &d, 200_000, 11);
+        let analytic: f64 = p
+            .tasks
+            .originals()
+            .map(|i| analytic_task_reliability(&p, &d, i))
+            .product();
+        assert!((report.system_reliability() - analytic).abs() < 0.01);
+    }
+
+    #[test]
+    fn duplication_increases_measured_reliability() {
+        let Some((p, d)) = harsh_instance(7) else { return };
+        // Strip every duplicate and re-measure: reliability must drop for
+        // tasks that had copies.
+        let mut stripped = d.clone();
+        for dup in p.tasks.duplicates() {
+            stripped.active[dup.index()] = false;
+        }
+        if d.duplicated_count(&p) == 0 {
+            return; // nothing to compare on this seed
+        }
+        let with = inject_faults(&p, &d, 100_000, 13);
+        let without = inject_faults(&p, &stripped, 100_000, 13);
+        assert!(with.system_reliability() > without.system_reliability());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let Some((p, d)) = harsh_instance(2) else { return };
+        let a = inject_faults(&p, &d, 10_000, 42);
+        let b = inject_faults(&p, &d, 10_000, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        let Some((p, d)) = harsh_instance(2) else { panic!("at least one trial") };
+        let _ = inject_faults(&p, &d, 0, 1);
+    }
+}

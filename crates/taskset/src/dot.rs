@@ -1,0 +1,109 @@
+//! Graphviz (DOT) export of task graphs.
+//!
+//! Useful for eyeballing generated workloads and for documentation:
+//! `generate(...)` → [`to_dot`] → `dot -Tsvg`.
+
+use crate::graph::TaskGraph;
+
+/// Options for [`to_dot`].
+#[derive(Debug, Clone)]
+pub struct DotStyle {
+    /// Graph name in the DOT header.
+    pub name: String,
+    /// Include WCEC/deadline in node labels.
+    pub show_task_details: bool,
+    /// Include data sizes on edges.
+    pub show_data_sizes: bool,
+}
+
+impl Default for DotStyle {
+    fn default() -> Self {
+        DotStyle { name: "taskgraph".into(), show_task_details: true, show_data_sizes: true }
+    }
+}
+
+/// Renders `graph` as a DOT document.
+pub fn to_dot(graph: &TaskGraph, style: &DotStyle) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize(&style.name));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, style=rounded];");
+    for t in graph.task_ids() {
+        let task = graph.task(t);
+        let label = if style.show_task_details {
+            format!(
+                "{}\\nC={:.2} Mcyc\\nD={:.2} ms",
+                task.name,
+                task.wcec / 1e6,
+                task.deadline_ms
+            )
+        } else {
+            task.name.clone()
+        };
+        let _ = writeln!(out, "  t{} [label=\"{}\"];", t.index(), label);
+    }
+    for (p, s, data) in graph.edges() {
+        if style.show_data_sizes {
+            let _ = writeln!(out, "  t{} -> t{} [label=\"{:.1}\"];", p.index(), s.index(), data);
+        } else {
+            let _ = writeln!(out, "  t{} -> t{};", p.index(), s.index());
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String =
+        name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect();
+    if cleaned.is_empty() {
+        "g".into()
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GeneratorConfig};
+    use crate::graph::TaskGraph;
+    use crate::task::Task;
+
+    #[test]
+    fn dot_lists_every_task_and_edge() {
+        let g = generate(&GeneratorConfig::typical(8), 3).unwrap();
+        let dot = to_dot(&g, &DotStyle::default());
+        assert!(dot.starts_with("digraph"));
+        for t in g.task_ids() {
+            assert!(dot.contains(&format!("t{} [", t.index())));
+        }
+        assert_eq!(dot.matches(" -> ").count(), g.num_edges());
+    }
+
+    #[test]
+    fn details_can_be_hidden() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(Task::new("alpha", 1e6, 4.0));
+        let b = g.add_task(Task::new("beta", 2e6, 4.0));
+        g.add_edge(a, b, 3.5).unwrap();
+        let slim = to_dot(
+            &g,
+            &DotStyle { show_task_details: false, show_data_sizes: false, ..DotStyle::default() },
+        );
+        assert!(!slim.contains("Mcyc"));
+        assert!(!slim.contains("3.5"));
+        let full = to_dot(&g, &DotStyle::default());
+        assert!(full.contains("Mcyc"));
+        assert!(full.contains("3.5"));
+    }
+
+    #[test]
+    fn graph_name_sanitized() {
+        let g = TaskGraph::new();
+        let dot =
+            to_dot(&g, &DotStyle { name: "weird name!".into(), ..DotStyle::default() });
+        assert!(dot.starts_with("digraph weird_name_"));
+    }
+}

@@ -1,0 +1,64 @@
+//! Error types for task-graph construction.
+
+use std::fmt;
+
+/// Errors raised while building task graphs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TasksetError {
+    /// A task id referenced a task outside the graph.
+    UnknownTask {
+        /// The offending index.
+        index: usize,
+        /// Number of tasks in the graph.
+        len: usize,
+    },
+    /// Tasks cannot depend on themselves.
+    SelfDependency {
+        /// The task index.
+        task: usize,
+    },
+    /// Adding the edge would create a dependency cycle.
+    CycleDetected {
+        /// Edge source index.
+        from: usize,
+        /// Edge destination index.
+        to: usize,
+    },
+    /// Edge data sizes must be finite and non-negative.
+    InvalidDataSize {
+        /// The offending value.
+        value: f64,
+    },
+    /// A generator was asked for an impossible configuration.
+    InvalidGenerator {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TasksetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TasksetError::UnknownTask { index, len } => {
+                write!(f, "task index {index} out of range for graph with {len} tasks")
+            }
+            TasksetError::SelfDependency { task } => {
+                write!(f, "task {task} cannot depend on itself")
+            }
+            TasksetError::CycleDetected { from, to } => {
+                write!(f, "edge {from} -> {to} would create a cycle")
+            }
+            TasksetError::InvalidDataSize { value } => {
+                write!(f, "edge data size must be finite and non-negative, got {value}")
+            }
+            TasksetError::InvalidGenerator { reason } => {
+                write!(f, "invalid generator configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TasksetError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TasksetError>;

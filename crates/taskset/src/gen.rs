@@ -1,0 +1,321 @@
+//! Seeded random task-graph generators.
+//!
+//! The paper evaluates on randomly generated task graphs (30 per data
+//! point). This module provides reproducible generators in the styles
+//! common to the NoC-mapping literature: layered DAGs (TGFF-like), chains,
+//! fork-join graphs and uniform random DAGs.
+
+use crate::error::{Result, TasksetError};
+use crate::graph::TaskGraph;
+use crate::task::{Task, TaskId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Shape family of the generated DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GraphShape {
+    /// Tasks arranged in `layers` ranks; every non-source task has at least
+    /// one predecessor in the previous rank, plus extra rank-to-rank edges
+    /// with probability `edge_probability`.
+    Layered {
+        /// Number of ranks (≥ 1).
+        layers: usize,
+        /// Probability of each optional extra edge.
+        edge_probability: f64,
+    },
+    /// A single dependency chain `τ1 → τ2 → …`.
+    Chain,
+    /// One source fanning out to `width` parallel branches joined by one
+    /// sink.
+    ForkJoin {
+        /// Number of parallel branches (≥ 1).
+        width: usize,
+    },
+    /// Uniform random DAG: edge `i → j` (`i < j`) with probability
+    /// `edge_probability`.
+    Random {
+        /// Probability of each forward edge.
+        edge_probability: f64,
+    },
+}
+
+/// Configuration for [`generate`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Number of tasks `M`.
+    pub num_tasks: usize,
+    /// WCEC range in cycles (uniform).
+    pub wcec_range: (f64, f64),
+    /// Relative deadline = execution time at `reference_mhz` × slack, with
+    /// slack drawn uniformly from this range. Slacks ≥ 1 keep every task
+    /// schedulable at the reference frequency.
+    pub deadline_slack: (f64, f64),
+    /// Frequency anchoring the deadline computation, MHz.
+    pub reference_mhz: f64,
+    /// Edge data size range in units (uniform).
+    pub data_size_range: (f64, f64),
+    /// DAG shape family.
+    pub shape: GraphShape,
+}
+
+impl GeneratorConfig {
+    /// The evaluation default: a layered DAG with moderate fan-out, WCECs of
+    /// 0.5–4 Mcycles and deadlines feasible from the mid V/F levels up.
+    pub fn typical(num_tasks: usize) -> Self {
+        GeneratorConfig {
+            num_tasks,
+            wcec_range: (0.5e6, 4.0e6),
+            deadline_slack: (1.6, 3.5),
+            reference_mhz: 1000.0,
+            data_size_range: (1.0, 6.0),
+            shape: GraphShape::Layered {
+                layers: (num_tasks / 4).clamp(2, 6),
+                edge_probability: 0.25,
+            },
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        let bad = |reason: &str| {
+            Err(TasksetError::InvalidGenerator { reason: reason.to_string() })
+        };
+        if self.num_tasks == 0 {
+            return bad("num_tasks must be positive");
+        }
+        if !(self.wcec_range.0 > 0.0 && self.wcec_range.1 >= self.wcec_range.0) {
+            return bad("wcec_range must be positive and ordered");
+        }
+        if !(self.deadline_slack.0 > 0.0 && self.deadline_slack.1 >= self.deadline_slack.0) {
+            return bad("deadline_slack must be positive and ordered");
+        }
+        if !(self.reference_mhz > 0.0) {
+            return bad("reference_mhz must be positive");
+        }
+        if !(self.data_size_range.0 >= 0.0 && self.data_size_range.1 >= self.data_size_range.0) {
+            return bad("data_size_range must be non-negative and ordered");
+        }
+        match self.shape {
+            GraphShape::Layered { layers, edge_probability } => {
+                if layers == 0 {
+                    return bad("layers must be positive");
+                }
+                if !(0.0..=1.0).contains(&edge_probability) {
+                    return bad("edge_probability must be in [0, 1]");
+                }
+            }
+            GraphShape::ForkJoin { width } => {
+                if width == 0 {
+                    return bad("fork-join width must be positive");
+                }
+            }
+            GraphShape::Random { edge_probability } => {
+                if !(0.0..=1.0).contains(&edge_probability) {
+                    return bad("edge_probability must be in [0, 1]");
+                }
+            }
+            GraphShape::Chain => {}
+        }
+        Ok(())
+    }
+}
+
+fn sample(rng: &mut StdRng, range: (f64, f64)) -> f64 {
+    if range.0 == range.1 {
+        range.0
+    } else {
+        rng.gen_range(range.0..=range.1)
+    }
+}
+
+/// Generates a reproducible random task graph.
+///
+/// # Errors
+///
+/// Returns [`TasksetError::InvalidGenerator`] for inconsistent
+/// configurations.
+///
+/// ```
+/// use ndp_taskset::{generate, GeneratorConfig};
+///
+/// let g = generate(&GeneratorConfig::typical(12), 7)?;
+/// assert_eq!(g.num_tasks(), 12);
+/// // Same seed, same graph.
+/// assert_eq!(g, generate(&GeneratorConfig::typical(12), 7)?);
+/// # Ok::<(), ndp_taskset::TasksetError>(())
+/// ```
+pub fn generate(config: &GeneratorConfig, seed: u64) -> Result<TaskGraph> {
+    config.validate()?;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7461_736b_5f67_656e);
+    let mut g = TaskGraph::new();
+    let m = config.num_tasks;
+    for i in 0..m {
+        let wcec = sample(&mut rng, config.wcec_range);
+        let exec_ms = wcec / (config.reference_mhz * 1e3);
+        let deadline = exec_ms * sample(&mut rng, config.deadline_slack);
+        g.add_task(Task::new(format!("t{}", i + 1), wcec, deadline));
+    }
+    let data = |rng: &mut StdRng| sample(rng, config.data_size_range);
+    match config.shape {
+        GraphShape::Chain => {
+            for i in 1..m {
+                let d = data(&mut rng);
+                g.add_edge(TaskId(i - 1), TaskId(i), d).expect("chain edge");
+            }
+        }
+        GraphShape::ForkJoin { width } => {
+            if m >= 3 {
+                let width = width.min(m - 2);
+                let sink = TaskId(m - 1);
+                for i in 1..=(m - 2) {
+                    let branch_head = ((i - 1) % width) + 1;
+                    if i <= width {
+                        let d = data(&mut rng);
+                        g.add_edge(TaskId(0), TaskId(i), d).expect("fork edge");
+                    } else {
+                        let d = data(&mut rng);
+                        g.add_edge(TaskId(i - width), TaskId(i), d).expect("branch edge");
+                        let _ = branch_head;
+                    }
+                }
+                for i in (m - 1 - width.min(m - 2))..(m - 1) {
+                    let d = data(&mut rng);
+                    // Last task of each branch feeds the sink; duplicates of
+                    // the same edge simply overwrite with a fresh size.
+                    g.add_edge(TaskId(i.max(1)), sink, d).expect("join edge");
+                }
+            } else if m == 2 {
+                let d = data(&mut rng);
+                g.add_edge(TaskId(0), TaskId(1), d).expect("edge");
+            }
+        }
+        GraphShape::Layered { layers, edge_probability } => {
+            let layers = layers.min(m);
+            // Round-robin assignment keeps layer sizes within one task.
+            let layer_of: Vec<usize> = (0..m).map(|i| i * layers / m).collect();
+            for i in 0..m {
+                let li = layer_of[i];
+                if li == 0 {
+                    continue;
+                }
+                let prev: Vec<usize> = (0..m).filter(|&j| layer_of[j] == li - 1).collect();
+                // Mandatory predecessor keeps the DAG connected rank-to-rank.
+                let p = prev[rng.gen_range(0..prev.len())];
+                let d = data(&mut rng);
+                g.add_edge(TaskId(p), TaskId(i), d).expect("layer edge");
+                for &q in &prev {
+                    if q != p && rng.gen_bool(edge_probability) {
+                        let d = data(&mut rng);
+                        g.add_edge(TaskId(q), TaskId(i), d).expect("extra edge");
+                    }
+                }
+            }
+        }
+        GraphShape::Random { edge_probability } => {
+            for i in 0..m {
+                for j in (i + 1)..m {
+                    if rng.gen_bool(edge_probability) {
+                        let d = data(&mut rng);
+                        g.add_edge(TaskId(i), TaskId(j), d).expect("forward edge");
+                    }
+                }
+            }
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = GeneratorConfig::typical(20);
+        assert_eq!(generate(&c, 1).unwrap(), generate(&c, 1).unwrap());
+        assert_ne!(generate(&c, 1).unwrap(), generate(&c, 2).unwrap());
+    }
+
+    #[test]
+    fn layered_all_non_sources_have_predecessors() {
+        let c = GeneratorConfig::typical(24);
+        let g = generate(&c, 3).unwrap();
+        let layers = g.layers();
+        for t in g.task_ids() {
+            if layers[t.index()] > 0 {
+                assert!(g.in_degree(t) >= 1, "{t} in layer >0 must have a predecessor");
+            }
+        }
+    }
+
+    #[test]
+    fn chain_shape() {
+        let mut c = GeneratorConfig::typical(6);
+        c.shape = GraphShape::Chain;
+        let g = generate(&c, 5).unwrap();
+        assert_eq!(g.num_edges(), 5);
+        for i in 1..6 {
+            assert!(g.depends(TaskId(i - 1), TaskId(i)));
+        }
+    }
+
+    #[test]
+    fn fork_join_connects_source_and_sink() {
+        let mut c = GeneratorConfig::typical(8);
+        c.shape = GraphShape::ForkJoin { width: 3 };
+        let g = generate(&c, 5).unwrap();
+        assert_eq!(g.in_degree(TaskId(0)), 0);
+        assert!(g.out_degree(TaskId(0)) >= 1);
+        assert!(g.in_degree(TaskId(7)) >= 1);
+        // Acyclic by construction (add_edge would have failed otherwise).
+        assert_eq!(g.topological_order().len(), 8);
+    }
+
+    #[test]
+    fn random_shape_respects_probability_extremes() {
+        let mut c = GeneratorConfig::typical(10);
+        c.shape = GraphShape::Random { edge_probability: 0.0 };
+        assert_eq!(generate(&c, 9).unwrap().num_edges(), 0);
+        c.shape = GraphShape::Random { edge_probability: 1.0 };
+        assert_eq!(generate(&c, 9).unwrap().num_edges(), 45);
+    }
+
+    #[test]
+    fn deadlines_feasible_at_reference_frequency() {
+        let c = GeneratorConfig::typical(30);
+        let g = generate(&c, 11).unwrap();
+        for t in g.task_ids() {
+            let task = g.task(t);
+            let exec_at_ref = task.wcec / (c.reference_mhz * 1e3);
+            assert!(task.deadline_ms >= exec_at_ref, "deadline must cover reference exec");
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = GeneratorConfig::typical(0);
+        assert!(generate(&c, 0).is_err());
+        c = GeneratorConfig::typical(5);
+        c.wcec_range = (2.0, 1.0);
+        assert!(generate(&c, 0).is_err());
+        c = GeneratorConfig::typical(5);
+        c.shape = GraphShape::Random { edge_probability: 1.5 };
+        assert!(generate(&c, 0).is_err());
+    }
+
+    #[test]
+    fn single_task_graphs_work() {
+        let mut c = GeneratorConfig::typical(1);
+        for shape in [
+            GraphShape::Chain,
+            GraphShape::ForkJoin { width: 2 },
+            GraphShape::Random { edge_probability: 0.5 },
+            GraphShape::Layered { layers: 3, edge_probability: 0.5 },
+        ] {
+            c.shape = shape;
+            let g = generate(&c, 1).unwrap();
+            assert_eq!(g.num_tasks(), 1);
+            assert_eq!(g.num_edges(), 0);
+        }
+    }
+}

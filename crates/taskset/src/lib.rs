@@ -1,0 +1,36 @@
+//! # ndp-taskset — task graphs, generators and duplication
+//!
+//! Task model substrate of the `noc-deploy` workspace (paper §II-A.1/3):
+//!
+//! * [`Task`] / [`TaskGraph`] — dependent periodic tasks with WCECs,
+//!   relative deadlines, the dependency matrix `p_ij` and data sizes `s_ij`,
+//! * [`generate`] — seeded random DAG generators (layered/TGFF-like, chain,
+//!   fork-join, uniform random),
+//! * [`DuplicatedGraph`] — the Fig. 1(c) duplication transform that gives
+//!   every task a potential reliability copy `τ_{i+M}`.
+//!
+//! ```
+//! use ndp_taskset::{generate, DuplicatedGraph, GeneratorConfig};
+//!
+//! let g = generate(&GeneratorConfig::typical(10), 42)?;
+//! let dup = DuplicatedGraph::expand(&g);
+//! assert_eq!(dup.total_count(), 20);
+//! # Ok::<(), ndp_taskset::TasksetError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod dot;
+mod duplication;
+mod error;
+mod gen;
+mod graph;
+mod task;
+
+pub use dot::{to_dot, DotStyle};
+pub use duplication::DuplicatedGraph;
+pub use error::{Result, TasksetError};
+pub use gen::{generate, GeneratorConfig, GraphShape};
+pub use graph::TaskGraph;
+pub use task::{Task, TaskId};

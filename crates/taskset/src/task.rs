@@ -1,0 +1,72 @@
+//! Individual tasks (paper §II-A.1).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a task in a [`TaskGraph`](crate::TaskGraph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub usize);
+
+impl TaskId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "τ{}", self.0 + 1)
+    }
+}
+
+/// One periodic task `τ_i = {C_i, D_i, …}`: worst-case execution cycles and
+/// a relative deadline bounding its execution time (paper constraint (8)).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Diagnostic name.
+    pub name: String,
+    /// Worst-case execution cycles `C_i`.
+    pub wcec: f64,
+    /// Relative deadline `D_i` in milliseconds: an upper bound on the
+    /// task's *execution time* `C_i / f`.
+    pub deadline_ms: f64,
+}
+
+impl Task {
+    /// Creates a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wcec` or `deadline_ms` is non-positive or non-finite.
+    pub fn new(name: impl Into<String>, wcec: f64, deadline_ms: f64) -> Self {
+        assert!(wcec.is_finite() && wcec > 0.0, "WCEC must be positive");
+        assert!(
+            deadline_ms.is_finite() && deadline_ms > 0.0,
+            "deadline must be positive"
+        );
+        Task { name: name.into(), wcec, deadline_ms }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_one_based_like_the_paper() {
+        assert_eq!(TaskId(0).to_string(), "τ1");
+    }
+
+    #[test]
+    #[should_panic(expected = "WCEC")]
+    fn zero_wcec_rejected() {
+        let _ = Task::new("bad", 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline")]
+    fn negative_deadline_rejected() {
+        let _ = Task::new("bad", 1e6, -1.0);
+    }
+}

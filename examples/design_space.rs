@@ -1,0 +1,98 @@
+//! Design-space exploration: how mesh size and the reliability threshold
+//! shape the deployment, and how the paper's heuristic compares with naive
+//! baselines.
+//!
+//! ```text
+//! cargo run -p ndp-examples --bin design_space
+//! ```
+
+use ndp_core::{
+    energy_table, first_fit_fastest, gantt, random_mapping, round_robin, solve_heuristic,
+    validate, ProblemInstance,
+};
+use ndp_noc::{Mesh2D, NocParams, WeightedNoc};
+use ndp_platform::Platform;
+use ndp_taskset::{generate, GeneratorConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = generate(&GeneratorConfig::typical(16), 321)?;
+
+    println!("== mesh-size sweep (R_th = 0.95) ==");
+    println!("{:>6} {:>10} {:>10} {:>8} {:>8}", "mesh", "max (mJ)", "total", "phi", "dups");
+    for side in [2usize, 3, 4] {
+        let problem = ProblemInstance::from_original(
+            &graph,
+            Platform::homogeneous(side * side)?,
+            WeightedNoc::new(Mesh2D::square(side)?, NocParams::typical(), 321)?,
+            0.95,
+            4.0,
+        )?;
+        match solve_heuristic(&problem) {
+            Ok(d) => {
+                let r = d.energy_report(&problem);
+                println!(
+                    "{:>4}x{} {:>10.4} {:>10.4} {:>8.3} {:>8}",
+                    side,
+                    side,
+                    r.max_mj(),
+                    r.total_mj(),
+                    r.balance_index(),
+                    d.duplicated_count(&problem)
+                );
+            }
+            Err(e) => println!("{side}x{side}: infeasible ({e})"),
+        }
+    }
+
+    println!("\n== reliability-threshold sweep (4x4 mesh) ==");
+    println!("{:>10} {:>8} {:>10}", "R_th", "dups", "max (mJ)");
+    for thr in [0.90, 0.95, 0.99, 0.999, 0.99999] {
+        let problem = ProblemInstance::from_original(
+            &graph,
+            Platform::homogeneous(16)?,
+            WeightedNoc::new(Mesh2D::square(4)?, NocParams::typical(), 321)?,
+            thr,
+            4.0,
+        )?;
+        match solve_heuristic(&problem) {
+            Ok(d) => println!(
+                "{thr:>10} {:>8} {:>10.4}",
+                d.duplicated_count(&problem),
+                d.energy_report(&problem).max_mj()
+            ),
+            Err(e) => println!("{thr:>10} infeasible ({e})"),
+        }
+    }
+
+    println!("\n== heuristic vs naive mappers (4x4 mesh, R_th = 0.95) ==");
+    let problem = ProblemInstance::from_original(
+        &graph,
+        Platform::homogeneous(16)?,
+        WeightedNoc::new(Mesh2D::square(4)?, NocParams::typical(), 321)?,
+        0.95,
+        4.0,
+    )?;
+    let deployment = solve_heuristic(&problem)?;
+    assert!(validate(&problem, &deployment).is_empty());
+    let named: Vec<(&str, ndp_core::Deployment)> = vec![
+        ("paper heuristic", deployment.clone()),
+        ("round robin", round_robin(&problem)?),
+        ("first fit", first_fit_fastest(&problem)?),
+        ("random", random_mapping(&problem, 7)?),
+    ];
+    println!("{:<16} {:>10} {:>10} {:>8}", "mapper", "max (mJ)", "total", "phi");
+    for (name, d) in &named {
+        let r = d.energy_report(&problem);
+        println!(
+            "{name:<16} {:>10.4} {:>10.4} {:>8.3}",
+            r.max_mj(),
+            r.total_mj(),
+            r.balance_index()
+        );
+    }
+
+    println!("\n== schedule of the paper heuristic ==");
+    print!("{}", gantt(&problem, &deployment, 72));
+    println!("\n{}", energy_table(&problem, &deployment));
+    Ok(())
+}

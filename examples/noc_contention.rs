@@ -1,0 +1,73 @@
+//! Replaying a deployment's traffic on the flit-level NoC simulator.
+//!
+//! The optimizer reasons with analytic per-unit path latencies `t_{βγρ}`.
+//! This example replays the deployment's actual transfers — over the very
+//! paths the deployment selected — through the microarchitectural wormhole
+//! simulator, showing where contention makes reality diverge from the
+//! analytic model.
+//!
+//! ```text
+//! cargo run -p ndp-examples --bin noc_contention
+//! ```
+
+use ndp_core::{solve_heuristic, ProblemInstance};
+use ndp_noc::{FlitSim, Mesh2D, NocParams, PacketSpec, WeightedNoc};
+use ndp_platform::Platform;
+use ndp_taskset::{generate, GeneratorConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = generate(&GeneratorConfig::typical(16), 5)?;
+    let mesh = Mesh2D::square(4)?;
+    let noc = WeightedNoc::new(mesh.clone(), NocParams::typical(), 5)?;
+    let problem =
+        ProblemInstance::from_original(&graph, Platform::homogeneous(16)?, noc, 0.95, 3.0)?;
+    let deployment = solve_heuristic(&problem)?;
+
+    // Collect the cross-processor transfers the deployment performs.
+    let mut sim = FlitSim::new(mesh, 4);
+    let mut analytic = Vec::new();
+    for (p, s, data) in problem.tasks.graph().edges() {
+        if !(deployment.active[p.index()] && deployment.active[s.index()]) {
+            continue;
+        }
+        let beta = deployment.processor[p.index()];
+        let gamma = deployment.processor[s.index()];
+        if beta == gamma {
+            continue;
+        }
+        let rho = deployment.paths.kind(beta, gamma);
+        let (nb, ng) = (problem.node_of(beta), problem.node_of(gamma));
+        let path = problem.comm.path(nb, ng, rho).clone();
+        analytic.push((nb, ng, problem.comm.time_ms(nb, ng, rho)));
+        sim.inject(PacketSpec {
+            src: nb,
+            dst: ng,
+            // One flit per data unit, minimum one.
+            flits: data.ceil().max(1.0) as usize,
+            // Release everything at once: worst-case burst congestion.
+            inject_at: 0,
+            route: Some(path),
+        });
+    }
+
+    println!("replaying {} transfers through the wormhole simulator", sim.pending());
+    let report = sim.run(1_000_000);
+    println!("delivered {} packets in {} cycles", report.packets.len(), report.cycles);
+    println!("\n{:<10} {:>6} {:>10} {:>14}", "transfer", "hops", "cycles", "analytic (ms)");
+    for (r, (src, dst, t)) in report.packets.iter().zip(&analytic) {
+        println!("{src} -> {dst:<4} {:>6} {:>10} {:>14.4}", r.hops, r.latency(), t);
+    }
+    let mean = report.mean_latency();
+    let max = report.max_latency();
+    println!("\nmean latency {mean:.1} cycles, max {max} cycles");
+    println!(
+        "hot router flit-hops: {:?}",
+        report
+            .router_flit_hops
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &h)| h)
+            .map(|(k, h)| (k, *h))
+    );
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Quickstart: generate a random task set, deploy it with the 3-phase
+//! heuristic, and inspect the result.
+//!
+//! ```text
+//! cargo run -p ndp-examples --bin quickstart
+//! ```
+
+use ndp_core::{solve_heuristic, validate, ProblemInstance};
+use ndp_noc::{Mesh2D, NocParams, WeightedNoc};
+use ndp_platform::Platform;
+use ndp_taskset::{generate, GeneratorConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A random 12-task dependent workload (seeded => reproducible).
+    let graph = generate(&GeneratorConfig::typical(12), 2024)?;
+    println!("task graph: {} tasks, {} edges", graph.num_tasks(), graph.num_edges());
+
+    // 2. A 4×4 mesh of DVFS processors with the 70 nm preset models.
+    let platform = Platform::homogeneous(16)?;
+    let noc = WeightedNoc::new(Mesh2D::square(4)?, NocParams::typical(), 2024)?;
+
+    // 3. The deployment problem: reliability threshold R_th = 0.95,
+    //    horizon H = 3 × critical path (α = 3).
+    let problem = ProblemInstance::from_original(&graph, platform, noc, 0.95, 3.0)?;
+    println!("horizon H = {:.3} ms, R_th = {}", problem.horizon_ms, problem.reliability_threshold);
+
+    // 4. Solve with the paper's 3-phase heuristic.
+    let deployment = solve_heuristic(&problem)?;
+    let violations = validate(&problem, &deployment);
+    assert!(violations.is_empty(), "heuristic output must be valid: {violations:?}");
+
+    // 5. Inspect.
+    let report = deployment.energy_report(&problem);
+    println!("\nper-processor energy (mJ):");
+    for (k, e) in report.per_processor_mj().iter().enumerate() {
+        if *e > 0.0 {
+            println!("  θ{k:<2}  {e:>8.4}");
+        }
+    }
+    println!("\nmax energy  : {:>8.4} mJ (the BE objective)", report.max_mj());
+    println!("total energy: {:>8.4} mJ", report.total_mj());
+    println!("balance φ   : {:>8.4}", report.balance_index());
+    println!("duplicates  : {}", deployment.duplicated_count(&problem));
+
+    println!("\nschedule (active tasks):");
+    for t in problem.tasks.graph().task_ids() {
+        if deployment.active[t.index()] {
+            println!(
+                "  {t:<5} on θ{:<2} @ level {:<2} [{:.3}, {:.3}] ms",
+                deployment.processor[t.index()].index(),
+                deployment.frequency[t.index()].index(),
+                deployment.start_ms[t.index()],
+                deployment.end_ms(&problem, t),
+            );
+        }
+    }
+    Ok(())
+}

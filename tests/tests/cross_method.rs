@@ -1,0 +1,124 @@
+//! Optimal-vs-heuristic cross-method properties on small instances.
+
+use ndp_core::{
+    solve_heuristic, solve_optimal, validate, OptimalConfig, PathMode, ProblemInstance,
+};
+use ndp_milp::{SolveStatus, SolverOptions};
+use ndp_noc::{Mesh2D, NocParams, PathKind, WeightedNoc};
+use ndp_platform::Platform;
+use ndp_taskset::{generate, GeneratorConfig, GraphShape};
+
+fn instance(m: usize, seed: u64, alpha: f64) -> ProblemInstance {
+    let mut cfg = GeneratorConfig::typical(m);
+    cfg.shape = GraphShape::Chain;
+    let g = generate(&cfg, seed).unwrap();
+    ProblemInstance::from_original(
+        &g,
+        Platform::homogeneous(4).unwrap(),
+        WeightedNoc::new(Mesh2D::square(2).unwrap(), NocParams::typical(), seed).unwrap(),
+        0.95,
+        alpha,
+    )
+    .unwrap()
+}
+
+fn solver() -> SolverOptions {
+    SolverOptions::with_time_limit(8.0)
+}
+
+#[test]
+fn proven_optimal_never_worse_than_heuristic() {
+    let mut proven = 0;
+    for seed in 0..6 {
+        let p = instance(3, seed, 3.0);
+        let Ok(h) = solve_heuristic(&p) else { continue };
+        let h_obj = h.energy_report(&p).max_mj();
+        let out = solve_optimal(
+            &p,
+            &OptimalConfig { solver: solver(), ..OptimalConfig::default() },
+        )
+        .unwrap();
+        if out.status == SolveStatus::Optimal {
+            let o = out.objective_mj.unwrap();
+            assert!(o <= h_obj + 1e-6, "seed {seed}: optimal {o} > heuristic {h_obj}");
+            proven += 1;
+        }
+    }
+    assert!(proven > 0, "expected at least one proven-optimal instance");
+}
+
+#[test]
+fn multi_path_dominates_single_path() {
+    for seed in 0..4 {
+        let p = instance(3, seed, 3.0);
+        let multi = solve_optimal(
+            &p,
+            &OptimalConfig { solver: solver(), ..OptimalConfig::default() },
+        )
+        .unwrap();
+        for kind in PathKind::ALL {
+            let single = solve_optimal(
+                &p,
+                &OptimalConfig {
+                    path_mode: PathMode::SingleFixed(kind),
+                    solver: solver(),
+                    ..OptimalConfig::default()
+                },
+            )
+            .unwrap();
+            if multi.status == SolveStatus::Optimal && single.status == SolveStatus::Optimal {
+                assert!(
+                    multi.objective_mj.unwrap() <= single.objective_mj.unwrap() + 1e-6,
+                    "seed {seed} kind {kind:?}"
+                );
+            }
+            // Feasibility domination: single-path feasible ⇒ multi feasible.
+            if single.is_feasible() {
+                assert!(
+                    multi.is_feasible() || multi.status == SolveStatus::Unknown,
+                    "seed {seed}: single feasible but multi infeasible"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn both_routes_satisfy_the_same_referee() {
+    for seed in 0..4 {
+        let p = instance(4, seed, 3.0);
+        if let Ok(h) = solve_heuristic(&p) {
+            assert!(validate(&p, &h).is_empty());
+        }
+        let out = solve_optimal(
+            &p,
+            &OptimalConfig { solver: solver(), ..OptimalConfig::default() },
+        )
+        .unwrap();
+        if let Some(d) = out.deployment {
+            assert!(validate(&p, &d).is_empty());
+        }
+    }
+}
+
+#[test]
+fn tighter_horizon_cannot_improve_the_optimum() {
+    let mut compared = 0;
+    for seed in 0..4 {
+        let loose = instance(3, seed, 4.0);
+        let tight = instance(3, seed, 1.0);
+        let solve = |p: &ProblemInstance| {
+            solve_optimal(p, &OptimalConfig { solver: solver(), ..OptimalConfig::default() })
+                .unwrap()
+        };
+        let (lo, ti) = (solve(&loose), solve(&tight));
+        if lo.status == SolveStatus::Optimal && ti.status == SolveStatus::Optimal {
+            assert!(
+                lo.objective_mj.unwrap() <= ti.objective_mj.unwrap() + 1e-6,
+                "seed {seed}: loose horizon must not cost more"
+            );
+            compared += 1;
+        }
+    }
+    assert!(compared > 0);
+}

@@ -1,0 +1,134 @@
+//! End-to-end pipeline tests: generator → problem → heuristic → referee →
+//! executor → fault injection, across many seeds.
+
+use ndp_core::{solve_heuristic, validate, CommTimeModel, DeployError, ProblemInstance};
+use ndp_noc::{Mesh2D, NocParams, WeightedNoc};
+use ndp_platform::Platform;
+use ndp_sim::{analytic_task_reliability, execute, inject_faults};
+use ndp_taskset::{generate, GeneratorConfig, GraphShape};
+
+fn instance(m: usize, side: usize, alpha: f64, seed: u64) -> ProblemInstance {
+    let g = generate(&GeneratorConfig::typical(m), seed).unwrap();
+    ProblemInstance::from_original(
+        &g,
+        Platform::homogeneous(side * side).unwrap(),
+        WeightedNoc::new(Mesh2D::square(side).unwrap(), NocParams::typical(), seed).unwrap(),
+        0.95,
+        alpha,
+    )
+    .unwrap()
+}
+
+#[test]
+fn heuristic_is_valid_on_every_feasible_seed() {
+    let mut feasible = 0;
+    for seed in 0..30 {
+        let p = instance(14, 4, 3.0, seed);
+        match solve_heuristic(&p) {
+            Ok(d) => {
+                let v = validate(&p, &d);
+                assert!(v.is_empty(), "seed {seed}: {v:?}");
+                feasible += 1;
+            }
+            Err(DeployError::HeuristicInfeasible { .. }) => {}
+            Err(e) => panic!("seed {seed}: unexpected {e}"),
+        }
+    }
+    assert!(feasible >= 20, "expected most generous-horizon instances feasible, got {feasible}");
+}
+
+#[test]
+fn executor_agrees_with_static_accounting() {
+    for seed in 0..10 {
+        let p = instance(12, 3, 3.0, seed);
+        let Ok(d) = solve_heuristic(&p) else { continue };
+        let trace = execute(&p, &d);
+        let report = d.energy_report(&p);
+        assert!((trace.total_energy_mj()
+            - (report.total_mj()))
+        .abs()
+            < 1e-6);
+        assert!(trace.makespan_ms <= p.horizon_ms + 1e-6);
+    }
+}
+
+#[test]
+fn deployments_meet_reliability_threshold_analytically_and_by_injection() {
+    let mut tested = 0;
+    for seed in 0..10 {
+        let p = instance(8, 2, 4.0, seed);
+        let Ok(d) = solve_heuristic(&p) else { continue };
+        for i in p.tasks.originals() {
+            let r = analytic_task_reliability(&p, &d, i);
+            assert!(r >= p.reliability_threshold - 1e-9, "seed {seed} task {i}: {r}");
+        }
+        let report = inject_faults(&p, &d, 20_000, seed);
+        for i in p.tasks.originals() {
+            // Monte-Carlo noise allowance on 20k trials.
+            assert!(
+                report.task_reliability(i) >= p.reliability_threshold - 0.02,
+                "seed {seed} task {i}"
+            );
+        }
+        tested += 1;
+    }
+    assert!(tested > 0);
+}
+
+#[test]
+fn size_scaled_comm_model_is_consistent_end_to_end() {
+    for seed in 0..6 {
+        let p = instance(10, 3, 4.0, seed).with_comm_time_model(CommTimeModel::SizeScaled);
+        let Ok(d) = solve_heuristic(&p) else { continue };
+        let v = validate(&p, &d);
+        assert!(v.is_empty(), "seed {seed}: {v:?}");
+        let trace = execute(&p, &d);
+        for t in &trace.tasks {
+            assert!(t.end_ms <= d.end_ms(&p, t.task) + 1e-6);
+        }
+    }
+}
+
+#[test]
+fn all_graph_shapes_deploy() {
+    for (i, shape) in [
+        GraphShape::Chain,
+        GraphShape::ForkJoin { width: 3 },
+        GraphShape::Random { edge_probability: 0.2 },
+        GraphShape::Layered { layers: 3, edge_probability: 0.3 },
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut cfg = GeneratorConfig::typical(9);
+        cfg.shape = shape;
+        let g = generate(&cfg, 100 + i as u64).unwrap();
+        let p = ProblemInstance::from_original(
+            &g,
+            Platform::homogeneous(9).unwrap(),
+            WeightedNoc::new(Mesh2D::square(3).unwrap(), NocParams::typical(), 1).unwrap(),
+            0.95,
+            4.0,
+        )
+        .unwrap();
+        if let Ok(d) = solve_heuristic(&p) {
+            assert!(validate(&p, &d).is_empty(), "shape {shape:?}");
+        }
+    }
+}
+
+#[test]
+fn same_seed_same_deployment() {
+    let run = || {
+        let p = instance(10, 3, 3.0, 77);
+        solve_heuristic(&p).ok().map(|d| {
+            (
+                d.active.clone(),
+                d.processor.clone(),
+                d.start_ms.clone(),
+                d.energy_report(&p).max_mj(),
+            )
+        })
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,141 @@
+//! Cross-checks between the MILP encoding, the independent constraint
+//! referee and the heuristic.
+//!
+//! Two directions:
+//!
+//! * **No over-constraining**: any deployment the referee accepts must map
+//!   (via [`MilpEncoding::warm_start_values`]) to a feasible point of the
+//!   MILP — if the model rejected it, the formulation would be cutting off
+//!   legal deployments.
+//! * **No under-constraining**: any deployment extracted from an MILP
+//!   incumbent must pass the referee — if it failed, the formulation would
+//!   be missing a paper constraint.
+
+use ndp_core::{
+    build_milp, solve_heuristic, solve_optimal, validate, DeployObjective, OptimalConfig,
+    PathMode, ProblemInstance,
+};
+use ndp_milp::SolverOptions;
+use ndp_noc::{Mesh2D, NocParams, PathKind, WeightedNoc};
+use ndp_platform::Platform;
+use ndp_taskset::{generate, GeneratorConfig, GraphShape};
+
+fn instance(m: usize, seed: u64, alpha: f64, shape: GraphShape) -> ProblemInstance {
+    let mut cfg = GeneratorConfig::typical(m);
+    cfg.shape = shape;
+    let g = generate(&cfg, seed).unwrap();
+    ProblemInstance::from_original(
+        &g,
+        Platform::homogeneous(4).unwrap(),
+        WeightedNoc::new(Mesh2D::square(2).unwrap(), NocParams::typical(), seed).unwrap(),
+        0.95,
+        alpha,
+    )
+    .unwrap()
+}
+
+#[test]
+fn referee_accepted_deployments_are_milp_feasible() {
+    let mut tested = 0;
+    for seed in 0..12 {
+        let shape = if seed % 2 == 0 {
+            GraphShape::Chain
+        } else {
+            GraphShape::Layered { layers: 2, edge_probability: 0.3 }
+        };
+        let p = instance(4, seed, 3.0, shape);
+        let Ok(d) = solve_heuristic(&p) else { continue };
+        assert!(validate(&p, &d).is_empty());
+        for mode in [PathMode::Multi, PathMode::SingleFixed(PathKind::EnergyOriented)] {
+            // Single-fixed mode constrains paths the heuristic may not have
+            // chosen; only test it when the deployment matches.
+            if let PathMode::SingleFixed(kind) = mode {
+                let n = p.num_processors();
+                let uniform = (0..n).all(|b| {
+                    (0..n).all(|g| {
+                        b == g
+                            || d.paths.kind(
+                                ndp_platform::ProcessorId(b),
+                                ndp_platform::ProcessorId(g),
+                            ) == kind
+                    })
+                });
+                if !uniform {
+                    continue;
+                }
+            }
+            let enc = build_milp(&p, mode, DeployObjective::BalanceEnergy).unwrap();
+            let values = enc.warm_start_values(&p, &d);
+            assert!(
+                enc.model.is_feasible(&values, 1e-5),
+                "seed {seed} mode {mode:?}: referee-valid deployment rejected by the MILP"
+            );
+            tested += 1;
+        }
+    }
+    assert!(tested >= 6, "too few feasible heuristic instances ({tested})");
+}
+
+#[test]
+fn milp_extracted_deployments_pass_the_referee() {
+    let mut tested = 0;
+    for seed in 0..6 {
+        let p = instance(3, seed, 3.0, GraphShape::Chain);
+        let cfg = OptimalConfig {
+            solver: SolverOptions::with_time_limit(8.0),
+            ..OptimalConfig::default()
+        };
+        let out = solve_optimal(&p, &cfg).unwrap();
+        if let Some(d) = out.deployment {
+            let v = validate(&p, &d);
+            assert!(v.is_empty(), "seed {seed}: MILP deployment violates: {v:?}");
+            tested += 1;
+        }
+    }
+    assert!(tested > 0);
+}
+
+#[test]
+fn warm_start_objective_matches_energy_report() {
+    for seed in 0..6 {
+        let p = instance(4, seed, 3.0, GraphShape::Chain);
+        let Ok(d) = solve_heuristic(&p) else { continue };
+        let enc = build_milp(&p, PathMode::Multi, DeployObjective::BalanceEnergy).unwrap();
+        let values = enc.warm_start_values(&p, &d);
+        // The model objective is the epigraph variable z = max_k E_k.
+        let obj = enc.model.objective().eval(&values);
+        let expected = d.energy_report(&p).max_mj();
+        assert!(
+            (obj - expected).abs() < 1e-9,
+            "seed {seed}: model objective {obj} vs report {expected}"
+        );
+    }
+}
+
+#[test]
+fn me_objective_value_matches_total_energy() {
+    for seed in 0..6 {
+        let p = instance(4, seed, 3.0, GraphShape::Chain);
+        let Ok(d) = solve_heuristic(&p) else { continue };
+        let enc =
+            build_milp(&p, PathMode::Multi, DeployObjective::MinimizeTotalEnergy).unwrap();
+        let values = enc.warm_start_values(&p, &d);
+        let obj = enc.model.objective().eval(&values);
+        let expected = d.energy_report(&p).total_mj();
+        assert!(
+            (obj - expected).abs() < 1e-9,
+            "seed {seed}: model objective {obj} vs report {expected}"
+        );
+    }
+}
+
+#[test]
+fn encoding_sizes_scale_with_path_mode() {
+    let p = instance(4, 0, 3.0, GraphShape::Layered { layers: 2, edge_probability: 0.3 });
+    let multi = build_milp(&p, PathMode::Multi, DeployObjective::BalanceEnergy).unwrap();
+    let single =
+        build_milp(&p, PathMode::SingleFixed(PathKind::TimeOriented), DeployObjective::BalanceEnergy)
+            .unwrap();
+    assert!(multi.model.num_vars() > single.model.num_vars());
+    assert!(multi.model.num_constraints() > single.model.num_constraints());
+}

@@ -1,0 +1,121 @@
+//! Property-based tests over randomly generated deployment problems.
+
+use ndp_core::{
+    build_milp, solve_heuristic, validate, DeployObjective, PathMode, ProblemInstance,
+};
+use ndp_noc::{Mesh2D, NocParams, WeightedNoc};
+use ndp_platform::Platform;
+use ndp_taskset::{generate, GeneratorConfig, GraphShape};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    tasks: usize,
+    side: usize,
+    alpha: f64,
+    threshold: f64,
+    seed: u64,
+    shape_sel: u8,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (
+        2usize..=10,
+        2usize..=3,
+        0.5f64..4.0,
+        0.80f64..0.999,
+        any::<u64>(),
+        0u8..4,
+    )
+        .prop_map(|(tasks, side, alpha, threshold, seed, shape_sel)| Scenario {
+            tasks,
+            side,
+            alpha,
+            threshold,
+            seed,
+            shape_sel,
+        })
+}
+
+fn build(s: &Scenario) -> ProblemInstance {
+    let mut cfg = GeneratorConfig::typical(s.tasks);
+    cfg.shape = match s.shape_sel {
+        0 => GraphShape::Chain,
+        1 => GraphShape::ForkJoin { width: 2 },
+        2 => GraphShape::Random { edge_probability: 0.25 },
+        _ => GraphShape::Layered { layers: 3, edge_probability: 0.3 },
+    };
+    let g = generate(&cfg, s.seed).expect("valid config");
+    ProblemInstance::from_original(
+        &g,
+        Platform::homogeneous(s.side * s.side).expect("valid platform"),
+        WeightedNoc::new(
+            Mesh2D::square(s.side).expect("valid mesh"),
+            NocParams::typical(),
+            s.seed,
+        )
+        .expect("valid NoC"),
+        s.threshold,
+        s.alpha,
+    )
+    .expect("valid problem")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The heuristic either reports infeasibility or returns a deployment
+    /// the independent referee accepts — never a silently invalid answer.
+    #[test]
+    fn heuristic_never_returns_invalid(s in scenario()) {
+        let p = build(&s);
+        if let Ok(d) = solve_heuristic(&p) {
+            let v = validate(&p, &d);
+            prop_assert!(v.is_empty(), "violations: {v:?}");
+        }
+    }
+
+    /// Energy accounting invariants hold for any valid deployment.
+    #[test]
+    fn energy_report_invariants(s in scenario()) {
+        let p = build(&s);
+        if let Ok(d) = solve_heuristic(&p) {
+            let r = d.energy_report(&p);
+            let per = r.per_processor_mj();
+            prop_assert!(per.iter().all(|&e| e >= 0.0));
+            prop_assert!(r.max_mj() <= r.total_mj() + 1e-12);
+            prop_assert!(r.balance_index() >= 1.0);
+            // Total = comp + comm decomposition.
+            let total = r.comp_mj.iter().sum::<f64>() + r.comm_mj.iter().sum::<f64>();
+            prop_assert!((total - r.total_mj()).abs() < 1e-9);
+        }
+    }
+
+    /// The heuristic deployment is always a feasible point of the MILP
+    /// encoding (formulation never cuts off legal deployments).
+    #[test]
+    fn heuristic_point_feasible_in_milp(s in scenario()) {
+        // Keep model building cheap inside the property loop.
+        prop_assume!(s.tasks <= 6 && s.side == 2);
+        let p = build(&s);
+        if let Ok(d) = solve_heuristic(&p) {
+            let enc = build_milp(&p, PathMode::Multi, DeployObjective::BalanceEnergy)
+                .expect("encoding builds");
+            let values = enc.warm_start_values(&p, &d);
+            prop_assert!(enc.model.is_feasible(&values, 1e-5));
+        }
+    }
+
+    /// Raising α (longer horizon) never turns a feasible heuristic instance
+    /// infeasible.
+    #[test]
+    fn horizon_monotonicity(s in scenario()) {
+        let p_tight = build(&s);
+        let mut s_loose = s.clone();
+        s_loose.alpha = s.alpha * 2.0;
+        let p_loose = build(&s_loose);
+        if solve_heuristic(&p_tight).is_ok() {
+            prop_assert!(solve_heuristic(&p_loose).is_ok());
+        }
+    }
+}
