@@ -11,8 +11,7 @@ use ndp_noc::{
 fn comm_matrices(c: &mut Criterion) {
     let mut group = c.benchmark_group("comm-matrices");
     for side in [4usize, 6, 8] {
-        let noc =
-            WeightedNoc::new(Mesh2D::square(side).unwrap(), NocParams::typical(), 3).unwrap();
+        let noc = WeightedNoc::new(Mesh2D::square(side).unwrap(), NocParams::typical(), 3).unwrap();
         group.bench_with_input(BenchmarkId::new("build", side * side), &noc, |b, noc| {
             b.iter(|| CommMatrices::build(noc))
         });

@@ -6,14 +6,10 @@
 
 use ndp_bench::{mean_finite, per_seed, InstanceSpec};
 use ndp_core::{
-    first_fit_fastest, random_mapping, round_robin, solve_heuristic, Deployment,
-    ProblemInstance,
+    first_fit_fastest, random_mapping, round_robin, solve_heuristic, Deployment, ProblemInstance,
 };
 
-fn stats(
-    label: &str,
-    outcomes: &[Option<(f64, f64, f64, bool)>],
-) {
+fn stats(label: &str, outcomes: &[Option<(f64, f64, f64, bool)>]) {
     let feasible = outcomes.iter().flatten().filter(|(_, _, _, fits)| *fits).count();
     let max: Vec<f64> = outcomes.iter().flatten().map(|(m, _, _, _)| *m).collect();
     let total: Vec<f64> = outcomes.iter().flatten().map(|(_, t, _, _)| *t).collect();
@@ -29,22 +25,15 @@ fn stats(
 
 fn measure(problem: &ProblemInstance, d: &Deployment) -> (f64, f64, f64, bool) {
     let r = d.energy_report(problem);
-    let makespan = problem
-        .tasks
-        .graph()
-        .task_ids()
-        .map(|t| d.end_ms(problem, t))
-        .fold(0.0, f64::max);
+    let makespan =
+        problem.tasks.graph().task_ids().map(|t| d.end_ms(problem, t)).fold(0.0, f64::max);
     (r.max_mj(), r.total_mj(), r.balance_index(), makespan <= problem.horizon_ms + 1e-9)
 }
 
 fn main() {
     let seeds: Vec<u64> = (0..20).collect();
     println!("# Ablation: heuristic vs baselines (N=16, M=20, L=6, alpha=3)");
-    println!(
-        "{:<18} {:>9} {:>12} {:>12} {:>8}",
-        "mapper", "fits_H", "max_mJ", "total_mJ", "phi"
-    );
+    println!("{:<18} {:>9} {:>12} {:>12} {:>8}", "mapper", "fits_H", "max_mJ", "total_mJ", "phi");
     let run = |f: &(dyn Fn(&ProblemInstance, u64) -> Option<Deployment> + Sync)| {
         per_seed(&seeds, |seed| {
             let mut spec = InstanceSpec::new(20, 4, 3.0, seed);

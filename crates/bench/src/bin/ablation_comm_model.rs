@@ -31,8 +31,7 @@ fn main() {
                 (d.energy_report(&problem).max_mj(), makespan)
             })
         });
-        let feasible =
-            rows.iter().filter(|r| r.is_some()).count() as f64 / rows.len() as f64;
+        let feasible = rows.iter().filter(|r| r.is_some()).count() as f64 / rows.len() as f64;
         let max: Vec<f64> = rows.iter().flatten().map(|(m, _)| *m).collect();
         let mk: Vec<f64> = rows.iter().flatten().map(|(_, m)| *m).collect();
         println!(

@@ -45,8 +45,7 @@ fn main() {
             );
             (multi, single)
         });
-        let multi_feas =
-            rows.iter().filter(|(m, _)| m.feasible).count() as f64 / rows.len() as f64;
+        let multi_feas = rows.iter().filter(|(m, _)| m.feasible).count() as f64 / rows.len() as f64;
         let single_feas =
             rows.iter().filter(|(_, s)| s.feasible).count() as f64 / rows.len() as f64;
         // Energy averaged over instances where both arms are feasible, so

@@ -24,8 +24,7 @@ fn main() {
             spec.noc = NocParams::typical().scale_energy(factor);
             let problem = spec.build();
             let mu = communication_computation_ratio(&problem);
-            let cfg =
-                OptimalConfig { solver: exact_solver_options(), ..OptimalConfig::default() };
+            let cfg = OptimalConfig { solver: exact_solver_options(), ..OptimalConfig::default() };
             let out = solve_optimal(&problem, &cfg).ok();
             let m_max = out
                 .as_ref()

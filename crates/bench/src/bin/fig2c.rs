@@ -60,8 +60,7 @@ fn main() {
         };
         let m_d_be = avg(rows.iter().filter_map(|(_, b, _)| *b).collect());
         let m_d_me = avg(rows.iter().filter_map(|(_, _, m)| *m).collect());
-        let feas =
-            rows.iter().filter(|(_, b, _)| b.is_some()).count() as f64 / rows.len() as f64;
+        let feas = rows.iter().filter(|(_, b, _)| b.is_some()).count() as f64 / rows.len() as f64;
         println!("{span:>8.2} {eps:>10.3} {m_d_be:>8.2} {m_d_me:>8.2} {feas:>10.2}");
     }
 }

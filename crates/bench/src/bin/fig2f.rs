@@ -6,8 +6,9 @@
 //! additionally runs at the paper's own sizes (M up to 100 on N = 16) to
 //! show its scalability.
 
-use ndp_bench::{exact_point, exact_solver_options, heuristic_point, mean_finite, per_seed,
-    InstanceSpec};
+use ndp_bench::{
+    exact_point, exact_solver_options, heuristic_point, mean_finite, per_seed, InstanceSpec,
+};
 use ndp_core::OptimalConfig;
 
 fn main() {
@@ -21,8 +22,7 @@ fn main() {
     for m in [3usize, 4, 5, 6] {
         let rows = per_seed(&seeds, |seed| {
             let problem = InstanceSpec::new(m, 2, 2.0, seed).build();
-            let cfg =
-                OptimalConfig { solver: exact_solver_options(), ..OptimalConfig::default() };
+            let cfg = OptimalConfig { solver: exact_solver_options(), ..OptimalConfig::default() };
             let exact = exact_point(&problem, &cfg);
             let (_, h_secs) = heuristic_point(&problem);
             (exact, h_secs)
@@ -31,11 +31,7 @@ fn main() {
         let nodes = rows.iter().map(|(e, _)| e.nodes).sum::<u64>() / rows.len() as u64;
         let proven = rows.iter().filter(|(e, _)| e.proven).count();
         let heu_s = mean_finite(&rows.iter().map(|(_, h)| *h).collect::<Vec<_>>());
-        println!(
-            "{m:>4} {opt_s:>12.3} {nodes:>10} {:>7}/{:<2} {heu_s:>12.6}",
-            proven,
-            rows.len()
-        );
+        println!("{m:>4} {opt_s:>12.3} {nodes:>10} {:>7}/{:<2} {heu_s:>12.6}", proven, rows.len());
     }
     println!("## heuristic arm at paper sizes (N=16, L=6)");
     println!("{:>4} {:>14} {:>10}", "M", "heuristic_s", "feasible");

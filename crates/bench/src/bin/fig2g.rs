@@ -4,8 +4,9 @@
 //! on average. We compare on instances where the exact arm proves
 //! optimality (N = 4, L = 4).
 
-use ndp_bench::{exact_point, exact_solver_options, heuristic_point, mean_finite, per_seed,
-    InstanceSpec};
+use ndp_bench::{
+    exact_point, exact_solver_options, heuristic_point, mean_finite, per_seed, InstanceSpec,
+};
 use ndp_core::OptimalConfig;
 
 fn main() {
@@ -19,8 +20,7 @@ fn main() {
     for m in [3usize, 4, 5, 6] {
         let rows = per_seed(&seeds, |seed| {
             let problem = InstanceSpec::new(m, 2, 2.0, seed).build();
-            let cfg =
-                OptimalConfig { solver: exact_solver_options(), ..OptimalConfig::default() };
+            let cfg = OptimalConfig { solver: exact_solver_options(), ..OptimalConfig::default() };
             let exact = exact_point(&problem, &cfg);
             let (heuristic, _) = heuristic_point(&problem);
             let h_mj = heuristic.map(|d| d.energy_report(&problem).max_mj());
@@ -42,10 +42,7 @@ fn main() {
             overall.push((h / o - 1.0) * 100.0);
         }
         let proven = pairs.iter().filter(|(_, _, p)| *p).count();
-        println!(
-            "{m:>4} {o:>12.4} {h:>14.4} {overhead:>9.2}% {:>5}({proven} proven)",
-            pairs.len()
-        );
+        println!("{m:>4} {o:>12.4} {h:>14.4} {overhead:>9.2}% {:>5}({proven} proven)", pairs.len());
     }
     println!(
         "\naverage heuristic overhead (lower bound) over {} instances: {:+.2}% (paper: +26.05%)",

@@ -17,8 +17,7 @@ fn main() {
     for &alpha in &alphas {
         let rows = per_seed(&seeds, |seed| {
             let problem = InstanceSpec::new(5, 2, alpha, seed).build();
-            let cfg =
-                OptimalConfig { solver: exact_solver_options(), ..OptimalConfig::default() };
+            let cfg = OptimalConfig { solver: exact_solver_options(), ..OptimalConfig::default() };
             let exact = exact_point(&problem, &cfg);
             let (heuristic, _) = heuristic_point(&problem);
             (exact.feasible, heuristic.is_some())

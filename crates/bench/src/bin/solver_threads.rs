@@ -1,0 +1,58 @@
+//! Thread-scaling of the exact branch-and-bound (`SolverOptions::threads`).
+//!
+//! Runs the Fig. 2 medium exact instance (M = 5 on the N = 4 mesh) at
+//! 1/2/4/8 workers under a fixed per-solve time budget and reports node
+//! throughput. The warm start is disabled so every run explores a
+//! non-trivial tree, and the per-thread node counts show how evenly the
+//! work-stealing pool spreads the search.
+//!
+//! Speedup is relative to `threads = 1` and is bounded by the host's
+//! available parallelism (printed in the header): on a single-core host the
+//! workers interleave and throughput stays flat.
+
+use ndp_bench::InstanceSpec;
+use ndp_core::{solve_optimal, OptimalConfig};
+use ndp_milp::SolverOptions;
+
+fn main() {
+    let seeds: Vec<u64> = (0..3).collect();
+    let time_limit = 2.0;
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    println!("# Solver thread scaling (M=5, N=4, {time_limit} s budget per solve)");
+    println!("# host parallelism: {cores} core(s)");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>8}  nodes per worker (seed 0)",
+        "threads", "nodes", "s/solve", "nodes/s", "speedup"
+    );
+    let mut base_throughput = f64::NAN;
+    for threads in [1usize, 2, 4, 8] {
+        let mut nodes = 0u64;
+        let mut total_seconds = 0.0;
+        let mut spread = String::new();
+        for &seed in &seeds {
+            let problem = InstanceSpec::new(5, 2, 2.0, seed).build();
+            let mut solver = SolverOptions::with_time_limit(time_limit).threads(threads);
+            solver.relative_gap = 1e-6;
+            let cfg = OptimalConfig {
+                warm_start_with_heuristic: false,
+                solver,
+                ..OptimalConfig::default()
+            };
+            let out = solve_optimal(&problem, &cfg).expect("solve must not error");
+            nodes += out.nodes;
+            total_seconds += out.solve_seconds;
+            if seed == 0 {
+                spread = format!("{:?}", out.nodes_per_thread);
+            }
+        }
+        let throughput = nodes as f64 / total_seconds;
+        if threads == 1 {
+            base_throughput = throughput;
+        }
+        let speedup = throughput / base_throughput;
+        println!(
+            "{threads:>8} {nodes:>10} {:>10.3} {throughput:>10.1} {speedup:>7.2}x  {spread}",
+            total_seconds / seeds.len() as f64,
+        );
+    }
+}

@@ -86,8 +86,8 @@ impl InstanceSpec {
     pub fn build(&self) -> ProblemInstance {
         let cfg = GeneratorConfig::typical(self.tasks);
         let graph = generate(&cfg, self.seed).expect("valid generator config");
-        let vf = VfTable::synthetic(self.levels, self.v_range, self.f_range)
-            .expect("valid V/F corners");
+        let vf =
+            VfTable::synthetic(self.levels, self.v_range, self.f_range).expect("valid V/F corners");
         let platform = Platform::new(
             self.mesh_side * self.mesh_side,
             vf,
@@ -117,6 +117,10 @@ impl InstanceSpec {
 pub fn exact_solver_options() -> SolverOptions {
     let mut o = SolverOptions::with_time_limit(6.0);
     o.relative_gap = 1e-4;
+    // The figure harness already fans out across seeds (`per_seed`); keep
+    // each individual solve serial so a sweep doesn't oversubscribe the
+    // machine. `solver_threads` is the binary that varies this knob.
+    o.threads = 1;
     o
 }
 
@@ -189,7 +193,6 @@ pub fn exact_point(problem: &ProblemInstance, config: &OptimalConfig) -> ExactPo
     reduce_outcome(&outcome, t0.elapsed().as_secs_f64())
 }
 
-
 /// Runs the heuristic, returning the deployment and wall time.
 pub fn heuristic_point(problem: &ProblemInstance) -> (Option<Deployment>, f64) {
     let t0 = std::time::Instant::now();
@@ -206,10 +209,7 @@ pub fn per_seed<T: Send>(seeds: &[u64], f: impl Fn(u64) -> T + Sync) -> Vec<T> {
         let (start, batch) = chunk;
         crossbeam::scope(|s| {
             let f = &f;
-            let handles: Vec<_> = batch
-                .iter()
-                .map(|&seed| s.spawn(move |_| f(seed)))
-                .collect();
+            let handles: Vec<_> = batch.iter().map(|&seed| s.spawn(move |_| f(seed))).collect();
             for (off, h) in handles.into_iter().enumerate() {
                 out[start + off] = Some(h.join().expect("experiment thread must not panic"));
             }

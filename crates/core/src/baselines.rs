@@ -67,17 +67,13 @@ pub fn first_fit_fastest(problem: &ProblemInstance) -> Result<Deployment> {
     let mut load_ms = vec![0.0_f64; n];
     for t in priority_order(problem, &p1.active) {
         let dur = problem.exec_time_ms(t, p1.frequency[t.index()]);
-        let k = (0..n)
-            .find(|&k| load_ms[k] + dur <= problem.horizon_ms)
-            .unwrap_or_else(|| {
-                // Nothing fits: take the least-loaded processor and let the
-                // referee/horizon check decide.
-                (0..n)
-                    .min_by(|&a, &b| {
-                        load_ms[a].partial_cmp(&load_ms[b]).expect("finite loads")
-                    })
-                    .expect("at least one processor")
-            });
+        let k = (0..n).find(|&k| load_ms[k] + dur <= problem.horizon_ms).unwrap_or_else(|| {
+            // Nothing fits: take the least-loaded processor and let the
+            // referee/horizon check decide.
+            (0..n)
+                .min_by(|&a, &b| load_ms[a].partial_cmp(&load_ms[b]).expect("finite loads"))
+                .expect("at least one processor")
+        });
         processor[t.index()] = ProcessorId(k);
         load_ms[k] += dur;
     }
@@ -93,9 +89,8 @@ pub fn random_mapping(problem: &ProblemInstance, seed: u64) -> Result<Deployment
     let p1 = phase1(problem)?;
     let n = problem.num_processors();
     let mut rng = StdRng::seed_from_u64(seed ^ 0x6261_7365_6c69_6e65);
-    let processor = (0..problem.tasks.graph().num_tasks())
-        .map(|_| ProcessorId(rng.gen_range(0..n)))
-        .collect();
+    let processor =
+        (0..problem.tasks.graph().num_tasks()).map(|_| ProcessorId(rng.gen_range(0..n))).collect();
     Ok(assemble(problem, &p1, processor))
 }
 

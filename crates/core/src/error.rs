@@ -34,10 +34,9 @@ pub enum DeployError {
 impl fmt::Display for DeployError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DeployError::PlatformMeshMismatch { processors, nodes } => write!(
-                f,
-                "platform has {processors} processors but the mesh has {nodes} nodes"
-            ),
+            DeployError::PlatformMeshMismatch { processors, nodes } => {
+                write!(f, "platform has {processors} processors but the mesh has {nodes} nodes")
+            }
             DeployError::InvalidParameter { name, value } => {
                 write!(f, "invalid parameter {name} = {value}")
             }

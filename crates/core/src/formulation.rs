@@ -21,6 +21,10 @@
 //! are supported, as are multi-path and fixed-single-path routing (the
 //! Fig. 2(a) comparison).
 
+// Index-based loops here deliberately mirror the paper's Σ_{i,l} subscript
+// notation; iterator rewrites would obscure the correspondence.
+#![allow(clippy::needless_range_loop)]
+
 use crate::error::Result;
 use crate::problem::ProblemInstance;
 use crate::solution::{Deployment, PathChoice};
@@ -207,19 +211,10 @@ pub fn build_milp(
             let dup = i - m_orig;
             let row: Vec<VarId> = (0..l_cnt)
                 .map(|l| {
-                    let v = model
-                        .continuous(format!("hy[{i}][{l}]"), 0.0, 1.0)
-                        .expect("valid bounds");
-                    model.add_le(
-                        format!("hy-le-y[{i}][{l}]"),
-                        LinExpr::from(v) - y[i][l],
-                        0.0,
-                    );
-                    model.add_le(
-                        format!("hy-le-h[{i}][{l}]"),
-                        LinExpr::from(v) - hd[dup],
-                        0.0,
-                    );
+                    let v =
+                        model.continuous(format!("hy[{i}][{l}]"), 0.0, 1.0).expect("valid bounds");
+                    model.add_le(format!("hy-le-y[{i}][{l}]"), LinExpr::from(v) - y[i][l], 0.0);
+                    model.add_le(format!("hy-le-h[{i}][{l}]"), LinExpr::from(v) - hd[dup], 0.0);
                     model.add_ge(
                         format!("hy-ge[{i}][{l}]"),
                         LinExpr::from(v) - y[i][l] - hd[dup],
@@ -255,11 +250,7 @@ pub fn build_milp(
 
     // --- te definition, start gating, deadlines (8) -------------------------
     for i in 0..t_cnt {
-        model.add_eq(
-            format!("te-def[{i}]"),
-            LinExpr::from(te[i]) - ts[i] - tcomp_expr(i),
-            0.0,
-        );
+        model.add_eq(format!("te-def[{i}]"), LinExpr::from(te[i]) - ts[i] - tcomp_expr(i), 0.0);
         if i >= m_orig {
             // ts_i ≤ H·h_i keeps inactive duplicates parked at time zero.
             model.add_le(
@@ -268,11 +259,7 @@ pub fn build_milp(
                 0.0,
             );
         }
-        model.add_le(
-            format!("deadline[{i}]"),
-            tcomp_expr(i),
-            graph.task(TaskId(i)).deadline_ms,
-        );
+        model.add_le(format!("deadline[{i}]"), tcomp_expr(i), graph.task(TaskId(i)).deadline_ms);
     }
 
     // --- (4) Lemma 2.1 + (5) combined reliability ---------------------------
@@ -305,9 +292,8 @@ pub fn build_milp(
         for l in 0..l_cnt {
             let mut row = Vec::with_capacity(l_cnt);
             for l2 in 0..l_cnt {
-                let v = model
-                    .continuous(format!("g[{i}][{l}][{l2}]"), 0.0, 1.0)
-                    .expect("valid bounds");
+                let v =
+                    model.continuous(format!("g[{i}][{l}][{l2}]"), 0.0, 1.0).expect("valid bounds");
                 model.add_le(format!("g-le-y[{i}][{l}][{l2}]"), LinExpr::from(v) - y[i][l], 0.0);
                 model.add_le(
                     format!("g-le-hy[{i}][{l}][{l2}]"),
@@ -349,19 +335,9 @@ pub fn build_milp(
                 LinExpr::from(hd[si - m_orig])
             }
             (true, true) => {
-                let v = model
-                    .continuous(format!("eh[{idx}]"), 0.0, 1.0)
-                    .expect("valid bounds");
-                model.add_le(
-                    format!("eh-le-hi[{idx}]"),
-                    LinExpr::from(v) - hd[pi - m_orig],
-                    0.0,
-                );
-                model.add_le(
-                    format!("eh-le-hj[{idx}]"),
-                    LinExpr::from(v) - hd[si - m_orig],
-                    0.0,
-                );
+                let v = model.continuous(format!("eh[{idx}]"), 0.0, 1.0).expect("valid bounds");
+                model.add_le(format!("eh-le-hi[{idx}]"), LinExpr::from(v) - hd[pi - m_orig], 0.0);
+                model.add_le(format!("eh-le-hj[{idx}]"), LinExpr::from(v) - hd[si - m_orig], 0.0);
                 model.add_ge(
                     format!("eh-ge[{idx}]"),
                     LinExpr::from(v) - hd[pi - m_orig] - hd[si - m_orig],
@@ -420,8 +396,7 @@ pub fn build_milp(
                             .expect("valid bounds");
                         model.add_le(
                             format!("q2-le-c[{idx}][{beta}][{gamma}][{rho}]"),
-                            LinExpr::from(v)
-                                - c[(beta * n + gamma) * 2 + rho].expect("multi mode"),
+                            LinExpr::from(v) - c[(beta * n + gamma) * 2 + rho].expect("multi mode"),
                             0.0,
                         );
                         sum.add_term(v, 1.0);
@@ -533,16 +508,14 @@ pub fn build_milp(
 
     // --- Energy --------------------------------------------------------------
     // ω[i][k] = x_ik · E_i with E_i ∈ [0, emax_i].
-    let emax: Vec<f64> = (0..t_cnt)
-        .map(|i| (0..l_cnt).map(|l| ecomp_il(i, l)).fold(0.0, f64::max))
-        .collect();
+    let emax: Vec<f64> =
+        (0..t_cnt).map(|i| (0..l_cnt).map(|l| ecomp_il(i, l)).fold(0.0, f64::max)).collect();
     let mut omega: Vec<Vec<VarId>> = Vec::with_capacity(t_cnt);
     for i in 0..t_cnt {
         let row: Vec<VarId> = (0..n)
             .map(|k| {
-                let v = model
-                    .continuous(format!("w[{i}][{k}]"), 0.0, emax[i])
-                    .expect("valid bounds");
+                let v =
+                    model.continuous(format!("w[{i}][{k}]"), 0.0, emax[i]).expect("valid bounds");
                 model.add_le(
                     format!("w-le-x[{i}][{k}]"),
                     LinExpr::from(v) - LinExpr::term(x[i][k], emax[i]),
@@ -771,8 +744,8 @@ impl MilpEncoding {
                 vals[self.q[idx][beta * n + gamma].index()] = 1.0;
                 if beta != gamma && self.path_mode == PathMode::Multi {
                     let kind = d.paths.kind(ProcessorId(beta), ProcessorId(gamma));
-                    let v = self.q2[idx][(beta * n + gamma) * 2 + kind.index()]
-                        .expect("multi mode");
+                    let v =
+                        self.q2[idx][(beta * n + gamma) * 2 + kind.index()].expect("multi mode");
                     vals[v.index()] = 1.0;
                 }
             }

@@ -72,7 +72,7 @@ pub fn phase1(problem: &ProblemInstance) -> Result<Phase1> {
             }
             let e = problem.exec_energy_mj(i, l);
             let e_max = current_max.max(e);
-            if best.map_or(true, |(_, b)| e_max < b) {
+            if best.is_none_or(|(_, b)| e_max < b) {
                 best = Some((l, e_max));
             }
         }
@@ -94,14 +94,12 @@ pub fn phase1(problem: &ProblemInstance) -> Result<Phase1> {
                     continue;
                 }
                 let rc = problem.reliability(copy, l2);
-                if ReliabilityModel::duplicated_reliability(r, rc)
-                    < problem.reliability_threshold
-                {
+                if ReliabilityModel::duplicated_reliability(r, rc) < problem.reliability_threshold {
                     continue; // constraint (5)
                 }
                 let e = problem.exec_energy_mj(copy, l2);
                 let e_max = current_max.max(e);
-                if best.map_or(true, |(_, b)| e_max < b) {
+                if best.is_none_or(|(_, b)| e_max < b) {
                     best = Some((l2, e_max));
                 }
             }
@@ -149,19 +147,16 @@ pub fn phase2(problem: &ProblemInstance, p1: &Phase1) -> Phase2 {
     let n_tasks = problem.tasks.graph().num_tasks();
     let mut processor = vec![ProcessorId(0); n_tasks];
     let mut comp_energy = vec![0.0; n];
-    let comm_estimates: Vec<f64> = (0..n)
-        .map(|k| estimated_comm_energy(problem, &p1.active, ProcessorId(k)))
-        .collect();
+    let comm_estimates: Vec<f64> =
+        (0..n).map(|k| estimated_comm_energy(problem, &p1.active, ProcessorId(k))).collect();
     for &i in &priority_order(problem, &p1.active) {
         let e_i = problem.exec_energy_mj(i, p1.frequency[i.index()]);
         let mut best: Option<(usize, f64)> = None;
         for k in 0..n {
             comp_energy[k] += e_i;
-            let max_energy = (0..n)
-                .map(|q| comp_energy[q] + comm_estimates[q])
-                .fold(0.0, f64::max);
+            let max_energy = (0..n).map(|q| comp_energy[q] + comm_estimates[q]).fold(0.0, f64::max);
             comp_energy[k] -= e_i;
-            if best.map_or(true, |(_, b)| max_energy < b) {
+            if best.is_none_or(|(_, b)| max_energy < b) {
                 best = Some((k, max_energy));
             }
         }
@@ -182,12 +177,8 @@ pub fn phase3(problem: &ProblemInstance, p1: &Phase1, p2: &Phase2) -> PathChoice
     let eval = |paths: &PathChoice| -> (f64, f64) {
         let d = assemble(problem, p1, p2, paths.clone());
         let report = d.energy_report(problem);
-        let makespan = problem
-            .tasks
-            .graph()
-            .task_ids()
-            .map(|t| d.end_ms(problem, t))
-            .fold(0.0, f64::max);
+        let makespan =
+            problem.tasks.graph().task_ids().map(|t| d.end_ms(problem, t)).fold(0.0, f64::max);
         (report.max_mj(), makespan)
     };
     for beta in 0..n {
@@ -226,12 +217,7 @@ pub fn phase3(problem: &ProblemInstance, p1: &Phase1, p2: &Phase2) -> PathChoice
 
 /// Builds the full deployment for given phase results: start times come
 /// from list scheduling with the *actual* per-path receive times.
-fn assemble(
-    problem: &ProblemInstance,
-    p1: &Phase1,
-    p2: &Phase2,
-    paths: PathChoice,
-) -> Deployment {
+fn assemble(problem: &ProblemInstance, p1: &Phase1, p2: &Phase2, paths: PathChoice) -> Deployment {
     let mut d = Deployment {
         active: p1.active.clone(),
         frequency: p1.frequency.clone(),
@@ -257,12 +243,8 @@ pub fn solve_heuristic(problem: &ProblemInstance) -> Result<Deployment> {
     let p2 = phase2(problem, &p1);
     let paths = phase3(problem, &p1, &p2);
     let d = assemble(problem, &p1, &p2, paths);
-    let makespan = problem
-        .tasks
-        .graph()
-        .task_ids()
-        .map(|t| d.end_ms(problem, t))
-        .fold(0.0, f64::max);
+    let makespan =
+        problem.tasks.graph().task_ids().map(|t| d.end_ms(problem, t)).fold(0.0, f64::max);
     if makespan > problem.horizon_ms + 1e-9 {
         return Err(DeployError::HeuristicInfeasible {
             phase: 3,
@@ -308,10 +290,7 @@ mod tests {
             if r < p.reliability_threshold {
                 assert!(p1.active[copy.index()], "{i} needs its copy");
                 let rc = p.reliability(copy, p1.frequency[copy.index()]);
-                assert!(
-                    ReliabilityModel::duplicated_reliability(r, rc)
-                        >= p.reliability_threshold
-                );
+                assert!(ReliabilityModel::duplicated_reliability(r, rc) >= p.reliability_threshold);
             } else {
                 assert!(!p1.active[copy.index()]);
             }
@@ -428,9 +407,8 @@ mod phase3_tests {
             let Ok(p1) = phase1(&p) else { continue };
             let p2 = phase2(&p, &p1);
             let tuned = phase3(&p, &p1, &p2);
-            let energy_of = |paths: PathChoice| {
-                assemble(&p, &p1, &p2, paths).energy_report(&p).max_mj()
-            };
+            let energy_of =
+                |paths: PathChoice| assemble(&p, &p1, &p2, paths).energy_report(&p).max_mj();
             let tuned_e = energy_of(tuned);
             let uniform_e =
                 energy_of(PathChoice::uniform(p.num_processors(), PathKind::EnergyOriented));

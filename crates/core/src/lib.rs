@@ -60,17 +60,17 @@ mod schedule;
 mod solution;
 mod validate;
 
-pub use baselines::{first_fit_fastest, random_mapping, round_robin};
-pub use report::{energy_table, gantt};
 pub use analysis::{
     communication_computation_ratio, duplicated_count, energy_gap_index, feasibility_ratio,
     max_tasks_per_processor,
 };
+pub use baselines::{first_fit_fastest, random_mapping, round_robin};
 pub use error::{DeployError, Result};
 pub use formulation::{build_milp, DeployObjective, MilpEncoding, PathMode};
 pub use heuristic::{phase1, phase2, phase3, solve_heuristic, Phase1, Phase2};
 pub use optimal::{solve_optimal, OptimalConfig, OptimalOutcome};
 pub use problem::{scheduling_horizon, CommTimeModel, ProblemInstance};
+pub use report::{energy_table, gantt};
 pub use schedule::{list_schedule, priority_order, Schedule};
 pub use solution::{Deployment, EnergyReport, PathChoice};
 pub use validate::{is_valid, validate, Violation, VALIDATION_TOL};

@@ -57,6 +57,9 @@ pub struct OptimalOutcome {
     pub best_bound_mj: f64,
     /// Branch-and-bound nodes processed.
     pub nodes: u64,
+    /// Nodes processed by each solver worker thread (one entry under
+    /// `threads = 1`, empty when presolve answers without a search).
+    pub nodes_per_thread: Vec<u64>,
     /// Wall-clock seconds spent in the solver.
     pub solve_seconds: f64,
 }
@@ -100,11 +103,8 @@ pub fn solve_optimal(problem: &ProblemInstance, config: &OptimalConfig) -> Resul
         encoding.model.set_warm_start(vals)?;
     }
     let sol = encoding.model.solve_with(&config.solver)?;
-    let deployment = if sol.status().has_solution() {
-        Some(encoding.extract(problem, &sol))
-    } else {
-        None
-    };
+    let deployment =
+        if sol.status().has_solution() { Some(encoding.extract(problem, &sol)) } else { None };
     let objective_mj = deployment.as_ref().map(|_| sol.objective_value());
     Ok(OptimalOutcome {
         deployment,
@@ -112,6 +112,7 @@ pub fn solve_optimal(problem: &ProblemInstance, config: &OptimalConfig) -> Resul
         objective_mj,
         best_bound_mj: sol.best_bound(),
         nodes: sol.node_count(),
+        nodes_per_thread: sol.nodes_per_thread().to_vec(),
         solve_seconds: sol.solve_seconds(),
     })
 }
@@ -162,10 +163,7 @@ mod tests {
         let out = solve_optimal(&p, &cfg).unwrap();
         if out.status == SolveStatus::Optimal {
             let o_obj = out.objective_mj.unwrap();
-            assert!(
-                o_obj <= h_obj + 1e-6,
-                "optimal {o_obj} must not exceed heuristic {h_obj}"
-            );
+            assert!(o_obj <= h_obj + 1e-6, "optimal {o_obj} must not exceed heuristic {h_obj}");
         }
     }
 

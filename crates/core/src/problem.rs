@@ -190,11 +190,8 @@ pub fn scheduling_horizon(
     if original.is_empty() {
         return 0.0;
     }
-    let (tmin, tmax) = if comm.num_nodes() > 1 {
-        (comm.min_time_ms(), comm.max_time_ms())
-    } else {
-        (0.0, 0.0)
-    };
+    let (tmin, tmax) =
+        if comm.num_nodes() > 1 { (comm.min_time_ms(), comm.max_time_ms()) } else { (0.0, 0.0) };
     let avg_comm = (tmin + tmax) / 2.0;
     let weight = |t: TaskId| {
         let wcec = original.task(t).wcec;

@@ -32,17 +32,12 @@ impl Schedule {
 pub fn priority_order(problem: &ProblemInstance, active: &[bool]) -> Vec<TaskId> {
     let graph = problem.tasks.graph();
     let layers = graph.layers();
-    let mut order: Vec<TaskId> =
-        graph.task_ids().filter(|t| active[t.index()]).collect();
+    let mut order: Vec<TaskId> = graph.task_ids().filter(|t| active[t.index()]).collect();
     order.sort_by(|&a, &b| {
         layers[a.index()]
             .cmp(&layers[b.index()])
             .then_with(|| {
-                graph
-                    .task(b)
-                    .wcec
-                    .partial_cmp(&graph.task(a).wcec)
-                    .expect("finite WCECs")
+                graph.task(b).wcec.partial_cmp(&graph.task(a).wcec).expect("finite WCECs")
             })
             .then_with(|| a.cmp(&b))
     });
@@ -73,9 +68,7 @@ pub fn list_schedule(
         let pos = remaining
             .iter()
             .position(|&t| {
-                graph
-                    .predecessors(t)
-                    .all(|(p, _)| !active[p.index()] || scheduled[p.index()])
+                graph.predecessors(t).all(|(p, _)| !active[p.index()] || scheduled[p.index()])
             })
             .expect("a DAG always has a ready task");
         let t = remaining.remove(pos);
@@ -126,13 +119,8 @@ mod tests {
         let active = vec![true, true, false, false];
         let freq = vec![fastest; 4];
         let procs = vec![ProcessorId(0), ProcessorId(1), ProcessorId(0), ProcessorId(0)];
-        let s = list_schedule(&p, &active, &freq, &procs, |t| {
-            if t == TaskId(1) {
-                0.5
-            } else {
-                0.0
-            }
-        });
+        let s =
+            list_schedule(&p, &active, &freq, &procs, |t| if t == TaskId(1) { 0.5 } else { 0.0 });
         let end_a = s.end_ms[0];
         assert!((s.start_ms[1] - (end_a + 0.5)).abs() < 1e-12);
         assert!(s.makespan_ms() > end_a);

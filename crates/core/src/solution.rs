@@ -140,10 +140,10 @@ impl Deployment {
             }
             let rho = self.paths.kind(beta, gamma);
             let (nb, ng) = (problem.node_of(beta), problem.node_of(gamma));
-            for k in 0..n {
+            for (k, c) in comm.iter_mut().enumerate() {
                 let e = problem.comm.energy_at_mj(nb, ng, NodeId(k), rho);
                 if e != 0.0 {
-                    comm[k] += data * e;
+                    *c += data * e;
                 }
             }
         }
@@ -179,8 +179,7 @@ impl EnergyReport {
     /// The balance index `φ = max_k E_k / min_{k: E_k ≠ 0} E_k` of
     /// Fig. 2(d)/(e). Returns 1 when at most one processor is loaded.
     pub fn balance_index(&self) -> f64 {
-        let loaded: Vec<f64> =
-            self.per_processor_mj().into_iter().filter(|&e| e > 0.0).collect();
+        let loaded: Vec<f64> = self.per_processor_mj().into_iter().filter(|&e| e > 0.0).collect();
         if loaded.len() <= 1 {
             return 1.0;
         }

@@ -256,9 +256,7 @@ mod tests {
         let p = problem();
         let mut d = valid_deployment(&p);
         d.active[0] = false;
-        assert!(validate(&p, &d)
-            .iter()
-            .any(|v| matches!(v, Violation::InactiveOriginal { .. })));
+        assert!(validate(&p, &d).iter().any(|v| matches!(v, Violation::InactiveOriginal { .. })));
     }
 
     #[test]
@@ -289,10 +287,7 @@ mod tests {
         d.start_ms[2] = 40.0;
         d.processor[2] = ProcessorId(3);
         let vs = validate(&p, &d);
-        assert!(
-            vs.iter().any(|v| matches!(v, Violation::DuplicationMismatch { .. })),
-            "{vs:?}"
-        );
+        assert!(vs.iter().any(|v| matches!(v, Violation::DuplicationMismatch { .. })), "{vs:?}");
     }
 
     #[test]
@@ -327,14 +322,8 @@ mod tests {
         // Two independent tasks to overlap freely.
         g2.add_task(Task::new("a", 1e6, 50.0));
         g2.add_task(Task::new("b", 2e6, 50.0));
-        let p2 = ProblemInstance::from_original(
-            &g2,
-            p.platform.clone(),
-            p.noc.clone(),
-            0.9,
-            20.0,
-        )
-        .unwrap();
+        let p2 = ProblemInstance::from_original(&g2, p.platform.clone(), p.noc.clone(), 0.9, 20.0)
+            .unwrap();
         let fastest = p2.platform.vf_table().fastest();
         let d = Deployment {
             active: vec![true, true, false, false],
@@ -381,10 +370,7 @@ mod tests {
         let mut d = valid_deployment(&p);
         d.start_ms[0] = -1.0;
         let vs = validate(&p, &d);
-        assert!(
-            vs.iter().any(|v| matches!(v, Violation::NegativeStart { .. })),
-            "{vs:?}"
-        );
+        assert!(vs.iter().any(|v| matches!(v, Violation::NegativeStart { .. })), "{vs:?}");
     }
 
     #[test]

@@ -1,15 +1,23 @@
 //! Branch and bound over the LP relaxation.
 //!
 //! Nodes are explored depth-first (default) or best-bound-first. Because the
-//! dual simplex state stays dual-feasible under arbitrary bound changes, the
-//! tree shares a *single* simplex instance: entering a node applies its bound
-//! deltas, leaving it restores them, and each re-optimization is warm-started
-//! from wherever the basis happens to be.
+//! dual simplex state stays dual-feasible under arbitrary bound changes, a
+//! search thread shares a *single* simplex instance across its nodes:
+//! entering a node applies its bound deltas, leaving it restores them, and
+//! each re-optimization is warm-started from wherever the basis happens to
+//! be.
+//!
+//! With [`SolverOptions::threads`] ≥ 2 the open-node pool is shared by a
+//! team of workers (see [`crate::parallel`]); each worker owns its own
+//! simplex and pseudo-costs, while the incumbent and the pruning bound are
+//! global. `threads = 1` runs the serial search in this module unchanged,
+//! preserving its exact node order.
 
 use crate::error::{MilpError, Result};
 use crate::model::{Model, VarKind};
-use crate::presolve::{presolve, Presolved};
 use crate::options::{BranchRule, NodeOrder, SolverOptions};
+use crate::parallel;
+use crate::presolve::{presolve, Presolved};
 use crate::simplex::{LpStatus, Simplex};
 use crate::solution::{Solution, SolveStatus};
 use crate::standard::StandardForm;
@@ -17,7 +25,7 @@ use std::time::Instant;
 
 /// Per-variable pseudo-cost statistics.
 #[derive(Debug, Clone, Copy, Default)]
-struct PseudoCost {
+pub(crate) struct PseudoCost {
     down_sum: f64,
     down_n: u32,
     up_sum: f64,
@@ -44,28 +52,300 @@ impl PseudoCost {
 /// One open node in the search: the bound deltas that define it relative to
 /// the root, plus its parent's LP bound.
 #[derive(Debug, Clone)]
-struct OpenNode {
+pub(crate) struct OpenNode {
     /// `(column, lb, ub)` deltas from the root relaxation.
-    deltas: Vec<(usize, f64, f64)>,
+    pub(crate) deltas: Vec<(usize, f64, f64)>,
     /// LP bound inherited from the parent (internal minimization scale).
-    bound: f64,
+    pub(crate) bound: f64,
     /// Branch bookkeeping for pseudo-costs: `(column, fractionality, up?)`.
     branched: Option<(usize, f64, bool)>,
 }
 
-struct Search<'a> {
-    model: &'a Model,
-    sf: &'a StandardForm,
-    lp: Simplex<'a>,
-    options: &'a SolverOptions,
-    int_cols: Vec<usize>,
+impl OpenNode {
+    /// The root node: no deltas, unbounded parent bound.
+    pub(crate) fn root() -> Self {
+        OpenNode { deltas: vec![], bound: f64::NEG_INFINITY, branched: None }
+    }
+}
+
+/// Where a search keeps its best integral point. The serial search holds it
+/// directly; the parallel search guards it behind a lock shared by workers.
+pub(crate) trait Incumbent {
+    /// Objective (internal minimization scale) of the best point so far;
+    /// `+inf` when none exists.
+    fn best_obj(&self) -> f64;
+    /// Installs `values` as the incumbent if `obj` still improves on the
+    /// current best at acceptance time.
+    fn offer(&mut self, values: &[f64], obj: f64);
+}
+
+/// Whether the gap between `bound` and the incumbent `inc_obj` is closed
+/// under `options`' gap tolerances.
+pub(crate) fn gap_closed(options: &SolverOptions, inc_obj: f64, bound: f64) -> bool {
+    if inc_obj.is_infinite() {
+        return false;
+    }
+    bound >= inc_obj - options.absolute_gap
+        || bound >= inc_obj - options.relative_gap * inc_obj.abs().max(1.0)
+}
+
+pub(crate) fn internal_objective(model: &Model, sf: &StandardForm, values: &[f64]) -> f64 {
+    let user = model.objective().eval(values);
+    let signed = user - sf.obj_offset;
+    if sf.maximize {
+        -signed
+    } else {
+        signed
+    }
+}
+
+/// The per-thread half of the search: one simplex, one pseudo-cost table,
+/// and the node-evaluation logic. Both the serial search and every parallel
+/// worker drive one of these.
+pub(crate) struct NodeWorker<'a> {
+    pub(crate) model: &'a Model,
+    pub(crate) sf: &'a StandardForm,
+    pub(crate) lp: Simplex<'a>,
+    pub(crate) options: &'a SolverOptions,
+    pub(crate) int_cols: &'a [usize],
     pseudo: Vec<PseudoCost>,
-    incumbent: Option<Vec<f64>>,
-    /// Internal-scale objective of the incumbent.
-    incumbent_obj: f64,
-    nodes: u64,
-    start: Instant,
-    hit_limit: bool,
+    /// Nodes this worker evaluated.
+    pub(crate) nodes: u64,
+    pub(crate) start: Instant,
+    /// Set when a node could not be solved (deadline or numerics); the
+    /// search stops gracefully with whatever incumbent exists.
+    pub(crate) hit_limit: bool,
+}
+
+impl<'a> NodeWorker<'a> {
+    pub(crate) fn new(
+        model: &'a Model,
+        sf: &'a StandardForm,
+        options: &'a SolverOptions,
+        int_cols: &'a [usize],
+        root_bounds: &[(f64, f64)],
+        start: Instant,
+    ) -> Self {
+        let mut lp = Simplex::new(sf, options.refactor_interval, options.simplex_iteration_limit);
+        if options.time_limit.is_finite() {
+            lp.deadline = Some(start + std::time::Duration::from_secs_f64(options.time_limit));
+        }
+        // Apply the root's inward-rounded integer bounds (continuous columns
+        // already match the standard form's bounds).
+        for &j in int_cols {
+            let (l, u) = root_bounds[j];
+            lp.set_bounds(j, l, u);
+        }
+        lp.refresh();
+        NodeWorker {
+            model,
+            sf,
+            lp,
+            options,
+            int_cols,
+            pseudo: vec![PseudoCost::default(); model.num_vars()],
+            nodes: 0,
+            start,
+            hit_limit: false,
+        }
+    }
+
+    pub(crate) fn time_up(&self) -> bool {
+        self.options.time_limit.is_finite()
+            && self.start.elapsed().as_secs_f64() > self.options.time_limit
+    }
+
+    /// Solves the LP at the current bound state with one numerical retry.
+    /// `Ok(None)` means the node could not be solved (deadline or numerics).
+    fn solve_node_lp(&mut self) -> Result<Option<LpStatus>> {
+        match self.lp.optimize() {
+            Ok(s) => Ok(Some(s)),
+            Err(MilpError::IterationLimit { .. }) | Err(MilpError::SingularBasis) => {
+                if self.time_up() {
+                    return Ok(None);
+                }
+                self.lp.reset_to_slack_basis();
+                match self.lp.optimize() {
+                    Ok(s) => Ok(Some(s)),
+                    Err(MilpError::IterationLimit { .. }) | Err(MilpError::SingularBasis) => {
+                        Ok(None)
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Most fractional / first / pseudo-cost selection among integer columns.
+    fn pick_branch_var(&self, x: &[f64]) -> Option<(usize, f64)> {
+        let tol = self.options.integrality_tol;
+        // Respect priority classes: only consider the highest priority class
+        // that contains a fractional variable (int_cols is priority-sorted).
+        let mut best: Option<(usize, f64, f64)> = None; // (col, value, score)
+        let mut active_priority: Option<i32> = None;
+        for &j in self.int_cols {
+            let v = x[j];
+            let frac = (v - v.round()).abs();
+            if frac <= tol {
+                continue;
+            }
+            let prio = self.model.vars[j].branch_priority;
+            match active_priority {
+                None => active_priority = Some(prio),
+                Some(p) if prio < p => break,
+                _ => {}
+            }
+            match self.options.branch_rule {
+                BranchRule::FirstFractional => return Some((j, v)),
+                BranchRule::MostFractional => {
+                    // `frac` is already the distance to the nearest integer
+                    // (∈ (tol, 0.5]); larger means more fractional.
+                    let score = frac;
+                    if best.is_none_or(|(_, _, s)| score > s) {
+                        best = Some((j, v, score));
+                    }
+                }
+                BranchRule::PseudoCost => {
+                    let f = v - v.floor();
+                    let pc = &self.pseudo[j];
+                    let fallback = 1.0;
+                    let score =
+                        (pc.down(fallback) * f).max(1e-6) * (pc.up(fallback) * (1.0 - f)).max(1e-6);
+                    if best.is_none_or(|(_, _, s)| score > s) {
+                        best = Some((j, v, score));
+                    }
+                }
+            }
+        }
+        best.map(|(j, v, _)| (j, v))
+    }
+
+    /// Tries rounding the LP point into an incumbent candidate; returns the
+    /// rounded point and its internal objective when feasible.
+    fn rounding_candidate(&self, x: &[f64]) -> Option<(Vec<f64>, f64)> {
+        if !self.options.rounding_heuristic {
+            return None;
+        }
+        let mut cand = x.to_vec();
+        for &j in self.int_cols {
+            cand[j] = cand[j].round();
+        }
+        let tol = self.options.feasibility_tol.max(self.options.integrality_tol);
+        if self.model.is_feasible(&cand, tol * 10.0) {
+            let obj = internal_objective(self.model, self.sf, &cand);
+            Some((cand, obj))
+        } else {
+            None
+        }
+    }
+
+    fn record_pseudocost(&mut self, node: &OpenNode, child_bound: f64) {
+        if let Some((j, frac, up)) = node.branched {
+            if node.bound.is_finite() && child_bound.is_finite() {
+                let degradation = (child_bound - node.bound).max(0.0);
+                let pc = &mut self.pseudo[j];
+                if up {
+                    let per_unit = degradation / (1.0 - frac).max(1e-6);
+                    pc.up_sum += per_unit;
+                    pc.up_n += 1;
+                } else {
+                    let per_unit = degradation / frac.max(1e-6);
+                    pc.down_sum += per_unit;
+                    pc.down_n += 1;
+                }
+            }
+        }
+    }
+
+    /// Applies a node's deltas on top of the root bounds.
+    pub(crate) fn enter_node(&mut self, node: &OpenNode, root_bounds: &[(f64, f64)]) {
+        // Resetting exactly the integer columns touched by any delta path is
+        // expensive to track; reset all integer columns to root, then apply.
+        for &j in self.int_cols {
+            let (l, u) = root_bounds[j];
+            self.lp.set_bounds(j, l, u);
+        }
+        for &(j, l, u) in &node.deltas {
+            self.lp.set_bounds(j, l, u);
+        }
+        self.lp.refresh();
+    }
+
+    /// Evaluates one node whose deltas are already applied. Returns the
+    /// children to explore (empty when pruned/integral) and the node's LP
+    /// bound. New integral points and rounding candidates are pushed into
+    /// `incumbent`.
+    pub(crate) fn eval_node(
+        &mut self,
+        node: &OpenNode,
+        incumbent: &mut dyn Incumbent,
+    ) -> Result<(Vec<OpenNode>, f64)> {
+        self.nodes += 1;
+        let status = match self.solve_node_lp()? {
+            Some(s) => s,
+            None => {
+                // Unsolved node: stop the search conservatively.
+                self.hit_limit = true;
+                return Ok((vec![], node.bound));
+            }
+        };
+        if status == LpStatus::Infeasible {
+            return Ok((vec![], f64::INFINITY));
+        }
+        // The LP point is optimal for the *perturbed* costs; subtracting the
+        // margin gives a valid bound for the true costs.
+        let bound = self.lp.objective() - self.lp.bound_margin();
+        self.record_pseudocost(node, bound);
+        if gap_closed(self.options, incumbent.best_obj(), bound) {
+            return Ok((vec![], bound));
+        }
+        let full = self.lp.values();
+        let x = &full[..self.model.num_vars()];
+        match self.pick_branch_var(x) {
+            None => {
+                // Integral LP optimum: new incumbent.
+                let obj = internal_objective(self.model, self.sf, x);
+                incumbent.offer(x, obj);
+                Ok((vec![], bound))
+            }
+            Some((j, v)) => {
+                if let Some((cand, obj)) = self.rounding_candidate(x) {
+                    incumbent.offer(&cand, obj);
+                }
+                if gap_closed(self.options, incumbent.best_obj(), bound) {
+                    return Ok((vec![], bound));
+                }
+                let frac = v - v.floor();
+                let lb = self.lp.lb[j];
+                let ub = self.lp.ub[j];
+                let down = OpenNode {
+                    deltas: push_delta(&node.deltas, (j, lb, v.floor())),
+                    bound,
+                    branched: Some((j, frac, false)),
+                };
+                let up = OpenNode {
+                    deltas: push_delta(&node.deltas, (j, v.ceil(), ub)),
+                    bound,
+                    branched: Some((j, frac, true)),
+                };
+                // Explore the nearer child first under DFS.
+                let children = if frac <= 0.5 { vec![down, up] } else { vec![up, down] };
+                Ok((children, bound))
+            }
+        }
+    }
+}
+
+/// Aggregated result of a search run, in internal (minimization) scale.
+pub(crate) struct SearchOutcome {
+    pub(crate) incumbent: Option<Vec<f64>>,
+    pub(crate) incumbent_obj: f64,
+    pub(crate) best_bound_internal: f64,
+    pub(crate) nodes: u64,
+    pub(crate) nodes_per_thread: Vec<u64>,
+    pub(crate) simplex_iterations: u64,
+    pub(crate) hit_limit: bool,
 }
 
 /// Entry point used by [`Model::solve_with`].
@@ -98,6 +378,7 @@ pub(crate) fn solve(model: &Model, options: &SolverOptions) -> Result<Solution> 
             objective: obj,
             best_bound: obj,
             nodes: 0,
+            nodes_per_thread: vec![],
             simplex_iterations: 0,
             solve_seconds: start.elapsed().as_secs_f64(),
         });
@@ -113,6 +394,7 @@ pub(crate) fn solve(model: &Model, options: &SolverOptions) -> Result<Solution> 
                     objective: f64::NAN,
                     best_bound: f64::NAN,
                     nodes: 0,
+                    nodes_per_thread: vec![],
                     simplex_iterations: 0,
                     solve_seconds: start.elapsed().as_secs_f64(),
                 });
@@ -125,9 +407,10 @@ pub(crate) fn solve(model: &Model, options: &SolverOptions) -> Result<Solution> 
                     inner.presolve = false;
                     let mut reduced_model = red.model.clone();
                     if let Some(ws) = model.warm_start() {
-                        if let Some(rws) =
-                            red.presolve_point(ws, options.integrality_tol.max(options.feasibility_tol))
-                        {
+                        if let Some(rws) = red.presolve_point(
+                            ws,
+                            options.integrality_tol.max(options.feasibility_tol),
+                        ) {
                             let _ = reduced_model.set_warm_start(rws);
                         }
                     }
@@ -143,6 +426,7 @@ pub(crate) fn solve(model: &Model, options: &SolverOptions) -> Result<Solution> 
                         objective: sol.objective,
                         best_bound: sol.best_bound,
                         nodes: sol.nodes,
+                        nodes_per_thread: sol.nodes_per_thread.clone(),
                         simplex_iterations: sol.simplex_iterations,
                         solve_seconds: start.elapsed().as_secs_f64(),
                     });
@@ -152,22 +436,20 @@ pub(crate) fn solve(model: &Model, options: &SolverOptions) -> Result<Solution> 
     }
 
     let sf = StandardForm::from_model(model, options);
-    let mut lp = Simplex::new(&sf, options.refactor_interval, options.simplex_iteration_limit);
-    if options.time_limit.is_finite() {
-        lp.deadline = Some(start + std::time::Duration::from_secs_f64(options.time_limit));
-    }
 
     // Integer columns ordered by branch priority (desc), then index.
-    let mut int_cols: Vec<usize> = (0..model.num_vars())
-        .filter(|&j| model.vars[j].kind != VarKind::Continuous)
-        .collect();
+    let mut int_cols: Vec<usize> =
+        (0..model.num_vars()).filter(|&j| model.vars[j].kind != VarKind::Continuous).collect();
     int_cols.sort_by_key(|&j| (-model.vars[j].branch_priority, j));
 
-    // Round integer bounds inward at the root.
+    // Root bounds are the standard form's clamped bounds (what a fresh
+    // simplex starts from), with integer bounds rounded inward.
+    let mut root_bounds: Vec<(f64, f64)> =
+        (0..model.num_vars()).map(|j| (sf.lb[j], sf.ub[j])).collect();
     for &j in &int_cols {
-        let l = lp.lb[j].ceil();
-        let u = lp.ub[j].floor();
-        lp.set_bounds(j, l, u);
+        let l = root_bounds[j].0.ceil();
+        let u = root_bounds[j].1.floor();
+        root_bounds[j] = (l, u);
         if l > u {
             return Ok(Solution {
                 status: SolveStatus::Infeasible,
@@ -175,41 +457,31 @@ pub(crate) fn solve(model: &Model, options: &SolverOptions) -> Result<Solution> 
                 objective: f64::NAN,
                 best_bound: f64::NAN,
                 nodes: 0,
+                nodes_per_thread: vec![],
                 simplex_iterations: 0,
                 solve_seconds: start.elapsed().as_secs_f64(),
             });
         }
     }
-    lp.refresh();
-
-    let mut search = Search {
-        model,
-        sf: &sf,
-        lp,
-        options,
-        int_cols,
-        pseudo: vec![PseudoCost::default(); model.num_vars()],
-        incumbent: None,
-        incumbent_obj: f64::INFINITY,
-        nodes: 0,
-        start,
-        hit_limit: false,
-    };
 
     // Warm start from a user hint.
-    if let Some(ws) = model.warm_start() {
+    let warm = model.warm_start().and_then(|ws| {
         if model.is_feasible(ws, options.integrality_tol.max(options.feasibility_tol)) {
-            let internal = internal_objective(model, &sf, ws);
-            search.incumbent = Some(ws.to_vec());
-            search.incumbent_obj = internal;
+            Some((ws.to_vec(), internal_objective(model, &sf, ws)))
+        } else {
+            None
         }
-    }
+    });
 
-    let best_bound_internal = search.run()?;
+    let threads = options.effective_threads();
+    let outcome = if threads <= 1 {
+        serial_search(model, &sf, options, &int_cols, &root_bounds, warm, start)?
+    } else {
+        parallel::search(model, &sf, options, &int_cols, &root_bounds, warm, start, threads)?
+    };
 
-    let simplex_iterations = search.lp.iterations;
     let solve_seconds = start.elapsed().as_secs_f64();
-    let status = match (&search.incumbent, search.hit_limit) {
+    let status = match (&outcome.incumbent, outcome.hit_limit) {
         (Some(_), false) => SolveStatus::Optimal,
         (Some(_), true) => SolveStatus::Feasible,
         (None, false) => SolveStatus::Infeasible,
@@ -219,7 +491,7 @@ pub(crate) fn solve(model: &Model, options: &SolverOptions) -> Result<Solution> 
     // Unbounded detection: an incumbent resting on a clamped infinite bound
     // with a nonzero objective coefficient signals a true ray.
     let mut status = status;
-    if let Some(values) = &search.incumbent {
+    if let Some(values) = &outcome.incumbent {
         let big = options.infinite_bound;
         for (j, &x) in values.iter().enumerate() {
             if sf.clamped[j] && sf.c[j] != 0.0 && x.abs() >= big * (1.0 - 1e-6) {
@@ -228,12 +500,12 @@ pub(crate) fn solve(model: &Model, options: &SolverOptions) -> Result<Solution> 
         }
     }
 
-    let (values, objective) = match &search.incumbent {
-        Some(v) => (v.clone(), sf.user_objective(search.incumbent_obj)),
+    let (values, objective) = match &outcome.incumbent {
+        Some(v) => (v.clone(), sf.user_objective(outcome.incumbent_obj)),
         None => (vec![], f64::NAN),
     };
-    let best_bound = if best_bound_internal.is_finite() {
-        sf.user_objective(best_bound_internal)
+    let best_bound = if outcome.best_bound_internal.is_finite() {
+        sf.user_objective(outcome.best_bound_internal)
     } else if status == SolveStatus::Optimal {
         objective
     } else if sf.maximize {
@@ -247,323 +519,177 @@ pub(crate) fn solve(model: &Model, options: &SolverOptions) -> Result<Solution> 
         values,
         objective,
         best_bound,
-        nodes: search.nodes,
-        simplex_iterations,
+        nodes: outcome.nodes,
+        nodes_per_thread: outcome.nodes_per_thread,
+        simplex_iterations: outcome.simplex_iterations,
         solve_seconds,
     })
 }
 
-fn internal_objective(model: &Model, sf: &StandardForm, values: &[f64]) -> f64 {
-    let user = model.objective().eval(values);
-    let signed = user - sf.obj_offset;
-    if sf.maximize {
-        -signed
+/// The serial search (`threads = 1`): one [`NodeWorker`], one node stack or
+/// heap, node order identical to the historical single-threaded solver.
+fn serial_search(
+    model: &Model,
+    sf: &StandardForm,
+    options: &SolverOptions,
+    int_cols: &[usize],
+    root_bounds: &[(f64, f64)],
+    warm: Option<(Vec<f64>, f64)>,
+    start: Instant,
+) -> Result<SearchOutcome> {
+    let mut worker = NodeWorker::new(model, sf, options, int_cols, root_bounds, start);
+    let mut incumbent = LocalIncumbent::from_warm(warm);
+
+    let best_bound_internal = match options.node_order {
+        NodeOrder::DepthFirst => run_dfs(&mut worker, &mut incumbent, root_bounds)?,
+        NodeOrder::BestBound => run_best_bound(&mut worker, &mut incumbent, root_bounds)?,
+    };
+
+    Ok(SearchOutcome {
+        incumbent: incumbent.values,
+        incumbent_obj: incumbent.obj,
+        best_bound_internal,
+        nodes: worker.nodes,
+        nodes_per_thread: vec![worker.nodes],
+        simplex_iterations: worker.lp.iterations,
+        hit_limit: worker.hit_limit,
+    })
+}
+
+/// Plain owned incumbent for the serial search.
+pub(crate) struct LocalIncumbent {
+    pub(crate) values: Option<Vec<f64>>,
+    pub(crate) obj: f64,
+}
+
+impl LocalIncumbent {
+    pub(crate) fn from_warm(warm: Option<(Vec<f64>, f64)>) -> Self {
+        match warm {
+            Some((v, o)) => LocalIncumbent { values: Some(v), obj: o },
+            None => LocalIncumbent { values: None, obj: f64::INFINITY },
+        }
+    }
+}
+
+impl Incumbent for LocalIncumbent {
+    fn best_obj(&self) -> f64 {
+        self.obj
+    }
+    fn offer(&mut self, values: &[f64], obj: f64) {
+        if obj < self.obj {
+            self.obj = obj;
+            self.values = Some(values.to_vec());
+        }
+    }
+}
+
+fn node_limit_hit(options: &SolverOptions, nodes: u64) -> bool {
+    options.node_limit != 0 && nodes >= options.node_limit as u64
+}
+
+fn run_dfs(
+    worker: &mut NodeWorker<'_>,
+    incumbent: &mut LocalIncumbent,
+    root_bounds: &[(f64, f64)],
+) -> Result<f64> {
+    let options = worker.options;
+    let mut stack = vec![OpenNode::root()];
+    let mut best_open_bound = f64::INFINITY;
+    while let Some(node) = stack.pop() {
+        if worker.time_up() || node_limit_hit(options, worker.nodes) {
+            worker.hit_limit = true;
+            best_open_bound = best_open_bound.min(node.bound);
+            for n in &stack {
+                best_open_bound = best_open_bound.min(n.bound);
+            }
+            break;
+        }
+        if gap_closed(options, incumbent.best_obj(), node.bound) {
+            continue;
+        }
+        worker.enter_node(&node, root_bounds);
+        let (children, bound) = worker.eval_node(&node, incumbent)?;
+        if worker.hit_limit {
+            best_open_bound = best_open_bound.min(bound);
+            for n in &stack {
+                best_open_bound = best_open_bound.min(n.bound);
+            }
+            break;
+        }
+        // DFS: push far child first so the near child pops next.
+        for c in children.into_iter().rev() {
+            stack.push(c);
+        }
+    }
+    if !worker.hit_limit {
+        Ok(incumbent.obj)
     } else {
-        signed
+        Ok(best_open_bound.min(incumbent.obj))
     }
 }
 
-impl Search<'_> {
-    /// Runs the search; returns the final global lower bound (internal
-    /// scale).
-    fn run(&mut self) -> Result<f64> {
-        let root = OpenNode { deltas: vec![], bound: f64::NEG_INFINITY, branched: None };
-        match self.options.node_order {
-            NodeOrder::DepthFirst => self.run_dfs(root),
-            NodeOrder::BestBound => self.run_best_bound(root),
+fn run_best_bound(
+    worker: &mut NodeWorker<'_>,
+    incumbent: &mut LocalIncumbent,
+    root_bounds: &[(f64, f64)],
+) -> Result<f64> {
+    use std::collections::BinaryHeap;
+
+    let options = worker.options;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapNode(OpenNode::root()));
+    let mut best_open_bound = f64::INFINITY;
+    while let Some(HeapNode(node)) = heap.pop() {
+        if worker.time_up() || node_limit_hit(options, worker.nodes) {
+            worker.hit_limit = true;
+            best_open_bound = node.bound;
+            break;
+        }
+        if gap_closed(options, incumbent.best_obj(), node.bound) {
+            continue;
+        }
+        worker.enter_node(&node, root_bounds);
+        let (children, bound) = worker.eval_node(&node, incumbent)?;
+        if worker.hit_limit {
+            best_open_bound = bound;
+            break;
+        }
+        for c in children {
+            heap.push(HeapNode(c));
         }
     }
-
-    fn time_up(&self) -> bool {
-        self.options.time_limit.is_finite()
-            && self.start.elapsed().as_secs_f64() > self.options.time_limit
-    }
-
-    fn node_limit_hit(&self) -> bool {
-        self.options.node_limit != 0 && self.nodes >= self.options.node_limit as u64
-    }
-
-    fn gap_closed(&self, bound: f64) -> bool {
-        if self.incumbent.is_none() {
-            return false;
-        }
-        let inc = self.incumbent_obj;
-        bound >= inc - self.options.absolute_gap
-            || bound >= inc - self.options.relative_gap * inc.abs().max(1.0)
-    }
-
-    /// Solves the LP at the current bound state with one numerical retry.
-    /// `Ok(None)` means the node could not be solved (deadline or numerics);
-    /// the search stops gracefully with whatever incumbent exists.
-    fn solve_node_lp(&mut self) -> Result<Option<LpStatus>> {
-        match self.lp.optimize() {
-            Ok(s) => Ok(Some(s)),
-            Err(MilpError::IterationLimit { .. }) | Err(MilpError::SingularBasis) => {
-                if self.time_up() {
-                    return Ok(None);
-                }
-                self.lp.reset_to_slack_basis();
-                match self.lp.optimize() {
-                    Ok(s) => Ok(Some(s)),
-                    Err(MilpError::IterationLimit { .. }) | Err(MilpError::SingularBasis) => {
-                        Ok(None)
-                    }
-                    Err(e) => Err(e),
-                }
-            }
-            Err(e) => Err(e),
-        }
-    }
-
-    /// Most fractional / first / pseudo-cost selection among integer columns.
-    fn pick_branch_var(&self, x: &[f64]) -> Option<(usize, f64)> {
-        let tol = self.options.integrality_tol;
-        let mut best: Option<(usize, f64, f64)> = None; // (col, value, score)
-        // Respect priority classes: only consider the highest priority class
-        // that contains a fractional variable (int_cols is priority-sorted).
-        let mut active_priority: Option<i32> = None;
-        for &j in &self.int_cols {
-            let v = x[j];
-            let frac = (v - v.round()).abs();
-            if frac <= tol {
-                continue;
-            }
-            let prio = self.model.vars[j].branch_priority;
-            match active_priority {
-                None => active_priority = Some(prio),
-                Some(p) if prio < p => break,
-                _ => {}
-            }
-            match self.options.branch_rule {
-                BranchRule::FirstFractional => return Some((j, v)),
-                BranchRule::MostFractional => {
-                    // `frac` is already the distance to the nearest integer
-                    // (∈ (tol, 0.5]); larger means more fractional.
-                    let score = frac;
-                    if best.map_or(true, |(_, _, s)| score > s) {
-                        best = Some((j, v, score));
-                    }
-                }
-                BranchRule::PseudoCost => {
-                    let f = v - v.floor();
-                    let pc = &self.pseudo[j];
-                    let fallback = 1.0;
-                    let score =
-                        (pc.down(fallback) * f).max(1e-6) * (pc.up(fallback) * (1.0 - f)).max(1e-6);
-                    if best.map_or(true, |(_, _, s)| score > s) {
-                        best = Some((j, v, score));
-                    }
-                }
-            }
-        }
-        best.map(|(j, v, _)| (j, v))
-    }
-
-    /// Tries rounding the LP point into an incumbent.
-    fn try_rounding(&mut self, x: &[f64], _bound: f64) {
-        if !self.options.rounding_heuristic {
-            return;
-        }
-        let mut cand = x.to_vec();
-        for &j in &self.int_cols {
-            cand[j] = cand[j].round();
-        }
-        let tol = self.options.feasibility_tol.max(self.options.integrality_tol);
-        if self.model.is_feasible(&cand, tol * 10.0) {
-            let obj = internal_objective(self.model, self.sf, &cand);
-            if obj < self.incumbent_obj {
-                self.incumbent_obj = obj;
-                self.incumbent = Some(cand);
-            }
-        }
-    }
-
-    fn record_pseudocost(&mut self, node: &OpenNode, child_bound: f64) {
-        if let Some((j, frac, up)) = node.branched {
-            if node.bound.is_finite() && child_bound.is_finite() {
-                let degradation = (child_bound - node.bound).max(0.0);
-                let pc = &mut self.pseudo[j];
-                if up {
-                    let per_unit = degradation / (1.0 - frac).max(1e-6);
-                    pc.up_sum += per_unit;
-                    pc.up_n += 1;
-                } else {
-                    let per_unit = degradation / frac.max(1e-6);
-                    pc.down_sum += per_unit;
-                    pc.down_n += 1;
-                }
-            }
-        }
-    }
-
-    /// Evaluates one node: applies deltas are already in place. Returns the
-    /// children to explore (empty when pruned/integral) and the node's LP
-    /// bound.
-    fn eval_node(&mut self, node: &OpenNode) -> Result<(Vec<OpenNode>, f64)> {
-        self.nodes += 1;
-        let status = match self.solve_node_lp()? {
-            Some(s) => s,
-            None => {
-                // Unsolved node: stop the search conservatively.
-                self.hit_limit = true;
-                return Ok((vec![], node.bound));
-            }
-        };
-        if status == LpStatus::Infeasible {
-            return Ok((vec![], f64::INFINITY));
-        }
-        // The LP point is optimal for the *perturbed* costs; subtracting the
-        // margin gives a valid bound for the true costs.
-        let bound = self.lp.objective() - self.lp.bound_margin();
-        self.record_pseudocost(node, bound);
-        if self.gap_closed(bound) {
-            return Ok((vec![], bound));
-        }
-        let full = self.lp.values();
-        let x = &full[..self.model.num_vars()];
-        match self.pick_branch_var(x) {
-            None => {
-                // Integral LP optimum: new incumbent.
-                let obj = internal_objective(self.model, self.sf, x);
-                if obj < self.incumbent_obj {
-                    self.incumbent_obj = obj;
-                    self.incumbent = Some(x.to_vec());
-                }
-                Ok((vec![], bound))
-            }
-            Some((j, v)) => {
-                self.try_rounding(x, bound);
-                if self.gap_closed(bound) {
-                    return Ok((vec![], bound));
-                }
-                let frac = v - v.floor();
-                let lb = self.lp.lb[j];
-                let ub = self.lp.ub[j];
-                let down = OpenNode {
-                    deltas: push_delta(&node.deltas, (j, lb, v.floor())),
-                    bound,
-                    branched: Some((j, frac, false)),
-                };
-                let up = OpenNode {
-                    deltas: push_delta(&node.deltas, (j, v.ceil(), ub)),
-                    bound,
-                    branched: Some((j, frac, true)),
-                };
-                // Explore the nearer child first under DFS.
-                let children = if frac <= 0.5 { vec![down, up] } else { vec![up, down] };
-                Ok((children, bound))
-            }
-        }
-    }
-
-    /// Applies a node's deltas on top of the root bounds.
-    fn enter_node(&mut self, node: &OpenNode, root_bounds: &[(f64, f64)]) {
-        // Reset every integer column touched by any delta path is expensive
-        // to track precisely; reset all integer columns to root, then apply.
-        for &j in &self.int_cols {
-            let (l, u) = root_bounds[j];
-            self.lp.set_bounds(j, l, u);
-        }
-        for &(j, l, u) in &node.deltas {
-            self.lp.set_bounds(j, l, u);
-        }
-        self.lp.refresh();
-    }
-
-    fn run_dfs(&mut self, root: OpenNode) -> Result<f64> {
-        let root_bounds: Vec<(f64, f64)> =
-            (0..self.model.num_vars()).map(|j| (self.lp.lb[j], self.lp.ub[j])).collect();
-        let mut stack = vec![root];
-        let mut best_open_bound = f64::INFINITY;
-        while let Some(node) = stack.pop() {
-            if self.time_up() || self.node_limit_hit() {
-                self.hit_limit = true;
-                best_open_bound = best_open_bound.min(node.bound);
-                for n in &stack {
-                    best_open_bound = best_open_bound.min(n.bound);
-                }
-                break;
-            }
-            if self.gap_closed(node.bound) {
-                continue;
-            }
-            self.enter_node(&node, &root_bounds);
-            let (children, bound) = self.eval_node(&node)?;
-            if self.hit_limit {
-                best_open_bound = best_open_bound.min(bound);
-                for n in &stack {
-                    best_open_bound = best_open_bound.min(n.bound);
-                }
-                break;
-            }
-            // DFS: push far child first so the near child pops next.
-            for c in children.into_iter().rev() {
-                stack.push(c);
-            }
-        }
-        if !self.hit_limit {
-            Ok(self.incumbent_obj)
-        } else {
-            Ok(best_open_bound.min(self.incumbent_obj))
-        }
-    }
-
-    fn run_best_bound(&mut self, root: OpenNode) -> Result<f64> {
-        use std::cmp::Ordering;
-        use std::collections::BinaryHeap;
-
-        struct HeapNode(OpenNode);
-        impl PartialEq for HeapNode {
-            fn eq(&self, other: &Self) -> bool {
-                self.0.bound == other.0.bound
-            }
-        }
-        impl Eq for HeapNode {}
-        impl PartialOrd for HeapNode {
-            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-                Some(self.cmp(other))
-            }
-        }
-        impl Ord for HeapNode {
-            fn cmp(&self, other: &Self) -> Ordering {
-                // Max-heap: invert to pop the smallest bound first.
-                other.0.bound.partial_cmp(&self.0.bound).unwrap_or(Ordering::Equal)
-            }
-        }
-
-        let root_bounds: Vec<(f64, f64)> =
-            (0..self.model.num_vars()).map(|j| (self.lp.lb[j], self.lp.ub[j])).collect();
-        let mut heap = BinaryHeap::new();
-        heap.push(HeapNode(root));
-        let mut best_open_bound = f64::INFINITY;
-        while let Some(HeapNode(node)) = heap.pop() {
-            if self.time_up() || self.node_limit_hit() {
-                self.hit_limit = true;
-                best_open_bound = node.bound;
-                break;
-            }
-            if self.gap_closed(node.bound) {
-                continue;
-            }
-            self.enter_node(&node, &root_bounds);
-            let (children, bound) = self.eval_node(&node)?;
-            if self.hit_limit {
-                best_open_bound = bound;
-                break;
-            }
-            for c in children {
-                heap.push(HeapNode(c));
-            }
-        }
-        if !self.hit_limit {
-            Ok(self.incumbent_obj)
-        } else {
-            Ok(best_open_bound.min(self.incumbent_obj))
-        }
+    if !worker.hit_limit {
+        Ok(incumbent.obj)
+    } else {
+        Ok(best_open_bound.min(incumbent.obj))
     }
 }
 
-fn push_delta(base: &[(usize, f64, f64)], delta: (usize, f64, f64)) -> Vec<(usize, f64, f64)> {
+/// Min-bound-first ordering adaptor for [`std::collections::BinaryHeap`].
+pub(crate) struct HeapNode(pub(crate) OpenNode);
+
+impl PartialEq for HeapNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.bound == other.0.bound
+    }
+}
+impl Eq for HeapNode {}
+impl PartialOrd for HeapNode {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapNode {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: invert to pop the smallest bound first.
+        other.0.bound.partial_cmp(&self.0.bound).unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+
+pub(crate) fn push_delta(
+    base: &[(usize, f64, f64)],
+    delta: (usize, f64, f64),
+) -> Vec<(usize, f64, f64)> {
     let mut v = Vec::with_capacity(base.len() + 1);
     v.extend_from_slice(base);
     v.push(delta);

@@ -49,6 +49,7 @@ mod expr;
 mod model;
 mod mps;
 mod options;
+mod parallel;
 mod presolve;
 mod simplex;
 mod solution;
@@ -146,6 +147,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // x[i][j] and x[j][i] are both walked
     fn assignment_problem_3x3() {
         // Classic assignment: cost matrix, x_ij binary, rows/cols sum to 1.
         let cost = [[4.0, 2.0, 8.0], [4.0, 3.0, 7.0], [3.0, 1.0, 6.0]];
@@ -277,7 +279,8 @@ mod tests {
             m
         };
         let mut objs = vec![];
-        for rule in [BranchRule::MostFractional, BranchRule::FirstFractional, BranchRule::PseudoCost]
+        for rule in
+            [BranchRule::MostFractional, BranchRule::FirstFractional, BranchRule::PseudoCost]
         {
             for order in [NodeOrder::DepthFirst, NodeOrder::BestBound] {
                 let opts = SolverOptions::default().branch_rule(rule).node_order(order);

@@ -212,11 +212,7 @@ impl Model {
     /// Returns [`MilpError::InvalidBounds`] if `lb > ub` or a bound is NaN.
     pub fn set_bounds(&mut self, var: VarId, lb: f64, ub: f64) -> Result<()> {
         if lb.is_nan() || ub.is_nan() || lb > ub {
-            return Err(MilpError::InvalidBounds {
-                name: self.vars[var.0].name.clone(),
-                lb,
-                ub,
-            });
+            return Err(MilpError::InvalidBounds { name: self.vars[var.0].name.clone(), lb, ub });
         }
         self.vars[var.0].lb = lb;
         self.vars[var.0].ub = ub;
@@ -376,10 +372,7 @@ mod tests {
     #[test]
     fn invalid_bounds_rejected() {
         let mut m = Model::new("t");
-        assert!(matches!(
-            m.continuous("x", 2.0, 1.0),
-            Err(MilpError::InvalidBounds { .. })
-        ));
+        assert!(matches!(m.continuous("x", 2.0, 1.0), Err(MilpError::InvalidBounds { .. })));
         assert!(m.continuous("y", f64::NAN, 1.0).is_err());
     }
 

@@ -56,7 +56,7 @@ pub fn write_mps(model: &Model) -> String {
     let _ = writeln!(out, "COLUMNS");
     let mut integer_open = false;
     let mut marker = 0usize;
-    for j in 0..model.num_vars() {
+    for (j, col_name) in col_names.iter().enumerate() {
         let is_int = model.vars[j].kind != VarKind::Continuous;
         if is_int && !integer_open {
             let _ = writeln!(out, "    MARKER{marker}  'MARKER'  'INTORG'");
@@ -69,12 +69,12 @@ pub fn write_mps(model: &Model) -> String {
         }
         let obj_coeff = model.objective().coefficient(crate::VarId(j));
         if obj_coeff != 0.0 {
-            let _ = writeln!(out, "    {}  {OBJ_NAME}  {}", col_names[j], obj_coeff);
+            let _ = writeln!(out, "    {col_name}  {OBJ_NAME}  {obj_coeff}");
         }
         for (r, row) in model.rows.iter().enumerate() {
             let c = row.expr.coefficient(crate::VarId(j));
             if c != 0.0 {
-                let _ = writeln!(out, "    {}  {}  {}", col_names[j], row_names[r], c);
+                let _ = writeln!(out, "    {}  {}  {}", col_name, row_names[r], c);
             }
         }
     }
@@ -96,9 +96,8 @@ pub fn write_mps(model: &Model) -> String {
     }
 
     let _ = writeln!(out, "BOUNDS");
-    for j in 0..model.num_vars() {
+    for (j, name) in col_names.iter().enumerate() {
         let v = &model.vars[j];
-        let name = &col_names[j];
         if v.kind == VarKind::Binary && v.lb == 0.0 && v.ub == 1.0 {
             let _ = writeln!(out, " BV BND1  {name}");
             continue;
@@ -179,11 +178,8 @@ pub fn parse_mps(text: &str) -> Result<Model> {
             continue;
         }
         match section {
-            Section::ObjSense => {
-                if fields[0].eq_ignore_ascii_case("MAX") {
-                    maximize = true;
-                }
-            }
+            Section::ObjSense if fields[0].eq_ignore_ascii_case("MAX") => maximize = true,
+            Section::ObjSense => {}
             Section::Rows => {
                 let sense = match fields[0] {
                     "N" => None,
@@ -226,7 +222,7 @@ pub fn parse_mps(text: &str) -> Result<Model> {
                 });
                 // Pairs of (row, value) follow.
                 let mut i = 1;
-                while i + 1 < fields.len() + 1 && i + 1 <= fields.len() {
+                while i + 1 < fields.len() {
                     let row = fields[i];
                     let value: f64 = fields[i + 1].parse().map_err(|_| bad(line))?;
                     if row == OBJ_NAME {
@@ -241,7 +237,7 @@ pub fn parse_mps(text: &str) -> Result<Model> {
             }
             Section::Rhs => {
                 let mut i = 1;
-                while i + 1 <= fields.len() - 1 {
+                while i + 1 < fields.len() {
                     let row = fields[i];
                     let value: f64 = fields[i + 1].parse().map_err(|_| bad(line))?;
                     if row == OBJ_NAME {
@@ -265,19 +261,28 @@ pub fn parse_mps(text: &str) -> Result<Model> {
                         let _ = var;
                     }
                     "FX" => {
-                        let v: f64 =
-                            fields.get(3).ok_or_else(|| bad(line))?.parse().map_err(|_| bad(line))?;
+                        let v: f64 = fields
+                            .get(3)
+                            .ok_or_else(|| bad(line))?
+                            .parse()
+                            .map_err(|_| bad(line))?;
                         lo.insert(name.to_string(), v);
                         up.insert(name.to_string(), v);
                     }
                     "LO" => {
-                        let v: f64 =
-                            fields.get(3).ok_or_else(|| bad(line))?.parse().map_err(|_| bad(line))?;
+                        let v: f64 = fields
+                            .get(3)
+                            .ok_or_else(|| bad(line))?
+                            .parse()
+                            .map_err(|_| bad(line))?;
                         lo.insert(name.to_string(), v);
                     }
                     "UP" => {
-                        let v: f64 =
-                            fields.get(3).ok_or_else(|| bad(line))?.parse().map_err(|_| bad(line))?;
+                        let v: f64 = fields
+                            .get(3)
+                            .ok_or_else(|| bad(line))?
+                            .parse()
+                            .map_err(|_| bad(line))?;
                         up.insert(name.to_string(), v);
                     }
                     "MI" => {

@@ -58,6 +58,11 @@ pub struct SolverOptions {
     pub refactor_interval: usize,
     /// Run presolve reductions before branch and bound.
     pub presolve: bool,
+    /// Number of branch-and-bound worker threads. `0` (the default) uses the
+    /// machine's available parallelism. `1` runs the original serial search
+    /// and reproduces its node ordering bit-for-bit; `≥ 2` explores the tree
+    /// with a work-stealing node pool (same optima, different node order).
+    pub threads: usize,
 }
 
 impl Default for SolverOptions {
@@ -76,6 +81,7 @@ impl Default for SolverOptions {
             rounding_heuristic: true,
             refactor_interval: 128,
             presolve: true,
+            threads: 0,
         }
     }
 }
@@ -109,6 +115,23 @@ impl SolverOptions {
         self.relative_gap = gap;
         self
     }
+
+    /// Sets the worker-thread count, builder-style (`0` = auto, `1` =
+    /// serial/deterministic; see [`SolverOptions::threads`]).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The concrete worker count after resolving `threads = 0` to the
+    /// machine's available parallelism (capped at 8: branch-and-bound trees
+    /// on this workspace's models rarely feed more workers than that).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads != 0 {
+            return self.threads;
+        }
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8)
+    }
 }
 
 #[cfg(test)]
@@ -121,11 +144,21 @@ mod tests {
             .node_limit(100)
             .branch_rule(BranchRule::PseudoCost)
             .node_order(NodeOrder::BestBound)
-            .relative_gap(1e-3);
+            .relative_gap(1e-3)
+            .threads(3);
         assert_eq!(o.time_limit, 5.0);
         assert_eq!(o.node_limit, 100);
         assert_eq!(o.branch_rule, BranchRule::PseudoCost);
         assert_eq!(o.node_order, NodeOrder::BestBound);
         assert_eq!(o.relative_gap, 1e-3);
+        assert_eq!(o.threads, 3);
+    }
+
+    #[test]
+    fn effective_threads_resolves_auto() {
+        assert_eq!(SolverOptions::default().threads(1).effective_threads(), 1);
+        assert_eq!(SolverOptions::default().threads(4).effective_threads(), 4);
+        let auto = SolverOptions::default().effective_threads();
+        assert!((1..=8).contains(&auto), "auto resolved to {auto}");
     }
 }

@@ -1,0 +1,361 @@
+//! Parallel branch and bound: a work-stealing pool of open nodes shared by
+//! worker threads.
+//!
+//! Each worker owns a full [`NodeWorker`] (its own warm-started simplex and
+//! pseudo-cost table) and drains nodes from the shared pool. Two pieces of
+//! state are global:
+//!
+//! * the **incumbent** ([`SharedIncumbent`]): the point lives behind a
+//!   `parking_lot` mutex, while its objective is mirrored into an atomic so
+//!   pruning tests never take the lock. A stale read only *under*-prunes —
+//!   the node is evaluated and discarded one level later — so correctness
+//!   does not depend on the mirror being fresh;
+//! * the **open-node pool**: per-worker LIFO deques with work stealing under
+//!   [`NodeOrder::DepthFirst`] (owners dive depth-first, idle workers steal
+//!   the oldest — closest to the root — entries, which splits the tree near
+//!   its top), or a single mutex-guarded best-bound heap under
+//!   [`NodeOrder::BestBound`].
+//!
+//! Termination uses an `in_flight` counter of nodes that are queued or being
+//! expanded: children are registered *before* their parent retires, so the
+//! counter only reaches zero once the whole tree is exhausted.
+
+use crate::branch::{gap_closed, HeapNode, Incumbent, NodeWorker, OpenNode, SearchOutcome};
+use crate::error::{MilpError, Result};
+use crate::model::Model;
+use crate::options::{NodeOrder, SolverOptions};
+use crate::standard::StandardForm;
+use crossbeam::deque::{Injector, Stealer, Worker as Deque};
+use parking_lot::Mutex;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Best integral point found by any worker. The objective is mirrored into
+/// `best_bits` (as `f64` bits) for lock-free reads on the pruning fast path.
+struct SharedIncumbent {
+    best_bits: AtomicU64,
+    point: Mutex<Option<(Vec<f64>, f64)>>,
+}
+
+impl SharedIncumbent {
+    fn new(warm: Option<(Vec<f64>, f64)>) -> Self {
+        let obj = warm.as_ref().map_or(f64::INFINITY, |&(_, o)| o);
+        SharedIncumbent { best_bits: AtomicU64::new(obj.to_bits()), point: Mutex::new(warm) }
+    }
+
+    fn best_obj(&self) -> f64 {
+        f64::from_bits(self.best_bits.load(Ordering::Acquire))
+    }
+
+    fn offer(&self, values: &[f64], obj: f64) {
+        // Cheap reject without the lock; re-checked under it.
+        if obj >= self.best_obj() {
+            return;
+        }
+        let mut point = self.point.lock();
+        let current = point.as_ref().map_or(f64::INFINITY, |&(_, o)| o);
+        if obj < current {
+            *point = Some((values.to_vec(), obj));
+            self.best_bits.store(obj.to_bits(), Ordering::Release);
+        }
+    }
+
+    fn into_parts(self) -> (Option<Vec<f64>>, f64) {
+        match self.point.into_inner() {
+            Some((v, o)) => (Some(v), o),
+            None => (None, f64::INFINITY),
+        }
+    }
+}
+
+/// Adapter giving a [`NodeWorker`] the shared incumbent through the
+/// [`Incumbent`] trait it expects.
+struct SharedHandle<'s>(&'s SharedIncumbent);
+
+impl Incumbent for SharedHandle<'_> {
+    fn best_obj(&self) -> f64 {
+        self.0.best_obj()
+    }
+    fn offer(&mut self, values: &[f64], obj: f64) {
+        self.0.offer(values, obj);
+    }
+}
+
+/// Where workers get their next node from.
+enum Pool {
+    /// Per-worker deques + global injector (depth-first with stealing).
+    Deques { injector: Injector<OpenNode>, stealers: Vec<Stealer<OpenNode>> },
+    /// One global best-bound heap.
+    Heap(Mutex<BinaryHeap<HeapNode>>),
+}
+
+impl Pool {
+    /// Pops a node for worker `id` (owning `local` in deque mode).
+    fn pop(&self, id: usize, local: Option<&Deque<OpenNode>>) -> Option<OpenNode> {
+        match self {
+            Pool::Deques { injector, stealers } => {
+                if let Some(n) = local.and_then(|d| d.pop()) {
+                    return Some(n);
+                }
+                if let Some(n) = injector.steal().success() {
+                    return Some(n);
+                }
+                // Round-robin steal starting after our own slot so workers
+                // don't all hammer the same victim.
+                let k = stealers.len();
+                for step in 1..=k {
+                    let victim = (id + step) % k;
+                    if victim == id {
+                        continue;
+                    }
+                    if let Some(n) = stealers[victim].steal().success() {
+                        return Some(n);
+                    }
+                }
+                None
+            }
+            Pool::Heap(heap) => heap.lock().pop().map(|HeapNode(n)| n),
+        }
+    }
+
+    /// Pushes `node` for worker `id`.
+    fn push(&self, node: OpenNode, local: Option<&Deque<OpenNode>>) {
+        match self {
+            Pool::Deques { injector, .. } => match local {
+                Some(d) => d.push(node),
+                None => injector.push(node),
+            },
+            Pool::Heap(heap) => heap.lock().push(HeapNode(node)),
+        }
+    }
+}
+
+/// Cross-worker control state.
+struct Control {
+    /// Nodes queued or currently being expanded; zero means the tree is done.
+    in_flight: AtomicUsize,
+    /// Raised on any limit or error: workers drain and exit.
+    stop: AtomicBool,
+    /// Whether the stop was a limit (vs. natural exhaustion).
+    hit_limit: AtomicBool,
+    /// Total nodes expanded, for the node limit.
+    nodes: AtomicU64,
+    /// Minimum LP bound among abandoned open nodes (valid on early stop).
+    open_bound_min: Mutex<f64>,
+    /// First worker error, propagated after join.
+    error: Mutex<Option<MilpError>>,
+}
+
+impl Control {
+    fn fold_open_bound(&self, bound: f64) {
+        let mut min = self.open_bound_min.lock();
+        if bound < *min {
+            *min = bound;
+        }
+    }
+
+    fn node_limit_hit(&self, options: &SolverOptions) -> bool {
+        options.node_limit != 0 && self.nodes.load(Ordering::Relaxed) >= options.node_limit as u64
+    }
+}
+
+/// Runs the work-stealing search with `threads ≥ 2` workers. Same contract
+/// as the serial search: returns the incumbent and the proven global bound
+/// (internal minimization scale).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn search(
+    model: &Model,
+    sf: &StandardForm,
+    options: &SolverOptions,
+    int_cols: &[usize],
+    root_bounds: &[(f64, f64)],
+    warm: Option<(Vec<f64>, f64)>,
+    start: Instant,
+    threads: usize,
+) -> Result<SearchOutcome> {
+    let incumbent = SharedIncumbent::new(warm);
+    let control = Control {
+        in_flight: AtomicUsize::new(1), // the root
+        stop: AtomicBool::new(false),
+        hit_limit: AtomicBool::new(false),
+        nodes: AtomicU64::new(0),
+        open_bound_min: Mutex::new(f64::INFINITY),
+        error: Mutex::new(None),
+    };
+
+    // Build the pool and seed it with the root node.
+    let mut locals: Vec<Option<Deque<OpenNode>>> = Vec::with_capacity(threads);
+    let pool = match options.node_order {
+        NodeOrder::DepthFirst => {
+            let deques: Vec<Deque<OpenNode>> = (0..threads).map(|_| Deque::new_lifo()).collect();
+            let stealers = deques.iter().map(|d| d.stealer()).collect();
+            locals.extend(deques.into_iter().map(Some));
+            let injector = Injector::new();
+            injector.push(OpenNode::root());
+            Pool::Deques { injector, stealers }
+        }
+        NodeOrder::BestBound => {
+            locals.extend((0..threads).map(|_| None));
+            let mut heap = BinaryHeap::new();
+            heap.push(HeapNode(OpenNode::root()));
+            Pool::Heap(Mutex::new(heap))
+        }
+    };
+
+    // (nodes evaluated, simplex iterations) per worker, in worker order.
+    let mut per_worker: Vec<(u64, u64)> = vec![(0, 0); threads];
+
+    let spawn_result = crossbeam::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for (id, local) in locals.into_iter().enumerate() {
+            let pool = &pool;
+            let control = &control;
+            let incumbent = &incumbent;
+            handles.push(scope.spawn(move |_| {
+                worker_loop(
+                    id,
+                    model,
+                    sf,
+                    options,
+                    int_cols,
+                    root_bounds,
+                    start,
+                    pool,
+                    control,
+                    incumbent,
+                    local,
+                )
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect::<Vec<_>>()
+    });
+    let worker_stats = spawn_result.expect("worker thread panicked");
+    for (id, stats) in worker_stats.into_iter().enumerate() {
+        per_worker[id] = stats;
+    }
+
+    if let Some(e) = control.error.lock().take() {
+        return Err(e);
+    }
+
+    // Fold nodes still parked in the shared pool (unreachable on a natural
+    // exhaustion, where the pool is empty).
+    match &pool {
+        Pool::Deques { injector, .. } => {
+            while let Some(n) = injector.steal().success() {
+                control.fold_open_bound(n.bound);
+            }
+        }
+        Pool::Heap(heap) => {
+            if let Some(HeapNode(n)) = heap.lock().peek() {
+                control.fold_open_bound(n.bound);
+            }
+        }
+    }
+
+    let hit_limit = control.hit_limit.load(Ordering::Acquire);
+    let (incumbent, incumbent_obj) = incumbent.into_parts();
+    let open_min = *control.open_bound_min.lock();
+    let best_bound_internal = if hit_limit { open_min.min(incumbent_obj) } else { incumbent_obj };
+
+    let nodes_per_thread: Vec<u64> = per_worker.iter().map(|&(n, _)| n).collect();
+    Ok(SearchOutcome {
+        incumbent,
+        incumbent_obj,
+        best_bound_internal,
+        nodes: nodes_per_thread.iter().sum(),
+        nodes_per_thread,
+        simplex_iterations: per_worker.iter().map(|&(_, it)| it).sum(),
+        hit_limit,
+    })
+}
+
+/// One worker: pops nodes until the tree is exhausted or a stop is raised.
+/// Returns `(nodes evaluated, simplex iterations)`.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    id: usize,
+    model: &Model,
+    sf: &StandardForm,
+    options: &SolverOptions,
+    int_cols: &[usize],
+    root_bounds: &[(f64, f64)],
+    start: Instant,
+    pool: &Pool,
+    control: &Control,
+    incumbent: &SharedIncumbent,
+    local: Option<Deque<OpenNode>>,
+) -> (u64, u64) {
+    let mut worker = NodeWorker::new(model, sf, options, int_cols, root_bounds, start);
+    let mut handle = SharedHandle(incumbent);
+    let local = local.as_ref();
+
+    loop {
+        if control.stop.load(Ordering::Acquire) {
+            // Abandon local work, folding bounds so the final global bound
+            // stays valid.
+            if let Some(d) = local {
+                while let Some(n) = d.pop() {
+                    control.fold_open_bound(n.bound);
+                }
+            }
+            break;
+        }
+        let node = match pool.pop(id, local) {
+            Some(n) => n,
+            None => {
+                if control.in_flight.load(Ordering::Acquire) == 0 {
+                    break;
+                }
+                std::thread::yield_now();
+                continue;
+            }
+        };
+
+        if worker.time_up() || control.node_limit_hit(options) {
+            control.hit_limit.store(true, Ordering::Release);
+            control.stop.store(true, Ordering::Release);
+            control.fold_open_bound(node.bound);
+            control.in_flight.fetch_sub(1, Ordering::AcqRel);
+            continue;
+        }
+        if gap_closed(options, incumbent.best_obj(), node.bound) {
+            control.in_flight.fetch_sub(1, Ordering::AcqRel);
+            continue;
+        }
+
+        worker.enter_node(&node, root_bounds);
+        control.nodes.fetch_add(1, Ordering::Relaxed);
+        match worker.eval_node(&node, &mut handle) {
+            Ok((children, bound)) => {
+                if worker.hit_limit {
+                    // Deadline or numerics inside the node.
+                    control.hit_limit.store(true, Ordering::Release);
+                    control.stop.store(true, Ordering::Release);
+                    control.fold_open_bound(bound);
+                } else {
+                    // Register children before retiring the parent so
+                    // `in_flight` cannot dip to zero early. Push in reverse
+                    // so the LIFO owner pops the near child first, matching
+                    // the serial dive order.
+                    for c in children.into_iter().rev() {
+                        control.in_flight.fetch_add(1, Ordering::AcqRel);
+                        pool.push(c, local);
+                    }
+                }
+                control.in_flight.fetch_sub(1, Ordering::AcqRel);
+            }
+            Err(e) => {
+                let mut slot = control.error.lock();
+                if slot.is_none() {
+                    *slot = Some(e);
+                }
+                control.stop.store(true, Ordering::Release);
+                control.in_flight.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+    }
+
+    (worker.nodes, worker.lp.iterations)
+}

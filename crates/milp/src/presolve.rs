@@ -184,11 +184,8 @@ pub fn presolve(model: &Model, feasibility_tol: f64) -> Result<Presolved> {
             let tighten_le = row.sense != ConstraintSense::Ge;
             let tighten_ge = row.sense != ConstraintSense::Le;
             for &(j, c) in &terms {
-                let (self_min, self_max) = if c > 0.0 {
-                    (c * lb[j], c * ub[j])
-                } else {
-                    (c * ub[j], c * lb[j])
-                };
+                let (self_min, self_max) =
+                    if c > 0.0 { (c * lb[j], c * ub[j]) } else { (c * ub[j], c * lb[j]) };
                 let rest_min = act_min - self_min;
                 let rest_max = act_max - self_max;
                 // Infinite activities make the implied bounds vacuous (and
@@ -256,11 +253,8 @@ pub fn presolve(model: &Model, feasibility_tol: f64) -> Result<Presolved> {
     for j in 0..n {
         if fixed[j] {
             // Snap integers exactly.
-            let v = if kinds[j] != VarKind::Continuous {
-                lb[j].round()
-            } else {
-                (lb[j] + ub[j]) / 2.0
-            };
+            let v =
+                if kinds[j] != VarKind::Continuous { lb[j].round() } else { (lb[j] + ub[j]) / 2.0 };
             mapping.push(MapEntry::Fixed(v));
         } else {
             let col = reduced
@@ -329,9 +323,7 @@ mod tests {
         let mut m = Model::new("t");
         let x = m.continuous("x", 0.0, 10.0).unwrap();
         m.add_le("cap", LinExpr::from(x), 3.0);
-        let Presolved::Reduced(r) = presolve(&m, 1e-9).unwrap() else {
-            panic!("feasible")
-        };
+        let Presolved::Reduced(r) = presolve(&m, 1e-9).unwrap() else { panic!("feasible") };
         assert_eq!(r.model.num_constraints(), 0);
         assert_eq!(r.model.bounds(crate::VarId(0)).1, 3.0);
     }
@@ -343,9 +335,7 @@ mod tests {
         let x = m.continuous("x", 2.0, 2.0).unwrap();
         let y = m.continuous("y", 0.0, 10.0).unwrap();
         m.add_le("cap", LinExpr::from(x) + y, 5.0);
-        let Presolved::Reduced(r) = presolve(&m, 1e-9).unwrap() else {
-            panic!("feasible")
-        };
+        let Presolved::Reduced(r) = presolve(&m, 1e-9).unwrap() else { panic!("feasible") };
         assert_eq!(r.eliminated_vars(), 1);
         // Postsolve round-trip.
         let full = r.postsolve(&vec![1.5; r.model.num_vars()]);
@@ -367,9 +357,7 @@ mod tests {
         let x = m.binary("x");
         let y = m.binary("y");
         m.add_le("loose", LinExpr::from(x) + y, 5.0);
-        let Presolved::Reduced(r) = presolve(&m, 1e-9).unwrap() else {
-            panic!("feasible")
-        };
+        let Presolved::Reduced(r) = presolve(&m, 1e-9).unwrap() else { panic!("feasible") };
         assert_eq!(r.model.num_constraints(), 0);
     }
 
@@ -379,9 +367,7 @@ mod tests {
         let mut m = Model::new("t");
         let x = m.integer("x", 0.0, 10.0).unwrap();
         m.add_le("cap", LinExpr::term(x, 2.0), 5.0);
-        let Presolved::Reduced(r) = presolve(&m, 1e-9).unwrap() else {
-            panic!("feasible")
-        };
+        let Presolved::Reduced(r) = presolve(&m, 1e-9).unwrap() else { panic!("feasible") };
         assert_eq!(r.model.bounds(crate::VarId(0)).1, 2.0);
     }
 
@@ -392,9 +378,7 @@ mod tests {
         let x = m.binary("x");
         let y = m.binary("y");
         m.add_eq("sum", LinExpr::from(x) + y, 2.0);
-        let Presolved::Reduced(r) = presolve(&m, 1e-9).unwrap() else {
-            panic!("feasible")
-        };
+        let Presolved::Reduced(r) = presolve(&m, 1e-9).unwrap() else { panic!("feasible") };
         assert_eq!(r.model.num_vars(), 0);
         let full = r.postsolve(&[]);
         assert_eq!(full, vec![1.0, 1.0]);
@@ -405,9 +389,7 @@ mod tests {
         let mut m = Model::new("t");
         let x = m.continuous("x", 3.0, 3.0).unwrap();
         m.set_objective(Objective::Minimize, LinExpr::term(x, 2.0) + 1.0);
-        let Presolved::Reduced(r) = presolve(&m, 1e-9).unwrap() else {
-            panic!("feasible")
-        };
+        let Presolved::Reduced(r) = presolve(&m, 1e-9).unwrap() else { panic!("feasible") };
         assert_eq!(r.model.objective().constant(), 7.0);
     }
 
@@ -416,9 +398,7 @@ mod tests {
         let mut m = Model::new("t");
         let _x = m.continuous("x", 2.0, 2.0).unwrap();
         let _y = m.binary("y");
-        let Presolved::Reduced(r) = presolve(&m, 1e-9).unwrap() else {
-            panic!("feasible")
-        };
+        let Presolved::Reduced(r) = presolve(&m, 1e-9).unwrap() else { panic!("feasible") };
         assert!(r.presolve_point(&[2.0, 1.0], 1e-6).is_some());
         assert!(r.presolve_point(&[9.0, 1.0], 1e-6).is_none());
     }

@@ -93,7 +93,7 @@ impl<'a> Simplex<'a> {
         let mut c_pert = sf.c.clone();
         let mut bound_margin = 0.0;
         let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
-        for j in 0..sf.n {
+        for (j, c) in c_pert.iter_mut().enumerate().take(sf.n) {
             let range = sf.ub[j] - sf.lb[j];
             if range.is_finite() && range <= 1e6 {
                 // xorshift64* keeps this reproducible without an RNG dep.
@@ -102,7 +102,7 @@ impl<'a> Simplex<'a> {
                 state ^= state << 17;
                 let unit = ((state >> 11) as f64 / (1u64 << 53) as f64) + 0.5; // [0.5, 1.5)
                 let delta = 1e-9 * unit;
-                c_pert[j] += delta;
+                *c += delta;
                 bound_margin += delta * range;
             }
         }
@@ -273,8 +273,8 @@ impl<'a> Simplex<'a> {
         for (r, &j) in self.basis.iter().enumerate() {
             let cj = self.pcost(j);
             if cj != 0.0 {
-                for k in 0..m {
-                    y[k] += cj * self.binv[r * m + k];
+                for (yk, &b) in y.iter_mut().zip(&self.binv[r * m..(r + 1) * m]) {
+                    *yk += cj * b;
                 }
             }
         }
@@ -369,9 +369,9 @@ impl<'a> Simplex<'a> {
     /// Extracts the full primal vector of length `n + m`.
     pub fn values(&self) -> Vec<f64> {
         let mut x = vec![0.0; self.ncols];
-        for j in 0..self.ncols {
+        for (j, xj) in x.iter_mut().enumerate() {
             if self.stat[j] != Stat::Basic {
-                x[j] = self.nonbasic_value(j);
+                *xj = self.nonbasic_value(j);
             }
         }
         for (r, &j) in self.basis.iter().enumerate() {
@@ -410,7 +410,7 @@ impl<'a> Simplex<'a> {
             if local_iters >= self.iteration_limit {
                 return Err(MilpError::IterationLimit { limit: self.iteration_limit });
             }
-            if local_iters % 128 == 0 {
+            if local_iters.is_multiple_of(128) {
                 if let Some(deadline) = self.deadline {
                     if Instant::now() >= deadline {
                         return Err(MilpError::IterationLimit { limit: local_iters });
@@ -478,8 +478,7 @@ impl<'a> Simplex<'a> {
                     // numerical stability.
                     ratio < best_ratio - 1e-12
                         || (ratio < best_ratio + 1e-12
-                            && (q == usize::MAX
-                                || a.abs() > self.scratch_alpha[q].abs()))
+                            && (q == usize::MAX || a.abs() > self.scratch_alpha[q].abs()))
                 };
                 if better {
                     best_ratio = ratio;

@@ -32,6 +32,7 @@ pub struct Solution {
     pub(crate) objective: f64,
     pub(crate) best_bound: f64,
     pub(crate) nodes: u64,
+    pub(crate) nodes_per_thread: Vec<u64>,
     pub(crate) simplex_iterations: u64,
     pub(crate) solve_seconds: f64,
 }
@@ -90,6 +91,13 @@ impl Solution {
         self.nodes
     }
 
+    /// Nodes processed by each worker thread of the branch and bound, in
+    /// worker order. A serial solve (`threads = 1`) reports one entry; a
+    /// solve answered by presolve alone reports an empty slice.
+    pub fn nodes_per_thread(&self) -> &[u64] {
+        &self.nodes_per_thread
+    }
+
     /// Total simplex pivots across all LP solves.
     pub fn simplex_iterations(&self) -> u64 {
         self.simplex_iterations
@@ -133,6 +141,7 @@ mod tests {
             objective: 0.0,
             best_bound: 0.0,
             nodes: 0,
+            nodes_per_thread: vec![],
             simplex_iterations: 0,
             solve_seconds: 0.0,
         };

@@ -6,8 +6,9 @@
 //! incorrectly, or a simplex that returns a wrong LP bound, fails here with
 //! high probability.
 
-use ndp_milp::{BranchRule, ConstraintSense, LinExpr, Model, NodeOrder, Objective, SolverOptions,
-    SolveStatus};
+use ndp_milp::{
+    BranchRule, ConstraintSense, LinExpr, Model, NodeOrder, Objective, SolveStatus, SolverOptions,
+};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -78,11 +79,7 @@ fn brute_force(milp: &RandomMilp) -> Option<f64> {
 fn random_milp() -> impl Strategy<Value = RandomMilp> {
     (2usize..=9, any::<bool>()).prop_flat_map(|(n, maximize)| {
         let obj = proptest::collection::vec(-9i32..=9, n);
-        let row = (
-            proptest::collection::vec(-5i32..=5, n),
-            0u8..=2,
-            -8i32..=12,
-        );
+        let row = (proptest::collection::vec(-5i32..=5, n), 0u8..=2, -8i32..=12);
         let rows = proptest::collection::vec(row, 1..=5);
         (obj, rows).prop_map(move |(obj, rows)| RandomMilp { n, obj, maximize, rows })
     })
@@ -136,6 +133,92 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    /// The thread count may change the node exploration order but never the
+    /// answer: serial (`threads = 1`) and work-stealing (`threads = 4`)
+    /// solves must both match exhaustive enumeration exactly.
+    #[test]
+    fn thread_counts_match_enumeration(milp in random_milp()) {
+        let truth = brute_force(&milp);
+        let (serial_model, _) = build(&milp);
+        let (parallel_model, _) = build(&milp);
+        let serial = serial_model
+            .solve_with(&SolverOptions::default().threads(1))
+            .expect("serial solve must not error");
+        let parallel = parallel_model
+            .solve_with(&SolverOptions::default().threads(4))
+            .expect("parallel solve must not error");
+        match truth {
+            None => {
+                prop_assert_eq!(serial.status(), SolveStatus::Infeasible);
+                prop_assert_eq!(parallel.status(), SolveStatus::Infeasible);
+            }
+            Some(best) => {
+                prop_assert_eq!(serial.status(), SolveStatus::Optimal);
+                prop_assert_eq!(parallel.status(), SolveStatus::Optimal);
+                prop_assert!((serial.objective_value() - best).abs() < 1e-6,
+                    "threads=1 {} vs brute force {}", serial.objective_value(), best);
+                prop_assert!((parallel.objective_value() - best).abs() < 1e-6,
+                    "threads=4 {} vs brute force {}", parallel.objective_value(), best);
+                prop_assert!(parallel_model.is_feasible(parallel.values(), 1e-6));
+            }
+        }
+        // Per-thread node statistics must be consistent with the totals.
+        prop_assert!(serial.nodes_per_thread().len() <= 1);
+        prop_assert!(parallel.nodes_per_thread().len() <= 4);
+        prop_assert_eq!(serial.nodes_per_thread().iter().sum::<u64>(), serial.node_count());
+        prop_assert_eq!(parallel.nodes_per_thread().iter().sum::<u64>(), parallel.node_count());
+    }
+
+    /// Best-bound node order under a worker team: the shared heap must still
+    /// prove the enumerated optimum.
+    #[test]
+    fn parallel_best_bound_matches_enumeration(milp in random_milp()) {
+        let truth = brute_force(&milp);
+        let (m, _) = build(&milp);
+        let opts = SolverOptions::default().node_order(NodeOrder::BestBound).threads(4);
+        let sol = m.solve_with(&opts).expect("solver must not error");
+        match truth {
+            None => prop_assert_eq!(sol.status(), SolveStatus::Infeasible),
+            Some(best) => {
+                prop_assert_eq!(sol.status(), SolveStatus::Optimal);
+                prop_assert!((sol.objective_value() - best).abs() < 1e-6,
+                    "solver {} vs brute force {}", sol.objective_value(), best);
+            }
+        }
+    }
+}
+
+/// `threads = 1` is the documented deterministic mode: repeated solves take
+/// the identical search path, so node and pivot counts match exactly.
+#[test]
+fn serial_mode_is_deterministic() {
+    let build = || {
+        let mut m = Model::new("det");
+        let mut obj = LinExpr::new();
+        let mut cap = LinExpr::new();
+        for i in 0..14 {
+            let x = m.binary(format!("x{i}"));
+            obj.add_term(x, 3.0 + (i as f64) * 0.7);
+            cap.add_term(x, 2.0 + ((i * 5) % 7) as f64);
+        }
+        m.add_le("cap", cap, 23.0);
+        m.set_objective(Objective::Maximize, obj);
+        m
+    };
+    let opts = SolverOptions::default().threads(1);
+    let a = build().solve_with(&opts).unwrap();
+    let b = build().solve_with(&opts).unwrap();
+    assert_eq!(a.status(), b.status());
+    assert_eq!(a.objective_value().to_bits(), b.objective_value().to_bits());
+    assert_eq!(a.node_count(), b.node_count());
+    assert_eq!(a.simplex_iterations(), b.simplex_iterations());
+    assert_eq!(a.nodes_per_thread(), b.nodes_per_thread());
+    assert_eq!(a.nodes_per_thread(), &[a.node_count()]);
+}
+
 #[test]
 fn mixed_integer_continuous_against_hand_solution() {
     // max 3x + 2y + w : x,y binary, w in [0, 10] continuous
@@ -145,11 +228,7 @@ fn mixed_integer_continuous_against_hand_solution() {
     let x = m.binary("x");
     let y = m.binary("y");
     let w = m.continuous("w", 0.0, 10.0).unwrap();
-    m.add_le(
-        "cap",
-        LinExpr::term(x, 2.0) + LinExpr::from(y) + LinExpr::term(w, 0.5),
-        4.0,
-    );
+    m.add_le("cap", LinExpr::term(x, 2.0) + LinExpr::from(y) + LinExpr::term(w, 0.5), 4.0);
     m.add_le("link", LinExpr::from(w) - LinExpr::term(x, 6.0), 0.0);
     m.set_objective(
         Objective::Maximize,
@@ -172,8 +251,7 @@ proptest! {
     fn presolve_preserves_semantics(milp in random_milp()) {
         let (with_presolve, _) = build(&milp);
         let (without_presolve, _) = build(&milp);
-        let mut opts_off = SolverOptions::default();
-        opts_off.presolve = false;
+        let opts_off = SolverOptions { presolve: false, ..SolverOptions::default() };
         let a = with_presolve.solve().expect("solve with presolve");
         let b = without_presolve.solve_with(&opts_off).expect("solve without presolve");
         prop_assert_eq!(a.status(), b.status());

@@ -141,8 +141,8 @@ pub fn k_shortest_paths(
             nodes.extend_from_slice(&spur_path.nodes()[1..]);
             let cand = Path::new(nodes);
             let cost = path_cost(noc, &cand, kind);
-            let dup = accepted.iter().any(|p| p == &cand)
-                || candidates.iter().any(|(_, p)| p == &cand);
+            let dup =
+                accepted.iter().any(|p| p == &cand) || candidates.iter().any(|(_, p)| p == &cand);
             if !dup {
                 candidates.push((cost, cand));
             }
@@ -216,6 +216,97 @@ mod tests {
         assert_eq!(paths.len(), 2);
         assert_eq!(paths[0].hop_count(), 1);
         assert!(paths[1].hop_count() >= 3, "detour must be longer");
+    }
+
+    /// The paper's `P = 2` pair (energy- and time-oriented) over every node
+    /// pair of the mesh: both paths must be simple, walk unit-hop links,
+    /// and connect exactly the requested endpoints.
+    #[test]
+    fn path_pairs_are_simple_with_correct_endpoints() {
+        let noc = noc();
+        let n = noc.mesh().num_nodes();
+        for from in 0..n {
+            for to in 0..n {
+                if from == to {
+                    continue;
+                }
+                let (from, to) = (NodeId(from), NodeId(to));
+                for kind in PathKind::ALL {
+                    for p in k_shortest_paths(&noc, from, to, kind, 2) {
+                        assert_eq!(p.source(), from, "{kind:?}");
+                        assert_eq!(p.destination(), to, "{kind:?}");
+                        let mut seen = std::collections::HashSet::new();
+                        for node in p.nodes() {
+                            assert!(seen.insert(*node), "revisited node in {:?}", p.nodes());
+                        }
+                        for (a, b) in p.links() {
+                            assert_eq!(noc.mesh().manhattan_distance(a, b), 1);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Hop counts can never beat the Manhattan distance, and on a bipartite
+    /// mesh every detour adds an even number of hops.
+    #[test]
+    fn hop_counts_dominate_manhattan_distance_with_even_detours() {
+        let noc = noc();
+        let n = noc.mesh().num_nodes();
+        for from in 0..n {
+            for to in 0..n {
+                if from == to {
+                    continue;
+                }
+                let (from, to) = (NodeId(from), NodeId(to));
+                let dist = noc.mesh().manhattan_distance(from, to);
+                for kind in PathKind::ALL {
+                    for p in k_shortest_paths(&noc, from, to, kind, 3) {
+                        assert!(
+                            p.hop_count() >= dist,
+                            "{kind:?}: {} hops < distance {dist}",
+                            p.hop_count()
+                        );
+                        assert_eq!(
+                            (p.hop_count() - dist) % 2,
+                            0,
+                            "{kind:?}: detour parity broken for {:?}",
+                            p.nodes()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Growing `k` only appends: the 2-path pair is a prefix of any longer
+    /// enumeration, so the paper's `P = 2` selection is stable under
+    /// ablations with richer path sets.
+    #[test]
+    fn longer_enumerations_extend_shorter_ones() {
+        let noc = noc();
+        for kind in PathKind::ALL {
+            let pair = k_shortest_paths(&noc, NodeId(0), NodeId(10), kind, 2);
+            let more = k_shortest_paths(&noc, NodeId(0), NodeId(10), kind, 6);
+            assert!(more.len() >= pair.len());
+            assert_eq!(&more[..pair.len()], &pair[..]);
+        }
+    }
+
+    /// Costs are sorted under the *requested* weighting for both kinds of
+    /// the pair (the energy list by energy, the time list by time).
+    #[test]
+    fn each_kind_sorts_by_its_own_cost() {
+        let noc = noc();
+        for kind in PathKind::ALL {
+            let paths = k_shortest_paths(&noc, NodeId(3), NodeId(12), kind, 5);
+            assert!(paths.len() >= 2);
+            let costs: Vec<f64> = paths.iter().map(|p| path_cost(&noc, p, kind)).collect();
+            for w in costs.windows(2) {
+                assert!(w[0] <= w[1] + 1e-12, "{kind:?} costs must be sorted: {costs:?}");
+            }
+        }
     }
 
     #[test]

@@ -51,8 +51,7 @@ impl CommMatrices {
                     let rho = kind.index();
                     time[(b * n + g) * 2 + rho] = p.time_ms(noc);
                     for k in 0..n {
-                        energy[((b * n + g) * n + k) * 2 + rho] =
-                            p.energy_at_mj(noc, NodeId(k));
+                        energy[((b * n + g) * n + k) * 2 + rho] = p.energy_at_mj(noc, NodeId(k));
                     }
                     paths.push(p);
                 }
@@ -83,8 +82,8 @@ impl CommMatrices {
     ///
     /// Panics if a node index is out of range.
     pub fn energy_at_mj(&self, beta: NodeId, gamma: NodeId, k: NodeId, rho: PathKind) -> f64 {
-        self.energy[((beta.index() * self.n + gamma.index()) * self.n + k.index()) * 2
-            + rho.index()]
+        self.energy
+            [((beta.index() * self.n + gamma.index()) * self.n + k.index()) * 2 + rho.index()]
     }
 
     /// Total per-unit energy of a transfer (sum over all `k`).

@@ -251,10 +251,7 @@ mod tests {
     fn xy_goes_x_first() {
         let mesh = Mesh2D::square(3).unwrap();
         let p = xy_path(&mesh, NodeId(0), NodeId(8)); // (0,0) -> (2,2)
-        assert_eq!(
-            p.nodes(),
-            &[NodeId(0), NodeId(1), NodeId(2), NodeId(5), NodeId(8)]
-        );
+        assert_eq!(p.nodes(), &[NodeId(0), NodeId(1), NodeId(2), NodeId(5), NodeId(8)]);
     }
 
     #[test]

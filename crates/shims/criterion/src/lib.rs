@@ -1,0 +1,199 @@
+//! Offline stand-in for the slice of the `criterion` API the bench targets
+//! use: groups, `bench_function`/`bench_with_input`, `Bencher::iter`, and
+//! the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple (see `crates/shims/README.md`): each
+//! benchmark warms up briefly, then runs batches until a fixed wall-clock
+//! budget or the configured sample count is exhausted, and prints the mean,
+//! minimum, and maximum per-iteration time. There are no statistical
+//! comparisons against saved baselines.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver; one per binary.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into(), sample_size: 20 }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), 20, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim has nothing
+    /// buffered).
+    pub fn finish(self) {}
+}
+
+/// A two-part benchmark identifier, formatted `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { text: format!("{function}/{parameter}") }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Mean/min/max seconds per iteration, filled by `iter`.
+    result: Option<(f64, f64, f64)>,
+}
+
+impl Bencher {
+    /// Measures `f`, recording per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one untimed call (also primes caches/allocations).
+        black_box(f());
+        let budget = Duration::from_secs(3);
+        let started = Instant::now();
+        let (mut sum, mut min, mut max, mut n) = (0.0f64, f64::INFINITY, 0.0f64, 0usize);
+        while n < self.samples && started.elapsed() < budget {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed().as_secs_f64();
+            sum += dt;
+            min = min.min(dt);
+            max = max.max(dt);
+            n += 1;
+        }
+        if n > 0 {
+            self.result = Some((sum / n as f64, min, max));
+        }
+    }
+}
+
+fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { samples, result: None };
+    f(&mut b);
+    match b.result {
+        Some((mean, min, max)) => println!(
+            "bench {label:<48} mean {:>12} (min {}, max {})",
+            fmt_time(mean),
+            fmt_time(min),
+            fmt_time(max)
+        ),
+        None => println!("bench {label:<48} (no measurement: iter() never called)"),
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else {
+        format!("{:.3} µs", seconds * 1e6)
+    }
+}
+
+/// Bundles benchmark functions under one name, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary from [`criterion_group!`] names.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_bencher_run() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        let mut calls = 0u32;
+        g.bench_with_input(BenchmarkId::new("count", 1), &2u32, |b, &step| {
+            b.iter(|| {
+                calls += step;
+                calls
+            })
+        });
+        g.finish();
+        assert!(calls >= 3, "bench closure must actually run, got {calls}");
+    }
+}

@@ -1,0 +1,177 @@
+//! Work-stealing deques with the crossbeam-deque surface: per-worker
+//! [`Worker`] ends, shareable [`Stealer`]s, and a global [`Injector`].
+//!
+//! Owners push/pop at the back (LIFO) while stealers take from the front
+//! (FIFO), so stolen work is the oldest — in tree searches, the nodes
+//! closest to the root, which are the largest subtrees. The queues are
+//! mutex-backed (std-only shim), so [`Steal::Retry`] is never produced, but
+//! callers written against the upstream three-state API work unchanged.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Outcome of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// One item was stolen.
+    Success(T),
+    /// A race occurred and the attempt should be retried (never produced by
+    /// this mutex-backed shim; kept for API compatibility).
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Returns the stolen item, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Whether the queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+}
+
+/// The owner's end of a work-stealing queue.
+#[derive(Debug)]
+pub struct Worker<T> {
+    q: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Creates a queue whose owner pops its own most recent pushes first
+    /// (depth-first when the items are search nodes).
+    pub fn new_lifo() -> Self {
+        Worker { q: Arc::new(Mutex::new(VecDeque::new())) }
+    }
+
+    /// Pushes an item onto the owner's end.
+    pub fn push(&self, item: T) {
+        self.q.lock().expect("deque poisoned").push_back(item);
+    }
+
+    /// Pops the most recently pushed item.
+    pub fn pop(&self) -> Option<T> {
+        self.q.lock().expect("deque poisoned").pop_back()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.q.lock().expect("deque poisoned").is_empty()
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.q.lock().expect("deque poisoned").len()
+    }
+
+    /// Creates a handle other threads can steal from.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { q: Arc::clone(&self.q) }
+    }
+}
+
+/// A shareable handle that steals from the front (oldest items) of a
+/// [`Worker`]'s queue.
+#[derive(Debug)]
+pub struct Stealer<T> {
+    q: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer { q: Arc::clone(&self.q) }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Attempts to steal the oldest item.
+    pub fn steal(&self) -> Steal<T> {
+        match self.q.lock().expect("deque poisoned").pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+}
+
+/// A global FIFO queue every worker can push to and steal from.
+#[derive(Debug)]
+pub struct Injector<T> {
+    q: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub fn new() -> Self {
+        Injector { q: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Enqueues an item.
+    pub fn push(&self, item: T) {
+        self.q.lock().expect("injector poisoned").push_back(item);
+    }
+
+    /// Attempts to steal the oldest item.
+    pub fn steal(&self) -> Steal<T> {
+        match self.q.lock().expect("injector poisoned").pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Whether the injector is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.q.lock().expect("injector poisoned").is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_lifo_stealers_are_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal().success(), Some(1), "stealer takes the oldest");
+        assert_eq!(w.pop(), Some(3), "owner takes the newest");
+        assert_eq!(w.pop(), Some(2));
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_round_trips_across_threads() {
+        let inj = std::sync::Arc::new(Injector::new());
+        for i in 0..100 {
+            inj.push(i);
+        }
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let inj = std::sync::Arc::clone(&inj);
+            handles.push(std::thread::spawn(move || {
+                let mut got = vec![];
+                while let Steal::Success(v) = inj.steal() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        let mut all: Vec<i32> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+}

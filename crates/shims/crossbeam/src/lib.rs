@@ -1,0 +1,86 @@
+//! Offline stand-in for the crossbeam APIs this workspace uses: [`scope`]
+//! (scoped threads whose closures receive the scope handle) and
+//! [`deque`] (work-stealing `Worker`/`Stealer`/`Injector`).
+//!
+//! Everything is built on `std` (see `crates/shims/README.md`): `scope`
+//! wraps `std::thread::scope`, and the deques are mutex-backed rather than
+//! lock-free. The deque operations are O(1) under an uncontended lock, which
+//! is far below the cost of the LP solves they schedule in this workspace.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod deque;
+
+/// Creates a scope in which threads borrowing local state can be spawned;
+/// joins any still-running threads before returning.
+///
+/// Matches the crossbeam 0.8 calling convention: the closure passed to
+/// [`Scope::spawn`] receives the scope handle so it can spawn further
+/// threads.
+///
+/// # Errors
+///
+/// Unlike upstream (which returns `Err` if any *unjoined* child panicked),
+/// the std backing propagates such panics, so this always returns `Ok`;
+/// callers' `.expect("scope")` remains correct.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// Handle for spawning threads inside a [`scope`] block.
+#[derive(Debug, Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; the closure receives the scope handle.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+    }
+}
+
+/// Join handle for a thread spawned with [`Scope::spawn`].
+#[derive(Debug)]
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish, returning its result or the panic
+    /// payload.
+    pub fn join(self) -> std::thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_spawns_and_joins_with_borrows() {
+        let data = [1u64, 2, 3, 4];
+        let total = super::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .expect("scope");
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_handle() {
+        let n =
+            super::scope(|s| s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2).join().unwrap())
+                .expect("scope");
+        assert_eq!(n, 42);
+    }
+}

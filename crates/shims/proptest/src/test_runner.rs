@@ -1,0 +1,87 @@
+//! Per-test configuration, RNG, and case outcomes for the [`proptest!`]
+//! macro expansion.
+//!
+//! [`proptest!`]: crate::proptest
+
+pub use rand::rngs::StdRng as InnerRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-test knobs; field-compatible with the upstream usages in this repo.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of passing cases required for the test to succeed.
+    pub cases: u32,
+    /// Upper bound on [`prop_assume!`](crate::prop_assume) rejections before
+    /// the test gives up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256, max_global_rejects: 65_536 }
+    }
+}
+
+impl Config {
+    /// A default config demanding `cases` passing cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases, ..Config::default() }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Precondition failed; try another input.
+    Reject(String),
+    /// Assertion failed; abort the test.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// Deterministic per-test random source.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: InnerRng,
+}
+
+impl TestRng {
+    /// Seeds from the test's fully qualified name (FNV-1a) so each test gets
+    /// a stable, distinct stream. `PROPTEST_SEED` (an integer) perturbs all
+    /// streams for exploratory runs.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(extra) = s.trim().parse::<u64>() {
+                h = h.wrapping_add(extra.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            }
+        }
+        TestRng { inner: InnerRng::seed_from_u64(h) }
+    }
+
+    /// Seeds directly; used by strategy unit tests.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { inner: InnerRng::seed_from_u64(seed) }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

@@ -1,0 +1,39 @@
+//! Offline drop-in replacement for the slice of the `serde` API the
+//! workspace touches: the `Serialize`/`Deserialize` trait names and their
+//! derive macros.
+//!
+//! Nothing in the workspace actually serializes (there is no `serde_json` or
+//! other format crate), so the traits are empty markers with blanket impls
+//! and the derives are no-ops. Swapping the real `serde` back in is a
+//! one-line change in the workspace manifest once a registry is reachable.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(test)]
+mod tests {
+    #[derive(Debug, Clone, PartialEq, crate::Serialize, crate::Deserialize)]
+    struct Probe {
+        a: usize,
+        b: f64,
+    }
+
+    fn assert_bounds<T: crate::Serialize + for<'de> crate::Deserialize<'de>>() {}
+
+    #[test]
+    fn derives_and_bounds_compile() {
+        assert_bounds::<Probe>();
+        let p = Probe { a: 1, b: 2.0 };
+        assert_eq!(p.clone(), p);
+    }
+}

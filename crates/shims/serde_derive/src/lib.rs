@@ -1,0 +1,22 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The offline `serde` shim (see `crates/shims/README.md`) implements its
+//! marker traits with blanket impls, so these derives have nothing to
+//! generate — they only need to exist so `#[derive(Serialize, Deserialize)]`
+//! attributes across the workspace keep compiling without crates.io access.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards the annotated item; the blanket impl in the `serde`
+/// shim already covers it.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards the annotated item; the blanket impl in the `serde`
+/// shim already covers it.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -113,9 +113,8 @@ pub fn execute(problem: &ProblemInstance, deployment: &Deployment) -> ExecutionT
                 continue;
             }
             let i = queues[k][heads[k]];
-            let ready = graph
-                .predecessors(TaskId(i))
-                .all(|(p, _)| !active[p.index()] || done[p.index()]);
+            let ready =
+                graph.predecessors(TaskId(i)).all(|(p, _)| !active[p.index()] || done[p.index()]);
             if ready {
                 chosen = Some((k, i));
                 break;
@@ -139,10 +138,10 @@ pub fn execute(problem: &ProblemInstance, deployment: &Deployment) -> ExecutionT
                 // Receive serialization (§II-B.5): every incoming transfer
                 // adds to the task's receive budget.
                 comm_delay[i] += problem.time_weight(data) * problem.comm.time_ms(nb, ng, rho);
-                for k2 in 0..n {
+                for (k2, c) in comm_energy.iter_mut().enumerate() {
                     let e = problem.comm.energy_at_mj(nb, ng, NodeId(k2), rho);
                     if e != 0.0 {
-                        comm_energy[k2] += data * e;
+                        *c += data * e;
                     }
                 }
             }

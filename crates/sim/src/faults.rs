@@ -165,11 +165,8 @@ mod tests {
     fn system_reliability_is_product_of_task_reliabilities() {
         let Some((p, d)) = harsh_instance(5) else { return };
         let report = inject_faults(&p, &d, 200_000, 11);
-        let analytic: f64 = p
-            .tasks
-            .originals()
-            .map(|i| analytic_task_reliability(&p, &d, i))
-            .product();
+        let analytic: f64 =
+            p.tasks.originals().map(|i| analytic_task_reliability(&p, &d, i)).product();
         assert!((report.system_reliability() - analytic).abs() < 0.01);
     }
 

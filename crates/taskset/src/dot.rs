@@ -32,12 +32,7 @@ pub fn to_dot(graph: &TaskGraph, style: &DotStyle) -> String {
     for t in graph.task_ids() {
         let task = graph.task(t);
         let label = if style.show_task_details {
-            format!(
-                "{}\\nC={:.2} Mcyc\\nD={:.2} ms",
-                task.name,
-                task.wcec / 1e6,
-                task.deadline_ms
-            )
+            format!("{}\\nC={:.2} Mcyc\\nD={:.2} ms", task.name, task.wcec / 1e6, task.deadline_ms)
         } else {
             task.name.clone()
         };
@@ -102,8 +97,7 @@ mod tests {
     #[test]
     fn graph_name_sanitized() {
         let g = TaskGraph::new();
-        let dot =
-            to_dot(&g, &DotStyle { name: "weird name!".into(), ..DotStyle::default() });
+        let dot = to_dot(&g, &DotStyle { name: "weird name!".into(), ..DotStyle::default() });
         assert!(dot.starts_with("digraph weird_name_"));
     }
 }

@@ -32,11 +32,7 @@ impl DuplicatedGraph {
         }
         for t in original.task_ids() {
             let task = original.task(t);
-            graph.add_task(Task::new(
-                format!("{}'", task.name),
-                task.wcec,
-                task.deadline_ms,
-            ));
+            graph.add_task(Task::new(format!("{}'", task.name), task.wcec, task.deadline_ms));
         }
         for (p, s, d) in original.edges() {
             let pc = TaskId(p.index() + m);

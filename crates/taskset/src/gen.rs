@@ -77,9 +77,7 @@ impl GeneratorConfig {
     }
 
     fn validate(&self) -> Result<()> {
-        let bad = |reason: &str| {
-            Err(TasksetError::InvalidGenerator { reason: reason.to_string() })
-        };
+        let bad = |reason: &str| Err(TasksetError::InvalidGenerator { reason: reason.to_string() });
         if self.num_tasks == 0 {
             return bad("num_tasks must be positive");
         }
@@ -89,7 +87,8 @@ impl GeneratorConfig {
         if !(self.deadline_slack.0 > 0.0 && self.deadline_slack.1 >= self.deadline_slack.0) {
             return bad("deadline_slack must be positive and ordered");
         }
-        if !(self.reference_mhz > 0.0) {
+        // NaN must fail this check too, hence no plain `<= 0.0` comparison.
+        if !(self.reference_mhz > 0.0 && self.reference_mhz.is_finite()) {
             return bad("reference_mhz must be positive");
         }
         if !(self.data_size_range.0 >= 0.0 && self.data_size_range.1 >= self.data_size_range.0) {

@@ -131,9 +131,7 @@ impl TaskGraph {
 
     /// Direct successors of `t` with data sizes.
     pub fn successors(&self, t: TaskId) -> impl Iterator<Item = (TaskId, f64)> + '_ {
-        self.edges
-            .range((t, TaskId(0))..=(t, TaskId(usize::MAX)))
-            .map(|(&(_, s), &d)| (s, d))
+        self.edges.range((t, TaskId(0))..=(t, TaskId(usize::MAX))).map(|(&(_, s), &d)| (s, d))
     }
 
     /// Direct predecessors of `t` with data sizes.
@@ -188,11 +186,7 @@ impl TaskGraph {
     pub fn layers(&self) -> Vec<usize> {
         let mut layer = vec![0usize; self.tasks.len()];
         for t in self.topological_order() {
-            let l = self
-                .predecessors(t)
-                .map(|(p, _)| layer[p.index()] + 1)
-                .max()
-                .unwrap_or(0);
+            let l = self.predecessors(t).map(|(p, _)| layer[p.index()] + 1).max().unwrap_or(0);
             layer[t.index()] = l;
         }
         layer

@@ -41,10 +41,7 @@ impl Task {
     /// Panics if `wcec` or `deadline_ms` is non-positive or non-finite.
     pub fn new(name: impl Into<String>, wcec: f64, deadline_ms: f64) -> Self {
         assert!(wcec.is_finite() && wcec > 0.0, "WCEC must be positive");
-        assert!(
-            deadline_ms.is_finite() && deadline_ms > 0.0,
-            "deadline must be positive"
-        );
+        assert!(deadline_ms.is_finite() && deadline_ms > 0.0, "deadline must be positive");
         Task { name: name.into(), wcec, deadline_ms }
     }
 }

@@ -7,8 +7,8 @@
 //! ```
 
 use ndp_core::{
-    energy_table, first_fit_fastest, gantt, random_mapping, round_robin, solve_heuristic,
-    validate, ProblemInstance,
+    energy_table, first_fit_fastest, gantt, random_mapping, round_robin, solve_heuristic, validate,
+    ProblemInstance,
 };
 use ndp_noc::{Mesh2D, NocParams, WeightedNoc};
 use ndp_platform::Platform;

@@ -6,19 +6,14 @@
 //! cargo run -p ndp-examples --bin milp_standalone
 //! ```
 
-use ndp_milp::{LinExpr, Model, Objective, SolverOptions, write_mps};
+use ndp_milp::{write_mps, LinExpr, Model, Objective, SolverOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Facility location: 3 candidate sites, 4 clients. Opening site j costs
     // f_j; serving client i from site j costs c_ij; a client must be served
     // from an open site.
     let open_cost = [6.0, 5.0, 7.0];
-    let serve_cost = [
-        [1.0, 3.0, 4.0],
-        [2.0, 1.0, 5.0],
-        [4.0, 2.0, 1.0],
-        [3.0, 4.0, 2.0],
-    ];
+    let serve_cost = [[1.0, 3.0, 4.0], [2.0, 1.0, 5.0], [4.0, 2.0, 1.0], [3.0, 4.0, 2.0]];
     let mut m = Model::new("facility-location");
     let open: Vec<_> = (0..3).map(|j| m.binary(format!("open{j}"))).collect();
     let mut objective = LinExpr::new();

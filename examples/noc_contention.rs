@@ -62,12 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nmean latency {mean:.1} cycles, max {max} cycles");
     println!(
         "hot router flit-hops: {:?}",
-        report
-            .router_flit_hops
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &h)| h)
-            .map(|(k, h)| (k, *h))
+        report.router_flit_hops.iter().enumerate().max_by_key(|(_, &h)| h).map(|(k, h)| (k, *h))
     );
     Ok(())
 }

@@ -9,9 +9,7 @@
 //! cargo run --release -p ndp-examples --bin optimal_vs_heuristic
 //! ```
 
-use ndp_core::{
-    solve_heuristic, solve_optimal, validate, OptimalConfig, ProblemInstance,
-};
+use ndp_core::{solve_heuristic, solve_optimal, validate, OptimalConfig, ProblemInstance};
 use ndp_milp::{SolveStatus, SolverOptions};
 use ndp_noc::{Mesh2D, NocParams, WeightedNoc};
 use ndp_platform::Platform;
@@ -39,10 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("heuristic : {h_energy:.4} mJ in {heuristic_time:?}");
 
     // --- Exact ---------------------------------------------------------------
-    let config = OptimalConfig {
-        solver: SolverOptions::with_time_limit(120.0),
-        ..OptimalConfig::default()
-    };
+    let config =
+        OptimalConfig { solver: SolverOptions::with_time_limit(120.0), ..OptimalConfig::default() };
     let t0 = Instant::now();
     let outcome = solve_optimal(&problem, &config)?;
     let optimal_time = t0.elapsed();

@@ -33,11 +33,9 @@ fn proven_optimal_never_worse_than_heuristic() {
         let p = instance(3, seed, 3.0);
         let Ok(h) = solve_heuristic(&p) else { continue };
         let h_obj = h.energy_report(&p).max_mj();
-        let out = solve_optimal(
-            &p,
-            &OptimalConfig { solver: solver(), ..OptimalConfig::default() },
-        )
-        .unwrap();
+        let out =
+            solve_optimal(&p, &OptimalConfig { solver: solver(), ..OptimalConfig::default() })
+                .unwrap();
         if out.status == SolveStatus::Optimal {
             let o = out.objective_mj.unwrap();
             assert!(o <= h_obj + 1e-6, "seed {seed}: optimal {o} > heuristic {h_obj}");
@@ -51,11 +49,9 @@ fn proven_optimal_never_worse_than_heuristic() {
 fn multi_path_dominates_single_path() {
     for seed in 0..4 {
         let p = instance(3, seed, 3.0);
-        let multi = solve_optimal(
-            &p,
-            &OptimalConfig { solver: solver(), ..OptimalConfig::default() },
-        )
-        .unwrap();
+        let multi =
+            solve_optimal(&p, &OptimalConfig { solver: solver(), ..OptimalConfig::default() })
+                .unwrap();
         for kind in PathKind::ALL {
             let single = solve_optimal(
                 &p,
@@ -90,11 +86,9 @@ fn both_routes_satisfy_the_same_referee() {
         if let Ok(h) = solve_heuristic(&p) {
             assert!(validate(&p, &h).is_empty());
         }
-        let out = solve_optimal(
-            &p,
-            &OptimalConfig { solver: solver(), ..OptimalConfig::default() },
-        )
-        .unwrap();
+        let out =
+            solve_optimal(&p, &OptimalConfig { solver: solver(), ..OptimalConfig::default() })
+                .unwrap();
         if let Some(d) = out.deployment {
             assert!(validate(&p, &d).is_empty());
         }

@@ -44,10 +44,7 @@ fn executor_agrees_with_static_accounting() {
         let Ok(d) = solve_heuristic(&p) else { continue };
         let trace = execute(&p, &d);
         let report = d.energy_report(&p);
-        assert!((trace.total_energy_mj()
-            - (report.total_mj()))
-        .abs()
-            < 1e-6);
+        assert!((trace.total_energy_mj() - (report.total_mj())).abs() < 1e-6);
         assert!(trace.makespan_ms <= p.horizon_ms + 1e-6);
     }
 }

@@ -1,0 +1,71 @@
+//! Cross-method checks on one fixed paper-sized instance: 10 original tasks
+//! deployed on the 4×4 mesh.
+//!
+//! The exact arm is warm-started by the heuristic (the default), so even
+//! when the time limit stops the search at `Feasible` its incumbent can
+//! never be worse than the heuristic deployment — which makes the paper's
+//! ordering `E(optimal) ≤ E(heuristic)` assertable without waiting for a
+//! proven optimum on an instance of this size.
+
+use ndp_core::{
+    solve_heuristic, solve_optimal, validate, OptimalConfig, PathMode, ProblemInstance,
+};
+use ndp_milp::{SolveStatus, SolverOptions};
+use ndp_noc::{Mesh2D, NocParams, PathKind, WeightedNoc};
+use ndp_platform::Platform;
+use ndp_taskset::{generate, GeneratorConfig};
+
+const SEED: u64 = 7;
+
+fn fixed_instance() -> ProblemInstance {
+    let cfg = GeneratorConfig::typical(10);
+    let graph = generate(&cfg, SEED).unwrap();
+    ProblemInstance::from_original(
+        &graph,
+        Platform::homogeneous(16).unwrap(),
+        WeightedNoc::new(Mesh2D::square(4).unwrap(), NocParams::typical(), SEED).unwrap(),
+        0.95,
+        3.0,
+    )
+    .unwrap()
+}
+
+#[test]
+fn referee_accepts_heuristic_on_the_fixed_instance() {
+    let p = fixed_instance();
+    let h = solve_heuristic(&p).expect("heuristic must deploy the fixed instance");
+    let violations = validate(&p, &h);
+    assert!(violations.is_empty(), "heuristic deployment rejected: {violations:?}");
+}
+
+#[test]
+fn referee_accepts_exact_incumbent_and_heuristic_is_never_better() {
+    let p = fixed_instance();
+    let h = solve_heuristic(&p).expect("heuristic must deploy the fixed instance");
+    let h_energy = h.energy_report(&p).max_mj();
+
+    // The multi-path encoding of this instance runs to ~31k variables,
+    // which the in-workspace solver cannot even root-solve within a test
+    // budget; the single-path arm (~12k variables) keeps the test honest
+    // about the full instance size while staying bounded.
+    let cfg = OptimalConfig {
+        path_mode: PathMode::SingleFixed(PathKind::EnergyOriented),
+        solver: SolverOptions::with_time_limit(2.0),
+        ..OptimalConfig::default()
+    };
+    let out = solve_optimal(&p, &cfg).expect("exact solve must not error");
+    assert!(
+        matches!(out.status, SolveStatus::Optimal | SolveStatus::Feasible),
+        "warm-started solve must hold an incumbent, got {:?}",
+        out.status
+    );
+    let d = out.deployment.expect("incumbent deployment");
+    let violations = validate(&p, &d);
+    assert!(violations.is_empty(), "exact deployment rejected: {violations:?}");
+
+    let o_energy = out.objective_mj.expect("objective of the incumbent");
+    assert!(
+        o_energy <= h_energy + 1e-6,
+        "exact incumbent {o_energy} mJ must not exceed heuristic {h_energy} mJ"
+    );
+}

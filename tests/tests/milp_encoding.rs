@@ -12,8 +12,8 @@
 //!   be missing a paper constraint.
 
 use ndp_core::{
-    build_milp, solve_heuristic, solve_optimal, validate, DeployObjective, OptimalConfig,
-    PathMode, ProblemInstance,
+    build_milp, solve_heuristic, solve_optimal, validate, DeployObjective, OptimalConfig, PathMode,
+    ProblemInstance,
 };
 use ndp_milp::SolverOptions;
 use ndp_noc::{Mesh2D, NocParams, PathKind, WeightedNoc};
@@ -54,10 +54,9 @@ fn referee_accepted_deployments_are_milp_feasible() {
                 let uniform = (0..n).all(|b| {
                     (0..n).all(|g| {
                         b == g
-                            || d.paths.kind(
-                                ndp_platform::ProcessorId(b),
-                                ndp_platform::ProcessorId(g),
-                            ) == kind
+                            || d.paths
+                                .kind(ndp_platform::ProcessorId(b), ndp_platform::ProcessorId(g))
+                                == kind
                     })
                 });
                 if !uniform {
@@ -117,8 +116,7 @@ fn me_objective_value_matches_total_energy() {
     for seed in 0..6 {
         let p = instance(4, seed, 3.0, GraphShape::Chain);
         let Ok(d) = solve_heuristic(&p) else { continue };
-        let enc =
-            build_milp(&p, PathMode::Multi, DeployObjective::MinimizeTotalEnergy).unwrap();
+        let enc = build_milp(&p, PathMode::Multi, DeployObjective::MinimizeTotalEnergy).unwrap();
         let values = enc.warm_start_values(&p, &d);
         let obj = enc.model.objective().eval(&values);
         let expected = d.energy_report(&p).total_mj();
@@ -133,9 +131,12 @@ fn me_objective_value_matches_total_energy() {
 fn encoding_sizes_scale_with_path_mode() {
     let p = instance(4, 0, 3.0, GraphShape::Layered { layers: 2, edge_probability: 0.3 });
     let multi = build_milp(&p, PathMode::Multi, DeployObjective::BalanceEnergy).unwrap();
-    let single =
-        build_milp(&p, PathMode::SingleFixed(PathKind::TimeOriented), DeployObjective::BalanceEnergy)
-            .unwrap();
+    let single = build_milp(
+        &p,
+        PathMode::SingleFixed(PathKind::TimeOriented),
+        DeployObjective::BalanceEnergy,
+    )
+    .unwrap();
     assert!(multi.model.num_vars() > single.model.num_vars());
     assert!(multi.model.num_constraints() > single.model.num_constraints());
 }

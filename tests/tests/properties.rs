@@ -1,8 +1,6 @@
 //! Property-based tests over randomly generated deployment problems.
 
-use ndp_core::{
-    build_milp, solve_heuristic, validate, DeployObjective, PathMode, ProblemInstance,
-};
+use ndp_core::{build_milp, solve_heuristic, validate, DeployObjective, PathMode, ProblemInstance};
 use ndp_noc::{Mesh2D, NocParams, WeightedNoc};
 use ndp_platform::Platform;
 use ndp_taskset::{generate, GeneratorConfig, GraphShape};
@@ -19,22 +17,16 @@ struct Scenario {
 }
 
 fn scenario() -> impl Strategy<Value = Scenario> {
-    (
-        2usize..=10,
-        2usize..=3,
-        0.5f64..4.0,
-        0.80f64..0.999,
-        any::<u64>(),
-        0u8..4,
-    )
-        .prop_map(|(tasks, side, alpha, threshold, seed, shape_sel)| Scenario {
+    (2usize..=10, 2usize..=3, 0.5f64..4.0, 0.80f64..0.999, any::<u64>(), 0u8..4).prop_map(
+        |(tasks, side, alpha, threshold, seed, shape_sel)| Scenario {
             tasks,
             side,
             alpha,
             threshold,
             seed,
             shape_sel,
-        })
+        },
+    )
 }
 
 fn build(s: &Scenario) -> ProblemInstance {
@@ -49,12 +41,8 @@ fn build(s: &Scenario) -> ProblemInstance {
     ProblemInstance::from_original(
         &g,
         Platform::homogeneous(s.side * s.side).expect("valid platform"),
-        WeightedNoc::new(
-            Mesh2D::square(s.side).expect("valid mesh"),
-            NocParams::typical(),
-            s.seed,
-        )
-        .expect("valid NoC"),
+        WeightedNoc::new(Mesh2D::square(s.side).expect("valid mesh"), NocParams::typical(), s.seed)
+            .expect("valid NoC"),
         s.threshold,
         s.alpha,
     )
