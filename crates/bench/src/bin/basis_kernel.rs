@@ -1,0 +1,103 @@
+//! Basis-kernel microbench: dense inverse vs sparse LU on the exact arm.
+//!
+//! Solves the same fixed deployment instance(s) once per kernel and reports
+//! wall time, branch-and-bound nodes, and node throughput. The headline
+//! number is the throughput ratio (sparse / dense): the sparse LU kernel
+//! must not be slower than the dense reference on the sizes the exact arm
+//! actually runs at, and wins by a growing margin as `M` rises.
+//!
+//! ```text
+//! basis_kernel [--tasks M] [--seconds S] [--seed K] [--instances I]
+//! ```
+//!
+//! Defaults reproduce the largest fixed exact-arm instance (`M = 6` on a
+//! 2×2 mesh, 60 s budget). CI runs a smoke configuration
+//! (`--tasks 4 --seconds 5 --instances 1`) to keep the binary exercised.
+
+use ndp_bench::InstanceSpec;
+use ndp_core::{build_milp, DeployObjective, PathMode};
+use ndp_milp::{BasisKernel, SolverOptions};
+
+struct KernelRun {
+    status: String,
+    nodes: u64,
+    iters: u64,
+    seconds: f64,
+}
+
+fn run(kernel: BasisKernel, tasks: usize, seconds: f64, seed: u64) -> KernelRun {
+    let p = InstanceSpec::new(tasks, 2, 3.0, seed).build();
+    let enc = build_milp(&p, PathMode::Multi, DeployObjective::BalanceEnergy).unwrap();
+    let opts = SolverOptions::with_time_limit(seconds).threads(1).basis_kernel(kernel);
+    let t0 = std::time::Instant::now();
+    let sol = enc.model.solve_with(&opts).unwrap();
+    KernelRun {
+        status: format!("{:?}", sol.status()),
+        nodes: sol.node_count(),
+        iters: sol.simplex_iterations(),
+        seconds: t0.elapsed().as_secs_f64(),
+    }
+}
+
+fn main() {
+    let mut tasks = 6usize;
+    let mut seconds = 60.0f64;
+    let mut seed = 7u64;
+    let mut instances = 1usize;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let val = args.get(i + 1).unwrap_or_else(|| {
+            eprintln!("missing value for {}", args[i]);
+            std::process::exit(2);
+        });
+        match args[i].as_str() {
+            "--tasks" => tasks = val.parse().expect("--tasks takes an integer"),
+            "--seconds" => seconds = val.parse().expect("--seconds takes a float"),
+            "--seed" => seed = val.parse().expect("--seed takes an integer"),
+            "--instances" => instances = val.parse().expect("--instances takes an integer"),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+
+    println!("kernel      M  seed  status      nodes  simplex_iters  seconds  nodes/s");
+    let mut ratio_sum = 0.0;
+    for k in 0..instances {
+        let s = seed + k as u64;
+        let dense = run(BasisKernel::Dense, tasks, seconds, s);
+        let sparse = run(BasisKernel::SparseLu, tasks, seconds, s);
+        for (name, r) in [("dense", &dense), ("sparse-lu", &sparse)] {
+            println!(
+                "{name:<10} {tasks:>2} {s:>5}  {:<10} {:>6}  {:>13}  {:>7.2}  {:>7.0}",
+                r.status,
+                r.nodes,
+                r.iters,
+                r.seconds,
+                r.nodes as f64 / r.seconds.max(1e-9),
+            );
+        }
+        let dense_tp = dense.nodes as f64 / dense.seconds.max(1e-9);
+        let sparse_tp = sparse.nodes as f64 / sparse.seconds.max(1e-9);
+        let ratio = sparse_tp / dense_tp.max(1e-9);
+        ratio_sum += ratio;
+        println!("  node-throughput ratio (sparse/dense): {ratio:.2}x");
+        // Under a shared time budget one kernel may prove Optimal while the
+        // other stops at Feasible, so only the solution-found/none split
+        // must agree (true divergence is caught by the equivalence suite).
+        let found = |s: &str| s == "Optimal" || s == "Feasible";
+        assert_eq!(
+            found(&dense.status),
+            found(&sparse.status),
+            "kernels disagree on solution existence: {} vs {}",
+            dense.status,
+            sparse.status
+        );
+    }
+    if instances > 1 {
+        println!("mean ratio over {instances} instances: {:.2}x", ratio_sum / instances as f64);
+    }
+}

@@ -147,7 +147,17 @@ pub fn validate(problem: &ProblemInstance, d: &Deployment) -> Vec<Violation> {
         }
     }
 
-    // (6) precedence + receive time.
+    // (6) precedence + receive time — **summed** semantics, matching the
+    // MILP rows exactly: `formulation.rs` builds one row per edge of the
+    // form `ts_s ≥ te_p + tcomm_s`, where `tcomm_s` is the successor's
+    // *total* receive time summed over all of its remote predecessors
+    // (`tcomm_expr` sums `t_{βγρ}·s_{pi}·d_p` over every incoming edge),
+    // and the list scheduler computes ready times the same way. The referee
+    // therefore also charges `comm_time_ms(s)` (the same sum) on top of
+    // each predecessor's end time: all three components agree that a task
+    // may start only after its slowest predecessor finishes *and* the full
+    // receive budget has elapsed. See `multi_predecessor_semantics_match_
+    // formulation` for the regression pinning this agreement.
     for (p, s, _) in graph.edges() {
         if !(d.active[p.index()] && d.active[s.index()]) {
             continue;
@@ -313,6 +323,67 @@ mod tests {
         d2.start_ms[1] =
             d2.end_ms(&p, ndp_taskset::TaskId(0)) + d2.comm_time_ms(&p, ndp_taskset::TaskId(1));
         assert!(validate(&p, &d2).is_empty());
+    }
+
+    #[test]
+    fn multi_predecessor_semantics_match_formulation() {
+        // Two predecessors a, b on distinct remote processors feeding c:
+        // the MILP's constraint-(6) rows say `ts_c ≥ te_p + tcomm_c` for
+        // *each* edge, with `tcomm_c` the **summed** receive time over all
+        // remote predecessors. The referee must accept exactly the starts
+        // those rows accept: `max(end) + total_comm` is valid, while the
+        // per-edge reading `max(end_p + comm_p)` (strictly earlier whenever
+        // two remote transfers are both positive) must be rejected.
+        let mut g = TaskGraph::new();
+        let a = g.add_task(Task::new("a", 1e6, 50.0));
+        let b = g.add_task(Task::new("b", 1e6, 50.0));
+        let c = g.add_task(Task::new("c", 1e6, 50.0));
+        g.add_edge(a, c, 2.0).unwrap();
+        g.add_edge(b, c, 3.0).unwrap();
+        let p = ProblemInstance::from_original(
+            &g,
+            Platform::homogeneous(4).unwrap(),
+            WeightedNoc::new(Mesh2D::square(2).unwrap(), NocParams::typical(), 0).unwrap(),
+            0.9,
+            200.0,
+        )
+        .unwrap();
+        let fastest = p.platform.vf_table().fastest();
+        let mut d = Deployment {
+            active: vec![true, true, true, false, false, false],
+            frequency: vec![fastest; 6],
+            processor: vec![
+                ProcessorId(1), // a
+                ProcessorId(2), // b
+                ProcessorId(0), // c — both predecessors are remote
+                ProcessorId(3),
+                ProcessorId(3),
+                ProcessorId(3),
+            ],
+            start_ms: vec![0.0; 6],
+            paths: PathChoice::uniform(4, PathKind::EnergyOriented),
+        };
+        let end = d.end_ms(&p, a).max(d.end_ms(&p, b));
+        let total_comm = d.comm_time_ms(&p, c);
+        // Per-edge receive terms, computed independently of the referee.
+        let rho = PathKind::EnergyOriented;
+        let t_ac = p.time_weight(2.0)
+            * p.comm.time_ms(p.node_of(ProcessorId(1)), p.node_of(ProcessorId(0)), rho);
+        let t_bc = p.time_weight(3.0)
+            * p.comm.time_ms(p.node_of(ProcessorId(2)), p.node_of(ProcessorId(0)), rho);
+        assert!(t_ac > 0.0 && t_bc > 0.0, "both transfers must cost time");
+        assert!((total_comm - (t_ac + t_bc)).abs() < 1e-9, "referee sums the edges");
+
+        // Summed-form start: accepted.
+        d.start_ms[c.index()] = end + total_comm;
+        assert!(validate(&p, &d).is_empty(), "{:?}", validate(&p, &d));
+
+        // Per-edge-form start (earlier): rejected, matching the MILP rows.
+        let mut d2 = d.clone();
+        d2.start_ms[c.index()] = end + t_ac.max(t_bc);
+        assert!(d2.start_ms[c.index()] < end + total_comm - VALIDATION_TOL);
+        let vs = validate(&p, &d2);
+        assert!(vs.iter().any(|v| matches!(v, Violation::PrecedenceViolated { .. })), "{vs:?}");
     }
 
     #[test]

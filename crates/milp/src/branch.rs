@@ -126,7 +126,7 @@ impl<'a> NodeWorker<'a> {
         root_bounds: &[(f64, f64)],
         start: Instant,
     ) -> Self {
-        let mut lp = Simplex::new(sf, options.refactor_interval, options.simplex_iteration_limit);
+        let mut lp = Simplex::new(sf, options);
         if options.time_limit.is_finite() {
             lp.deadline = Some(start + std::time::Duration::from_secs_f64(options.time_limit));
         }

@@ -46,6 +46,7 @@
 mod branch;
 mod error;
 mod expr;
+mod lu;
 mod model;
 mod mps;
 mod options;
@@ -59,7 +60,7 @@ pub use error::{MilpError, Result};
 pub use expr::LinExpr;
 pub use model::{ConstraintId, ConstraintSense, Model, Objective, VarId, VarKind};
 pub use mps::{parse_mps, write_mps};
-pub use options::{BranchRule, NodeOrder, SolverOptions};
+pub use options::{BasisKernel, BranchRule, NodeOrder, SolverOptions};
 pub use solution::{Solution, SolveStatus};
 
 #[cfg(test)]

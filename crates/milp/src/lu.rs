@@ -1,0 +1,502 @@
+//! Sparse LU factorization of the simplex basis with product-form updates.
+//!
+//! The deployment MILPs this solver targets produce very sparse bases
+//! (precedence rows, big-M non-overlap rows and Lemma-2.2 envelope rows each
+//! touch a handful of columns), so the dense `m × m` inverse the simplex
+//! historically carried wastes both memory (O(m²)) and time (O(m²) per
+//! pivot, O(m³) per Gauss-Jordan refactorization). This module provides the
+//! sparse replacement:
+//!
+//! * [`LuFactors::factorize`] — right-looking sparse Gaussian elimination
+//!   with **Markowitz ordering** (pivot chosen to minimize
+//!   `(r_i − 1)(c_j − 1)` fill-in over a small set of lowest-count candidate
+//!   columns) under **threshold partial pivoting** (`|a_ij| ≥ τ·max|a_·j|`,
+//!   bounding every L multiplier by `1/τ`).
+//! * [`EtaFile`] — product-form updates: each basis exchange appends one eta
+//!   vector instead of touching the factorization, so a pivot costs
+//!   O(nnz(B⁻¹A_q)). The file length is capped by the caller
+//!   (`SolverOptions::eta_limit`); exceeding it forces a refactorization.
+//! * Sparse **FTRAN/BTRAN** solves that skip structural zeros, so the cost
+//!   tracks the factor fill rather than `m²`.
+//!
+//! Factors are stored in *elimination-step* space: step `k` pivoted original
+//! row `row_at[k]` and basis position `col_at[k]`. `L` is unit lower
+//! triangular (diagonal implicit), `U` upper triangular, both column-major.
+
+use crate::error::{MilpError, Result};
+use crate::standard::{ColumnRef, StandardForm};
+
+/// Threshold partial pivoting factor `τ`: an entry is an acceptable pivot
+/// only if its magnitude is at least `τ` times the largest magnitude in its
+/// column, which bounds every multiplier by `1/τ`.
+const PIVOT_THRESHOLD: f64 = 0.1;
+/// Absolute pivot magnitude floor; below this the basis is declared
+/// singular (mirrors the dense kernel's `1e-11` Gauss-Jordan floor).
+const PIVOT_FLOOR: f64 = 1e-11;
+/// Eliminated fill-in smaller than this is dropped.
+const DROP_TOL: f64 = 1e-14;
+/// Number of lowest-count candidate columns scanned per Markowitz search.
+const SEARCH_COLS: usize = 4;
+
+/// A sparse LU factorization of one basis matrix.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LuFactors {
+    m: usize,
+    /// `row_at[k]` = original row eliminated at step `k`.
+    row_at: Vec<usize>,
+    /// `col_at[k]` = basis position eliminated at step `k`.
+    col_at: Vec<usize>,
+    /// `L` columns in step space: `l_cols[k]` holds `(step, multiplier)`
+    /// with `step > k`; the unit diagonal is implicit.
+    l_cols: Vec<Vec<(usize, f64)>>,
+    /// `U` columns in step space: `u_cols[k]` holds `(step, value)` with
+    /// `step < k`.
+    u_cols: Vec<Vec<(usize, f64)>>,
+    /// `U` diagonal by step.
+    u_diag: Vec<f64>,
+}
+
+impl LuFactors {
+    /// Factors of the identity basis (the all-slack start).
+    pub fn identity(m: usize) -> Self {
+        LuFactors {
+            m,
+            row_at: (0..m).collect(),
+            col_at: (0..m).collect(),
+            l_cols: vec![Vec::new(); m],
+            u_cols: vec![Vec::new(); m],
+            u_diag: vec![1.0; m],
+        }
+    }
+
+    /// Total stored nonzeros in `L` and `U` (diagnostics).
+    #[allow(dead_code)] // exercised in tests
+    pub fn fill(&self) -> usize {
+        self.l_cols.iter().map(Vec::len).sum::<usize>()
+            + self.u_cols.iter().map(Vec::len).sum::<usize>()
+            + self.m
+    }
+
+    /// Factorizes the basis `B = [A_{basis[0]} … A_{basis[m−1]}]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MilpError::SingularBasis`] when no acceptable pivot exists
+    /// (a numerically empty column/row in the active submatrix).
+    pub fn factorize(sf: &StandardForm, basis: &[usize]) -> Result<Self> {
+        let m = basis.len();
+        // Active submatrix, column-major over basis positions; entries keep
+        // original row indices. `rows_touch[r]` lists the positions whose
+        // column (may) hold an entry in row `r`.
+        let mut acols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
+        let mut rows_touch: Vec<Vec<usize>> = vec![Vec::new(); m];
+        let mut rcount = vec![0usize; m];
+        let mut ccount = vec![0usize; m];
+        for (pos, &j) in basis.iter().enumerate() {
+            let col: Vec<(usize, f64)> = match sf.column(j) {
+                ColumnRef::Structural(nz) => nz.to_vec(),
+                ColumnRef::Slack(r) => vec![(r, 1.0)],
+            };
+            for &(r, _) in &col {
+                rcount[r] += 1;
+                rows_touch[r].push(pos);
+            }
+            ccount[pos] = col.len();
+            acols.push(col);
+        }
+
+        let mut row_alive = vec![true; m];
+        let mut col_alive = vec![true; m];
+        let mut row_step = vec![usize::MAX; m]; // original row -> step
+        let mut row_at = Vec::with_capacity(m);
+        let mut col_at = Vec::with_capacity(m);
+        let mut l_raw: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m); // original-row space
+        let mut u_by_pos: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m]; // (step, value)
+        let mut u_diag = Vec::with_capacity(m);
+        // Dense scratch: marker[r] = position+1 of row r in the column being
+        // updated (0 = absent).
+        let mut marker = vec![0usize; m];
+
+        for step in 0..m {
+            // --- Markowitz pivot search over low-count candidate columns ---
+            let mut cand = [usize::MAX; SEARCH_COLS];
+            for (c, _) in col_alive.iter().enumerate().filter(|&(_, &alive)| alive) {
+                // Insertion into the fixed-size best-count list.
+                let mut hold = c;
+                for slot in cand.iter_mut() {
+                    if *slot == usize::MAX || ccount[hold] < ccount[*slot] {
+                        std::mem::swap(&mut hold, slot);
+                        if hold == usize::MAX {
+                            break;
+                        }
+                    }
+                }
+            }
+            let mut best: Option<(usize, usize, f64, u64)> = None; // (row, col, val, cost)
+            for &c in cand.iter().take_while(|&&c| c != usize::MAX) {
+                // Compact: drop dead rows and numerically vanished entries.
+                acols[c].retain(|&(r, v)| {
+                    if !row_alive[r] {
+                        return false;
+                    }
+                    if v.abs() < DROP_TOL {
+                        rcount[r] -= 1;
+                        return false;
+                    }
+                    true
+                });
+                ccount[c] = acols[c].len();
+                let colmax = acols[c].iter().map(|&(_, v)| v.abs()).fold(0.0, f64::max);
+                if colmax < PIVOT_FLOOR {
+                    // An alive column with no usable entry can never pivot.
+                    return Err(MilpError::SingularBasis);
+                }
+                for &(r, v) in &acols[c] {
+                    if v.abs() < PIVOT_THRESHOLD * colmax || v.abs() < PIVOT_FLOOR {
+                        continue;
+                    }
+                    let cost = (rcount[r] as u64 - 1) * (ccount[c] as u64 - 1);
+                    let better = match best {
+                        None => true,
+                        Some((_, _, bv, bc)) => cost < bc || (cost == bc && v.abs() > bv.abs()),
+                    };
+                    if better {
+                        best = Some((r, c, v, cost));
+                    }
+                }
+            }
+            let Some((pr, pc, pv, _)) = best else {
+                return Err(MilpError::SingularBasis);
+            };
+
+            // --- Eliminate pivot (pr, pc) ---
+            row_at.push(pr);
+            col_at.push(pc);
+            row_step[pr] = step;
+            u_diag.push(pv);
+            col_alive[pc] = false;
+            row_alive[pr] = false;
+            // The pivot column leaves the active submatrix.
+            let mut mult: Vec<(usize, f64)> = Vec::new();
+            for &(r, v) in &acols[pc] {
+                rcount[r] = rcount[r].saturating_sub(1);
+                if r != pr {
+                    mult.push((r, v / pv));
+                }
+            }
+            acols[pc].clear();
+
+            // Update every alive column holding the pivot row.
+            let touched = std::mem::take(&mut rows_touch[pr]);
+            for &c in &touched {
+                if !col_alive[c] {
+                    continue;
+                }
+                let Some(pos) = acols[c].iter().position(|&(r, _)| r == pr) else {
+                    continue; // stale reference (entry dropped earlier)
+                };
+                let (_, vpc) = acols[c].swap_remove(pos);
+                ccount[c] = ccount[c].saturating_sub(1);
+                u_by_pos[c].push((step, vpc));
+                if mult.is_empty() || vpc == 0.0 {
+                    continue;
+                }
+                // Scatter `col_c ← col_c − vpc · mult` with a dense marker.
+                for (p, &(r, _)) in acols[c].iter().enumerate() {
+                    marker[r] = p + 1;
+                }
+                for &(r, l) in &mult {
+                    let delta = -l * vpc;
+                    match marker[r] {
+                        0 => {
+                            if delta.abs() >= DROP_TOL && row_alive[r] {
+                                acols[c].push((r, delta));
+                                ccount[c] += 1;
+                                rcount[r] += 1;
+                                rows_touch[r].push(c);
+                            }
+                        }
+                        p => acols[c][p - 1].1 += delta,
+                    }
+                }
+                for &(r, _) in &acols[c] {
+                    marker[r] = 0;
+                }
+            }
+            l_raw.push(mult);
+        }
+
+        // Re-index L into step space and U into elimination order.
+        let l_cols: Vec<Vec<(usize, f64)>> = l_raw
+            .into_iter()
+            .map(|col| col.into_iter().map(|(r, v)| (row_step[r], v)).collect())
+            .collect();
+        let u_cols: Vec<Vec<(usize, f64)>> =
+            col_at.iter().map(|&pos| std::mem::take(&mut u_by_pos[pos])).collect();
+
+        Ok(LuFactors { m, row_at, col_at, l_cols, u_cols, u_diag })
+    }
+
+    /// Solves `B x = v` in place (`v` indexed by row on entry, by basis
+    /// position on exit). `work` is caller-provided scratch of length `m`.
+    pub fn ftran(&self, v: &mut [f64], work: &mut [f64]) {
+        let m = self.m;
+        for k in 0..m {
+            work[k] = v[self.row_at[k]];
+        }
+        // L forward substitution; skipping zero positions makes the cost
+        // proportional to the reachable nonzero set of the rhs.
+        for k in 0..m {
+            let x = work[k];
+            if x != 0.0 {
+                for &(i, l) in &self.l_cols[k] {
+                    work[i] -= l * x;
+                }
+            }
+        }
+        // U backward substitution.
+        for k in (0..m).rev() {
+            let x = work[k] / self.u_diag[k];
+            work[k] = x;
+            if x != 0.0 {
+                for &(i, u) in &self.u_cols[k] {
+                    work[i] -= u * x;
+                }
+            }
+        }
+        for k in 0..m {
+            v[self.col_at[k]] = work[k];
+        }
+    }
+
+    /// Solves `Bᵀ y = c` in place (`c` indexed by basis position on entry,
+    /// by row on exit). `work` is caller-provided scratch of length `m`.
+    pub fn btran(&self, c: &mut [f64], work: &mut [f64]) {
+        let m = self.m;
+        // Uᵀ forward substitution (gather form).
+        for k in 0..m {
+            let mut s = c[self.col_at[k]];
+            for &(i, u) in &self.u_cols[k] {
+                s -= u * work[i];
+            }
+            work[k] = s / self.u_diag[k];
+        }
+        // Lᵀ backward substitution (gather form).
+        for k in (0..m).rev() {
+            let mut s = work[k];
+            for &(i, l) in &self.l_cols[k] {
+                s -= l * work[i];
+            }
+            work[k] = s;
+        }
+        for k in 0..m {
+            c[self.row_at[k]] = work[k];
+        }
+    }
+}
+
+/// One product-form update: basis position `r` was replaced by a column
+/// whose FTRAN image is `aq` (`pivot = aq[r]`, `col` the other nonzeros).
+#[derive(Debug, Clone)]
+struct Eta {
+    r: usize,
+    pivot: f64,
+    col: Vec<(usize, f64)>,
+}
+
+/// The eta file: pending product-form updates on top of [`LuFactors`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EtaFile {
+    etas: Vec<Eta>,
+}
+
+impl EtaFile {
+    /// Number of pending updates.
+    pub fn len(&self) -> usize {
+        self.etas.len()
+    }
+
+    /// Drops all pending updates (after a refactorization).
+    pub fn clear(&mut self) {
+        self.etas.clear();
+    }
+
+    /// Records the basis exchange at position `r`; `aq` is the FTRAN'd
+    /// entering column (so `aq[r]` is the pivot element).
+    pub fn push(&mut self, r: usize, aq: &[f64]) {
+        let col: Vec<(usize, f64)> = aq
+            .iter()
+            .enumerate()
+            .filter(|&(i, &v)| i != r && v.abs() >= DROP_TOL)
+            .map(|(i, &v)| (i, v))
+            .collect();
+        self.etas.push(Eta { r, pivot: aq[r], col });
+    }
+
+    /// Applies `E_1⁻¹ … E_k⁻¹` left-to-right to an FTRAN result (position
+    /// space): completes `x = E_k⁻¹…E_1⁻¹ B₀⁻¹ v`.
+    pub fn apply_ftran(&self, x: &mut [f64]) {
+        for e in &self.etas {
+            let xr = x[e.r] / e.pivot;
+            if xr != 0.0 {
+                for &(i, v) in &e.col {
+                    x[i] -= v * xr;
+                }
+            }
+            x[e.r] = xr;
+        }
+    }
+
+    /// Applies `E_k⁻ᵀ … E_1⁻ᵀ` (newest first) to a BTRAN right-hand side
+    /// *before* the factor solve: `Bᵀy = c` with `B = B₀E_1…E_k` becomes
+    /// `B₀ᵀ y = E_1⁻ᵀ(…(E_k⁻ᵀ c))`.
+    pub fn apply_btran_rhs(&self, c: &mut [f64]) {
+        for e in self.etas.iter().rev() {
+            let mut s = c[e.r];
+            for &(i, v) in &e.col {
+                s -= v * c[i];
+            }
+            c[e.r] = s / e.pivot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+    use crate::options::SolverOptions;
+    use crate::LinExpr;
+
+    /// A standard form with a non-trivial sparse structural block.
+    fn fixture() -> StandardForm {
+        let mut m = Model::new("lu");
+        let xs: Vec<_> =
+            (0..6).map(|i| m.continuous(format!("x{i}"), -5.0, 5.0).unwrap()).collect();
+        m.add_le("r0", LinExpr::term(xs[0], 2.0) + LinExpr::term(xs[1], -1.0), 3.0);
+        m.add_ge("r1", LinExpr::term(xs[1], 4.0) + LinExpr::term(xs[2], 1.5), -2.0);
+        m.add_eq("r2", LinExpr::term(xs[2], 1.0) + LinExpr::term(xs[3], -2.5), 0.5);
+        m.add_le("r3", LinExpr::term(xs[0], 0.5) + LinExpr::term(xs[4], 3.0), 4.0);
+        m.add_ge("r4", LinExpr::term(xs[3], 1.0) + LinExpr::term(xs[5], -1.0), -1.0);
+        m.add_le("r5", LinExpr::term(xs[4], 2.0) + LinExpr::term(xs[5], 2.0), 6.0);
+        StandardForm::from_model(&m, &SolverOptions::default())
+    }
+
+    /// Dense multiplication `B · x` for checking the solves.
+    fn mat_vec(sf: &StandardForm, basis: &[usize], x: &[f64]) -> Vec<f64> {
+        let m = basis.len();
+        let mut out = vec![0.0; m];
+        for (pos, &j) in basis.iter().enumerate() {
+            sf.column(j).axpy(x[pos], &mut out);
+        }
+        out
+    }
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-8, "{a:?} != {b:?}");
+        }
+    }
+
+    #[test]
+    fn identity_factors_are_noops() {
+        let lu = LuFactors::identity(4);
+        let mut v = vec![1.0, -2.0, 3.5, 0.0];
+        let mut work = vec![0.0; 4];
+        let orig = v.clone();
+        lu.ftran(&mut v, &mut work);
+        assert_close(&v, &orig);
+        lu.btran(&mut v, &mut work);
+        assert_close(&v, &orig);
+    }
+
+    #[test]
+    fn ftran_solves_structural_basis() {
+        let sf = fixture();
+        // A mixed basis: five structural columns plus the row-5 slack.
+        let basis = vec![0, 1, 2, 3, 4, 11];
+        let lu = LuFactors::factorize(&sf, &basis).unwrap();
+        let rhs = vec![1.0, 2.0, -1.0, 0.5, 3.0, -2.0];
+        let mut x = rhs.clone();
+        let mut work = vec![0.0; 6];
+        lu.ftran(&mut x, &mut work);
+        assert_close(&mat_vec(&sf, &basis, &x), &rhs);
+    }
+
+    #[test]
+    fn btran_solves_transpose() {
+        let sf = fixture();
+        let basis = vec![0, 1, 2, 3, 4, 11];
+        let lu = LuFactors::factorize(&sf, &basis).unwrap();
+        let c = vec![0.5, -1.0, 2.0, 0.0, 1.0, 3.0];
+        let mut y = c.clone();
+        let mut work = vec![0.0; 6];
+        lu.btran(&mut y, &mut work);
+        // Check Bᵀ y = c, i.e. for each position: column · y = c[pos].
+        for (pos, &j) in basis.iter().enumerate() {
+            let dot = sf.column(j).dot(&y);
+            assert!((dot - c[pos]).abs() < 1e-8, "position {pos}: {dot} vs {}", c[pos]);
+        }
+    }
+
+    #[test]
+    fn singular_basis_rejected() {
+        let sf = fixture();
+        // Same column twice: rank deficient.
+        let basis = vec![0, 0, 2, 3, 6, 8];
+        assert!(matches!(LuFactors::factorize(&sf, &basis), Err(MilpError::SingularBasis)));
+    }
+
+    #[test]
+    fn eta_updates_track_basis_exchange() {
+        let sf = fixture();
+        let mut basis = vec![6, 7, 8, 9, 10, 11]; // all slacks = identity
+        let lu = LuFactors::factorize(&sf, &basis).unwrap();
+        let mut etas = EtaFile::default();
+
+        // Exchange position 1: bring in structural column 1 (pivot 4.0).
+        let entering = 1usize;
+        let mut aq = vec![0.0; 6];
+        sf.column(entering).axpy(1.0, &mut aq);
+        let mut work = vec![0.0; 6];
+        lu.ftran(&mut aq, &mut work);
+        etas.apply_ftran(&mut aq);
+        assert!(aq[1].abs() > 1e-12, "pivot must be nonzero");
+        etas.push(1, &aq);
+        basis[1] = entering;
+        assert_eq!(etas.len(), 1);
+
+        // FTRAN through LU+eta must agree with a fresh factorization.
+        let fresh = LuFactors::factorize(&sf, &basis).unwrap();
+        let rhs = vec![1.0, -1.0, 2.0, 0.0, 0.5, 1.5];
+        let mut a = rhs.clone();
+        lu.ftran(&mut a, &mut work);
+        etas.apply_ftran(&mut a);
+        let mut b = rhs.clone();
+        fresh.ftran(&mut b, &mut work);
+        assert_close(&a, &b);
+
+        // Same for BTRAN.
+        let c = vec![2.0, 0.0, -1.0, 1.0, 0.0, 0.5];
+        let mut a = c.clone();
+        etas.apply_btran_rhs(&mut a);
+        lu.btran(&mut a, &mut work);
+        let mut b = c.clone();
+        fresh.btran(&mut b, &mut work);
+        assert_close(&a, &b);
+
+        etas.clear();
+        assert_eq!(etas.len(), 0);
+    }
+
+    #[test]
+    fn markowitz_keeps_sparse_bases_sparse() {
+        // A band-ish basis should factor with bounded fill.
+        let sf = fixture();
+        let basis = vec![0, 1, 2, 3, 4, 5];
+        let lu = LuFactors::factorize(&sf, &basis).unwrap();
+        // The structural block has 12 nonzeros; Markowitz must not blow it
+        // up to anything near the dense 36.
+        assert!(lu.fill() <= 18, "fill {} too large", lu.fill());
+    }
+}

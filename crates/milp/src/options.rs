@@ -16,6 +16,22 @@ pub enum BranchRule {
     PseudoCost,
 }
 
+/// Which linear-algebra kernel backs the dual simplex basis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BasisKernel {
+    /// Sparse LU factorization (Markowitz ordering, threshold partial
+    /// pivoting) with product-form eta updates per pivot and sparse
+    /// FTRAN/BTRAN. The default: node cost scales with basis sparsity
+    /// instead of `m²`/`m³`.
+    #[default]
+    SparseLu,
+    /// Dense explicit basis inverse, O(m²) per pivot and O(m³) per
+    /// refactorization. Kept as a reference implementation and numerical
+    /// fallback; the equivalence test suite pins both kernels to the same
+    /// optima.
+    Dense,
+}
+
 /// Order in which open branch-and-bound nodes are explored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum NodeOrder {
@@ -56,6 +72,13 @@ pub struct SolverOptions {
     pub rounding_heuristic: bool,
     /// Refactorize the basis inverse every this many simplex pivots.
     pub refactor_interval: usize,
+    /// Linear-algebra kernel backing the simplex basis.
+    pub basis_kernel: BasisKernel,
+    /// Sparse-LU only: maximum length of the product-form eta file before a
+    /// refactorization is forced, independently of `refactor_interval`.
+    /// Longer files make FTRAN/BTRAN slower and drift-prone; shorter files
+    /// refactorize more often.
+    pub eta_limit: usize,
     /// Run presolve reductions before branch and bound.
     pub presolve: bool,
     /// Number of branch-and-bound worker threads. `0` (the default) uses the
@@ -80,6 +103,8 @@ impl Default for SolverOptions {
             node_order: NodeOrder::default(),
             rounding_heuristic: true,
             refactor_interval: 128,
+            basis_kernel: BasisKernel::default(),
+            eta_limit: 64,
             presolve: true,
             threads: 0,
         }
@@ -123,6 +148,18 @@ impl SolverOptions {
         self
     }
 
+    /// Selects the simplex basis kernel, builder-style.
+    pub fn basis_kernel(mut self, kernel: BasisKernel) -> Self {
+        self.basis_kernel = kernel;
+        self
+    }
+
+    /// Sets the eta-file length limit of the sparse kernel, builder-style.
+    pub fn eta_limit(mut self, limit: usize) -> Self {
+        self.eta_limit = limit;
+        self
+    }
+
     /// The concrete worker count after resolving `threads = 0` to the
     /// machine's available parallelism (capped at 8: branch-and-bound trees
     /// on this workspace's models rarely feed more workers than that).
@@ -145,13 +182,23 @@ mod tests {
             .branch_rule(BranchRule::PseudoCost)
             .node_order(NodeOrder::BestBound)
             .relative_gap(1e-3)
-            .threads(3);
+            .threads(3)
+            .basis_kernel(BasisKernel::Dense)
+            .eta_limit(32);
         assert_eq!(o.time_limit, 5.0);
         assert_eq!(o.node_limit, 100);
         assert_eq!(o.branch_rule, BranchRule::PseudoCost);
         assert_eq!(o.node_order, NodeOrder::BestBound);
         assert_eq!(o.relative_gap, 1e-3);
         assert_eq!(o.threads, 3);
+        assert_eq!(o.basis_kernel, BasisKernel::Dense);
+        assert_eq!(o.eta_limit, 32);
+    }
+
+    #[test]
+    fn sparse_kernel_is_the_default() {
+        assert_eq!(SolverOptions::default().basis_kernel, BasisKernel::SparseLu);
+        assert!(SolverOptions::default().eta_limit > 0);
     }
 
     #[test]

@@ -62,7 +62,9 @@ impl Reduction {
     }
 
     /// Maps an original-space assignment into the reduced space (for warm
-    /// starts). Returns `None` when the assignment conflicts with a fixing.
+    /// starts). Returns `None` when the assignment conflicts with a fixing
+    /// or falls outside the tightened bounds of a kept variable (such a
+    /// point is infeasible in the reduced model and must not seed it).
     pub fn presolve_point(&self, original: &[f64], tol: f64) -> Option<Vec<f64>> {
         if original.len() != self.original_vars {
             return None;
@@ -75,7 +77,13 @@ impl Reduction {
                         return None;
                     }
                 }
-                MapEntry::Kept(col) => out[col] = v,
+                MapEntry::Kept(col) => {
+                    let (lo, hi) = self.model.bounds(VarId(col));
+                    if v < lo - tol || v > hi + tol {
+                        return None;
+                    }
+                    out[col] = v;
+                }
             }
         }
         Some(out)
@@ -246,8 +254,24 @@ pub fn presolve(model: &Model, feasibility_tol: f64) -> Result<Presolved> {
         }
     }
 
-    // Build the reduced model: drop fixed variables and dead rows.
-    let fixed: Vec<bool> = (0..n).map(|j| ub[j] - lb[j] <= tol).collect();
+    // Build the reduced model: drop fixed variables and dead rows. Integer
+    // variables are fixed whenever their interval holds a single integer;
+    // continuous variables only when the interval has effectively zero
+    // width. Fixing a merely tol-wide continuous interval to its midpoint
+    // would inject an O(tol) error that a large row coefficient can amplify
+    // past the feasibility tolerance after substitution.
+    let fixed: Vec<bool> = (0..n)
+        .map(|j| {
+            let width = ub[j] - lb[j];
+            if kinds[j] != VarKind::Continuous {
+                width <= tol
+            } else {
+                // `is_finite` matters: an infinite interval must never be
+                // "fixed" (∞ ≤ 1e-12·∞ is true in IEEE arithmetic).
+                width.is_finite() && width <= 1e-12 * (1.0 + lb[j].abs().max(ub[j].abs()))
+            }
+        })
+        .collect();
     let mut mapping = Vec::with_capacity(n);
     let mut reduced = Model::new(format!("{}-presolved", model.name()));
     for j in 0..n {
@@ -391,6 +415,45 @@ mod tests {
         m.set_objective(Objective::Minimize, LinExpr::term(x, 2.0) + 1.0);
         let Presolved::Reduced(r) = presolve(&m, 1e-9).unwrap() else { panic!("feasible") };
         assert_eq!(r.model.objective().constant(), 7.0);
+    }
+
+    #[test]
+    fn tol_width_continuous_interval_is_not_midpoint_snapped() {
+        // x ∈ [0, 1e-8] (narrower than tol) with the binding equality
+        // 1e4·x = 0. Fixing x to the midpoint 5e-9 would substitute
+        // 1e4 · 5e-9 = 5e-5 into the row — a violation 500× the tolerance —
+        // and wrongly prove the model infeasible. The variable must be kept.
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 0.0, 1e-8).unwrap();
+        m.add_eq("binding", LinExpr::term(x, 1e4), 0.0);
+        let Presolved::Reduced(r) = presolve(&m, 1e-7).unwrap() else {
+            panic!("model is feasible (x = 0)")
+        };
+        assert_eq!(r.eliminated_vars(), 0, "tol-wide x must not be fixed");
+        // A genuinely zero-width interval is still substituted.
+        let mut m2 = Model::new("t2");
+        let y = m2.continuous("y", 1.5, 1.5).unwrap();
+        m2.add_eq("fix", LinExpr::term(y, 1e4), 1.5e4);
+        let Presolved::Reduced(r2) = presolve(&m2, 1e-7).unwrap() else {
+            panic!("model is feasible (y = 1.5)")
+        };
+        assert_eq!(r2.eliminated_vars(), 1);
+        assert_eq!(r2.postsolve(&[]), vec![1.5]);
+    }
+
+    #[test]
+    fn presolve_point_rejects_points_outside_tightened_bounds() {
+        // Row x ≤ 3 tightens ub(x) from 10 to 3 and is dropped. A warm
+        // start at x = 9 is infeasible in the reduced model and must be
+        // rejected, not silently accepted.
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 0.0, 10.0).unwrap();
+        m.add_le("cap", LinExpr::from(x), 3.0);
+        let Presolved::Reduced(r) = presolve(&m, 1e-9).unwrap() else { panic!("feasible") };
+        assert_eq!(r.model.bounds(crate::VarId(0)).1, 3.0);
+        assert!(r.presolve_point(&[2.0], 1e-6).is_some());
+        assert!(r.presolve_point(&[9.0], 1e-6).is_none());
+        let _ = x;
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Bounded-variable dual simplex with a dense basis inverse.
+//! Bounded-variable dual simplex over a pluggable basis kernel.
 //!
 //! The solver works exclusively with the *dual* simplex method:
 //!
@@ -10,11 +10,33 @@
 //!   warm-started from the parent's basis and usually re-optimizes in a
 //!   handful of pivots.
 //!
+//! The basis linear algebra is abstracted behind [`Kernel`], selected by
+//! [`SolverOptions::basis_kernel`]:
+//!
+//! * [`BasisKernel::SparseLu`] (default) — Markowitz-ordered sparse LU with
+//!   product-form eta updates and sparse FTRAN/BTRAN (see [`crate::lu`]).
+//!   Pivot cost tracks basis sparsity; the eta file is capped at
+//!   `SolverOptions::eta_limit` before a refactorization is forced.
+//! * [`BasisKernel::Dense`] — explicit dense `m × m` inverse, O(m²) per
+//!   pivot. Kept as the reference implementation and numerical fallback.
+//!
+//! Pricing scatters the (sparse) BTRAN row through [`StandardForm::row`]
+//! instead of dotting every column against a dense ρ.
+//!
+//! Ratio test: when the dual min-ratio step would push the entering variable
+//! past its *opposite* bound, the variable is **bound-flipped** in place (no
+//! basis change) and the leaving row is re-examined — the classic
+//! bounded-variable refinement that spares a pivot per flip and keeps the
+//! iterate inside its box.
+//!
 //! Anti-cycling: after a run of degenerate pivots the pricing switches to a
-//! Bland-like smallest-index rule, which guarantees termination.
+//! Bland-like smallest-index rule (flips disabled), which guarantees
+//! termination.
 
 use crate::error::{MilpError, Result};
-use crate::standard::StandardForm;
+use crate::lu::{EtaFile, LuFactors};
+use crate::options::{BasisKernel, SolverOptions};
+use crate::standard::{ColumnRef, StandardForm};
 use std::time::Instant;
 
 /// Primal feasibility tolerance (absolute, plus relative to bound size).
@@ -42,6 +64,243 @@ enum Stat {
     Upper,
 }
 
+/// The linear-algebra backend representing `B⁻¹`.
+#[derive(Debug, Clone)]
+enum Kernel {
+    /// Explicit dense row-major `m × m` inverse.
+    Dense { binv: Vec<f64> },
+    /// Sparse LU factors plus the product-form eta file accumulated since
+    /// the last refactorization.
+    Lu { lu: LuFactors, etas: EtaFile, eta_limit: usize },
+}
+
+impl Kernel {
+    fn new(kind: BasisKernel, m: usize, eta_limit: usize) -> Self {
+        match kind {
+            BasisKernel::Dense => {
+                let mut binv = vec![0.0; m * m];
+                for r in 0..m {
+                    binv[r * m + r] = 1.0;
+                }
+                Kernel::Dense { binv }
+            }
+            BasisKernel::SparseLu => Kernel::Lu {
+                lu: LuFactors::identity(m),
+                etas: EtaFile::default(),
+                eta_limit: eta_limit.max(1),
+            },
+        }
+    }
+
+    /// Resets to the identity basis representation (all-slack basis).
+    fn reset_identity(&mut self, m: usize) {
+        match self {
+            Kernel::Dense { binv } => {
+                binv.iter_mut().for_each(|v| *v = 0.0);
+                for r in 0..m {
+                    binv[r * m + r] = 1.0;
+                }
+            }
+            Kernel::Lu { lu, etas, .. } => {
+                *lu = LuFactors::identity(m);
+                etas.clear();
+            }
+        }
+    }
+
+    /// Rebuilds the representation of the current basis from scratch.
+    fn refactorize(&mut self, sf: &StandardForm, basis: &[usize]) -> Result<()> {
+        match self {
+            Kernel::Dense { binv } => {
+                *binv = dense_invert(sf, basis)?;
+                Ok(())
+            }
+            Kernel::Lu { lu, etas, .. } => {
+                *lu = LuFactors::factorize(sf, basis)?;
+                etas.clear();
+                Ok(())
+            }
+        }
+    }
+
+    /// Solves `B x = v` in place: `v` enters indexed by row, leaves indexed
+    /// by basis position. `work` is scratch of length `m`.
+    fn ftran(&self, v: &mut [f64], work: &mut [f64]) {
+        match self {
+            Kernel::Dense { binv } => {
+                let m = v.len();
+                for (i, w) in work.iter_mut().enumerate() {
+                    *w = binv[i * m..(i + 1) * m].iter().zip(v.iter()).map(|(a, b)| a * b).sum();
+                }
+                v.copy_from_slice(work);
+            }
+            Kernel::Lu { lu, etas, .. } => {
+                lu.ftran(v, work);
+                etas.apply_ftran(v);
+            }
+        }
+    }
+
+    /// Computes `out = B⁻¹ A_q` exploiting the sparsity of column `q`.
+    fn ftran_col(&self, sf: &StandardForm, q: usize, out: &mut [f64], work: &mut [f64]) {
+        match self {
+            Kernel::Dense { binv } => {
+                let m = out.len();
+                out.iter_mut().for_each(|v| *v = 0.0);
+                match sf.column(q) {
+                    ColumnRef::Structural(nz) => {
+                        for &(row, v) in nz {
+                            for (i, o) in out.iter_mut().enumerate() {
+                                *o += binv[i * m + row] * v;
+                            }
+                        }
+                    }
+                    ColumnRef::Slack(row) => {
+                        for (i, o) in out.iter_mut().enumerate() {
+                            *o = binv[i * m + row];
+                        }
+                    }
+                }
+            }
+            Kernel::Lu { lu, etas, .. } => {
+                out.iter_mut().for_each(|v| *v = 0.0);
+                sf.column(q).axpy(1.0, out);
+                lu.ftran(out, work);
+                etas.apply_ftran(out);
+            }
+        }
+    }
+
+    /// Solves `Bᵀ y = c` in place: `c` enters indexed by basis position,
+    /// leaves indexed by row. `work` is scratch of length `m`.
+    fn btran(&self, c: &mut [f64], work: &mut [f64]) {
+        match self {
+            Kernel::Dense { binv } => {
+                let m = c.len();
+                work.iter_mut().for_each(|v| *v = 0.0);
+                for (r, &cr) in c.iter().enumerate() {
+                    if cr != 0.0 {
+                        for (w, &b) in work.iter_mut().zip(&binv[r * m..(r + 1) * m]) {
+                            *w += cr * b;
+                        }
+                    }
+                }
+                c.copy_from_slice(work);
+            }
+            Kernel::Lu { lu, etas, .. } => {
+                etas.apply_btran_rhs(c);
+                lu.btran(c, work);
+            }
+        }
+    }
+
+    /// Extracts `ρ = eᵣᵀ B⁻¹` (row `r` of the inverse) into `out`.
+    fn unit_row(&self, r: usize, out: &mut [f64], work: &mut [f64]) {
+        match self {
+            Kernel::Dense { binv } => {
+                let m = out.len();
+                out.copy_from_slice(&binv[r * m..(r + 1) * m]);
+            }
+            Kernel::Lu { lu, etas, .. } => {
+                out.iter_mut().for_each(|v| *v = 0.0);
+                out[r] = 1.0;
+                etas.apply_btran_rhs(out);
+                lu.btran(out, work);
+            }
+        }
+    }
+
+    /// Records the basis exchange at position `r` with FTRAN'd entering
+    /// column `aq`. Returns `true` when the caller should refactorize now
+    /// (sparse kernel: eta file reached its cap).
+    fn update(&mut self, r: usize, aq: &[f64]) -> bool {
+        match self {
+            Kernel::Dense { binv } => {
+                let m = aq.len();
+                let inv_piv = 1.0 / aq[r];
+                for k in 0..m {
+                    binv[r * m + k] *= inv_piv;
+                }
+                for i in 0..m {
+                    if i != r {
+                        let f = aq[i];
+                        if f != 0.0 {
+                            for k in 0..m {
+                                binv[i * m + k] -= f * binv[r * m + k];
+                            }
+                        }
+                    }
+                }
+                false
+            }
+            Kernel::Lu { etas, eta_limit, .. } => {
+                etas.push(r, aq);
+                etas.len() >= *eta_limit
+            }
+        }
+    }
+}
+
+/// Dense Gauss-Jordan inversion of the basis matrix (reference kernel).
+fn dense_invert(sf: &StandardForm, basis: &[usize]) -> Result<Vec<f64>> {
+    let m = basis.len();
+    // Build dense B column by column.
+    let mut bmat = vec![0.0; m * m];
+    for (r, &j) in basis.iter().enumerate() {
+        match sf.column(j) {
+            ColumnRef::Structural(nz) => {
+                for &(row, v) in nz {
+                    bmat[row * m + r] = v;
+                }
+            }
+            ColumnRef::Slack(row) => bmat[row * m + r] = 1.0,
+        }
+    }
+    // Gauss-Jordan with partial pivoting on the augmented [B | I].
+    let mut inv = vec![0.0; m * m];
+    for r in 0..m {
+        inv[r * m + r] = 1.0;
+    }
+    for col in 0..m {
+        let mut piv_row = col;
+        let mut piv_val = bmat[col * m + col].abs();
+        for r in (col + 1)..m {
+            let v = bmat[r * m + col].abs();
+            if v > piv_val {
+                piv_val = v;
+                piv_row = r;
+            }
+        }
+        if piv_val < 1e-11 {
+            return Err(MilpError::SingularBasis);
+        }
+        if piv_row != col {
+            for k in 0..m {
+                bmat.swap(piv_row * m + k, col * m + k);
+                inv.swap(piv_row * m + k, col * m + k);
+            }
+        }
+        let piv = bmat[col * m + col];
+        let inv_piv = 1.0 / piv;
+        for k in 0..m {
+            bmat[col * m + k] *= inv_piv;
+            inv[col * m + k] *= inv_piv;
+        }
+        for r in 0..m {
+            if r != col {
+                let f = bmat[r * m + col];
+                if f != 0.0 {
+                    for k in 0..m {
+                        bmat[r * m + k] -= f * bmat[col * m + k];
+                        inv[r * m + k] -= f * inv[col * m + k];
+                    }
+                }
+            }
+        }
+    }
+    Ok(inv)
+}
+
 /// Re-optimizable bounded-variable dual simplex over a fixed constraint
 /// matrix with mutable bounds.
 #[derive(Debug, Clone)]
@@ -52,8 +311,8 @@ pub(crate) struct Simplex<'a> {
     pub ub: Vec<f64>,
     basis: Vec<usize>,
     stat: Vec<Stat>,
-    /// Dense row-major `m × m` basis inverse.
-    binv: Vec<f64>,
+    /// Basis linear-algebra backend.
+    kernel: Kernel,
     /// Values of basic variables by row.
     xb: Vec<f64>,
     /// Reduced costs for all columns (basic entries are ~0).
@@ -76,12 +335,15 @@ pub(crate) struct Simplex<'a> {
     scratch_rho: Vec<f64>,
     scratch_aq: Vec<f64>,
     scratch_alpha: Vec<f64>,
+    scratch_work: Vec<f64>,
+    scratch_flip: Vec<f64>,
 }
 
 impl<'a> Simplex<'a> {
     /// Creates a dual-feasible initial state (all-slack basis, structural
-    /// variables parked at cost-sign bounds).
-    pub fn new(sf: &'a StandardForm, refactor_interval: usize, iteration_limit: usize) -> Self {
+    /// variables parked at cost-sign bounds). The basis kernel and its
+    /// limits come from `options`.
+    pub fn new(sf: &'a StandardForm, options: &SolverOptions) -> Self {
         let m = sf.m;
         let ncols = sf.n + sf.m;
         // Deterministic tiny cost perturbation: the min–max style models this
@@ -117,24 +379,21 @@ impl<'a> Simplex<'a> {
             basis.push(sf.n + r);
             stat[sf.n + r] = Stat::Basic;
         }
-        let mut binv = vec![0.0; m * m];
-        for r in 0..m {
-            binv[r * m + r] = 1.0;
-        }
+        let kernel = Kernel::new(options.basis_kernel, m, options.eta_limit);
         let mut s = Simplex {
             lb: sf.lb.clone(),
             ub: sf.ub.clone(),
             sf,
             basis,
             stat,
-            binv,
+            kernel,
             xb: vec![0.0; m],
             d,
             m,
             ncols,
             pivots_since_refactor: 0,
-            refactor_interval: refactor_interval.max(8),
-            iteration_limit,
+            refactor_interval: options.refactor_interval.max(8),
+            iteration_limit: options.simplex_iteration_limit,
             iterations: 0,
             deadline: None,
             c_pert,
@@ -142,6 +401,8 @@ impl<'a> Simplex<'a> {
             scratch_rho: vec![0.0; m],
             scratch_aq: vec![0.0; m],
             scratch_alpha: vec![0.0; ncols],
+            scratch_work: vec![0.0; m],
+            scratch_flip: vec![0.0; m],
         };
         s.recompute_xb();
         s
@@ -179,7 +440,6 @@ impl<'a> Simplex<'a> {
 
     /// Recomputes `xb = B⁻¹ (b − N x_N)` from scratch.
     fn recompute_xb(&mut self) {
-        let m = self.m;
         let mut bt = self.sf.b.clone();
         for j in 0..self.ncols {
             if self.stat[j] != Stat::Basic {
@@ -189,76 +449,19 @@ impl<'a> Simplex<'a> {
                 }
             }
         }
-        for i in 0..m {
-            let row = &self.binv[i * m..(i + 1) * m];
-            self.xb[i] = row.iter().zip(&bt).map(|(a, b)| a * b).sum();
-        }
+        self.kernel.ftran(&mut bt, &mut self.scratch_work);
+        self.xb.copy_from_slice(&bt);
     }
 
-    /// Rebuilds `binv` by Gauss-Jordan inversion of the current basis matrix
-    /// and recomputes reduced costs and basic values.
+    /// Rebuilds the kernel's basis representation from scratch and
+    /// recomputes reduced costs and basic values.
     ///
     /// # Errors
     ///
-    /// Returns [`MilpError::SingularBasis`] if the basis cannot be inverted;
+    /// Returns [`MilpError::SingularBasis`] if the basis cannot be factored;
     /// the caller may fall back to [`Simplex::reset_to_slack_basis`].
     fn refactorize(&mut self) -> Result<()> {
-        let m = self.m;
-        // Build dense B column by column.
-        let mut bmat = vec![0.0; m * m];
-        for (r, &j) in self.basis.iter().enumerate() {
-            match self.sf.column(j) {
-                crate::standard::ColumnRef::Structural(nz) => {
-                    for &(row, v) in nz {
-                        bmat[row * m + r] = v;
-                    }
-                }
-                crate::standard::ColumnRef::Slack(row) => bmat[row * m + r] = 1.0,
-            }
-        }
-        // Gauss-Jordan with partial pivoting on the augmented [B | I].
-        let mut inv = vec![0.0; m * m];
-        for r in 0..m {
-            inv[r * m + r] = 1.0;
-        }
-        for col in 0..m {
-            let mut piv_row = col;
-            let mut piv_val = bmat[col * m + col].abs();
-            for r in (col + 1)..m {
-                let v = bmat[r * m + col].abs();
-                if v > piv_val {
-                    piv_val = v;
-                    piv_row = r;
-                }
-            }
-            if piv_val < 1e-11 {
-                return Err(MilpError::SingularBasis);
-            }
-            if piv_row != col {
-                for k in 0..m {
-                    bmat.swap(piv_row * m + k, col * m + k);
-                    inv.swap(piv_row * m + k, col * m + k);
-                }
-            }
-            let piv = bmat[col * m + col];
-            let inv_piv = 1.0 / piv;
-            for k in 0..m {
-                bmat[col * m + k] *= inv_piv;
-                inv[col * m + k] *= inv_piv;
-            }
-            for r in 0..m {
-                if r != col {
-                    let f = bmat[r * m + col];
-                    if f != 0.0 {
-                        for k in 0..m {
-                            bmat[r * m + k] -= f * bmat[col * m + k];
-                            inv[r * m + k] -= f * inv[col * m + k];
-                        }
-                    }
-                }
-            }
-        }
-        self.binv = inv;
+        self.kernel.refactorize(self.sf, &self.basis)?;
         self.pivots_since_refactor = 0;
         self.recompute_reduced_costs();
         self.recompute_xb();
@@ -267,17 +470,12 @@ impl<'a> Simplex<'a> {
 
     /// Recomputes `d = c − cᵦ B⁻¹ A` from scratch.
     fn recompute_reduced_costs(&mut self) {
-        let m = self.m;
-        // y = cB' * binv  (row vector)
-        let mut y = vec![0.0; m];
+        // y solves Bᵀ y = c_B.
+        let mut y = vec![0.0; self.m];
         for (r, &j) in self.basis.iter().enumerate() {
-            let cj = self.pcost(j);
-            if cj != 0.0 {
-                for (yk, &b) in y.iter_mut().zip(&self.binv[r * m..(r + 1) * m]) {
-                    *yk += cj * b;
-                }
-            }
+            y[r] = self.pcost(j);
         }
+        self.kernel.btran(&mut y, &mut self.scratch_work);
         for j in 0..self.ncols {
             if self.stat[j] == Stat::Basic {
                 self.d[j] = 0.0;
@@ -306,10 +504,7 @@ impl<'a> Simplex<'a> {
         for r in 0..m {
             self.basis[r] = self.sf.n + r;
         }
-        self.binv.iter_mut().for_each(|v| *v = 0.0);
-        for r in 0..m {
-            self.binv[r * m + r] = 1.0;
-        }
+        self.kernel.reset_identity(m);
         self.pivots_since_refactor = 0;
         self.make_dual_feasible();
         self.recompute_xb();
@@ -406,6 +601,10 @@ impl<'a> Simplex<'a> {
         // After this many pivots without finishing, switch to Bland's rule
         // permanently: slow but guaranteed to terminate.
         let stall_limit = (4 * self.m).max(2_000);
+        // BFRT scratch: ratio-sorted entering candidates and the columns
+        // flipped this iteration. Allocated once, cleared per iteration.
+        let mut cand: Vec<(f64, usize)> = Vec::new();
+        let mut flips: Vec<usize> = Vec::new();
         loop {
             if local_iters >= self.iteration_limit {
                 return Err(MilpError::IterationLimit { limit: self.iteration_limit });
@@ -450,66 +649,138 @@ impl<'a> Simplex<'a> {
             let sigma = if below { -1.0 } else { 1.0 };
 
             // --- rho = row r of B⁻¹; alpha~_j = σ · rho·A_j. ---
-            self.scratch_rho.copy_from_slice(&self.binv[r * self.m..(r + 1) * self.m]);
+            self.kernel.unit_row(r, &mut self.scratch_rho, &mut self.scratch_work);
+            // Scatter pricing: iterate the nonzeros of rho and push each
+            // through its (sparse) constraint row, instead of dotting every
+            // column against a dense rho.
+            self.scratch_alpha.iter_mut().for_each(|v| *v = 0.0);
+            for (i, &ri) in self.scratch_rho.iter().enumerate() {
+                if ri == 0.0 {
+                    continue;
+                }
+                let s = sigma * ri;
+                for &(j, v) in self.sf.row(i) {
+                    self.scratch_alpha[j] += s * v;
+                }
+                self.scratch_alpha[self.sf.n + i] += s;
+            }
             let bland = degenerate_run > DEGEN_LIMIT || local_iters > stall_limit;
+            let target = if below { self.lb[p] } else { self.ub[p] };
             let mut q = usize::MAX;
             let mut best_ratio = f64::INFINITY;
-            for j in 0..self.ncols {
-                if self.stat[j] == Stat::Basic || self.is_fixed(j) {
-                    self.scratch_alpha[j] = 0.0;
-                    continue;
+            flips.clear();
+            if bland {
+                // Bland mode: smallest index among minimal ratios, no
+                // flipping — the configuration with the termination proof.
+                for j in 0..self.ncols {
+                    if self.stat[j] == Stat::Basic || self.is_fixed(j) {
+                        continue;
+                    }
+                    let a = self.scratch_alpha[j];
+                    let eligible = match self.stat[j] {
+                        Stat::Lower => a > ZTOL,
+                        Stat::Upper => a < -ZTOL,
+                        Stat::Basic => false,
+                    };
+                    if !eligible {
+                        continue;
+                    }
+                    let ratio = (self.d[j] / a).max(0.0);
+                    if ratio < best_ratio - 1e-12 || (ratio < best_ratio + 1e-12 && j < q) {
+                        best_ratio = ratio;
+                        q = j;
+                    }
                 }
-                let a = sigma * self.sf.column(j).dot(&self.scratch_rho);
-                self.scratch_alpha[j] = a;
-                let eligible = match self.stat[j] {
-                    Stat::Lower => a > ZTOL,
-                    Stat::Upper => a < -ZTOL,
-                    Stat::Basic => false,
-                };
-                if !eligible {
-                    continue;
+            } else {
+                // Bound-flip ratio test (BFRT): walk the eligible columns
+                // in dual-ratio order. A candidate whose entire range
+                // cannot absorb the remaining violation of row r is
+                // *flipped* to its opposite bound (no basis change, one
+                // candidate's worth of violation retired); the first
+                // candidate that can absorb the rest becomes the pivot.
+                // The eventual θ-update with the pivot's ratio — which
+                // dominates every flipped ratio — pushes each flipped
+                // column's reduced cost across zero, exactly the sign its
+                // new bound status requires, so dual feasibility survives.
+                cand.clear();
+                for j in 0..self.ncols {
+                    if self.stat[j] == Stat::Basic || self.is_fixed(j) {
+                        continue;
+                    }
+                    let a = self.scratch_alpha[j];
+                    let eligible = match self.stat[j] {
+                        Stat::Lower => a > ZTOL,
+                        Stat::Upper => a < -ZTOL,
+                        Stat::Basic => false,
+                    };
+                    if eligible {
+                        cand.push(((self.d[j] / a).max(0.0), j));
+                    }
                 }
-                let ratio = (self.d[j] / a).max(0.0);
-                let better = if bland {
-                    // Smallest index among (near-)minimal ratios.
-                    ratio < best_ratio - 1e-12 || (ratio < best_ratio + 1e-12 && j < q)
-                } else {
-                    // Min ratio; break ties toward larger |pivot| for
-                    // numerical stability.
-                    ratio < best_ratio - 1e-12
-                        || (ratio < best_ratio + 1e-12
-                            && (q == usize::MAX || a.abs() > self.scratch_alpha[q].abs()))
-                };
-                if better {
-                    best_ratio = ratio;
-                    q = j;
+                // Ratio ascending; ties toward larger |pivot| for
+                // stability, then smaller index for determinism.
+                cand.sort_unstable_by(|&(ra, ja), &(rb, jb)| {
+                    ra.partial_cmp(&rb)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| {
+                            self.scratch_alpha[jb]
+                                .abs()
+                                .partial_cmp(&self.scratch_alpha[ja].abs())
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                        .then_with(|| ja.cmp(&jb))
+                });
+                // Remaining violation of row r, positive in the σ frame
+                // (each flip of candidate j retires |alpha_j|·range_j).
+                let mut v = sigma * (self.xb[r] - target);
+                for &(ratio, j) in cand.iter() {
+                    let absorb = self.scratch_alpha[j].abs() * (self.ub[j] - self.lb[j]);
+                    if v > absorb + PTOL {
+                        flips.push(j);
+                        v -= absorb;
+                    } else {
+                        q = j;
+                        best_ratio = ratio;
+                        break;
+                    }
                 }
             }
             if q == usize::MAX {
+                // No pivot candidate (or, in BFRT, flipping every eligible
+                // column still cannot repair row r): primal infeasible
+                // under the current bounds. Nothing has been mutated.
                 return Ok(LpStatus::Infeasible);
             }
 
-            // --- FTRAN: aq = B⁻¹ A_q. ---
             let m = self.m;
-            self.scratch_aq.iter_mut().for_each(|v| *v = 0.0);
-            match self.sf.column(q) {
-                crate::standard::ColumnRef::Structural(nz) => {
-                    for &(row, v) in nz {
-                        for i in 0..m {
-                            self.scratch_aq[i] += self.binv[i * m + row] * v;
-                        }
-                    }
+            // --- Apply the recorded flips: statuses, then one FTRAN of the
+            // accumulated bound-shift to update the basic values. ---
+            if !flips.is_empty() {
+                self.scratch_flip.iter_mut().for_each(|x| *x = 0.0);
+                for &j in &flips {
+                    let (delta, flipped) = match self.stat[j] {
+                        Stat::Lower => (self.ub[j] - self.lb[j], Stat::Upper),
+                        Stat::Upper => (self.lb[j] - self.ub[j], Stat::Lower),
+                        Stat::Basic => unreachable!("flip candidates are nonbasic"),
+                    };
+                    self.stat[j] = flipped;
+                    self.sf.column(j).axpy(delta, &mut self.scratch_flip);
                 }
-                crate::standard::ColumnRef::Slack(row) => {
-                    for i in 0..m {
-                        self.scratch_aq[i] = self.binv[i * m + row];
-                    }
+                self.kernel.ftran(&mut self.scratch_flip, &mut self.scratch_work);
+                for i in 0..m {
+                    self.xb[i] -= self.scratch_flip[i];
                 }
             }
+
+            // --- FTRAN: aq = B⁻¹ A_q. ---
+            self.kernel.ftran_col(self.sf, q, &mut self.scratch_aq, &mut self.scratch_work);
             let alpha_q_true = self.scratch_aq[r];
             if alpha_q_true.abs() < ZTOL {
                 // The alpha row disagrees with the FTRAN column: numerical
-                // drift. Refactorize and retry the whole iteration.
+                // drift. Refactorize and retry the whole iteration. (Any
+                // flips just applied carry stale reduced-cost signs; the
+                // `make_dual_feasible` pass below reconciles status with
+                // the freshly recomputed reduced costs.)
                 self.refactorize()?;
                 self.make_dual_feasible();
                 self.recompute_xb();
@@ -517,8 +788,7 @@ impl<'a> Simplex<'a> {
                 continue;
             }
 
-            // --- Pivot. ---
-            let target = if below { self.lb[p] } else { self.ub[p] };
+            // --- Pivot step length (post-flip, so |t| ≤ range of q). ---
             let t = (self.xb[r] - target) / alpha_q_true;
             let theta = best_ratio; // d_q / alpha~_q, ≥ 0.
             if theta <= 1e-12 && t.abs() <= 1e-12 {
@@ -528,15 +798,12 @@ impl<'a> Simplex<'a> {
             }
 
             // Reduced costs: d_j ← d_j − θ·alpha~_j; d_p = −σθ; d_q = 0.
+            // (Fixed columns keep consistent d for later bound relaxations
+            // during branch backtracking; their alpha is already exact.)
             if theta != 0.0 {
                 for j in 0..self.ncols {
-                    if self.stat[j] != Stat::Basic && !self.is_fixed(j) {
+                    if self.stat[j] != Stat::Basic {
                         self.d[j] -= theta * self.scratch_alpha[j];
-                    } else if self.is_fixed(j) && self.stat[j] != Stat::Basic {
-                        // Fixed columns still need consistent d for later
-                        // bound relaxations (branch backtracking).
-                        let a = sigma * self.sf.column(j).dot(&self.scratch_rho);
-                        self.d[j] -= theta * a;
                     }
                 }
             }
@@ -552,21 +819,8 @@ impl<'a> Simplex<'a> {
             }
             self.xb[r] = x_q_new;
 
-            // Basis inverse pivot on (r, q).
-            let inv_piv = 1.0 / alpha_q_true;
-            for k in 0..m {
-                self.binv[r * m + k] *= inv_piv;
-            }
-            for i in 0..m {
-                if i != r {
-                    let f = self.scratch_aq[i];
-                    if f != 0.0 {
-                        for k in 0..m {
-                            self.binv[i * m + k] -= f * self.binv[r * m + k];
-                        }
-                    }
-                }
-            }
+            // Kernel update for the exchange at (r, q).
+            let force_refactor = self.kernel.update(r, &self.scratch_aq);
 
             self.basis[r] = q;
             self.stat[q] = Stat::Basic;
@@ -575,7 +829,7 @@ impl<'a> Simplex<'a> {
             self.iterations += 1;
             local_iters += 1;
             self.pivots_since_refactor += 1;
-            if self.pivots_since_refactor >= self.refactor_interval {
+            if force_refactor || self.pivots_since_refactor >= self.refactor_interval {
                 match self.refactorize() {
                     Ok(()) => {
                         self.make_dual_feasible();

@@ -23,6 +23,12 @@ pub(crate) type SparseCol = Vec<(usize, f64)>;
 pub(crate) struct StandardForm {
     /// Structural columns (length `n`).
     pub cols: Vec<SparseCol>,
+    /// Row-major mirror of the structural matrix: `rows[r]` lists the
+    /// `(column, coefficient)` nonzeros of row `r`. Pricing iterates the
+    /// nonzeros of the (usually very sparse) BTRAN row `ρ = eᵣᵀB⁻¹` and
+    /// scatters through these rows instead of dotting every column with a
+    /// dense `ρ`.
+    pub rows_nz: Vec<Vec<(usize, f64)>>,
     /// Right-hand sides (length `m`).
     pub b: Vec<f64>,
     /// Structural costs (length `n`), already negated for maximization.
@@ -101,7 +107,21 @@ impl StandardForm {
         }
         let obj_offset = model.objective().constant();
 
-        StandardForm { cols, b, c, lb, ub, clamped, n, m, obj_offset, maximize }
+        let mut rows_nz: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m];
+        for (j, col) in cols.iter().enumerate() {
+            for &(r, v) in col {
+                rows_nz[r].push((j, v));
+            }
+        }
+
+        StandardForm { cols, rows_nz, b, c, lb, ub, clamped, n, m, obj_offset, maximize }
+    }
+
+    /// The structural nonzeros of row `r` as `(column, coefficient)` pairs
+    /// (the slack of row `r` is implicit: column `n + r`, coefficient 1).
+    #[inline]
+    pub fn row(&self, r: usize) -> &[(usize, f64)] {
+        &self.rows_nz[r]
     }
 
     /// Converts an internal (minimization) objective value back to the
@@ -195,6 +215,22 @@ mod tests {
         assert_eq!(sf.c[0], -3.0);
         // internal optimum -3 maps back to user objective 3 + offset 2.
         assert_eq!(sf.user_objective(-3.0), 5.0);
+    }
+
+    #[test]
+    fn row_major_mirror_matches_columns() {
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 0.0, 1.0).unwrap();
+        let y = m.continuous("y", 0.0, 1.0).unwrap();
+        m.add_le("r0", LinExpr::term(x, 2.0) + LinExpr::term(y, -3.0), 1.0);
+        m.add_ge("r1", LinExpr::from(y), 0.5);
+        let sf = StandardForm::from_model(&m, &SolverOptions::default());
+        assert_eq!(sf.row(0), &[(0, 2.0), (1, -3.0)]);
+        assert_eq!(sf.row(1), &[(1, 1.0)]);
+        // Every column nonzero appears exactly once in its row mirror.
+        let total: usize = (0..sf.m).map(|r| sf.row(r).len()).sum();
+        let by_cols: usize = sf.cols.iter().map(Vec::len).sum();
+        assert_eq!(total, by_cols);
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! Dense ↔ sparse basis-kernel equivalence, and ratio-test regressions.
+//!
+//! The sparse LU kernel must be *observationally identical* to the dense
+//! reference inverse: same solve status and same optimal objective on every
+//! instance, LP or MILP. The proptest blocks below cross-check the two
+//! kernels on 600+ random instances (mirroring the seed's enumeration
+//! cross-check scale), and the deterministic tests pin the bound-flip ratio
+//! test: the entering variable must never overshoot its opposite bound, and
+//! box-crossing steps must resolve as flips rather than pivot grinds.
+
+use ndp_milp::{
+    BasisKernel, ConstraintSense, LinExpr, Model, Objective, SolveStatus, SolverOptions,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomLp {
+    n: usize,
+    obj: Vec<i32>,
+    maximize: bool,
+    bounds: Vec<(i32, i32)>,
+    integral: bool,
+    rows: Vec<(Vec<i32>, u8, i32)>, // coeffs, sense code, rhs
+}
+
+fn build(lp: &RandomLp) -> Model {
+    let mut m = Model::new("rand");
+    let vars: Vec<_> = (0..lp.n)
+        .map(|i| {
+            let (lo, hi) = lp.bounds[i];
+            let (lo, hi) = (lo.min(hi) as f64, lo.max(hi) as f64);
+            if lp.integral {
+                m.integer(format!("x{i}"), lo, hi).unwrap()
+            } else {
+                m.continuous(format!("x{i}"), lo, hi).unwrap()
+            }
+        })
+        .collect();
+    for (r, (coeffs, sense, rhs)) in lp.rows.iter().enumerate() {
+        let mut e = LinExpr::new();
+        for (j, &c) in coeffs.iter().enumerate() {
+            if c != 0 {
+                e.add_term(vars[j], c as f64);
+            }
+        }
+        let sense = match sense {
+            0 => ConstraintSense::Le,
+            1 => ConstraintSense::Ge,
+            _ => ConstraintSense::Eq,
+        };
+        m.add_constraint(format!("r{r}"), e, sense, *rhs as f64);
+    }
+    let mut obj = LinExpr::new();
+    for (j, &c) in lp.obj.iter().enumerate() {
+        obj.add_term(vars[j], c as f64);
+    }
+    let dir = if lp.maximize { Objective::Maximize } else { Objective::Minimize };
+    m.set_objective(dir, obj);
+    m
+}
+
+fn random_instance(integral: bool) -> impl Strategy<Value = RandomLp> {
+    (2usize..=8, any::<bool>()).prop_flat_map(move |(n, maximize)| {
+        let obj = proptest::collection::vec(-9i32..=9, n);
+        let bounds = proptest::collection::vec((-4i32..=4, -4i32..=6), n);
+        let row = (proptest::collection::vec(-5i32..=5, n), 0u8..=2, -10i32..=14);
+        let rows = proptest::collection::vec(row, 1..=5);
+        (obj, bounds, rows).prop_map(move |(obj, bounds, rows)| RandomLp {
+            n,
+            obj,
+            maximize,
+            bounds,
+            integral,
+            rows,
+        })
+    })
+}
+
+/// Solves with one kernel, single-threaded for reproducibility.
+fn solve_with_kernel(lp: &RandomLp, kernel: BasisKernel) -> (SolveStatus, f64) {
+    let m = build(lp);
+    let opts = SolverOptions::default().threads(1).basis_kernel(kernel);
+    let sol = m.solve_with(&opts).expect("solve must not error");
+    (sol.status(), if sol.status().has_solution() { sol.objective_value() } else { 0.0 })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Pure LPs: the two kernels must agree on status and objective.
+    #[test]
+    fn kernels_agree_on_random_lps(lp in random_instance(false)) {
+        let (st_dense, obj_dense) = solve_with_kernel(&lp, BasisKernel::Dense);
+        let (st_lu, obj_lu) = solve_with_kernel(&lp, BasisKernel::SparseLu);
+        prop_assert_eq!(st_dense, st_lu, "status mismatch");
+        if st_dense.has_solution() {
+            prop_assert!((obj_dense - obj_lu).abs() < 1e-6,
+                "dense {} vs sparse {}", obj_dense, obj_lu);
+        }
+    }
+
+    /// MILPs: branch-and-bound on top of either kernel proves the same
+    /// optimum (node paths may differ, answers may not).
+    #[test]
+    fn kernels_agree_on_random_milps(lp in random_instance(true)) {
+        let (st_dense, obj_dense) = solve_with_kernel(&lp, BasisKernel::Dense);
+        let (st_lu, obj_lu) = solve_with_kernel(&lp, BasisKernel::SparseLu);
+        prop_assert_eq!(st_dense, st_lu, "status mismatch");
+        if st_dense.has_solution() {
+            prop_assert!((obj_dense - obj_lu).abs() < 1e-6,
+                "dense {} vs sparse {}", obj_dense, obj_lu);
+        }
+    }
+
+    /// Whatever the kernel, a returned point must satisfy its own bounds
+    /// entrywise — the bound-flip regression: before the ratio test was
+    /// capped at the entering range, overshooting steps could report values
+    /// outside the box.
+    #[test]
+    fn solutions_respect_bounds_entrywise(
+        lp in random_instance(false),
+        sparse in any::<bool>(),
+    ) {
+        let m = build(&lp);
+        let kernel = if sparse { BasisKernel::SparseLu } else { BasisKernel::Dense };
+        let opts = SolverOptions::default().threads(1).basis_kernel(kernel);
+        let sol = m.solve_with(&opts).expect("solve must not error");
+        if sol.status().has_solution() {
+            for j in 0..lp.n {
+                let (lo, hi) = (lp.bounds[j].0.min(lp.bounds[j].1) as f64,
+                                lp.bounds[j].0.max(lp.bounds[j].1) as f64);
+                let x = sol.values()[j];
+                prop_assert!(x >= lo - 1e-6 && x <= hi + 1e-6,
+                    "x{} = {} outside [{}, {}]", j, x, lo, hi);
+            }
+        }
+    }
+}
+
+/// The canonical flip workload: minimize Σ cᵢxᵢ over the unit box subject to
+/// Σ xᵢ ≥ n − ½. The dual simplex starts from the all-lower slack basis with
+/// one massively violated row; the optimal point parks every variable at 1
+/// except the most expensive one at ½. Without bound flips each variable
+/// must be pivoted *through* the one-row basis (≈ n pivots, each
+/// overshooting to the next), with flips the whole solve is n − 1 in-place
+/// flips plus a single pivot.
+#[test]
+fn flip_workload_solves_in_few_pivots() {
+    let n = 40;
+    let mut m = Model::new("flips");
+    let mut sum = LinExpr::new();
+    let mut obj = LinExpr::new();
+    let mut costs = Vec::new();
+    for i in 0..n {
+        let x = m.continuous(format!("x{i}"), 0.0, 1.0).unwrap();
+        sum.add_term(x, 1.0);
+        let c = 1.0 + (i as f64) * 0.25;
+        costs.push(c);
+        obj.add_term(x, c);
+    }
+    m.add_ge("cover", sum, n as f64 - 0.5);
+    m.set_objective(Objective::Minimize, obj);
+
+    let opts = SolverOptions { presolve: false, ..SolverOptions::default() }.threads(1);
+    let sol = m.solve_with(&opts).unwrap();
+    assert_eq!(sol.status(), SolveStatus::Optimal);
+    let expect: f64 = costs.iter().sum::<f64>() - 0.5 * costs.last().unwrap();
+    assert!(
+        (sol.objective_value() - expect).abs() < 1e-6,
+        "objective {} vs expected {}",
+        sol.objective_value(),
+        expect
+    );
+    // Every value inside the unit box.
+    for (j, &x) in sol.values().iter().enumerate().take(n) {
+        assert!((-1e-7..=1.0 + 1e-7).contains(&x), "x{j} = {x} escaped the box");
+    }
+    // The flip refinement keeps the pivot count tiny; the grind this
+    // regresses needed roughly one pivot per variable.
+    assert!(
+        sol.simplex_iterations() <= 5,
+        "expected flips, got {} pivots for {} variables",
+        sol.simplex_iterations(),
+        n
+    );
+}
+
+/// Same workload, maximization direction: flips must work from the upper
+/// bound side too.
+#[test]
+fn flip_workload_from_upper_bounds() {
+    let n = 30;
+    let mut m = Model::new("flips-up");
+    let mut sum = LinExpr::new();
+    let mut obj = LinExpr::new();
+    for i in 0..n {
+        let x = m.continuous(format!("x{i}"), 0.0, 1.0).unwrap();
+        sum.add_term(x, 1.0);
+        obj.add_term(x, 1.0 + (i as f64) * 0.5);
+    }
+    m.add_le("cap", sum, 0.5);
+    m.set_objective(Objective::Maximize, obj);
+
+    let opts = SolverOptions { presolve: false, ..SolverOptions::default() }.threads(1);
+    let sol = m.solve_with(&opts).unwrap();
+    assert_eq!(sol.status(), SolveStatus::Optimal);
+    // Best: give the whole 0.5 budget to the most valuable variable.
+    let expect = 0.5 * (1.0 + ((n - 1) as f64) * 0.5);
+    assert!(
+        (sol.objective_value() - expect).abs() < 1e-6,
+        "objective {} vs expected {}",
+        sol.objective_value(),
+        expect
+    );
+    for (j, &x) in sol.values().iter().enumerate().take(n) {
+        assert!((-1e-7..=1.0 + 1e-7).contains(&x), "x{j} = {x} escaped the box");
+    }
+}

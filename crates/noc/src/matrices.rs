@@ -113,6 +113,7 @@ impl CommMatrices {
 
     fn fold_time(&self, init: f64, f: impl Fn(f64, f64) -> f64) -> f64 {
         let mut acc = init;
+        let mut any = false;
         for b in 0..self.n {
             for g in 0..self.n {
                 if b == g {
@@ -120,10 +121,19 @@ impl CommMatrices {
                 }
                 for rho in 0..2 {
                     acc = f(acc, self.time[(b * self.n + g) * 2 + rho]);
+                    any = true;
                 }
             }
         }
-        acc
+        // A single-node NoC has no off-diagonal pair: every transfer is
+        // local and free, so the min/max per-unit latency is 0 — not the
+        // `f64::MIN`/`f64::MAX` sentinel, which would poison the heuristic's
+        // averaged communication estimate `(max + min) / 2`.
+        if any {
+            acc
+        } else {
+            0.0
+        }
     }
 
     /// `max_{β≠γ} e_{βγkρ}` for a fixed processor `k` and path kind.
@@ -144,15 +154,22 @@ impl CommMatrices {
         f: impl Fn(f64, f64) -> f64,
     ) -> f64 {
         let mut acc = init;
+        let mut any = false;
         for b in 0..self.n {
             for g in 0..self.n {
                 if b == g {
                     continue;
                 }
                 acc = f(acc, self.energy_at_mj(NodeId(b), NodeId(g), k, rho));
+                any = true;
             }
         }
-        acc
+        // See `fold_time`: no off-diagonal pair ⇒ zero, not a sentinel.
+        if any {
+            acc
+        } else {
+            0.0
+        }
     }
 
     /// `max_{β,γ,k,ρ} e_{βγkρ}` — the paper's `e_k^comm` numerator for the
@@ -232,6 +249,25 @@ mod tests {
                 assert_eq!(m.energy_at_mj(b, g, NodeId(k), PathKind::TimeOriented), 0.0);
             }
         }
+    }
+
+    #[test]
+    fn single_node_noc_has_zero_comm_extremes() {
+        // N = 1: no off-diagonal pair exists, so every min/max helper must
+        // report 0 (all communication is local and free) rather than the
+        // f64::MIN / f64::MAX fold sentinels.
+        let (_, m) = mats(1, 5);
+        assert_eq!(m.num_nodes(), 1);
+        assert_eq!(m.min_time_ms(), 0.0);
+        assert_eq!(m.max_time_ms(), 0.0);
+        for rho in PathKind::ALL {
+            assert_eq!(m.min_energy_at_mj(NodeId(0), rho), 0.0);
+            assert_eq!(m.max_energy_at_mj(NodeId(0), rho), 0.0);
+        }
+        // The averaged comm estimate the heuristic builds from these stays
+        // finite and sensible.
+        let avg = (m.max_time_ms() + m.min_time_ms()) / 2.0;
+        assert_eq!(avg, 0.0);
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Numerics pinning for the MILP solver across both basis kernels.
+//!
+//! Every instance here has a hand-derivable optimum. Each is solved under
+//! the dense reference inverse *and* the sparse LU kernel, and both must
+//! reproduce the pinned objective to tight tolerance with a primal point
+//! that satisfies every constraint, bound, and integrality requirement.
+//! These are the sentinels for the numerics sweep: the bound-flip ratio
+//! test, the presolve fixing rules, and the LU refactorization path all
+//! show up here first if they drift.
+
+use ndp_milp::{
+    BasisKernel, ConstraintSense, LinExpr, Model, Objective, SolveStatus, SolverOptions,
+};
+
+const KERNELS: [BasisKernel; 2] = [BasisKernel::Dense, BasisKernel::SparseLu];
+
+fn check_pinned(m: &Model, expect: f64) {
+    for kernel in KERNELS {
+        let opts = SolverOptions::default().threads(1).basis_kernel(kernel);
+        let sol = m.solve_with(&opts).expect("solve must not error");
+        assert_eq!(sol.status(), SolveStatus::Optimal, "{kernel:?}");
+        assert!(
+            (sol.objective_value() - expect).abs() < 1e-6,
+            "{kernel:?}: objective {} vs pinned {expect}",
+            sol.objective_value()
+        );
+        assert!(
+            m.is_feasible(sol.values(), 1e-6),
+            "{kernel:?}: returned point violates a bound, row, or integrality"
+        );
+    }
+}
+
+/// Classic 2-var LP: max 3x + 5y, x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18.
+/// Optimum 36 at (2, 6) — the textbook Wyndor problem.
+#[test]
+fn wyndor_lp_pins_at_36() {
+    let mut m = Model::new("wyndor");
+    let x = m.continuous("x", 0.0, 10.0).unwrap();
+    let y = m.continuous("y", 0.0, 10.0).unwrap();
+    m.add_le("c1", LinExpr::term(x, 1.0), 4.0);
+    m.add_le("c2", LinExpr::term(y, 2.0), 12.0);
+    let mut c3 = LinExpr::new();
+    c3.add_term(x, 3.0).add_term(y, 2.0);
+    m.add_le("c3", c3, 18.0);
+    let mut obj = LinExpr::new();
+    obj.add_term(x, 3.0).add_term(y, 5.0);
+    m.set_objective(Objective::Maximize, obj);
+    check_pinned(&m, 36.0);
+}
+
+/// Degenerate LP (multiple optimal bases): min x + y with x + y ≥ 1 and
+/// x ≥ 0.5. The whole face x + y = 1, x ≥ 0.5 is optimal; the objective
+/// is still pinned at 1.
+#[test]
+fn degenerate_face_pins_at_1() {
+    let mut m = Model::new("degen");
+    let x = m.continuous("x", 0.0, 2.0).unwrap();
+    let y = m.continuous("y", 0.0, 2.0).unwrap();
+    let mut cover = LinExpr::new();
+    cover.add_term(x, 1.0).add_term(y, 1.0);
+    m.add_ge("cover", cover, 1.0);
+    m.add_ge("half", LinExpr::term(x, 1.0), 0.5);
+    let mut obj = LinExpr::new();
+    obj.add_term(x, 1.0).add_term(y, 1.0);
+    m.set_objective(Objective::Minimize, obj);
+    check_pinned(&m, 1.0);
+}
+
+/// Equality-constrained LP over negative bounds: min 2x − y subject to
+/// x + y = 3, x − y ≤ 1, x, y ∈ [−5, 5]. Substituting y = 3 − x the
+/// objective is 3x − 3, so x wants its floor; y ≤ 5 forces x ≥ −2.
+/// Optimum −9 at (−2, 5).
+#[test]
+fn equality_with_negative_bounds_pins_at_minus_9() {
+    let mut m = Model::new("eq-neg");
+    let x = m.continuous("x", -5.0, 5.0).unwrap();
+    let y = m.continuous("y", -5.0, 5.0).unwrap();
+    let mut sum = LinExpr::new();
+    sum.add_term(x, 1.0).add_term(y, 1.0);
+    m.add_eq("sum", sum, 3.0);
+    let mut diff = LinExpr::new();
+    diff.add_term(x, 1.0).add_term(y, -1.0);
+    m.add_le("diff", diff, 1.0);
+    let mut obj = LinExpr::new();
+    obj.add_term(x, 2.0).add_term(y, -1.0);
+    m.set_objective(Objective::Minimize, obj);
+    check_pinned(&m, -9.0);
+}
+
+/// Bound-flip stress: min Σ (1 + i/10)·x_i over the unit box with
+/// Σ x_i ≥ n − 0.5. All but the most expensive variable sit at 1, the
+/// most expensive takes 0.5. Exercises the BFRT path on both kernels.
+#[test]
+fn flip_heavy_lp_pins_exactly() {
+    let n = 25;
+    let mut m = Model::new("flip-heavy");
+    let mut sum = LinExpr::new();
+    let mut obj = LinExpr::new();
+    let mut total = 0.0;
+    let mut cmax = 0.0f64;
+    for i in 0..n {
+        let x = m.continuous(format!("x{i}"), 0.0, 1.0).unwrap();
+        sum.add_term(x, 1.0);
+        let c = 1.0 + (i as f64) / 10.0;
+        obj.add_term(x, c);
+        total += c;
+        cmax = cmax.max(c);
+    }
+    m.add_ge("cover", sum, n as f64 - 0.5);
+    m.set_objective(Objective::Minimize, obj);
+    check_pinned(&m, total - 0.5 * cmax);
+}
+
+/// MILP sentinel: binary knapsack max 10a + 13b + 7c with
+/// 3a + 4b + 2c ≤ 6. Optimum 20 at (0, 1, 1).
+#[test]
+fn knapsack_milp_pins_at_20() {
+    let mut m = Model::new("ks");
+    let a = m.binary("a");
+    let b = m.binary("b");
+    let c = m.binary("c");
+    let mut cap = LinExpr::new();
+    cap.add_term(a, 3.0).add_term(b, 4.0).add_term(c, 2.0);
+    m.add_le("cap", cap, 6.0);
+    let mut obj = LinExpr::new();
+    obj.add_term(a, 10.0).add_term(b, 13.0).add_term(c, 7.0);
+    m.set_objective(Objective::Maximize, obj);
+    check_pinned(&m, 20.0);
+}
+
+/// The regression MILP the bound-flip bug was found on (exhaustively
+/// enumerated optimum 28 at (0, 3, 5, 2, −2, 1, 2, 0)): a naive
+/// flip-and-continue ratio test mispriced the duals and both kernels
+/// returned "Optimal" values above 28.
+#[test]
+fn bound_flip_regression_milp_pins_at_28() {
+    let bounds = [(-4, 3), (-3, 3), (4, 6), (-3, 3), (-3, 3), (-1, 5), (2, 3), (0, 3)];
+    let obj_c = [6.0, 5.0, 3.0, 2.0, 8.0, 6.0, 2.0, 5.0];
+    let rows: [([f64; 8], ConstraintSense, f64); 5] = [
+        ([-1.0, 2.0, -1.0, -4.0, -5.0, 5.0, 2.0, -3.0], ConstraintSense::Ge, 9.0),
+        ([4.0, -1.0, 0.0, 4.0, 4.0, -3.0, 5.0, -4.0], ConstraintSense::Ge, -7.0),
+        ([-5.0, -4.0, 5.0, 1.0, 4.0, -4.0, 5.0, -3.0], ConstraintSense::Eq, 13.0),
+        ([1.0, -3.0, 0.0, 5.0, 5.0, -3.0, 3.0, -3.0], ConstraintSense::Eq, -6.0),
+        ([2.0, -3.0, 4.0, -5.0, 2.0, -1.0, 5.0, -2.0], ConstraintSense::Le, 13.0),
+    ];
+    let mut m = Model::new("bfrt-regression");
+    let vars: Vec<_> = bounds
+        .iter()
+        .enumerate()
+        .map(|(i, &(lo, hi))| m.integer(format!("x{i}"), lo as f64, hi as f64).unwrap())
+        .collect();
+    for (r, (coeffs, sense, rhs)) in rows.iter().enumerate() {
+        let mut e = LinExpr::new();
+        for (j, &c) in coeffs.iter().enumerate() {
+            if c != 0.0 {
+                e.add_term(vars[j], c);
+            }
+        }
+        m.add_constraint(format!("r{r}"), e, *sense, *rhs);
+    }
+    let mut obj = LinExpr::new();
+    for (j, &c) in obj_c.iter().enumerate() {
+        obj.add_term(vars[j], c);
+    }
+    m.set_objective(Objective::Minimize, obj);
+    check_pinned(&m, 28.0);
+}
