@@ -16,7 +16,7 @@ fn branch_rules(c: &mut Criterion) {
         ("pseudo-cost", BranchRule::PseudoCost),
     ] {
         let cfg = OptimalConfig {
-            solver: SolverOptions::with_time_limit(4.0).branch_rule(rule),
+            solver: SolverOptions::default().time_limit(4.0).branch_rule(rule),
             ..OptimalConfig::default()
         };
         group.bench_with_input(BenchmarkId::new("rule", name), &cfg, |b, cfg| {
@@ -32,7 +32,7 @@ fn node_orders(c: &mut Criterion) {
     group.sample_size(10);
     for (name, order) in [("dfs", NodeOrder::DepthFirst), ("best-bound", NodeOrder::BestBound)] {
         let cfg = OptimalConfig {
-            solver: SolverOptions::with_time_limit(4.0).node_order(order),
+            solver: SolverOptions::default().time_limit(4.0).node_order(order),
             ..OptimalConfig::default()
         };
         group.bench_with_input(BenchmarkId::new("order", name), &cfg, |b, cfg| {
@@ -49,7 +49,7 @@ fn warm_start_effect(c: &mut Criterion) {
     for (name, warm) in [("with-heuristic-seed", true), ("cold", false)] {
         let cfg = OptimalConfig {
             warm_start_with_heuristic: warm,
-            solver: SolverOptions::with_time_limit(4.0),
+            solver: SolverOptions::default().time_limit(4.0),
             ..OptimalConfig::default()
         };
         group.bench_with_input(BenchmarkId::new("seed", name), &cfg, |b, cfg| {

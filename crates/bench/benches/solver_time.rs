@@ -38,8 +38,10 @@ fn heuristic_phases(c: &mut Criterion) {
 
 fn exact_small(c: &mut Criterion) {
     let problem = InstanceSpec::new(3, 2, 2.0, 1).build();
-    let cfg =
-        OptimalConfig { solver: SolverOptions::with_time_limit(6.0), ..OptimalConfig::default() };
+    let cfg = OptimalConfig {
+        solver: SolverOptions::default().time_limit(6.0),
+        ..OptimalConfig::default()
+    };
     let mut group = c.benchmark_group("exact");
     group.sample_size(10);
     group.bench_function("milp-M3-N4", |b| b.iter(|| solve_optimal(&problem, &cfg)));

@@ -20,7 +20,7 @@ fn main() {
             let mut spec = InstanceSpec::new(20, 4, 2.0, seed);
             spec.levels = 6;
             let problem = spec.build().with_comm_time_model(model);
-            let (d, _) = heuristic_point(&problem);
+            let d = heuristic_point(&problem).deployment;
             d.map(|d| {
                 let makespan = problem
                     .tasks

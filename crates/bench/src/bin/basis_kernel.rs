@@ -7,14 +7,16 @@
 //! actually runs at, and wins by a growing margin as `M` rises.
 //!
 //! ```text
-//! basis_kernel [--tasks M] [--seconds S] [--seed K] [--instances I]
+//! basis_kernel [--tasks M] [--seconds S] [--seed K] [--instances I] [--trace]
 //! ```
 //!
 //! Defaults reproduce the largest fixed exact-arm instance (`M = 6` on a
 //! 2×2 mesh, 60 s budget). CI runs a smoke configuration
 //! (`--tasks 4 --seconds 5 --instances 1`) to keep the binary exercised.
+//! `--trace` streams solver events (presolve, root, incumbents,
+//! termination) to stderr while the table prints to stdout.
 
-use ndp_bench::InstanceSpec;
+use ndp_bench::{trace_observer, InstanceSpec};
 use ndp_core::{build_milp, DeployObjective, PathMode};
 use ndp_milp::{BasisKernel, SolverOptions};
 
@@ -25,10 +27,14 @@ struct KernelRun {
     seconds: f64,
 }
 
-fn run(kernel: BasisKernel, tasks: usize, seconds: f64, seed: u64) -> KernelRun {
+fn run(kernel: BasisKernel, tasks: usize, seconds: f64, seed: u64, trace: bool) -> KernelRun {
     let p = InstanceSpec::new(tasks, 2, 3.0, seed).build();
     let enc = build_milp(&p, PathMode::Multi, DeployObjective::BalanceEnergy).unwrap();
-    let opts = SolverOptions::with_time_limit(seconds).threads(1).basis_kernel(kernel);
+    let mut opts = SolverOptions::default().time_limit(seconds).threads(1).basis_kernel(kernel);
+    if trace {
+        eprintln!("[trace] --- kernel={kernel:?} seed={seed} ---");
+        opts = opts.observer(trace_observer());
+    }
     let t0 = std::time::Instant::now();
     let sol = enc.model.solve_with(&opts).unwrap();
     KernelRun {
@@ -44,9 +50,15 @@ fn main() {
     let mut seconds = 60.0f64;
     let mut seed = 7u64;
     let mut instances = 1usize;
+    let mut trace = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
+        if args[i] == "--trace" {
+            trace = true;
+            i += 1;
+            continue;
+        }
         let val = args.get(i + 1).unwrap_or_else(|| {
             eprintln!("missing value for {}", args[i]);
             std::process::exit(2);
@@ -68,8 +80,8 @@ fn main() {
     let mut ratio_sum = 0.0;
     for k in 0..instances {
         let s = seed + k as u64;
-        let dense = run(BasisKernel::Dense, tasks, seconds, s);
-        let sparse = run(BasisKernel::SparseLu, tasks, seconds, s);
+        let dense = run(BasisKernel::Dense, tasks, seconds, s, trace);
+        let sparse = run(BasisKernel::SparseLu, tasks, seconds, s, trace);
         for (name, r) in [("dense", &dense), ("sparse-lu", &sparse)] {
             println!(
                 "{name:<10} {tasks:>2} {s:>5}  {:<10} {:>6}  {:>13}  {:>7.2}  {:>7.0}",

@@ -24,7 +24,7 @@ fn main() {
             let problem = InstanceSpec::new(m, 2, 2.0, seed).build();
             let cfg = OptimalConfig { solver: exact_solver_options(), ..OptimalConfig::default() };
             let exact = exact_point(&problem, &cfg);
-            let (_, h_secs) = heuristic_point(&problem);
+            let h_secs = heuristic_point(&problem).seconds;
             (exact, h_secs)
         });
         let opt_s = mean_finite(&rows.iter().map(|(e, _)| e.seconds).collect::<Vec<_>>());
@@ -42,8 +42,8 @@ fn main() {
             let problem = spec.build();
             heuristic_point(&problem)
         });
-        let heu_s = mean_finite(&rows.iter().map(|(_, s)| *s).collect::<Vec<_>>());
-        let feas = rows.iter().filter(|(d, _)| d.is_some()).count() as f64 / rows.len() as f64;
+        let heu_s = mean_finite(&rows.iter().map(|h| h.seconds).collect::<Vec<_>>());
+        let feas = rows.iter().filter(|h| h.feasible()).count() as f64 / rows.len() as f64;
         println!("{m:>4} {heu_s:>14.6} {feas:>10.2}");
     }
 }

@@ -22,8 +22,8 @@ fn main() {
             let problem = InstanceSpec::new(m, 2, 2.0, seed).build();
             let cfg = OptimalConfig { solver: exact_solver_options(), ..OptimalConfig::default() };
             let exact = exact_point(&problem, &cfg);
-            let (heuristic, _) = heuristic_point(&problem);
-            let h_mj = heuristic.map(|d| d.energy_report(&problem).max_mj());
+            let heuristic = heuristic_point(&problem);
+            let h_mj = heuristic.deployment.map(|d| d.energy_report(&problem).max_mj());
             (exact, h_mj)
         });
         // Compare against the exact arm's best incumbent. The search is

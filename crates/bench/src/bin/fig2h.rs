@@ -19,8 +19,8 @@ fn main() {
             let problem = InstanceSpec::new(5, 2, alpha, seed).build();
             let cfg = OptimalConfig { solver: exact_solver_options(), ..OptimalConfig::default() };
             let exact = exact_point(&problem, &cfg);
-            let (heuristic, _) = heuristic_point(&problem);
-            (exact.feasible, heuristic.is_some())
+            let heuristic = heuristic_point(&problem);
+            (exact.feasible, heuristic.feasible())
         });
         let opt = feasibility_ratio(&rows.iter().map(|(o, _)| *o).collect::<Vec<_>>());
         let heu = feasibility_ratio(&rows.iter().map(|(_, h)| *h).collect::<Vec<_>>());

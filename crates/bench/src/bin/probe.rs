@@ -7,7 +7,7 @@ fn main() {
     for (m, nodes) in [(3usize, 1usize), (3, 0), (4, 0), (5, 0)] {
         let p = InstanceSpec::new(m, 2, 3.0, 7).build();
         let enc = build_milp(&p, PathMode::Multi, DeployObjective::BalanceEnergy).unwrap();
-        let mut opts = SolverOptions::with_time_limit(60.0);
+        let mut opts = SolverOptions::default().time_limit(60.0);
         opts.node_limit = nodes;
         let t = std::time::Instant::now();
         let sol = enc.model.solve_with(&opts).unwrap();

@@ -9,12 +9,17 @@
 //! Speedup is relative to `threads = 1` and is bounded by the host's
 //! available parallelism (printed in the header): on a single-core host the
 //! workers interleave and throughput stays flat.
+//!
+//! Pass `--trace` to stream solver events (presolve, root, incumbents,
+//! per-worker stats, termination) to stderr while the table prints to
+//! stdout.
 
-use ndp_bench::InstanceSpec;
+use ndp_bench::{trace_observer, InstanceSpec};
 use ndp_core::{solve_optimal, OptimalConfig};
 use ndp_milp::SolverOptions;
 
 fn main() {
+    let trace = std::env::args().skip(1).any(|a| a == "--trace");
     let seeds: Vec<u64> = (0..3).collect();
     let time_limit = 2.0;
     let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
@@ -31,7 +36,11 @@ fn main() {
         let mut spread = String::new();
         for &seed in &seeds {
             let problem = InstanceSpec::new(5, 2, 2.0, seed).build();
-            let mut solver = SolverOptions::with_time_limit(time_limit).threads(threads);
+            let mut solver = SolverOptions::default().time_limit(time_limit).threads(threads);
+            if trace {
+                eprintln!("[trace] --- threads={threads} seed={seed} ---");
+                solver = solver.observer(trace_observer());
+            }
             solver.relative_gap = 1e-6;
             let cfg = OptimalConfig {
                 warm_start_with_heuristic: false,

@@ -26,10 +26,12 @@ use ndp_core::{
     solve_heuristic, solve_optimal, CommTimeModel, Deployment, OptimalConfig, OptimalOutcome,
     ProblemInstance,
 };
-use ndp_milp::{SolveStatus, SolverOptions};
+use ndp_milp::{Observer, SolveStats, SolveStatus, SolverEvent, SolverOptions};
 use ndp_noc::{Mesh2D, NocParams, WeightedNoc};
 use ndp_platform::{Platform, PowerModel, PowerParams, ReliabilityParams, VfTable};
 use ndp_taskset::{generate, GeneratorConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Everything needed to instantiate one experiment point.
 #[derive(Debug, Clone)]
@@ -113,9 +115,27 @@ impl InstanceSpec {
     }
 }
 
+/// The observer behind the benches' `--trace` flag: prints presolve, root,
+/// incumbent, per-worker and termination events to stderr (so stdout tables
+/// stay machine-readable), subsamples node events to every 500th, and drops
+/// per-pivot prune/refactorization noise.
+pub fn trace_observer() -> Arc<dyn Observer> {
+    let nodes_seen = AtomicU64::new(0);
+    Arc::new(move |e: &SolverEvent| match e {
+        SolverEvent::NodeExplored { .. } => {
+            let n = nodes_seen.fetch_add(1, Ordering::Relaxed) + 1;
+            if n.is_multiple_of(500) {
+                eprintln!("[trace] {e}");
+            }
+        }
+        SolverEvent::NodePruned { .. } | SolverEvent::Refactorized { .. } => {}
+        _ => eprintln!("[trace] {e}"),
+    })
+}
+
 /// Default per-solve budget for the exact arm.
 pub fn exact_solver_options() -> SolverOptions {
-    let mut o = SolverOptions::with_time_limit(6.0);
+    let mut o = SolverOptions::default().time_limit(6.0);
     o.relative_gap = 1e-4;
     // The figure harness already fans out across seeds (`per_seed`); keep
     // each individual solve serial so a sweep doesn't oversubscribe the
@@ -140,6 +160,9 @@ pub struct ExactPoint {
     /// Relative optimality gap of the incumbent (0 when proven optimal,
     /// infinite when infeasible/unknown).
     pub gap: f64,
+    /// Per-phase time attribution and work counters of the solve (all
+    /// zero when the solver returned an error).
+    pub stats: SolveStats,
 }
 
 /// Reduces an [`OptimalOutcome`] (or error) to an [`ExactPoint`].
@@ -148,23 +171,17 @@ pub fn reduce_outcome(
     seconds: f64,
 ) -> ExactPoint {
     match outcome {
-        Ok(OptimalOutcome {
-            deployment: Some(_),
-            status,
-            objective_mj,
-            best_bound_mj,
-            nodes,
-            ..
-        }) => {
+        Ok(out @ OptimalOutcome { deployment: Some(_), status, objective_mj, .. }) => {
             let obj = objective_mj.unwrap_or(f64::NAN);
-            let gap = ((obj - best_bound_mj).abs() / obj.abs().max(1e-9)).max(0.0);
+            let gap = ((obj - out.best_bound_mj).abs() / obj.abs().max(1e-9)).max(0.0);
             ExactPoint {
                 feasible: true,
                 proven: *status == SolveStatus::Optimal,
                 objective_mj: obj,
                 seconds,
-                nodes: *nodes,
+                nodes: out.nodes,
                 gap: if *status == SolveStatus::Optimal { 0.0 } else { gap },
+                stats: out.stats,
             }
         }
         Ok(out) => ExactPoint {
@@ -174,6 +191,7 @@ pub fn reduce_outcome(
             seconds,
             nodes: out.nodes,
             gap: f64::INFINITY,
+            stats: out.stats,
         },
         Err(_) => ExactPoint {
             feasible: false,
@@ -182,6 +200,7 @@ pub fn reduce_outcome(
             seconds,
             nodes: 0,
             gap: f64::INFINITY,
+            stats: SolveStats::default(),
         },
     }
 }
@@ -193,11 +212,27 @@ pub fn exact_point(problem: &ProblemInstance, config: &OptimalConfig) -> ExactPo
     reduce_outcome(&outcome, t0.elapsed().as_secs_f64())
 }
 
+/// Outcome of one heuristic run, reduced to what the figures need.
+#[derive(Debug, Clone)]
+pub struct HeuristicPoint {
+    /// The deployment, when all three phases succeeded within the horizon.
+    pub deployment: Option<Deployment>,
+    /// Wall time of the three phases in seconds.
+    pub seconds: f64,
+}
+
+impl HeuristicPoint {
+    /// Whether the heuristic produced a deployment.
+    pub fn feasible(&self) -> bool {
+        self.deployment.is_some()
+    }
+}
+
 /// Runs the heuristic, returning the deployment and wall time.
-pub fn heuristic_point(problem: &ProblemInstance) -> (Option<Deployment>, f64) {
+pub fn heuristic_point(problem: &ProblemInstance) -> HeuristicPoint {
     let t0 = std::time::Instant::now();
-    let d = solve_heuristic(problem).ok();
-    (d, t0.elapsed().as_secs_f64())
+    let deployment = solve_heuristic(problem).ok();
+    HeuristicPoint { deployment, seconds: t0.elapsed().as_secs_f64() }
 }
 
 /// Maps `f` over the seeds in parallel (one thread per seed, bounded by the
@@ -276,9 +311,10 @@ mod tests {
     #[test]
     fn heuristic_point_runs() {
         let p = InstanceSpec::new(8, 3, 4.0, 1).build();
-        let (d, secs) = heuristic_point(&p);
-        assert!(secs >= 0.0);
-        if let Some(d) = d {
+        let h = heuristic_point(&p);
+        assert!(h.seconds >= 0.0);
+        assert_eq!(h.feasible(), h.deployment.is_some());
+        if let Some(d) = h.deployment {
             assert!(ndp_core::is_valid(&p, &d));
         }
     }

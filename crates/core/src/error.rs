@@ -65,3 +65,88 @@ impl From<ndp_milp::MilpError> for DeployError {
 
 /// Convenience alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, DeployError>;
+
+/// The workspace-wide error type: every per-crate error converts into it
+/// via `From`, so a caller driving the full pipeline (task-set generation →
+/// platform → NoC → deployment → solve) can use a single `?` type.
+///
+/// ```
+/// use ndp_core::prelude::*;
+///
+/// fn pipeline() -> Result<(), ndp_core::Error> {
+///     let graph = generate(&GeneratorConfig::typical(4), 7)?; // TasksetError
+///     let platform = Platform::homogeneous(4)?; // PlatformError
+///     let noc = WeightedNoc::new(Mesh2D::square(2)?, NocParams::typical(), 7)?; // NocError
+///     let problem = ProblemInstance::from_original(&graph, platform, noc, 0.95, 3.0)?;
+///     let _ = solve_heuristic(&problem)?; // DeployError
+///     Ok(())
+/// }
+/// pipeline().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Task-set generation failed ([`ndp_taskset::TasksetError`]).
+    Taskset(ndp_taskset::TasksetError),
+    /// Platform construction failed ([`ndp_platform::PlatformError`]).
+    Platform(ndp_platform::PlatformError),
+    /// NoC construction or routing failed ([`ndp_noc::NocError`]).
+    Noc(ndp_noc::NocError),
+    /// The MILP solver failed ([`ndp_milp::MilpError`]).
+    Milp(ndp_milp::MilpError),
+    /// Deployment-level failure (formulation, heuristic, infeasibility).
+    Deploy(DeployError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Taskset(e) => write!(f, "task-set error: {e}"),
+            Error::Platform(e) => write!(f, "platform error: {e}"),
+            Error::Noc(e) => write!(f, "NoC error: {e}"),
+            Error::Milp(e) => write!(f, "MILP error: {e}"),
+            Error::Deploy(e) => write!(f, "deployment error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Taskset(e) => Some(e),
+            Error::Platform(e) => Some(e),
+            Error::Noc(e) => Some(e),
+            Error::Milp(e) => Some(e),
+            Error::Deploy(e) => Some(e),
+        }
+    }
+}
+
+impl From<ndp_taskset::TasksetError> for Error {
+    fn from(e: ndp_taskset::TasksetError) -> Self {
+        Error::Taskset(e)
+    }
+}
+
+impl From<ndp_platform::PlatformError> for Error {
+    fn from(e: ndp_platform::PlatformError) -> Self {
+        Error::Platform(e)
+    }
+}
+
+impl From<ndp_noc::NocError> for Error {
+    fn from(e: ndp_noc::NocError) -> Self {
+        Error::Noc(e)
+    }
+}
+
+impl From<ndp_milp::MilpError> for Error {
+    fn from(e: ndp_milp::MilpError) -> Self {
+        Error::Milp(e)
+    }
+}
+
+impl From<DeployError> for Error {
+    fn from(e: DeployError) -> Self {
+        Error::Deploy(e)
+    }
+}

@@ -21,6 +21,7 @@ use crate::error::{DeployError, Result};
 use crate::problem::ProblemInstance;
 use crate::schedule::{list_schedule, priority_order};
 use crate::solution::{Deployment, PathChoice};
+use ndp_milp::{ObserverHandle, SolverEvent};
 use ndp_noc::PathKind;
 use ndp_platform::{LevelId, ProcessorId, ReliabilityModel};
 use ndp_taskset::TaskId;
@@ -239,9 +240,28 @@ fn assemble(problem: &ProblemInstance, p1: &Phase1, p2: &Phase2, paths: PathChoi
 /// [`DeployError::HeuristicInfeasible`] when phase 1 cannot satisfy
 /// deadline/reliability constraints, or the final schedule overruns `H`.
 pub fn solve_heuristic(problem: &ProblemInstance) -> Result<Deployment> {
+    solve_heuristic_observed(problem, &ObserverHandle::none())
+}
+
+/// [`solve_heuristic`] with progress observation: emits a
+/// [`SolverEvent::Phase`] marker (`"phase1"` … `"phase3"`, `"assemble"`)
+/// into `observer` as each of the paper's subproblems starts. The heuristic
+/// is deterministic, so the event sequence is identical across runs.
+///
+/// # Errors
+///
+/// Same as [`solve_heuristic`].
+pub fn solve_heuristic_observed(
+    problem: &ProblemInstance,
+    observer: &ObserverHandle,
+) -> Result<Deployment> {
+    observer.emit(|| SolverEvent::Phase { name: "phase1" });
     let p1 = phase1(problem)?;
+    observer.emit(|| SolverEvent::Phase { name: "phase2" });
     let p2 = phase2(problem, &p1);
+    observer.emit(|| SolverEvent::Phase { name: "phase3" });
     let paths = phase3(problem, &p1, &p2);
+    observer.emit(|| SolverEvent::Phase { name: "assemble" });
     let d = assemble(problem, &p1, &p2, paths);
     let makespan =
         problem.tasks.graph().task_ids().map(|t| d.end_ms(problem, t)).fold(0.0, f64::max);

@@ -65,12 +65,39 @@ pub use analysis::{
     max_tasks_per_processor,
 };
 pub use baselines::{first_fit_fastest, random_mapping, round_robin};
-pub use error::{DeployError, Result};
+pub use error::{DeployError, Error, Result};
 pub use formulation::{build_milp, DeployObjective, MilpEncoding, PathMode};
-pub use heuristic::{phase1, phase2, phase3, solve_heuristic, Phase1, Phase2};
+pub use heuristic::{
+    phase1, phase2, phase3, solve_heuristic, solve_heuristic_observed, Phase1, Phase2,
+};
 pub use optimal::{solve_optimal, OptimalConfig, OptimalOutcome};
 pub use problem::{scheduling_horizon, CommTimeModel, ProblemInstance};
 pub use report::{energy_table, gantt};
 pub use schedule::{list_schedule, priority_order, Schedule};
 pub use solution::{Deployment, EnergyReport, PathChoice};
 pub use validate::{is_valid, validate, Violation, VALIDATION_TOL};
+
+pub mod prelude {
+    //! One-stop import surface for the common workflow: generate a task set,
+    //! build a problem instance, solve it (exactly or heuristically) and
+    //! validate the result.
+    //!
+    //! ```
+    //! use ndp_core::prelude::*;
+    //! ```
+    //!
+    //! pulls in the problem/solution types, both solver entry points, the
+    //! solver configuration (including observability and cancellation) and
+    //! the sibling-crate types needed to construct a [`ProblemInstance`].
+    pub use crate::{
+        build_milp, solve_heuristic, solve_heuristic_observed, solve_optimal, validate,
+        DeployObjective, Deployment, EnergyReport, Error, OptimalConfig, OptimalOutcome, PathMode,
+        ProblemInstance,
+    };
+    pub use ndp_milp::{
+        CancelToken, Observer, ObserverHandle, SolveStats, SolveStatus, SolverEvent, SolverOptions,
+    };
+    pub use ndp_noc::{Mesh2D, NocParams, PathKind, WeightedNoc};
+    pub use ndp_platform::Platform;
+    pub use ndp_taskset::{generate, GeneratorConfig, GraphShape};
+}

@@ -12,7 +12,7 @@ use crate::heuristic::solve_heuristic;
 use crate::problem::ProblemInstance;
 use crate::solution::Deployment;
 use crate::validate::is_valid;
-use ndp_milp::{SolveStatus, SolverOptions};
+use ndp_milp::{SolveStats, SolveStatus, SolverOptions};
 
 /// Configuration of an exact solve.
 #[derive(Debug, Clone)]
@@ -62,6 +62,8 @@ pub struct OptimalOutcome {
     pub nodes_per_thread: Vec<u64>,
     /// Wall-clock seconds spent in the solver.
     pub solve_seconds: f64,
+    /// Per-phase time attribution and work counters of the solve.
+    pub stats: SolveStats,
 }
 
 impl OptimalOutcome {
@@ -103,8 +105,9 @@ pub fn solve_optimal(problem: &ProblemInstance, config: &OptimalConfig) -> Resul
         encoding.model.set_warm_start(vals)?;
     }
     let sol = encoding.model.solve_with(&config.solver)?;
-    let deployment =
-        if sol.status().has_solution() { Some(encoding.extract(problem, &sol)) } else { None };
+    // `has_incumbent` (not `has_solution`) so a cancelled solve still hands
+    // back the best deployment it found.
+    let deployment = if sol.has_incumbent() { Some(encoding.extract(problem, &sol)) } else { None };
     let objective_mj = deployment.as_ref().map(|_| sol.objective_value());
     Ok(OptimalOutcome {
         deployment,
@@ -114,6 +117,7 @@ pub fn solve_optimal(problem: &ProblemInstance, config: &OptimalConfig) -> Resul
         nodes: sol.node_count(),
         nodes_per_thread: sol.nodes_per_thread().to_vec(),
         solve_seconds: sol.solve_seconds(),
+        stats: *sol.stats(),
     })
 }
 
@@ -140,7 +144,7 @@ mod tests {
     }
 
     fn quick_solver() -> SolverOptions {
-        SolverOptions::with_time_limit(20.0)
+        SolverOptions::default().time_limit(20.0)
     }
 
     #[test]

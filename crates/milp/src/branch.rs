@@ -14,12 +14,13 @@
 //! preserving its exact node order.
 
 use crate::error::{MilpError, Result};
+use crate::events::{SolverEvent, TerminationReason};
 use crate::model::{Model, VarKind};
 use crate::options::{BranchRule, NodeOrder, SolverOptions};
 use crate::parallel;
 use crate::presolve::{presolve, Presolved};
 use crate::simplex::{LpStatus, Simplex};
-use crate::solution::{Solution, SolveStatus};
+use crate::solution::{Solution, SolveStats, SolveStatus};
 use crate::standard::StandardForm;
 use std::time::Instant;
 
@@ -75,8 +76,8 @@ pub(crate) trait Incumbent {
     /// `+inf` when none exists.
     fn best_obj(&self) -> f64;
     /// Installs `values` as the incumbent if `obj` still improves on the
-    /// current best at acceptance time.
-    fn offer(&mut self, values: &[f64], obj: f64);
+    /// current best at acceptance time; returns whether it was accepted.
+    fn offer(&mut self, values: &[f64], obj: f64) -> bool;
 }
 
 /// Whether the gap between `bound` and the incumbent `inc_obj` is closed
@@ -115,6 +116,16 @@ pub(crate) struct NodeWorker<'a> {
     /// Set when a node could not be solved (deadline or numerics); the
     /// search stops gracefully with whatever incumbent exists.
     pub(crate) hit_limit: bool,
+    /// Set when the cancel token fired; reported as
+    /// [`SolveStatus::Interrupted`].
+    pub(crate) interrupted: bool,
+    /// Open nodes this worker discarded against the incumbent bound.
+    pub(crate) pruned: u64,
+    /// Best (lowest, internal scale) bound over the *other* open nodes,
+    /// maintained by the search loop so incumbent events can report the
+    /// global gap instead of the node-local one. `INFINITY` when unknown;
+    /// only ever loosens the reported gap, never the search itself.
+    pub(crate) dual_bound: f64,
 }
 
 impl<'a> NodeWorker<'a> {
@@ -147,6 +158,9 @@ impl<'a> NodeWorker<'a> {
             nodes: 0,
             start,
             hit_limit: false,
+            interrupted: false,
+            pruned: 0,
+            dual_bound: f64::INFINITY,
         }
     }
 
@@ -155,11 +169,55 @@ impl<'a> NodeWorker<'a> {
             && self.start.elapsed().as_secs_f64() > self.options.time_limit
     }
 
+    /// Records a prune-by-bound of a node with inherited bound
+    /// `bound_internal` and emits the matching event.
+    pub(crate) fn note_pruned(&mut self, bound_internal: f64) {
+        self.pruned += 1;
+        let sf = self.sf;
+        self.options
+            .observer
+            .emit(|| SolverEvent::NodePruned { bound: sf.user_objective(bound_internal) });
+    }
+
+    /// Emits the node-evaluation event: the root emits
+    /// [`SolverEvent::RootRelaxation`], everything else
+    /// [`SolverEvent::NodeExplored`].
+    fn emit_node(&self, node: &OpenNode, bound_internal: f64) {
+        let sf = self.sf;
+        let n = self.nodes;
+        self.options.observer.emit(|| {
+            let bound = sf.user_objective(bound_internal);
+            if node.deltas.is_empty() {
+                SolverEvent::RootRelaxation { bound }
+            } else {
+                SolverEvent::NodeExplored { node: n, bound, depth: node.deltas.len() }
+            }
+        });
+    }
+
+    /// Emits the incumbent-accepted event. The reported bound is the global
+    /// dual bound: the current node's LP bound tightened by the best bound
+    /// among the other open nodes ([`NodeWorker::dual_bound`]).
+    fn emit_incumbent(&self, obj_internal: f64, bound_internal: f64) {
+        let sf = self.sf;
+        let bound_internal = bound_internal.min(self.dual_bound);
+        self.options.observer.emit(|| SolverEvent::Incumbent {
+            objective: sf.user_objective(obj_internal),
+            bound: sf.user_objective(bound_internal),
+            gap: (obj_internal - bound_internal).abs() / obj_internal.abs().max(1.0),
+        });
+    }
+
     /// Solves the LP at the current bound state with one numerical retry.
-    /// `Ok(None)` means the node could not be solved (deadline or numerics).
+    /// `Ok(None)` means the node could not be solved (deadline, cancel or
+    /// numerics); a cancel additionally sets [`NodeWorker::interrupted`].
     fn solve_node_lp(&mut self) -> Result<Option<LpStatus>> {
         match self.lp.optimize() {
             Ok(s) => Ok(Some(s)),
+            Err(MilpError::Interrupted) => {
+                self.interrupted = true;
+                Ok(None)
+            }
             Err(MilpError::IterationLimit { .. }) | Err(MilpError::SingularBasis) => {
                 if self.time_up() {
                     return Ok(None);
@@ -167,6 +225,10 @@ impl<'a> NodeWorker<'a> {
                 self.lp.reset_to_slack_basis();
                 match self.lp.optimize() {
                     Ok(s) => Ok(Some(s)),
+                    Err(MilpError::Interrupted) => {
+                        self.interrupted = true;
+                        Ok(None)
+                    }
                     Err(MilpError::IterationLimit { .. }) | Err(MilpError::SingularBasis) => {
                         Ok(None)
                     }
@@ -291,11 +353,15 @@ impl<'a> NodeWorker<'a> {
             }
         };
         if status == LpStatus::Infeasible {
+            // An infeasible node's bound is +inf (internal scale); the event
+            // reports the corresponding user-scale extreme.
+            self.emit_node(node, f64::INFINITY);
             return Ok((vec![], f64::INFINITY));
         }
         // The LP point is optimal for the *perturbed* costs; subtracting the
         // margin gives a valid bound for the true costs.
         let bound = self.lp.objective() - self.lp.bound_margin();
+        self.emit_node(node, bound);
         self.record_pseudocost(node, bound);
         if gap_closed(self.options, incumbent.best_obj(), bound) {
             return Ok((vec![], bound));
@@ -306,12 +372,16 @@ impl<'a> NodeWorker<'a> {
             None => {
                 // Integral LP optimum: new incumbent.
                 let obj = internal_objective(self.model, self.sf, x);
-                incumbent.offer(x, obj);
+                if incumbent.offer(x, obj) {
+                    self.emit_incumbent(obj, bound);
+                }
                 Ok((vec![], bound))
             }
             Some((j, v)) => {
                 if let Some((cand, obj)) = self.rounding_candidate(x) {
-                    incumbent.offer(&cand, obj);
+                    if incumbent.offer(&cand, obj) {
+                        self.emit_incumbent(obj, bound);
+                    }
                 }
                 if gap_closed(self.options, incumbent.best_obj(), bound) {
                     return Ok((vec![], bound));
@@ -346,6 +416,20 @@ pub(crate) struct SearchOutcome {
     pub(crate) nodes_per_thread: Vec<u64>,
     pub(crate) simplex_iterations: u64,
     pub(crate) hit_limit: bool,
+    /// The cancel token fired during the search.
+    pub(crate) interrupted: bool,
+    /// Open nodes discarded against the incumbent bound.
+    pub(crate) pruned: u64,
+    /// Incumbent improvements accepted during the search.
+    pub(crate) incumbents: u64,
+    /// Nodes obtained by work stealing (0 for serial runs).
+    pub(crate) steals: u64,
+    /// CPU-seconds inside the simplex loops, summed over workers.
+    pub(crate) simplex_seconds: f64,
+    /// CPU-seconds factorizing bases, summed over workers.
+    pub(crate) factor_seconds: f64,
+    /// Basis refactorizations, summed over workers.
+    pub(crate) refactorizations: u64,
 }
 
 /// Entry point used by [`Model::solve_with`].
@@ -372,22 +456,44 @@ pub(crate) fn solve(model: &Model, options: &SolverOptions) -> Result<Solution> 
             }
         });
         let obj = model.objective().constant();
+        let status = if feasible { SolveStatus::Optimal } else { SolveStatus::Infeasible };
+        let reason = if feasible {
+            TerminationReason::GapClosed
+        } else {
+            TerminationReason::ProvenInfeasible
+        };
+        options.observer.emit(|| SolverEvent::Terminated { status, reason });
+        let total = start.elapsed().as_secs_f64();
         return Ok(Solution {
-            status: if feasible { SolveStatus::Optimal } else { SolveStatus::Infeasible },
+            status,
             values: vec![],
             objective: obj,
             best_bound: obj,
             nodes: 0,
             nodes_per_thread: vec![],
             simplex_iterations: 0,
-            solve_seconds: start.elapsed().as_secs_f64(),
+            solve_seconds: total,
+            stats: SolveStats { total_seconds: total, ..SolveStats::default() },
         });
     }
 
     // Presolve, solve the reduced model, postsolve the incumbent.
+    let mut presolve_seconds = 0.0;
     if options.presolve {
-        match presolve(model, options.feasibility_tol)? {
+        let t_pre = Instant::now();
+        let presolved = presolve(model, options.feasibility_tol)?;
+        presolve_seconds = t_pre.elapsed().as_secs_f64();
+        match presolved {
             Presolved::Infeasible => {
+                options.observer.emit(|| SolverEvent::Presolve {
+                    eliminated_vars: model.num_vars(),
+                    eliminated_rows: model.num_constraints(),
+                });
+                options.observer.emit(|| SolverEvent::Terminated {
+                    status: SolveStatus::Infeasible,
+                    reason: TerminationReason::ProvenInfeasible,
+                });
+                let total = start.elapsed().as_secs_f64();
                 return Ok(Solution {
                     status: SolveStatus::Infeasible,
                     values: vec![],
@@ -396,12 +502,22 @@ pub(crate) fn solve(model: &Model, options: &SolverOptions) -> Result<Solution> 
                     nodes: 0,
                     nodes_per_thread: vec![],
                     simplex_iterations: 0,
-                    solve_seconds: start.elapsed().as_secs_f64(),
+                    solve_seconds: total,
+                    stats: SolveStats {
+                        total_seconds: total,
+                        presolve_seconds,
+                        ..SolveStats::default()
+                    },
                 });
             }
             Presolved::Reduced(red) => {
-                let shrunk = red.eliminated_vars() > 0
-                    || red.model.num_constraints() < model.num_constraints();
+                let eliminated_vars = red.eliminated_vars();
+                let eliminated_rows =
+                    model.num_constraints().saturating_sub(red.model.num_constraints());
+                options
+                    .observer
+                    .emit(|| SolverEvent::Presolve { eliminated_vars, eliminated_rows });
+                let shrunk = eliminated_vars > 0 || eliminated_rows > 0;
                 if shrunk {
                     let mut inner = options.clone();
                     inner.presolve = false;
@@ -415,10 +531,13 @@ pub(crate) fn solve(model: &Model, options: &SolverOptions) -> Result<Solution> 
                         }
                     }
                     let sol = reduced_model.solve_with(&inner)?;
-                    let values = if sol.status().has_solution() {
-                        red.postsolve(sol.values())
-                    } else {
-                        vec![]
+                    let values =
+                        if sol.has_incumbent() { red.postsolve(sol.values()) } else { vec![] };
+                    let total = start.elapsed().as_secs_f64();
+                    let stats = SolveStats {
+                        total_seconds: total,
+                        presolve_seconds: sol.stats.presolve_seconds + presolve_seconds,
+                        ..sol.stats
                     };
                     return Ok(Solution {
                         status: sol.status,
@@ -428,7 +547,8 @@ pub(crate) fn solve(model: &Model, options: &SolverOptions) -> Result<Solution> 
                         nodes: sol.nodes,
                         nodes_per_thread: sol.nodes_per_thread.clone(),
                         simplex_iterations: sol.simplex_iterations,
-                        solve_seconds: start.elapsed().as_secs_f64(),
+                        solve_seconds: total,
+                        stats,
                     });
                 }
             }
@@ -451,6 +571,11 @@ pub(crate) fn solve(model: &Model, options: &SolverOptions) -> Result<Solution> 
         let u = root_bounds[j].1.floor();
         root_bounds[j] = (l, u);
         if l > u {
+            options.observer.emit(|| SolverEvent::Terminated {
+                status: SolveStatus::Infeasible,
+                reason: TerminationReason::ProvenInfeasible,
+            });
+            let total = start.elapsed().as_secs_f64();
             return Ok(Solution {
                 status: SolveStatus::Infeasible,
                 values: vec![],
@@ -459,7 +584,12 @@ pub(crate) fn solve(model: &Model, options: &SolverOptions) -> Result<Solution> 
                 nodes: 0,
                 nodes_per_thread: vec![],
                 simplex_iterations: 0,
-                solve_seconds: start.elapsed().as_secs_f64(),
+                solve_seconds: total,
+                stats: SolveStats {
+                    total_seconds: total,
+                    presolve_seconds,
+                    ..SolveStats::default()
+                },
             });
         }
     }
@@ -472,6 +602,13 @@ pub(crate) fn solve(model: &Model, options: &SolverOptions) -> Result<Solution> 
             None
         }
     });
+    if let Some((_, obj)) = &warm {
+        let objective = sf.user_objective(*obj);
+        // No bound is proven before the root solves; the warm-start
+        // incumbent is reported against an open (infinite) bound.
+        let bound = if sf.maximize { f64::INFINITY } else { f64::NEG_INFINITY };
+        options.observer.emit(|| SolverEvent::Incumbent { objective, bound, gap: f64::INFINITY });
+    }
 
     let threads = options.effective_threads();
     let outcome = if threads <= 1 {
@@ -499,6 +636,12 @@ pub(crate) fn solve(model: &Model, options: &SolverOptions) -> Result<Solution> 
             }
         }
     }
+    // Cancellation overrides the limit statuses but never a completed proof
+    // (optimality, infeasibility or unboundedness reached before the token
+    // was noticed stands).
+    if outcome.interrupted && matches!(status, SolveStatus::Feasible | SolveStatus::Unknown) {
+        status = SolveStatus::Interrupted;
+    }
 
     let (values, objective) = match &outcome.incumbent {
         Some(v) => (v.clone(), sf.user_objective(outcome.incumbent_obj)),
@@ -514,16 +657,57 @@ pub(crate) fn solve(model: &Model, options: &SolverOptions) -> Result<Solution> 
         f64::NEG_INFINITY
     };
 
+    let reason = termination_reason(options, &outcome, status, start);
+    options.observer.emit(|| SolverEvent::Terminated { status, reason });
+
     Ok(Solution {
         status,
         values,
         objective,
         best_bound,
         nodes: outcome.nodes,
-        nodes_per_thread: outcome.nodes_per_thread,
+        nodes_per_thread: outcome.nodes_per_thread.clone(),
         simplex_iterations: outcome.simplex_iterations,
         solve_seconds,
+        stats: SolveStats {
+            total_seconds: solve_seconds,
+            presolve_seconds,
+            simplex_seconds: outcome.simplex_seconds,
+            factor_seconds: outcome.factor_seconds,
+            nodes: outcome.nodes,
+            nodes_pruned: outcome.pruned,
+            simplex_iterations: outcome.simplex_iterations,
+            refactorizations: outcome.refactorizations,
+            incumbents: outcome.incumbents,
+            steals: outcome.steals,
+        },
     })
+}
+
+/// Why the search stopped, derived from the outcome flags and the limits.
+fn termination_reason(
+    options: &SolverOptions,
+    outcome: &SearchOutcome,
+    status: SolveStatus,
+    start: Instant,
+) -> TerminationReason {
+    if outcome.interrupted {
+        return TerminationReason::Cancelled;
+    }
+    if !outcome.hit_limit {
+        return match status {
+            SolveStatus::Infeasible => TerminationReason::ProvenInfeasible,
+            SolveStatus::Unbounded => TerminationReason::ProvenUnbounded,
+            _ => TerminationReason::GapClosed,
+        };
+    }
+    if node_limit_hit(options, outcome.nodes) {
+        TerminationReason::NodeLimit
+    } else if options.time_limit.is_finite() && start.elapsed().as_secs_f64() > options.time_limit {
+        TerminationReason::TimeLimit
+    } else {
+        TerminationReason::Numerics
+    }
 }
 
 /// The serial search (`threads = 1`): one [`NodeWorker`], one node stack or
@@ -545,6 +729,8 @@ fn serial_search(
         NodeOrder::BestBound => run_best_bound(&mut worker, &mut incumbent, root_bounds)?,
     };
 
+    let nodes = worker.nodes;
+    options.observer.emit(|| SolverEvent::ThreadStats { worker: 0, nodes, steals: 0 });
     Ok(SearchOutcome {
         incumbent: incumbent.values,
         incumbent_obj: incumbent.obj,
@@ -553,6 +739,13 @@ fn serial_search(
         nodes_per_thread: vec![worker.nodes],
         simplex_iterations: worker.lp.iterations,
         hit_limit: worker.hit_limit,
+        interrupted: worker.interrupted,
+        pruned: worker.pruned,
+        incumbents: incumbent.accepted,
+        steals: 0,
+        simplex_seconds: worker.lp.simplex_seconds,
+        factor_seconds: worker.lp.factor_seconds,
+        refactorizations: worker.lp.refactorizations,
     })
 }
 
@@ -560,13 +753,15 @@ fn serial_search(
 pub(crate) struct LocalIncumbent {
     pub(crate) values: Option<Vec<f64>>,
     pub(crate) obj: f64,
+    /// Offers accepted (warm starts not counted).
+    pub(crate) accepted: u64,
 }
 
 impl LocalIncumbent {
     pub(crate) fn from_warm(warm: Option<(Vec<f64>, f64)>) -> Self {
         match warm {
-            Some((v, o)) => LocalIncumbent { values: Some(v), obj: o },
-            None => LocalIncumbent { values: None, obj: f64::INFINITY },
+            Some((v, o)) => LocalIncumbent { values: Some(v), obj: o, accepted: 0 },
+            None => LocalIncumbent { values: None, obj: f64::INFINITY, accepted: 0 },
         }
     }
 }
@@ -575,10 +770,14 @@ impl Incumbent for LocalIncumbent {
     fn best_obj(&self) -> f64 {
         self.obj
     }
-    fn offer(&mut self, values: &[f64], obj: f64) {
+    fn offer(&mut self, values: &[f64], obj: f64) -> bool {
         if obj < self.obj {
             self.obj = obj;
             self.values = Some(values.to_vec());
+            self.accepted += 1;
+            true
+        } else {
+            false
         }
     }
 }
@@ -596,7 +795,10 @@ fn run_dfs(
     let mut stack = vec![OpenNode::root()];
     let mut best_open_bound = f64::INFINITY;
     while let Some(node) = stack.pop() {
-        if worker.time_up() || node_limit_hit(options, worker.nodes) {
+        if options.cancelled() {
+            worker.interrupted = true;
+        }
+        if worker.interrupted || worker.time_up() || node_limit_hit(options, worker.nodes) {
             worker.hit_limit = true;
             best_open_bound = best_open_bound.min(node.bound);
             for n in &stack {
@@ -605,9 +807,11 @@ fn run_dfs(
             break;
         }
         if gap_closed(options, incumbent.best_obj(), node.bound) {
+            worker.note_pruned(node.bound);
             continue;
         }
         worker.enter_node(&node, root_bounds);
+        worker.dual_bound = stack.iter().fold(f64::INFINITY, |m, n| m.min(n.bound));
         let (children, bound) = worker.eval_node(&node, incumbent)?;
         if worker.hit_limit {
             best_open_bound = best_open_bound.min(bound);
@@ -640,15 +844,20 @@ fn run_best_bound(
     heap.push(HeapNode(OpenNode::root()));
     let mut best_open_bound = f64::INFINITY;
     while let Some(HeapNode(node)) = heap.pop() {
-        if worker.time_up() || node_limit_hit(options, worker.nodes) {
+        if options.cancelled() {
+            worker.interrupted = true;
+        }
+        if worker.interrupted || worker.time_up() || node_limit_hit(options, worker.nodes) {
             worker.hit_limit = true;
             best_open_bound = node.bound;
             break;
         }
         if gap_closed(options, incumbent.best_obj(), node.bound) {
+            worker.note_pruned(node.bound);
             continue;
         }
         worker.enter_node(&node, root_bounds);
+        worker.dual_bound = heap.peek().map_or(f64::INFINITY, |h| h.0.bound);
         let (children, bound) = worker.eval_node(&node, incumbent)?;
         if worker.hit_limit {
             best_open_bound = bound;

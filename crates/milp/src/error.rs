@@ -48,6 +48,12 @@ pub enum MilpError {
     },
     /// Internal numerical failure (singular basis that could not be repaired).
     SingularBasis,
+    /// A [`CancelToken`](crate::CancelToken) fired inside a simplex loop.
+    /// Used as an internal control-flow signal: branch and bound catches it
+    /// and reports [`SolveStatus::Interrupted`](crate::SolveStatus) instead,
+    /// so callers of [`Model::solve_with`](crate::Model::solve_with) never
+    /// observe this variant.
+    Interrupted,
 }
 
 impl fmt::Display for MilpError {
@@ -68,6 +74,7 @@ impl fmt::Display for MilpError {
                 write!(f, "warm start has {got} values but the model has {expected} variables")
             }
             MilpError::SingularBasis => write!(f, "singular basis could not be repaired"),
+            MilpError::Interrupted => write!(f, "solve cancelled via CancelToken"),
         }
     }
 }

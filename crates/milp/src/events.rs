@@ -1,0 +1,333 @@
+//! Solver observability and control: the structured event stream and the
+//! cooperative cancellation token.
+//!
+//! # Event stream
+//!
+//! An [`Observer`] registered through
+//! [`SolverOptions::observer`](crate::SolverOptions::observer) receives a
+//! [`SolverEvent`] at every significant point of a solve: presolve
+//! reductions, the root relaxation, node exploration/pruning, incumbent
+//! improvements, basis refactorizations, per-worker statistics and the
+//! final termination. Events carry **no wall-clock timestamps** so that a
+//! serial (`threads = 1`) solve emits a bit-for-bit deterministic sequence;
+//! time attribution lives in [`SolveStats`](crate::SolveStats) instead.
+//!
+//! Under `threads ≥ 2` every worker emits through the same observer
+//! concurrently, so the observer must be `Send + Sync` and the interleaving
+//! of node-level events is nondeterministic (the *set* of presolve/
+//! termination events is not).
+//!
+//! Any `Fn(&SolverEvent) + Send + Sync` closure is an observer via the
+//! blanket implementation:
+//!
+//! ```
+//! use ndp_milp::{LinExpr, Model, Objective, SolverEvent, SolverOptions};
+//! use std::sync::Arc;
+//!
+//! let mut m = Model::new("traced");
+//! let x = m.binary("x");
+//! m.set_objective(Objective::Maximize, LinExpr::from(x));
+//! let opts = SolverOptions::default()
+//!     .observer(Arc::new(|e: &SolverEvent| eprintln!("{e}")));
+//! let sol = m.solve_with(&opts)?;
+//! # Ok::<(), ndp_milp::MilpError>(())
+//! ```
+//!
+//! # Cancellation
+//!
+//! A [`CancelToken`] registered through
+//! [`SolverOptions::cancel_token`](crate::SolverOptions::cancel_token) is
+//! checked cooperatively at every node boundary and every 128 simplex
+//! iterations, in both the serial and the work-stealing parallel search.
+//! Cancelled solves stop promptly and return the best incumbent found so
+//! far with [`SolveStatus::Interrupted`](crate::SolveStatus::Interrupted).
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::solution::SolveStatus;
+
+/// Why a solve stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TerminationReason {
+    /// The optimality gap was closed (tree exhausted or gap tolerance met).
+    GapClosed,
+    /// The model was proven infeasible.
+    ProvenInfeasible,
+    /// The model was detected unbounded.
+    ProvenUnbounded,
+    /// The wall-clock limit (`SolverOptions::time_limit`) was hit.
+    TimeLimit,
+    /// The node limit (`SolverOptions::node_limit`) was hit.
+    NodeLimit,
+    /// A [`CancelToken`] was triggered.
+    Cancelled,
+    /// A node could not be solved (iteration limit or irreparable basis);
+    /// the search stopped conservatively with the incumbent it had.
+    Numerics,
+}
+
+impl fmt::Display for TerminationReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TerminationReason::GapClosed => "gap closed",
+            TerminationReason::ProvenInfeasible => "proven infeasible",
+            TerminationReason::ProvenUnbounded => "proven unbounded",
+            TerminationReason::TimeLimit => "time limit",
+            TerminationReason::NodeLimit => "node limit",
+            TerminationReason::Cancelled => "cancelled",
+            TerminationReason::Numerics => "numerical stop",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One entry of the solver's structured event stream.
+///
+/// Objective values and bounds are reported in the **user** scale (the
+/// scale of [`Solution::objective_value`](crate::Solution::objective_value)),
+/// already corrected for maximization and constant offsets. Events carry no
+/// timestamps; see the module docs for the determinism contract.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverEvent {
+    /// Presolve finished its reductions (emitted even when nothing shrank).
+    Presolve {
+        /// Variables eliminated by fixing/substitution.
+        eliminated_vars: usize,
+        /// Constraint rows removed as redundant.
+        eliminated_rows: usize,
+    },
+    /// The root LP relaxation was solved.
+    RootRelaxation {
+        /// LP bound at the root (user scale).
+        bound: f64,
+    },
+    /// A branch-and-bound node was evaluated.
+    NodeExplored {
+        /// Node ordinal within the emitting worker (1-based; global node
+        /// ids are not stable under work stealing).
+        node: u64,
+        /// The node's LP bound (user scale).
+        bound: f64,
+        /// Depth = number of branching bound changes from the root.
+        depth: usize,
+    },
+    /// An open node was discarded because its parent bound could no longer
+    /// improve on the incumbent.
+    NodePruned {
+        /// The pruned node's inherited bound (user scale).
+        bound: f64,
+    },
+    /// A new best integral solution was accepted.
+    Incumbent {
+        /// Objective of the new incumbent (user scale).
+        objective: f64,
+        /// Tightest bound known at emission time: the emitting node's LP
+        /// bound (under best-bound order this is the global bound), or the
+        /// warm-start marker `±inf` before the search starts.
+        bound: f64,
+        /// Relative gap `|objective − bound| / max(1, |objective|)`.
+        gap: f64,
+    },
+    /// The simplex rebuilt its basis factorization from scratch.
+    Refactorized {
+        /// Lifetime refactorization count of the emitting simplex instance.
+        count: u64,
+    },
+    /// A heuristic/pipeline phase boundary (used by higher layers such as
+    /// the `ndp-core` 3-phase heuristic; never emitted by branch and bound).
+    Phase {
+        /// Phase name, e.g. `"phase1"`.
+        name: &'static str,
+    },
+    /// A worker thread finished: its share of the search.
+    ThreadStats {
+        /// Worker index (0-based; a serial solve has exactly worker 0).
+        worker: usize,
+        /// Nodes this worker evaluated.
+        nodes: u64,
+        /// Nodes this worker obtained from another worker's deque.
+        steals: u64,
+    },
+    /// The solve finished; always the final event of a successful solve.
+    Terminated {
+        /// The reported [`SolveStatus`].
+        status: SolveStatus,
+        /// Why the solve stopped.
+        reason: TerminationReason,
+    },
+}
+
+impl fmt::Display for SolverEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverEvent::Presolve { eliminated_vars, eliminated_rows } => {
+                write!(f, "presolve: -{eliminated_vars} vars, -{eliminated_rows} rows")
+            }
+            SolverEvent::RootRelaxation { bound } => write!(f, "root relaxation: bound {bound:.6}"),
+            SolverEvent::NodeExplored { node, bound, depth } => {
+                write!(f, "node {node}: bound {bound:.6} depth {depth}")
+            }
+            SolverEvent::NodePruned { bound } => write!(f, "pruned: bound {bound:.6}"),
+            SolverEvent::Incumbent { objective, bound, gap } => {
+                write!(f, "incumbent: obj {objective:.6} bound {bound:.6} gap {:.3}%", gap * 100.0)
+            }
+            SolverEvent::Refactorized { count } => write!(f, "refactorized (#{count})"),
+            SolverEvent::Phase { name } => write!(f, "phase: {name}"),
+            SolverEvent::ThreadStats { worker, nodes, steals } => {
+                write!(f, "worker {worker}: {nodes} nodes, {steals} steals")
+            }
+            SolverEvent::Terminated { status, reason } => {
+                write!(f, "terminated: {status:?} ({reason})")
+            }
+        }
+    }
+}
+
+/// Receiver of the solver's event stream.
+///
+/// Implementations must be cheap and non-blocking: events are emitted from
+/// the hot search loop. Every `Fn(&SolverEvent) + Send + Sync` closure
+/// implements this trait.
+pub trait Observer: Send + Sync {
+    /// Called once per emitted event, in emission order per worker.
+    fn event(&self, event: &SolverEvent);
+}
+
+impl<F: Fn(&SolverEvent) + Send + Sync> Observer for F {
+    fn event(&self, event: &SolverEvent) {
+        self(event)
+    }
+}
+
+/// A shareable, cloneable handle to an optional [`Observer`].
+///
+/// This is what [`SolverOptions`](crate::SolverOptions) actually stores: it
+/// keeps `SolverOptions` cheap to clone and lets an unset observer cost a
+/// single branch per emission.
+#[derive(Clone, Default)]
+pub struct ObserverHandle(Option<Arc<dyn Observer>>);
+
+impl ObserverHandle {
+    /// A handle that drops every event (the default).
+    pub fn none() -> Self {
+        ObserverHandle(None)
+    }
+
+    /// Wraps an observer.
+    pub fn new(observer: Arc<dyn Observer>) -> Self {
+        ObserverHandle(Some(observer))
+    }
+
+    /// Whether an observer is registered.
+    pub fn is_set(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Emits the event built by `f` if an observer is registered. The
+    /// closure keeps event construction off the fast path when unobserved.
+    #[inline]
+    pub fn emit(&self, f: impl FnOnce() -> SolverEvent) {
+        if let Some(obs) = &self.0 {
+            obs.event(&f());
+        }
+    }
+}
+
+impl fmt::Debug for ObserverHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.0 {
+            Some(_) => f.write_str("ObserverHandle(set)"),
+            None => f.write_str("ObserverHandle(none)"),
+        }
+    }
+}
+
+impl PartialEq for ObserverHandle {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.0, &other.0) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            (None, None) => true,
+            _ => false,
+        }
+    }
+}
+
+/// Cooperative cancellation for a running solve.
+///
+/// Clone the token, hand one clone to
+/// [`SolverOptions::cancel_token`](crate::SolverOptions::cancel_token) and
+/// call [`CancelToken::cancel`] from any thread; the solver notices at the
+/// next node boundary or within 128 simplex iterations and returns the best
+/// incumbent with [`SolveStatus::Interrupted`](crate::SolveStatus).
+/// Cancellation is level-triggered and permanent: a cancelled token stays
+/// cancelled, and a solve started with an already-cancelled token stops at
+/// its first check.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken(Arc::new(AtomicBool::new(false)))
+    }
+
+    /// Requests cancellation. Safe to call from any thread, any number of
+    /// times.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn cancel_token_is_shared_by_clones() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!u.is_cancelled());
+        t.cancel();
+        assert!(u.is_cancelled());
+        assert_eq!(t, u);
+        assert_ne!(t, CancelToken::new());
+    }
+
+    #[test]
+    fn observer_handle_emits_only_when_set() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let handle = ObserverHandle::new(Arc::new(move |e: &SolverEvent| {
+            sink.lock().unwrap().push(e.clone());
+        }));
+        assert!(handle.is_set());
+        handle.emit(|| SolverEvent::Phase { name: "p" });
+        ObserverHandle::none().emit(|| panic!("must not build events when unset"));
+        assert_eq!(*seen.lock().unwrap(), vec![SolverEvent::Phase { name: "p" }]);
+    }
+
+    #[test]
+    fn events_render_compactly() {
+        let e = SolverEvent::Incumbent { objective: 2.0, bound: 1.0, gap: 0.5 };
+        assert_eq!(e.to_string(), "incumbent: obj 2.000000 bound 1.000000 gap 50.000%");
+        let t = SolverEvent::Terminated {
+            status: SolveStatus::Interrupted,
+            reason: TerminationReason::Cancelled,
+        };
+        assert_eq!(t.to_string(), "terminated: Interrupted (cancelled)");
+    }
+}

@@ -45,6 +45,7 @@
 
 mod branch;
 mod error;
+mod events;
 mod expr;
 mod lu;
 mod model;
@@ -57,11 +58,12 @@ mod solution;
 mod standard;
 
 pub use error::{MilpError, Result};
+pub use events::{CancelToken, Observer, ObserverHandle, SolverEvent, TerminationReason};
 pub use expr::LinExpr;
 pub use model::{ConstraintId, ConstraintSense, Model, Objective, VarId, VarKind};
 pub use mps::{parse_mps, write_mps};
 pub use options::{BasisKernel, BranchRule, NodeOrder, SolverOptions};
-pub use solution::{Solution, SolveStatus};
+pub use solution::{Solution, SolveStats, SolveStatus};
 
 #[cfg(test)]
 mod tests {

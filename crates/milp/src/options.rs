@@ -1,5 +1,8 @@
 //! Solver configuration.
 
+use crate::events::{CancelToken, Observer, ObserverHandle};
+use std::sync::Arc;
+
 /// Rule used to pick the fractional integer variable to branch on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum BranchRule {
@@ -45,6 +48,19 @@ pub enum NodeOrder {
 
 /// Tunable limits and tolerances for [`Model::solve_with`].
 ///
+/// Configure with the consuming builder methods, all of which follow the
+/// same `options.field(value)` pattern:
+///
+/// ```
+/// use ndp_milp::{BranchRule, SolverOptions};
+///
+/// let opts = SolverOptions::default()
+///     .time_limit(5.0)
+///     .node_limit(10_000)
+///     .branch_rule(BranchRule::PseudoCost)
+///     .threads(4);
+/// ```
+///
 /// [`Model::solve_with`]: crate::Model::solve_with
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolverOptions {
@@ -86,6 +102,13 @@ pub struct SolverOptions {
     /// and reproduces its node ordering bit-for-bit; `≥ 2` explores the tree
     /// with a work-stealing node pool (same optima, different node order).
     pub threads: usize,
+    /// Receiver of the structured event stream ([`crate::SolverEvent`]);
+    /// unset by default. See [`SolverOptions::observer`].
+    pub observer: ObserverHandle,
+    /// Cooperative cancellation token checked at node boundaries and inside
+    /// long simplex loops; unset by default. See
+    /// [`SolverOptions::cancel_token`].
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for SolverOptions {
@@ -107,14 +130,27 @@ impl Default for SolverOptions {
             eta_limit: 64,
             presolve: true,
             threads: 0,
+            observer: ObserverHandle::none(),
+            cancel: None,
         }
     }
 }
 
 impl SolverOptions {
     /// Options with a wall-clock limit, leaving everything else default.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the consuming builder: `SolverOptions::default().time_limit(seconds)`"
+    )]
     pub fn with_time_limit(seconds: f64) -> Self {
-        SolverOptions { time_limit: seconds, ..SolverOptions::default() }
+        SolverOptions::default().time_limit(seconds)
+    }
+
+    /// Sets the wall-clock limit in seconds, builder-style
+    /// (`f64::INFINITY` = unlimited).
+    pub fn time_limit(mut self, seconds: f64) -> Self {
+        self.time_limit = seconds;
+        self
     }
 
     /// Sets the node limit, builder-style.
@@ -139,6 +175,54 @@ impl SolverOptions {
     pub fn relative_gap(mut self, gap: f64) -> Self {
         self.relative_gap = gap;
         self
+    }
+
+    /// Sets the absolute MIP gap, builder-style.
+    pub fn absolute_gap(mut self, gap: f64) -> Self {
+        self.absolute_gap = gap;
+        self
+    }
+
+    /// Enables or disables presolve, builder-style.
+    pub fn presolve(mut self, on: bool) -> Self {
+        self.presolve = on;
+        self
+    }
+
+    /// Enables or disables the LP-rounding incumbent heuristic,
+    /// builder-style.
+    pub fn rounding_heuristic(mut self, on: bool) -> Self {
+        self.rounding_heuristic = on;
+        self
+    }
+
+    /// Sets the per-LP simplex iteration limit, builder-style.
+    pub fn simplex_iteration_limit(mut self, limit: usize) -> Self {
+        self.simplex_iteration_limit = limit;
+        self
+    }
+
+    /// Registers an [`Observer`] to receive the structured event stream
+    /// ([`crate::SolverEvent`]), builder-style. Any
+    /// `Fn(&SolverEvent) + Send + Sync` closure qualifies.
+    pub fn observer(mut self, observer: Arc<dyn Observer>) -> Self {
+        self.observer = ObserverHandle::new(observer);
+        self
+    }
+
+    /// Registers a [`CancelToken`], builder-style. Keep a clone and call
+    /// [`CancelToken::cancel`] from any thread to interrupt the solve; the
+    /// solver returns its best incumbent with
+    /// [`SolveStatus::Interrupted`](crate::SolveStatus::Interrupted).
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Whether cancellation has been requested through the registered token.
+    #[inline]
+    pub(crate) fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|t| t.is_cancelled())
     }
 
     /// Sets the worker-thread count, builder-style (`0` = auto, `1` =
@@ -177,7 +261,8 @@ mod tests {
 
     #[test]
     fn builder_methods_chain() {
-        let o = SolverOptions::with_time_limit(5.0)
+        let o = SolverOptions::default()
+            .time_limit(5.0)
             .node_limit(100)
             .branch_rule(BranchRule::PseudoCost)
             .node_order(NodeOrder::BestBound)
@@ -193,6 +278,27 @@ mod tests {
         assert_eq!(o.threads, 3);
         assert_eq!(o.basis_kernel, BasisKernel::Dense);
         assert_eq!(o.eta_limit, 32);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_still_works() {
+        let old = SolverOptions::with_time_limit(7.5);
+        let new = SolverOptions::default().time_limit(7.5);
+        assert_eq!(old, new);
+    }
+
+    #[test]
+    fn observer_and_cancel_default_unset() {
+        let o = SolverOptions::default();
+        assert!(!o.observer.is_set());
+        assert!(o.cancel.is_none());
+        assert!(!o.cancelled());
+        let tok = crate::CancelToken::new();
+        let o = o.cancel_token(tok.clone());
+        assert!(!o.cancelled());
+        tok.cancel();
+        assert!(o.cancelled());
     }
 
     #[test]

@@ -22,6 +22,7 @@
 
 use crate::branch::{gap_closed, HeapNode, Incumbent, NodeWorker, OpenNode, SearchOutcome};
 use crate::error::{MilpError, Result};
+use crate::events::SolverEvent;
 use crate::model::Model;
 use crate::options::{NodeOrder, SolverOptions};
 use crate::standard::StandardForm;
@@ -36,35 +37,46 @@ use std::time::Instant;
 struct SharedIncumbent {
     best_bits: AtomicU64,
     point: Mutex<Option<(Vec<f64>, f64)>>,
+    /// Offers accepted across all workers (warm starts not counted).
+    accepted: AtomicU64,
 }
 
 impl SharedIncumbent {
     fn new(warm: Option<(Vec<f64>, f64)>) -> Self {
         let obj = warm.as_ref().map_or(f64::INFINITY, |&(_, o)| o);
-        SharedIncumbent { best_bits: AtomicU64::new(obj.to_bits()), point: Mutex::new(warm) }
+        SharedIncumbent {
+            best_bits: AtomicU64::new(obj.to_bits()),
+            point: Mutex::new(warm),
+            accepted: AtomicU64::new(0),
+        }
     }
 
     fn best_obj(&self) -> f64 {
         f64::from_bits(self.best_bits.load(Ordering::Acquire))
     }
 
-    fn offer(&self, values: &[f64], obj: f64) {
+    fn offer(&self, values: &[f64], obj: f64) -> bool {
         // Cheap reject without the lock; re-checked under it.
         if obj >= self.best_obj() {
-            return;
+            return false;
         }
         let mut point = self.point.lock();
         let current = point.as_ref().map_or(f64::INFINITY, |&(_, o)| o);
         if obj < current {
             *point = Some((values.to_vec(), obj));
             self.best_bits.store(obj.to_bits(), Ordering::Release);
+            self.accepted.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
         }
     }
 
-    fn into_parts(self) -> (Option<Vec<f64>>, f64) {
+    fn into_parts(self) -> (Option<Vec<f64>>, f64, u64) {
+        let accepted = self.accepted.load(Ordering::Relaxed);
         match self.point.into_inner() {
-            Some((v, o)) => (Some(v), o),
-            None => (None, f64::INFINITY),
+            Some((v, o)) => (Some(v), o, accepted),
+            None => (None, f64::INFINITY, accepted),
         }
     }
 }
@@ -77,8 +89,8 @@ impl Incumbent for SharedHandle<'_> {
     fn best_obj(&self) -> f64 {
         self.0.best_obj()
     }
-    fn offer(&mut self, values: &[f64], obj: f64) {
-        self.0.offer(values, obj);
+    fn offer(&mut self, values: &[f64], obj: f64) -> bool {
+        self.0.offer(values, obj)
     }
 }
 
@@ -91,15 +103,17 @@ enum Pool {
 }
 
 impl Pool {
-    /// Pops a node for worker `id` (owning `local` in deque mode).
-    fn pop(&self, id: usize, local: Option<&Deque<OpenNode>>) -> Option<OpenNode> {
+    /// Pops a node for worker `id` (owning `local` in deque mode). The flag
+    /// is `true` when the node was stolen from *another worker's* deque —
+    /// injector pops, own-deque pops and heap pops don't count as steals.
+    fn pop(&self, id: usize, local: Option<&Deque<OpenNode>>) -> Option<(OpenNode, bool)> {
         match self {
             Pool::Deques { injector, stealers } => {
                 if let Some(n) = local.and_then(|d| d.pop()) {
-                    return Some(n);
+                    return Some((n, false));
                 }
                 if let Some(n) = injector.steal().success() {
-                    return Some(n);
+                    return Some((n, false));
                 }
                 // Round-robin steal starting after our own slot so workers
                 // don't all hammer the same victim.
@@ -110,12 +124,12 @@ impl Pool {
                         continue;
                     }
                     if let Some(n) = stealers[victim].steal().success() {
-                        return Some(n);
+                        return Some((n, true));
                     }
                 }
                 None
             }
-            Pool::Heap(heap) => heap.lock().pop().map(|HeapNode(n)| n),
+            Pool::Heap(heap) => heap.lock().pop().map(|HeapNode(n)| (n, false)),
         }
     }
 
@@ -139,10 +153,16 @@ struct Control {
     stop: AtomicBool,
     /// Whether the stop was a limit (vs. natural exhaustion).
     hit_limit: AtomicBool,
+    /// Whether any worker observed the cancel token.
+    interrupted: AtomicBool,
     /// Total nodes expanded, for the node limit.
     nodes: AtomicU64,
     /// Minimum LP bound among abandoned open nodes (valid on early stop).
     open_bound_min: Mutex<f64>,
+    /// Root LP bound (`f64` bits; `INFINITY` until the root is evaluated).
+    /// A conservative global dual bound for incumbent-event gaps — exact
+    /// open-node tracking would serialize the pool for a telemetry nicety.
+    root_bound: AtomicU64,
     /// First worker error, propagated after join.
     error: Mutex<Option<MilpError>>,
 }
@@ -179,8 +199,10 @@ pub(crate) fn search(
         in_flight: AtomicUsize::new(1), // the root
         stop: AtomicBool::new(false),
         hit_limit: AtomicBool::new(false),
+        interrupted: AtomicBool::new(false),
         nodes: AtomicU64::new(0),
         open_bound_min: Mutex::new(f64::INFINITY),
+        root_bound: AtomicU64::new(f64::INFINITY.to_bits()),
         error: Mutex::new(None),
     };
 
@@ -203,8 +225,8 @@ pub(crate) fn search(
         }
     };
 
-    // (nodes evaluated, simplex iterations) per worker, in worker order.
-    let mut per_worker: Vec<(u64, u64)> = vec![(0, 0); threads];
+    // Per-worker counters and timings, in worker order.
+    let mut per_worker: Vec<WorkerStats> = vec![WorkerStats::default(); threads];
 
     let spawn_result = crossbeam::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
@@ -255,24 +277,43 @@ pub(crate) fn search(
     }
 
     let hit_limit = control.hit_limit.load(Ordering::Acquire);
-    let (incumbent, incumbent_obj) = incumbent.into_parts();
+    let interrupted = control.interrupted.load(Ordering::Acquire);
+    let (incumbent, incumbent_obj, incumbents) = incumbent.into_parts();
     let open_min = *control.open_bound_min.lock();
     let best_bound_internal = if hit_limit { open_min.min(incumbent_obj) } else { incumbent_obj };
 
-    let nodes_per_thread: Vec<u64> = per_worker.iter().map(|&(n, _)| n).collect();
+    let nodes_per_thread: Vec<u64> = per_worker.iter().map(|w| w.nodes).collect();
     Ok(SearchOutcome {
         incumbent,
         incumbent_obj,
         best_bound_internal,
         nodes: nodes_per_thread.iter().sum(),
         nodes_per_thread,
-        simplex_iterations: per_worker.iter().map(|&(_, it)| it).sum(),
+        simplex_iterations: per_worker.iter().map(|w| w.iterations).sum(),
         hit_limit,
+        interrupted,
+        pruned: per_worker.iter().map(|w| w.pruned).sum(),
+        incumbents,
+        steals: per_worker.iter().map(|w| w.steals).sum(),
+        simplex_seconds: per_worker.iter().map(|w| w.simplex_seconds).sum(),
+        factor_seconds: per_worker.iter().map(|w| w.factor_seconds).sum(),
+        refactorizations: per_worker.iter().map(|w| w.refactorizations).sum(),
     })
 }
 
+/// Counters one worker brings home from its [`worker_loop`].
+#[derive(Debug, Clone, Copy, Default)]
+struct WorkerStats {
+    nodes: u64,
+    iterations: u64,
+    pruned: u64,
+    steals: u64,
+    simplex_seconds: f64,
+    factor_seconds: f64,
+    refactorizations: u64,
+}
+
 /// One worker: pops nodes until the tree is exhausted or a stop is raised.
-/// Returns `(nodes evaluated, simplex iterations)`.
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
     id: usize,
@@ -286,10 +327,11 @@ fn worker_loop(
     control: &Control,
     incumbent: &SharedIncumbent,
     local: Option<Deque<OpenNode>>,
-) -> (u64, u64) {
+) -> WorkerStats {
     let mut worker = NodeWorker::new(model, sf, options, int_cols, root_bounds, start);
     let mut handle = SharedHandle(incumbent);
     let local = local.as_ref();
+    let mut steals: u64 = 0;
 
     loop {
         if control.stop.load(Ordering::Acquire) {
@@ -302,7 +344,7 @@ fn worker_loop(
             }
             break;
         }
-        let node = match pool.pop(id, local) {
+        let (node, stolen) = match pool.pop(id, local) {
             Some(n) => n,
             None => {
                 if control.in_flight.load(Ordering::Acquire) == 0 {
@@ -312,8 +354,15 @@ fn worker_loop(
                 continue;
             }
         };
+        if stolen {
+            steals += 1;
+        }
 
-        if worker.time_up() || control.node_limit_hit(options) {
+        if options.cancelled() {
+            worker.interrupted = true;
+            control.interrupted.store(true, Ordering::Release);
+        }
+        if worker.interrupted || worker.time_up() || control.node_limit_hit(options) {
             control.hit_limit.store(true, Ordering::Release);
             control.stop.store(true, Ordering::Release);
             control.fold_open_bound(node.bound);
@@ -321,16 +370,24 @@ fn worker_loop(
             continue;
         }
         if gap_closed(options, incumbent.best_obj(), node.bound) {
+            worker.note_pruned(node.bound);
             control.in_flight.fetch_sub(1, Ordering::AcqRel);
             continue;
         }
 
         worker.enter_node(&node, root_bounds);
+        worker.dual_bound = f64::from_bits(control.root_bound.load(Ordering::Relaxed));
         control.nodes.fetch_add(1, Ordering::Relaxed);
         match worker.eval_node(&node, &mut handle) {
             Ok((children, bound)) => {
+                if node.deltas.is_empty() {
+                    control.root_bound.store(bound.to_bits(), Ordering::Relaxed);
+                }
                 if worker.hit_limit {
-                    // Deadline or numerics inside the node.
+                    // Deadline, cancel or numerics inside the node.
+                    if worker.interrupted {
+                        control.interrupted.store(true, Ordering::Release);
+                    }
                     control.hit_limit.store(true, Ordering::Release);
                     control.stop.store(true, Ordering::Release);
                     control.fold_open_bound(bound);
@@ -357,5 +414,15 @@ fn worker_loop(
         }
     }
 
-    (worker.nodes, worker.lp.iterations)
+    let nodes = worker.nodes;
+    options.observer.emit(|| SolverEvent::ThreadStats { worker: id, nodes, steals });
+    WorkerStats {
+        nodes,
+        iterations: worker.lp.iterations,
+        pruned: worker.pruned,
+        steals,
+        simplex_seconds: worker.lp.simplex_seconds,
+        factor_seconds: worker.lp.factor_seconds,
+        refactorizations: worker.lp.refactorizations,
+    }
 }

@@ -34,6 +34,7 @@
 //! termination.
 
 use crate::error::{MilpError, Result};
+use crate::events::{CancelToken, ObserverHandle, SolverEvent};
 use crate::lu::{EtaFile, LuFactors};
 use crate::options::{BasisKernel, SolverOptions};
 use crate::standard::{ColumnRef, StandardForm};
@@ -326,6 +327,18 @@ pub(crate) struct Simplex<'a> {
     pub iterations: u64,
     /// Wall-clock deadline checked periodically inside [`Simplex::optimize`].
     pub deadline: Option<Instant>,
+    /// Cancellation token checked alongside the deadline.
+    cancel: Option<CancelToken>,
+    /// Event sink for [`SolverEvent::Refactorized`].
+    observer: ObserverHandle,
+    /// Seconds spent inside [`Simplex::optimize`], refactorizations
+    /// excluded.
+    pub simplex_seconds: f64,
+    /// Seconds spent in [`Simplex::refactorize`] (LU factorization or dense
+    /// inversion).
+    pub factor_seconds: f64,
+    /// Lifetime basis refactorizations.
+    pub refactorizations: u64,
     /// Perturbed structural costs used internally to break dual degeneracy
     /// (length `n`); slacks stay at zero cost.
     c_pert: Vec<f64>,
@@ -396,6 +409,11 @@ impl<'a> Simplex<'a> {
             iteration_limit: options.simplex_iteration_limit,
             iterations: 0,
             deadline: None,
+            cancel: options.cancel.clone(),
+            observer: options.observer.clone(),
+            simplex_seconds: 0.0,
+            factor_seconds: 0.0,
+            refactorizations: 0,
             c_pert,
             bound_margin,
             scratch_rho: vec![0.0; m],
@@ -461,7 +479,13 @@ impl<'a> Simplex<'a> {
     /// Returns [`MilpError::SingularBasis`] if the basis cannot be factored;
     /// the caller may fall back to [`Simplex::reset_to_slack_basis`].
     fn refactorize(&mut self) -> Result<()> {
-        self.kernel.refactorize(self.sf, &self.basis)?;
+        let t0 = Instant::now();
+        let r = self.kernel.refactorize(self.sf, &self.basis);
+        self.factor_seconds += t0.elapsed().as_secs_f64();
+        r?;
+        self.refactorizations += 1;
+        let count = self.refactorizations;
+        self.observer.emit(|| SolverEvent::Refactorized { count });
         self.pivots_since_refactor = 0;
         self.recompute_reduced_costs();
         self.recompute_xb();
@@ -595,7 +619,19 @@ impl<'a> Simplex<'a> {
     ///
     /// * [`MilpError::IterationLimit`] if the per-LP pivot limit is hit.
     /// * [`MilpError::SingularBasis`] if refactorization fails repeatedly.
+    /// * [`MilpError::Interrupted`] if the registered [`CancelToken`] fired.
     pub fn optimize(&mut self) -> Result<LpStatus> {
+        let t0 = Instant::now();
+        let factor_before = self.factor_seconds;
+        let r = self.optimize_inner();
+        // Attribute the loop's wall time minus any refactorizations it
+        // triggered, so simplex and factorization buckets stay disjoint.
+        let factor_delta = self.factor_seconds - factor_before;
+        self.simplex_seconds += (t0.elapsed().as_secs_f64() - factor_delta).max(0.0);
+        r
+    }
+
+    fn optimize_inner(&mut self) -> Result<LpStatus> {
         let mut degenerate_run: u32 = 0;
         let mut local_iters: usize = 0;
         // After this many pivots without finishing, switch to Bland's rule
@@ -610,6 +646,9 @@ impl<'a> Simplex<'a> {
                 return Err(MilpError::IterationLimit { limit: self.iteration_limit });
             }
             if local_iters.is_multiple_of(128) {
+                if self.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                    return Err(MilpError::Interrupted);
+                }
                 if let Some(deadline) = self.deadline {
                     if Instant::now() >= deadline {
                         return Err(MilpError::IterationLimit { limit: local_iters });

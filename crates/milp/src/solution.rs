@@ -15,12 +15,65 @@ pub enum SolveStatus {
     Feasible,
     /// Stopped at a limit without any incumbent.
     Unknown,
+    /// Cancelled through a [`CancelToken`](crate::CancelToken). The best
+    /// incumbent found before the cancel, if any, is available; check
+    /// [`Solution::has_incumbent`].
+    Interrupted,
 }
 
 impl SolveStatus {
-    /// Whether a usable assignment is available.
+    /// Whether a usable assignment is guaranteed by the status alone.
+    ///
+    /// [`SolveStatus::Interrupted`] returns `false` here because a cancelled
+    /// solve may or may not have found an incumbent yet; use
+    /// [`Solution::has_incumbent`] for the per-solve answer.
     pub fn has_solution(self) -> bool {
         matches!(self, SolveStatus::Optimal | SolveStatus::Feasible)
+    }
+}
+
+/// Per-phase time attribution and work counters of one solve, returned with
+/// every [`Solution`] (see [`Solution::stats`]).
+///
+/// The three measured phases are disjoint per worker thread, so for a
+/// serial solve `presolve_seconds + simplex_seconds + factor_seconds ≤
+/// total_seconds` and the remainder ([`SolveStats::other_seconds`]) is
+/// model building, node bookkeeping and FTRAN/BTRAN refreshes outside the
+/// simplex loop. Under `threads ≥ 2` the per-phase times are CPU-seconds
+/// summed across workers and may exceed the wall clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SolveStats {
+    /// Wall-clock seconds of the whole solve.
+    pub total_seconds: f64,
+    /// Seconds spent in presolve reductions.
+    pub presolve_seconds: f64,
+    /// Seconds spent inside the dual simplex loop, excluding
+    /// refactorizations.
+    pub simplex_seconds: f64,
+    /// Seconds spent (re)factorizing the basis (sparse LU or dense
+    /// inversion).
+    pub factor_seconds: f64,
+    /// Branch-and-bound nodes evaluated.
+    pub nodes: u64,
+    /// Open nodes discarded by the incumbent bound without an LP solve.
+    pub nodes_pruned: u64,
+    /// Total simplex pivots across all LP solves.
+    pub simplex_iterations: u64,
+    /// Basis refactorizations across all workers.
+    pub refactorizations: u64,
+    /// Incumbent improvements accepted (warm starts not counted).
+    pub incumbents: u64,
+    /// Nodes obtained by work stealing (0 for serial solves).
+    pub steals: u64,
+}
+
+impl SolveStats {
+    /// Wall-clock time not attributed to presolve/simplex/factorization:
+    /// `max(0, total − presolve − simplex − factor)`. Only meaningful for
+    /// serial solves (see the struct docs).
+    pub fn other_seconds(&self) -> f64 {
+        (self.total_seconds - self.presolve_seconds - self.simplex_seconds - self.factor_seconds)
+            .max(0.0)
     }
 }
 
@@ -35,6 +88,7 @@ pub struct Solution {
     pub(crate) nodes_per_thread: Vec<u64>,
     pub(crate) simplex_iterations: u64,
     pub(crate) solve_seconds: f64,
+    pub(crate) stats: SolveStats,
 }
 
 impl Solution {
@@ -43,14 +97,23 @@ impl Solution {
         self.status
     }
 
+    /// Whether an incumbent assignment is available. Unlike
+    /// [`SolveStatus::has_solution`] this also covers an
+    /// [`Interrupted`](SolveStatus::Interrupted) solve that found an
+    /// incumbent before it was cancelled.
+    pub fn has_incumbent(&self) -> bool {
+        self.status.has_solution()
+            || (self.status == SolveStatus::Interrupted && !self.values.is_empty())
+    }
+
     /// The objective value of the incumbent.
     ///
     /// # Panics
     ///
-    /// Panics if no solution is available; check
-    /// [`SolveStatus::has_solution`] first.
+    /// Panics if no incumbent is available; check
+    /// [`Solution::has_incumbent`] first.
     pub fn objective_value(&self) -> f64 {
-        assert!(self.status.has_solution(), "no incumbent: status {:?}", self.status);
+        assert!(self.has_incumbent(), "no incumbent: status {:?}", self.status);
         self.objective
     }
 
@@ -58,9 +121,9 @@ impl Solution {
     ///
     /// # Panics
     ///
-    /// Panics if no solution is available or `var` is out of range.
+    /// Panics if no incumbent is available or `var` is out of range.
     pub fn value(&self, var: VarId) -> f64 {
-        assert!(self.status.has_solution(), "no incumbent: status {:?}", self.status);
+        assert!(self.has_incumbent(), "no incumbent: status {:?}", self.status);
         self.values[var.index()]
     }
 
@@ -80,7 +143,7 @@ impl Solution {
     /// Relative gap `|obj − bound| / max(1, |obj|)`; zero when optimal,
     /// infinite when no incumbent exists.
     pub fn gap(&self) -> f64 {
-        if !self.status.has_solution() {
+        if !self.has_incumbent() {
             return f64::INFINITY;
         }
         (self.objective - self.best_bound).abs() / self.objective.abs().max(1.0)
@@ -108,6 +171,11 @@ impl Solution {
         self.solve_seconds
     }
 
+    /// Per-phase time attribution and work counters of this solve.
+    pub fn stats(&self) -> &SolveStats {
+        &self.stats
+    }
+
     /// Rounds `value(var)` to the nearest integer as `i64`; convenient for
     /// binary/integer variables.
     ///
@@ -130,6 +198,40 @@ mod tests {
         assert!(!SolveStatus::Infeasible.has_solution());
         assert!(!SolveStatus::Unbounded.has_solution());
         assert!(!SolveStatus::Unknown.has_solution());
+        assert!(!SolveStatus::Interrupted.has_solution());
+    }
+
+    #[test]
+    fn interrupted_incumbent_is_accessible() {
+        let s = Solution {
+            status: SolveStatus::Interrupted,
+            values: vec![1.0],
+            objective: 3.0,
+            best_bound: 2.0,
+            nodes: 5,
+            nodes_per_thread: vec![5],
+            simplex_iterations: 10,
+            solve_seconds: 0.1,
+            stats: SolveStats::default(),
+        };
+        assert!(s.has_incumbent());
+        assert_eq!(s.objective_value(), 3.0);
+        assert!(s.gap().is_finite());
+        let none = Solution { values: vec![], ..s.clone() };
+        assert!(!none.has_incumbent());
+        assert!(none.gap().is_infinite());
+    }
+
+    #[test]
+    fn stats_other_seconds_is_the_remainder() {
+        let st = SolveStats {
+            total_seconds: 1.0,
+            presolve_seconds: 0.1,
+            simplex_seconds: 0.5,
+            factor_seconds: 0.2,
+            ..SolveStats::default()
+        };
+        assert!((st.other_seconds() - 0.2).abs() < 1e-12);
     }
 
     #[test]
@@ -144,6 +246,7 @@ mod tests {
             nodes_per_thread: vec![],
             simplex_iterations: 0,
             solve_seconds: 0.0,
+            stats: SolveStats::default(),
         };
         let _ = s.objective_value();
     }

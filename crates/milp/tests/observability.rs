@@ -1,0 +1,244 @@
+//! Integration tests of the observer event stream, per-phase solve
+//! statistics and cooperative cancellation.
+
+use ndp_milp::{
+    CancelToken, LinExpr, Model, Objective, SolveStatus, SolverEvent, SolverOptions,
+    TerminationReason,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Collects every emitted event into a shared vector.
+fn recording_observer() -> (Arc<Mutex<Vec<SolverEvent>>>, Arc<dyn ndp_milp::Observer>) {
+    let events = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&events);
+    let obs: Arc<dyn ndp_milp::Observer> =
+        Arc::new(move |e: &SolverEvent| sink.lock().unwrap().push(e.clone()));
+    (events, obs)
+}
+
+/// A strongly correlated knapsack: profits hug the weights, so the LP bound
+/// is tight everywhere and branch and bound must grind through many nodes.
+fn hard_knapsack(items: usize) -> Model {
+    let mut m = Model::new("hard-knapsack");
+    let mut weight = LinExpr::new();
+    let mut value = LinExpr::new();
+    let mut total = 0.0;
+    for i in 0..items {
+        let w = 97.0 + ((i as f64) * 37.0) % 53.0;
+        let x = m.binary(format!("x{i}"));
+        weight.add_term(x, w);
+        value.add_term(x, w + 10.0);
+        total += w;
+    }
+    m.add_le("cap", weight, (total / 2.0).floor());
+    m.set_objective(Objective::Maximize, value);
+    m
+}
+
+/// An easy model that still branches a little.
+fn small_mip() -> Model {
+    let mut m = Model::new("small");
+    let mut obj = LinExpr::new();
+    let mut row = LinExpr::new();
+    for i in 0..8 {
+        let x = m.binary(format!("x{i}"));
+        obj.add_term(x, 1.0 + (i as f64) * 0.37);
+        row.add_term(x, 2.0 + (i as f64) * 0.71);
+    }
+    m.add_le("cap", row, 11.0);
+    m.set_objective(Objective::Maximize, obj);
+    m
+}
+
+#[test]
+fn event_stream_has_the_canonical_order() {
+    let (events, obs) = recording_observer();
+    let opts = SolverOptions::default().threads(1).observer(obs);
+    let sol = small_mip().solve_with(&opts).unwrap();
+    assert_eq!(sol.status(), SolveStatus::Optimal);
+
+    let events = events.lock().unwrap();
+    let pos = |pred: &dyn Fn(&SolverEvent) -> bool| events.iter().position(pred);
+    let presolve = pos(&|e| matches!(e, SolverEvent::Presolve { .. })).expect("presolve event");
+    let root = pos(&|e| matches!(e, SolverEvent::RootRelaxation { .. })).expect("root event");
+    let incumbent = pos(&|e| matches!(e, SolverEvent::Incumbent { .. })).expect("incumbent event");
+    let stats = pos(&|e| matches!(e, SolverEvent::ThreadStats { .. })).expect("thread stats");
+    let term = pos(&|e| matches!(e, SolverEvent::Terminated { .. })).expect("terminated event");
+
+    assert!(presolve < root, "presolve before root");
+    assert!(root < incumbent, "root before the first incumbent");
+    assert!(stats < term, "per-worker stats before termination");
+    assert_eq!(term, events.len() - 1, "terminated is the final event");
+    assert_eq!(
+        events.iter().filter(|e| matches!(e, SolverEvent::Terminated { .. })).count(),
+        1,
+        "exactly one terminated event"
+    );
+    match &events[term] {
+        SolverEvent::Terminated { status, reason } => {
+            assert_eq!(*status, SolveStatus::Optimal);
+            assert_eq!(*reason, TerminationReason::GapClosed);
+        }
+        other => panic!("unexpected final event {other:?}"),
+    }
+}
+
+#[test]
+fn serial_event_stream_is_deterministic() {
+    let run = || {
+        let (events, obs) = recording_observer();
+        let opts = SolverOptions::default().threads(1).observer(obs);
+        small_mip().solve_with(&opts).unwrap();
+        let e = events.lock().unwrap();
+        e.iter().map(|ev| format!("{ev:?}")).collect::<Vec<_>>()
+    };
+    let a = run();
+    let b = run();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "threads = 1 must replay the identical event sequence");
+}
+
+#[test]
+fn incumbent_events_report_shrinking_gap_on_maximization() {
+    let (events, obs) = recording_observer();
+    let opts = SolverOptions::default().threads(1).observer(obs);
+    let sol = small_mip().solve_with(&opts).unwrap();
+    let events = events.lock().unwrap();
+    let incumbents: Vec<(f64, f64)> = events
+        .iter()
+        .filter_map(|e| match e {
+            SolverEvent::Incumbent { objective, gap, .. } => Some((*objective, *gap)),
+            _ => None,
+        })
+        .collect();
+    assert!(!incumbents.is_empty());
+    // Maximization: each accepted incumbent strictly improves the objective,
+    // and the reported global gap never widens (the dual bound only
+    // tightens as subtrees close).
+    for pair in incumbents.windows(2) {
+        assert!(pair[1].0 > pair[0].0, "incumbents must improve: {incumbents:?}");
+        assert!(pair[1].1 <= pair[0].1 + 1e-9, "gap must not widen: {incumbents:?}");
+    }
+    let last = incumbents.last().unwrap();
+    assert!((last.0 - sol.objective_value()).abs() < 1e-9);
+}
+
+#[test]
+fn stats_buckets_are_consistent() {
+    let opts = SolverOptions::default().threads(1);
+    let sol = hard_knapsack(14).solve_with(&opts).unwrap();
+    let st = sol.stats();
+    assert!(st.total_seconds > 0.0);
+    assert!(st.presolve_seconds >= 0.0);
+    assert!(st.simplex_seconds >= 0.0);
+    assert!(st.factor_seconds >= 0.0);
+    assert!(st.other_seconds() >= 0.0);
+    // Serial: the measured phases are disjoint slices of the wall clock.
+    let attributed = st.presolve_seconds + st.simplex_seconds + st.factor_seconds;
+    assert!(
+        attributed <= st.total_seconds * 1.05 + 1e-3,
+        "attributed {attributed} vs total {}",
+        st.total_seconds
+    );
+    assert_eq!(st.nodes, sol.node_count());
+    assert_eq!(st.simplex_iterations, sol.simplex_iterations());
+    assert!(st.incumbents >= 1);
+    assert_eq!(st.steals, 0, "serial solves cannot steal");
+    assert!((st.total_seconds - sol.solve_seconds()).abs() < 1e-9);
+}
+
+/// Cancels the solve from inside the observer after `after` node events,
+/// which guarantees the token fires mid-search.
+fn cancel_after_nodes(token: &CancelToken, after: u64) -> Arc<dyn ndp_milp::Observer> {
+    let seen = AtomicU64::new(0);
+    let token = token.clone();
+    Arc::new(move |e: &SolverEvent| {
+        if matches!(e, SolverEvent::NodeExplored { .. })
+            && seen.fetch_add(1, Ordering::Relaxed) + 1 == after
+        {
+            token.cancel();
+        }
+    })
+}
+
+#[test]
+fn cancellation_mid_solve_serial_returns_best_incumbent() {
+    let token = CancelToken::new();
+    let mut model = hard_knapsack(26);
+    // Feasible warm start (nothing packed) so an incumbent always exists.
+    model.set_warm_start(vec![0.0; 26]).unwrap();
+    let opts = SolverOptions::default()
+        .threads(1)
+        .observer(cancel_after_nodes(&token, 20))
+        .cancel_token(token.clone());
+    let sol = model.solve_with(&opts).unwrap();
+    assert_eq!(sol.status(), SolveStatus::Interrupted, "nodes: {}", sol.node_count());
+    assert!(sol.has_incumbent());
+    assert!(!sol.values().is_empty());
+    assert!(sol.objective_value().is_finite());
+    assert!(token.is_cancelled());
+}
+
+#[test]
+fn cancellation_mid_solve_parallel_returns_best_incumbent() {
+    let token = CancelToken::new();
+    let mut model = hard_knapsack(26);
+    model.set_warm_start(vec![0.0; 26]).unwrap();
+    let opts = SolverOptions::default()
+        .threads(4)
+        .observer(cancel_after_nodes(&token, 20))
+        .cancel_token(token.clone());
+    let sol = model.solve_with(&opts).unwrap();
+    assert_eq!(sol.status(), SolveStatus::Interrupted, "nodes: {}", sol.node_count());
+    assert!(sol.has_incumbent());
+    assert!(sol.objective_value().is_finite());
+}
+
+#[test]
+fn pre_cancelled_token_stops_immediately() {
+    let token = CancelToken::new();
+    token.cancel();
+    for threads in [1usize, 4] {
+        let opts = SolverOptions::default().threads(threads).cancel_token(token.clone());
+        let sol = hard_knapsack(26).solve_with(&opts).unwrap();
+        assert_eq!(sol.status(), SolveStatus::Interrupted, "threads {threads}");
+        assert!(!sol.has_incumbent(), "no warm start, no time to find anything");
+    }
+}
+
+#[test]
+fn completed_proof_is_not_masked_by_late_cancel() {
+    // Cancel only after the solve already terminated: status stays Optimal.
+    let token = CancelToken::new();
+    let opts = SolverOptions::default().threads(1).cancel_token(token.clone());
+    let sol = small_mip().solve_with(&opts).unwrap();
+    token.cancel();
+    assert_eq!(sol.status(), SolveStatus::Optimal);
+}
+
+#[test]
+fn parallel_event_stream_reports_every_worker() {
+    let (events, obs) = recording_observer();
+    let opts = SolverOptions::default().threads(3).observer(obs);
+    let sol = hard_knapsack(14).solve_with(&opts).unwrap();
+    assert_eq!(sol.status(), SolveStatus::Optimal);
+    let events = events.lock().unwrap();
+    let mut workers: Vec<usize> = events
+        .iter()
+        .filter_map(|e| match e {
+            SolverEvent::ThreadStats { worker, .. } => Some(*worker),
+            _ => None,
+        })
+        .collect();
+    workers.sort_unstable();
+    assert_eq!(workers, vec![0, 1, 2], "one ThreadStats event per worker");
+    let nodes_sum: u64 = events
+        .iter()
+        .filter_map(|e| match e {
+            SolverEvent::ThreadStats { nodes, .. } => Some(*nodes),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(nodes_sum, sol.node_count());
+}

@@ -10,9 +10,8 @@
 //! cargo run -p ndp-examples --bin adas_pipeline
 //! ```
 
-use ndp_core::{solve_heuristic, validate, ProblemInstance};
-use ndp_noc::{Mesh2D, NocParams, WeightedNoc};
-use ndp_platform::{Platform, PowerModel, ReliabilityParams, VfTable};
+use ndp_core::prelude::*;
+use ndp_platform::{PowerModel, ReliabilityParams, VfTable};
 use ndp_sim::{analytic_task_reliability, execute, inject_faults};
 use ndp_taskset::{Task, TaskGraph};
 

@@ -6,13 +6,8 @@
 //! cargo run -p ndp-examples --bin design_space
 //! ```
 
-use ndp_core::{
-    energy_table, first_fit_fastest, gantt, random_mapping, round_robin, solve_heuristic, validate,
-    ProblemInstance,
-};
-use ndp_noc::{Mesh2D, NocParams, WeightedNoc};
-use ndp_platform::Platform;
-use ndp_taskset::{generate, GeneratorConfig};
+use ndp_core::prelude::*;
+use ndp_core::{energy_table, first_fit_fastest, gantt, random_mapping, round_robin};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = generate(&GeneratorConfig::typical(16), 321)?;

@@ -1,12 +1,13 @@
 //! The MILP substrate as a general-purpose solver: model a small facility
-//! location problem, solve it, and export it as MPS for external
-//! cross-checking.
+//! location problem, solve it while streaming solver events, and export it
+//! as MPS for external cross-checking.
 //!
 //! ```text
 //! cargo run -p ndp-examples --bin milp_standalone
 //! ```
 
-use ndp_milp::{write_mps, LinExpr, Model, Objective, SolverOptions};
+use ndp_milp::{write_mps, LinExpr, Model, Objective, SolverEvent, SolverOptions};
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Facility location: 3 candidate sites, 4 clients. Opening site j costs
@@ -33,7 +34,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     m.set_objective(Objective::Minimize, objective);
 
-    let sol = m.solve_with(&SolverOptions::with_time_limit(10.0))?;
+    // Watch the solve through the event stream (any Fn closure works).
+    let opts =
+        SolverOptions::default().time_limit(10.0).observer(Arc::new(|e: &SolverEvent| match e {
+            SolverEvent::NodeExplored { .. } | SolverEvent::NodePruned { .. } => {}
+            other => println!("  [solver] {other}"),
+        }));
+    let sol = m.solve_with(&opts)?;
     println!("status      : {:?}", sol.status());
     println!("total cost  : {}", sol.objective_value());
     for (j, &o) in open.iter().enumerate() {

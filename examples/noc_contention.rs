@@ -10,10 +10,8 @@
 //! cargo run -p ndp-examples --bin noc_contention
 //! ```
 
-use ndp_core::{solve_heuristic, ProblemInstance};
-use ndp_noc::{FlitSim, Mesh2D, NocParams, PacketSpec, WeightedNoc};
-use ndp_platform::Platform;
-use ndp_taskset::{generate, GeneratorConfig};
+use ndp_core::prelude::*;
+use ndp_noc::{FlitSim, PacketSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = generate(&GeneratorConfig::typical(16), 5)?;

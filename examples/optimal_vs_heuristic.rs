@@ -9,11 +9,7 @@
 //! cargo run --release -p ndp-examples --bin optimal_vs_heuristic
 //! ```
 
-use ndp_core::{solve_heuristic, solve_optimal, validate, OptimalConfig, ProblemInstance};
-use ndp_milp::{SolveStatus, SolverOptions};
-use ndp_noc::{Mesh2D, NocParams, WeightedNoc};
-use ndp_platform::Platform;
-use ndp_taskset::{generate, GeneratorConfig, GraphShape};
+use ndp_core::prelude::*;
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -37,8 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("heuristic : {h_energy:.4} mJ in {heuristic_time:?}");
 
     // --- Exact ---------------------------------------------------------------
-    let config =
-        OptimalConfig { solver: SolverOptions::with_time_limit(120.0), ..OptimalConfig::default() };
+    let config = OptimalConfig {
+        solver: SolverOptions::default().time_limit(120.0),
+        ..OptimalConfig::default()
+    };
     let t0 = Instant::now();
     let outcome = solve_optimal(&problem, &config)?;
     let optimal_time = t0.elapsed();
@@ -50,6 +48,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!(
                 "optimal   : {o_energy:.4} mJ in {optimal_time:?} ({} nodes, status {:?})",
                 outcome.nodes, outcome.status
+            );
+            let st = &outcome.stats;
+            println!(
+                "  time split: presolve {:.3}s, simplex {:.3}s, factorization {:.3}s, other {:.3}s",
+                st.presolve_seconds,
+                st.simplex_seconds,
+                st.factor_seconds,
+                st.other_seconds()
             );
             println!(
                 "\nheuristic energy overhead: {:+.2} % (paper reports ≈ +26 % on average)",

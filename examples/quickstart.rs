@@ -5,10 +5,7 @@
 //! cargo run -p ndp-examples --bin quickstart
 //! ```
 
-use ndp_core::{solve_heuristic, validate, ProblemInstance};
-use ndp_noc::{Mesh2D, NocParams, WeightedNoc};
-use ndp_platform::Platform;
-use ndp_taskset::{generate, GeneratorConfig};
+use ndp_core::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A random 12-task dependent workload (seeded => reproducible).

@@ -1,0 +1,81 @@
+//! End-to-end cancellation through the `ndp-core` facade: a cancelled
+//! `solve_optimal` must come back with `SolveStatus::Interrupted` and the
+//! best incumbent found so far (here: the heuristic warm start), never a
+//! panic or a deadlock.
+
+use ndp_core::prelude::*;
+
+fn instance(m: usize, seed: u64) -> ProblemInstance {
+    let mut cfg = GeneratorConfig::typical(m);
+    cfg.shape = GraphShape::Chain;
+    let g = generate(&cfg, seed).unwrap();
+    ProblemInstance::from_original(
+        &g,
+        Platform::homogeneous(4).unwrap(),
+        WeightedNoc::new(Mesh2D::square(2).unwrap(), NocParams::typical(), seed).unwrap(),
+        0.95,
+        3.0,
+    )
+    .unwrap()
+}
+
+#[test]
+fn pre_cancelled_solve_returns_the_warm_start_deployment() {
+    let token = CancelToken::new();
+    token.cancel();
+    for threads in [1usize, 4] {
+        let cfg = OptimalConfig {
+            solver: SolverOptions::default()
+                .time_limit(8.0)
+                .threads(threads)
+                .cancel_token(token.clone()),
+            ..OptimalConfig::default()
+        };
+        let p = instance(3, 1);
+        let out = solve_optimal(&p, &cfg).unwrap();
+        assert_eq!(out.status, SolveStatus::Interrupted, "threads {threads}");
+        // The heuristic warm start (enabled by default) is the incumbent,
+        // so a deployment must survive the interruption.
+        let d = out.deployment.expect("warm-started solve keeps its incumbent");
+        assert!(validate(&p, &d).is_empty());
+        assert!(out.objective_mj.unwrap().is_finite());
+    }
+}
+
+#[test]
+fn cancelling_from_the_observer_stops_the_facade_solve() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let token = CancelToken::new();
+    let seen = AtomicU64::new(0);
+    let t = token.clone();
+    let observer: Arc<dyn Observer> = Arc::new(move |e: &SolverEvent| {
+        if matches!(e, SolverEvent::NodeExplored { .. })
+            && seen.fetch_add(1, Ordering::Relaxed) + 1 == 5
+        {
+            t.cancel();
+        }
+    });
+    let cfg = OptimalConfig {
+        solver: SolverOptions::default()
+            .time_limit(30.0)
+            .threads(1)
+            .observer(observer)
+            .cancel_token(token.clone()),
+        ..OptimalConfig::default()
+    };
+    let p = instance(4, 2);
+    let out = solve_optimal(&p, &cfg).unwrap();
+    // Either the tree was tiny and the proof finished before the fifth
+    // node, or the cancel landed and the warm-start incumbent survives.
+    match out.status {
+        SolveStatus::Optimal => {}
+        SolveStatus::Interrupted => {
+            assert!(out.deployment.is_some());
+            assert!(token.is_cancelled());
+        }
+        other => panic!("unexpected status {other:?}"),
+    }
+    assert!(out.stats.total_seconds >= 0.0);
+}

@@ -23,7 +23,7 @@ fn instance(m: usize, seed: u64, alpha: f64) -> ProblemInstance {
 }
 
 fn solver() -> SolverOptions {
-    SolverOptions::with_time_limit(8.0)
+    SolverOptions::default().time_limit(8.0)
 }
 
 #[test]

@@ -50,7 +50,7 @@ fn referee_accepts_exact_incumbent_and_heuristic_is_never_better() {
     // about the full instance size while staying bounded.
     let cfg = OptimalConfig {
         path_mode: PathMode::SingleFixed(PathKind::EnergyOriented),
-        solver: SolverOptions::with_time_limit(2.0),
+        solver: SolverOptions::default().time_limit(2.0),
         ..OptimalConfig::default()
     };
     let out = solve_optimal(&p, &cfg).expect("exact solve must not error");

@@ -81,7 +81,7 @@ fn milp_extracted_deployments_pass_the_referee() {
     for seed in 0..6 {
         let p = instance(3, seed, 3.0, GraphShape::Chain);
         let cfg = OptimalConfig {
-            solver: SolverOptions::with_time_limit(8.0),
+            solver: SolverOptions::default().time_limit(8.0),
             ..OptimalConfig::default()
         };
         let out = solve_optimal(&p, &cfg).unwrap();
