@@ -1,14 +1,26 @@
-//! Basis-kernel microbench: dense inverse vs sparse LU on the exact arm.
+//! Basis-kernel and node-LP microbench: dense inverse vs sparse LU, warm
+//! vs cold node starts, and the three leaving-row pricing rules.
 //!
-//! Solves the same fixed deployment instance(s) once per kernel and reports
-//! wall time, branch-and-bound nodes, and node throughput. The headline
-//! number is the throughput ratio (sparse / dense): the sparse LU kernel
-//! must not be slower than the dense reference on the sizes the exact arm
-//! actually runs at, and wins by a growing margin as `M` rises.
+//! Default mode solves the same fixed deployment instance(s) once per
+//! kernel and reports wall time, branch-and-bound nodes, pivots and
+//! throughput. The headline numbers are the node-throughput ratio
+//! (sparse / dense) and the pivots/s column, which the warm-start and
+//! pricing work targets directly.
 //!
 //! ```text
-//! basis_kernel [--tasks M] [--seconds S] [--seed K] [--instances I] [--trace]
+//! basis_kernel [--tasks M] [--seconds S] [--seed K] [--instances I]
+//!              [--pricing dse|devex|dantzig] [--warm on|off]
+//!              [--json PATH] [--ablation] [--trace]
 //! ```
+//!
+//! `--ablation` replaces the kernel A/B with the full
+//! pricing × warm-start × kernel grid on one instance and **fails** (exit
+//! code 1) if any warm-started configuration needs more pivots than its
+//! cold-started twin — the regression guard CI runs on every push. All
+//! configurations must agree on the optimum.
+//!
+//! `--json PATH` additionally writes the run's records as a JSON array
+//! (see `results/BENCH_milp.json` for the checked-in baseline).
 //!
 //! Defaults reproduce the largest fixed exact-arm instance (`M = 6` on a
 //! 2×2 mesh, 60 s budget). CI runs a smoke configuration
@@ -16,23 +28,45 @@
 //! `--trace` streams solver events (presolve, root, incumbents,
 //! termination) to stderr while the table prints to stdout.
 
-use ndp_bench::{trace_observer, InstanceSpec};
+use ndp_bench::{
+    parse_pricing, pricing_name, trace_observer, write_bench_json, BenchRecord, InstanceSpec,
+};
 use ndp_core::{build_milp, DeployObjective, PathMode};
-use ndp_milp::{BasisKernel, SolverOptions};
+use ndp_milp::{BasisKernel, Pricing, SolverOptions};
 
 struct KernelRun {
     status: String,
     nodes: u64,
     iters: u64,
     seconds: f64,
+    warm_starts: u64,
+    cold_starts: u64,
+    objective: f64,
 }
 
-fn run(kernel: BasisKernel, tasks: usize, seconds: f64, seed: u64, trace: bool) -> KernelRun {
+#[allow(clippy::too_many_arguments)]
+fn run(
+    kernel: BasisKernel,
+    pricing: Pricing,
+    warm: bool,
+    tasks: usize,
+    seconds: f64,
+    seed: u64,
+    trace: bool,
+) -> KernelRun {
     let p = InstanceSpec::new(tasks, 2, 3.0, seed).build();
     let enc = build_milp(&p, PathMode::Multi, DeployObjective::BalanceEnergy).unwrap();
-    let mut opts = SolverOptions::default().time_limit(seconds).threads(1).basis_kernel(kernel);
+    let mut opts = SolverOptions::default()
+        .time_limit(seconds)
+        .threads(1)
+        .basis_kernel(kernel)
+        .pricing(pricing)
+        .warm_start(warm);
     if trace {
-        eprintln!("[trace] --- kernel={kernel:?} seed={seed} ---");
+        eprintln!(
+            "[trace] --- kernel={kernel:?} pricing={} warm={warm} seed={seed} ---",
+            pricing_name(pricing)
+        );
         opts = opts.observer(trace_observer());
     }
     let t0 = std::time::Instant::now();
@@ -42,7 +76,120 @@ fn run(kernel: BasisKernel, tasks: usize, seconds: f64, seed: u64, trace: bool) 
         nodes: sol.node_count(),
         iters: sol.simplex_iterations(),
         seconds: t0.elapsed().as_secs_f64(),
+        warm_starts: sol.stats().warm_starts,
+        cold_starts: sol.stats().cold_starts,
+        objective: if sol.has_incumbent() { sol.objective_value() } else { f64::NAN },
     }
+}
+
+fn kernel_name(k: BasisKernel) -> &'static str {
+    match k {
+        BasisKernel::Dense => "dense",
+        BasisKernel::SparseLu => "sparse-lu",
+    }
+}
+
+fn record(
+    r: &KernelRun,
+    k: BasisKernel,
+    p: Pricing,
+    warm: bool,
+    tasks: usize,
+    s: u64,
+) -> BenchRecord {
+    BenchRecord {
+        instance: format!("M{tasks}-N4-seed{s}"),
+        kernel: kernel_name(k).into(),
+        pricing: pricing_name(p).into(),
+        warm_start: warm,
+        threads: 1,
+        status: r.status.clone(),
+        nodes: r.nodes,
+        pivots: r.iters,
+        warm_starts: r.warm_starts,
+        cold_starts: r.cold_starts,
+        seconds: r.seconds,
+    }
+}
+
+fn print_row(name: &str, tasks: usize, s: u64, r: &KernelRun) {
+    println!(
+        "{name:<18} {tasks:>2} {s:>5}  {:<10} {:>6}  {:>13}  {:>7.2}  {:>7.0}  {:>8.0}  {:>4}/{:<4}",
+        r.status,
+        r.nodes,
+        r.iters,
+        r.seconds,
+        r.nodes as f64 / r.seconds.max(1e-9),
+        r.iters as f64 / r.seconds.max(1e-9),
+        r.warm_starts,
+        r.cold_starts,
+    );
+}
+
+/// The full pricing × warm × kernel grid on one instance. Returns `false`
+/// when any warm configuration needed more pivots than its cold twin or
+/// the configurations disagree on the optimum.
+fn ablation(
+    tasks: usize,
+    seconds: f64,
+    seed: u64,
+    trace: bool,
+    records: &mut Vec<BenchRecord>,
+) -> bool {
+    println!(
+        "config              M  seed  status      nodes  simplex_iters  seconds  nodes/s  pivots/s  warm/cold"
+    );
+    let mut ok = true;
+    let mut objective: Option<f64> = None;
+    for kernel in [BasisKernel::SparseLu, BasisKernel::Dense] {
+        for pricing in [Pricing::SteepestEdge, Pricing::Devex, Pricing::Dantzig] {
+            let mut pivots = [0u64; 2]; // [warm, cold]
+            for (slot, warm) in [(0usize, true), (1usize, false)] {
+                let r = run(kernel, pricing, warm, tasks, seconds, seed, trace);
+                let name = format!(
+                    "{}/{}/{}",
+                    kernel_name(kernel),
+                    pricing_name(pricing),
+                    if warm { "warm" } else { "cold" }
+                );
+                print_row(&name, tasks, seed, &r);
+                pivots[slot] = r.iters;
+                if r.status == "Optimal" {
+                    match objective {
+                        None => objective = Some(r.objective),
+                        Some(o) => {
+                            if (r.objective - o).abs() > 1e-4 * o.abs().max(1.0) {
+                                eprintln!(
+                                    "FAIL: {name} optimum {} disagrees with {}",
+                                    r.objective, o
+                                );
+                                ok = false;
+                            }
+                        }
+                    }
+                }
+                records.push(record(&r, kernel, pricing, warm, tasks, seed));
+            }
+            if pivots[0] > pivots[1] {
+                eprintln!(
+                    "FAIL: warm start took more pivots than cold ({} > {}) for {}/{}",
+                    pivots[0],
+                    pivots[1],
+                    kernel_name(kernel),
+                    pricing_name(pricing)
+                );
+                ok = false;
+            } else {
+                println!(
+                    "  warm/cold pivot ratio ({}/{}): {:.3}",
+                    kernel_name(kernel),
+                    pricing_name(pricing),
+                    pivots[0] as f64 / pivots[1].max(1) as f64
+                );
+            }
+        }
+    }
+    ok
 }
 
 fn main() {
@@ -51,11 +198,20 @@ fn main() {
     let mut seed = 7u64;
     let mut instances = 1usize;
     let mut trace = false;
+    let mut pricing = Pricing::SteepestEdge;
+    let mut warm = true;
+    let mut json: Option<String> = None;
+    let mut grid = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--trace" {
             trace = true;
+            i += 1;
+            continue;
+        }
+        if args[i] == "--ablation" {
+            grid = true;
             i += 1;
             continue;
         }
@@ -68,6 +224,23 @@ fn main() {
             "--seconds" => seconds = val.parse().expect("--seconds takes a float"),
             "--seed" => seed = val.parse().expect("--seed takes an integer"),
             "--instances" => instances = val.parse().expect("--instances takes an integer"),
+            "--pricing" => {
+                pricing = parse_pricing(val).unwrap_or_else(|| {
+                    eprintln!("--pricing takes dse|devex|dantzig");
+                    std::process::exit(2);
+                })
+            }
+            "--warm" => {
+                warm = match val.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    _ => {
+                        eprintln!("--warm takes on|off");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--json" => json = Some(val.clone()),
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -76,40 +249,55 @@ fn main() {
         i += 2;
     }
 
-    println!("kernel      M  seed  status      nodes  simplex_iters  seconds  nodes/s");
-    let mut ratio_sum = 0.0;
-    for k in 0..instances {
-        let s = seed + k as u64;
-        let dense = run(BasisKernel::Dense, tasks, seconds, s, trace);
-        let sparse = run(BasisKernel::SparseLu, tasks, seconds, s, trace);
-        for (name, r) in [("dense", &dense), ("sparse-lu", &sparse)] {
-            println!(
-                "{name:<10} {tasks:>2} {s:>5}  {:<10} {:>6}  {:>13}  {:>7.2}  {:>7.0}",
-                r.status,
-                r.nodes,
-                r.iters,
-                r.seconds,
-                r.nodes as f64 / r.seconds.max(1e-9),
+    let mut records: Vec<BenchRecord> = Vec::new();
+    let mut failed = false;
+
+    if grid {
+        failed = !ablation(tasks, seconds, seed, trace, &mut records);
+    } else {
+        println!(
+            "kernel              M  seed  status      nodes  simplex_iters  seconds  nodes/s  pivots/s  warm/cold"
+        );
+        let mut ratio_sum = 0.0;
+        for k in 0..instances {
+            let s = seed + k as u64;
+            let dense = run(BasisKernel::Dense, pricing, warm, tasks, seconds, s, trace);
+            let sparse = run(BasisKernel::SparseLu, pricing, warm, tasks, seconds, s, trace);
+            for (name, kernel, r) in [
+                ("dense", BasisKernel::Dense, &dense),
+                ("sparse-lu", BasisKernel::SparseLu, &sparse),
+            ] {
+                print_row(name, tasks, s, r);
+                records.push(record(r, kernel, pricing, warm, tasks, s));
+            }
+            let dense_tp = dense.nodes as f64 / dense.seconds.max(1e-9);
+            let sparse_tp = sparse.nodes as f64 / sparse.seconds.max(1e-9);
+            let ratio = sparse_tp / dense_tp.max(1e-9);
+            ratio_sum += ratio;
+            println!("  node-throughput ratio (sparse/dense): {ratio:.2}x");
+            // Under a shared time budget one kernel may prove Optimal while
+            // the other stops at Feasible, so only the solution-found/none
+            // split must agree (true divergence is caught by the
+            // equivalence suite).
+            let found = |s: &str| s == "Optimal" || s == "Feasible";
+            assert_eq!(
+                found(&dense.status),
+                found(&sparse.status),
+                "kernels disagree on solution existence: {} vs {}",
+                dense.status,
+                sparse.status
             );
         }
-        let dense_tp = dense.nodes as f64 / dense.seconds.max(1e-9);
-        let sparse_tp = sparse.nodes as f64 / sparse.seconds.max(1e-9);
-        let ratio = sparse_tp / dense_tp.max(1e-9);
-        ratio_sum += ratio;
-        println!("  node-throughput ratio (sparse/dense): {ratio:.2}x");
-        // Under a shared time budget one kernel may prove Optimal while the
-        // other stops at Feasible, so only the solution-found/none split
-        // must agree (true divergence is caught by the equivalence suite).
-        let found = |s: &str| s == "Optimal" || s == "Feasible";
-        assert_eq!(
-            found(&dense.status),
-            found(&sparse.status),
-            "kernels disagree on solution existence: {} vs {}",
-            dense.status,
-            sparse.status
-        );
+        if instances > 1 {
+            println!("mean ratio over {instances} instances: {:.2}x", ratio_sum / instances as f64);
+        }
     }
-    if instances > 1 {
-        println!("mean ratio over {instances} instances: {:.2}x", ratio_sum / instances as f64);
+
+    if let Some(path) = json {
+        write_bench_json(&path, &records).expect("write --json output");
+        println!("wrote {} record(s) to {path}", records.len());
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! Runs the Fig. 2 medium exact instance (M = 5 on the N = 4 mesh) at
 //! 1/2/4/8 workers under a fixed per-solve time budget and reports node
-//! throughput. The warm start is disabled so every run explores a
+//! throughput. The heuristic warm start is disabled so every run explores a
 //! non-trivial tree, and the per-thread node counts show how evenly the
 //! work-stealing pool spreads the search.
 //!
@@ -10,33 +10,92 @@
 //! available parallelism (printed in the header): on a single-core host the
 //! workers interleave and throughput stays flat.
 //!
-//! Pass `--trace` to stream solver events (presolve, root, incumbents,
-//! per-worker stats, termination) to stderr while the table prints to
-//! stdout.
+//! ```text
+//! solver_threads [--pricing dse|devex|dantzig] [--warm on|off]
+//!                [--json PATH] [--trace]
+//! ```
+//!
+//! `--warm` toggles the *parent-basis* node warm start (not the heuristic
+//! incumbent). `--json PATH` writes one record per (threads, seed) solve.
+//! `--trace` streams solver events (presolve, root, incumbents, per-worker
+//! stats, termination) to stderr while the table prints to stdout.
 
-use ndp_bench::{trace_observer, InstanceSpec};
+use ndp_bench::{
+    parse_pricing, pricing_name, trace_observer, write_bench_json, BenchRecord, InstanceSpec,
+};
 use ndp_core::{solve_optimal, OptimalConfig};
-use ndp_milp::SolverOptions;
+use ndp_milp::{Pricing, SolverOptions};
 
 fn main() {
-    let trace = std::env::args().skip(1).any(|a| a == "--trace");
+    let mut trace = false;
+    let mut pricing = Pricing::SteepestEdge;
+    let mut warm = true;
+    let mut json: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--trace" {
+            trace = true;
+            i += 1;
+            continue;
+        }
+        let val = args.get(i + 1).unwrap_or_else(|| {
+            eprintln!("missing value for {}", args[i]);
+            std::process::exit(2);
+        });
+        match args[i].as_str() {
+            "--pricing" => {
+                pricing = parse_pricing(val).unwrap_or_else(|| {
+                    eprintln!("--pricing takes dse|devex|dantzig");
+                    std::process::exit(2);
+                })
+            }
+            "--warm" => {
+                warm = match val.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    _ => {
+                        eprintln!("--warm takes on|off");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--json" => json = Some(val.clone()),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+
     let seeds: Vec<u64> = (0..3).collect();
     let time_limit = 2.0;
     let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
-    println!("# Solver thread scaling (M=5, N=4, {time_limit} s budget per solve)");
+    println!(
+        "# Solver thread scaling (M=5, N=4, {time_limit} s budget per solve, \
+         pricing={}, warm={warm})",
+        pricing_name(pricing)
+    );
     println!("# host parallelism: {cores} core(s)");
     println!(
-        "{:>8} {:>10} {:>10} {:>10} {:>8}  nodes per worker (seed 0)",
-        "threads", "nodes", "s/solve", "nodes/s", "speedup"
+        "{:>8} {:>10} {:>12} {:>10} {:>10} {:>8}  nodes per worker (seed 0)",
+        "threads", "nodes", "pivots", "s/solve", "nodes/s", "speedup"
     );
     let mut base_throughput = f64::NAN;
+    let mut records: Vec<BenchRecord> = Vec::new();
     for threads in [1usize, 2, 4, 8] {
         let mut nodes = 0u64;
+        let mut pivots = 0u64;
         let mut total_seconds = 0.0;
         let mut spread = String::new();
         for &seed in &seeds {
             let problem = InstanceSpec::new(5, 2, 2.0, seed).build();
-            let mut solver = SolverOptions::default().time_limit(time_limit).threads(threads);
+            let mut solver = SolverOptions::default()
+                .time_limit(time_limit)
+                .threads(threads)
+                .pricing(pricing)
+                .warm_start(warm);
             if trace {
                 eprintln!("[trace] --- threads={threads} seed={seed} ---");
                 solver = solver.observer(trace_observer());
@@ -49,10 +108,24 @@ fn main() {
             };
             let out = solve_optimal(&problem, &cfg).expect("solve must not error");
             nodes += out.nodes;
+            pivots += out.stats.simplex_iterations;
             total_seconds += out.solve_seconds;
             if seed == 0 {
                 spread = format!("{:?}", out.nodes_per_thread);
             }
+            records.push(BenchRecord {
+                instance: format!("M5-N4-seed{seed}"),
+                kernel: "sparse-lu".into(),
+                pricing: pricing_name(pricing).into(),
+                warm_start: warm,
+                threads,
+                status: format!("{:?}", out.status),
+                nodes: out.nodes,
+                pivots: out.stats.simplex_iterations,
+                warm_starts: out.stats.warm_starts,
+                cold_starts: out.stats.cold_starts,
+                seconds: out.solve_seconds,
+            });
         }
         let throughput = nodes as f64 / total_seconds;
         if threads == 1 {
@@ -60,8 +133,12 @@ fn main() {
         }
         let speedup = throughput / base_throughput;
         println!(
-            "{threads:>8} {nodes:>10} {:>10.3} {throughput:>10.1} {speedup:>7.2}x  {spread}",
+            "{threads:>8} {nodes:>10} {pivots:>12} {:>10.3} {throughput:>10.1} {speedup:>7.2}x  {spread}",
             total_seconds / seeds.len() as f64,
         );
+    }
+    if let Some(path) = json {
+        write_bench_json(&path, &records).expect("write --json output");
+        println!("wrote {} record(s) to {path}", records.len());
     }
 }

@@ -26,7 +26,7 @@ use ndp_core::{
     solve_heuristic, solve_optimal, CommTimeModel, Deployment, OptimalConfig, OptimalOutcome,
     ProblemInstance,
 };
-use ndp_milp::{Observer, SolveStats, SolveStatus, SolverEvent, SolverOptions};
+use ndp_milp::{Observer, Pricing, SolveStats, SolveStatus, SolverEvent, SolverOptions};
 use ndp_noc::{Mesh2D, NocParams, WeightedNoc};
 use ndp_platform::{Platform, PowerModel, PowerParams, ReliabilityParams, VfTable};
 use ndp_taskset::{generate, GeneratorConfig};
@@ -271,6 +271,98 @@ impl<'a, T> ChunkIndexExt<'a, T> for std::slice::Chunks<'a, T> {
     }
 }
 
+/// Parses a `--pricing` flag value (`dse`/`steepest-edge`, `devex`,
+/// `dantzig`).
+pub fn parse_pricing(s: &str) -> Option<Pricing> {
+    match s {
+        "dse" | "steepest-edge" => Some(Pricing::SteepestEdge),
+        "devex" => Some(Pricing::Devex),
+        "dantzig" => Some(Pricing::Dantzig),
+        _ => None,
+    }
+}
+
+/// Short machine-readable name of a pricing rule for bench tables/JSON.
+pub fn pricing_name(p: Pricing) -> &'static str {
+    match p {
+        Pricing::SteepestEdge => "dse",
+        Pricing::Devex => "devex",
+        Pricing::Dantzig => "dantzig",
+    }
+}
+
+/// One machine-readable solve record for `BENCH_milp.json`: what the solver
+/// configuration was and how much work the solve took.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Instance label, e.g. `M6-N4-seed7`.
+    pub instance: String,
+    /// Basis kernel (`dense` / `sparse-lu`).
+    pub kernel: String,
+    /// Pricing rule (`dse` / `devex` / `dantzig`).
+    pub pricing: String,
+    /// Parent-basis warm starts enabled.
+    pub warm_start: bool,
+    /// Worker threads.
+    pub threads: usize,
+    /// Termination status (`Optimal`, `Feasible`, ...).
+    pub status: String,
+    /// Branch-and-bound nodes evaluated.
+    pub nodes: u64,
+    /// Total simplex pivots.
+    pub pivots: u64,
+    /// Node LPs started from a parent basis.
+    pub warm_starts: u64,
+    /// Node LPs started from the slack basis.
+    pub cold_starts: u64,
+    /// Wall-clock seconds of the solve.
+    pub seconds: f64,
+}
+
+impl BenchRecord {
+    /// Serializes the record as one JSON object (hand-formatted: the
+    /// workspace carries no JSON dependency).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"instance\":\"{}\",\"kernel\":\"{}\",\"pricing\":\"{}\",",
+                "\"warm_start\":{},\"threads\":{},\"status\":\"{}\",\"nodes\":{},",
+                "\"pivots\":{},\"warm_starts\":{},\"cold_starts\":{},\"seconds\":{:.4}}}"
+            ),
+            self.instance,
+            self.kernel,
+            self.pricing,
+            self.warm_start,
+            self.threads,
+            self.status,
+            self.nodes,
+            self.pivots,
+            self.warm_starts,
+            self.cold_starts,
+            self.seconds,
+        )
+    }
+}
+
+/// Writes `records` to `path` as a JSON array, one record per line.
+///
+/// # Errors
+///
+/// Propagates the underlying file-system error.
+pub fn write_bench_json(path: &str, records: &[BenchRecord]) -> std::io::Result<()> {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&r.to_json());
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    std::fs::write(path, out)
+}
+
 /// Mean of the finite entries of `values` (NaN when none).
 pub fn mean_finite(values: &[f64]) -> f64 {
     let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
@@ -300,6 +392,49 @@ mod tests {
         let seeds: Vec<u64> = (0..17).collect();
         let out = per_seed(&seeds, |s| s * 2);
         assert_eq!(out, seeds.iter().map(|s| s * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bench_record_json_roundtrips_fields() {
+        let r = BenchRecord {
+            instance: "M4-N4-seed7".into(),
+            kernel: "sparse-lu".into(),
+            pricing: "dse".into(),
+            warm_start: true,
+            threads: 1,
+            status: "Optimal".into(),
+            nodes: 12,
+            pivots: 345,
+            warm_starts: 11,
+            cold_starts: 1,
+            seconds: 0.25,
+        };
+        let j = r.to_json();
+        for needle in [
+            "\"instance\":\"M4-N4-seed7\"",
+            "\"kernel\":\"sparse-lu\"",
+            "\"pricing\":\"dse\"",
+            "\"warm_start\":true",
+            "\"nodes\":12",
+            "\"pivots\":345",
+            "\"warm_starts\":11",
+            "\"cold_starts\":1",
+            "\"seconds\":0.2500",
+        ] {
+            assert!(j.contains(needle), "missing {needle} in {j}");
+        }
+    }
+
+    #[test]
+    fn pricing_parses_all_names() {
+        assert_eq!(parse_pricing("dse"), Some(Pricing::SteepestEdge));
+        assert_eq!(parse_pricing("steepest-edge"), Some(Pricing::SteepestEdge));
+        assert_eq!(parse_pricing("devex"), Some(Pricing::Devex));
+        assert_eq!(parse_pricing("dantzig"), Some(Pricing::Dantzig));
+        assert_eq!(parse_pricing("bogus"), None);
+        for p in [Pricing::SteepestEdge, Pricing::Devex, Pricing::Dantzig] {
+            assert_eq!(parse_pricing(pricing_name(p)), Some(p));
+        }
     }
 
     #[test]

@@ -95,7 +95,8 @@ pub mod prelude {
         ProblemInstance,
     };
     pub use ndp_milp::{
-        CancelToken, Observer, ObserverHandle, SolveStats, SolveStatus, SolverEvent, SolverOptions,
+        CancelToken, Observer, ObserverHandle, Pricing, SolveStats, SolveStatus, SolverEvent,
+        SolverOptions,
     };
     pub use ndp_noc::{Mesh2D, NocParams, PathKind, WeightedNoc};
     pub use ndp_platform::Platform;

@@ -3,9 +3,12 @@
 //! Nodes are explored depth-first (default) or best-bound-first. Because the
 //! dual simplex state stays dual-feasible under arbitrary bound changes, a
 //! search thread shares a *single* simplex instance across its nodes:
-//! entering a node applies its bound deltas, leaving it restores them, and
-//! each re-optimization is warm-started from wherever the basis happens to
-//! be.
+//! entering a node applies its bound deltas and installs the basis snapshot
+//! its parent captured when it branched ([`OpenNode::parent_basis`]), so
+//! every node LP starts one bound change away from its parent's optimum —
+//! on a depth-first dive the basis is already in place and the restore is
+//! skipped. With [`SolverOptions::warm_start`] off, every node solves from
+//! the all-slack basis (the cold-start ablation reference).
 //!
 //! With [`SolverOptions::threads`] ≥ 2 the open-node pool is shared by a
 //! team of workers (see [`crate::parallel`]); each worker owns its own
@@ -19,9 +22,10 @@ use crate::model::{Model, VarKind};
 use crate::options::{BranchRule, NodeOrder, SolverOptions};
 use crate::parallel;
 use crate::presolve::{presolve, Presolved};
-use crate::simplex::{LpStatus, Simplex};
+use crate::simplex::{BasisSnapshot, LpStatus, Simplex};
 use crate::solution::{Solution, SolveStats, SolveStatus};
 use crate::standard::StandardForm;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Per-variable pseudo-cost statistics.
@@ -60,12 +64,16 @@ pub(crate) struct OpenNode {
     pub(crate) bound: f64,
     /// Branch bookkeeping for pseudo-costs: `(column, fractionality, up?)`.
     branched: Option<(usize, f64, bool)>,
+    /// The parent's optimal basis, snapshot when it branched. Shared by
+    /// `Arc` between both children (and across threads when the node is
+    /// stolen). `None` for the root or when warm starts are disabled.
+    pub(crate) parent_basis: Option<Arc<BasisSnapshot>>,
 }
 
 impl OpenNode {
     /// The root node: no deltas, unbounded parent bound.
     pub(crate) fn root() -> Self {
-        OpenNode { deltas: vec![], bound: f64::NEG_INFINITY, branched: None }
+        OpenNode { deltas: vec![], bound: f64::NEG_INFINITY, branched: None, parent_basis: None }
     }
 }
 
@@ -126,6 +134,19 @@ pub(crate) struct NodeWorker<'a> {
     /// global gap instead of the node-local one. `INFINITY` when unknown;
     /// only ever loosens the reported gap, never the search itself.
     pub(crate) dual_bound: f64,
+    /// The snapshot the worker's basis currently equals, if any: set when a
+    /// node branches (its children carry this snapshot), cleared before any
+    /// LP solve. Lets a depth-first dive skip the restore entirely.
+    loaded: Option<Arc<BasisSnapshot>>,
+    /// Node LPs that started from a parent basis (restored or inherited).
+    pub(crate) warm_starts: u64,
+    /// Node LPs that started from the slack basis (root, warm starts off,
+    /// or a snapshot that failed to factorize).
+    pub(crate) cold_starts: u64,
+    /// Scratch for the node LP's full primal vector.
+    xbuf: Vec<f64>,
+    /// Scratch for the rounding heuristic's candidate point.
+    round_buf: Vec<f64>,
 }
 
 impl<'a> NodeWorker<'a> {
@@ -161,6 +182,11 @@ impl<'a> NodeWorker<'a> {
             interrupted: false,
             pruned: 0,
             dual_bound: f64::INFINITY,
+            loaded: None,
+            warm_starts: 0,
+            cold_starts: 0,
+            xbuf: Vec::new(),
+            round_buf: Vec::new(),
         }
     }
 
@@ -182,7 +208,7 @@ impl<'a> NodeWorker<'a> {
     /// Emits the node-evaluation event: the root emits
     /// [`SolverEvent::RootRelaxation`], everything else
     /// [`SolverEvent::NodeExplored`].
-    fn emit_node(&self, node: &OpenNode, bound_internal: f64) {
+    fn emit_node(&self, node: &OpenNode, bound_internal: f64, pivots: u64) {
         let sf = self.sf;
         let n = self.nodes;
         self.options.observer.emit(|| {
@@ -190,7 +216,7 @@ impl<'a> NodeWorker<'a> {
             if node.deltas.is_empty() {
                 SolverEvent::RootRelaxation { bound }
             } else {
-                SolverEvent::NodeExplored { node: n, bound, depth: node.deltas.len() }
+                SolverEvent::NodeExplored { node: n, bound, depth: node.deltas.len(), pivots }
             }
         });
     }
@@ -283,23 +309,29 @@ impl<'a> NodeWorker<'a> {
         best.map(|(j, v, _)| (j, v))
     }
 
-    /// Tries rounding the LP point into an incumbent candidate; returns the
-    /// rounded point and its internal objective when feasible.
-    fn rounding_candidate(&self, x: &[f64]) -> Option<(Vec<f64>, f64)> {
+    /// Tries rounding the LP point into an incumbent candidate; offers any
+    /// feasible rounding to `incumbent` and returns the objective of an
+    /// accepted offer.
+    fn try_rounding(&mut self, x: &[f64], incumbent: &mut dyn Incumbent) -> Option<f64> {
         if !self.options.rounding_heuristic {
             return None;
         }
-        let mut cand = x.to_vec();
+        let mut cand = std::mem::take(&mut self.round_buf);
+        cand.clear();
+        cand.extend_from_slice(x);
         for &j in self.int_cols {
             cand[j] = cand[j].round();
         }
         let tol = self.options.feasibility_tol.max(self.options.integrality_tol);
+        let mut accepted = None;
         if self.model.is_feasible(&cand, tol * 10.0) {
             let obj = internal_objective(self.model, self.sf, &cand);
-            Some((cand, obj))
-        } else {
-            None
+            if incumbent.offer(&cand, obj) {
+                accepted = Some(obj);
+            }
         }
+        self.round_buf = cand;
+        accepted
     }
 
     fn record_pseudocost(&mut self, node: &OpenNode, child_bound: f64) {
@@ -320,7 +352,8 @@ impl<'a> NodeWorker<'a> {
         }
     }
 
-    /// Applies a node's deltas on top of the root bounds.
+    /// Applies a node's deltas on top of the root bounds, then installs the
+    /// node's starting basis (see [`OpenNode::parent_basis`]).
     pub(crate) fn enter_node(&mut self, node: &OpenNode, root_bounds: &[(f64, f64)]) {
         // Resetting exactly the integer columns touched by any delta path is
         // expensive to track; reset all integer columns to root, then apply.
@@ -331,7 +364,41 @@ impl<'a> NodeWorker<'a> {
         for &(j, l, u) in &node.deltas {
             self.lp.set_bounds(j, l, u);
         }
-        self.lp.refresh();
+        // Basis selection comes *after* the bound edits so a restore
+        // recomputes reduced costs and basic values against this node's box.
+        // Every arm below leaves the basic values freshly computed.
+        if !self.options.warm_start {
+            // Ablation reference: every node LP solves from the slack basis.
+            self.cold_starts += 1;
+            self.lp.reset_to_slack_basis();
+            return;
+        }
+        match &node.parent_basis {
+            Some(snap) => {
+                let inherited = self.loaded.as_ref().is_some_and(|l| Arc::ptr_eq(l, snap));
+                if inherited {
+                    // Depth-first dive: the worker's basis already *is* the
+                    // parent's optimal basis — no refactorization needed,
+                    // only a value refresh for the edited bounds.
+                    self.warm_starts += 1;
+                    self.lp.refresh();
+                } else if self.lp.restore_snapshot(snap).is_ok() {
+                    // Backtrack or steal: reinstall the parent basis.
+                    self.warm_starts += 1;
+                } else {
+                    // The snapshot basis would not factorize under this
+                    // kernel (numerics): fall back to a cold start.
+                    self.cold_starts += 1;
+                    self.lp.reset_to_slack_basis();
+                }
+            }
+            None => {
+                // The root node. A fresh simplex already sits on the slack
+                // basis; the explicit reset also covers re-entry paths.
+                self.cold_starts += 1;
+                self.lp.reset_to_slack_basis();
+            }
+        }
     }
 
     /// Evaluates one node whose deltas are already applied. Returns the
@@ -344,6 +411,9 @@ impl<'a> NodeWorker<'a> {
         incumbent: &mut dyn Incumbent,
     ) -> Result<(Vec<OpenNode>, f64)> {
         self.nodes += 1;
+        // The solve moves the basis away from whatever snapshot was loaded.
+        self.loaded = None;
+        let pivots_before = self.lp.iterations;
         let status = match self.solve_node_lp()? {
             Some(s) => s,
             None => {
@@ -352,21 +422,37 @@ impl<'a> NodeWorker<'a> {
                 return Ok((vec![], node.bound));
             }
         };
+        let pivots = self.lp.iterations - pivots_before;
         if status == LpStatus::Infeasible {
             // An infeasible node's bound is +inf (internal scale); the event
             // reports the corresponding user-scale extreme.
-            self.emit_node(node, f64::INFINITY);
+            self.emit_node(node, f64::INFINITY, pivots);
             return Ok((vec![], f64::INFINITY));
         }
         // The LP point is optimal for the *perturbed* costs; subtracting the
         // margin gives a valid bound for the true costs.
         let bound = self.lp.objective() - self.lp.bound_margin();
-        self.emit_node(node, bound);
+        self.emit_node(node, bound, pivots);
         self.record_pseudocost(node, bound);
         if gap_closed(self.options, incumbent.best_obj(), bound) {
             return Ok((vec![], bound));
         }
-        let full = self.lp.values();
+        let mut full = std::mem::take(&mut self.xbuf);
+        self.lp.values_into(&mut full);
+        let result = self.branch_or_fathom(node, incumbent, &full, bound);
+        self.xbuf = full;
+        result
+    }
+
+    /// The post-solve half of [`NodeWorker::eval_node`]: accept an integral
+    /// optimum, or pick a branching variable and build the children.
+    fn branch_or_fathom(
+        &mut self,
+        node: &OpenNode,
+        incumbent: &mut dyn Incumbent,
+        full: &[f64],
+        bound: f64,
+    ) -> Result<(Vec<OpenNode>, f64)> {
         let x = &full[..self.model.num_vars()];
         match self.pick_branch_var(x) {
             None => {
@@ -378,10 +464,8 @@ impl<'a> NodeWorker<'a> {
                 Ok((vec![], bound))
             }
             Some((j, v)) => {
-                if let Some((cand, obj)) = self.rounding_candidate(x) {
-                    if incumbent.offer(&cand, obj) {
-                        self.emit_incumbent(obj, bound);
-                    }
+                if let Some(obj) = self.try_rounding(x, incumbent) {
+                    self.emit_incumbent(obj, bound);
                 }
                 if gap_closed(self.options, incumbent.best_obj(), bound) {
                     return Ok((vec![], bound));
@@ -389,15 +473,28 @@ impl<'a> NodeWorker<'a> {
                 let frac = v - v.floor();
                 let lb = self.lp.lb[j];
                 let ub = self.lp.ub[j];
+                // Both children restart from this node's optimal basis:
+                // snapshot it once, share it by `Arc`, and remember that the
+                // worker's basis currently equals the snapshot so an
+                // immediate dive skips the restore.
+                let parent_basis = if self.options.warm_start {
+                    let snap = Arc::new(self.lp.snapshot());
+                    self.loaded = Some(Arc::clone(&snap));
+                    Some(snap)
+                } else {
+                    None
+                };
                 let down = OpenNode {
                     deltas: push_delta(&node.deltas, (j, lb, v.floor())),
                     bound,
                     branched: Some((j, frac, false)),
+                    parent_basis: parent_basis.clone(),
                 };
                 let up = OpenNode {
                     deltas: push_delta(&node.deltas, (j, v.ceil(), ub)),
                     bound,
                     branched: Some((j, frac, true)),
+                    parent_basis,
                 };
                 // Explore the nearer child first under DFS.
                 let children = if frac <= 0.5 { vec![down, up] } else { vec![up, down] };
@@ -430,6 +527,10 @@ pub(crate) struct SearchOutcome {
     pub(crate) factor_seconds: f64,
     /// Basis refactorizations, summed over workers.
     pub(crate) refactorizations: u64,
+    /// Node LPs warm-started from a parent basis, summed over workers.
+    pub(crate) warm_starts: u64,
+    /// Node LPs started from the slack basis, summed over workers.
+    pub(crate) cold_starts: u64,
 }
 
 /// Entry point used by [`Model::solve_with`].
@@ -680,6 +781,8 @@ pub(crate) fn solve(model: &Model, options: &SolverOptions) -> Result<Solution> 
             refactorizations: outcome.refactorizations,
             incumbents: outcome.incumbents,
             steals: outcome.steals,
+            warm_starts: outcome.warm_starts,
+            cold_starts: outcome.cold_starts,
         },
     })
 }
@@ -746,6 +849,8 @@ fn serial_search(
         simplex_seconds: worker.lp.simplex_seconds,
         factor_seconds: worker.lp.factor_seconds,
         refactorizations: worker.lp.refactorizations,
+        warm_starts: worker.warm_starts,
+        cold_starts: worker.cold_starts,
     })
 }
 
@@ -903,4 +1008,104 @@ pub(crate) fn push_delta(
     v.extend_from_slice(base);
     v.push(delta);
     v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinExpr, Objective};
+
+    /// A node whose parent snapshot will not factorize must fall back to a
+    /// cold (slack-basis) start and still solve its LP correctly — the
+    /// recovery path `enter_node` takes when `restore_snapshot` reports a
+    /// singular basis.
+    #[test]
+    fn singular_parent_snapshot_falls_back_cold_and_solves() {
+        let mut model = Model::new("fallback");
+        let xs: Vec<_> =
+            (0..3).map(|i| model.integer(format!("x{i}"), 0.0, 5.0).unwrap()).collect();
+        let mut cover = LinExpr::new();
+        let mut mix = LinExpr::new();
+        let mut obj = LinExpr::new();
+        for (i, &x) in xs.iter().enumerate() {
+            cover.add_term(x, 1.0);
+            mix.add_term(x, 1.0 + (i % 2) as f64);
+            obj.add_term(x, 1.0 + i as f64 * 0.7);
+        }
+        model.add_ge("cover", cover, 7.0);
+        model.add_le("mix", mix, 20.0);
+        model.set_objective(Objective::Minimize, obj);
+
+        let options = SolverOptions::default().threads(1);
+        let sf = StandardForm::from_model(&model, &options);
+        let int_cols: Vec<usize> = (0..model.num_vars()).collect();
+        let root_bounds: Vec<(f64, f64)> =
+            (0..model.num_vars()).map(|j| (sf.lb[j].ceil(), sf.ub[j].floor())).collect();
+        let start = Instant::now();
+        let mut worker = NodeWorker::new(&model, &sf, &options, &int_cols, &root_bounds, start);
+        let mut inc = LocalIncumbent::from_warm(None);
+
+        // Solve the root properly so the worker is mid-search state.
+        let root = OpenNode::root();
+        worker.enter_node(&root, &root_bounds);
+        worker.eval_node(&root, &mut inc).unwrap();
+        assert_eq!(worker.cold_starts, 1, "the root starts cold");
+
+        // Hand the worker a node whose parent basis is corrupt: duplicating
+        // a basic column makes the basis matrix singular for any kernel.
+        let mut snap = worker.lp.snapshot();
+        let last = snap.basis[snap.basis.len() - 1];
+        snap.basis[0] = last;
+        let node = OpenNode {
+            deltas: vec![(0, 0.0, 2.0)],
+            bound: f64::NEG_INFINITY,
+            branched: None,
+            parent_basis: Some(Arc::new(snap)),
+        };
+        worker.enter_node(&node, &root_bounds);
+        assert_eq!(worker.warm_starts, 0, "singular snapshot must not count as warm");
+        assert_eq!(worker.cold_starts, 2, "corrupt snapshot must fall back to a cold start");
+
+        // The fallback leaves a fully usable state: the node LP solves and
+        // produces a finite bound.
+        let (_, bound) = worker.eval_node(&node, &mut inc).unwrap();
+        assert!(bound.is_finite(), "node LP must still solve after the fallback");
+        assert!(!worker.hit_limit, "the fallback must not be treated as a limit");
+    }
+
+    /// A healthy parent snapshot restores and counts as a warm start.
+    #[test]
+    fn healthy_parent_snapshot_counts_warm() {
+        let mut model = Model::new("warm");
+        let x = model.integer("x", 0.0, 9.0).unwrap();
+        let y = model.integer("y", 0.0, 9.0).unwrap();
+        model.add_ge("r", LinExpr::term(x, 2.0) + LinExpr::term(y, 3.0), 11.0);
+        model.set_objective(Objective::Minimize, LinExpr::term(x, 1.0) + LinExpr::term(y, 1.3));
+
+        let options = SolverOptions::default().threads(1);
+        let sf = StandardForm::from_model(&model, &options);
+        let int_cols: Vec<usize> = (0..model.num_vars()).collect();
+        let root_bounds: Vec<(f64, f64)> =
+            (0..model.num_vars()).map(|j| (sf.lb[j].ceil(), sf.ub[j].floor())).collect();
+        let start = Instant::now();
+        let mut worker = NodeWorker::new(&model, &sf, &options, &int_cols, &root_bounds, start);
+        let mut inc = LocalIncumbent::from_warm(None);
+
+        let root = OpenNode::root();
+        worker.enter_node(&root, &root_bounds);
+        worker.eval_node(&root, &mut inc).unwrap();
+
+        let snap = Arc::new(worker.lp.snapshot());
+        let node = OpenNode {
+            deltas: vec![(0, 0.0, 3.0)],
+            bound: f64::NEG_INFINITY,
+            branched: None,
+            parent_basis: Some(Arc::clone(&snap)),
+        };
+        worker.enter_node(&node, &root_bounds);
+        assert_eq!(worker.warm_starts, 1, "healthy snapshot must restore warm");
+        assert_eq!(worker.cold_starts, 1, "only the root started cold");
+        let (_, bound) = worker.eval_node(&node, &mut inc).unwrap();
+        assert!(bound.is_finite());
+    }
 }

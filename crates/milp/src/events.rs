@@ -112,6 +112,10 @@ pub enum SolverEvent {
         bound: f64,
         /// Depth = number of branching bound changes from the root.
         depth: usize,
+        /// Dual simplex pivots this node's LP re-optimization took. Warm
+        /// starts from the parent basis keep this in the single digits;
+        /// cold starts pay the full re-solve.
+        pivots: u64,
     },
     /// An open node was discarded because its parent bound could no longer
     /// improve on the incumbent.
@@ -166,8 +170,8 @@ impl fmt::Display for SolverEvent {
                 write!(f, "presolve: -{eliminated_vars} vars, -{eliminated_rows} rows")
             }
             SolverEvent::RootRelaxation { bound } => write!(f, "root relaxation: bound {bound:.6}"),
-            SolverEvent::NodeExplored { node, bound, depth } => {
-                write!(f, "node {node}: bound {bound:.6} depth {depth}")
+            SolverEvent::NodeExplored { node, bound, depth, pivots } => {
+                write!(f, "node {node}: bound {bound:.6} depth {depth} pivots {pivots}")
             }
             SolverEvent::NodePruned { bound } => write!(f, "pruned: bound {bound:.6}"),
             SolverEvent::Incumbent { objective, bound, gap } => {

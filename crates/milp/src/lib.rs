@@ -62,7 +62,7 @@ pub use events::{CancelToken, Observer, ObserverHandle, SolverEvent, Termination
 pub use expr::LinExpr;
 pub use model::{ConstraintId, ConstraintSense, Model, Objective, VarId, VarKind};
 pub use mps::{parse_mps, write_mps};
-pub use options::{BasisKernel, BranchRule, NodeOrder, SolverOptions};
+pub use options::{BasisKernel, BranchRule, NodeOrder, Pricing, SolverOptions};
 pub use solution::{Solution, SolveStats, SolveStatus};
 
 #[cfg(test)]

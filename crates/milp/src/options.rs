@@ -35,6 +35,25 @@ pub enum BasisKernel {
     Dense,
 }
 
+/// Rule used by the dual simplex to pick the leaving row (dual pricing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Pricing {
+    /// Dual steepest edge (Forrest–Goldfarb): rows are scored by
+    /// `violation² / ‖eᵣᵀB⁻¹‖²` with exact reference-weight updates (one
+    /// extra FTRAN per pivot). The default: dramatically fewer pivots on
+    /// the degenerate deployment MILPs, at a modest per-pivot surcharge.
+    #[default]
+    SteepestEdge,
+    /// Dual devex: the same `violation² / wᵣ` score with cheap approximate
+    /// reference weights (no extra FTRAN; weights reset when they drift too
+    /// far). A middle ground when FTRANs are expensive.
+    Devex,
+    /// Classic Dantzig rule: pick the most violated basic variable. The
+    /// historical behavior, kept for A/B comparison and as the cheapest
+    /// per-iteration choice.
+    Dantzig,
+}
+
 /// Order in which open branch-and-bound nodes are explored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum NodeOrder {
@@ -90,6 +109,15 @@ pub struct SolverOptions {
     pub refactor_interval: usize,
     /// Linear-algebra kernel backing the simplex basis.
     pub basis_kernel: BasisKernel,
+    /// Dual-simplex leaving-row rule (pricing). See [`Pricing`].
+    pub pricing: Pricing,
+    /// Warm-start node LPs from the parent's basis: each branch-and-bound
+    /// node snapshots its optimal basis on expansion and both children
+    /// restore it (re-factorizing through the LU path) before
+    /// re-optimizing, so a child typically finishes in a handful of dual
+    /// pivots. `false` re-solves every node from the all-slack basis (the
+    /// cold-start reference the ablation benches compare against).
+    pub warm_start: bool,
     /// Sparse-LU only: maximum length of the product-form eta file before a
     /// refactorization is forced, independently of `refactor_interval`.
     /// Longer files make FTRAN/BTRAN slower and drift-prone; shorter files
@@ -127,6 +155,8 @@ impl Default for SolverOptions {
             rounding_heuristic: true,
             refactor_interval: 128,
             basis_kernel: BasisKernel::default(),
+            pricing: Pricing::default(),
+            warm_start: true,
             eta_limit: 64,
             presolve: true,
             threads: 0,
@@ -244,6 +274,18 @@ impl SolverOptions {
         self
     }
 
+    /// Selects the dual-simplex pricing rule, builder-style.
+    pub fn pricing(mut self, pricing: Pricing) -> Self {
+        self.pricing = pricing;
+        self
+    }
+
+    /// Enables or disables parent-basis node warm starts, builder-style.
+    pub fn warm_start(mut self, on: bool) -> Self {
+        self.warm_start = on;
+        self
+    }
+
     /// The concrete worker count after resolving `threads = 0` to the
     /// machine's available parallelism (capped at 8: branch-and-bound trees
     /// on this workspace's models rarely feed more workers than that).
@@ -305,6 +347,16 @@ mod tests {
     fn sparse_kernel_is_the_default() {
         assert_eq!(SolverOptions::default().basis_kernel, BasisKernel::SparseLu);
         assert!(SolverOptions::default().eta_limit > 0);
+    }
+
+    #[test]
+    fn warm_dse_is_the_default() {
+        let o = SolverOptions::default();
+        assert_eq!(o.pricing, Pricing::SteepestEdge);
+        assert!(o.warm_start);
+        let o = o.pricing(Pricing::Devex).warm_start(false);
+        assert_eq!(o.pricing, Pricing::Devex);
+        assert!(!o.warm_start);
     }
 
     #[test]

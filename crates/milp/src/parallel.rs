@@ -2,8 +2,11 @@
 //! worker threads.
 //!
 //! Each worker owns a full [`NodeWorker`] (its own warm-started simplex and
-//! pseudo-cost table) and drains nodes from the shared pool. Two pieces of
-//! state are global:
+//! pseudo-cost table) and drains nodes from the shared pool. A stolen node
+//! carries its parent's basis snapshot (an `Arc` shared with its sibling),
+//! so the thief warm-starts exactly like the owner would have; if the
+//! snapshot fails to factorize on the thief's kernel, the node falls back
+//! to a slack-basis cold start. Two pieces of state are global:
 //!
 //! * the **incumbent** ([`SharedIncumbent`]): the point lives behind a
 //!   `parking_lot` mutex, while its objective is mirrored into an atomic so
@@ -298,6 +301,8 @@ pub(crate) fn search(
         simplex_seconds: per_worker.iter().map(|w| w.simplex_seconds).sum(),
         factor_seconds: per_worker.iter().map(|w| w.factor_seconds).sum(),
         refactorizations: per_worker.iter().map(|w| w.refactorizations).sum(),
+        warm_starts: per_worker.iter().map(|w| w.warm_starts).sum(),
+        cold_starts: per_worker.iter().map(|w| w.cold_starts).sum(),
     })
 }
 
@@ -311,6 +316,8 @@ struct WorkerStats {
     simplex_seconds: f64,
     factor_seconds: f64,
     refactorizations: u64,
+    warm_starts: u64,
+    cold_starts: u64,
 }
 
 /// One worker: pops nodes until the tree is exhausted or a stop is raised.
@@ -424,5 +431,7 @@ fn worker_loop(
         simplex_seconds: worker.lp.simplex_seconds,
         factor_seconds: worker.lp.factor_seconds,
         refactorizations: worker.lp.refactorizations,
+        warm_starts: worker.warm_starts,
+        cold_starts: worker.cold_starts,
     }
 }

@@ -7,8 +7,13 @@
 //!   because [`StandardForm`] clamps all bounds to finite values).
 //! * Branch-and-bound only changes variable *bounds*, which never disturbs
 //!   dual feasibility of the current basis, so every node after the root is
-//!   warm-started from the parent's basis and usually re-optimizes in a
-//!   handful of pivots.
+//!   warm-started from its parent's basis ([`BasisSnapshot`], captured at
+//!   branch time and restored with [`Simplex::restore_snapshot`]) and
+//!   usually re-optimizes in a handful of pivots.
+//!
+//! Leaving-row pricing is selected by [`SolverOptions::pricing`]: dual
+//! steepest edge (exact Forrest–Goldfarb reference weights, default), devex
+//! (approximate weights, no extra FTRAN) or classic Dantzig most-violated.
 //!
 //! The basis linear algebra is abstracted behind [`Kernel`], selected by
 //! [`SolverOptions::basis_kernel`]:
@@ -36,7 +41,7 @@
 use crate::error::{MilpError, Result};
 use crate::events::{CancelToken, ObserverHandle, SolverEvent};
 use crate::lu::{EtaFile, LuFactors};
-use crate::options::{BasisKernel, SolverOptions};
+use crate::options::{BasisKernel, Pricing, SolverOptions};
 use crate::standard::{ColumnRef, StandardForm};
 use std::time::Instant;
 
@@ -48,6 +53,11 @@ const DTOL: f64 = 1e-7;
 const ZTOL: f64 = 1e-9;
 /// Degenerate pivots tolerated before switching to Bland's rule.
 const DEGEN_LIMIT: u32 = 200;
+/// Floor for DSE/devex reference weights (guards the score division).
+const WEIGHT_FLOOR: f64 = 1e-4;
+/// Devex weight ceiling: when any weight exceeds this the reference
+/// framework has drifted too far and is reset to the unit weights.
+const DEVEX_RESET: f64 = 1e7;
 
 /// Status of a single LP solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +73,22 @@ enum Stat {
     Basic,
     Lower,
     Upper,
+}
+
+/// A restorable image of the simplex basis: the basic column set plus every
+/// column's bound status. Captured with [`Simplex::snapshot`] when a
+/// branch-and-bound node is expanded and installed in its children with
+/// [`Simplex::restore_snapshot`], so each child LP starts one bound change
+/// away from its parent's optimal basis instead of wherever the worker's
+/// basis drifted (or the all-slack basis).
+///
+/// Deliberately excludes basic *values* and reduced costs: both depend on
+/// the node's bounds and are recomputed on restore, which also keeps the
+/// snapshot small enough to share across threads by `Arc`.
+#[derive(Debug, Clone)]
+pub(crate) struct BasisSnapshot {
+    pub(crate) basis: Vec<usize>,
+    stat: Vec<Stat>,
 }
 
 /// The linear-algebra backend representing `B⁻¹`.
@@ -344,12 +370,32 @@ pub(crate) struct Simplex<'a> {
     c_pert: Vec<f64>,
     /// Safe bound correction: `true_optimum ≥ objective() − bound_margin`.
     bound_margin: f64,
+    /// Leaving-row selection rule.
+    pricing: Pricing,
+    /// Reference weights for steepest-edge/devex row pricing, one per basis
+    /// row. `weights[r]` tracks (DSE: exactly, devex: approximately)
+    /// `‖eᵣᵀ B⁻¹‖²`. All-ones under Dantzig. Weights survive
+    /// refactorizations (the basis is unchanged) but reset to the unit
+    /// framework whenever the basis is *replaced* (slack reset, snapshot
+    /// restore).
+    weights: Vec<f64>,
     /// Scratch buffers reused across pivots.
     scratch_rho: Vec<f64>,
     scratch_aq: Vec<f64>,
     scratch_alpha: Vec<f64>,
     scratch_work: Vec<f64>,
     scratch_flip: Vec<f64>,
+    /// Scratch for the DSE cross-term FTRAN `τ = B⁻¹ρ`.
+    scratch_tau: Vec<f64>,
+    /// Scratch for the BTRAN right-hand side of `recompute_reduced_costs`.
+    scratch_y: Vec<f64>,
+    /// Scratch for the FTRAN right-hand side of `recompute_xb`.
+    scratch_bt: Vec<f64>,
+    /// BFRT scratch owned between calls so `optimize` is allocation-free
+    /// after warm-up: ratio-sorted entering candidates...
+    scratch_cand: Vec<(f64, usize)>,
+    /// ...and the columns bound-flipped in the current iteration.
+    scratch_flips: Vec<usize>,
 }
 
 impl<'a> Simplex<'a> {
@@ -416,11 +462,18 @@ impl<'a> Simplex<'a> {
             refactorizations: 0,
             c_pert,
             bound_margin,
+            pricing: options.pricing,
+            weights: vec![1.0; m],
             scratch_rho: vec![0.0; m],
             scratch_aq: vec![0.0; m],
             scratch_alpha: vec![0.0; ncols],
             scratch_work: vec![0.0; m],
             scratch_flip: vec![0.0; m],
+            scratch_tau: vec![0.0; m],
+            scratch_y: vec![0.0; m],
+            scratch_bt: vec![0.0; m],
+            scratch_cand: Vec::new(),
+            scratch_flips: Vec::new(),
         };
         s.recompute_xb();
         s
@@ -458,17 +511,18 @@ impl<'a> Simplex<'a> {
 
     /// Recomputes `xb = B⁻¹ (b − N x_N)` from scratch.
     fn recompute_xb(&mut self) {
-        let mut bt = self.sf.b.clone();
+        let sf = self.sf;
+        self.scratch_bt.copy_from_slice(&sf.b);
         for j in 0..self.ncols {
             if self.stat[j] != Stat::Basic {
                 let v = self.nonbasic_value(j);
                 if v != 0.0 {
-                    self.sf.column(j).axpy(-v, &mut bt);
+                    sf.column(j).axpy(-v, &mut self.scratch_bt);
                 }
             }
         }
-        self.kernel.ftran(&mut bt, &mut self.scratch_work);
-        self.xb.copy_from_slice(&bt);
+        self.kernel.ftran(&mut self.scratch_bt, &mut self.scratch_work);
+        self.xb.copy_from_slice(&self.scratch_bt);
     }
 
     /// Rebuilds the kernel's basis representation from scratch and
@@ -494,19 +548,56 @@ impl<'a> Simplex<'a> {
 
     /// Recomputes `d = c − cᵦ B⁻¹ A` from scratch.
     fn recompute_reduced_costs(&mut self) {
+        let sf = self.sf;
         // y solves Bᵀ y = c_B.
-        let mut y = vec![0.0; self.m];
-        for (r, &j) in self.basis.iter().enumerate() {
-            y[r] = self.pcost(j);
+        for r in 0..self.m {
+            let j = self.basis[r];
+            self.scratch_y[r] = if j < sf.n { self.c_pert[j] } else { 0.0 };
         }
-        self.kernel.btran(&mut y, &mut self.scratch_work);
+        self.kernel.btran(&mut self.scratch_y, &mut self.scratch_work);
         for j in 0..self.ncols {
             if self.stat[j] == Stat::Basic {
                 self.d[j] = 0.0;
             } else {
-                self.d[j] = self.pcost(j) - self.sf.column(j).dot(&y);
+                self.d[j] = self.pcost(j) - sf.column(j).dot(&self.scratch_y);
             }
         }
+    }
+
+    /// Resets the pricing reference weights to the unit framework.
+    fn reset_weights(&mut self) {
+        self.weights.iter_mut().for_each(|w| *w = 1.0);
+    }
+
+    /// Captures the current basis and bound statuses for later
+    /// [`Simplex::restore_snapshot`].
+    pub fn snapshot(&self) -> BasisSnapshot {
+        BasisSnapshot { basis: self.basis.clone(), stat: self.stat.clone() }
+    }
+
+    /// Installs a previously captured basis: copies the basic set and bound
+    /// statuses, refactorizes through the kernel and recomputes reduced
+    /// costs and basic values under the *current* bounds (apply bound edits
+    /// before calling this). Pricing weights reset to the unit framework —
+    /// the snapshot basis is near-optimal for the child node, so the exact
+    /// reference is rebuilt within a handful of pivots.
+    ///
+    /// # Errors
+    ///
+    /// [`MilpError::SingularBasis`] when the snapshot basis cannot be
+    /// factorized. The state is then *inconsistent* (basis arrays updated,
+    /// kernel stale) and the caller must immediately
+    /// [`Simplex::reset_to_slack_basis`].
+    pub fn restore_snapshot(&mut self, snap: &BasisSnapshot) -> Result<()> {
+        debug_assert_eq!(snap.basis.len(), self.m);
+        debug_assert_eq!(snap.stat.len(), self.ncols);
+        self.basis.copy_from_slice(&snap.basis);
+        self.stat.copy_from_slice(&snap.stat);
+        self.refactorize()?;
+        self.make_dual_feasible();
+        self.recompute_xb();
+        self.reset_weights();
+        Ok(())
     }
 
     /// Discards the basis entirely and restarts from the dual-feasible
@@ -532,6 +623,8 @@ impl<'a> Simplex<'a> {
         self.pivots_since_refactor = 0;
         self.make_dual_feasible();
         self.recompute_xb();
+        // Slack basis ⇒ B = I ⇒ every row norm is exactly 1.
+        self.reset_weights();
     }
 
     /// Flips nonbasic variables whose reduced cost sign disagrees with their
@@ -586,17 +679,26 @@ impl<'a> Simplex<'a> {
     }
 
     /// Extracts the full primal vector of length `n + m`.
+    #[allow(dead_code)] // convenience wrapper over `values_into`, used in tests
     pub fn values(&self) -> Vec<f64> {
-        let mut x = vec![0.0; self.ncols];
-        for (j, xj) in x.iter_mut().enumerate() {
+        let mut x = Vec::new();
+        self.values_into(&mut x);
+        x
+    }
+
+    /// Writes the full primal vector of length `n + m` into `out`,
+    /// clearing and resizing it. Allocation-free once `out` has capacity.
+    pub fn values_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.ncols, 0.0);
+        for (j, xj) in out.iter_mut().enumerate() {
             if self.stat[j] != Stat::Basic {
                 *xj = self.nonbasic_value(j);
             }
         }
         for (r, &j) in self.basis.iter().enumerate() {
-            x[j] = self.xb[r];
+            out[j] = self.xb[r];
         }
-        x
     }
 
     /// Internal (minimization) objective of the current point.
@@ -632,15 +734,26 @@ impl<'a> Simplex<'a> {
     }
 
     fn optimize_inner(&mut self) -> Result<LpStatus> {
+        // Detach the BFRT scratch so the loop can sort and iterate it while
+        // reading other fields of `self`; reattached on every exit path.
+        let mut cand = std::mem::take(&mut self.scratch_cand);
+        let mut flips = std::mem::take(&mut self.scratch_flips);
+        let r = self.optimize_loop(&mut cand, &mut flips);
+        self.scratch_cand = cand;
+        self.scratch_flips = flips;
+        r
+    }
+
+    fn optimize_loop(
+        &mut self,
+        cand: &mut Vec<(f64, usize)>,
+        flips: &mut Vec<usize>,
+    ) -> Result<LpStatus> {
         let mut degenerate_run: u32 = 0;
         let mut local_iters: usize = 0;
         // After this many pivots without finishing, switch to Bland's rule
         // permanently: slow but guaranteed to terminate.
         let stall_limit = (4 * self.m).max(2_000);
-        // BFRT scratch: ratio-sorted entering candidates and the columns
-        // flipped this iteration. Allocated once, cleared per iteration.
-        let mut cand: Vec<(f64, usize)> = Vec::new();
-        let mut flips: Vec<usize> = Vec::new();
         loop {
             if local_iters >= self.iteration_limit {
                 return Err(MilpError::IterationLimit { limit: self.iteration_limit });
@@ -655,29 +768,31 @@ impl<'a> Simplex<'a> {
                     }
                 }
             }
-            // --- Leaving variable: most violated basic value. ---
+            // --- Leaving variable: best pricing score among violated rows.
+            // Dantzig scores by raw violation; steepest-edge/devex by
+            // violation²/weight, the dual-step-length measure that actually
+            // ranks progress per pivot (Forrest–Goldfarb). ---
+            let dantzig = self.pricing == Pricing::Dantzig;
             let mut r_best = usize::MAX;
-            let mut viol_best = 0.0;
+            let mut score_best = 0.0;
             let mut below = false;
             for r in 0..self.m {
                 let j = self.basis[r];
                 let x = self.xb[r];
                 let tol_lo = PTOL * (1.0 + self.lb[j].abs());
                 let tol_hi = PTOL * (1.0 + self.ub[j].abs());
-                if x < self.lb[j] - tol_lo {
-                    let v = self.lb[j] - x;
-                    if v > viol_best {
-                        viol_best = v;
-                        r_best = r;
-                        below = true;
-                    }
+                let (v, is_below) = if x < self.lb[j] - tol_lo {
+                    (self.lb[j] - x, true)
                 } else if x > self.ub[j] + tol_hi {
-                    let v = x - self.ub[j];
-                    if v > viol_best {
-                        viol_best = v;
-                        r_best = r;
-                        below = false;
-                    }
+                    (x - self.ub[j], false)
+                } else {
+                    continue;
+                };
+                let score = if dantzig { v } else { v * v / self.weights[r].max(WEIGHT_FLOOR) };
+                if score > score_best {
+                    score_best = score;
+                    r_best = r;
+                    below = is_below;
                 }
             }
             if r_best == usize::MAX {
@@ -796,7 +911,7 @@ impl<'a> Simplex<'a> {
             // accumulated bound-shift to update the basic values. ---
             if !flips.is_empty() {
                 self.scratch_flip.iter_mut().for_each(|x| *x = 0.0);
-                for &j in &flips {
+                for &j in flips.iter() {
                     let (delta, flipped) = match self.stat[j] {
                         Stat::Lower => (self.ub[j] - self.lb[j], Stat::Upper),
                         Stat::Upper => (self.lb[j] - self.ub[j], Stat::Lower),
@@ -858,6 +973,10 @@ impl<'a> Simplex<'a> {
             }
             self.xb[r] = x_q_new;
 
+            // Pricing weights for the next iteration, while the kernel
+            // still represents the outgoing basis.
+            self.update_weights(r, alpha_q_true);
+
             // Kernel update for the exchange at (r, q).
             let force_refactor = self.kernel.update(r, &self.scratch_aq);
 
@@ -882,6 +1001,63 @@ impl<'a> Simplex<'a> {
         }
     }
 
+    /// Updates the row pricing weights for the exchange at row `r` with
+    /// pivot element `alpha_r`, using the FTRAN'd entering column in
+    /// `scratch_aq` and (for DSE) the BTRAN row in `scratch_rho`. Must run
+    /// *before* the kernel records the exchange: the DSE cross term needs
+    /// `τ = B⁻¹ρ` in the outgoing basis.
+    fn update_weights(&mut self, r: usize, alpha_r: f64) {
+        let inv = 1.0 / alpha_r;
+        match self.pricing {
+            Pricing::Dantzig => {}
+            Pricing::Devex => {
+                // Approximate reference update (dual devex): weights only
+                // ever grow toward the true row norms — no extra FTRAN, at
+                // the cost of a periodic framework reset.
+                let wr = self.weights[r].max(1.0);
+                let mut wmax = 0.0_f64;
+                for i in 0..self.m {
+                    if i == r {
+                        continue;
+                    }
+                    let kappa = self.scratch_aq[i] * inv;
+                    if kappa != 0.0 {
+                        let grow = kappa * kappa * wr;
+                        if grow > self.weights[i] {
+                            self.weights[i] = grow;
+                        }
+                    }
+                    wmax = wmax.max(self.weights[i]);
+                }
+                self.weights[r] = (wr * inv * inv).max(1.0);
+                if wmax.max(self.weights[r]) > DEVEX_RESET {
+                    self.reset_weights();
+                }
+            }
+            Pricing::SteepestEdge => {
+                // Exact Forrest–Goldfarb. The leaving row's true squared
+                // norm is recomputed from the BTRAN row already at hand
+                // (self-correcting against drift); the cross term costs one
+                // extra FTRAN per pivot.
+                let wr = self.scratch_rho.iter().map(|&x| x * x).sum::<f64>().max(WEIGHT_FLOOR);
+                self.scratch_tau.copy_from_slice(&self.scratch_rho);
+                self.kernel.ftran(&mut self.scratch_tau, &mut self.scratch_work);
+                for i in 0..self.m {
+                    if i == r {
+                        continue;
+                    }
+                    let kappa = self.scratch_aq[i] * inv;
+                    if kappa != 0.0 {
+                        let w = self.weights[i] - 2.0 * kappa * self.scratch_tau[i]
+                            + kappa * kappa * wr;
+                        self.weights[i] = w.max(WEIGHT_FLOOR);
+                    }
+                }
+                self.weights[r] = (wr * inv * inv).max(WEIGHT_FLOOR);
+            }
+        }
+    }
+
     /// Maximum primal bound violation over basic variables (diagnostics).
     #[allow(dead_code)] // diagnostic accessor, exercised in tests
     pub fn primal_infeasibility(&self) -> f64 {
@@ -892,5 +1068,94 @@ impl<'a> Simplex<'a> {
             worst = worst.max(self.lb[j] - x).max(x - self.ub[j]);
         }
         worst.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+    use crate::{LinExpr, Objective};
+
+    /// A small LP whose optimum moves several structurals into the basis.
+    fn sf_fixture() -> StandardForm {
+        let mut m = Model::new("snap");
+        let xs: Vec<_> = (0..4).map(|i| m.continuous(format!("x{i}"), 0.0, 4.0).unwrap()).collect();
+        m.add_ge("r0", LinExpr::term(xs[0], 1.0) + LinExpr::term(xs[1], 1.0), 3.0);
+        m.add_ge("r1", LinExpr::term(xs[1], 2.0) + LinExpr::term(xs[2], 1.0), 4.0);
+        m.add_le("r2", LinExpr::term(xs[0], 1.0) + LinExpr::term(xs[3], 2.0), 5.0);
+        let mut obj = LinExpr::new();
+        for (i, &x) in xs.iter().enumerate() {
+            obj.add_term(x, 1.0 + i as f64);
+        }
+        m.set_objective(Objective::Minimize, obj);
+        StandardForm::from_model(&m, &SolverOptions::default())
+    }
+
+    #[test]
+    fn snapshot_restore_recovers_the_optimal_basis() {
+        let sf = sf_fixture();
+        let opts = SolverOptions::default();
+        let mut s = Simplex::new(&sf, &opts);
+        assert_eq!(s.optimize().unwrap(), LpStatus::Optimal);
+        let obj = s.objective();
+        let snap = s.snapshot();
+        // Drift the basis away from the snapshot with a tighter bound.
+        s.set_bounds(1, 2.0, 4.0);
+        s.refresh();
+        assert_eq!(s.optimize().unwrap(), LpStatus::Optimal);
+        // Back to the original box, restore, and re-optimize: the restored
+        // basis is already optimal, so no pivots are needed.
+        s.set_bounds(1, 0.0, 4.0);
+        let before = s.iterations;
+        s.restore_snapshot(&snap).unwrap();
+        assert_eq!(s.optimize().unwrap(), LpStatus::Optimal);
+        assert_eq!(s.iterations, before, "restored optimal basis must re-optimize pivot-free");
+        assert!((s.objective() - obj).abs() < 1e-9, "{} vs {obj}", s.objective());
+    }
+
+    #[test]
+    fn corrupt_snapshot_restore_reports_singular_basis() {
+        let sf = sf_fixture();
+        let opts = SolverOptions::default();
+        let mut s = Simplex::new(&sf, &opts);
+        assert_eq!(s.optimize().unwrap(), LpStatus::Optimal);
+        let obj = s.objective();
+        let mut snap = s.snapshot();
+        // Duplicate a basic column: the basis matrix is singular.
+        snap.basis[1] = snap.basis[0];
+        assert!(matches!(s.restore_snapshot(&snap), Err(MilpError::SingularBasis)));
+        // The documented recovery: a slack reset returns a usable state
+        // that still reaches the optimum.
+        s.reset_to_slack_basis();
+        assert_eq!(s.optimize().unwrap(), LpStatus::Optimal);
+        assert!((s.objective() - obj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dense_kernel_rejects_corrupt_snapshot_too() {
+        let sf = sf_fixture();
+        let opts = SolverOptions::default().basis_kernel(BasisKernel::Dense);
+        let mut s = Simplex::new(&sf, &opts);
+        assert_eq!(s.optimize().unwrap(), LpStatus::Optimal);
+        let mut snap = s.snapshot();
+        snap.basis[2] = snap.basis[0];
+        assert!(matches!(s.restore_snapshot(&snap), Err(MilpError::SingularBasis)));
+    }
+
+    #[test]
+    fn pricing_weights_stay_floored_and_reset_on_basis_replacement() {
+        let sf = sf_fixture();
+        for pricing in [Pricing::SteepestEdge, Pricing::Devex] {
+            let opts = SolverOptions { pricing, ..SolverOptions::default() };
+            let mut s = Simplex::new(&sf, &opts);
+            assert_eq!(s.optimize().unwrap(), LpStatus::Optimal);
+            assert!(s.iterations > 0, "fixture must pivot");
+            for &w in &s.weights {
+                assert!(w >= WEIGHT_FLOOR && w.is_finite(), "weight {w} out of range");
+            }
+            s.reset_to_slack_basis();
+            assert!(s.weights.iter().all(|&w| w == 1.0), "reset must restore unit weights");
+        }
     }
 }

@@ -65,6 +65,13 @@ pub struct SolveStats {
     pub incumbents: u64,
     /// Nodes obtained by work stealing (0 for serial solves).
     pub steals: u64,
+    /// Node LPs warm-started from a parent basis snapshot (restored or
+    /// inherited in place). Zero when `SolverOptions::warm_start` is off.
+    pub warm_starts: u64,
+    /// Node LPs started from the all-slack basis: the root, every node when
+    /// warm starts are disabled, and warm-start restores that failed to
+    /// factorize and fell back cold.
+    pub cold_starts: u64,
 }
 
 impl SolveStats {

@@ -1,0 +1,235 @@
+//! Pricing-rule and warm-start equivalence.
+//!
+//! The leaving-row pricing rule (Dantzig / devex / dual steepest edge) and
+//! the parent-basis warm start change *which* pivots the dual simplex makes
+//! and *where* each node LP starts — never the answer. The proptest blocks
+//! cross-check every pricing rule × warm-start combination against the
+//! Dantzig/cold reference on random bounded MILPs, and the determinism
+//! tests pin that a `threads = 1` solve emits a bit-for-bit identical event
+//! sequence when repeated, under every combination.
+
+use ndp_milp::{
+    ConstraintSense, LinExpr, Model, Objective, Pricing, SolveStatus, SolverEvent, SolverOptions,
+};
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug, Clone)]
+struct RandomLp {
+    n: usize,
+    obj: Vec<i32>,
+    maximize: bool,
+    bounds: Vec<(i32, i32)>,
+    integral: bool,
+    rows: Vec<(Vec<i32>, u8, i32)>, // coeffs, sense code, rhs
+}
+
+fn build(lp: &RandomLp) -> Model {
+    let mut m = Model::new("rand");
+    let vars: Vec<_> = (0..lp.n)
+        .map(|i| {
+            let (lo, hi) = lp.bounds[i];
+            let (lo, hi) = (lo.min(hi) as f64, lo.max(hi) as f64);
+            if lp.integral {
+                m.integer(format!("x{i}"), lo, hi).unwrap()
+            } else {
+                m.continuous(format!("x{i}"), lo, hi).unwrap()
+            }
+        })
+        .collect();
+    for (r, (coeffs, sense, rhs)) in lp.rows.iter().enumerate() {
+        let mut e = LinExpr::new();
+        for (j, &c) in coeffs.iter().enumerate() {
+            if c != 0 {
+                e.add_term(vars[j], c as f64);
+            }
+        }
+        let sense = match sense {
+            0 => ConstraintSense::Le,
+            1 => ConstraintSense::Ge,
+            _ => ConstraintSense::Eq,
+        };
+        m.add_constraint(format!("r{r}"), e, sense, *rhs as f64);
+    }
+    let mut obj = LinExpr::new();
+    for (j, &c) in lp.obj.iter().enumerate() {
+        obj.add_term(vars[j], c as f64);
+    }
+    let dir = if lp.maximize { Objective::Maximize } else { Objective::Minimize };
+    m.set_objective(dir, obj);
+    m
+}
+
+fn random_instance(integral: bool) -> impl Strategy<Value = RandomLp> {
+    (2usize..=8, any::<bool>()).prop_flat_map(move |(n, maximize)| {
+        let obj = proptest::collection::vec(-9i32..=9, n);
+        let bounds = proptest::collection::vec((-4i32..=4, -4i32..=6), n);
+        let row = (proptest::collection::vec(-5i32..=5, n), 0u8..=2, -10i32..=14);
+        let rows = proptest::collection::vec(row, 1..=5);
+        (obj, bounds, rows).prop_map(move |(obj, bounds, rows)| RandomLp {
+            n,
+            obj,
+            maximize,
+            bounds,
+            integral,
+            rows,
+        })
+    })
+}
+
+const ALL_PRICING: [Pricing; 3] = [Pricing::SteepestEdge, Pricing::Devex, Pricing::Dantzig];
+
+/// Solves single-threaded under one pricing × warm-start configuration.
+fn solve_config(lp: &RandomLp, pricing: Pricing, warm: bool) -> (SolveStatus, f64) {
+    let m = build(lp);
+    let opts = SolverOptions::default().threads(1).pricing(pricing).warm_start(warm);
+    let sol = m.solve_with(&opts).expect("solve must not error");
+    (sol.status(), if sol.status().has_solution() { sol.objective_value() } else { 0.0 })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    /// Random MILPs: every pricing rule, warm and cold, proves the same
+    /// status and optimum as the Dantzig/cold reference.
+    #[test]
+    fn all_pricing_warm_combinations_agree_on_milps(lp in random_instance(true)) {
+        let (st_ref, obj_ref) = solve_config(&lp, Pricing::Dantzig, false);
+        for pricing in ALL_PRICING {
+            for warm in [true, false] {
+                if pricing == Pricing::Dantzig && !warm {
+                    continue;
+                }
+                let (st, obj) = solve_config(&lp, pricing, warm);
+                prop_assert_eq!(st, st_ref,
+                    "status mismatch for {:?}/warm={}", pricing, warm);
+                if st_ref.has_solution() {
+                    prop_assert!((obj - obj_ref).abs() < 1e-6,
+                        "{:?}/warm={} found {} vs reference {}", pricing, warm, obj, obj_ref);
+                }
+            }
+        }
+    }
+
+    /// Random pure LPs: same agreement without the branch and bound on top.
+    #[test]
+    fn all_pricing_warm_combinations_agree_on_lps(lp in random_instance(false)) {
+        let (st_ref, obj_ref) = solve_config(&lp, Pricing::Dantzig, false);
+        for pricing in ALL_PRICING {
+            let (st, obj) = solve_config(&lp, pricing, true);
+            prop_assert_eq!(st, st_ref, "status mismatch for {:?}", pricing);
+            if st_ref.has_solution() {
+                prop_assert!((obj - obj_ref).abs() < 1e-6,
+                    "{:?} found {} vs reference {}", pricing, obj, obj_ref);
+            }
+        }
+    }
+}
+
+fn recording_observer() -> (Arc<Mutex<Vec<SolverEvent>>>, Arc<dyn ndp_milp::Observer>) {
+    let events = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&events);
+    let obs: Arc<dyn ndp_milp::Observer> =
+        Arc::new(move |e: &SolverEvent| sink.lock().unwrap().push(e.clone()));
+    (events, obs)
+}
+
+/// A small knapsack-style MILP with a non-trivial tree.
+fn tree_model() -> Model {
+    let mut m = Model::new("tree");
+    let mut weight = LinExpr::new();
+    let mut value = LinExpr::new();
+    for (i, (w, v)) in [(3.0, 7.0), (5.0, 9.0), (7.0, 12.0), (4.0, 6.0), (6.0, 11.0), (2.0, 3.0)]
+        .into_iter()
+        .enumerate()
+    {
+        let x = m.integer(format!("x{i}"), 0.0, 3.0).unwrap();
+        weight.add_term(x, w);
+        value.add_term(x, v);
+    }
+    m.add_le("cap", weight, 17.0);
+    m.set_objective(Objective::Maximize, value);
+    m
+}
+
+/// Runs the tree model serially and returns the full event transcript.
+fn event_transcript(pricing: Pricing, warm: bool) -> Vec<SolverEvent> {
+    let (events, obs) = recording_observer();
+    let opts = SolverOptions::default().threads(1).pricing(pricing).warm_start(warm).observer(obs);
+    let sol = tree_model().solve_with(&opts).expect("solve must not error");
+    assert_eq!(sol.status(), SolveStatus::Optimal);
+    let e = events.lock().unwrap();
+    e.clone()
+}
+
+/// `threads = 1` must be reproducible event-for-event (including per-node
+/// pivot counts and refactorization counters) under every pricing rule ×
+/// warm-start combination.
+#[test]
+fn serial_event_stream_is_deterministic_for_every_combination() {
+    for pricing in ALL_PRICING {
+        for warm in [true, false] {
+            let a = event_transcript(pricing, warm);
+            let b = event_transcript(pricing, warm);
+            assert!(!a.is_empty(), "no events for {pricing:?}/warm={warm}");
+            assert_eq!(
+                a, b,
+                "event streams diverged between identical runs for {pricing:?}/warm={warm}"
+            );
+        }
+    }
+}
+
+/// All six configurations must prove the same optimum on the tree model,
+/// and the warm-started runs must not need more pivots than their cold
+/// twins (the point of carrying the parent basis).
+#[test]
+fn tree_model_pivot_counts_and_optimum() {
+    let mut reference: Option<f64> = None;
+    for pricing in ALL_PRICING {
+        let mut pivots = [0u64; 2];
+        for (slot, warm) in [(0usize, true), (1usize, false)] {
+            let opts = SolverOptions::default().threads(1).pricing(pricing).warm_start(warm);
+            let sol = tree_model().solve_with(&opts).expect("solve must not error");
+            assert_eq!(sol.status(), SolveStatus::Optimal);
+            match reference {
+                None => reference = Some(sol.objective_value()),
+                Some(o) => assert!(
+                    (sol.objective_value() - o).abs() < 1e-6,
+                    "{pricing:?}/warm={warm} optimum {} vs {}",
+                    sol.objective_value(),
+                    o
+                ),
+            }
+            pivots[slot] = sol.simplex_iterations();
+            let stats = sol.stats();
+            if warm {
+                assert!(stats.warm_starts > 0, "warm run recorded no warm starts");
+            } else {
+                assert_eq!(stats.warm_starts, 0, "cold run recorded warm starts");
+                assert_eq!(stats.cold_starts, sol.node_count(), "every node must start cold");
+            }
+        }
+        assert!(
+            pivots[0] <= pivots[1],
+            "{pricing:?}: warm start took more pivots than cold ({} > {})",
+            pivots[0],
+            pivots[1]
+        );
+    }
+}
+
+/// Warm/cold counters partition the node count on a serial solve.
+#[test]
+fn warm_cold_counters_partition_nodes() {
+    let opts = SolverOptions::default().threads(1);
+    let sol = tree_model().solve_with(&opts).expect("solve must not error");
+    let stats = sol.stats();
+    assert_eq!(
+        stats.warm_starts + stats.cold_starts,
+        sol.node_count(),
+        "every evaluated node is exactly one of warm/cold"
+    );
+    // The root always starts cold.
+    assert!(stats.cold_starts >= 1);
+}
