@@ -9,8 +9,9 @@
 //!
 //! ```text
 //! basis_kernel [--tasks M] [--seconds S] [--seed K] [--instances I]
-//!              [--pricing dse|devex|dantzig] [--warm on|off]
-//!              [--json PATH] [--ablation] [--trace]
+//!              [--pricing dse|devex|dantzig] [--warm on|off] [--cuts on|off]
+//!              [--json PATH] [--append-json PATH] [--ablation]
+//!              [--cuts-ablation] [--trace]
 //! ```
 //!
 //! `--ablation` replaces the kernel A/B with the full
@@ -19,8 +20,15 @@
 //! cold-started twin — the regression guard CI runs on every push. All
 //! configurations must agree on the optimum.
 //!
+//! `--cuts-ablation` runs the cutting-plane A/B on the sparse-lu/dse/warm
+//! reference configuration and **fails** (exit code 1) if the cuts-on run
+//! explores more nodes than cuts-off, or the two optima diverge — the
+//! guard behind the cut engine's node-count claim.
+//!
 //! `--json PATH` additionally writes the run's records as a JSON array
-//! (see `results/BENCH_milp.json` for the checked-in baseline).
+//! (see `results/BENCH_milp.json` for the checked-in baseline);
+//! `--append-json PATH` appends them to an existing array instead, the
+//! convention behind the repo-root `BENCH_milp.json` trajectory file.
 //!
 //! Defaults reproduce the largest fixed exact-arm instance (`M = 6` on a
 //! 2×2 mesh, 60 s budget). CI runs a smoke configuration
@@ -29,7 +37,8 @@
 //! termination) to stderr while the table prints to stdout.
 
 use ndp_bench::{
-    parse_pricing, pricing_name, trace_observer, write_bench_json, BenchRecord, InstanceSpec,
+    append_bench_json, parse_pricing, pricing_name, trace_observer, write_bench_json, BenchRecord,
+    InstanceSpec,
 };
 use ndp_core::{build_milp, DeployObjective, PathMode};
 use ndp_milp::{BasisKernel, Pricing, SolverOptions};
@@ -41,6 +50,9 @@ struct KernelRun {
     seconds: f64,
     warm_starts: u64,
     cold_starts: u64,
+    cuts_applied: u64,
+    gap: f64,
+    dual_bound: f64,
     objective: f64,
 }
 
@@ -49,6 +61,7 @@ fn run(
     kernel: BasisKernel,
     pricing: Pricing,
     warm: bool,
+    cuts: bool,
     tasks: usize,
     seconds: f64,
     seed: u64,
@@ -61,10 +74,11 @@ fn run(
         .threads(1)
         .basis_kernel(kernel)
         .pricing(pricing)
-        .warm_start(warm);
+        .warm_start(warm)
+        .cuts(cuts);
     if trace {
         eprintln!(
-            "[trace] --- kernel={kernel:?} pricing={} warm={warm} seed={seed} ---",
+            "[trace] --- kernel={kernel:?} pricing={} warm={warm} cuts={cuts} seed={seed} ---",
             pricing_name(pricing)
         );
         opts = opts.observer(trace_observer());
@@ -78,6 +92,9 @@ fn run(
         seconds: t0.elapsed().as_secs_f64(),
         warm_starts: sol.stats().warm_starts,
         cold_starts: sol.stats().cold_starts,
+        cuts_applied: sol.stats().cuts_applied,
+        gap: sol.gap(),
+        dual_bound: sol.best_bound(),
         objective: if sol.has_incumbent() { sol.objective_value() } else { f64::NAN },
     }
 }
@@ -89,11 +106,13 @@ fn kernel_name(k: BasisKernel) -> &'static str {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn record(
     r: &KernelRun,
     k: BasisKernel,
     p: Pricing,
     warm: bool,
+    cuts: bool,
     tasks: usize,
     s: u64,
 ) -> BenchRecord {
@@ -102,12 +121,16 @@ fn record(
         kernel: kernel_name(k).into(),
         pricing: pricing_name(p).into(),
         warm_start: warm,
+        cuts,
         threads: 1,
         status: r.status.clone(),
         nodes: r.nodes,
         pivots: r.iters,
         warm_starts: r.warm_starts,
         cold_starts: r.cold_starts,
+        cuts_applied: r.cuts_applied,
+        gap: r.gap,
+        dual_bound: r.dual_bound,
         seconds: r.seconds,
     }
 }
@@ -133,6 +156,7 @@ fn ablation(
     tasks: usize,
     seconds: f64,
     seed: u64,
+    cuts: bool,
     trace: bool,
     records: &mut Vec<BenchRecord>,
 ) -> bool {
@@ -145,7 +169,7 @@ fn ablation(
         for pricing in [Pricing::SteepestEdge, Pricing::Devex, Pricing::Dantzig] {
             let mut pivots = [0u64; 2]; // [warm, cold]
             for (slot, warm) in [(0usize, true), (1usize, false)] {
-                let r = run(kernel, pricing, warm, tasks, seconds, seed, trace);
+                let r = run(kernel, pricing, warm, cuts, tasks, seconds, seed, trace);
                 let name = format!(
                     "{}/{}/{}",
                     kernel_name(kernel),
@@ -168,7 +192,7 @@ fn ablation(
                         }
                     }
                 }
-                records.push(record(&r, kernel, pricing, warm, tasks, seed));
+                records.push(record(&r, kernel, pricing, warm, cuts, tasks, seed));
             }
             if pivots[0] > pivots[1] {
                 eprintln!(
@@ -192,6 +216,58 @@ fn ablation(
     ok
 }
 
+/// Cutting-plane A/B on the sparse-lu/dse/warm reference configuration.
+/// Returns `false` when the cuts-on run explored more nodes than cuts-off,
+/// either run failed to prove optimality within the budget, or the two
+/// optima diverge — the regression guard behind the cut engine.
+fn cuts_ablation(
+    tasks: usize,
+    seconds: f64,
+    seed: u64,
+    trace: bool,
+    records: &mut Vec<BenchRecord>,
+) -> bool {
+    println!(
+        "config              M  seed  status      nodes  simplex_iters  seconds  nodes/s  pivots/s  warm/cold"
+    );
+    let mut ok = true;
+    let kernel = BasisKernel::SparseLu;
+    let pricing = Pricing::SteepestEdge;
+    let on = run(kernel, pricing, true, true, tasks, seconds, seed, trace);
+    let off = run(kernel, pricing, true, false, tasks, seconds, seed, trace);
+    print_row("sparse-lu/dse/cuts-on", tasks, seed, &on);
+    print_row("sparse-lu/dse/cuts-off", tasks, seed, &off);
+    records.push(record(&on, kernel, pricing, true, true, tasks, seed));
+    records.push(record(&off, kernel, pricing, true, false, tasks, seed));
+    println!("  cuts applied (on-run): {}", on.cuts_applied);
+    if on.status != "Optimal" || off.status != "Optimal" {
+        eprintln!(
+            "FAIL: cuts ablation needs both runs Optimal within the budget (got {} / {})",
+            on.status, off.status
+        );
+        return false;
+    }
+    if (on.objective - off.objective).abs() > 1e-4 * off.objective.abs().max(1.0) {
+        eprintln!(
+            "FAIL: cuts-on optimum {} disagrees with cuts-off {}",
+            on.objective, off.objective
+        );
+        ok = false;
+    }
+    if on.nodes > off.nodes {
+        eprintln!("FAIL: cuts-on explored more nodes than cuts-off ({} > {})", on.nodes, off.nodes);
+        ok = false;
+    } else {
+        println!(
+            "  node reduction (off/on): {:.2}x ({} -> {})",
+            off.nodes as f64 / on.nodes.max(1) as f64,
+            off.nodes,
+            on.nodes
+        );
+    }
+    ok
+}
+
 fn main() {
     let mut tasks = 6usize;
     let mut seconds = 60.0f64;
@@ -200,8 +276,11 @@ fn main() {
     let mut trace = false;
     let mut pricing = Pricing::SteepestEdge;
     let mut warm = true;
+    let mut cuts = true;
     let mut json: Option<String> = None;
+    let mut append_json: Option<String> = None;
     let mut grid = false;
+    let mut cuts_grid = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -212,6 +291,11 @@ fn main() {
         }
         if args[i] == "--ablation" {
             grid = true;
+            i += 1;
+            continue;
+        }
+        if args[i] == "--cuts-ablation" {
+            cuts_grid = true;
             i += 1;
             continue;
         }
@@ -240,7 +324,18 @@ fn main() {
                     }
                 }
             }
+            "--cuts" => {
+                cuts = match val.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    _ => {
+                        eprintln!("--cuts takes on|off");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--json" => json = Some(val.clone()),
+            "--append-json" => append_json = Some(val.clone()),
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -252,8 +347,10 @@ fn main() {
     let mut records: Vec<BenchRecord> = Vec::new();
     let mut failed = false;
 
-    if grid {
-        failed = !ablation(tasks, seconds, seed, trace, &mut records);
+    if cuts_grid {
+        failed = !cuts_ablation(tasks, seconds, seed, trace, &mut records);
+    } else if grid {
+        failed = !ablation(tasks, seconds, seed, cuts, trace, &mut records);
     } else {
         println!(
             "kernel              M  seed  status      nodes  simplex_iters  seconds  nodes/s  pivots/s  warm/cold"
@@ -261,14 +358,14 @@ fn main() {
         let mut ratio_sum = 0.0;
         for k in 0..instances {
             let s = seed + k as u64;
-            let dense = run(BasisKernel::Dense, pricing, warm, tasks, seconds, s, trace);
-            let sparse = run(BasisKernel::SparseLu, pricing, warm, tasks, seconds, s, trace);
+            let dense = run(BasisKernel::Dense, pricing, warm, cuts, tasks, seconds, s, trace);
+            let sparse = run(BasisKernel::SparseLu, pricing, warm, cuts, tasks, seconds, s, trace);
             for (name, kernel, r) in [
                 ("dense", BasisKernel::Dense, &dense),
                 ("sparse-lu", BasisKernel::SparseLu, &sparse),
             ] {
                 print_row(name, tasks, s, r);
-                records.push(record(r, kernel, pricing, warm, tasks, s));
+                records.push(record(r, kernel, pricing, warm, cuts, tasks, s));
             }
             let dense_tp = dense.nodes as f64 / dense.seconds.max(1e-9);
             let sparse_tp = sparse.nodes as f64 / sparse.seconds.max(1e-9);
@@ -296,6 +393,10 @@ fn main() {
     if let Some(path) = json {
         write_bench_json(&path, &records).expect("write --json output");
         println!("wrote {} record(s) to {path}", records.len());
+    }
+    if let Some(path) = append_json {
+        append_bench_json(&path, &records).expect("append --append-json output");
+        println!("appended {} record(s) to {path}", records.len());
     }
     if failed {
         std::process::exit(1);

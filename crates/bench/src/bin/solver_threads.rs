@@ -12,11 +12,13 @@
 //!
 //! ```text
 //! solver_threads [--pricing dse|devex|dantzig] [--warm on|off]
-//!                [--json PATH] [--trace]
+//!                [--cuts on|off] [--json PATH] [--trace]
 //! ```
 //!
 //! `--warm` toggles the *parent-basis* node warm start (not the heuristic
-//! incumbent). `--json PATH` writes one record per (threads, seed) solve.
+//! incumbent). `--cuts` toggles root cutting planes (on by default; turning
+//! them off grows the tree, which is useful when probing pure node
+//! throughput). `--json PATH` writes one record per (threads, seed) solve.
 //! `--trace` streams solver events (presolve, root, incumbents, per-worker
 //! stats, termination) to stderr while the table prints to stdout.
 
@@ -30,6 +32,7 @@ fn main() {
     let mut trace = false;
     let mut pricing = Pricing::SteepestEdge;
     let mut warm = true;
+    let mut cuts = true;
     let mut json: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -60,6 +63,16 @@ fn main() {
                     }
                 }
             }
+            "--cuts" => {
+                cuts = match val.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    _ => {
+                        eprintln!("--cuts takes on|off");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--json" => json = Some(val.clone()),
             other => {
                 eprintln!("unknown flag {other}");
@@ -74,7 +87,7 @@ fn main() {
     let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
     println!(
         "# Solver thread scaling (M=5, N=4, {time_limit} s budget per solve, \
-         pricing={}, warm={warm})",
+         pricing={}, warm={warm}, cuts={cuts})",
         pricing_name(pricing)
     );
     println!("# host parallelism: {cores} core(s)");
@@ -95,7 +108,8 @@ fn main() {
                 .time_limit(time_limit)
                 .threads(threads)
                 .pricing(pricing)
-                .warm_start(warm);
+                .warm_start(warm)
+                .cuts(cuts);
             if trace {
                 eprintln!("[trace] --- threads={threads} seed={seed} ---");
                 solver = solver.observer(trace_observer());
@@ -118,12 +132,21 @@ fn main() {
                 kernel: "sparse-lu".into(),
                 pricing: pricing_name(pricing).into(),
                 warm_start: warm,
+                cuts,
                 threads,
                 status: format!("{:?}", out.status),
                 nodes: out.nodes,
                 pivots: out.stats.simplex_iterations,
                 warm_starts: out.stats.warm_starts,
                 cold_starts: out.stats.cold_starts,
+                cuts_applied: out.stats.cuts_applied,
+                // Same formula as `Solution::gap`: relative to the incumbent,
+                // infinite (→ null in JSON) when none was found.
+                gap: match out.objective_mj {
+                    Some(obj) => (obj - out.best_bound_mj).abs() / obj.abs().max(1.0),
+                    None => f64::INFINITY,
+                },
+                dual_bound: out.best_bound_mj,
                 seconds: out.solve_seconds,
             });
         }

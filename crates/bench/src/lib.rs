@@ -303,6 +303,8 @@ pub struct BenchRecord {
     pub pricing: String,
     /// Parent-basis warm starts enabled.
     pub warm_start: bool,
+    /// Cutting planes enabled.
+    pub cuts: bool,
     /// Worker threads.
     pub threads: usize,
     /// Termination status (`Optimal`, `Feasible`, ...).
@@ -315,8 +317,28 @@ pub struct BenchRecord {
     pub warm_starts: u64,
     /// Node LPs started from the slack basis.
     pub cold_starts: u64,
+    /// Cuts installed (root survivors plus in-tree rounds).
+    pub cuts_applied: u64,
+    /// Relative optimality gap of the incumbent: 0 when proven optimal,
+    /// the remaining gap for a time/node-limited `Feasible` run, non-finite
+    /// (serialized as `null`) when no incumbent exists. Distinguishes a
+    /// near-optimal limited run from a poor one — previously a limited run
+    /// was reported as a bare `Feasible` with no gap at all.
+    pub gap: f64,
+    /// Best proven bound on the objective (user scale); non-finite
+    /// serializes as `null`.
+    pub dual_bound: f64,
     /// Wall-clock seconds of the solve.
     pub seconds: f64,
+}
+
+/// A finite float as JSON, non-finite as `null` (JSON has no Inf/NaN).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
 }
 
 impl BenchRecord {
@@ -326,19 +348,24 @@ impl BenchRecord {
         format!(
             concat!(
                 "{{\"instance\":\"{}\",\"kernel\":\"{}\",\"pricing\":\"{}\",",
-                "\"warm_start\":{},\"threads\":{},\"status\":\"{}\",\"nodes\":{},",
-                "\"pivots\":{},\"warm_starts\":{},\"cold_starts\":{},\"seconds\":{:.4}}}"
+                "\"warm_start\":{},\"cuts\":{},\"threads\":{},\"status\":\"{}\",\"nodes\":{},",
+                "\"pivots\":{},\"warm_starts\":{},\"cold_starts\":{},\"cuts_applied\":{},",
+                "\"gap\":{},\"dual_bound\":{},\"seconds\":{:.4}}}"
             ),
             self.instance,
             self.kernel,
             self.pricing,
             self.warm_start,
+            self.cuts,
             self.threads,
             self.status,
             self.nodes,
             self.pivots,
             self.warm_starts,
             self.cold_starts,
+            self.cuts_applied,
+            json_f64(self.gap),
+            json_f64(self.dual_bound),
             self.seconds,
         )
     }
@@ -355,6 +382,42 @@ pub fn write_bench_json(path: &str, records: &[BenchRecord]) -> std::io::Result<
         out.push_str("  ");
         out.push_str(&r.to_json());
         if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    std::fs::write(path, out)
+}
+
+/// Appends `records` to the bench-trajectory file at `path`, keeping the
+/// one-record-per-line JSON array layout of [`write_bench_json`]. A missing
+/// or empty file is created; an existing array keeps its records, so the
+/// repo-root `BENCH_milp.json` accumulates a history of configurations
+/// across runs instead of being clobbered by each one.
+///
+/// # Errors
+///
+/// Propagates the underlying file-system error.
+pub fn append_bench_json(path: &str, records: &[BenchRecord]) -> std::io::Result<()> {
+    if records.is_empty() {
+        return Ok(());
+    }
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let mut lines: Vec<String> = existing
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && *l != "[" && *l != "]")
+        .map(|l| l.trim_end_matches(',').to_string())
+        .collect();
+    for r in records {
+        lines.push(r.to_json());
+    }
+    let mut out = String::from("[\n");
+    for (i, l) in lines.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(l);
+        if i + 1 < lines.len() {
             out.push(',');
         }
         out.push('\n');
@@ -401,12 +464,16 @@ mod tests {
             kernel: "sparse-lu".into(),
             pricing: "dse".into(),
             warm_start: true,
+            cuts: true,
             threads: 1,
             status: "Optimal".into(),
             nodes: 12,
             pivots: 345,
             warm_starts: 11,
             cold_starts: 1,
+            cuts_applied: 7,
+            gap: 0.0,
+            dual_bound: 42.5,
             seconds: 0.25,
         };
         let j = r.to_json();
@@ -415,14 +482,82 @@ mod tests {
             "\"kernel\":\"sparse-lu\"",
             "\"pricing\":\"dse\"",
             "\"warm_start\":true",
+            "\"cuts\":true",
             "\"nodes\":12",
             "\"pivots\":345",
             "\"warm_starts\":11",
             "\"cold_starts\":1",
+            "\"cuts_applied\":7",
+            "\"gap\":0.000000",
+            "\"dual_bound\":42.500000",
             "\"seconds\":0.2500",
         ] {
             assert!(j.contains(needle), "missing {needle} in {j}");
         }
+    }
+
+    /// A limited run without an incumbent carries non-finite gap/bound —
+    /// JSON has no Inf/NaN, so both must serialize as `null`.
+    #[test]
+    fn bench_record_nonfinite_floats_serialize_as_null() {
+        let r = BenchRecord {
+            instance: "M9-N4-seed1".into(),
+            kernel: "dense".into(),
+            pricing: "devex".into(),
+            warm_start: false,
+            cuts: false,
+            threads: 2,
+            status: "Unknown".into(),
+            nodes: 3,
+            pivots: 9,
+            warm_starts: 0,
+            cold_starts: 3,
+            cuts_applied: 0,
+            gap: f64::INFINITY,
+            dual_bound: f64::NAN,
+            seconds: 6.0,
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"gap\":null"), "{j}");
+        assert!(j.contains("\"dual_bound\":null"), "{j}");
+        assert!(!j.contains("inf") && !j.contains("NaN"), "{j}");
+    }
+
+    fn record(instance: &str) -> BenchRecord {
+        BenchRecord {
+            instance: instance.into(),
+            kernel: "sparse-lu".into(),
+            pricing: "dse".into(),
+            warm_start: true,
+            cuts: true,
+            threads: 1,
+            status: "Optimal".into(),
+            nodes: 1,
+            pivots: 2,
+            warm_starts: 0,
+            cold_starts: 1,
+            cuts_applied: 0,
+            gap: 0.0,
+            dual_bound: 1.0,
+            seconds: 0.1,
+        }
+    }
+
+    #[test]
+    fn append_bench_json_accumulates_across_runs() {
+        let path = std::env::temp_dir().join(format!("bench_append_{}.json", std::process::id()));
+        let path = path.to_str().unwrap().to_string();
+        let _ = std::fs::remove_file(&path);
+        append_bench_json(&path, &[record("a")]).unwrap();
+        append_bench_json(&path, &[record("b"), record("c")]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        for inst in ["\"instance\":\"a\"", "\"instance\":\"b\"", "\"instance\":\"c\""] {
+            assert!(text.contains(inst), "missing {inst} in {text}");
+        }
+        assert!(text.starts_with("[\n") && text.ends_with("]\n"), "{text}");
+        // Three records, comma-separated: exactly two separators.
+        assert_eq!(text.matches("},").count(), 2, "{text}");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -114,7 +114,7 @@ pub(crate) fn internal_objective(model: &Model, sf: &StandardForm, values: &[f64
 pub(crate) struct NodeWorker<'a> {
     pub(crate) model: &'a Model,
     pub(crate) sf: &'a StandardForm,
-    pub(crate) lp: Simplex<'a>,
+    pub(crate) lp: Simplex,
     pub(crate) options: &'a SolverOptions,
     pub(crate) int_cols: &'a [usize],
     pseudo: Vec<PseudoCost>,
@@ -147,6 +147,43 @@ pub(crate) struct NodeWorker<'a> {
     xbuf: Vec<f64>,
     /// Scratch for the rounding heuristic's candidate point.
     round_buf: Vec<f64>,
+    /// In-tree cover separation is armed for this worker (serial search
+    /// with `SolverOptions::cut_node_interval > 0`); parallel workers keep
+    /// it off because appended rows are worker-local.
+    tree_cuts: bool,
+    /// Pool for the worker's in-tree cuts (dedup/scoring only — in-tree
+    /// cuts stay in this worker's LP for the rest of its search).
+    tree_pool: crate::cuts::CutPool,
+    /// Root box per structural column (cover separation needs the global
+    /// bounds of non-binary terms).
+    cut_bounds: Vec<(f64, f64)>,
+    /// Binary columns under the root box (cover cut candidates).
+    binary: Vec<bool>,
+    /// In-tree candidate cuts generated by this worker.
+    pub(crate) cuts_generated: u64,
+    /// In-tree cuts appended to this worker's LP.
+    pub(crate) cuts_applied: u64,
+    /// Seconds this worker spent separating in-tree cuts.
+    pub(crate) separation_seconds: f64,
+}
+
+/// Ceiling on in-tree cuts one worker may append to its LP: every row is
+/// priced on every later node of this worker, so unbounded growth would
+/// trade node count for per-node cost.
+const MAX_TREE_CUTS: usize = 200;
+
+/// Outcome of one in-tree separation round.
+enum TreeCutResult {
+    /// No violated cut survived the pool — continue with the current point.
+    NoCuts,
+    /// Cuts appended and the LP re-optimized to the new (tighter) bound;
+    /// the caller's primal vector has been refreshed.
+    Resolved(f64),
+    /// The LP went infeasible over globally valid cuts: the node carries no
+    /// integer point and fathoms.
+    Fathomed,
+    /// Deadline/cancel/numerics during the re-solve (limit semantics).
+    Unsolved,
 }
 
 impl<'a> NodeWorker<'a> {
@@ -157,6 +194,7 @@ impl<'a> NodeWorker<'a> {
         int_cols: &'a [usize],
         root_bounds: &[(f64, f64)],
         start: Instant,
+        allow_tree_cuts: bool,
     ) -> Self {
         let mut lp = Simplex::new(sf, options);
         if options.time_limit.is_finite() {
@@ -169,6 +207,20 @@ impl<'a> NodeWorker<'a> {
             lp.set_bounds(j, l, u);
         }
         lp.refresh();
+        let tree_cuts = allow_tree_cuts
+            && options.cuts
+            && options.cover_cuts
+            && options.cut_node_interval > 0
+            && !int_cols.is_empty();
+        let mut is_int = vec![false; model.num_vars()];
+        for &j in int_cols {
+            is_int[j] = true;
+        }
+        let binary = if tree_cuts {
+            (0..model.num_vars()).map(|j| is_int[j] && root_bounds[j] == (0.0, 1.0)).collect()
+        } else {
+            Vec::new()
+        };
         NodeWorker {
             model,
             sf,
@@ -187,6 +239,13 @@ impl<'a> NodeWorker<'a> {
             cold_starts: 0,
             xbuf: Vec::new(),
             round_buf: Vec::new(),
+            tree_cuts,
+            tree_pool: crate::cuts::CutPool::new(),
+            cut_bounds: if tree_cuts { root_bounds.to_vec() } else { Vec::new() },
+            binary,
+            cuts_generated: 0,
+            cuts_applied: 0,
+            separation_seconds: 0.0,
         }
     }
 
@@ -431,7 +490,7 @@ impl<'a> NodeWorker<'a> {
         }
         // The LP point is optimal for the *perturbed* costs; subtracting the
         // margin gives a valid bound for the true costs.
-        let bound = self.lp.objective() - self.lp.bound_margin();
+        let mut bound = self.lp.objective() - self.lp.bound_margin();
         self.emit_node(node, bound, pivots);
         self.record_pseudocost(node, bound);
         if gap_closed(self.options, incumbent.best_obj(), bound) {
@@ -439,9 +498,79 @@ impl<'a> NodeWorker<'a> {
         }
         let mut full = std::mem::take(&mut self.xbuf);
         self.lp.values_into(&mut full);
+        if self.tree_cuts_due(node) {
+            match self.separate_in_tree(&mut full)? {
+                TreeCutResult::NoCuts => {}
+                TreeCutResult::Resolved(b) => {
+                    bound = b;
+                    if gap_closed(self.options, incumbent.best_obj(), bound) {
+                        self.xbuf = full;
+                        return Ok((vec![], bound));
+                    }
+                }
+                TreeCutResult::Fathomed => {
+                    self.xbuf = full;
+                    return Ok((vec![], f64::INFINITY));
+                }
+                TreeCutResult::Unsolved => {
+                    self.hit_limit = true;
+                    self.xbuf = full;
+                    return Ok((vec![], node.bound));
+                }
+            }
+        }
         let result = self.branch_or_fathom(node, incumbent, &full, bound);
         self.xbuf = full;
         result
+    }
+
+    /// Whether this node is an in-tree separation point: the serial search
+    /// separates cover cuts every [`SolverOptions::cut_node_interval`]
+    /// depths (never at the root, whose cuts the root loop already owns).
+    fn tree_cuts_due(&self, node: &OpenNode) -> bool {
+        self.tree_cuts
+            && !node.deltas.is_empty()
+            && node.deltas.len().is_multiple_of(self.options.cut_node_interval)
+            && self.tree_pool.installed() < MAX_TREE_CUTS
+    }
+
+    /// One round of in-tree cover separation at the node optimum held in
+    /// `full`. Appended cuts are globally valid, so they stay in this
+    /// worker's LP for the rest of its search; on `Resolved` the re-solved
+    /// primal vector replaces `full`.
+    fn separate_in_tree(&mut self, full: &mut Vec<f64>) -> Result<TreeCutResult> {
+        let t0 = Instant::now();
+        let x = &full[..self.model.num_vars()];
+        let params = crate::cuts::cover::CoverParams { min_violation: 1e-4, big: self.sf.big };
+        let mut cands = Vec::new();
+        crate::cuts::cover::separate(
+            self.model,
+            &self.cut_bounds,
+            &self.binary,
+            x,
+            &params,
+            &mut cands,
+        );
+        self.cuts_generated += cands.len() as u64;
+        let chosen = self.tree_pool.select(cands, x);
+        self.separation_seconds += t0.elapsed().as_secs_f64();
+        if chosen.is_empty() {
+            return Ok(TreeCutResult::NoCuts);
+        }
+        if self.lp.append_cut_rows(&chosen).is_err() {
+            // The extended basis would not refactorize: fall back to the
+            // slack basis over the grown form (always factorizable).
+            self.lp.reset_to_slack_basis();
+        }
+        self.cuts_applied += chosen.len() as u64;
+        match self.solve_node_lp()? {
+            None => Ok(TreeCutResult::Unsolved),
+            Some(LpStatus::Infeasible) => Ok(TreeCutResult::Fathomed),
+            Some(LpStatus::Optimal) => {
+                self.lp.values_into(full);
+                Ok(TreeCutResult::Resolved(self.lp.objective() - self.lp.bound_margin()))
+            }
+        }
     }
 
     /// The post-solve half of [`NodeWorker::eval_node`]: accept an integral
@@ -531,6 +660,12 @@ pub(crate) struct SearchOutcome {
     pub(crate) warm_starts: u64,
     /// Node LPs started from the slack basis, summed over workers.
     pub(crate) cold_starts: u64,
+    /// In-tree candidate cuts generated (0 for parallel runs).
+    pub(crate) cuts_generated: u64,
+    /// In-tree cuts appended to a worker LP (0 for parallel runs).
+    pub(crate) cuts_applied: u64,
+    /// Seconds separating in-tree cuts, summed over workers.
+    pub(crate) separation_seconds: f64,
 }
 
 /// Entry point used by [`Model::solve_with`].
@@ -656,7 +791,7 @@ pub(crate) fn solve(model: &Model, options: &SolverOptions) -> Result<Solution> 
         }
     }
 
-    let sf = StandardForm::from_model(model, options);
+    let mut sf = StandardForm::from_model(model, options);
 
     // Integer columns ordered by branch priority (desc), then index.
     let mut int_cols: Vec<usize> =
@@ -694,6 +829,19 @@ pub(crate) fn solve(model: &Model, options: &SolverOptions) -> Result<Solution> 
             });
         }
     }
+
+    // Root cutting planes: tighten the shared form before any worker is
+    // built, so every search thread prices the surviving cuts.
+    let mut cut_stats = crate::cuts::RootCutStats::default();
+    if options.cuts
+        && options.max_cut_rounds > 0
+        && !int_cols.is_empty()
+        && (options.gomory_cuts || options.cover_cuts)
+    {
+        cut_stats =
+            crate::cuts::root_separation(model, &mut sf, options, &int_cols, &root_bounds, start);
+    }
+    let sf = sf;
 
     // Warm start from a user hint.
     let warm = model.warm_start().and_then(|ws| {
@@ -768,21 +916,25 @@ pub(crate) fn solve(model: &Model, options: &SolverOptions) -> Result<Solution> 
         best_bound,
         nodes: outcome.nodes,
         nodes_per_thread: outcome.nodes_per_thread.clone(),
-        simplex_iterations: outcome.simplex_iterations,
+        simplex_iterations: outcome.simplex_iterations + cut_stats.simplex_iterations,
         solve_seconds,
         stats: SolveStats {
             total_seconds: solve_seconds,
             presolve_seconds,
-            simplex_seconds: outcome.simplex_seconds,
-            factor_seconds: outcome.factor_seconds,
+            simplex_seconds: outcome.simplex_seconds + cut_stats.simplex_seconds,
+            factor_seconds: outcome.factor_seconds + cut_stats.factor_seconds,
             nodes: outcome.nodes,
             nodes_pruned: outcome.pruned,
-            simplex_iterations: outcome.simplex_iterations,
-            refactorizations: outcome.refactorizations,
+            simplex_iterations: outcome.simplex_iterations + cut_stats.simplex_iterations,
+            refactorizations: outcome.refactorizations + cut_stats.refactorizations,
             incumbents: outcome.incumbents,
             steals: outcome.steals,
             warm_starts: outcome.warm_starts,
             cold_starts: outcome.cold_starts,
+            cuts_generated: cut_stats.generated + outcome.cuts_generated,
+            cuts_applied: cut_stats.applied + outcome.cuts_applied,
+            cuts_aged_out: cut_stats.aged_out,
+            separation_seconds: cut_stats.separation_seconds + outcome.separation_seconds,
         },
     })
 }
@@ -824,7 +976,7 @@ fn serial_search(
     warm: Option<(Vec<f64>, f64)>,
     start: Instant,
 ) -> Result<SearchOutcome> {
-    let mut worker = NodeWorker::new(model, sf, options, int_cols, root_bounds, start);
+    let mut worker = NodeWorker::new(model, sf, options, int_cols, root_bounds, start, true);
     let mut incumbent = LocalIncumbent::from_warm(warm);
 
     let best_bound_internal = match options.node_order {
@@ -851,6 +1003,9 @@ fn serial_search(
         refactorizations: worker.lp.refactorizations,
         warm_starts: worker.warm_starts,
         cold_starts: worker.cold_starts,
+        cuts_generated: worker.cuts_generated,
+        cuts_applied: worker.cuts_applied,
+        separation_seconds: worker.separation_seconds,
     })
 }
 
@@ -1042,7 +1197,8 @@ mod tests {
         let root_bounds: Vec<(f64, f64)> =
             (0..model.num_vars()).map(|j| (sf.lb[j].ceil(), sf.ub[j].floor())).collect();
         let start = Instant::now();
-        let mut worker = NodeWorker::new(&model, &sf, &options, &int_cols, &root_bounds, start);
+        let mut worker =
+            NodeWorker::new(&model, &sf, &options, &int_cols, &root_bounds, start, false);
         let mut inc = LocalIncumbent::from_warm(None);
 
         // Solve the root properly so the worker is mid-search state.
@@ -1088,7 +1244,8 @@ mod tests {
         let root_bounds: Vec<(f64, f64)> =
             (0..model.num_vars()).map(|j| (sf.lb[j].ceil(), sf.ub[j].floor())).collect();
         let start = Instant::now();
-        let mut worker = NodeWorker::new(&model, &sf, &options, &int_cols, &root_bounds, start);
+        let mut worker =
+            NodeWorker::new(&model, &sf, &options, &int_cols, &root_bounds, start, false);
         let mut inc = LocalIncumbent::from_warm(None);
 
         let root = OpenNode::root();

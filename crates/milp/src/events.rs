@@ -103,6 +103,19 @@ pub enum SolverEvent {
         /// LP bound at the root (user scale).
         bound: f64,
     },
+    /// One round of the root cutting-plane loop finished (emitted after the
+    /// LP re-optimized over the freshly appended cuts). Timestamp-free like
+    /// every event, so serial streams stay deterministic with cuts on.
+    CutRound {
+        /// 1-based round number within the root loop.
+        round: u32,
+        /// Candidate cuts the separators produced this round.
+        generated: usize,
+        /// Cuts the pool accepted and appended to the LP this round.
+        applied: usize,
+        /// Root LP bound after re-optimizing (user scale).
+        bound: f64,
+    },
     /// A branch-and-bound node was evaluated.
     NodeExplored {
         /// Node ordinal within the emitting worker (1-based; global node
@@ -170,6 +183,12 @@ impl fmt::Display for SolverEvent {
                 write!(f, "presolve: -{eliminated_vars} vars, -{eliminated_rows} rows")
             }
             SolverEvent::RootRelaxation { bound } => write!(f, "root relaxation: bound {bound:.6}"),
+            SolverEvent::CutRound { round, generated, applied, bound } => {
+                write!(
+                    f,
+                    "cut round {round}: {generated} generated, {applied} applied, bound {bound:.6}"
+                )
+            }
             SolverEvent::NodeExplored { node, bound, depth, pivots } => {
                 write!(f, "node {node}: bound {bound:.6} depth {depth} pivots {pivots}")
             }

@@ -10,6 +10,8 @@
 //! * **branch and bound** with warm-started node re-optimization, branch
 //!   priorities, pseudo-cost branching and an LP-rounding incumbent
 //!   heuristic,
+//! * a **cutting-plane engine** (Gomory mixed-integer and knapsack cover
+//!   cuts through a managed pool; see [`SolverOptions::cuts`]),
 //! * MIP warm starts ([`Model::set_warm_start`]), node/time/gap limits.
 //!
 //! The solver targets fully bounded models (every variable with finite
@@ -44,6 +46,7 @@
 #![forbid(unsafe_code)]
 
 mod branch;
+mod cuts;
 mod error;
 mod events;
 mod expr;

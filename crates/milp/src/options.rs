@@ -130,6 +130,26 @@ pub struct SolverOptions {
     /// and reproduces its node ordering bit-for-bit; `≥ 2` explores the tree
     /// with a work-stealing node pool (same optima, different node order).
     pub threads: usize,
+    /// Master switch of the cutting-plane engine (root separation loop and,
+    /// when [`SolverOptions::cut_node_interval`] is set, in-tree rounds).
+    /// Cuts tighten the LP relaxation so the tree is proven with fewer
+    /// nodes; `false` reproduces the pure branch-and-bound search.
+    pub cuts: bool,
+    /// Enable Gomory mixed-integer cuts (requires `cuts`). Root-only: they
+    /// are derived from the root basis via the kernel's BTRAN path.
+    pub gomory_cuts: bool,
+    /// Enable knapsack cover cuts (requires `cuts`). Globally valid, so
+    /// they also drive the optional in-tree separation.
+    pub cover_cuts: bool,
+    /// Maximum root separation rounds; the loop also stops on tailing-off
+    /// bound improvement or when the relaxation goes integral.
+    pub max_cut_rounds: usize,
+    /// In-tree separation interval: every `k`-th depth of the serial search
+    /// separates cover cuts at the node relaxation. `0` (default) disables
+    /// in-tree rounds (root cuts only). Ignored under `threads ≥ 2` —
+    /// appended rows are worker-local and would break snapshot sharing
+    /// economics, so parallel workers search with root cuts only.
+    pub cut_node_interval: usize,
     /// Receiver of the structured event stream ([`crate::SolverEvent`]);
     /// unset by default. See [`SolverOptions::observer`].
     pub observer: ObserverHandle,
@@ -160,6 +180,11 @@ impl Default for SolverOptions {
             eta_limit: 64,
             presolve: true,
             threads: 0,
+            cuts: true,
+            gomory_cuts: true,
+            cover_cuts: true,
+            max_cut_rounds: 10,
+            cut_node_interval: 0,
             observer: ObserverHandle::none(),
             cancel: None,
         }
@@ -167,15 +192,6 @@ impl Default for SolverOptions {
 }
 
 impl SolverOptions {
-    /// Options with a wall-clock limit, leaving everything else default.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use the consuming builder: `SolverOptions::default().time_limit(seconds)`"
-    )]
-    pub fn with_time_limit(seconds: f64) -> Self {
-        SolverOptions::default().time_limit(seconds)
-    }
-
     /// Sets the wall-clock limit in seconds, builder-style
     /// (`f64::INFINITY` = unlimited).
     pub fn time_limit(mut self, seconds: f64) -> Self {
@@ -286,6 +302,37 @@ impl SolverOptions {
         self
     }
 
+    /// Enables or disables the cutting-plane engine, builder-style.
+    pub fn cuts(mut self, on: bool) -> Self {
+        self.cuts = on;
+        self
+    }
+
+    /// Enables or disables Gomory mixed-integer cuts, builder-style.
+    pub fn gomory_cuts(mut self, on: bool) -> Self {
+        self.gomory_cuts = on;
+        self
+    }
+
+    /// Enables or disables knapsack cover cuts, builder-style.
+    pub fn cover_cuts(mut self, on: bool) -> Self {
+        self.cover_cuts = on;
+        self
+    }
+
+    /// Sets the root separation round budget, builder-style.
+    pub fn max_cut_rounds(mut self, rounds: usize) -> Self {
+        self.max_cut_rounds = rounds;
+        self
+    }
+
+    /// Sets the in-tree separation interval (`0` = root only),
+    /// builder-style.
+    pub fn cut_node_interval(mut self, every_k_depths: usize) -> Self {
+        self.cut_node_interval = every_k_depths;
+        self
+    }
+
     /// The concrete worker count after resolving `threads = 0` to the
     /// machine's available parallelism (capped at 8: branch-and-bound trees
     /// on this workspace's models rarely feed more workers than that).
@@ -323,11 +370,20 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructor_still_works() {
-        let old = SolverOptions::with_time_limit(7.5);
-        let new = SolverOptions::default().time_limit(7.5);
-        assert_eq!(old, new);
+    fn cuts_default_on_with_root_only_separation() {
+        let o = SolverOptions::default();
+        assert!(o.cuts && o.gomory_cuts && o.cover_cuts);
+        assert_eq!(o.max_cut_rounds, 10);
+        assert_eq!(o.cut_node_interval, 0, "in-tree rounds are opt-in");
+        let o = o
+            .cuts(false)
+            .gomory_cuts(false)
+            .cover_cuts(false)
+            .max_cut_rounds(3)
+            .cut_node_interval(4);
+        assert!(!o.cuts && !o.gomory_cuts && !o.cover_cuts);
+        assert_eq!(o.max_cut_rounds, 3);
+        assert_eq!(o.cut_node_interval, 4);
     }
 
     #[test]

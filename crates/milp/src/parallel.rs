@@ -303,6 +303,11 @@ pub(crate) fn search(
         refactorizations: per_worker.iter().map(|w| w.refactorizations).sum(),
         warm_starts: per_worker.iter().map(|w| w.warm_starts).sum(),
         cold_starts: per_worker.iter().map(|w| w.cold_starts).sum(),
+        // In-tree separation is serial-only (worker-local rows would skew
+        // snapshot sharing); parallel workers search with root cuts only.
+        cuts_generated: 0,
+        cuts_applied: 0,
+        separation_seconds: 0.0,
     })
 }
 
@@ -335,7 +340,7 @@ fn worker_loop(
     incumbent: &SharedIncumbent,
     local: Option<Deque<OpenNode>>,
 ) -> WorkerStats {
-    let mut worker = NodeWorker::new(model, sf, options, int_cols, root_bounds, start);
+    let mut worker = NodeWorker::new(model, sf, options, int_cols, root_bounds, start, false);
     let mut handle = SharedHandle(incumbent);
     let local = local.as_ref();
     let mut steals: u64 = 0;

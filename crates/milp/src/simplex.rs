@@ -68,10 +68,15 @@ pub(crate) enum LpStatus {
     Infeasible,
 }
 
+/// Bound status of a column: basic, or nonbasic parked at one of its bounds.
+/// `pub(crate)` so the cut separators can classify nonbasic columns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Stat {
+pub(crate) enum Stat {
+    /// In the basis.
     Basic,
+    /// Nonbasic at its lower bound.
     Lower,
+    /// Nonbasic at its upper bound.
     Upper,
 }
 
@@ -328,11 +333,15 @@ fn dense_invert(sf: &StandardForm, basis: &[usize]) -> Result<Vec<f64>> {
     Ok(inv)
 }
 
-/// Re-optimizable bounded-variable dual simplex over a fixed constraint
-/// matrix with mutable bounds.
+/// Re-optimizable bounded-variable dual simplex over a constraint matrix
+/// with mutable bounds.
+///
+/// Owns a private copy of the [`StandardForm`] (cloned from the shared base
+/// at construction) so cut rows can be appended to a *live* LP with
+/// [`Simplex::append_cut_rows`] without disturbing other workers.
 #[derive(Debug, Clone)]
-pub(crate) struct Simplex<'a> {
-    sf: &'a StandardForm,
+pub(crate) struct Simplex {
+    sf: StandardForm,
     /// Working bounds, mutated by branch and bound. Length `n + m`.
     pub lb: Vec<f64>,
     pub ub: Vec<f64>,
@@ -398,11 +407,12 @@ pub(crate) struct Simplex<'a> {
     scratch_flips: Vec<usize>,
 }
 
-impl<'a> Simplex<'a> {
+impl Simplex {
     /// Creates a dual-feasible initial state (all-slack basis, structural
     /// variables parked at cost-sign bounds). The basis kernel and its
-    /// limits come from `options`.
-    pub fn new(sf: &'a StandardForm, options: &SolverOptions) -> Self {
+    /// limits come from `options`. The standard form is cloned so this
+    /// state can grow cut rows independently of the shared base.
+    pub fn new(sf: &StandardForm, options: &SolverOptions) -> Self {
         let m = sf.m;
         let ncols = sf.n + sf.m;
         // Deterministic tiny cost perturbation: the min–max style models this
@@ -442,7 +452,7 @@ impl<'a> Simplex<'a> {
         let mut s = Simplex {
             lb: sf.lb.clone(),
             ub: sf.ub.clone(),
-            sf,
+            sf: sf.clone(),
             basis,
             stat,
             kernel,
@@ -511,7 +521,7 @@ impl<'a> Simplex<'a> {
 
     /// Recomputes `xb = B⁻¹ (b − N x_N)` from scratch.
     fn recompute_xb(&mut self) {
-        let sf = self.sf;
+        let sf = &self.sf;
         self.scratch_bt.copy_from_slice(&sf.b);
         for j in 0..self.ncols {
             if self.stat[j] != Stat::Basic {
@@ -534,7 +544,7 @@ impl<'a> Simplex<'a> {
     /// the caller may fall back to [`Simplex::reset_to_slack_basis`].
     fn refactorize(&mut self) -> Result<()> {
         let t0 = Instant::now();
-        let r = self.kernel.refactorize(self.sf, &self.basis);
+        let r = self.kernel.refactorize(&self.sf, &self.basis);
         self.factor_seconds += t0.elapsed().as_secs_f64();
         r?;
         self.refactorizations += 1;
@@ -548,7 +558,7 @@ impl<'a> Simplex<'a> {
 
     /// Recomputes `d = c − cᵦ B⁻¹ A` from scratch.
     fn recompute_reduced_costs(&mut self) {
-        let sf = self.sf;
+        let sf = &self.sf;
         // y solves Bᵀ y = c_B.
         for r in 0..self.m {
             let j = self.basis[r];
@@ -588,11 +598,25 @@ impl<'a> Simplex<'a> {
     /// factorized. The state is then *inconsistent* (basis arrays updated,
     /// kernel stale) and the caller must immediately
     /// [`Simplex::reset_to_slack_basis`].
+    ///
+    /// A snapshot captured *before* cut rows were appended (in-tree
+    /// separation grows the LP monotonically) is padded: every missing
+    /// trailing cut row keeps its own slack basic, giving the block
+    /// lower-triangular basis `[[B_snap, 0], [C, I]]`, nonsingular whenever
+    /// the snapshot basis is.
     pub fn restore_snapshot(&mut self, snap: &BasisSnapshot) -> Result<()> {
-        debug_assert_eq!(snap.basis.len(), self.m);
-        debug_assert_eq!(snap.stat.len(), self.ncols);
-        self.basis.copy_from_slice(&snap.basis);
-        self.stat.copy_from_slice(&snap.stat);
+        let snap_m = snap.basis.len();
+        let snap_cols = snap.stat.len();
+        debug_assert!(snap_m <= self.m, "snapshot from a larger LP");
+        debug_assert_eq!(snap_cols - snap_m, self.ncols - self.m, "structural count mismatch");
+        self.basis[..snap_m].copy_from_slice(&snap.basis);
+        self.stat[..snap_cols].copy_from_slice(&snap.stat);
+        for r in snap_m..self.m {
+            self.basis[r] = self.sf.n + r;
+        }
+        for j in snap_cols..self.ncols {
+            self.stat[j] = Stat::Basic;
+        }
         self.refactorize()?;
         self.make_dual_feasible();
         self.recompute_xb();
@@ -927,7 +951,7 @@ impl<'a> Simplex<'a> {
             }
 
             // --- FTRAN: aq = B⁻¹ A_q. ---
-            self.kernel.ftran_col(self.sf, q, &mut self.scratch_aq, &mut self.scratch_work);
+            self.kernel.ftran_col(&self.sf, q, &mut self.scratch_aq, &mut self.scratch_work);
             let alpha_q_true = self.scratch_aq[r];
             if alpha_q_true.abs() < ZTOL {
                 // The alpha row disagrees with the FTRAN column: numerical
@@ -1058,6 +1082,112 @@ impl<'a> Simplex<'a> {
         }
     }
 
+    /// The standard form this state currently solves (base rows plus any
+    /// appended cut rows).
+    #[inline]
+    pub fn form(&self) -> &StandardForm {
+        &self.sf
+    }
+
+    /// Current row count (grows as cut rows are appended).
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.m
+    }
+
+    /// Current column count `n + m`.
+    #[inline]
+    pub fn num_cols(&self) -> usize {
+        self.ncols
+    }
+
+    /// The column basic in row `r`.
+    #[inline]
+    pub fn basis_col(&self, r: usize) -> usize {
+        self.basis[r]
+    }
+
+    /// The value of the variable basic in row `r`.
+    #[inline]
+    pub fn basic_value(&self, r: usize) -> f64 {
+        self.xb[r]
+    }
+
+    /// The bound status of column `j`.
+    #[inline]
+    pub fn col_stat(&self, j: usize) -> Stat {
+        self.stat[j]
+    }
+
+    /// Extracts tableau row `r` — `α = eᵣᵀ B⁻¹ A` over all `n + m` columns —
+    /// into `alpha` (cleared and resized). This is the Gomory read-off path:
+    /// one BTRAN for `ρ = eᵣᵀB⁻¹`, then a scatter of ρ's nonzeros through
+    /// the sparse rows, exactly like pricing does.
+    pub fn tableau_row_into(&mut self, r: usize, alpha: &mut Vec<f64>) {
+        alpha.clear();
+        alpha.resize(self.ncols, 0.0);
+        self.kernel.unit_row(r, &mut self.scratch_rho, &mut self.scratch_work);
+        for (i, &ri) in self.scratch_rho.iter().enumerate() {
+            if ri == 0.0 {
+                continue;
+            }
+            for &(j, v) in self.sf.row(i) {
+                alpha[j] += ri * v;
+            }
+            alpha[self.sf.n + i] += ri;
+        }
+    }
+
+    /// Appends `cuts` as new rows of the live LP. Each cut's slack joins the
+    /// basis (the extended basis `[[B, 0], [C, I]]` is nonsingular whenever
+    /// the current one is), so the following [`Simplex::optimize`] call
+    /// re-optimizes *warm* with the dual simplex instead of cold-starting —
+    /// the classic cutting-plane recipe riding the PR 4 refactorize path.
+    ///
+    /// # Errors
+    ///
+    /// [`MilpError::SingularBasis`] when the extended basis cannot be
+    /// refactorized (numerically, not structurally, singular). The caller
+    /// should treat the state as unusable and rebuild.
+    pub fn append_cut_rows(&mut self, cuts: &[crate::cuts::Cut]) -> Result<()> {
+        if cuts.is_empty() {
+            return Ok(());
+        }
+        let big = self.sf.big;
+        for cut in cuts {
+            let row = self.sf.m;
+            let (sl, su) = match cut.sense {
+                crate::cuts::CutSense::Le => (0.0, big),
+                crate::cuts::CutSense::Ge => (-big, 0.0),
+            };
+            self.sf.add_cut_row(&cut.coeffs, cut.rhs, sl, su);
+            // The new slack lands at column index `old ncols`; existing
+            // column and row indices keep their meaning.
+            self.lb.push(sl);
+            self.ub.push(su);
+            self.stat.push(Stat::Basic);
+            self.basis.push(self.sf.n + row);
+            self.d.push(0.0);
+            self.xb.push(0.0);
+            self.m += 1;
+            self.ncols += 1;
+        }
+        self.weights.resize(self.m, 1.0);
+        self.scratch_rho.resize(self.m, 0.0);
+        self.scratch_aq.resize(self.m, 0.0);
+        self.scratch_work.resize(self.m, 0.0);
+        self.scratch_flip.resize(self.m, 0.0);
+        self.scratch_tau.resize(self.m, 0.0);
+        self.scratch_y.resize(self.m, 0.0);
+        self.scratch_bt.resize(self.m, 0.0);
+        self.scratch_alpha.resize(self.ncols, 0.0);
+        self.refactorize()?;
+        self.make_dual_feasible();
+        self.recompute_xb();
+        self.reset_weights();
+        Ok(())
+    }
+
     /// Maximum primal bound violation over basic variables (diagnostics).
     #[allow(dead_code)] // diagnostic accessor, exercised in tests
     pub fn primal_infeasibility(&self) -> f64 {
@@ -1141,6 +1271,41 @@ mod tests {
         let mut snap = s.snapshot();
         snap.basis[2] = snap.basis[0];
         assert!(matches!(s.restore_snapshot(&snap), Err(MilpError::SingularBasis)));
+    }
+
+    #[test]
+    fn appended_cut_row_is_absorbed_warm_and_respected() {
+        let sf = sf_fixture();
+        for kernel in [BasisKernel::SparseLu, BasisKernel::Dense] {
+            let opts = SolverOptions::default().basis_kernel(kernel);
+            let mut s = Simplex::new(&sf, &opts);
+            assert_eq!(s.optimize().unwrap(), LpStatus::Optimal);
+            let obj0 = s.objective();
+            // A valid-but-violated cut: x0 + x1 ≥ 3.5 (the r0 row demands
+            // only 3.0, and the optimum sits on it).
+            let cut = crate::cuts::Cut {
+                coeffs: vec![(0, 1.0), (1, 1.0)],
+                rhs: 3.5,
+                sense: crate::cuts::CutSense::Ge,
+                family: crate::cuts::CutFamily::Cover,
+                validity: crate::cuts::CutValidity::Global,
+            };
+            s.append_cut_rows(std::slice::from_ref(&cut)).unwrap();
+            assert_eq!(s.optimize().unwrap(), LpStatus::Optimal);
+            let x = s.values();
+            assert!(x[0] + x[1] >= 3.5 - 1e-6, "cut violated: {} + {}", x[0], x[1]);
+            assert!(s.objective() >= obj0 - 1e-9, "cut must not improve the LP");
+            // A pre-cut snapshot restores via monotone padding.
+            let mut s2 = Simplex::new(&sf, &opts);
+            assert_eq!(s2.optimize().unwrap(), LpStatus::Optimal);
+            let old_snap = s2.snapshot();
+            s2.append_cut_rows(std::slice::from_ref(&cut)).unwrap();
+            assert_eq!(s2.optimize().unwrap(), LpStatus::Optimal);
+            s2.restore_snapshot(&old_snap).unwrap();
+            assert_eq!(s2.optimize().unwrap(), LpStatus::Optimal);
+            let x2 = s2.values();
+            assert!(x2[0] + x2[1] >= 3.5 - 1e-6, "padded restore kept the cut row");
+        }
     }
 
     #[test]

@@ -72,14 +72,31 @@ pub struct SolveStats {
     /// warm starts are disabled, and warm-start restores that failed to
     /// factorize and fell back cold.
     pub cold_starts: u64,
+    /// Candidate cuts the separators produced (before pool filtering).
+    pub cuts_generated: u64,
+    /// Cuts accepted by the pool and appended to an LP (root rounds plus
+    /// in-tree rounds).
+    pub cuts_applied: u64,
+    /// Root cuts dropped by the pool's slack-based age-out before the
+    /// search started (never installed into the shared base form).
+    pub cuts_aged_out: u64,
+    /// Seconds spent separating cuts (deriving Gomory rows, building
+    /// covers, pool scoring) — disjoint from the simplex and factorization
+    /// buckets, which also cover the cut-loop LP re-optimizations.
+    pub separation_seconds: f64,
 }
 
 impl SolveStats {
-    /// Wall-clock time not attributed to presolve/simplex/factorization:
-    /// `max(0, total − presolve − simplex − factor)`. Only meaningful for
-    /// serial solves (see the struct docs).
+    /// Wall-clock time not attributed to presolve/simplex/factorization/
+    /// separation: `max(0, total − presolve − simplex − factor −
+    /// separation)`. Only meaningful for serial solves (see the struct
+    /// docs).
     pub fn other_seconds(&self) -> f64 {
-        (self.total_seconds - self.presolve_seconds - self.simplex_seconds - self.factor_seconds)
+        (self.total_seconds
+            - self.presolve_seconds
+            - self.simplex_seconds
+            - self.factor_seconds
+            - self.separation_seconds)
             .max(0.0)
     }
 }
@@ -236,9 +253,10 @@ mod tests {
             presolve_seconds: 0.1,
             simplex_seconds: 0.5,
             factor_seconds: 0.2,
+            separation_seconds: 0.05,
             ..SolveStats::default()
         };
-        assert!((st.other_seconds() - 0.2).abs() < 1e-12);
+        assert!((st.other_seconds() - 0.15).abs() < 1e-12);
     }
 
     #[test]

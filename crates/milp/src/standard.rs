@@ -48,6 +48,9 @@ pub(crate) struct StandardForm {
     pub obj_offset: f64,
     /// `true` when the model maximizes (results must be negated back).
     pub maximize: bool,
+    /// The working infinity (`options.infinite_bound`) the bounds were
+    /// clamped to; cut rows appended later reuse it for their slack bounds.
+    pub big: f64,
 }
 
 impl StandardForm {
@@ -114,7 +117,32 @@ impl StandardForm {
             }
         }
 
-        StandardForm { cols, rows_nz, b, c, lb, ub, clamped, n, m, obj_offset, maximize }
+        StandardForm { cols, rows_nz, b, c, lb, ub, clamped, n, m, obj_offset, maximize, big }
+    }
+
+    /// Appends a cut row `Σ coeffs·x (sense) rhs` over structural columns.
+    ///
+    /// The new row's slack takes column index `n + m` (the end of the index
+    /// space), so every existing column/row index keeps its meaning; the
+    /// slack bounds encode the sense exactly like [`StandardForm::from_model`]
+    /// (`≥` rows: `s ∈ [−big, 0]`, `≤` rows: `s ∈ [0, big]`).
+    pub fn add_cut_row(&mut self, coeffs: &[(usize, f64)], rhs: f64, slack_lb: f64, slack_ub: f64) {
+        let r = self.m;
+        for &(j, v) in coeffs {
+            debug_assert!(j < self.n, "cut coefficients must be structural");
+            debug_assert!(v != 0.0);
+            // `r` is the largest row index so far, so pushing keeps the
+            // column's row ordering sorted.
+            self.cols[j].push((r, v));
+        }
+        self.rows_nz.push(coeffs.to_vec());
+        self.b.push(rhs);
+        // Bounds are laid out structural-then-slack, so the new slack's slot
+        // is exactly the end of `lb`/`ub`.
+        self.lb.push(slack_lb);
+        self.ub.push(slack_ub);
+        self.clamped.push(true);
+        self.m += 1;
     }
 
     /// The structural nonzeros of row `r` as `(column, coefficient)` pairs
@@ -231,6 +259,28 @@ mod tests {
         let total: usize = (0..sf.m).map(|r| sf.row(r).len()).sum();
         let by_cols: usize = sf.cols.iter().map(Vec::len).sum();
         assert_eq!(total, by_cols);
+    }
+
+    #[test]
+    fn add_cut_row_extends_all_mirrors() {
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 0.0, 1.0).unwrap();
+        let y = m.continuous("y", 0.0, 1.0).unwrap();
+        m.add_le("r0", LinExpr::term(x, 2.0) + LinExpr::term(y, -3.0), 1.0);
+        let mut sf = StandardForm::from_model(&m, &SolverOptions::default());
+        let (n0, m0) = (sf.n, sf.m);
+        sf.add_cut_row(&[(0, 1.0), (1, 1.0)], 0.5, -sf.big, 0.0);
+        assert_eq!((sf.n, sf.m), (n0, m0 + 1));
+        assert_eq!(sf.row(m0), &[(0, 1.0), (1, 1.0)]);
+        assert_eq!(sf.b[m0], 0.5);
+        // The ≥-sense slack landed at column n + m0 with bounds [-big, 0].
+        assert_eq!(sf.ub[n0 + m0], 0.0);
+        assert!(sf.lb[n0 + m0] < -1e8);
+        assert!(sf.clamped[n0 + m0]);
+        // Column mirrors stay sorted by row.
+        for col in &sf.cols {
+            assert!(col.windows(2).all(|w| w[0].0 < w[1].0));
+        }
     }
 
     #[test]

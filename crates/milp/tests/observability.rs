@@ -84,6 +84,45 @@ fn event_stream_has_the_canonical_order() {
     }
 }
 
+/// Cut rounds run on the root box before the search: every
+/// [`SolverEvent::CutRound`] must land after presolve and before the root
+/// relaxation event, with rounds numbered 1, 2, … and the applied count
+/// never exceeding the generated count.
+#[test]
+fn cut_round_events_precede_the_root_and_are_well_formed() {
+    let (events, obs) = recording_observer();
+    let opts = SolverOptions::default().threads(1).observer(obs);
+    let sol = hard_knapsack(14).solve_with(&opts).unwrap();
+    assert_eq!(sol.status(), SolveStatus::Optimal);
+
+    let events = events.lock().unwrap();
+    let presolve = events
+        .iter()
+        .position(|e| matches!(e, SolverEvent::Presolve { .. }))
+        .expect("presolve event");
+    let root = events
+        .iter()
+        .position(|e| matches!(e, SolverEvent::RootRelaxation { .. }))
+        .expect("root event");
+    let rounds: Vec<(usize, u32, usize, usize)> = events
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| match e {
+            SolverEvent::CutRound { round, generated, applied, .. } => {
+                Some((i, *round, *generated, *applied))
+            }
+            _ => None,
+        })
+        .collect();
+    assert!(!rounds.is_empty(), "fixture must emit cut rounds");
+    assert!(sol.stats().cuts_applied > 0, "fixture must apply cuts");
+    for (k, &(pos, round, generated, applied)) in rounds.iter().enumerate() {
+        assert!(presolve < pos && pos < root, "cut round outside presolve..root window");
+        assert_eq!(round as usize, k + 1, "rounds must be numbered from 1");
+        assert!(applied <= generated, "applied {applied} > generated {generated}");
+    }
+}
+
 #[test]
 fn serial_event_stream_is_deterministic() {
     let run = || {
@@ -97,6 +136,25 @@ fn serial_event_stream_is_deterministic() {
     let b = run();
     assert!(!a.is_empty());
     assert_eq!(a, b, "threads = 1 must replay the identical event sequence");
+}
+
+/// Determinism must survive in-tree separation: `CutRound` is
+/// timestamp-free and the cover separator is deterministic, so a serial
+/// solve with cuts at every depth replays bit-for-bit.
+#[test]
+fn serial_event_stream_is_deterministic_with_tree_cuts() {
+    let run = || {
+        let (events, obs) = recording_observer();
+        let opts = SolverOptions::default().threads(1).cut_node_interval(1).observer(obs);
+        let sol = hard_knapsack(14).solve_with(&opts).unwrap();
+        assert_eq!(sol.status(), SolveStatus::Optimal);
+        let e = events.lock().unwrap();
+        e.iter().map(|ev| format!("{ev:?}")).collect::<Vec<_>>()
+    };
+    let a = run();
+    let b = run();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "in-tree cuts broke serial determinism");
 }
 
 #[test]
@@ -133,9 +191,12 @@ fn stats_buckets_are_consistent() {
     assert!(st.presolve_seconds >= 0.0);
     assert!(st.simplex_seconds >= 0.0);
     assert!(st.factor_seconds >= 0.0);
+    assert!(st.separation_seconds >= 0.0);
     assert!(st.other_seconds() >= 0.0);
+    assert!(st.cuts_generated >= st.cuts_applied);
     // Serial: the measured phases are disjoint slices of the wall clock.
-    let attributed = st.presolve_seconds + st.simplex_seconds + st.factor_seconds;
+    let attributed =
+        st.presolve_seconds + st.simplex_seconds + st.factor_seconds + st.separation_seconds;
     assert!(
         attributed <= st.total_seconds * 1.05 + 1e-3,
         "attributed {attributed} vs total {}",

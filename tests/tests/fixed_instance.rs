@@ -69,3 +69,49 @@ fn referee_accepts_exact_incumbent_and_heuristic_is_never_better() {
         "exact incumbent {o_energy} mJ must not exceed heuristic {h_energy} mJ"
     );
 }
+
+/// Cutting planes on a fixed exact-arm instance: same proven optimum, no
+/// larger a tree. The bench-sized sub-instance (3 tasks on a 2×2 mesh)
+/// keeps both arms provably optimal inside a test budget so the node
+/// counts are comparable.
+#[test]
+fn cuts_preserve_the_optimum_and_do_not_grow_the_tree() {
+    let cfg = GeneratorConfig::typical(3);
+    let graph = generate(&cfg, SEED).unwrap();
+    let p = ProblemInstance::from_original(
+        &graph,
+        Platform::homogeneous(4).unwrap(),
+        WeightedNoc::new(Mesh2D::square(2).unwrap(), NocParams::typical(), SEED).unwrap(),
+        0.95,
+        3.0,
+    )
+    .unwrap();
+
+    let solve = |cuts: bool| {
+        let cfg = OptimalConfig {
+            // No heuristic seed: both arms must prove optimality from
+            // scratch so the node counts measure the search, not the seed.
+            warm_start_with_heuristic: false,
+            solver: SolverOptions::default().threads(1).time_limit(30.0).cuts(cuts),
+            ..OptimalConfig::default()
+        };
+        solve_optimal(&p, &cfg).expect("exact solve must not error")
+    };
+    let off = solve(false);
+    let on = solve(true);
+    assert_eq!(off.status, SolveStatus::Optimal, "cuts-off must prove optimality");
+    assert_eq!(on.status, SolveStatus::Optimal, "cuts-on must prove optimality");
+    let (e_off, e_on) =
+        (off.objective_mj.expect("cuts-off optimum"), on.objective_mj.expect("cuts-on optimum"));
+    assert!(
+        (e_on - e_off).abs() <= 1e-6 * e_off.abs().max(1.0),
+        "cuts changed the optimum: {e_on} mJ vs {e_off} mJ"
+    );
+    assert!(
+        on.nodes <= off.nodes,
+        "cuts grew the tree: {} nodes with cuts vs {} without",
+        on.nodes,
+        off.nodes
+    );
+    assert!(on.stats.cuts_applied > 0, "instance must apply cuts");
+}
