@@ -9,9 +9,11 @@
 //!
 //! ```text
 //! basis_kernel [--tasks M] [--seconds S] [--seed K] [--instances I]
-//!              [--pricing dse|devex|dantzig] [--warm on|off] [--cuts on|off]
-//!              [--json PATH] [--append-json PATH] [--ablation]
-//!              [--cuts-ablation] [--trace]
+//!              [--pricing dse|devex|dantzig] [--node-order dfs|best-bound]
+//!              [--warm on|off] [--cuts on|off] [--heuristics on|off]
+//!              [--propagation on|off] [--conflicts on|off] [--json PATH]
+//!              [--append-json PATH] [--ablation] [--cuts-ablation]
+//!              [--heuristics-ablation] [--trace]
 //! ```
 //!
 //! `--ablation` replaces the kernel A/B with the full
@@ -25,6 +27,15 @@
 //! explores more nodes than cuts-off, or the two optima diverge — the
 //! guard behind the cut engine's node-count claim.
 //!
+//! `--heuristics-ablation` runs the branch-and-bound accelerator grid
+//! (all-on, each of heuristics / propagation / conflict cuts individually
+//! off, all-off) on the same reference configuration and **fails** (exit
+//! code 1) if any proven optima diverge, if the all-on run fails to prove
+//! an optimum that some reduced configuration proves within the same
+//! budget, or if the all-on tree is more than 5% larger than the all-off
+//! tree (when both prove). When the budget stops both endpoint runs early
+//! the gate compares incumbent gaps instead: all-on must not be worse.
+//!
 //! `--json PATH` additionally writes the run's records as a JSON array
 //! (see `results/BENCH_milp.json` for the checked-in baseline);
 //! `--append-json PATH` appends them to an existing array instead, the
@@ -37,11 +48,24 @@
 //! termination) to stderr while the table prints to stdout.
 
 use ndp_bench::{
-    append_bench_json, parse_pricing, pricing_name, trace_observer, write_bench_json, BenchRecord,
-    InstanceSpec,
+    append_bench_json, node_order_name, parse_node_order, parse_pricing, pricing_name,
+    trace_observer, write_bench_json, BenchRecord, InstanceSpec,
 };
 use ndp_core::{build_milp, DeployObjective, PathMode};
-use ndp_milp::{BasisKernel, Pricing, SolverOptions};
+use ndp_milp::{BasisKernel, NodeOrder, Pricing, SolverOptions};
+
+/// The branch-and-bound accelerator toggles threaded through every run.
+#[derive(Debug, Clone, Copy)]
+struct Accel {
+    heuristics: bool,
+    propagation: bool,
+    conflicts: bool,
+}
+
+impl Accel {
+    const ALL_ON: Accel = Accel { heuristics: true, propagation: true, conflicts: true };
+    const ALL_OFF: Accel = Accel { heuristics: false, propagation: false, conflicts: false };
+}
 
 struct KernelRun {
     status: String,
@@ -51,6 +75,9 @@ struct KernelRun {
     warm_starts: u64,
     cold_starts: u64,
     cuts_applied: u64,
+    heuristic_incumbents: u64,
+    propagated_bounds: u64,
+    conflict_cuts_applied: u64,
     gap: f64,
     dual_bound: f64,
     objective: f64,
@@ -60,8 +87,10 @@ struct KernelRun {
 fn run(
     kernel: BasisKernel,
     pricing: Pricing,
+    order: NodeOrder,
     warm: bool,
     cuts: bool,
+    accel: Accel,
     tasks: usize,
     seconds: f64,
     seed: u64,
@@ -74,12 +103,18 @@ fn run(
         .threads(1)
         .basis_kernel(kernel)
         .pricing(pricing)
+        .node_order(order)
         .warm_start(warm)
-        .cuts(cuts);
+        .cuts(cuts)
+        .heuristics(accel.heuristics)
+        .propagation(accel.propagation)
+        .conflict_cuts(accel.conflicts);
     if trace {
         eprintln!(
-            "[trace] --- kernel={kernel:?} pricing={} warm={warm} cuts={cuts} seed={seed} ---",
-            pricing_name(pricing)
+            "[trace] --- kernel={kernel:?} pricing={} order={} warm={warm} cuts={cuts} \
+             accel={accel:?} seed={seed} ---",
+            pricing_name(pricing),
+            node_order_name(order)
         );
         opts = opts.observer(trace_observer());
     }
@@ -93,6 +128,9 @@ fn run(
         warm_starts: sol.stats().warm_starts,
         cold_starts: sol.stats().cold_starts,
         cuts_applied: sol.stats().cuts_applied,
+        heuristic_incumbents: sol.stats().heuristic_incumbents,
+        propagated_bounds: sol.stats().propagated_bounds,
+        conflict_cuts_applied: sol.stats().conflict_cuts_applied,
         gap: sol.gap(),
         dual_bound: sol.best_bound(),
         objective: if sol.has_incumbent() { sol.objective_value() } else { f64::NAN },
@@ -111,8 +149,10 @@ fn record(
     r: &KernelRun,
     k: BasisKernel,
     p: Pricing,
+    order: NodeOrder,
     warm: bool,
     cuts: bool,
+    accel: Accel,
     tasks: usize,
     s: u64,
 ) -> BenchRecord {
@@ -120,8 +160,12 @@ fn record(
         instance: format!("M{tasks}-N4-seed{s}"),
         kernel: kernel_name(k).into(),
         pricing: pricing_name(p).into(),
+        node_order: node_order_name(order).into(),
         warm_start: warm,
         cuts,
+        heuristics: accel.heuristics,
+        propagation: accel.propagation,
+        conflict_cuts: accel.conflicts,
         threads: 1,
         status: r.status.clone(),
         nodes: r.nodes,
@@ -129,6 +173,9 @@ fn record(
         warm_starts: r.warm_starts,
         cold_starts: r.cold_starts,
         cuts_applied: r.cuts_applied,
+        heuristic_incumbents: r.heuristic_incumbents,
+        propagated_bounds: r.propagated_bounds,
+        conflict_cuts_applied: r.conflict_cuts_applied,
         gap: r.gap,
         dual_bound: r.dual_bound,
         seconds: r.seconds,
@@ -152,11 +199,14 @@ fn print_row(name: &str, tasks: usize, s: u64, r: &KernelRun) {
 /// The full pricing × warm × kernel grid on one instance. Returns `false`
 /// when any warm configuration needed more pivots than its cold twin or
 /// the configurations disagree on the optimum.
+#[allow(clippy::too_many_arguments)]
 fn ablation(
     tasks: usize,
     seconds: f64,
     seed: u64,
+    order: NodeOrder,
     cuts: bool,
+    accel: Accel,
     trace: bool,
     records: &mut Vec<BenchRecord>,
 ) -> bool {
@@ -169,7 +219,7 @@ fn ablation(
         for pricing in [Pricing::SteepestEdge, Pricing::Devex, Pricing::Dantzig] {
             let mut pivots = [0u64; 2]; // [warm, cold]
             for (slot, warm) in [(0usize, true), (1usize, false)] {
-                let r = run(kernel, pricing, warm, cuts, tasks, seconds, seed, trace);
+                let r = run(kernel, pricing, order, warm, cuts, accel, tasks, seconds, seed, trace);
                 let name = format!(
                     "{}/{}/{}",
                     kernel_name(kernel),
@@ -192,7 +242,7 @@ fn ablation(
                         }
                     }
                 }
-                records.push(record(&r, kernel, pricing, warm, cuts, tasks, seed));
+                records.push(record(&r, kernel, pricing, order, warm, cuts, accel, tasks, seed));
             }
             if pivots[0] > pivots[1] {
                 eprintln!(
@@ -224,6 +274,8 @@ fn cuts_ablation(
     tasks: usize,
     seconds: f64,
     seed: u64,
+    order: NodeOrder,
+    accel: Accel,
     trace: bool,
     records: &mut Vec<BenchRecord>,
 ) -> bool {
@@ -233,12 +285,12 @@ fn cuts_ablation(
     let mut ok = true;
     let kernel = BasisKernel::SparseLu;
     let pricing = Pricing::SteepestEdge;
-    let on = run(kernel, pricing, true, true, tasks, seconds, seed, trace);
-    let off = run(kernel, pricing, true, false, tasks, seconds, seed, trace);
+    let on = run(kernel, pricing, order, true, true, accel, tasks, seconds, seed, trace);
+    let off = run(kernel, pricing, order, true, false, accel, tasks, seconds, seed, trace);
     print_row("sparse-lu/dse/cuts-on", tasks, seed, &on);
     print_row("sparse-lu/dse/cuts-off", tasks, seed, &off);
-    records.push(record(&on, kernel, pricing, true, true, tasks, seed));
-    records.push(record(&off, kernel, pricing, true, false, tasks, seed));
+    records.push(record(&on, kernel, pricing, order, true, true, accel, tasks, seed));
+    records.push(record(&off, kernel, pricing, order, true, false, accel, tasks, seed));
     println!("  cuts applied (on-run): {}", on.cuts_applied);
     if on.status != "Optimal" || off.status != "Optimal" {
         eprintln!(
@@ -268,6 +320,120 @@ fn cuts_ablation(
     ok
 }
 
+/// Branch-and-bound accelerator grid (primal heuristics, node propagation,
+/// conflict cuts) on the sparse-lu/dse/warm/cuts-on reference
+/// configuration: all-on, each accelerator individually off, all-off.
+///
+/// Returns `false` when proven optima diverge, when the all-on run fails
+/// to prove an optimum some reduced configuration proves within the same
+/// budget, or when the all-on tree is more than 5% larger than the
+/// all-off tree (both proven; the slack absorbs exploration-order noise
+/// from propagation-tightened bounds). If the budget stops both endpoint
+/// runs early the gate falls back to incumbent gaps: all-on must not be
+/// worse than all-off.
+fn heuristics_ablation(
+    tasks: usize,
+    seconds: f64,
+    seed: u64,
+    order: NodeOrder,
+    trace: bool,
+    records: &mut Vec<BenchRecord>,
+) -> bool {
+    println!(
+        "config              M  seed  status      nodes  simplex_iters  seconds  nodes/s  pivots/s  warm/cold"
+    );
+    let mut ok = true;
+    let kernel = BasisKernel::SparseLu;
+    let pricing = Pricing::SteepestEdge;
+    let arms = [
+        ("accel-all-on", Accel::ALL_ON),
+        ("no-heuristics", Accel { heuristics: false, ..Accel::ALL_ON }),
+        ("no-propagation", Accel { propagation: false, ..Accel::ALL_ON }),
+        ("no-conflicts", Accel { conflicts: false, ..Accel::ALL_ON }),
+        ("accel-all-off", Accel::ALL_OFF),
+    ];
+    let mut runs = Vec::with_capacity(arms.len());
+    for (name, accel) in arms {
+        let r = run(kernel, pricing, order, true, true, accel, tasks, seconds, seed, trace);
+        print_row(name, tasks, seed, &r);
+        records.push(record(&r, kernel, pricing, order, true, true, accel, tasks, seed));
+        runs.push((name, r));
+    }
+    let all_on = &runs[0].1;
+    let all_off = &runs[runs.len() - 1].1;
+    println!(
+        "  all-on accelerator work: {} heuristic incumbent(s), {} propagated bound(s), \
+         {} conflict cut(s)",
+        all_on.heuristic_incumbents, all_on.propagated_bounds, all_on.conflict_cuts_applied
+    );
+
+    // Every proven optimum must agree with the first proven one.
+    let mut objective: Option<f64> = None;
+    for (name, r) in &runs {
+        if r.status != "Optimal" {
+            continue;
+        }
+        match objective {
+            None => objective = Some(r.objective),
+            Some(o) => {
+                if (r.objective - o).abs() > 1e-4 * o.abs().max(1.0) {
+                    eprintln!("FAIL: {name} optimum {} disagrees with {}", r.objective, o);
+                    ok = false;
+                }
+            }
+        }
+    }
+    // Turning an accelerator ON must never lose optimality: if any reduced
+    // configuration proves within the budget, the all-on run must too.
+    if all_on.status != "Optimal" {
+        for (name, r) in &runs[1..] {
+            if r.status == "Optimal" {
+                eprintln!(
+                    "FAIL: {name} proved the optimum but accel-all-on stopped at {}",
+                    all_on.status
+                );
+                ok = false;
+            }
+        }
+    }
+    if all_on.status == "Optimal" && all_off.status == "Optimal" {
+        // Exact node parity is not guaranteed: propagation tightens node
+        // bounds, which perturbs the exploration order (visibly so under
+        // best-bound). Allow 5% slack so the gate flags real blowups, not
+        // ordering noise.
+        if all_on.nodes as f64 > all_off.nodes as f64 * 1.05 {
+            eprintln!(
+                "FAIL: accelerators grew the tree by more than 5% ({} > {} nodes)",
+                all_on.nodes, all_off.nodes
+            );
+            ok = false;
+        } else {
+            println!(
+                "  node ratio (all-off/all-on): {:.2}x ({} -> {})",
+                all_off.nodes as f64 / all_on.nodes.max(1) as f64,
+                all_off.nodes,
+                all_on.nodes
+            );
+        }
+    } else if all_on.status != "Optimal" && all_off.status != "Optimal" {
+        // Budget-limited at both endpoints: the accelerators must at least
+        // not worsen the incumbent gap.
+        if all_on.gap > all_off.gap + 1e-9 {
+            eprintln!(
+                "FAIL: accelerators worsened the {seconds} s gap ({:.6} > {:.6})",
+                all_on.gap, all_off.gap
+            );
+            ok = false;
+        } else {
+            println!(
+                "  gap improvement at the {seconds} s budget: {:.6} (all-off) -> {:.6} (all-on)",
+                all_off.gap, all_on.gap
+            );
+        }
+    }
+    ok
+}
+
 fn main() {
     let mut tasks = 6usize;
     let mut seconds = 60.0f64;
@@ -275,13 +441,24 @@ fn main() {
     let mut instances = 1usize;
     let mut trace = false;
     let mut pricing = Pricing::SteepestEdge;
+    let mut order = NodeOrder::DepthFirst;
     let mut warm = true;
     let mut cuts = true;
+    let mut accel = Accel::ALL_ON;
     let mut json: Option<String> = None;
     let mut append_json: Option<String> = None;
     let mut grid = false;
     let mut cuts_grid = false;
+    let mut accel_grid = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let on_off = |flag: &str, val: &str| match val {
+        "on" => true,
+        "off" => false,
+        _ => {
+            eprintln!("{flag} takes on|off");
+            std::process::exit(2);
+        }
+    };
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--trace" {
@@ -296,6 +473,11 @@ fn main() {
         }
         if args[i] == "--cuts-ablation" {
             cuts_grid = true;
+            i += 1;
+            continue;
+        }
+        if args[i] == "--heuristics-ablation" {
+            accel_grid = true;
             i += 1;
             continue;
         }
@@ -314,26 +496,17 @@ fn main() {
                     std::process::exit(2);
                 })
             }
-            "--warm" => {
-                warm = match val.as_str() {
-                    "on" => true,
-                    "off" => false,
-                    _ => {
-                        eprintln!("--warm takes on|off");
-                        std::process::exit(2);
-                    }
-                }
+            "--node-order" => {
+                order = parse_node_order(val).unwrap_or_else(|| {
+                    eprintln!("--node-order takes dfs|best-bound");
+                    std::process::exit(2);
+                })
             }
-            "--cuts" => {
-                cuts = match val.as_str() {
-                    "on" => true,
-                    "off" => false,
-                    _ => {
-                        eprintln!("--cuts takes on|off");
-                        std::process::exit(2);
-                    }
-                }
-            }
+            "--warm" => warm = on_off("--warm", val),
+            "--cuts" => cuts = on_off("--cuts", val),
+            "--heuristics" => accel.heuristics = on_off("--heuristics", val),
+            "--propagation" => accel.propagation = on_off("--propagation", val),
+            "--conflicts" => accel.conflicts = on_off("--conflicts", val),
             "--json" => json = Some(val.clone()),
             "--append-json" => append_json = Some(val.clone()),
             other => {
@@ -347,10 +520,12 @@ fn main() {
     let mut records: Vec<BenchRecord> = Vec::new();
     let mut failed = false;
 
-    if cuts_grid {
-        failed = !cuts_ablation(tasks, seconds, seed, trace, &mut records);
+    if accel_grid {
+        failed = !heuristics_ablation(tasks, seconds, seed, order, trace, &mut records);
+    } else if cuts_grid {
+        failed = !cuts_ablation(tasks, seconds, seed, order, accel, trace, &mut records);
     } else if grid {
-        failed = !ablation(tasks, seconds, seed, cuts, trace, &mut records);
+        failed = !ablation(tasks, seconds, seed, order, cuts, accel, trace, &mut records);
     } else {
         println!(
             "kernel              M  seed  status      nodes  simplex_iters  seconds  nodes/s  pivots/s  warm/cold"
@@ -358,14 +533,36 @@ fn main() {
         let mut ratio_sum = 0.0;
         for k in 0..instances {
             let s = seed + k as u64;
-            let dense = run(BasisKernel::Dense, pricing, warm, cuts, tasks, seconds, s, trace);
-            let sparse = run(BasisKernel::SparseLu, pricing, warm, cuts, tasks, seconds, s, trace);
+            let dense = run(
+                BasisKernel::Dense,
+                pricing,
+                order,
+                warm,
+                cuts,
+                accel,
+                tasks,
+                seconds,
+                s,
+                trace,
+            );
+            let sparse = run(
+                BasisKernel::SparseLu,
+                pricing,
+                order,
+                warm,
+                cuts,
+                accel,
+                tasks,
+                seconds,
+                s,
+                trace,
+            );
             for (name, kernel, r) in [
                 ("dense", BasisKernel::Dense, &dense),
                 ("sparse-lu", BasisKernel::SparseLu, &sparse),
             ] {
                 print_row(name, tasks, s, r);
-                records.push(record(r, kernel, pricing, warm, cuts, tasks, s));
+                records.push(record(r, kernel, pricing, order, warm, cuts, accel, tasks, s));
             }
             let dense_tp = dense.nodes as f64 / dense.seconds.max(1e-9);
             let sparse_tp = sparse.nodes as f64 / sparse.seconds.max(1e-9);

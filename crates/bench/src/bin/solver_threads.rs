@@ -131,8 +131,15 @@ fn main() {
                 instance: format!("M5-N4-seed{seed}"),
                 kernel: "sparse-lu".into(),
                 pricing: pricing_name(pricing).into(),
+                node_order: "dfs".into(),
                 warm_start: warm,
                 cuts,
+                // Accelerators stay at the solver defaults (all on) here;
+                // `basis_kernel --heuristics-ablation` is the binary that
+                // varies them.
+                heuristics: true,
+                propagation: true,
+                conflict_cuts: true,
                 threads,
                 status: format!("{:?}", out.status),
                 nodes: out.nodes,
@@ -140,6 +147,9 @@ fn main() {
                 warm_starts: out.stats.warm_starts,
                 cold_starts: out.stats.cold_starts,
                 cuts_applied: out.stats.cuts_applied,
+                heuristic_incumbents: out.stats.heuristic_incumbents,
+                propagated_bounds: out.stats.propagated_bounds,
+                conflict_cuts_applied: out.stats.conflict_cuts_applied,
                 // Same formula as `Solution::gap`: relative to the incumbent,
                 // infinite (→ null in JSON) when none was found.
                 gap: match out.objective_mj {

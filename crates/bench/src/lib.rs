@@ -26,7 +26,7 @@ use ndp_core::{
     solve_heuristic, solve_optimal, CommTimeModel, Deployment, OptimalConfig, OptimalOutcome,
     ProblemInstance,
 };
-use ndp_milp::{Observer, Pricing, SolveStats, SolveStatus, SolverEvent, SolverOptions};
+use ndp_milp::{NodeOrder, Observer, Pricing, SolveStats, SolveStatus, SolverEvent, SolverOptions};
 use ndp_noc::{Mesh2D, NocParams, WeightedNoc};
 use ndp_platform::{Platform, PowerModel, PowerParams, ReliabilityParams, VfTable};
 use ndp_taskset::{generate, GeneratorConfig};
@@ -291,6 +291,24 @@ pub fn pricing_name(p: Pricing) -> &'static str {
     }
 }
 
+/// Parses a `--node-order` flag value (`dfs`/`depth-first`,
+/// `best`/`best-bound`).
+pub fn parse_node_order(s: &str) -> Option<NodeOrder> {
+    match s {
+        "dfs" | "depth-first" => Some(NodeOrder::DepthFirst),
+        "best" | "best-bound" => Some(NodeOrder::BestBound),
+        _ => None,
+    }
+}
+
+/// Short machine-readable name of a node order for bench tables/JSON.
+pub fn node_order_name(o: NodeOrder) -> &'static str {
+    match o {
+        NodeOrder::DepthFirst => "dfs",
+        NodeOrder::BestBound => "best-bound",
+    }
+}
+
 /// One machine-readable solve record for `BENCH_milp.json`: what the solver
 /// configuration was and how much work the solve took.
 #[derive(Debug, Clone)]
@@ -301,10 +319,18 @@ pub struct BenchRecord {
     pub kernel: String,
     /// Pricing rule (`dse` / `devex` / `dantzig`).
     pub pricing: String,
+    /// Branch-and-bound node order (`dfs` / `best-bound`).
+    pub node_order: String,
     /// Parent-basis warm starts enabled.
     pub warm_start: bool,
     /// Cutting planes enabled.
     pub cuts: bool,
+    /// Primal heuristics (root diving + RINS/RENS) enabled.
+    pub heuristics: bool,
+    /// Node-level bound propagation enabled.
+    pub propagation: bool,
+    /// Conflict analysis (no-good cuts from infeasible nodes) enabled.
+    pub conflict_cuts: bool,
     /// Worker threads.
     pub threads: usize,
     /// Termination status (`Optimal`, `Feasible`, ...).
@@ -319,6 +345,12 @@ pub struct BenchRecord {
     pub cold_starts: u64,
     /// Cuts installed (root survivors plus in-tree rounds).
     pub cuts_applied: u64,
+    /// Incumbents contributed by the root primal heuristics.
+    pub heuristic_incumbents: u64,
+    /// Individual bound tightenings applied by node propagation.
+    pub propagated_bounds: u64,
+    /// Conflict cuts installed in the worker LP.
+    pub conflict_cuts_applied: u64,
     /// Relative optimality gap of the incumbent: 0 when proven optimal,
     /// the remaining gap for a time/node-limited `Feasible` run, non-finite
     /// (serialized as `null`) when no incumbent exists. Distinguishes a
@@ -348,15 +380,23 @@ impl BenchRecord {
         format!(
             concat!(
                 "{{\"instance\":\"{}\",\"kernel\":\"{}\",\"pricing\":\"{}\",",
-                "\"warm_start\":{},\"cuts\":{},\"threads\":{},\"status\":\"{}\",\"nodes\":{},",
+                "\"node_order\":\"{}\",",
+                "\"warm_start\":{},\"cuts\":{},\"heuristics\":{},\"propagation\":{},",
+                "\"conflict_cuts\":{},\"threads\":{},\"status\":\"{}\",\"nodes\":{},",
                 "\"pivots\":{},\"warm_starts\":{},\"cold_starts\":{},\"cuts_applied\":{},",
+                "\"heuristic_incumbents\":{},\"propagated_bounds\":{},",
+                "\"conflict_cuts_applied\":{},",
                 "\"gap\":{},\"dual_bound\":{},\"seconds\":{:.4}}}"
             ),
             self.instance,
             self.kernel,
             self.pricing,
+            self.node_order,
             self.warm_start,
             self.cuts,
+            self.heuristics,
+            self.propagation,
+            self.conflict_cuts,
             self.threads,
             self.status,
             self.nodes,
@@ -364,6 +404,9 @@ impl BenchRecord {
             self.warm_starts,
             self.cold_starts,
             self.cuts_applied,
+            self.heuristic_incumbents,
+            self.propagated_bounds,
+            self.conflict_cuts_applied,
             json_f64(self.gap),
             json_f64(self.dual_bound),
             self.seconds,
@@ -463,8 +506,12 @@ mod tests {
             instance: "M4-N4-seed7".into(),
             kernel: "sparse-lu".into(),
             pricing: "dse".into(),
+            node_order: "dfs".into(),
             warm_start: true,
             cuts: true,
+            heuristics: true,
+            propagation: true,
+            conflict_cuts: false,
             threads: 1,
             status: "Optimal".into(),
             nodes: 12,
@@ -472,6 +519,9 @@ mod tests {
             warm_starts: 11,
             cold_starts: 1,
             cuts_applied: 7,
+            heuristic_incumbents: 2,
+            propagated_bounds: 610,
+            conflict_cuts_applied: 3,
             gap: 0.0,
             dual_bound: 42.5,
             seconds: 0.25,
@@ -481,13 +531,20 @@ mod tests {
             "\"instance\":\"M4-N4-seed7\"",
             "\"kernel\":\"sparse-lu\"",
             "\"pricing\":\"dse\"",
+            "\"node_order\":\"dfs\"",
             "\"warm_start\":true",
             "\"cuts\":true",
+            "\"heuristics\":true",
+            "\"propagation\":true",
+            "\"conflict_cuts\":false",
             "\"nodes\":12",
             "\"pivots\":345",
             "\"warm_starts\":11",
             "\"cold_starts\":1",
             "\"cuts_applied\":7",
+            "\"heuristic_incumbents\":2",
+            "\"propagated_bounds\":610",
+            "\"conflict_cuts_applied\":3",
             "\"gap\":0.000000",
             "\"dual_bound\":42.500000",
             "\"seconds\":0.2500",
@@ -504,8 +561,12 @@ mod tests {
             instance: "M9-N4-seed1".into(),
             kernel: "dense".into(),
             pricing: "devex".into(),
+            node_order: "best-bound".into(),
             warm_start: false,
             cuts: false,
+            heuristics: false,
+            propagation: false,
+            conflict_cuts: false,
             threads: 2,
             status: "Unknown".into(),
             nodes: 3,
@@ -513,6 +574,9 @@ mod tests {
             warm_starts: 0,
             cold_starts: 3,
             cuts_applied: 0,
+            heuristic_incumbents: 0,
+            propagated_bounds: 0,
+            conflict_cuts_applied: 0,
             gap: f64::INFINITY,
             dual_bound: f64::NAN,
             seconds: 6.0,
@@ -528,8 +592,12 @@ mod tests {
             instance: instance.into(),
             kernel: "sparse-lu".into(),
             pricing: "dse".into(),
+            node_order: "dfs".into(),
             warm_start: true,
             cuts: true,
+            heuristics: true,
+            propagation: true,
+            conflict_cuts: true,
             threads: 1,
             status: "Optimal".into(),
             nodes: 1,
@@ -537,6 +605,9 @@ mod tests {
             warm_starts: 0,
             cold_starts: 1,
             cuts_applied: 0,
+            heuristic_incumbents: 0,
+            propagated_bounds: 0,
+            conflict_cuts_applied: 0,
             gap: 0.0,
             dual_bound: 1.0,
             seconds: 0.1,
@@ -569,6 +640,18 @@ mod tests {
         assert_eq!(parse_pricing("bogus"), None);
         for p in [Pricing::SteepestEdge, Pricing::Devex, Pricing::Dantzig] {
             assert_eq!(parse_pricing(pricing_name(p)), Some(p));
+        }
+    }
+
+    #[test]
+    fn node_order_parses_all_names() {
+        assert_eq!(parse_node_order("dfs"), Some(NodeOrder::DepthFirst));
+        assert_eq!(parse_node_order("depth-first"), Some(NodeOrder::DepthFirst));
+        assert_eq!(parse_node_order("best"), Some(NodeOrder::BestBound));
+        assert_eq!(parse_node_order("best-bound"), Some(NodeOrder::BestBound));
+        assert_eq!(parse_node_order("bogus"), None);
+        for o in [NodeOrder::DepthFirst, NodeOrder::BestBound] {
+            assert_eq!(parse_node_order(node_order_name(o)), Some(o));
         }
     }
 

@@ -165,12 +165,43 @@ pub(crate) struct NodeWorker<'a> {
     pub(crate) cuts_applied: u64,
     /// Seconds this worker spent separating in-tree cuts.
     pub(crate) separation_seconds: f64,
+    /// Node-level bound propagation is armed
+    /// ([`SolverOptions::propagation`] with integer columns present).
+    propagate_on: bool,
+    /// Conflict no-good derivation is armed: worker-local rows allowed
+    /// (serial search) with [`SolverOptions::conflict_cuts`] on.
+    conflicts_on: bool,
+    /// Structural integrality mask (length `model.num_vars()`).
+    int_mask: Vec<bool>,
+    /// Scratch structural lower bounds for the propagation pass.
+    prop_lb: Vec<f64>,
+    /// Scratch structural upper bounds for the propagation pass.
+    prop_ub: Vec<f64>,
+    /// Scratch reference point for conflict-cut pool scoring.
+    conflict_ref: Vec<f64>,
+    /// Pool for this worker's conflict no-goods (dedup/scoring; conflict
+    /// rows stay in this worker's LP like in-tree covers).
+    conflict_pool: crate::cuts::CutPool,
+    /// Individual bounds tightened by node propagation.
+    pub(crate) propagated_bounds: u64,
+    /// Nodes fathomed by propagation without an LP solve.
+    pub(crate) propagation_fathoms: u64,
+    /// Seconds spent propagating node bounds.
+    pub(crate) propagation_seconds: f64,
+    /// Conflict no-goods derived from infeasible nodes.
+    pub(crate) conflict_cuts_generated: u64,
+    /// Conflict no-goods accepted by the pool and appended to the LP.
+    pub(crate) conflict_cuts_applied: u64,
 }
 
 /// Ceiling on in-tree cuts one worker may append to its LP: every row is
 /// priced on every later node of this worker, so unbounded growth would
 /// trade node count for per-node cost.
 const MAX_TREE_CUTS: usize = 200;
+
+/// Ceiling on conflict no-goods one worker may append, for the same
+/// pricing-cost reason as [`MAX_TREE_CUTS`].
+const MAX_CONFLICT_CUTS: usize = 200;
 
 /// Outcome of one in-tree separation round.
 enum TreeCutResult {
@@ -216,7 +247,9 @@ impl<'a> NodeWorker<'a> {
         for &j in int_cols {
             is_int[j] = true;
         }
-        let binary = if tree_cuts {
+        let propagate_on = options.propagation && !int_cols.is_empty();
+        let conflicts_on = allow_tree_cuts && options.conflict_cuts && !int_cols.is_empty();
+        let binary = if tree_cuts || conflicts_on {
             (0..model.num_vars()).map(|j| is_int[j] && root_bounds[j] == (0.0, 1.0)).collect()
         } else {
             Vec::new()
@@ -246,6 +279,18 @@ impl<'a> NodeWorker<'a> {
             cuts_generated: 0,
             cuts_applied: 0,
             separation_seconds: 0.0,
+            propagate_on,
+            conflicts_on,
+            int_mask: is_int,
+            prop_lb: Vec::new(),
+            prop_ub: Vec::new(),
+            conflict_ref: Vec::new(),
+            conflict_pool: crate::cuts::CutPool::new(),
+            propagated_bounds: 0,
+            propagation_fathoms: 0,
+            propagation_seconds: 0.0,
+            conflict_cuts_generated: 0,
+            conflict_cuts_applied: 0,
         }
     }
 
@@ -472,6 +517,16 @@ impl<'a> NodeWorker<'a> {
         self.nodes += 1;
         // The solve moves the basis away from whatever snapshot was loaded.
         self.loaded = None;
+        if self.propagate_on && self.propagate_node() {
+            // Propagation emptied the node box: fathom without an LP solve.
+            // The node still emits its exploration event (bound +inf, zero
+            // pivots) so node-counting observers see every evaluated node.
+            self.emit_node(node, f64::INFINITY, 0);
+            if self.conflicts_on {
+                self.maybe_conflict_cut(node);
+            }
+            return Ok((vec![], f64::INFINITY));
+        }
         let pivots_before = self.lp.iterations;
         let status = match self.solve_node_lp()? {
             Some(s) => s,
@@ -486,6 +541,9 @@ impl<'a> NodeWorker<'a> {
             // An infeasible node's bound is +inf (internal scale); the event
             // reports the corresponding user-scale extreme.
             self.emit_node(node, f64::INFINITY, pivots);
+            if self.conflicts_on {
+                self.maybe_conflict_cut(node);
+            }
             return Ok((vec![], f64::INFINITY));
         }
         // The LP point is optimal for the *perturbed* costs; subtracting the
@@ -522,6 +580,152 @@ impl<'a> NodeWorker<'a> {
         let result = self.branch_or_fathom(node, incumbent, &full, bound);
         self.xbuf = full;
         result
+    }
+
+    /// Activity-based bound propagation on the current node box (the bound
+    /// state `enter_node` installed): returns `true` when the box is
+    /// provably empty. Runs over the worker LP's *own* form so appended cut
+    /// rows participate. Time lands in the disjoint propagation bucket.
+    ///
+    /// The fixpoint arithmetic tightens freely (deeper chains find more
+    /// fathoms), but only tightenings that *fix* a column (`lb == ub`) are
+    /// written into the live LP: a binary tightening is always a fixing, so
+    /// 0/1 models keep the full effect, while partial interval shrinks on
+    /// general-integer columns — which barely prune but perturb the LP
+    /// optimum enough to reroute branching — stay out of the node. Applied
+    /// fixings feed the branched children through `branch_or_fathom`'s
+    /// bound reads.
+    fn propagate_node(&mut self) -> bool {
+        let t0 = Instant::now();
+        let n = self.sf.n;
+        let mut plb = std::mem::take(&mut self.prop_lb);
+        let mut pub_ = std::mem::take(&mut self.prop_ub);
+        plb.clear();
+        plb.extend_from_slice(&self.lp.lb[..n]);
+        pub_.clear();
+        pub_.extend_from_slice(&self.lp.ub[..n]);
+        let res = crate::propagate::propagate(
+            self.lp.form(),
+            &self.int_mask,
+            &mut plb,
+            &mut pub_,
+            &self.lp.lb[n..],
+            &self.lp.ub[n..],
+            self.options.feasibility_tol,
+            self.options.integrality_tol,
+        );
+        let mut fathomed = false;
+        let mut count: u64 = 0;
+        match res {
+            crate::propagate::Propagation::Infeasible => {
+                fathomed = true;
+                self.propagation_fathoms += 1;
+            }
+            crate::propagate::Propagation::Tightened(_) => {
+                let mut any = false;
+                for j in 0..n {
+                    if plb[j] == pub_[j] && (plb[j] != self.lp.lb[j] || pub_[j] != self.lp.ub[j]) {
+                        if plb[j] > self.lp.lb[j] {
+                            count += 1;
+                        }
+                        if pub_[j] < self.lp.ub[j] {
+                            count += 1;
+                        }
+                        self.lp.set_bounds(j, plb[j], pub_[j]);
+                        any = true;
+                    }
+                }
+                self.propagated_bounds += count;
+                if any {
+                    self.lp.refresh();
+                }
+            }
+            crate::propagate::Propagation::Unchanged => {}
+        }
+        self.prop_lb = plb;
+        self.prop_ub = pub_;
+        self.propagation_seconds += t0.elapsed().as_secs_f64();
+        if fathomed || count > 0 {
+            let node = self.nodes;
+            let tightened = count.min(u32::MAX as u64) as u32;
+            self.options.observer.emit(|| SolverEvent::NodePropagated {
+                node,
+                tightened,
+                fathomed,
+            });
+        }
+        fathomed
+    }
+
+    /// Derives a globally valid no-good cut from an infeasible node whose
+    /// branching path consists entirely of binary fixings, and appends it
+    /// to this worker's LP through the conflict pool. LP (or propagation)
+    /// infeasibility under the fixings proves no integer point matches all
+    /// of them while the remaining columns roam the root box, so
+    /// `Σ_{fixed 0} x_j − Σ_{fixed 1} x_j ≥ 1 − #fixed-to-1` holds for
+    /// every integer-feasible point of the model.
+    fn maybe_conflict_cut(&mut self, node: &OpenNode) {
+        if node.deltas.is_empty() || self.conflict_pool.installed() >= MAX_CONFLICT_CUTS {
+            return;
+        }
+        // Fold the path into the final interval per column (later deltas
+        // overwrite earlier ones, matching `enter_node`).
+        let mut fix: Vec<(usize, f64, f64)> = Vec::new();
+        for &(j, l, u) in &node.deltas {
+            match fix.iter_mut().find(|&&mut (k, _, _)| k == j) {
+                Some(e) => {
+                    e.1 = l;
+                    e.2 = u;
+                }
+                None => fix.push((j, l, u)),
+            }
+        }
+        // The no-good argument needs every path column fixed to 0 or 1 under
+        // the root box; a general-integer or interval delta disqualifies the
+        // node (no cut — conservative).
+        let mut ones = 0usize;
+        for &(j, l, u) in &fix {
+            if !self.binary[j] || l != u || (l != 0.0 && l != 1.0) {
+                return;
+            }
+            if l == 1.0 {
+                ones += 1;
+            }
+        }
+        let mut coeffs: Vec<(usize, f64)> =
+            fix.iter().map(|&(j, _, u)| (j, if u == 1.0 { -1.0 } else { 1.0 })).collect();
+        coeffs.sort_unstable_by_key(|&(j, _)| j);
+        let cut = crate::cuts::Cut {
+            coeffs,
+            rhs: 1.0 - ones as f64,
+            sense: crate::cuts::CutSense::Ge,
+            family: crate::cuts::CutFamily::Conflict,
+            validity: crate::cuts::CutValidity::Global,
+        };
+        self.conflict_cuts_generated += 1;
+        // Score the candidate at the refuted assignment itself, where its
+        // violation is exactly 1.
+        let mut x_ref = std::mem::take(&mut self.conflict_ref);
+        x_ref.clear();
+        x_ref.resize(self.model.num_vars(), 0.0);
+        for &(j, _, u) in &fix {
+            if u == 1.0 {
+                x_ref[j] = 1.0;
+            }
+        }
+        let chosen = self.conflict_pool.select(vec![cut], &x_ref);
+        self.conflict_ref = x_ref;
+        if chosen.is_empty() {
+            return;
+        }
+        if self.lp.append_cut_rows(&chosen).is_err() {
+            // The extended basis would not refactorize: fall back to the
+            // slack basis over the grown form (always factorizable).
+            self.lp.reset_to_slack_basis();
+        }
+        self.conflict_cuts_applied += chosen.len() as u64;
+        let (depth, size) = (node.deltas.len(), fix.len());
+        self.options.observer.emit(|| SolverEvent::ConflictCut { depth, size });
     }
 
     /// Whether this node is an in-tree separation point: the serial search
@@ -666,6 +870,16 @@ pub(crate) struct SearchOutcome {
     pub(crate) cuts_applied: u64,
     /// Seconds separating in-tree cuts, summed over workers.
     pub(crate) separation_seconds: f64,
+    /// Individual bounds tightened by node propagation, summed over workers.
+    pub(crate) propagated_bounds: u64,
+    /// Nodes fathomed by propagation without an LP solve.
+    pub(crate) propagation_fathoms: u64,
+    /// Seconds propagating node bounds, summed over workers.
+    pub(crate) propagation_seconds: f64,
+    /// Conflict no-goods derived (0 for parallel runs).
+    pub(crate) conflict_cuts_generated: u64,
+    /// Conflict no-goods appended to a worker LP (0 for parallel runs).
+    pub(crate) conflict_cuts_applied: u64,
 }
 
 /// Entry point used by [`Model::solve_with`].
@@ -859,6 +1073,25 @@ pub(crate) fn solve(model: &Model, options: &SolverOptions) -> Result<Solution> 
         options.observer.emit(|| SolverEvent::Incumbent { objective, bound, gap: f64::INFINITY });
     }
 
+    // Root primal heuristics: dive the relaxation and search RINS/RENS
+    // neighborhoods for a strong starting incumbent; improvements merge
+    // into `warm` so both search modes prune from the first node.
+    let mut heur = crate::heuristics::HeuristicOutcome::default();
+    let warm = if options.heuristics && !int_cols.is_empty() && !options.cancelled() {
+        crate::heuristics::run_root(
+            model,
+            &sf,
+            options,
+            &int_cols,
+            &root_bounds,
+            warm,
+            start,
+            &mut heur,
+        )
+    } else {
+        warm
+    };
+
     let threads = options.effective_threads();
     let outcome = if threads <= 1 {
         serial_search(model, &sf, options, &int_cols, &root_bounds, warm, start)?
@@ -927,7 +1160,7 @@ pub(crate) fn solve(model: &Model, options: &SolverOptions) -> Result<Solution> 
             nodes_pruned: outcome.pruned,
             simplex_iterations: outcome.simplex_iterations + cut_stats.simplex_iterations,
             refactorizations: outcome.refactorizations + cut_stats.refactorizations,
-            incumbents: outcome.incumbents,
+            incumbents: outcome.incumbents + heur.accepted,
             steals: outcome.steals,
             warm_starts: outcome.warm_starts,
             cold_starts: outcome.cold_starts,
@@ -935,6 +1168,13 @@ pub(crate) fn solve(model: &Model, options: &SolverOptions) -> Result<Solution> 
             cuts_applied: cut_stats.applied + outcome.cuts_applied,
             cuts_aged_out: cut_stats.aged_out,
             separation_seconds: cut_stats.separation_seconds + outcome.separation_seconds,
+            heuristic_seconds: heur.seconds,
+            propagation_seconds: outcome.propagation_seconds,
+            heuristic_incumbents: heur.accepted,
+            propagated_bounds: outcome.propagated_bounds,
+            propagation_fathoms: outcome.propagation_fathoms,
+            conflict_cuts_generated: outcome.conflict_cuts_generated,
+            conflict_cuts_applied: outcome.conflict_cuts_applied,
         },
     })
 }
@@ -1006,6 +1246,11 @@ fn serial_search(
         cuts_generated: worker.cuts_generated,
         cuts_applied: worker.cuts_applied,
         separation_seconds: worker.separation_seconds,
+        propagated_bounds: worker.propagated_bounds,
+        propagation_fathoms: worker.propagation_fathoms,
+        propagation_seconds: worker.propagation_seconds,
+        conflict_cuts_generated: worker.conflict_cuts_generated,
+        conflict_cuts_applied: worker.conflict_cuts_applied,
     })
 }
 

@@ -57,6 +57,9 @@ pub(crate) enum CutFamily {
     Gomory,
     /// Knapsack cover cut.
     Cover,
+    /// No-good cut derived by conflict analysis from an infeasible node's
+    /// binary fixing set (see [`crate::branch`]).
+    Conflict,
 }
 
 /// Where a cut is valid. Cover cuts derive from the model rows and global
@@ -276,38 +279,7 @@ mod tests {
     use crate::model::VarId;
     use crate::{LinExpr, Objective};
 
-    /// Enumerates every integer point of an all-integer boxed model and
-    /// returns the feasible ones (structural values only).
-    fn feasible_integer_points(model: &Model) -> Vec<Vec<f64>> {
-        let n = model.num_vars();
-        let mut ranges = Vec::with_capacity(n);
-        for j in 0..n {
-            let (l, u) = model.bounds(VarId(j));
-            ranges.push((l.ceil() as i64, u.floor() as i64));
-        }
-        let mut out = Vec::new();
-        let mut point = vec![0.0; n];
-        fn rec(
-            model: &Model,
-            ranges: &[(i64, i64)],
-            j: usize,
-            point: &mut Vec<f64>,
-            out: &mut Vec<Vec<f64>>,
-        ) {
-            if j == ranges.len() {
-                if model.is_feasible(point, 1e-6) {
-                    out.push(point.clone());
-                }
-                return;
-            }
-            for v in ranges[j].0..=ranges[j].1 {
-                point[j] = v as f64;
-                rec(model, ranges, j + 1, point, out);
-            }
-        }
-        rec(model, &ranges, 0, &mut point, &mut out);
-        out
-    }
+    use crate::testgen::feasible_integer_points;
 
     /// A knapsack-flavoured model with a fractional LP optimum.
     fn knapsack_model() -> Model {
@@ -416,51 +388,8 @@ mod tests {
         assert!((sol.objective_value() - best).abs() < 1e-6);
     }
 
-    use crate::ConstraintSense;
+    use crate::testgen::{build_random, random_binary_milp};
     use proptest::prelude::*;
-
-    #[derive(Debug, Clone)]
-    struct RandomBinaryMilp {
-        n: usize,
-        obj: Vec<i32>,
-        maximize: bool,
-        rows: Vec<(Vec<i32>, u8, i32)>, // coeffs, sense code, rhs
-    }
-
-    fn build_random(milp: &RandomBinaryMilp) -> Model {
-        let mut m = Model::new("rand-cuts");
-        let vars: Vec<_> = (0..milp.n).map(|i| m.binary(format!("x{i}"))).collect();
-        for (r, (coeffs, sense, rhs)) in milp.rows.iter().enumerate() {
-            let mut e = LinExpr::new();
-            for (j, &c) in coeffs.iter().enumerate() {
-                if c != 0 {
-                    e.add_term(vars[j], c as f64);
-                }
-            }
-            let sense = match sense {
-                0 => ConstraintSense::Le,
-                1 => ConstraintSense::Ge,
-                _ => ConstraintSense::Eq,
-            };
-            m.add_constraint(format!("r{r}"), e, sense, *rhs as f64);
-        }
-        let mut obj = LinExpr::new();
-        for (j, &c) in milp.obj.iter().enumerate() {
-            obj.add_term(vars[j], c as f64);
-        }
-        let dir = if milp.maximize { Objective::Maximize } else { Objective::Minimize };
-        m.set_objective(dir, obj);
-        m
-    }
-
-    fn random_binary_milp() -> impl Strategy<Value = RandomBinaryMilp> {
-        (2usize..=7, any::<bool>()).prop_flat_map(|(n, maximize)| {
-            let obj = proptest::collection::vec(-9i32..=9, n);
-            let row = (proptest::collection::vec(-5i32..=5, n), 0u8..=2, -8i32..=12);
-            let rows = proptest::collection::vec(row, 1..=4);
-            (obj, rows).prop_map(move |(obj, rows)| RandomBinaryMilp { n, obj, maximize, rows })
-        })
-    }
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(120))]

@@ -136,6 +136,40 @@ pub enum SolverEvent {
         /// The pruned node's inherited bound (user scale).
         bound: f64,
     },
+    /// An improving integral point found by the root primal heuristics
+    /// (diving or a RINS/RENS neighborhood sub-MILP) *before* the tree
+    /// search started. Distinct from [`SolverEvent::Incumbent`] so the
+    /// search stream keeps its canonical `root → incumbent` ordering;
+    /// heuristic finds land in the pre-root window like
+    /// [`SolverEvent::CutRound`].
+    HeuristicIncumbent {
+        /// Which heuristic produced the point: `"dive"`, `"rens"` or
+        /// `"rins"`.
+        heuristic: &'static str,
+        /// Objective of the accepted point (user scale).
+        objective: f64,
+    },
+    /// Node-level bound propagation changed a node: it tightened at least
+    /// one variable bound or proved the node box empty. Quiet nodes emit
+    /// nothing, keeping streams compact.
+    NodePropagated {
+        /// Node ordinal within the emitting worker (matches the `node`
+        /// field of the following [`SolverEvent::NodeExplored`]).
+        node: u64,
+        /// Individual variable bounds tightened at this node.
+        tightened: u32,
+        /// Whether propagation proved the node infeasible, fathoming it
+        /// without an LP solve.
+        fathomed: bool,
+    },
+    /// A globally valid conflict (no-good) cut was derived from an
+    /// infeasible node's binary fixing set and appended to the worker LP.
+    ConflictCut {
+        /// Depth of the infeasible node the conflict came from.
+        depth: usize,
+        /// Fixed binaries in the no-good (the cut's support size).
+        size: usize,
+    },
     /// A new best integral solution was accepted.
     Incumbent {
         /// Objective of the new incumbent (user scale).
@@ -193,6 +227,18 @@ impl fmt::Display for SolverEvent {
                 write!(f, "node {node}: bound {bound:.6} depth {depth} pivots {pivots}")
             }
             SolverEvent::NodePruned { bound } => write!(f, "pruned: bound {bound:.6}"),
+            SolverEvent::HeuristicIncumbent { heuristic, objective } => {
+                write!(f, "heuristic incumbent ({heuristic}): obj {objective:.6}")
+            }
+            SolverEvent::NodePropagated { node, tightened, fathomed } => {
+                write!(
+                    f,
+                    "node {node} propagated: {tightened} bounds tightened, fathomed {fathomed}"
+                )
+            }
+            SolverEvent::ConflictCut { depth, size } => {
+                write!(f, "conflict cut: depth {depth}, {size} literals")
+            }
             SolverEvent::Incumbent { objective, bound, gap } => {
                 write!(f, "incumbent: obj {objective:.6} bound {bound:.6} gap {:.3}%", gap * 100.0)
             }
@@ -352,5 +398,11 @@ mod tests {
             reason: TerminationReason::Cancelled,
         };
         assert_eq!(t.to_string(), "terminated: Interrupted (cancelled)");
+        let h = SolverEvent::HeuristicIncumbent { heuristic: "dive", objective: 4.25 };
+        assert_eq!(h.to_string(), "heuristic incumbent (dive): obj 4.250000");
+        let p = SolverEvent::NodePropagated { node: 3, tightened: 2, fathomed: false };
+        assert_eq!(p.to_string(), "node 3 propagated: 2 bounds tightened, fathomed false");
+        let c = SolverEvent::ConflictCut { depth: 4, size: 4 };
+        assert_eq!(c.to_string(), "conflict cut: depth 4, 4 literals");
     }
 }

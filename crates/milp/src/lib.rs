@@ -50,15 +50,19 @@ mod cuts;
 mod error;
 mod events;
 mod expr;
+mod heuristics;
 mod lu;
 mod model;
 mod mps;
 mod options;
 mod parallel;
 mod presolve;
+mod propagate;
 mod simplex;
 mod solution;
 mod standard;
+#[cfg(test)]
+mod testgen;
 
 pub use error::{MilpError, Result};
 pub use events::{CancelToken, Observer, ObserverHandle, SolverEvent, TerminationReason};

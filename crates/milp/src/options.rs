@@ -150,6 +150,26 @@ pub struct SolverOptions {
     /// appended rows are worker-local and would break snapshot sharing
     /// economics, so parallel workers search with root cuts only.
     pub cut_node_interval: usize,
+    /// Master switch of the root primal heuristics (relaxation-guided
+    /// diving plus RINS/RENS neighborhood sub-MILPs). Heuristics run after
+    /// root separation and before the tree search, seeding the incumbent so
+    /// pruning bites from the first node. Deterministic: the only random
+    /// choices use a fixed-seed xorshift generator.
+    pub heuristics: bool,
+    /// Node budget of each heuristic neighborhood sub-MILP (RINS/RENS).
+    /// Larger budgets find better incumbents at a higher fixed cost.
+    pub heuristic_node_limit: usize,
+    /// Node-level bound propagation: before each node's LP solve, tighten
+    /// the node box by interval-activity analysis over the rows (the
+    /// presolve arithmetic applied at node bounds). Nodes whose box empties
+    /// fathom without a simplex solve.
+    pub propagation: bool,
+    /// Conflict (no-good) cuts: when a node whose branching path consists
+    /// entirely of binary fixings proves LP-infeasible, a globally valid
+    /// no-good clause over that fixing set is appended to the worker's LP,
+    /// fathoming every other node that repeats the assignment. Serial-only
+    /// (appended rows are worker-local), like in-tree cover cuts.
+    pub conflict_cuts: bool,
     /// Receiver of the structured event stream ([`crate::SolverEvent`]);
     /// unset by default. See [`SolverOptions::observer`].
     pub observer: ObserverHandle,
@@ -185,6 +205,10 @@ impl Default for SolverOptions {
             cover_cuts: true,
             max_cut_rounds: 10,
             cut_node_interval: 0,
+            heuristics: true,
+            heuristic_node_limit: 200,
+            propagation: true,
+            conflict_cuts: true,
             observer: ObserverHandle::none(),
             cancel: None,
         }
@@ -333,6 +357,30 @@ impl SolverOptions {
         self
     }
 
+    /// Enables or disables the root primal heuristics, builder-style.
+    pub fn heuristics(mut self, on: bool) -> Self {
+        self.heuristics = on;
+        self
+    }
+
+    /// Sets the node budget of each heuristic sub-MILP, builder-style.
+    pub fn heuristic_node_limit(mut self, nodes: usize) -> Self {
+        self.heuristic_node_limit = nodes;
+        self
+    }
+
+    /// Enables or disables node-level bound propagation, builder-style.
+    pub fn propagation(mut self, on: bool) -> Self {
+        self.propagation = on;
+        self
+    }
+
+    /// Enables or disables conflict (no-good) cuts, builder-style.
+    pub fn conflict_cuts(mut self, on: bool) -> Self {
+        self.conflict_cuts = on;
+        self
+    }
+
     /// The concrete worker count after resolving `threads = 0` to the
     /// machine's available parallelism (capped at 8: branch-and-bound trees
     /// on this workspace's models rarely feed more workers than that).
@@ -384,6 +432,16 @@ mod tests {
         assert!(!o.cuts && !o.gomory_cuts && !o.cover_cuts);
         assert_eq!(o.max_cut_rounds, 3);
         assert_eq!(o.cut_node_interval, 4);
+    }
+
+    #[test]
+    fn accelerators_default_on() {
+        let o = SolverOptions::default();
+        assert!(o.heuristics && o.propagation && o.conflict_cuts);
+        assert!(o.heuristic_node_limit > 0);
+        let o = o.heuristics(false).propagation(false).conflict_cuts(false).heuristic_node_limit(7);
+        assert!(!o.heuristics && !o.propagation && !o.conflict_cuts);
+        assert_eq!(o.heuristic_node_limit, 7);
     }
 
     #[test]

@@ -303,11 +303,17 @@ pub(crate) fn search(
         refactorizations: per_worker.iter().map(|w| w.refactorizations).sum(),
         warm_starts: per_worker.iter().map(|w| w.warm_starts).sum(),
         cold_starts: per_worker.iter().map(|w| w.cold_starts).sum(),
-        // In-tree separation is serial-only (worker-local rows would skew
-        // snapshot sharing); parallel workers search with root cuts only.
+        // In-tree separation (and with it conflict analysis) is serial-only
+        // (worker-local rows would skew snapshot sharing); parallel workers
+        // search with root cuts only.
         cuts_generated: 0,
         cuts_applied: 0,
         separation_seconds: 0.0,
+        propagated_bounds: per_worker.iter().map(|w| w.propagated_bounds).sum(),
+        propagation_fathoms: per_worker.iter().map(|w| w.propagation_fathoms).sum(),
+        propagation_seconds: per_worker.iter().map(|w| w.propagation_seconds).sum(),
+        conflict_cuts_generated: 0,
+        conflict_cuts_applied: 0,
     })
 }
 
@@ -323,6 +329,9 @@ struct WorkerStats {
     refactorizations: u64,
     warm_starts: u64,
     cold_starts: u64,
+    propagated_bounds: u64,
+    propagation_fathoms: u64,
+    propagation_seconds: f64,
 }
 
 /// One worker: pops nodes until the tree is exhausted or a stop is raised.
@@ -438,5 +447,8 @@ fn worker_loop(
         refactorizations: worker.lp.refactorizations,
         warm_starts: worker.warm_starts,
         cold_starts: worker.cold_starts,
+        propagated_bounds: worker.propagated_bounds,
+        propagation_fathoms: worker.propagation_fathoms,
+        propagation_seconds: worker.propagation_seconds,
     }
 }

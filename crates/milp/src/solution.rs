@@ -61,7 +61,8 @@ pub struct SolveStats {
     pub simplex_iterations: u64,
     /// Basis refactorizations across all workers.
     pub refactorizations: u64,
-    /// Incumbent improvements accepted (warm starts not counted).
+    /// Incumbent improvements accepted, including pre-search heuristic
+    /// finds (warm-start hints not counted).
     pub incumbents: u64,
     /// Nodes obtained by work stealing (0 for serial solves).
     pub steals: u64,
@@ -84,19 +85,39 @@ pub struct SolveStats {
     /// covers, pool scoring) — disjoint from the simplex and factorization
     /// buckets, which also cover the cut-loop LP re-optimizations.
     pub separation_seconds: f64,
+    /// Seconds spent in the root primal heuristics (diving and RINS/RENS
+    /// sub-MILPs), including their LP and sub-MILP solves — disjoint from
+    /// every other bucket.
+    pub heuristic_seconds: f64,
+    /// Seconds spent in node-level bound propagation (interval-activity
+    /// analysis and bound edits; the node LP re-solve is not included) —
+    /// disjoint from every other bucket.
+    pub propagation_seconds: f64,
+    /// Improving incumbents contributed by the root primal heuristics
+    /// before the tree search started.
+    pub heuristic_incumbents: u64,
+    /// Individual variable bounds tightened by node propagation.
+    pub propagated_bounds: u64,
+    /// Nodes fathomed by propagation (empty box) without an LP solve.
+    pub propagation_fathoms: u64,
+    /// Conflict (no-good) cuts derived from infeasible nodes.
+    pub conflict_cuts_generated: u64,
+    /// Conflict cuts accepted by the pool and appended to a worker LP.
+    pub conflict_cuts_applied: u64,
 }
 
 impl SolveStats {
     /// Wall-clock time not attributed to presolve/simplex/factorization/
-    /// separation: `max(0, total − presolve − simplex − factor −
-    /// separation)`. Only meaningful for serial solves (see the struct
-    /// docs).
+    /// separation/heuristics/propagation: `max(0, total − the six measured
+    /// buckets)`. Only meaningful for serial solves (see the struct docs).
     pub fn other_seconds(&self) -> f64 {
         (self.total_seconds
             - self.presolve_seconds
             - self.simplex_seconds
             - self.factor_seconds
-            - self.separation_seconds)
+            - self.separation_seconds
+            - self.heuristic_seconds
+            - self.propagation_seconds)
             .max(0.0)
     }
 }
@@ -254,9 +275,11 @@ mod tests {
             simplex_seconds: 0.5,
             factor_seconds: 0.2,
             separation_seconds: 0.05,
+            heuristic_seconds: 0.04,
+            propagation_seconds: 0.01,
             ..SolveStats::default()
         };
-        assert!((st.other_seconds() - 0.15).abs() < 1e-12);
+        assert!((st.other_seconds() - 0.10).abs() < 1e-12);
     }
 
     #[test]

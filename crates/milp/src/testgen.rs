@@ -1,0 +1,89 @@
+//! Shared in-crate test generators: random binary MILPs and exhaustive
+//! integer-point enumeration, used by the unit-level property tests
+//! (cut validity, propagation safety). Compiled only under `cfg(test)`;
+//! the integration suites have their own copy in `tests/common/` because
+//! integration crates cannot see `pub(crate)` items.
+
+use crate::model::{Model, VarId};
+use crate::{ConstraintSense, LinExpr, Objective};
+use proptest::prelude::*;
+
+/// A small random all-binary MILP (≤ 7 variables so enumeration is cheap).
+#[derive(Debug, Clone)]
+pub(crate) struct RandomBinaryMilp {
+    pub(crate) n: usize,
+    pub(crate) obj: Vec<i32>,
+    pub(crate) maximize: bool,
+    /// Rows as (coeffs, sense code 0=Le/1=Ge/2=Eq, rhs).
+    pub(crate) rows: Vec<(Vec<i32>, u8, i32)>,
+}
+
+/// Builds the [`Model`] for a [`RandomBinaryMilp`].
+pub(crate) fn build_random(milp: &RandomBinaryMilp) -> Model {
+    let mut m = Model::new("rand-gen");
+    let vars: Vec<_> = (0..milp.n).map(|i| m.binary(format!("x{i}"))).collect();
+    for (r, (coeffs, sense, rhs)) in milp.rows.iter().enumerate() {
+        let mut e = LinExpr::new();
+        for (j, &c) in coeffs.iter().enumerate() {
+            if c != 0 {
+                e.add_term(vars[j], c as f64);
+            }
+        }
+        let sense = match sense {
+            0 => ConstraintSense::Le,
+            1 => ConstraintSense::Ge,
+            _ => ConstraintSense::Eq,
+        };
+        m.add_constraint(format!("r{r}"), e, sense, *rhs as f64);
+    }
+    let mut obj = LinExpr::new();
+    for (j, &c) in milp.obj.iter().enumerate() {
+        obj.add_term(vars[j], c as f64);
+    }
+    let dir = if milp.maximize { Objective::Maximize } else { Objective::Minimize };
+    m.set_objective(dir, obj);
+    m
+}
+
+/// Proptest strategy over [`RandomBinaryMilp`].
+pub(crate) fn random_binary_milp() -> impl Strategy<Value = RandomBinaryMilp> {
+    (2usize..=7, any::<bool>()).prop_flat_map(|(n, maximize)| {
+        let obj = proptest::collection::vec(-9i32..=9, n);
+        let row = (proptest::collection::vec(-5i32..=5, n), 0u8..=2, -8i32..=12);
+        let rows = proptest::collection::vec(row, 1..=4);
+        (obj, rows).prop_map(move |(obj, rows)| RandomBinaryMilp { n, obj, maximize, rows })
+    })
+}
+
+/// Enumerates every integer point of an all-integer boxed model and
+/// returns the feasible ones (structural values only).
+pub(crate) fn feasible_integer_points(model: &Model) -> Vec<Vec<f64>> {
+    let n = model.num_vars();
+    let mut ranges = Vec::with_capacity(n);
+    for j in 0..n {
+        let (l, u) = model.bounds(VarId(j));
+        ranges.push((l.ceil() as i64, u.floor() as i64));
+    }
+    let mut out = Vec::new();
+    let mut point = vec![0.0; n];
+    fn rec(
+        model: &Model,
+        ranges: &[(i64, i64)],
+        j: usize,
+        point: &mut Vec<f64>,
+        out: &mut Vec<Vec<f64>>,
+    ) {
+        if j == ranges.len() {
+            if model.is_feasible(point, 1e-6) {
+                out.push(point.clone());
+            }
+            return;
+        }
+        for v in ranges[j].0..=ranges[j].1 {
+            point[j] = v as f64;
+            rec(model, ranges, j + 1, point, out);
+        }
+    }
+    rec(model, &ranges, 0, &mut point, &mut out);
+    out
+}

@@ -8,73 +8,11 @@
 //! test: the entering variable must never overshoot its opposite bound, and
 //! box-crossing steps must resolve as flips rather than pivot grinds.
 
-use ndp_milp::{
-    BasisKernel, ConstraintSense, LinExpr, Model, Objective, SolveStatus, SolverOptions,
-};
+mod common;
+
+use common::{build_bounded as build, random_bounded as random_instance, RandomLp};
+use ndp_milp::{BasisKernel, LinExpr, Model, Objective, SolveStatus, SolverOptions};
 use proptest::prelude::*;
-
-#[derive(Debug, Clone)]
-struct RandomLp {
-    n: usize,
-    obj: Vec<i32>,
-    maximize: bool,
-    bounds: Vec<(i32, i32)>,
-    integral: bool,
-    rows: Vec<(Vec<i32>, u8, i32)>, // coeffs, sense code, rhs
-}
-
-fn build(lp: &RandomLp) -> Model {
-    let mut m = Model::new("rand");
-    let vars: Vec<_> = (0..lp.n)
-        .map(|i| {
-            let (lo, hi) = lp.bounds[i];
-            let (lo, hi) = (lo.min(hi) as f64, lo.max(hi) as f64);
-            if lp.integral {
-                m.integer(format!("x{i}"), lo, hi).unwrap()
-            } else {
-                m.continuous(format!("x{i}"), lo, hi).unwrap()
-            }
-        })
-        .collect();
-    for (r, (coeffs, sense, rhs)) in lp.rows.iter().enumerate() {
-        let mut e = LinExpr::new();
-        for (j, &c) in coeffs.iter().enumerate() {
-            if c != 0 {
-                e.add_term(vars[j], c as f64);
-            }
-        }
-        let sense = match sense {
-            0 => ConstraintSense::Le,
-            1 => ConstraintSense::Ge,
-            _ => ConstraintSense::Eq,
-        };
-        m.add_constraint(format!("r{r}"), e, sense, *rhs as f64);
-    }
-    let mut obj = LinExpr::new();
-    for (j, &c) in lp.obj.iter().enumerate() {
-        obj.add_term(vars[j], c as f64);
-    }
-    let dir = if lp.maximize { Objective::Maximize } else { Objective::Minimize };
-    m.set_objective(dir, obj);
-    m
-}
-
-fn random_instance(integral: bool) -> impl Strategy<Value = RandomLp> {
-    (2usize..=8, any::<bool>()).prop_flat_map(move |(n, maximize)| {
-        let obj = proptest::collection::vec(-9i32..=9, n);
-        let bounds = proptest::collection::vec((-4i32..=4, -4i32..=6), n);
-        let row = (proptest::collection::vec(-5i32..=5, n), 0u8..=2, -10i32..=14);
-        let rows = proptest::collection::vec(row, 1..=5);
-        (obj, bounds, rows).prop_map(move |(obj, bounds, rows)| RandomLp {
-            n,
-            obj,
-            maximize,
-            bounds,
-            integral,
-            rows,
-        })
-    })
-}
 
 /// Solves with one kernel, single-threaded for reproducibility.
 fn solve_with_kernel(lp: &RandomLp, kernel: BasisKernel) -> (SolveStatus, f64) {

@@ -6,84 +6,11 @@
 //! incorrectly, or a simplex that returns a wrong LP bound, fails here with
 //! high probability.
 
-use ndp_milp::{
-    BranchRule, ConstraintSense, LinExpr, Model, NodeOrder, Objective, SolveStatus, SolverOptions,
-};
+mod common;
+
+use common::{brute_force, build_binary as build, random_milp};
+use ndp_milp::{BranchRule, LinExpr, Model, NodeOrder, Objective, SolveStatus, SolverOptions};
 use proptest::prelude::*;
-
-#[derive(Debug, Clone)]
-struct RandomMilp {
-    n: usize,
-    obj: Vec<i32>,
-    maximize: bool,
-    rows: Vec<(Vec<i32>, u8, i32)>, // coeffs, sense code, rhs
-}
-
-fn build(milp: &RandomMilp) -> (Model, Vec<ndp_milp::VarId>) {
-    let mut m = Model::new("random");
-    let vars: Vec<_> = (0..milp.n).map(|i| m.binary(format!("x{i}"))).collect();
-    for (r, (coeffs, sense, rhs)) in milp.rows.iter().enumerate() {
-        let mut e = LinExpr::new();
-        for (j, &c) in coeffs.iter().enumerate() {
-            if c != 0 {
-                e.add_term(vars[j], c as f64);
-            }
-        }
-        let sense = match sense {
-            0 => ConstraintSense::Le,
-            1 => ConstraintSense::Ge,
-            _ => ConstraintSense::Eq,
-        };
-        m.add_constraint(format!("r{r}"), e, sense, *rhs as f64);
-    }
-    let mut obj = LinExpr::new();
-    for (j, &c) in milp.obj.iter().enumerate() {
-        obj.add_term(vars[j], c as f64);
-    }
-    let dir = if milp.maximize { Objective::Maximize } else { Objective::Minimize };
-    m.set_objective(dir, obj);
-    (m, vars)
-}
-
-/// Enumerates all 2^n assignments; returns the best objective if feasible.
-fn brute_force(milp: &RandomMilp) -> Option<f64> {
-    let mut best: Option<f64> = None;
-    for mask in 0u32..(1 << milp.n) {
-        let x: Vec<f64> = (0..milp.n).map(|j| ((mask >> j) & 1) as f64).collect();
-        let feasible = milp.rows.iter().all(|(coeffs, sense, rhs)| {
-            let lhs: f64 = coeffs.iter().zip(&x).map(|(&c, &v)| c as f64 * v).sum();
-            match sense {
-                0 => lhs <= *rhs as f64 + 1e-9,
-                1 => lhs >= *rhs as f64 - 1e-9,
-                _ => (lhs - *rhs as f64).abs() <= 1e-9,
-            }
-        });
-        if !feasible {
-            continue;
-        }
-        let obj: f64 = milp.obj.iter().zip(&x).map(|(&c, &v)| c as f64 * v).sum();
-        best = Some(match best {
-            None => obj,
-            Some(b) => {
-                if milp.maximize {
-                    b.max(obj)
-                } else {
-                    b.min(obj)
-                }
-            }
-        });
-    }
-    best
-}
-
-fn random_milp() -> impl Strategy<Value = RandomMilp> {
-    (2usize..=9, any::<bool>()).prop_flat_map(|(n, maximize)| {
-        let obj = proptest::collection::vec(-9i32..=9, n);
-        let row = (proptest::collection::vec(-5i32..=5, n), 0u8..=2, -8i32..=12);
-        let rows = proptest::collection::vec(row, 1..=5);
-        (obj, rows).prop_map(move |(obj, rows)| RandomMilp { n, obj, maximize, rows })
-    })
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(200))]

@@ -6,81 +6,15 @@
 //! pin that cuts actually reduce node counts on a structured knapsack and
 //! that the cut statistics stay internally consistent.
 
-use ndp_milp::{ConstraintSense, LinExpr, Model, Objective, SolveStatus, SolverOptions};
+mod common;
+
+use common::{brute_force, hard_knapsack, random_milp};
+use ndp_milp::{SolveStatus, SolverOptions};
 use proptest::prelude::*;
 
-#[derive(Debug, Clone)]
-struct RandomMilp {
-    n: usize,
-    obj: Vec<i32>,
-    maximize: bool,
-    rows: Vec<(Vec<i32>, u8, i32)>, // coeffs, sense code, rhs
-}
-
-fn build(milp: &RandomMilp) -> Model {
-    let mut m = Model::new("random");
-    let vars: Vec<_> = (0..milp.n).map(|i| m.binary(format!("x{i}"))).collect();
-    for (r, (coeffs, sense, rhs)) in milp.rows.iter().enumerate() {
-        let mut e = LinExpr::new();
-        for (j, &c) in coeffs.iter().enumerate() {
-            if c != 0 {
-                e.add_term(vars[j], c as f64);
-            }
-        }
-        let sense = match sense {
-            0 => ConstraintSense::Le,
-            1 => ConstraintSense::Ge,
-            _ => ConstraintSense::Eq,
-        };
-        m.add_constraint(format!("r{r}"), e, sense, *rhs as f64);
-    }
-    let mut obj = LinExpr::new();
-    for (j, &c) in milp.obj.iter().enumerate() {
-        obj.add_term(vars[j], c as f64);
-    }
-    let dir = if milp.maximize { Objective::Maximize } else { Objective::Minimize };
-    m.set_objective(dir, obj);
-    m
-}
-
-/// Enumerates all 2^n assignments; returns the best objective if feasible.
-fn brute_force(milp: &RandomMilp) -> Option<f64> {
-    let mut best: Option<f64> = None;
-    for mask in 0u32..(1 << milp.n) {
-        let x: Vec<f64> = (0..milp.n).map(|j| ((mask >> j) & 1) as f64).collect();
-        let feasible = milp.rows.iter().all(|(coeffs, sense, rhs)| {
-            let lhs: f64 = coeffs.iter().zip(&x).map(|(&c, &v)| c as f64 * v).sum();
-            match sense {
-                0 => lhs <= *rhs as f64 + 1e-9,
-                1 => lhs >= *rhs as f64 - 1e-9,
-                _ => (lhs - *rhs as f64).abs() <= 1e-9,
-            }
-        });
-        if !feasible {
-            continue;
-        }
-        let obj: f64 = milp.obj.iter().zip(&x).map(|(&c, &v)| c as f64 * v).sum();
-        best = Some(match best {
-            None => obj,
-            Some(b) => {
-                if milp.maximize {
-                    b.max(obj)
-                } else {
-                    b.min(obj)
-                }
-            }
-        });
-    }
-    best
-}
-
-fn random_milp() -> impl Strategy<Value = RandomMilp> {
-    (2usize..=9, any::<bool>()).prop_flat_map(|(n, maximize)| {
-        let obj = proptest::collection::vec(-9i32..=9, n);
-        let row = (proptest::collection::vec(-5i32..=5, n), 0u8..=2, -8i32..=12);
-        let rows = proptest::collection::vec(row, 1..=5);
-        (obj, rows).prop_map(move |(obj, rows)| RandomMilp { n, obj, maximize, rows })
-    })
+/// Adapts the shared builder to this suite's model-only signature.
+fn build(milp: &common::RandomMilp) -> ndp_milp::Model {
+    common::build_binary(milp).0
 }
 
 proptest! {
@@ -140,25 +74,6 @@ proptest! {
     }
 }
 
-/// A strongly correlated knapsack: profits hug the weights, so the LP
-/// bound is tight everywhere and the uncut tree is large.
-fn hard_knapsack(items: usize) -> Model {
-    let mut m = Model::new("hard-knapsack");
-    let mut weight = LinExpr::new();
-    let mut value = LinExpr::new();
-    let mut total = 0.0;
-    for i in 0..items {
-        let w = 97.0 + ((i as f64) * 37.0) % 53.0;
-        let x = m.binary(format!("x{i}"));
-        weight.add_term(x, w);
-        value.add_term(x, w + 10.0);
-        total += w;
-    }
-    m.add_le("cap", weight, (total / 2.0).floor());
-    m.set_objective(Objective::Maximize, value);
-    m
-}
-
 /// Cuts must shrink (or at worst not grow) the tree on the structured
 /// knapsack, at the same proven optimum, with the work visible in the
 /// cut counters.
@@ -198,8 +113,12 @@ fn cut_stats_are_consistent() {
     assert!(st.cuts_generated >= st.cuts_applied);
     assert!(st.separation_seconds >= 0.0);
     assert!(st.other_seconds() >= 0.0);
-    let attributed =
-        st.presolve_seconds + st.simplex_seconds + st.factor_seconds + st.separation_seconds;
+    let attributed = st.presolve_seconds
+        + st.simplex_seconds
+        + st.factor_seconds
+        + st.separation_seconds
+        + st.heuristic_seconds
+        + st.propagation_seconds;
     assert!(
         attributed <= st.total_seconds * 1.05 + 1e-3,
         "attributed {attributed} vs total {}",

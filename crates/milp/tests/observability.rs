@@ -1,55 +1,12 @@
 //! Integration tests of the observer event stream, per-phase solve
 //! statistics and cooperative cancellation.
 
-use ndp_milp::{
-    CancelToken, LinExpr, Model, Objective, SolveStatus, SolverEvent, SolverOptions,
-    TerminationReason,
-};
+mod common;
+
+use common::{hard_knapsack, recording_observer, small_mip};
+use ndp_milp::{CancelToken, SolveStatus, SolverEvent, SolverOptions, TerminationReason};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-
-/// Collects every emitted event into a shared vector.
-fn recording_observer() -> (Arc<Mutex<Vec<SolverEvent>>>, Arc<dyn ndp_milp::Observer>) {
-    let events = Arc::new(Mutex::new(Vec::new()));
-    let sink = Arc::clone(&events);
-    let obs: Arc<dyn ndp_milp::Observer> =
-        Arc::new(move |e: &SolverEvent| sink.lock().unwrap().push(e.clone()));
-    (events, obs)
-}
-
-/// A strongly correlated knapsack: profits hug the weights, so the LP bound
-/// is tight everywhere and branch and bound must grind through many nodes.
-fn hard_knapsack(items: usize) -> Model {
-    let mut m = Model::new("hard-knapsack");
-    let mut weight = LinExpr::new();
-    let mut value = LinExpr::new();
-    let mut total = 0.0;
-    for i in 0..items {
-        let w = 97.0 + ((i as f64) * 37.0) % 53.0;
-        let x = m.binary(format!("x{i}"));
-        weight.add_term(x, w);
-        value.add_term(x, w + 10.0);
-        total += w;
-    }
-    m.add_le("cap", weight, (total / 2.0).floor());
-    m.set_objective(Objective::Maximize, value);
-    m
-}
-
-/// An easy model that still branches a little.
-fn small_mip() -> Model {
-    let mut m = Model::new("small");
-    let mut obj = LinExpr::new();
-    let mut row = LinExpr::new();
-    for i in 0..8 {
-        let x = m.binary(format!("x{i}"));
-        obj.add_term(x, 1.0 + (i as f64) * 0.37);
-        row.add_term(x, 2.0 + (i as f64) * 0.71);
-    }
-    m.add_le("cap", row, 11.0);
-    m.set_objective(Objective::Maximize, obj);
-    m
-}
+use std::sync::Arc;
 
 #[test]
 fn event_stream_has_the_canonical_order() {
@@ -69,6 +26,13 @@ fn event_stream_has_the_canonical_order() {
     assert!(presolve < root, "presolve before root");
     assert!(root < incumbent, "root before the first incumbent");
     assert!(stats < term, "per-worker stats before termination");
+    // Heuristics run on the root box before the search: every
+    // HeuristicIncumbent event must land in the presolve..root window.
+    for (i, e) in events.iter().enumerate() {
+        if matches!(e, SolverEvent::HeuristicIncumbent { .. }) {
+            assert!(presolve < i && i < root, "heuristic incumbent outside presolve..root");
+        }
+    }
     assert_eq!(term, events.len() - 1, "terminated is the final event");
     assert_eq!(
         events.iter().filter(|e| matches!(e, SolverEvent::Terminated { .. })).count(),
@@ -180,6 +144,13 @@ fn incumbent_events_report_shrinking_gap_on_maximization() {
     }
     let last = incumbents.last().unwrap();
     assert!((last.0 - sol.objective_value()).abs() < 1e-9);
+    // The root heuristics report on the same user scale: any heuristic
+    // incumbent must not beat the final optimum of a maximization.
+    for e in events.iter() {
+        if let SolverEvent::HeuristicIncumbent { objective, .. } = e {
+            assert!(*objective <= sol.objective_value() + 1e-9);
+        }
+    }
 }
 
 #[test]
@@ -192,11 +163,19 @@ fn stats_buckets_are_consistent() {
     assert!(st.simplex_seconds >= 0.0);
     assert!(st.factor_seconds >= 0.0);
     assert!(st.separation_seconds >= 0.0);
+    assert!(st.heuristic_seconds >= 0.0);
+    assert!(st.propagation_seconds >= 0.0);
     assert!(st.other_seconds() >= 0.0);
     assert!(st.cuts_generated >= st.cuts_applied);
+    assert!(st.conflict_cuts_generated >= st.conflict_cuts_applied);
+    assert!(st.heuristic_incumbents <= st.incumbents);
     // Serial: the measured phases are disjoint slices of the wall clock.
-    let attributed =
-        st.presolve_seconds + st.simplex_seconds + st.factor_seconds + st.separation_seconds;
+    let attributed = st.presolve_seconds
+        + st.simplex_seconds
+        + st.factor_seconds
+        + st.separation_seconds
+        + st.heuristic_seconds
+        + st.propagation_seconds;
     assert!(
         attributed <= st.total_seconds * 1.05 + 1e-3,
         "attributed {attributed} vs total {}",
@@ -207,6 +186,68 @@ fn stats_buckets_are_consistent() {
     assert!(st.incumbents >= 1);
     assert_eq!(st.steals, 0, "serial solves cannot steal");
     assert!((st.total_seconds - sol.solve_seconds()).abs() < 1e-9);
+}
+
+/// The accelerator events must reconcile exactly with the solve counters:
+/// one `HeuristicIncumbent` per accepted heuristic point, one `ConflictCut`
+/// per applied no-good, and `NodePropagated` tightenings summing to the
+/// `propagated_bounds` counter.
+#[test]
+fn accelerator_events_match_the_solve_counters() {
+    let (events, obs) = recording_observer();
+    let opts = SolverOptions::default().threads(1).observer(obs);
+    let sol = hard_knapsack(14).solve_with(&opts).unwrap();
+    assert_eq!(sol.status(), SolveStatus::Optimal);
+    let st = sol.stats();
+    let events = events.lock().unwrap();
+
+    let heuristic_events =
+        events.iter().filter(|e| matches!(e, SolverEvent::HeuristicIncumbent { .. })).count();
+    assert_eq!(heuristic_events as u64, st.heuristic_incumbents);
+    assert!(st.heuristic_incumbents >= 1, "the dive must find a packable point");
+
+    let conflict_events =
+        events.iter().filter(|e| matches!(e, SolverEvent::ConflictCut { .. })).count();
+    assert_eq!(conflict_events as u64, st.conflict_cuts_applied);
+
+    let mut tightened_sum: u64 = 0;
+    let mut fathom_events: u64 = 0;
+    for e in events.iter() {
+        if let SolverEvent::NodePropagated { tightened, fathomed, .. } = e {
+            assert!(*tightened > 0 || *fathomed, "vacuous propagation event");
+            tightened_sum += u64::from(*tightened);
+            if *fathomed {
+                fathom_events += 1;
+            }
+        }
+    }
+    assert_eq!(tightened_sum, st.propagated_bounds);
+    assert_eq!(fathom_events, st.propagation_fathoms);
+}
+
+/// Turning every accelerator on must keep the serial stream bit-for-bit
+/// reproducible — heuristics use a fixed seed, propagation is pure
+/// arithmetic, and conflict cuts are derived deterministically.
+#[test]
+fn serial_event_stream_is_deterministic_with_all_accelerators() {
+    let run = || {
+        let (events, obs) = recording_observer();
+        let opts = SolverOptions::default()
+            .threads(1)
+            .cut_node_interval(1)
+            .heuristics(true)
+            .propagation(true)
+            .conflict_cuts(true)
+            .observer(obs);
+        let sol = hard_knapsack(14).solve_with(&opts).unwrap();
+        assert_eq!(sol.status(), SolveStatus::Optimal);
+        let e = events.lock().unwrap();
+        e.iter().map(|ev| format!("{ev:?}")).collect::<Vec<_>>()
+    };
+    let a = run();
+    let b = run();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "accelerators broke serial determinism");
 }
 
 /// Cancels the solve from inside the observer after `after` node events,

@@ -8,74 +8,11 @@
 //! tests pin that a `threads = 1` solve emits a bit-for-bit identical event
 //! sequence when repeated, under every combination.
 
-use ndp_milp::{
-    ConstraintSense, LinExpr, Model, Objective, Pricing, SolveStatus, SolverEvent, SolverOptions,
-};
+mod common;
+
+use common::{build_bounded as build, random_bounded as random_instance, RandomLp};
+use ndp_milp::{Pricing, SolveStatus, SolverEvent, SolverOptions};
 use proptest::prelude::*;
-use std::sync::{Arc, Mutex};
-
-#[derive(Debug, Clone)]
-struct RandomLp {
-    n: usize,
-    obj: Vec<i32>,
-    maximize: bool,
-    bounds: Vec<(i32, i32)>,
-    integral: bool,
-    rows: Vec<(Vec<i32>, u8, i32)>, // coeffs, sense code, rhs
-}
-
-fn build(lp: &RandomLp) -> Model {
-    let mut m = Model::new("rand");
-    let vars: Vec<_> = (0..lp.n)
-        .map(|i| {
-            let (lo, hi) = lp.bounds[i];
-            let (lo, hi) = (lo.min(hi) as f64, lo.max(hi) as f64);
-            if lp.integral {
-                m.integer(format!("x{i}"), lo, hi).unwrap()
-            } else {
-                m.continuous(format!("x{i}"), lo, hi).unwrap()
-            }
-        })
-        .collect();
-    for (r, (coeffs, sense, rhs)) in lp.rows.iter().enumerate() {
-        let mut e = LinExpr::new();
-        for (j, &c) in coeffs.iter().enumerate() {
-            if c != 0 {
-                e.add_term(vars[j], c as f64);
-            }
-        }
-        let sense = match sense {
-            0 => ConstraintSense::Le,
-            1 => ConstraintSense::Ge,
-            _ => ConstraintSense::Eq,
-        };
-        m.add_constraint(format!("r{r}"), e, sense, *rhs as f64);
-    }
-    let mut obj = LinExpr::new();
-    for (j, &c) in lp.obj.iter().enumerate() {
-        obj.add_term(vars[j], c as f64);
-    }
-    let dir = if lp.maximize { Objective::Maximize } else { Objective::Minimize };
-    m.set_objective(dir, obj);
-    m
-}
-
-fn random_instance(integral: bool) -> impl Strategy<Value = RandomLp> {
-    (2usize..=8, any::<bool>()).prop_flat_map(move |(n, maximize)| {
-        let obj = proptest::collection::vec(-9i32..=9, n);
-        let bounds = proptest::collection::vec((-4i32..=4, -4i32..=6), n);
-        let row = (proptest::collection::vec(-5i32..=5, n), 0u8..=2, -10i32..=14);
-        let rows = proptest::collection::vec(row, 1..=5);
-        (obj, bounds, rows).prop_map(move |(obj, bounds, rows)| RandomLp {
-            n,
-            obj,
-            maximize,
-            bounds,
-            integral,
-            rows,
-        })
-    })
-}
 
 const ALL_PRICING: [Pricing; 3] = [Pricing::SteepestEdge, Pricing::Devex, Pricing::Dantzig];
 
@@ -126,31 +63,7 @@ proptest! {
     }
 }
 
-fn recording_observer() -> (Arc<Mutex<Vec<SolverEvent>>>, Arc<dyn ndp_milp::Observer>) {
-    let events = Arc::new(Mutex::new(Vec::new()));
-    let sink = Arc::clone(&events);
-    let obs: Arc<dyn ndp_milp::Observer> =
-        Arc::new(move |e: &SolverEvent| sink.lock().unwrap().push(e.clone()));
-    (events, obs)
-}
-
-/// A small knapsack-style MILP with a non-trivial tree.
-fn tree_model() -> Model {
-    let mut m = Model::new("tree");
-    let mut weight = LinExpr::new();
-    let mut value = LinExpr::new();
-    for (i, (w, v)) in [(3.0, 7.0), (5.0, 9.0), (7.0, 12.0), (4.0, 6.0), (6.0, 11.0), (2.0, 3.0)]
-        .into_iter()
-        .enumerate()
-    {
-        let x = m.integer(format!("x{i}"), 0.0, 3.0).unwrap();
-        weight.add_term(x, w);
-        value.add_term(x, v);
-    }
-    m.add_le("cap", weight, 17.0);
-    m.set_objective(Objective::Maximize, value);
-    m
-}
+use common::{recording_observer, tree_model};
 
 /// Runs the tree model serially and returns the full event transcript.
 fn event_transcript(pricing: Pricing, warm: bool) -> Vec<SolverEvent> {

@@ -115,3 +115,71 @@ fn cuts_preserve_the_optimum_and_do_not_grow_the_tree() {
     );
     assert!(on.stats.cuts_applied > 0, "instance must apply cuts");
 }
+
+/// Accelerator ablation on the bench-sized exact arm: disabling any single
+/// accelerator (heuristics, propagation, conflict cuts) must leave the
+/// proven optimum untouched, and the all-on configuration must not explore
+/// a larger tree than the all-off one.
+#[test]
+fn accelerator_ablation_preserves_the_optimum_and_the_tree_size() {
+    // A different seed than the cuts test: this sub-instance gives all
+    // three accelerators observable work (heuristic incumbents and
+    // propagation fixings) under a deterministic serial search.
+    const ABLATION_SEED: u64 = 21;
+    let cfg = GeneratorConfig::typical(3);
+    let graph = generate(&cfg, ABLATION_SEED).unwrap();
+    let p = ProblemInstance::from_original(
+        &graph,
+        Platform::homogeneous(4).unwrap(),
+        WeightedNoc::new(Mesh2D::square(2).unwrap(), NocParams::typical(), ABLATION_SEED).unwrap(),
+        0.95,
+        3.0,
+    )
+    .unwrap();
+
+    let solve = |heuristics: bool, propagation: bool, conflicts: bool| {
+        let cfg = OptimalConfig {
+            // No external heuristic seed: the solver's own accelerators are
+            // the variable under test.
+            warm_start_with_heuristic: false,
+            solver: SolverOptions::default()
+                .threads(1)
+                .time_limit(30.0)
+                .heuristics(heuristics)
+                .propagation(propagation)
+                .conflict_cuts(conflicts),
+            ..OptimalConfig::default()
+        };
+        solve_optimal(&p, &cfg).expect("exact solve must not error")
+    };
+
+    let all_on = solve(true, true, true);
+    assert_eq!(all_on.status, SolveStatus::Optimal, "all-on must prove optimality");
+    let reference = all_on.objective_mj.expect("all-on optimum");
+
+    let arms = [
+        ("all-off", solve(false, false, false)),
+        ("no-heuristics", solve(false, true, true)),
+        ("no-propagation", solve(true, false, true)),
+        ("no-conflicts", solve(true, true, false)),
+    ];
+    for (name, out) in &arms {
+        assert_eq!(out.status, SolveStatus::Optimal, "{name} must prove optimality");
+        let e = out.objective_mj.expect("arm optimum");
+        assert!(
+            (e - reference).abs() <= 1e-6 * reference.abs().max(1.0),
+            "{name} changed the optimum: {e} mJ vs {reference} mJ"
+        );
+    }
+    let all_off_nodes = arms[0].1.nodes;
+    assert!(
+        all_on.nodes <= all_off_nodes,
+        "accelerators grew the tree: {} nodes all-on vs {} all-off",
+        all_on.nodes,
+        all_off_nodes
+    );
+    assert!(
+        all_on.stats.heuristic_incumbents > 0 || all_on.stats.propagated_bounds > 0,
+        "the accelerators must do observable work on this instance"
+    );
+}
