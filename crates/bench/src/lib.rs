@@ -439,6 +439,13 @@ pub fn write_bench_json(path: &str, records: &[BenchRecord]) -> std::io::Result<
 /// repo-root `BENCH_milp.json` accumulates a history of configurations
 /// across runs instead of being clobbered by each one.
 ///
+/// The update is atomic: the merged array is written to a temporary
+/// sibling file and renamed into place, so a crash (or a concurrent
+/// reader) never observes a truncated `BENCH_milp.json`. Torn records
+/// left behind by pre-atomic writers — lines that are not a complete
+/// `{...}` object — are dropped during the merge instead of being
+/// re-serialized into the array.
+///
 /// # Errors
 ///
 /// Propagates the underlying file-system error.
@@ -452,6 +459,7 @@ pub fn append_bench_json(path: &str, records: &[BenchRecord]) -> std::io::Result
         .map(str::trim)
         .filter(|l| !l.is_empty() && *l != "[" && *l != "]")
         .map(|l| l.trim_end_matches(',').to_string())
+        .filter(|l| l.starts_with('{') && l.ends_with('}'))
         .collect();
     for r in records {
         lines.push(r.to_json());
@@ -466,7 +474,28 @@ pub fn append_bench_json(path: &str, records: &[BenchRecord]) -> std::io::Result
         out.push('\n');
     }
     out.push_str("]\n");
-    std::fs::write(path, out)
+
+    // Write-then-rename keeps the destination complete at every instant;
+    // the temp name embeds the pid so concurrent processes appending to
+    // the same file cannot collide on it.
+    let target = std::path::Path::new(path);
+    let dir = target.parent().filter(|d| !d.as_os_str().is_empty());
+    let file_name = target
+        .file_name()
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no file name")
+        })?
+        .to_string_lossy()
+        .into_owned();
+    let tmp_name = format!(".{}.{}.tmp", file_name, std::process::id());
+    let tmp = match dir {
+        Some(d) => d.join(tmp_name),
+        None => std::path::PathBuf::from(tmp_name),
+    };
+    std::fs::write(&tmp, out)?;
+    std::fs::rename(&tmp, target).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
 }
 
 /// Mean of the finite entries of `values` (NaN when none).
@@ -628,6 +657,39 @@ mod tests {
         assert!(text.starts_with("[\n") && text.ends_with("]\n"), "{text}");
         // Three records, comma-separated: exactly two separators.
         assert_eq!(text.matches("},").count(), 2, "{text}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_bench_json_survives_a_torn_partial_write() {
+        let path =
+            std::env::temp_dir().join(format!("bench_append_torn_{}.json", std::process::id()));
+        let path = path.to_str().unwrap().to_string();
+        // A file left behind by a crashed pre-atomic writer: one complete
+        // record followed by a record cut off mid-line.
+        let torn = format!("[\n  {},\n  {{\"instance\":\"torn\",\"nod", record("keep").to_json());
+        std::fs::write(&path, torn).unwrap();
+
+        append_bench_json(&path, &[record("fresh")]).unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("[\n") && text.ends_with("]\n"), "{text}");
+        assert!(text.contains("\"instance\":\"keep\""), "complete record lost: {text}");
+        assert!(text.contains("\"instance\":\"fresh\""), "new record lost: {text}");
+        assert!(!text.contains("torn"), "torn fragment re-serialized: {text}");
+        // Every line between the brackets must be a complete object.
+        for line in text.lines().filter(|l| *l != "[" && *l != "]") {
+            let body = line.trim().trim_end_matches(',');
+            assert!(body.starts_with('{') && body.ends_with('}'), "bad line {line:?}");
+        }
+        // The temp file must not linger after a successful rename.
+        let dir = std::path::Path::new(&path).parent().unwrap();
+        let stem = std::path::Path::new(&path).file_name().unwrap().to_string_lossy().into_owned();
+        let leftover = std::fs::read_dir(dir).unwrap().any(|e| {
+            let name = e.unwrap().file_name().to_string_lossy().into_owned();
+            name.contains(&stem) && name.ends_with(".tmp")
+        });
+        assert!(!leftover, "temporary file left behind");
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -1,0 +1,131 @@
+//! Canonical deployment-instance fingerprints for solution caching.
+//!
+//! A long-running solve service sees the same deployment request many
+//! times (periodic re-deployments, retries, identical tenants). The
+//! fingerprint maps a request — problem instance plus the
+//! answer-relevant solve configuration — to a 64-bit key: equal keys mean
+//! the same mathematical program solved to the same tolerances, so a
+//! cached outcome can be replayed without re-running branch and bound.
+//!
+//! The hash goes through the *built MILP* ([`Model::fingerprint`]), not
+//! the raw request: two requests that linearize to the identical program
+//! (same task graph after duplication, same platform and NoC tensors,
+//! same path mode and objective) share a key even if their surface specs
+//! differ. Solver knobs that change only *how* the optimum is found
+//! (threads, branching rule, pricing, warm starts, cut configuration,
+//! time or node limits) are excluded; tolerances and gaps that change
+//! *what* counts as an answer are included.
+
+use crate::error::Result;
+use crate::formulation::build_milp;
+use crate::optimal::OptimalConfig;
+use crate::problem::ProblemInstance;
+
+/// 64-bit FNV-1a over the canonical byte encoding of `v`.
+fn fold(h: u64, v: u64) -> u64 {
+    let mut h = h;
+    for b in v.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn fold_f64(h: u64, v: f64) -> u64 {
+    let v = if v == 0.0 { 0.0 } else { v };
+    fold(h, v.to_bits())
+}
+
+/// Canonical cache key of one exact-solve request.
+///
+/// Builds the MILP for `problem` under `config` and combines the model's
+/// canonical fingerprint with the answer-relevant solver tolerances
+/// (integrality and feasibility tolerances, relative and absolute gaps,
+/// and the working infinite bound, which participates in bound clamping).
+///
+/// # Errors
+///
+/// Propagates formulation failures from [`build_milp`].
+pub fn instance_fingerprint(problem: &ProblemInstance, config: &OptimalConfig) -> Result<u64> {
+    let encoding = build_milp(problem, config.path_mode, config.objective)?;
+    let s = &config.solver;
+    let mut h = fold(0xcbf2_9ce4_8422_2325, encoding.model.fingerprint());
+    h = fold_f64(h, s.integrality_tol);
+    h = fold_f64(h, s.feasibility_tol);
+    h = fold_f64(h, s.relative_gap);
+    h = fold_f64(h, s.absolute_gap);
+    h = fold_f64(h, s.infinite_bound);
+    Ok(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formulation::{DeployObjective, PathMode};
+    use ndp_noc::{Mesh2D, NocParams, WeightedNoc};
+    use ndp_platform::{Platform, PowerModel, PowerParams, ReliabilityParams, VfTable};
+    use ndp_taskset::{generate, GeneratorConfig};
+
+    fn problem(seed: u64) -> ProblemInstance {
+        let graph = generate(&GeneratorConfig::typical(4), seed).unwrap();
+        let vf = VfTable::synthetic(3, (0.85, 1.10), (300.0, 1000.0)).unwrap();
+        let platform = Platform::new(
+            4,
+            vf,
+            PowerModel::new(PowerParams::bulk_70nm()),
+            ReliabilityParams::typical(),
+        )
+        .unwrap();
+        let noc = WeightedNoc::new(Mesh2D::square(2).unwrap(), NocParams::typical(), seed).unwrap();
+        ProblemInstance::from_original(&graph, platform, noc, 0.95, 1.4).unwrap()
+    }
+
+    #[test]
+    fn identical_requests_share_a_fingerprint() {
+        let config = OptimalConfig::default();
+        let a = instance_fingerprint(&problem(7), &config).unwrap();
+        let b = instance_fingerprint(&problem(7), &config).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_instances_or_objectives_get_different_fingerprints() {
+        let config = OptimalConfig::default();
+        let base = instance_fingerprint(&problem(7), &config).unwrap();
+        let other_seed = instance_fingerprint(&problem(8), &config).unwrap();
+        assert_ne!(base, other_seed);
+
+        let me = OptimalConfig {
+            objective: DeployObjective::MinimizeTotalEnergy,
+            ..OptimalConfig::default()
+        };
+        let me_fp = instance_fingerprint(&problem(7), &me).unwrap();
+        assert_ne!(base, me_fp);
+
+        let single = OptimalConfig {
+            path_mode: PathMode::SingleFixed(ndp_noc::PathKind::EnergyOriented),
+            ..OptimalConfig::default()
+        };
+        let single_fp = instance_fingerprint(&problem(7), &single).unwrap();
+        assert_ne!(base, single_fp);
+    }
+
+    #[test]
+    fn search_strategy_knobs_do_not_split_the_cache() {
+        let reference = instance_fingerprint(&problem(7), &OptimalConfig::default()).unwrap();
+        let mut tweaked = OptimalConfig::default();
+        tweaked.solver.threads = 4;
+        tweaked.solver.time_limit = 1.5;
+        tweaked.solver.node_limit = 10;
+        tweaked.solver.cuts = false;
+        tweaked.solver.heuristics = false;
+        tweaked.warm_start_with_heuristic = false;
+        let fp = instance_fingerprint(&problem(7), &tweaked).unwrap();
+        assert_eq!(reference, fp, "how-to-search knobs must not change the key");
+
+        let mut gap = OptimalConfig::default();
+        gap.solver.relative_gap = 0.25;
+        let gap_fp = instance_fingerprint(&problem(7), &gap).unwrap();
+        assert_ne!(reference, gap_fp, "answer tolerances must change the key");
+    }
+}

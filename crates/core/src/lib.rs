@@ -51,6 +51,7 @@
 mod analysis;
 mod baselines;
 mod error;
+mod fingerprint;
 mod formulation;
 mod heuristic;
 mod optimal;
@@ -66,6 +67,7 @@ pub use analysis::{
 };
 pub use baselines::{first_fit_fastest, random_mapping, round_robin};
 pub use error::{DeployError, Error, Result};
+pub use fingerprint::instance_fingerprint;
 pub use formulation::{build_milp, DeployObjective, MilpEncoding, PathMode};
 pub use heuristic::{
     phase1, phase2, phase3, solve_heuristic, solve_heuristic_observed, Phase1, Phase2,

@@ -48,6 +48,17 @@ pub enum MilpError {
     },
     /// Internal numerical failure (singular basis that could not be repaired).
     SingularBasis,
+    /// A search worker panicked during a parallel solve (for example a
+    /// user-supplied observer that panics, or an internal invariant
+    /// violation on a worker thread). The panic is contained to the owning
+    /// solve: the process and the shared worker pool survive, concurrent
+    /// solves are unaffected, and the failed solve reports this error.
+    WorkerPanicked {
+        /// Index of the worker (0 is the calling thread) that panicked.
+        worker: usize,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
     /// A [`CancelToken`](crate::CancelToken) fired inside a simplex loop.
     /// Used as an internal control-flow signal: branch and bound catches it
     /// and reports [`SolveStatus::Interrupted`](crate::SolveStatus) instead,
@@ -74,6 +85,9 @@ impl fmt::Display for MilpError {
                 write!(f, "warm start has {got} values but the model has {expected} variables")
             }
             MilpError::SingularBasis => write!(f, "singular basis could not be repaired"),
+            MilpError::WorkerPanicked { worker, message } => {
+                write!(f, "search worker {worker} panicked: {message}")
+            }
             MilpError::Interrupted => write!(f, "solve cancelled via CancelToken"),
         }
     }

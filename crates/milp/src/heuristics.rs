@@ -345,6 +345,68 @@ mod tests {
     }
 
     #[test]
+    fn sub_milps_inherit_the_remaining_budget_and_the_parent_token() {
+        let token = crate::CancelToken::new();
+        let options =
+            SolverOptions::default().threads(8).time_limit(10.0).cancel_token(token.clone());
+        // A solve that started 4 seconds ago has 6 seconds of budget left:
+        // the sub-MILP must inherit the *remaining* budget, not the parent's
+        // full limit (that is exactly the overshoot bug).
+        let start = Instant::now() - std::time::Duration::from_secs(4);
+        let sub = sub_options(&options, start);
+        assert_eq!(sub.threads, 1, "sub-MILPs must stay serial");
+        assert!(!sub.heuristics, "no recursive heuristic phases");
+        assert_eq!(sub.node_limit, options.heuristic_node_limit);
+        assert!(
+            sub.time_limit <= 6.0 + 0.1,
+            "sub-MILP budget {} must be capped at the parent's remaining 6 s",
+            sub.time_limit
+        );
+        assert!(sub.time_limit > 5.0, "remaining budget unexpectedly small: {}", sub.time_limit);
+        // The token is shared with the parent, not copied: cancelling the
+        // parent must cancel an in-flight sub-MILP.
+        assert!(!sub.cancelled());
+        token.cancel();
+        assert!(sub.cancelled(), "parent CancelToken must reach the sub-MILP");
+    }
+
+    #[test]
+    fn an_exhausted_budget_pins_the_overshoot_to_the_root_lp() {
+        // Near-deadline parent: 5 s limit of which ~4.96 s are already
+        // spent. Even with an effectively unbounded sub-MILP node budget,
+        // the phase may only run the root LP — the dive loop and both
+        // sub-MILPs must observe the exhausted budget and back off, so the
+        // overshoot is bounded by one LP solve, not a full sub-MILP.
+        let model = knapsack();
+        let mut options = SolverOptions::default().threads(1).time_limit(5.0);
+        options.heuristic_node_limit = usize::MAX / 2;
+        let (sf, int_cols, root_bounds) = setup(&model, &options);
+        let start = Instant::now() - std::time::Duration::from_millis(4960);
+        let t0 = Instant::now();
+        let mut out = HeuristicOutcome::default();
+        let _ = run_root(&model, &sf, &options, &int_cols, &root_bounds, None, start, &mut out);
+        let elapsed = t0.elapsed().as_secs_f64();
+        // Generous CI margin; without inheritance the sub-MILPs would be
+        // free to burn their node budget for arbitrarily long.
+        assert!(elapsed < 2.0, "heuristic phase overshot an exhausted deadline by {elapsed} s");
+    }
+
+    #[test]
+    fn a_full_solve_with_heuristics_respects_a_tight_time_limit() {
+        // End-to-end pin through the public API: heuristics on, huge
+        // sub-MILP node budget, tiny wall budget.
+        let model = knapsack();
+        let options = SolverOptions::default()
+            .threads(1)
+            .time_limit(0.25)
+            .heuristic_node_limit(usize::MAX / 2);
+        let t0 = Instant::now();
+        let _ = model.solve_with(&options).expect("budgeted solve");
+        let elapsed = t0.elapsed().as_secs_f64();
+        assert!(elapsed < 2.25, "solve overshot its 0.25 s budget by {} s", elapsed - 0.25);
+    }
+
+    #[test]
     fn cancelled_token_skips_the_sub_milps() {
         let model = knapsack();
         let token = crate::CancelToken::new();

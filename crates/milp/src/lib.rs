@@ -50,12 +50,14 @@ mod cuts;
 mod error;
 mod events;
 mod expr;
+mod fingerprint;
 mod heuristics;
 mod lu;
 mod model;
 mod mps;
 mod options;
 mod parallel;
+mod pool;
 mod presolve;
 mod propagate;
 mod simplex;
@@ -70,6 +72,7 @@ pub use expr::LinExpr;
 pub use model::{ConstraintId, ConstraintSense, Model, Objective, VarId, VarKind};
 pub use mps::{parse_mps, write_mps};
 pub use options::{BasisKernel, BranchRule, NodeOrder, Pricing, SolverOptions};
+pub use pool::{worker_pool_busy, worker_pool_size};
 pub use solution::{Solution, SolveStats, SolveStatus};
 
 #[cfg(test)]

@@ -1,5 +1,5 @@
 //! Parallel branch and bound: a work-stealing pool of open nodes shared by
-//! worker threads.
+//! worker threads drawn from the process-global worker pool.
 //!
 //! Each worker owns a full [`NodeWorker`] (its own warm-started simplex and
 //! pseudo-cost table) and drains nodes from the shared pool. A stolen node
@@ -22,17 +22,31 @@
 //! Termination uses an `in_flight` counter of nodes that are queued or being
 //! expanded: children are registered *before* their parent retires, so the
 //! counter only reaches zero once the whole tree is exhausted.
+//!
+//! **Threading.** Workers are not spawned per solve: worker 0 runs on the
+//! calling thread while workers `1..threads` are submitted as tasks to the
+//! bounded process-global [`crate::pool`]. The caller always makes progress
+//! even when the pool is saturated by other jobs, and helper tasks that
+//! never got claimed are revoked once the caller finishes — a job never
+//! waits behind another tenant's queue. Each worker (caller included) runs
+//! under `catch_unwind`: a panic anywhere in the search (e.g. inside a
+//! user-supplied observer) stops only the owning job, which reports
+//! [`MilpError::WorkerPanicked`]; concurrent solves and the pool threads
+//! are untouched.
 
 use crate::branch::{gap_closed, HeapNode, Incumbent, NodeWorker, OpenNode, SearchOutcome};
 use crate::error::{MilpError, Result};
 use crate::events::SolverEvent;
 use crate::model::Model;
 use crate::options::{NodeOrder, SolverOptions};
+use crate::pool as global_pool;
 use crate::standard::StandardForm;
 use crossbeam::deque::{Injector, Stealer, Worker as Deque};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Best integral point found by any worker. The objective is mirrored into
@@ -75,9 +89,11 @@ impl SharedIncumbent {
         }
     }
 
-    fn into_parts(self) -> (Option<Vec<f64>>, f64, u64) {
+    /// Takes the incumbent out (the search is over; `&self` because the
+    /// state lives in an `Arc` shared with possibly-revoked pool tasks).
+    fn take_parts(&self) -> (Option<Vec<f64>>, f64, u64) {
         let accepted = self.accepted.load(Ordering::Relaxed);
-        match self.point.into_inner() {
+        match self.point.lock().take() {
             Some((v, o)) => (Some(v), o, accepted),
             None => (None, f64::INFINITY, accepted),
         }
@@ -183,6 +199,77 @@ impl Control {
     }
 }
 
+/// Everything one job's workers share. Owned (not borrowed) because helper
+/// workers run as `'static` tasks on the process-global pool; the clones of
+/// model and standard form are one-time O(nnz) costs, negligible next to
+/// the tree search they enable.
+struct SearchShared {
+    model: Model,
+    sf: StandardForm,
+    options: SolverOptions,
+    int_cols: Vec<usize>,
+    root_bounds: Vec<(f64, f64)>,
+    start: Instant,
+    pool: Pool,
+    control: Control,
+    incumbent: SharedIncumbent,
+    /// Per-worker stats, filled in by whichever thread ran the worker.
+    stats: Mutex<Vec<Option<WorkerStats>>>,
+    /// Helpers that have not finished (or been revoked) yet.
+    helpers_left: Mutex<usize>,
+    helpers_done: Condvar,
+}
+
+impl SearchShared {
+    fn helper_finished(&self) {
+        let mut left = self.helpers_left.lock();
+        *left -= 1;
+        if *left == 0 {
+            self.helpers_done.notify_all();
+        }
+    }
+
+    fn wait_helpers(&self) {
+        let mut left = self.helpers_left.lock();
+        while *left > 0 {
+            self.helpers_done.wait(&mut left);
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("non-string panic payload")
+    }
+}
+
+/// Runs worker `id` with panic containment: a panic anywhere inside the
+/// worker loop stops this job with a structured error instead of unwinding
+/// into the caller (worker 0) or the pool thread (helpers).
+fn run_worker(shared: &SearchShared, id: usize, local: Option<Deque<OpenNode>>) {
+    match catch_unwind(AssertUnwindSafe(|| worker_loop(shared, id, local))) {
+        Ok(stats) => shared.stats.lock()[id] = Some(stats),
+        Err(payload) => {
+            let message = panic_message(payload.as_ref());
+            {
+                let mut slot = shared.control.error.lock();
+                if slot.is_none() {
+                    *slot = Some(MilpError::WorkerPanicked { worker: id, message });
+                }
+            }
+            // The panicking worker may have died holding an in-flight node,
+            // so `in_flight` can never drain to zero: `stop` is the signal
+            // the surviving workers of *this* job exit on.
+            shared.control.stop.store(true, Ordering::Release);
+        }
+    }
+}
+
 /// Runs the work-stealing search with `threads ≥ 2` workers. Same contract
 /// as the serial search: returns the incumbent and the proven global bound
 /// (internal minimization scale).
@@ -197,19 +284,7 @@ pub(crate) fn search(
     start: Instant,
     threads: usize,
 ) -> Result<SearchOutcome> {
-    let incumbent = SharedIncumbent::new(warm);
-    let control = Control {
-        in_flight: AtomicUsize::new(1), // the root
-        stop: AtomicBool::new(false),
-        hit_limit: AtomicBool::new(false),
-        interrupted: AtomicBool::new(false),
-        nodes: AtomicU64::new(0),
-        open_bound_min: Mutex::new(f64::INFINITY),
-        root_bound: AtomicU64::new(f64::INFINITY.to_bits()),
-        error: Mutex::new(None),
-    };
-
-    // Build the pool and seed it with the root node.
+    // Build the open-node pool and seed it with the root node.
     let mut locals: Vec<Option<Deque<OpenNode>>> = Vec::with_capacity(threads);
     let pool = match options.node_order {
         NodeOrder::DepthFirst => {
@@ -228,61 +303,84 @@ pub(crate) fn search(
         }
     };
 
-    // Per-worker counters and timings, in worker order.
-    let mut per_worker: Vec<WorkerStats> = vec![WorkerStats::default(); threads];
-
-    let spawn_result = crossbeam::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for (id, local) in locals.into_iter().enumerate() {
-            let pool = &pool;
-            let control = &control;
-            let incumbent = &incumbent;
-            handles.push(scope.spawn(move |_| {
-                worker_loop(
-                    id,
-                    model,
-                    sf,
-                    options,
-                    int_cols,
-                    root_bounds,
-                    start,
-                    pool,
-                    control,
-                    incumbent,
-                    local,
-                )
-            }));
-        }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect::<Vec<_>>()
+    let shared = Arc::new(SearchShared {
+        model: model.clone(),
+        sf: sf.clone(),
+        options: options.clone(),
+        int_cols: int_cols.to_vec(),
+        root_bounds: root_bounds.to_vec(),
+        start,
+        pool,
+        control: Control {
+            in_flight: AtomicUsize::new(1), // the root
+            stop: AtomicBool::new(false),
+            hit_limit: AtomicBool::new(false),
+            interrupted: AtomicBool::new(false),
+            nodes: AtomicU64::new(0),
+            open_bound_min: Mutex::new(f64::INFINITY),
+            root_bound: AtomicU64::new(f64::INFINITY.to_bits()),
+            error: Mutex::new(None),
+        },
+        incumbent: SharedIncumbent::new(warm),
+        stats: Mutex::new(vec![None; threads]),
+        helpers_left: Mutex::new(threads - 1),
+        helpers_done: Condvar::new(),
     });
-    let worker_stats = spawn_result.expect("worker thread panicked");
-    for (id, stats) in worker_stats.into_iter().enumerate() {
-        per_worker[id] = stats;
+
+    // Helpers 1..threads go to the process-global pool; worker 0 is us.
+    let mut locals = locals.into_iter();
+    let local0 = locals.next().expect("threads >= 2 in the parallel arm");
+    let mut handles = Vec::with_capacity(threads - 1);
+    for (i, local) in locals.enumerate() {
+        let id = i + 1;
+        let task_shared = Arc::clone(&shared);
+        handles.push(global_pool::global().submit(Box::new(move || {
+            run_worker(&task_shared, id, local);
+            task_shared.helper_finished();
+        })));
+    }
+    run_worker(&shared, 0, local0);
+
+    // The caller is done, so the tree is either exhausted or stopped:
+    // helpers that never got claimed by a pool worker have nothing to do.
+    // Revoke them instead of waiting behind other jobs' queued tasks.
+    for h in &handles {
+        if h.revoke() {
+            shared.helper_finished();
+        }
+    }
+    shared.wait_helpers();
+
+    if let Some(e) = shared.control.error.lock().take() {
+        return Err(e);
     }
 
-    if let Some(e) = control.error.lock().take() {
-        return Err(e);
+    let mut per_worker: Vec<WorkerStats> = vec![WorkerStats::default(); threads];
+    for (id, stats) in shared.stats.lock().iter().enumerate() {
+        if let Some(s) = stats {
+            per_worker[id] = *s;
+        }
     }
 
     // Fold nodes still parked in the shared pool (unreachable on a natural
     // exhaustion, where the pool is empty).
-    match &pool {
+    match &shared.pool {
         Pool::Deques { injector, .. } => {
             while let Some(n) = injector.steal().success() {
-                control.fold_open_bound(n.bound);
+                shared.control.fold_open_bound(n.bound);
             }
         }
         Pool::Heap(heap) => {
             if let Some(HeapNode(n)) = heap.lock().peek() {
-                control.fold_open_bound(n.bound);
+                shared.control.fold_open_bound(n.bound);
             }
         }
     }
 
-    let hit_limit = control.hit_limit.load(Ordering::Acquire);
-    let interrupted = control.interrupted.load(Ordering::Acquire);
-    let (incumbent, incumbent_obj, incumbents) = incumbent.into_parts();
-    let open_min = *control.open_bound_min.lock();
+    let hit_limit = shared.control.hit_limit.load(Ordering::Acquire);
+    let interrupted = shared.control.interrupted.load(Ordering::Acquire);
+    let (incumbent, incumbent_obj, incumbents) = shared.incumbent.take_parts();
+    let open_min = *shared.control.open_bound_min.lock();
     let best_bound_internal = if hit_limit { open_min.min(incumbent_obj) } else { incumbent_obj };
 
     let nodes_per_thread: Vec<u64> = per_worker.iter().map(|w| w.nodes).collect();
@@ -335,21 +433,11 @@ struct WorkerStats {
 }
 
 /// One worker: pops nodes until the tree is exhausted or a stop is raised.
-#[allow(clippy::too_many_arguments)]
-fn worker_loop(
-    id: usize,
-    model: &Model,
-    sf: &StandardForm,
-    options: &SolverOptions,
-    int_cols: &[usize],
-    root_bounds: &[(f64, f64)],
-    start: Instant,
-    pool: &Pool,
-    control: &Control,
-    incumbent: &SharedIncumbent,
-    local: Option<Deque<OpenNode>>,
-) -> WorkerStats {
-    let mut worker = NodeWorker::new(model, sf, options, int_cols, root_bounds, start, false);
+fn worker_loop(shared: &SearchShared, id: usize, local: Option<Deque<OpenNode>>) -> WorkerStats {
+    let SearchShared { model, sf, options, int_cols, root_bounds, start, pool, control, .. } =
+        shared;
+    let incumbent = &shared.incumbent;
+    let mut worker = NodeWorker::new(model, sf, options, int_cols, root_bounds, *start, false);
     let mut handle = SharedHandle(incumbent);
     let local = local.as_ref();
     let mut steals: u64 = 0;

@@ -1,0 +1,233 @@
+//! Process-global bounded worker pool shared by all parallel solves.
+//!
+//! Every solve with `threads ≥ 2` used to spawn its own scoped thread crew;
+//! under a multi-tenant server that multiplies threads by concurrent jobs
+//! and lets one job's panic tear the process down. Instead, a single
+//! process-wide pool of detached workers serves *helper tasks* for all
+//! jobs:
+//!
+//! * the pool is **bounded**: at most [`worker_pool_size`] OS threads run
+//!   search tasks, no matter how many jobs are in flight;
+//! * the calling thread of each job always participates as its worker 0,
+//!   so a job makes progress even when every pool worker is busy with
+//!   other jobs — submitting to the pool can only *add* parallelism,
+//!   never introduce a starvation dependency;
+//! * tasks run under [`std::panic::catch_unwind`], so a panicking task
+//!   (e.g. a user observer that panics) never kills the pool thread —
+//!   the owning job converts the panic into a structured error while
+//!   unrelated jobs keep solving;
+//! * a queued task that has not been claimed yet can be **revoked** by the
+//!   job that submitted it ([`TaskHandle::revoke`]): when a job's tree is
+//!   exhausted before its helpers even started, the job takes the stale
+//!   entries back instead of waiting behind other tenants' work.
+//!
+//! The pool is created lazily on first use and its threads live for the
+//! rest of the process; an idle pool parks every worker on a condition
+//! variable and costs nothing.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// A unit of work handed to the pool.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+const QUEUED: u8 = 0;
+const CLAIMED: u8 = 1;
+const REVOKED: u8 = 2;
+
+/// Queue entry: the task plus a claim/revoke state machine. The state makes
+/// the claim race between a pool worker and a revoking job one atomic CAS:
+/// exactly one side wins, so a task either runs to completion on a pool
+/// thread or is taken back by its owner — never both, never neither.
+struct TaskSlot {
+    state: AtomicU8,
+    task: Mutex<Option<Task>>,
+}
+
+/// Owner-side handle to a submitted task.
+pub(crate) struct TaskHandle(Arc<TaskSlot>);
+
+impl TaskHandle {
+    /// Takes the task back if no pool worker has claimed it yet. Returns
+    /// `true` when the revocation won (the task will never run); `false`
+    /// means a worker already claimed it and will run it to completion.
+    pub(crate) fn revoke(&self) -> bool {
+        if self
+            .0
+            .state
+            .compare_exchange(QUEUED, REVOKED, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            // Drop the closure now so anything it captured (the job's
+            // shared search state) is released immediately.
+            *self.0.task.lock() = None;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+struct PoolInner {
+    queue: Mutex<VecDeque<Arc<TaskSlot>>>,
+    available: Condvar,
+    workers: usize,
+    busy: AtomicUsize,
+}
+
+/// The bounded pool: a FIFO task queue drained by detached worker threads.
+pub(crate) struct WorkerPool {
+    inner: Arc<PoolInner>,
+}
+
+impl WorkerPool {
+    fn with_workers(workers: usize) -> Self {
+        let inner = Arc::new(PoolInner {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            workers,
+            busy: AtomicUsize::new(0),
+        });
+        for i in 0..workers {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name(format!("ndp-pool-{i}"))
+                .spawn(move || worker_main(&inner))
+                .expect("spawn pool worker thread");
+        }
+        WorkerPool { inner }
+    }
+
+    /// Enqueues `task` and returns a handle that can revoke it while it is
+    /// still waiting for a worker.
+    pub(crate) fn submit(&self, task: Task) -> TaskHandle {
+        let slot =
+            Arc::new(TaskSlot { state: AtomicU8::new(QUEUED), task: Mutex::new(Some(task)) });
+        self.inner.queue.lock().push_back(Arc::clone(&slot));
+        self.inner.available.notify_one();
+        TaskHandle(slot)
+    }
+
+    /// Number of worker threads in the pool.
+    pub(crate) fn workers(&self) -> usize {
+        self.inner.workers
+    }
+
+    /// Workers currently executing a task (vs. parked).
+    pub(crate) fn busy(&self) -> usize {
+        self.inner.busy.load(Ordering::Relaxed)
+    }
+}
+
+fn worker_main(inner: &PoolInner) {
+    loop {
+        let slot = {
+            let mut queue = inner.queue.lock();
+            loop {
+                if let Some(slot) = queue.pop_front() {
+                    break slot;
+                }
+                inner.available.wait(&mut queue);
+            }
+        };
+        if slot
+            .state
+            .compare_exchange(QUEUED, CLAIMED, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            // Revoked while queued: the owner took it back.
+            continue;
+        }
+        let Some(task) = slot.task.lock().take() else { continue };
+        inner.busy.fetch_add(1, Ordering::Relaxed);
+        // Tasks do their own panic-to-error conversion; this outer catch is
+        // the backstop that keeps the pool thread alive no matter what.
+        let _ = catch_unwind(AssertUnwindSafe(task));
+        inner.busy.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The process-global pool, created on first use.
+pub(crate) fn global() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        // One thread per core up to the same cap as
+        // `SolverOptions::effective_threads`; at least 2 so `threads = 2`
+        // gets real parallelism even on single-core CI runners.
+        let n = std::thread::available_parallelism().map_or(4, |n| n.get()).clamp(2, 8);
+        WorkerPool::with_workers(n)
+    })
+}
+
+/// Number of threads in the process-global solver worker pool.
+///
+/// Every parallel solve (`SolverOptions::threads ≥ 2`) draws its helper
+/// workers from this shared, bounded pool; the calling thread of each solve
+/// always participates as one additional worker. Exposed so services built
+/// on the solver can report pool capacity in their stats.
+pub fn worker_pool_size() -> usize {
+    global().workers()
+}
+
+/// Pool workers currently busy executing a search task (best-effort,
+/// instantaneous snapshot; intended for service telemetry).
+pub fn worker_pool_busy() -> usize {
+    global().busy()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::time::Duration;
+
+    #[test]
+    fn tasks_run_and_revocation_wins_only_before_a_claim() {
+        let pool = WorkerPool::with_workers(1);
+        let ran = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&ran);
+        let h = pool.submit(Box::new(move || flag.store(true, Ordering::SeqCst)));
+        // Wait for the single worker to drain the task.
+        for _ in 0..2000 {
+            if ran.load(Ordering::SeqCst) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(ran.load(Ordering::SeqCst), "submitted task must run");
+        assert!(!h.revoke(), "a claimed task cannot be revoked");
+    }
+
+    #[test]
+    fn a_panicking_task_does_not_kill_the_worker() {
+        let pool = WorkerPool::with_workers(1);
+        let _ = pool.submit(Box::new(|| panic!("injected")));
+        let ran = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&ran);
+        let _ = pool.submit(Box::new(move || flag.store(true, Ordering::SeqCst)));
+        for _ in 0..2000 {
+            if ran.load(Ordering::SeqCst) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(ran.load(Ordering::SeqCst), "worker must survive a panicking task");
+    }
+
+    #[test]
+    fn revoked_tasks_never_run() {
+        let pool = WorkerPool::with_workers(1);
+        // Park the worker on a slow task so the next submission stays queued.
+        let _slow = pool.submit(Box::new(|| std::thread::sleep(Duration::from_millis(200))));
+        let ran = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&ran);
+        let h = pool.submit(Box::new(move || flag.store(true, Ordering::SeqCst)));
+        if h.revoke() {
+            std::thread::sleep(Duration::from_millis(300));
+            assert!(!ran.load(Ordering::SeqCst), "revoked task must not run");
+        }
+    }
+}

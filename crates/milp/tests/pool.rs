@@ -1,0 +1,209 @@
+//! Shared-worker-pool tests: panic containment and multi-job isolation.
+//!
+//! Parallel solves draw helper workers from the bounded process-global
+//! pool, so these tests exercise the multi-tenant contract a solve server
+//! relies on: a panic inside one job's search (here injected through a
+//! panicking observer) fails only that job with a structured error; jobs
+//! running concurrently on the same pool never leak incumbents or stats
+//! into each other; and serial `threads = 1` solves stay bit-for-bit
+//! deterministic no matter how loaded the pool is.
+
+mod common;
+
+use common::{hard_knapsack, recording_observer, small_mip, tree_model};
+use ndp_milp::{CancelToken, MilpError, Model, SolveStatus, SolverEvent, SolverOptions};
+use std::sync::Arc;
+
+fn options(threads: usize) -> SolverOptions {
+    SolverOptions::default().threads(threads)
+}
+
+/// Reference objective from the (extensively tested) serial arm.
+fn serial_objective(model: &Model) -> f64 {
+    let sol = model.solve_with(&options(1)).expect("serial reference solve");
+    assert_eq!(sol.status(), SolveStatus::Optimal);
+    sol.objective_value()
+}
+
+#[test]
+fn a_panicking_worker_fails_only_its_own_job() {
+    let victim = hard_knapsack(12);
+    let bystander_a = hard_knapsack(11);
+    let bystander_b = tree_model();
+    let want_a = serial_objective(&bystander_a);
+    let want_b = serial_objective(&bystander_b);
+
+    // The observer panics on events that are only emitted from inside the
+    // search workers (caller thread or pool thread), never during root
+    // preprocessing: tree nodes and the per-worker stats trailer.
+    let bomb: Arc<dyn ndp_milp::Observer> = Arc::new(|e: &SolverEvent| {
+        if matches!(e, SolverEvent::NodeExplored { .. } | SolverEvent::ThreadStats { .. }) {
+            panic!("injected observer panic");
+        }
+    });
+    // Heuristics and cuts off so the knapsack needs a real tree and the
+    // panic fires mid-search, not just at worker exit.
+    let mut victim_opts = options(2).observer(bomb);
+    victim_opts.heuristics = false;
+    victim_opts.cuts = false;
+
+    let err = std::thread::scope(|scope| {
+        let a = scope.spawn(|| bystander_a.solve_with(&options(2)));
+        let b = scope.spawn(|| bystander_b.solve_with(&options(3)));
+        let err = victim.solve_with(&victim_opts).expect_err("injected panic must fail the job");
+        // Concurrent jobs on the same pool must be untouched by the panic.
+        let a = a.join().expect("bystander thread A").expect("bystander solve A");
+        let b = b.join().expect("bystander thread B").expect("bystander solve B");
+        assert_eq!(a.status(), SolveStatus::Optimal);
+        assert_eq!(b.status(), SolveStatus::Optimal);
+        assert!((a.objective_value() - want_a).abs() < 1e-9, "job A optimum leaked or drifted");
+        assert!((b.objective_value() - want_b).abs() < 1e-9, "job B optimum leaked or drifted");
+        err
+    });
+    match err {
+        MilpError::WorkerPanicked { message, .. } => {
+            assert!(message.contains("injected observer panic"), "payload preserved: {message}")
+        }
+        other => panic!("expected WorkerPanicked, got {other:?}"),
+    }
+
+    // The pool survived: the same model solves fine without the bomb.
+    let retry = victim.solve_with(&options(2)).expect("pool must survive the panic");
+    assert_eq!(retry.status(), SolveStatus::Optimal);
+}
+
+#[test]
+fn concurrent_jobs_share_the_pool_without_leaking_state() {
+    struct JobSpec {
+        model: Model,
+        threads: usize,
+        cancel: bool,
+        reference: f64,
+    }
+    let mut jobs = Vec::new();
+    for (i, make) in [
+        hard_knapsack(12),
+        hard_knapsack(10),
+        tree_model(),
+        small_mip(),
+        hard_knapsack(11),
+        tree_model(),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let reference = serial_objective(&make);
+        jobs.push(JobSpec {
+            model: make,
+            threads: 2 + (i % 3),
+            // Every third job is cancelled before it starts: it must report
+            // Interrupted without disturbing its neighbours.
+            cancel: i % 3 == 2,
+            reference,
+        });
+    }
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .iter()
+            .map(|job| {
+                scope.spawn(move || {
+                    let mut opts = options(job.threads);
+                    if job.cancel {
+                        let token = CancelToken::new();
+                        token.cancel();
+                        opts = opts.cancel_token(token);
+                    }
+                    job.model.solve_with(&opts).expect("pool solve")
+                })
+            })
+            .collect();
+        for (job, handle) in jobs.iter().zip(handles) {
+            let sol = handle.join().expect("job thread");
+            if job.cancel {
+                assert_eq!(sol.status(), SolveStatus::Interrupted);
+            } else {
+                assert_eq!(sol.status(), SolveStatus::Optimal);
+                assert!(
+                    (sol.objective_value() - job.reference).abs() < 1e-9,
+                    "cross-job incumbent leakage: got {} want {}",
+                    sol.objective_value(),
+                    job.reference
+                );
+                // Per-job stats must be self-consistent, not pooled.
+                assert_eq!(sol.nodes_per_thread().len(), job.threads);
+                assert_eq!(sol.nodes_per_thread().iter().sum::<u64>(), sol.node_count());
+                assert!(sol.node_count() > 0);
+            }
+        }
+    });
+}
+
+#[test]
+fn jobs_with_deadlines_and_midflight_cancels_dont_disturb_neighbours() {
+    let reference = serial_objective(&hard_knapsack(12));
+    std::thread::scope(|scope| {
+        // A job with an already-expired wall-clock budget.
+        let expired = scope.spawn(|| {
+            let mut opts = options(2);
+            opts = opts.time_limit(1e-9);
+            hard_knapsack(13).solve_with(&opts).expect("deadline solve")
+        });
+        // A job cancelled mid-flight from another thread.
+        let token = CancelToken::new();
+        let shared = token.clone();
+        let cancelled = scope.spawn(move || {
+            hard_knapsack(14).solve_with(&options(2).cancel_token(shared)).expect("cancel solve")
+        });
+        scope.spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(3));
+            token.cancel();
+        });
+        // A plain job that must come back exact regardless of the above.
+        let clean = scope.spawn(|| hard_knapsack(12).solve_with(&options(4)).expect("clean solve"));
+
+        let expired = expired.join().expect("expired thread");
+        assert_ne!(expired.status(), SolveStatus::Infeasible);
+        let cancelled = cancelled.join().expect("cancelled thread");
+        assert!(
+            matches!(cancelled.status(), SolveStatus::Interrupted | SolveStatus::Optimal),
+            "mid-flight cancel must interrupt or finish, got {:?}",
+            cancelled.status()
+        );
+        let clean = clean.join().expect("clean thread");
+        assert_eq!(clean.status(), SolveStatus::Optimal);
+        assert!((clean.objective_value() - reference).abs() < 1e-9);
+    });
+}
+
+#[test]
+fn serial_event_streams_stay_deterministic_under_pool_load() {
+    let model = small_mip();
+    let run_serial = || {
+        let (events, obs) = recording_observer();
+        let opts = options(1).observer(obs);
+        let sol = model.solve_with(&opts).expect("serial solve");
+        assert_eq!(sol.status(), SolveStatus::Optimal);
+        let events = events.lock().unwrap();
+        events.iter().map(|e| format!("{e:?}")).collect::<Vec<_>>()
+    };
+
+    std::thread::scope(|scope| {
+        // Keep the shared pool busy with parallel jobs while the serial
+        // solves run.
+        let noise: Vec<_> = (0..3)
+            .map(|i| {
+                scope.spawn(move || {
+                    hard_knapsack(12 + i).solve_with(&options(3)).expect("noise solve")
+                })
+            })
+            .collect();
+        let first = run_serial();
+        let second = run_serial();
+        assert_eq!(first, second, "serial event streams must be bit-for-bit deterministic");
+        assert!(!first.is_empty());
+        for h in noise {
+            let _ = h.join().expect("noise thread");
+        }
+    });
+}

@@ -1,0 +1,894 @@
+//! `ndp-serve`: a long-running multi-tenant deployment-solve server.
+//!
+//! The evaluation binaries solve one instance and exit; the ROADMAP
+//! north-star is a *service* that accepts deployment requests continuously
+//! (task graph + platform + solver options), multiplexes concurrent solves
+//! fairly over the bounded process-global MILP worker pool, honors per-job
+//! deadlines, streams live [`SolverEvent`]s to clients and answers repeated
+//! requests from a solution cache. This crate is that service:
+//!
+//! * **Admission + scheduling** — [`SolveServer`] holds a bounded FIFO job
+//!   queue drained by a small set of runner threads. A full queue rejects
+//!   new work at submission time (admission control) instead of queueing
+//!   unboundedly; every accepted job gets its own [`CancelToken`].
+//! * **Deadlines** — a job's `deadline_ms` is measured from *submission*,
+//!   so time spent waiting in the queue counts against it. A watcher
+//!   thread maps expired deadlines onto the job's `CancelToken` (queued or
+//!   running, the token fires either way) and the remaining budget is also
+//!   handed to the solver as its wall-clock limit.
+//! * **Fault isolation** — runner threads wrap each job in
+//!   `catch_unwind`, and the solver itself contains worker panics to the
+//!   owning job ([`ndp_milp::MilpError::WorkerPanicked`]); one tenant's
+//!   crash becomes that job's structured failure, never the server's.
+//! * **Solution cache** — requests are keyed by
+//!   [`ndp_core::instance_fingerprint`] (canonical hash of the built MILP
+//!   plus answer-relevant tolerances). Proven outcomes (optimal or
+//!   infeasible) are cached; an identical later request is answered with
+//!   zero solver nodes. Hit/miss counters surface in [`ServerStats`].
+//! * **Line protocol** — an offline-friendly, transport-agnostic text
+//!   protocol (stdin/stdout in the shipped binary): `solve`/`cancel`/
+//!   `stats`/`shutdown` in, `ack`/`event`/`done`/`stats`/`bye` out, one
+//!   `key=value` record per line. See [`handle_line`].
+
+use ndp_core::{
+    instance_fingerprint, solve_optimal, CommTimeModel, DeployObjective, OptimalConfig,
+    ProblemInstance,
+};
+use ndp_milp::{CancelToken, Observer, SolveStatus, SolverEvent};
+use ndp_noc::{Mesh2D, NocParams, WeightedNoc};
+use ndp_platform::{Platform, PowerModel, PowerParams, ReliabilityParams, VfTable};
+use ndp_taskset::{generate, GeneratorConfig};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One deployment request: the synthetic-instance knobs shared with the
+/// bench harness plus per-job service parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestSpec {
+    /// Original task count `M`.
+    pub tasks: usize,
+    /// Mesh side (`N = side²` processors).
+    pub mesh_side: usize,
+    /// Number of V/F levels `L`.
+    pub levels: usize,
+    /// Horizon multiplier `α`.
+    pub alpha: f64,
+    /// Instance seed (task graph + NoC link weights).
+    pub seed: u64,
+    /// BE (balance) or ME (total) energy objective.
+    pub objective: DeployObjective,
+    /// Solver threads for this job (0 = solver default).
+    pub threads: usize,
+    /// Relative MIP gap; `None` keeps the solver default.
+    pub gap: Option<f64>,
+    /// Wall-clock deadline in milliseconds, measured from submission.
+    pub deadline_ms: Option<u64>,
+    /// Stream solver events for this job.
+    pub events: bool,
+}
+
+impl Default for RequestSpec {
+    fn default() -> Self {
+        RequestSpec {
+            tasks: 4,
+            mesh_side: 2,
+            levels: 3,
+            alpha: 1.4,
+            seed: 1,
+            objective: DeployObjective::BalanceEnergy,
+            threads: 2,
+            gap: None,
+            deadline_ms: None,
+            events: false,
+        }
+    }
+}
+
+impl RequestSpec {
+    /// Admission-time validation: reject obviously hostile or absurd specs
+    /// before they consume a runner.
+    fn validate(&self) -> Result<(), String> {
+        if self.tasks == 0 || self.tasks > 16 {
+            return Err(format!("tasks={} out of range 1..=16", self.tasks));
+        }
+        if self.mesh_side == 0 || self.mesh_side > 4 {
+            return Err(format!("mesh={} out of range 1..=4", self.mesh_side));
+        }
+        if self.levels == 0 || self.levels > 6 {
+            return Err(format!("levels={} out of range 1..=6", self.levels));
+        }
+        if !self.alpha.is_finite() || self.alpha <= 0.0 {
+            return Err(format!("alpha={} must be finite and positive", self.alpha));
+        }
+        if self.threads > 8 {
+            return Err(format!("threads={} out of range 0..=8", self.threads));
+        }
+        Ok(())
+    }
+
+    /// Materializes the problem instance (the bench harness defaults at
+    /// this size/seed).
+    fn build_problem(&self) -> Result<ProblemInstance, String> {
+        let cfg = GeneratorConfig::typical(self.tasks);
+        let graph = generate(&cfg, self.seed).map_err(|e| format!("taskset: {e}"))?;
+        let vf = VfTable::synthetic(self.levels, (0.85, 1.10), (300.0, 1000.0))
+            .map_err(|e| format!("vf-table: {e}"))?;
+        let platform = Platform::new(
+            self.mesh_side * self.mesh_side,
+            vf,
+            PowerModel::new(PowerParams::bulk_70nm()),
+            ReliabilityParams::typical(),
+        )
+        .map_err(|e| format!("platform: {e}"))?;
+        let mesh = Mesh2D::square(self.mesh_side).map_err(|e| format!("mesh: {e}"))?;
+        let noc = WeightedNoc::new(mesh, NocParams::typical(), self.seed)
+            .map_err(|e| format!("noc: {e}"))?;
+        ProblemInstance::from_original(&graph, platform, noc, 0.95, self.alpha)
+            .map(|p| p.with_comm_time_model(CommTimeModel::PerUnit))
+            .map_err(|e| format!("problem: {e}"))
+    }
+
+    /// The solve configuration before per-job control (token, deadline,
+    /// observer) is attached; this is also what the cache key hashes.
+    fn config(&self) -> OptimalConfig {
+        let mut config = OptimalConfig { objective: self.objective, ..OptimalConfig::default() };
+        config.solver.threads = self.threads;
+        if let Some(gap) = self.gap {
+            config.solver.relative_gap = gap;
+        }
+        config
+    }
+}
+
+/// Terminal state of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Proven optimal deployment.
+    Optimal,
+    /// Feasible deployment without a completed proof.
+    Feasible,
+    /// Proven infeasible.
+    Infeasible,
+    /// The per-job deadline expired (in queue or mid-solve).
+    Deadline,
+    /// Cancelled by the client (or at server shutdown).
+    Cancelled,
+    /// Rejected at admission (full queue or invalid spec).
+    Rejected,
+    /// The solve failed (structured solver error or a contained panic).
+    Failed,
+}
+
+impl JobStatus {
+    /// Protocol wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobStatus::Optimal => "optimal",
+            JobStatus::Feasible => "feasible",
+            JobStatus::Infeasible => "infeasible",
+            JobStatus::Deadline => "deadline",
+            JobStatus::Cancelled => "cancelled",
+            JobStatus::Rejected => "rejected",
+            JobStatus::Failed => "failed",
+        }
+    }
+}
+
+/// Result of one job, as reported to clients.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Client-visible job id.
+    pub id: u64,
+    /// Terminal status.
+    pub status: JobStatus,
+    /// Objective (mJ) when a deployment was found.
+    pub objective_mj: Option<f64>,
+    /// Branch-and-bound nodes spent on this request (0 on a cache hit).
+    pub nodes: u64,
+    /// Wall milliseconds from submission to completion (queue included).
+    pub wall_ms: f64,
+    /// Whether the answer came from the solution cache.
+    pub cache_hit: bool,
+    /// Failure detail for [`JobStatus::Failed`]/[`JobStatus::Rejected`].
+    pub error: Option<String>,
+}
+
+/// Server counters, all monotone except `queue_depth`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Jobs that reached a terminal state (any status).
+    pub completed: u64,
+    /// Jobs that ended `Cancelled`.
+    pub cancelled: u64,
+    /// Submissions rejected at admission.
+    pub rejected: u64,
+    /// Jobs answered from the solution cache.
+    pub cache_hits: u64,
+    /// Jobs that had to solve (fingerprint not cached).
+    pub cache_misses: u64,
+    /// Jobs currently waiting in the queue.
+    pub queue_depth: usize,
+    /// Threads in the process-global solver worker pool.
+    pub pool_workers: usize,
+}
+
+/// Where protocol output lines go (stdout in the binary, a collector in
+/// tests and benches). Lines arrive without trailing newline.
+pub type OutputSink = Arc<dyn Fn(&str) + Send + Sync>;
+
+/// Server tuning.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Concurrent solve runners (jobs in flight at once).
+    pub runners: usize,
+    /// Admission bound: queued jobs beyond this are rejected.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { runners: 2, queue_capacity: 64 }
+    }
+}
+
+enum JobState {
+    Queued,
+    Running,
+    Done(JobOutcome),
+}
+
+struct Job {
+    spec: RequestSpec,
+    token: CancelToken,
+    /// Set on an explicit client cancel (distinguishes `Cancelled` from
+    /// `Deadline` when the token fires).
+    cancel_requested: Arc<AtomicBool>,
+    submitted: Instant,
+    deadline: Option<Instant>,
+    state: JobState,
+}
+
+struct Inner {
+    cfg: ServerConfig,
+    sink: Option<OutputSink>,
+    queue: Mutex<VecDeque<u64>>,
+    queue_cv: Condvar,
+    jobs: Mutex<HashMap<u64, Job>>,
+    done_cv: Condvar,
+    cache: Mutex<HashMap<u64, CacheEntry>>,
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    cancelled: AtomicU64,
+    rejected: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+#[derive(Clone)]
+struct CacheEntry {
+    status: JobStatus,
+    objective_mj: Option<f64>,
+}
+
+/// The multi-tenant solve server. Construct with [`SolveServer::start`],
+/// drive either in-process ([`SolveServer::submit`]/[`SolveServer::wait`])
+/// or through the line protocol ([`handle_line`]), stop with
+/// [`SolveServer::shutdown`].
+pub struct SolveServer {
+    inner: Arc<Inner>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl SolveServer {
+    /// Spawns the runner and deadline-watcher threads and returns the
+    /// ready server. `sink` receives every protocol output line.
+    pub fn start(cfg: ServerConfig, sink: Option<OutputSink>) -> Self {
+        let runners = cfg.runners.max(1);
+        let inner = Arc::new(Inner {
+            cfg,
+            sink,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            jobs: Mutex::new(HashMap::new()),
+            done_cv: Condvar::new(),
+            cache: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        });
+        let mut threads = Vec::with_capacity(runners + 1);
+        for i in 0..runners {
+            let inner = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("ndp-serve-runner-{i}"))
+                    .spawn(move || runner_main(&inner))
+                    .expect("spawn runner"),
+            );
+        }
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("ndp-serve-deadline".into())
+                    .spawn(move || deadline_watcher(&inner))
+                    .expect("spawn deadline watcher"),
+            );
+        }
+        SolveServer { inner, threads: Mutex::new(threads) }
+    }
+
+    /// Submits a request under a server-assigned id.
+    ///
+    /// # Errors
+    ///
+    /// Returns the admission failure (invalid spec, full queue, or a
+    /// shutting-down server); rejected submissions are counted in
+    /// [`ServerStats::rejected`].
+    pub fn submit(&self, spec: RequestSpec) -> Result<u64, String> {
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        self.submit_with_id(id, spec).map(|()| id)
+    }
+
+    /// Submits a request under a client-chosen id (the line protocol path).
+    ///
+    /// # Errors
+    ///
+    /// As [`SolveServer::submit`], plus duplicate-id rejection.
+    pub fn submit_with_id(&self, id: u64, spec: RequestSpec) -> Result<(), String> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err("server is shutting down".into());
+        }
+        if let Err(e) = spec.validate() {
+            self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
+        let submitted = Instant::now();
+        let deadline = spec.deadline_ms.map(|ms| submitted + Duration::from_millis(ms));
+        {
+            let mut jobs = self.inner.jobs.lock();
+            if jobs.contains_key(&id) {
+                self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(format!("duplicate job id {id}"));
+            }
+            let mut queue = self.inner.queue.lock();
+            if queue.len() >= self.inner.cfg.queue_capacity {
+                self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(format!("queue full ({} jobs waiting)", queue.len()));
+            }
+            jobs.insert(
+                id,
+                Job {
+                    spec,
+                    token: CancelToken::new(),
+                    cancel_requested: Arc::new(AtomicBool::new(false)),
+                    submitted,
+                    deadline,
+                    state: JobState::Queued,
+                },
+            );
+            queue.push_back(id);
+        }
+        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        self.inner.queue_cv.notify_one();
+        Ok(())
+    }
+
+    /// Cancels a queued or running job. Returns `false` for unknown or
+    /// already-finished ids.
+    pub fn cancel(&self, id: u64) -> bool {
+        let jobs = self.inner.jobs.lock();
+        match jobs.get(&id) {
+            Some(job) if !matches!(job.state, JobState::Done(_)) => {
+                job.cancel_requested.store(true, Ordering::Release);
+                job.token.cancel();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Blocks until job `id` reaches a terminal state; `None` for unknown
+    /// ids.
+    pub fn wait(&self, id: u64) -> Option<JobOutcome> {
+        let mut jobs = self.inner.jobs.lock();
+        loop {
+            match jobs.get(&id) {
+                None => return None,
+                Some(Job { state: JobState::Done(outcome), .. }) => return Some(outcome.clone()),
+                Some(_) => self.inner.done_cv.wait(&mut jobs),
+            }
+        }
+    }
+
+    /// Snapshot of the server counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            submitted: self.inner.submitted.load(Ordering::Relaxed),
+            completed: self.inner.completed.load(Ordering::Relaxed),
+            cancelled: self.inner.cancelled.load(Ordering::Relaxed),
+            rejected: self.inner.rejected.load(Ordering::Relaxed),
+            cache_hits: self.inner.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.inner.cache_misses.load(Ordering::Relaxed),
+            queue_depth: self.inner.queue.lock().len(),
+            pool_workers: ndp_milp::worker_pool_size(),
+        }
+    }
+
+    /// Drains the queue (queued jobs finish `Cancelled`), waits for
+    /// running jobs, and stops all server threads.
+    pub fn shutdown(&self) {
+        let drained: Vec<u64> = {
+            let mut queue = self.inner.queue.lock();
+            queue.drain(..).collect()
+        };
+        for id in drained {
+            finish_job(
+                &self.inner,
+                id,
+                JobStatus::Cancelled,
+                None,
+                0,
+                false,
+                Some("server shutdown".into()),
+            );
+        }
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.queue_cv.notify_all();
+        let threads = { std::mem::take(&mut *self.threads.lock()) };
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+fn emit(inner: &Inner, line: &str) {
+    if let Some(sink) = &inner.sink {
+        sink(line);
+    }
+}
+
+/// Maps expired deadlines onto the owning job's [`CancelToken`]: queued
+/// jobs get cancelled before they waste a runner, running jobs are
+/// interrupted cooperatively.
+fn deadline_watcher(inner: &Inner) {
+    while !inner.shutdown.load(Ordering::Acquire) {
+        let now = Instant::now();
+        {
+            let jobs = inner.jobs.lock();
+            for job in jobs.values() {
+                if matches!(job.state, JobState::Done(_)) {
+                    continue;
+                }
+                if let Some(d) = job.deadline {
+                    if now >= d {
+                        job.token.cancel();
+                    }
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn runner_main(inner: &Arc<Inner>) {
+    loop {
+        let id = {
+            let mut queue = inner.queue.lock();
+            loop {
+                if let Some(id) = queue.pop_front() {
+                    break id;
+                }
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                inner.queue_cv.wait(&mut queue);
+            }
+        };
+        // One tenant's panic must never take a runner down with it; the
+        // job is failed with the payload as a structured message.
+        let result = catch_unwind(AssertUnwindSafe(|| run_job(inner, id)));
+        if let Err(payload) = result {
+            let msg = payload
+                .downcast_ref::<&'static str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            finish_job(inner, id, JobStatus::Failed, None, 0, false, Some(msg));
+        }
+    }
+}
+
+/// Marks `id` done, bumps counters, wakes waiters and emits the `done`
+/// protocol line.
+fn finish_job(
+    inner: &Inner,
+    id: u64,
+    status: JobStatus,
+    objective_mj: Option<f64>,
+    nodes: u64,
+    cache_hit: bool,
+    error: Option<String>,
+) {
+    let outcome = {
+        let mut jobs = inner.jobs.lock();
+        let Some(job) = jobs.get_mut(&id) else { return };
+        if matches!(job.state, JobState::Done(_)) {
+            return;
+        }
+        let outcome = JobOutcome {
+            id,
+            status,
+            objective_mj,
+            nodes,
+            wall_ms: job.submitted.elapsed().as_secs_f64() * 1e3,
+            cache_hit,
+            error,
+        };
+        job.state = JobState::Done(outcome.clone());
+        outcome
+    };
+    inner.completed.fetch_add(1, Ordering::Relaxed);
+    if status == JobStatus::Cancelled {
+        inner.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+    inner.done_cv.notify_all();
+    let mut line = format!(
+        "done id={} status={} nodes={} wall_ms={:.1} cache={}",
+        id,
+        status.name(),
+        nodes,
+        outcome.wall_ms,
+        if cache_hit { "hit" } else { "miss" }
+    );
+    if let Some(obj) = objective_mj {
+        line.push_str(&format!(" objective_mj={obj:.6}"));
+    }
+    if let Some(e) = &outcome.error {
+        line.push_str(&format!(" error={}", e.replace([' ', '\n'], "_")));
+    }
+    emit(inner, &line);
+}
+
+fn run_job(inner: &Arc<Inner>, id: u64) {
+    let (spec, token, cancel_requested, deadline) = {
+        let mut jobs = inner.jobs.lock();
+        let Some(job) = jobs.get_mut(&id) else { return };
+        if matches!(job.state, JobState::Done(_)) {
+            return;
+        }
+        job.state = JobState::Running;
+        (job.spec.clone(), job.token.clone(), Arc::clone(&job.cancel_requested), job.deadline)
+    };
+
+    // Admission covers queue wait: a job whose deadline or cancel fired
+    // while waiting never touches the solver.
+    let timed_out = |deadline: Option<Instant>| deadline.is_some_and(|d| Instant::now() >= d);
+    if token.is_cancelled() || timed_out(deadline) {
+        let status = if cancel_requested.load(Ordering::Acquire) {
+            JobStatus::Cancelled
+        } else if timed_out(deadline) {
+            JobStatus::Deadline
+        } else {
+            JobStatus::Cancelled
+        };
+        finish_job(inner, id, status, None, 0, false, None);
+        return;
+    }
+
+    let problem = match spec.build_problem() {
+        Ok(p) => p,
+        Err(e) => {
+            finish_job(inner, id, JobStatus::Failed, None, 0, false, Some(e));
+            return;
+        }
+    };
+    let mut config = spec.config();
+
+    // Cache lookup under the canonical fingerprint of (program, answer
+    // tolerances) — before the per-job control plane is attached.
+    let fingerprint = match instance_fingerprint(&problem, &config) {
+        Ok(fp) => fp,
+        Err(e) => {
+            finish_job(inner, id, JobStatus::Failed, None, 0, false, Some(e.to_string()));
+            return;
+        }
+    };
+    if let Some(entry) = inner.cache.lock().get(&fingerprint).cloned() {
+        inner.cache_hits.fetch_add(1, Ordering::Relaxed);
+        finish_job(inner, id, entry.status, entry.objective_mj, 0, true, None);
+        return;
+    }
+    inner.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+    // Attach the control plane: cancel token, remaining deadline budget,
+    // and (when requested) the event stream.
+    config.solver.cancel = Some(token.clone());
+    if let Some(d) = deadline {
+        let remaining = d.saturating_duration_since(Instant::now()).as_secs_f64();
+        if config.solver.time_limit.is_infinite() || remaining < config.solver.time_limit {
+            config.solver.time_limit = remaining;
+        }
+    }
+    if spec.events {
+        if let Some(sink) = &inner.sink {
+            let stream = Arc::clone(sink);
+            let observer: Arc<dyn Observer> = Arc::new(move |e: &SolverEvent| match e {
+                SolverEvent::Presolve { .. }
+                | SolverEvent::RootRelaxation { .. }
+                | SolverEvent::HeuristicIncumbent { .. }
+                | SolverEvent::Incumbent { .. }
+                | SolverEvent::Terminated { .. } => stream(&format!("event id={id} {e}")),
+                _ => {}
+            });
+            config.solver = config.solver.observer(observer);
+        }
+    }
+
+    match solve_optimal(&problem, &config) {
+        Ok(outcome) => {
+            let status = match outcome.status {
+                SolveStatus::Optimal => JobStatus::Optimal,
+                SolveStatus::Feasible => JobStatus::Feasible,
+                SolveStatus::Infeasible => JobStatus::Infeasible,
+                SolveStatus::Interrupted => {
+                    if cancel_requested.load(Ordering::Acquire) {
+                        JobStatus::Cancelled
+                    } else if deadline.is_some() {
+                        JobStatus::Deadline
+                    } else {
+                        JobStatus::Cancelled
+                    }
+                }
+                SolveStatus::Unbounded | SolveStatus::Unknown => JobStatus::Failed,
+            };
+            // Only proven answers are sound for every later requester.
+            if matches!(status, JobStatus::Optimal | JobStatus::Infeasible) {
+                inner
+                    .cache
+                    .lock()
+                    .insert(fingerprint, CacheEntry { status, objective_mj: outcome.objective_mj });
+            }
+            let error = (status == JobStatus::Failed)
+                .then(|| format!("solver status {:?}", outcome.status));
+            finish_job(inner, id, status, outcome.objective_mj, outcome.nodes, false, error);
+        }
+        Err(e) => {
+            finish_job(inner, id, JobStatus::Failed, None, 0, false, Some(e.to_string()));
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Line protocol
+// --------------------------------------------------------------------------
+
+fn parse_kv(tokens: &[&str]) -> HashMap<String, String> {
+    let mut kv = HashMap::new();
+    for t in tokens {
+        if let Some((k, v)) = t.split_once('=') {
+            kv.insert(k.to_string(), v.to_string());
+        }
+    }
+    kv
+}
+
+fn parse_spec(kv: &HashMap<String, String>) -> Result<RequestSpec, String> {
+    let mut spec = RequestSpec::default();
+    let get = |key: &str| kv.get(key).map(String::as_str);
+    if let Some(v) = get("tasks") {
+        spec.tasks = v.parse().map_err(|_| format!("bad tasks={v}"))?;
+    }
+    if let Some(v) = get("mesh") {
+        spec.mesh_side = v.parse().map_err(|_| format!("bad mesh={v}"))?;
+    }
+    if let Some(v) = get("levels") {
+        spec.levels = v.parse().map_err(|_| format!("bad levels={v}"))?;
+    }
+    if let Some(v) = get("alpha") {
+        spec.alpha = v.parse().map_err(|_| format!("bad alpha={v}"))?;
+    }
+    if let Some(v) = get("seed") {
+        spec.seed = v.parse().map_err(|_| format!("bad seed={v}"))?;
+    }
+    if let Some(v) = get("threads") {
+        spec.threads = v.parse().map_err(|_| format!("bad threads={v}"))?;
+    }
+    if let Some(v) = get("gap") {
+        spec.gap = Some(v.parse().map_err(|_| format!("bad gap={v}"))?);
+    }
+    if let Some(v) = get("deadline_ms") {
+        spec.deadline_ms = Some(v.parse().map_err(|_| format!("bad deadline_ms={v}"))?);
+    }
+    if let Some(v) = get("events") {
+        spec.events = matches!(v, "on" | "true" | "1");
+    }
+    if let Some(v) = get("objective") {
+        spec.objective = match v {
+            "be" => DeployObjective::BalanceEnergy,
+            "me" => DeployObjective::MinimizeTotalEnergy,
+            other => return Err(format!("bad objective={other} (want be|me)")),
+        };
+    }
+    Ok(spec)
+}
+
+/// Handles one protocol input line, emitting response lines through the
+/// server's sink. Returns `false` once the client asked for `shutdown`
+/// (the server is already stopped at that point).
+///
+/// Commands: `solve id=<n> [tasks= mesh= levels= alpha= seed= threads=
+/// gap= deadline_ms= events= objective=]`, `cancel id=<n>`, `stats`,
+/// `shutdown`. Unknown commands get an `err` line; blank lines and `#`
+/// comments are ignored.
+pub fn handle_line(server: &SolveServer, line: &str) -> bool {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return true;
+    }
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let kv = parse_kv(&tokens[1..]);
+    match tokens[0] {
+        "solve" => {
+            let id = match kv.get("id").map(|v| v.parse::<u64>()) {
+                Some(Ok(id)) => id,
+                _ => {
+                    emit(&server.inner, "err reason=missing-or-bad-id");
+                    return true;
+                }
+            };
+            match parse_spec(&kv).and_then(|spec| server.submit_with_id(id, spec)) {
+                Ok(()) => emit(&server.inner, &format!("ack id={id}")),
+                Err(e) => emit(
+                    &server.inner,
+                    &format!("err id={id} reason={}", e.replace([' ', '\n'], "_")),
+                ),
+            }
+        }
+        "cancel" => {
+            let id = match kv.get("id").map(|v| v.parse::<u64>()) {
+                Some(Ok(id)) => id,
+                _ => {
+                    emit(&server.inner, "err reason=missing-or-bad-id");
+                    return true;
+                }
+            };
+            let known = server.cancel(id);
+            emit(&server.inner, &format!("ack cancel id={id} known={known}"));
+        }
+        "stats" => {
+            let s = server.stats();
+            emit(
+                &server.inner,
+                &format!(
+                    "stats submitted={} completed={} cancelled={} rejected={} cache_hits={} \
+                     cache_misses={} queue={} pool_workers={}",
+                    s.submitted,
+                    s.completed,
+                    s.cancelled,
+                    s.rejected,
+                    s.cache_hits,
+                    s.cache_misses,
+                    s.queue_depth,
+                    s.pool_workers
+                ),
+            );
+        }
+        "shutdown" => {
+            server.shutdown();
+            emit(&server.inner, "bye");
+            return false;
+        }
+        other => emit(&server.inner, &format!("err reason=unknown-command-{other}")),
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collector() -> (Arc<Mutex<Vec<String>>>, OutputSink) {
+        let lines = Arc::new(Mutex::new(Vec::new()));
+        let sink_lines = Arc::clone(&lines);
+        let sink: OutputSink = Arc::new(move |l: &str| sink_lines.lock().push(l.to_string()));
+        (lines, sink)
+    }
+
+    fn small_spec(seed: u64) -> RequestSpec {
+        RequestSpec {
+            tasks: 3,
+            mesh_side: 2,
+            levels: 2,
+            seed,
+            threads: 2,
+            deadline_ms: Some(60_000),
+            ..RequestSpec::default()
+        }
+    }
+
+    #[test]
+    fn identical_requests_hit_the_cache_with_zero_nodes() {
+        let server = SolveServer::start(ServerConfig { runners: 1, queue_capacity: 8 }, None);
+        let first = server.submit(small_spec(3)).unwrap();
+        let first = server.wait(first).expect("first outcome");
+        assert_eq!(first.status, JobStatus::Optimal);
+        assert!(!first.cache_hit);
+        assert!(first.nodes > 0);
+
+        let second = server.submit(small_spec(3)).unwrap();
+        let second = server.wait(second).expect("second outcome");
+        assert_eq!(second.status, JobStatus::Optimal);
+        assert!(second.cache_hit, "identical request must be served from cache");
+        assert_eq!(second.nodes, 0, "cache hits must not spend solver nodes");
+        assert_eq!(second.objective_mj, first.objective_mj);
+
+        let stats = server.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn cancelled_and_deadline_jobs_report_their_status() {
+        let server = SolveServer::start(ServerConfig { runners: 1, queue_capacity: 8 }, None);
+        // A pre-cancelled job: cancel can land while it is still queued.
+        let id = server.submit(small_spec(11)).unwrap();
+        assert!(server.cancel(id));
+        let out = server.wait(id).expect("outcome");
+        assert!(
+            matches!(out.status, JobStatus::Cancelled | JobStatus::Optimal),
+            "late cancel may lose the race, got {:?}",
+            out.status
+        );
+        // An already-expired deadline never touches the solver.
+        let expired = RequestSpec { deadline_ms: Some(0), ..small_spec(12) };
+        let id = server.submit(expired).unwrap();
+        let out = server.wait(id).expect("outcome");
+        assert_eq!(out.status, JobStatus::Deadline);
+        assert_eq!(out.nodes, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn admission_rejects_invalid_specs_and_overflow() {
+        let server = SolveServer::start(ServerConfig { runners: 1, queue_capacity: 1 }, None);
+        let bad = RequestSpec { tasks: 0, ..RequestSpec::default() };
+        assert!(server.submit(bad).is_err());
+        assert_eq!(server.stats().rejected, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn the_line_protocol_round_trips() {
+        let (lines, sink) = collector();
+        let server = SolveServer::start(ServerConfig { runners: 1, queue_capacity: 8 }, Some(sink));
+        assert!(handle_line(&server, "solve id=1 tasks=3 mesh=2 levels=2 deadline_ms=60000"));
+        assert!(handle_line(&server, "# a comment"));
+        assert!(handle_line(&server, "stats"));
+        let _ = server.wait(1);
+        assert!(!handle_line(&server, "shutdown"));
+        let lines = lines.lock();
+        assert!(lines.iter().any(|l| l == "ack id=1"), "missing ack: {lines:?}");
+        assert!(lines.iter().any(|l| l.starts_with("stats ")), "missing stats: {lines:?}");
+        assert!(
+            lines.iter().any(|l| l.starts_with("done id=1 status=optimal")),
+            "missing done: {lines:?}"
+        );
+        assert!(lines.iter().any(|l| l == "bye"), "missing bye: {lines:?}");
+    }
+}
