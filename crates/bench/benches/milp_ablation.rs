@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ndp_bench::InstanceSpec;
-use ndp_core::{build_milp, solve_optimal, DeployObjective, OptimalConfig, PathMode};
+use ndp_core::{DeployObjective, MilpEncoding, OptimalConfig, PathMode};
 use ndp_milp::{BranchRule, NodeOrder, SolverOptions};
 
 fn branch_rules(c: &mut Criterion) {
@@ -20,7 +20,7 @@ fn branch_rules(c: &mut Criterion) {
             ..OptimalConfig::default()
         };
         group.bench_with_input(BenchmarkId::new("rule", name), &cfg, |b, cfg| {
-            b.iter(|| solve_optimal(&problem, cfg))
+            b.iter(|| ndp_bench::session_for(&problem, cfg).solve())
         });
     }
     group.finish();
@@ -36,7 +36,7 @@ fn node_orders(c: &mut Criterion) {
             ..OptimalConfig::default()
         };
         group.bench_with_input(BenchmarkId::new("order", name), &cfg, |b, cfg| {
-            b.iter(|| solve_optimal(&problem, cfg))
+            b.iter(|| ndp_bench::session_for(&problem, cfg).solve())
         });
     }
     group.finish();
@@ -53,7 +53,7 @@ fn warm_start_effect(c: &mut Criterion) {
             ..OptimalConfig::default()
         };
         group.bench_with_input(BenchmarkId::new("seed", name), &cfg, |b, cfg| {
-            b.iter(|| solve_optimal(&problem, cfg))
+            b.iter(|| ndp_bench::session_for(&problem, cfg).solve())
         });
     }
     group.finish();
@@ -64,7 +64,7 @@ fn encoding_build(c: &mut Criterion) {
     for m in [4usize, 8, 12] {
         let problem = InstanceSpec::new(m, 2, 2.0, 5).build();
         group.bench_with_input(BenchmarkId::new("build", m), &problem, |b, p| {
-            b.iter(|| build_milp(p, PathMode::Multi, DeployObjective::BalanceEnergy))
+            b.iter(|| MilpEncoding::build(p, PathMode::Multi, DeployObjective::BalanceEnergy))
         });
     }
     group.finish();

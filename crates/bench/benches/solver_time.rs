@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ndp_bench::InstanceSpec;
-use ndp_core::{phase1, phase2, phase3, solve_heuristic, solve_optimal, OptimalConfig};
+use ndp_core::{phase1, phase2, phase3, DeploymentSession, OptimalConfig};
 use ndp_milp::SolverOptions;
 
 fn heuristic_scaling(c: &mut Criterion) {
@@ -17,7 +17,7 @@ fn heuristic_scaling(c: &mut Criterion) {
         spec.levels = 6;
         let problem = spec.build();
         group.bench_with_input(BenchmarkId::new("solve", m), &problem, |b, p| {
-            b.iter(|| solve_heuristic(p))
+            b.iter(|| DeploymentSession::new(p.clone()).heuristic())
         });
     }
     group.finish();
@@ -44,7 +44,9 @@ fn exact_small(c: &mut Criterion) {
     };
     let mut group = c.benchmark_group("exact");
     group.sample_size(10);
-    group.bench_function("milp-M3-N4", |b| b.iter(|| solve_optimal(&problem, &cfg)));
+    group.bench_function("milp-M3-N4", |b| {
+        b.iter(|| ndp_bench::session_for(&problem, &cfg).solve())
+    });
     group.finish();
 }
 

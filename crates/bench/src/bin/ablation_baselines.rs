@@ -6,7 +6,7 @@
 
 use ndp_bench::{mean_finite, per_seed, InstanceSpec};
 use ndp_core::{
-    first_fit_fastest, random_mapping, round_robin, solve_heuristic, Deployment, ProblemInstance,
+    first_fit_fastest, random_mapping, round_robin, Deployment, DeploymentSession, ProblemInstance,
 };
 
 fn stats(label: &str, outcomes: &[Option<(f64, f64, f64, bool)>]) {
@@ -42,7 +42,7 @@ fn main() {
             f(&problem, seed).map(|d| measure(&problem, &d))
         })
     };
-    stats("paper-heuristic", &run(&|p, _| solve_heuristic(p).ok()));
+    stats("paper-heuristic", &run(&|p, _| DeploymentSession::new(p.clone()).heuristic().ok()));
     stats("round-robin", &run(&|p, _| round_robin(p).ok()));
     stats("first-fit", &run(&|p, _| first_fit_fastest(p).ok()));
     stats("random", &run(&|p, s| random_mapping(p, s).ok()));

@@ -51,7 +51,7 @@ use ndp_bench::{
     append_bench_json, node_order_name, parse_node_order, parse_pricing, pricing_name,
     trace_observer, write_bench_json, BenchRecord, InstanceSpec,
 };
-use ndp_core::{build_milp, DeployObjective, PathMode};
+use ndp_core::{DeployObjective, MilpEncoding, PathMode};
 use ndp_milp::{BasisKernel, NodeOrder, Pricing, SolverOptions};
 
 /// The branch-and-bound accelerator toggles threaded through every run.
@@ -97,7 +97,7 @@ fn run(
     trace: bool,
 ) -> KernelRun {
     let p = InstanceSpec::new(tasks, 2, 3.0, seed).build();
-    let enc = build_milp(&p, PathMode::Multi, DeployObjective::BalanceEnergy).unwrap();
+    let enc = MilpEncoding::build(&p, PathMode::Multi, DeployObjective::BalanceEnergy).unwrap();
     let mut opts = SolverOptions::default()
         .time_limit(seconds)
         .threads(1)
@@ -179,6 +179,7 @@ fn record(
         gap: r.gap,
         dual_bound: r.dual_bound,
         seconds: r.seconds,
+        speedup: None,
     }
 }
 

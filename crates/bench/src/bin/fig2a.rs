@@ -33,7 +33,7 @@ fn main() {
                 ..OptimalConfig::default()
             };
             let t0 = std::time::Instant::now();
-            let single_out = ndp_core::solve_optimal(&problem, &single_cfg);
+            let single_out = ndp_bench::session_for(&problem, &single_cfg).solve();
             let single = ndp_bench::reduce_outcome(&single_out, t0.elapsed().as_secs_f64());
             let multi = exact_point(
                 &problem,

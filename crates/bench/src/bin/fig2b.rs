@@ -8,9 +8,7 @@
 //! exact arm — which is what we sweep (N = 4, M = 6).
 
 use ndp_bench::{exact_solver_options, per_seed, InstanceSpec};
-use ndp_core::{
-    communication_computation_ratio, max_tasks_per_processor, solve_optimal, OptimalConfig,
-};
+use ndp_core::{communication_computation_ratio, max_tasks_per_processor, OptimalConfig};
 use ndp_noc::NocParams;
 
 fn main() {
@@ -25,7 +23,7 @@ fn main() {
             let problem = spec.build();
             let mu = communication_computation_ratio(&problem);
             let cfg = OptimalConfig { solver: exact_solver_options(), ..OptimalConfig::default() };
-            let out = solve_optimal(&problem, &cfg).ok();
+            let out = ndp_bench::session_for(&problem, &cfg).solve().ok();
             let m_max = out
                 .as_ref()
                 .and_then(|o| o.deployment.as_ref())

@@ -8,7 +8,7 @@
 //! synthetic 4-level table (exact solver, N = 4, M = 6).
 
 use ndp_bench::{exact_solver_options, per_seed, InstanceSpec};
-use ndp_core::{duplicated_count, energy_gap_index, solve_optimal, DeployObjective, OptimalConfig};
+use ndp_core::{duplicated_count, energy_gap_index, DeployObjective, OptimalConfig};
 use ndp_platform::ReliabilityParams;
 
 fn main() {
@@ -39,7 +39,8 @@ fn main() {
                     solver: exact_solver_options(),
                     ..OptimalConfig::default()
                 };
-                solve_optimal(&problem, &cfg)
+                ndp_bench::session_for(&problem, &cfg)
+                    .solve()
                     .ok()
                     .and_then(|o| o.deployment)
                     .map(|d| duplicated_count(&problem, &d))

@@ -6,7 +6,7 @@
 //! M = 5, sweeping the task count adds Fig. 2(d)'s x-axis.
 
 use ndp_bench::{exact_point, exact_solver_options, mean_finite, per_seed, InstanceSpec};
-use ndp_core::{solve_optimal, DeployObjective, OptimalConfig};
+use ndp_core::{DeployObjective, OptimalConfig};
 
 fn main() {
     let seeds: Vec<u64> = (0..5).collect();
@@ -24,7 +24,8 @@ fn main() {
                 ..OptimalConfig::default()
             };
             // BE optimizes max-energy; report its *total* via the deployment.
-            let be_total = solve_optimal(&problem, &be_cfg)
+            let be_total = ndp_bench::session_for(&problem, &be_cfg)
+                .solve()
                 .ok()
                 .and_then(|o| o.deployment)
                 .map(|d| d.energy_report(&problem).total_mj())

@@ -6,7 +6,7 @@
 //! Exact solver, N = 4, L = 4.
 
 use ndp_bench::{exact_solver_options, mean_finite, per_seed, InstanceSpec};
-use ndp_core::{solve_optimal, DeployObjective, OptimalConfig};
+use ndp_core::{DeployObjective, OptimalConfig};
 
 fn main() {
     let seeds: Vec<u64> = (0..5).collect();
@@ -22,7 +22,8 @@ fn main() {
                     solver: exact_solver_options(),
                     ..OptimalConfig::default()
                 };
-                solve_optimal(&problem, &cfg)
+                ndp_bench::session_for(&problem, &cfg)
+                    .solve()
                     .ok()
                     .and_then(|o| o.deployment)
                     .map(|d| d.energy_report(&problem).balance_index())

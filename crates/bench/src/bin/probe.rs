@@ -1,12 +1,12 @@
 //! Internal scaling probe (not part of the figure set).
 use ndp_bench::InstanceSpec;
-use ndp_core::{build_milp, DeployObjective, PathMode};
+use ndp_core::{DeployObjective, MilpEncoding, PathMode};
 use ndp_milp::SolverOptions;
 
 fn main() {
     for (m, nodes) in [(3usize, 1usize), (3, 0), (4, 0), (5, 0)] {
         let p = InstanceSpec::new(m, 2, 3.0, 7).build();
-        let enc = build_milp(&p, PathMode::Multi, DeployObjective::BalanceEnergy).unwrap();
+        let enc = MilpEncoding::build(&p, PathMode::Multi, DeployObjective::BalanceEnergy).unwrap();
         let mut opts = SolverOptions::default().time_limit(60.0);
         opts.node_limit = nodes;
         let t = std::time::Instant::now();

@@ -63,6 +63,7 @@ fn record(instance: &str, status: &str, nodes: u64, seconds: f64, threads: usize
         gap: 0.0,
         dual_bound: f64::INFINITY,
         seconds,
+        speedup: None,
     }
 }
 

@@ -25,7 +25,7 @@
 use ndp_bench::{
     parse_pricing, pricing_name, trace_observer, write_bench_json, BenchRecord, InstanceSpec,
 };
-use ndp_core::{solve_optimal, OptimalConfig};
+use ndp_core::OptimalConfig;
 use ndp_milp::{Pricing, SolverOptions};
 
 fn main() {
@@ -120,7 +120,7 @@ fn main() {
                 solver,
                 ..OptimalConfig::default()
             };
-            let out = solve_optimal(&problem, &cfg).expect("solve must not error");
+            let out = ndp_bench::session_for(&problem, &cfg).solve().expect("solve must not error");
             nodes += out.nodes;
             pivots += out.stats.simplex_iterations;
             total_seconds += out.solve_seconds;
@@ -158,6 +158,7 @@ fn main() {
                 },
                 dual_bound: out.best_bound_mj,
                 seconds: out.solve_seconds,
+                speedup: None,
             });
         }
         let throughput = nodes as f64 / total_seconds;

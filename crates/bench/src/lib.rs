@@ -23,8 +23,7 @@
 #![forbid(unsafe_code)]
 
 use ndp_core::{
-    solve_heuristic, solve_optimal, CommTimeModel, Deployment, OptimalConfig, OptimalOutcome,
-    ProblemInstance,
+    CommTimeModel, Deployment, DeploymentSession, OptimalConfig, OptimalOutcome, ProblemInstance,
 };
 use ndp_milp::{NodeOrder, Observer, Pricing, SolveStats, SolveStatus, SolverEvent, SolverOptions};
 use ndp_noc::{Mesh2D, NocParams, WeightedNoc};
@@ -205,10 +204,23 @@ pub fn reduce_outcome(
     }
 }
 
+/// A [`DeploymentSession`] configured like an [`OptimalConfig`] — the
+/// bridge the figure binaries use now that `solve_optimal` is deprecated.
+pub fn session_for(problem: &ProblemInstance, config: &OptimalConfig) -> DeploymentSession {
+    DeploymentSession::builder(problem.clone())
+        .path_mode(config.path_mode)
+        .objective(config.objective)
+        .warm_start_with_heuristic(config.warm_start_with_heuristic)
+        .warm_start_deployment(config.warm_start_deployment.clone())
+        .solver(config.solver.clone())
+        .build()
+}
+
 /// Runs the exact solver on `problem` with `config`, reducing the outcome.
 pub fn exact_point(problem: &ProblemInstance, config: &OptimalConfig) -> ExactPoint {
+    let mut session = session_for(problem, config);
     let t0 = std::time::Instant::now();
-    let outcome = solve_optimal(problem, config);
+    let outcome = session.solve();
     reduce_outcome(&outcome, t0.elapsed().as_secs_f64())
 }
 
@@ -230,8 +242,9 @@ impl HeuristicPoint {
 
 /// Runs the heuristic, returning the deployment and wall time.
 pub fn heuristic_point(problem: &ProblemInstance) -> HeuristicPoint {
+    let session = DeploymentSession::new(problem.clone());
     let t0 = std::time::Instant::now();
-    let deployment = solve_heuristic(problem).ok();
+    let deployment = session.heuristic().ok();
     HeuristicPoint { deployment, seconds: t0.elapsed().as_secs_f64() }
 }
 
@@ -362,6 +375,10 @@ pub struct BenchRecord {
     pub dual_bound: f64,
     /// Wall-clock seconds of the solve.
     pub seconds: f64,
+    /// For re-deployment records: wall-clock ratio of the from-scratch
+    /// solve over the incremental re-solve of the same event (>1 means
+    /// the warm path won). `None` for ordinary one-shot records.
+    pub speedup: Option<f64>,
 }
 
 /// A finite float as JSON, non-finite as `null` (JSON has no Inf/NaN).
@@ -386,7 +403,7 @@ impl BenchRecord {
                 "\"pivots\":{},\"warm_starts\":{},\"cold_starts\":{},\"cuts_applied\":{},",
                 "\"heuristic_incumbents\":{},\"propagated_bounds\":{},",
                 "\"conflict_cuts_applied\":{},",
-                "\"gap\":{},\"dual_bound\":{},\"seconds\":{:.4}}}"
+                "\"gap\":{},\"dual_bound\":{},\"seconds\":{:.4},\"speedup\":{}}}"
             ),
             self.instance,
             self.kernel,
@@ -410,6 +427,7 @@ impl BenchRecord {
             json_f64(self.gap),
             json_f64(self.dual_bound),
             self.seconds,
+            self.speedup.map_or_else(|| "null".to_string(), json_f64),
         )
     }
 }
@@ -554,6 +572,7 @@ mod tests {
             gap: 0.0,
             dual_bound: 42.5,
             seconds: 0.25,
+            speedup: None,
         };
         let j = r.to_json();
         for needle in [
@@ -609,6 +628,7 @@ mod tests {
             gap: f64::INFINITY,
             dual_bound: f64::NAN,
             seconds: 6.0,
+            speedup: None,
         };
         let j = r.to_json();
         assert!(j.contains("\"gap\":null"), "{j}");
@@ -640,6 +660,7 @@ mod tests {
             gap: 0.0,
             dual_bound: 1.0,
             seconds: 0.1,
+            speedup: None,
         }
     }
 

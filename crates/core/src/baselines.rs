@@ -97,8 +97,9 @@ pub fn random_mapping(problem: &ProblemInstance, seed: u64) -> Result<Deployment
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::heuristic::solve_heuristic;
+    use crate::heuristic::heuristic_deployment;
     use crate::validate::validate;
+    use ndp_milp::ObserverHandle;
     use ndp_noc::{Mesh2D, NocParams, WeightedNoc};
     use ndp_platform::Platform;
     use ndp_taskset::{generate, GeneratorConfig};
@@ -141,7 +142,9 @@ mod tests {
         let mut total = 0;
         for seed in 0..10 {
             let p = instance(seed);
-            let (Ok(h), Ok(r)) = (solve_heuristic(&p), random_mapping(&p, seed)) else {
+            let (Ok(h), Ok(r)) =
+                (heuristic_deployment(&p, &ObserverHandle::none()), random_mapping(&p, seed))
+            else {
                 continue;
             };
             total += 1;

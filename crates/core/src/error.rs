@@ -78,7 +78,7 @@ pub type Result<T> = std::result::Result<T, DeployError>;
 ///     let platform = Platform::homogeneous(4)?; // PlatformError
 ///     let noc = WeightedNoc::new(Mesh2D::square(2)?, NocParams::typical(), 7)?; // NocError
 ///     let problem = ProblemInstance::from_original(&graph, platform, noc, 0.95, 3.0)?;
-///     let _ = solve_heuristic(&problem)?; // DeployError
+///     let _ = DeploymentSession::new(problem).heuristic()?; // DeployError
 ///     Ok(())
 /// }
 /// pipeline().unwrap();

@@ -17,9 +17,10 @@
 //! *what* counts as an answer are included.
 
 use crate::error::Result;
-use crate::formulation::build_milp;
+use crate::formulation::MilpEncoding;
 use crate::optimal::OptimalConfig;
 use crate::problem::ProblemInstance;
+use ndp_milp::{Model, SolverOptions};
 
 /// 64-bit FNV-1a over the canonical byte encoding of `v`.
 fn fold(h: u64, v: u64) -> u64 {
@@ -45,17 +46,27 @@ fn fold_f64(h: u64, v: f64) -> u64 {
 ///
 /// # Errors
 ///
-/// Propagates formulation failures from [`build_milp`].
+/// Propagates formulation failures from [`MilpEncoding::build`].
 pub fn instance_fingerprint(problem: &ProblemInstance, config: &OptimalConfig) -> Result<u64> {
-    let encoding = build_milp(problem, config.path_mode, config.objective)?;
-    let s = &config.solver;
-    let mut h = fold(0xcbf2_9ce4_8422_2325, encoding.model.fingerprint());
-    h = fold_f64(h, s.integrality_tol);
-    h = fold_f64(h, s.feasibility_tol);
-    h = fold_f64(h, s.relative_gap);
-    h = fold_f64(h, s.absolute_gap);
-    h = fold_f64(h, s.infinite_bound);
-    Ok(h)
+    let encoding = MilpEncoding::build(problem, config.path_mode, config.objective)?;
+    Ok(model_fingerprint(&encoding.model, &config.solver))
+}
+
+/// Cache key of an already-built (possibly delta-mutated) model under
+/// `solver`'s answer tolerances.
+///
+/// This is the primitive behind [`instance_fingerprint`]; online
+/// re-deployment uses it directly so that a model mutated by scenario
+/// events gets a key reflecting its *current* rows and bounds — hashing
+/// the unmutated problem instance would replay stale cached outcomes.
+pub fn model_fingerprint(model: &Model, solver: &SolverOptions) -> u64 {
+    let mut h = fold(0xcbf2_9ce4_8422_2325, model.fingerprint());
+    h = fold_f64(h, solver.integrality_tol);
+    h = fold_f64(h, solver.feasibility_tol);
+    h = fold_f64(h, solver.relative_gap);
+    h = fold_f64(h, solver.absolute_gap);
+    h = fold_f64(h, solver.infinite_bound);
+    h
 }
 
 #[cfg(test)]

@@ -28,7 +28,7 @@
 use crate::error::Result;
 use crate::problem::ProblemInstance;
 use crate::solution::{Deployment, PathChoice};
-use ndp_milp::{LinExpr, Model, Objective, Solution, VarId};
+use ndp_milp::{ConstraintId, LinExpr, Model, Objective, Solution, VarId};
 use ndp_noc::PathKind;
 use ndp_platform::{LevelId, ProcessorId};
 use ndp_taskset::TaskId;
@@ -89,6 +89,14 @@ pub struct MilpEncoding {
     /// Epigraph variable (BE only).
     z: Option<VarId>,
     edges: Vec<(TaskId, TaskId, f64)>,
+    /// `deadline[i]` row per task, in task order — the handle used by
+    /// re-deployment deltas to tighten a deadline in place.
+    deadline_rows: Vec<ConstraintId>,
+    /// Variable count at build time. [`MilpEncoding::warm_start_values`]
+    /// sizes its vector from this, so it keeps working after the session
+    /// layer detaches `model` into a
+    /// [`ResolveSession`](ndp_milp::ResolveSession).
+    n_model_vars: usize,
 }
 
 /// `h_i` as a linear expression: constant 1 for originals, the `hd` variable
@@ -104,11 +112,26 @@ fn h_expr(problem: &ProblemInstance, hd: &[VarId], i: usize) -> LinExpr {
 
 /// Builds the full MILP for `problem`.
 ///
+/// Deprecated spelling of [`MilpEncoding::build`]; prefer that constructor,
+/// or let a [`DeploymentSession`](crate::DeploymentSession) own the
+/// encoding end to end.
+///
 /// # Errors
 ///
 /// Propagates variable-construction failures from the solver layer (which
 /// cannot occur for the bounds used here, but the signature stays honest).
+#[deprecated(since = "0.2.0", note = "use `MilpEncoding::build` or `DeploymentSession`")]
 pub fn build_milp(
+    problem: &ProblemInstance,
+    path_mode: PathMode,
+    objective: DeployObjective,
+) -> Result<MilpEncoding> {
+    MilpEncoding::build(problem, path_mode, objective)
+}
+
+/// Builds the full MILP for `problem` (the implementation behind
+/// [`MilpEncoding::build`]).
+fn encode(
     problem: &ProblemInstance,
     path_mode: PathMode,
     objective: DeployObjective,
@@ -249,6 +272,7 @@ pub fn build_milp(
     };
 
     // --- te definition, start gating, deadlines (8) -------------------------
+    let mut deadline_rows: Vec<ConstraintId> = Vec::with_capacity(t_cnt);
     for i in 0..t_cnt {
         model.add_eq(format!("te-def[{i}]"), LinExpr::from(te[i]) - ts[i] - tcomp_expr(i), 0.0);
         if i >= m_orig {
@@ -259,7 +283,11 @@ pub fn build_milp(
                 0.0,
             );
         }
-        model.add_le(format!("deadline[{i}]"), tcomp_expr(i), graph.task(TaskId(i)).deadline_ms);
+        deadline_rows.push(model.add_le(
+            format!("deadline[{i}]"),
+            tcomp_expr(i),
+            graph.task(TaskId(i)).deadline_ms,
+        ));
     }
 
     // --- (4) Lemma 2.1 + (5) combined reliability ---------------------------
@@ -609,6 +637,7 @@ pub fn build_milp(
         }
     };
 
+    let n_model_vars = model.num_vars();
     Ok(MilpEncoding {
         model,
         path_mode,
@@ -630,10 +659,57 @@ pub fn build_milp(
         te,
         z,
         edges,
+        deadline_rows,
+        n_model_vars,
     })
 }
 
 impl MilpEncoding {
+    /// Builds the full MILP for `problem`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates variable-construction failures from the solver layer
+    /// (which cannot occur for the bounds used here, but the signature
+    /// stays honest).
+    pub fn build(
+        problem: &ProblemInstance,
+        path_mode: PathMode,
+        objective: DeployObjective,
+    ) -> Result<MilpEncoding> {
+        encode(problem, path_mode, objective)
+    }
+
+    /// Number of tasks (originals + duplicates) the encoding covers.
+    pub fn num_tasks(&self) -> usize {
+        self.n_tasks
+    }
+
+    /// Number of processors the encoding covers.
+    pub fn num_processors(&self) -> usize {
+        self.n_procs
+    }
+
+    /// Handle of the allocation binary `x[task][processor]` — used by
+    /// re-deployment deltas (e.g. fixing a faulted core's column to 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `task` or `processor` is out of range.
+    pub fn x_var(&self, task: usize, processor: usize) -> VarId {
+        self.x[task][processor]
+    }
+
+    /// Handle of the `deadline[task]` row — used by re-deployment deltas
+    /// to tighten a deadline in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `task` is out of range.
+    pub fn deadline_row(&self, task: usize) -> ConstraintId {
+        self.deadline_rows[task]
+    }
+
     /// Reads a solved model back into a [`Deployment`].
     ///
     /// # Panics
@@ -690,7 +766,7 @@ impl MilpEncoding {
     pub fn warm_start_values(&self, problem: &ProblemInstance, d: &Deployment) -> Vec<f64> {
         let m_orig = problem.num_original();
         let n = self.n_procs;
-        let mut vals = vec![0.0; self.model.num_vars()];
+        let mut vals = vec![0.0; self.n_model_vars];
         let active = |i: usize| d.active[i];
         for i in 0..self.n_tasks {
             vals[self.y[i][d.frequency[i].index()].index()] = 1.0;

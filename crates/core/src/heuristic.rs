@@ -235,23 +235,46 @@ fn assemble(problem: &ProblemInstance, p1: &Phase1, p2: &Phase2, paths: PathChoi
 
 /// Runs all three phases and validates the horizon.
 ///
+/// Deprecated spelling of
+/// [`DeploymentSession::heuristic`](crate::DeploymentSession::heuristic).
+///
 /// # Errors
 ///
 /// [`DeployError::HeuristicInfeasible`] when phase 1 cannot satisfy
 /// deadline/reliability constraints, or the final schedule overruns `H`.
+#[deprecated(since = "0.2.0", note = "use `DeploymentSession::heuristic`")]
 pub fn solve_heuristic(problem: &ProblemInstance) -> Result<Deployment> {
-    solve_heuristic_observed(problem, &ObserverHandle::none())
+    heuristic_deployment(problem, &ObserverHandle::none())
 }
 
-/// [`solve_heuristic`] with progress observation: emits a
-/// [`SolverEvent::Phase`] marker (`"phase1"` … `"phase3"`, `"assemble"`)
-/// into `observer` as each of the paper's subproblems starts. The heuristic
-/// is deterministic, so the event sequence is identical across runs.
+/// [`solve_heuristic`] with progress observation.
+///
+/// Deprecated: construct a
+/// [`DeploymentSession`](crate::DeploymentSession) whose solver options
+/// carry the observer and call
+/// [`heuristic`](crate::DeploymentSession::heuristic) on it.
 ///
 /// # Errors
 ///
 /// Same as [`solve_heuristic`].
+#[deprecated(since = "0.2.0", note = "use `DeploymentSession::heuristic`")]
 pub fn solve_heuristic_observed(
+    problem: &ProblemInstance,
+    observer: &ObserverHandle,
+) -> Result<Deployment> {
+    heuristic_deployment(problem, observer)
+}
+
+/// The 3-phase heuristic: emits a [`SolverEvent::Phase`] marker (`"phase1"`
+/// … `"phase3"`, `"assemble"`) into `observer` as each of the paper's
+/// subproblems starts. The heuristic is deterministic, so the event
+/// sequence is identical across runs.
+///
+/// # Errors
+///
+/// [`DeployError::HeuristicInfeasible`] when phase 1 cannot satisfy
+/// deadline/reliability constraints, or the final schedule overruns `H`.
+pub(crate) fn heuristic_deployment(
     problem: &ProblemInstance,
     observer: &ObserverHandle,
 ) -> Result<Deployment> {
@@ -331,7 +354,7 @@ mod tests {
     fn full_heuristic_is_valid_under_generous_horizon() {
         for seed in 0..8 {
             let p = instance(10, 3, 4.0, seed);
-            match solve_heuristic(&p) {
+            match heuristic_deployment(&p, &ObserverHandle::none()) {
                 Ok(d) => {
                     let violations = validate(&p, &d);
                     assert!(violations.is_empty(), "seed {seed}: {violations:?}");
@@ -347,7 +370,7 @@ mod tests {
     #[test]
     fn tight_horizon_is_rejected_not_violated() {
         let p = instance(12, 2, 0.05, 7);
-        match solve_heuristic(&p) {
+        match heuristic_deployment(&p, &ObserverHandle::none()) {
             Err(DeployError::HeuristicInfeasible { .. }) => {}
             Ok(d) => assert!(is_valid(&p, &d), "if it claims success it must be valid"),
             Err(e) => panic!("unexpected error: {e}"),
@@ -383,7 +406,7 @@ mod tests {
             8.0,
         )
         .unwrap();
-        match solve_heuristic(&p) {
+        match heuristic_deployment(&p, &ObserverHandle::none()) {
             Ok(d) => {
                 assert!(is_valid(&p, &d));
                 let report = d.energy_report(&p);

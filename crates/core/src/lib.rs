@@ -13,19 +13,18 @@
 //! to minimize the maximum per-processor energy under real-time and
 //! reliability constraints.
 //!
-//! Two solution routes are provided:
-//!
-//! * [`solve_optimal`] — the exact route: the MINLP is linearized into an
-//!   MILP ([`build_milp`]) and solved by the in-workspace `ndp-milp`
-//!   branch-and-bound (substituting for the paper's Gurobi).
-//! * [`solve_heuristic`] — the paper's 3-phase decomposition heuristic
-//!   (Algorithms 1–3).
+//! The unified entry point is [`DeploymentSession`]: one-shot exact or
+//! heuristic solving, plus *online re-deployment* — absorb
+//! [`ScenarioEvent`]s (core fault, deadline change, aperiodic task
+//! arrival) and re-solve incrementally on carried solver state instead of
+//! from scratch. The free functions `solve_optimal` / `solve_heuristic` /
+//! `build_milp` remain as deprecated shims over the same machinery.
 //!
 //! Every deployment from either route can be checked by the independent
 //! constraint referee in [`validate`].
 //!
 //! ```
-//! use ndp_core::{solve_heuristic, validate, ProblemInstance};
+//! use ndp_core::{validate, DeploymentSession, ProblemInstance};
 //! use ndp_noc::{Mesh2D, NocParams, WeightedNoc};
 //! use ndp_platform::Platform;
 //! use ndp_taskset::{generate, GeneratorConfig};
@@ -39,7 +38,7 @@
 //!     0.95, // R_th
 //!     3.0,  // α
 //! )?;
-//! let deployment = solve_heuristic(&problem)?;
+//! let deployment = DeploymentSession::new(problem.clone()).heuristic()?;
 //! assert!(validate(&problem, &deployment).is_empty());
 //! # Ok(())
 //! # }
@@ -58,6 +57,7 @@ mod optimal;
 mod problem;
 mod report;
 mod schedule;
+mod session;
 mod solution;
 mod validate;
 
@@ -67,15 +67,20 @@ pub use analysis::{
 };
 pub use baselines::{first_fit_fastest, random_mapping, round_robin};
 pub use error::{DeployError, Error, Result};
-pub use fingerprint::instance_fingerprint;
-pub use formulation::{build_milp, DeployObjective, MilpEncoding, PathMode};
-pub use heuristic::{
-    phase1, phase2, phase3, solve_heuristic, solve_heuristic_observed, Phase1, Phase2,
-};
-pub use optimal::{solve_optimal, OptimalConfig, OptimalOutcome};
+pub use fingerprint::{instance_fingerprint, model_fingerprint};
+#[allow(deprecated)]
+pub use formulation::build_milp;
+pub use formulation::{DeployObjective, MilpEncoding, PathMode};
+pub use heuristic::{phase1, phase2, phase3, Phase1, Phase2};
+#[allow(deprecated)]
+pub use heuristic::{solve_heuristic, solve_heuristic_observed};
+#[allow(deprecated)]
+pub use optimal::solve_optimal;
+pub use optimal::{OptimalConfig, OptimalOutcome};
 pub use problem::{scheduling_horizon, CommTimeModel, ProblemInstance};
 pub use report::{energy_table, gantt};
 pub use schedule::{list_schedule, priority_order, Schedule};
+pub use session::{DeploymentSession, DeploymentSessionBuilder, EventDisposition, ScenarioEvent};
 pub use solution::{Deployment, EnergyReport, PathChoice};
 pub use validate::{is_valid, validate, Violation, VALIDATION_TOL};
 
@@ -88,13 +93,14 @@ pub mod prelude {
     //! use ndp_core::prelude::*;
     //! ```
     //!
-    //! pulls in the problem/solution types, both solver entry points, the
-    //! solver configuration (including observability and cancellation) and
-    //! the sibling-crate types needed to construct a [`ProblemInstance`].
+    //! pulls in the problem/solution types, the [`DeploymentSession`] entry
+    //! point (one-shot and online re-deployment), the solver configuration
+    //! (including observability and cancellation) and the sibling-crate
+    //! types needed to construct a [`ProblemInstance`].
     pub use crate::{
-        build_milp, solve_heuristic, solve_heuristic_observed, solve_optimal, validate,
-        DeployObjective, Deployment, EnergyReport, Error, OptimalConfig, OptimalOutcome, PathMode,
-        ProblemInstance,
+        validate, DeployObjective, Deployment, DeploymentSession, DeploymentSessionBuilder,
+        EnergyReport, Error, EventDisposition, OptimalConfig, OptimalOutcome, PathMode,
+        ProblemInstance, ScenarioEvent,
     };
     pub use ndp_milp::{
         CancelToken, Observer, ObserverHandle, Pricing, SolveStats, SolveStatus, SolverEvent,
@@ -102,5 +108,7 @@ pub mod prelude {
     };
     pub use ndp_noc::{Mesh2D, NocParams, PathKind, WeightedNoc};
     pub use ndp_platform::Platform;
+    pub use ndp_platform::ProcessorId;
+    pub use ndp_taskset::TaskId;
     pub use ndp_taskset::{generate, GeneratorConfig, GraphShape};
 }

@@ -7,12 +7,12 @@
 //! the standard way to make exact solvers practical on these models.
 
 use crate::error::Result;
-use crate::formulation::{build_milp, DeployObjective, MilpEncoding, PathMode};
-use crate::heuristic::solve_heuristic;
+use crate::formulation::{DeployObjective, MilpEncoding, PathMode};
+use crate::heuristic::heuristic_deployment;
 use crate::problem::ProblemInstance;
 use crate::solution::Deployment;
 use crate::validate::is_valid;
-use ndp_milp::{SolveStats, SolveStatus, SolverOptions};
+use ndp_milp::{ObserverHandle, SolveStats, SolveStatus, SolverOptions};
 
 /// Configuration of an exact solve.
 #[derive(Debug, Clone)]
@@ -73,34 +73,50 @@ impl OptimalOutcome {
     }
 }
 
+/// Picks the best valid warm-start candidate under `objective` (shared by
+/// the legacy one-shot path and [`DeploymentSession`](crate::DeploymentSession)).
+pub(crate) fn best_warm_candidate(
+    problem: &ProblemInstance,
+    objective: DeployObjective,
+    candidates: Vec<Deployment>,
+) -> Option<Deployment> {
+    let score = |d: &Deployment| match objective {
+        DeployObjective::BalanceEnergy => d.energy_report(problem).max_mj(),
+        DeployObjective::MinimizeTotalEnergy => d.energy_report(problem).total_mj(),
+    };
+    candidates
+        .into_iter()
+        .filter(|d| is_valid(problem, d))
+        .min_by(|a, b| score(a).partial_cmp(&score(b)).expect("finite energies"))
+}
+
 /// Solves the deployment problem exactly.
+///
+/// Deprecated spelling of a one-shot
+/// [`DeploymentSession::solve`](crate::DeploymentSession::solve). This shim
+/// keeps the historical single-solve pipeline (including presolve);
+/// sessions trade presolve for the ability to re-solve incrementally after
+/// scenario events.
 ///
 /// # Errors
 ///
 /// Propagates [`DeployError::Solver`](crate::DeployError::Solver) on
 /// numerical failure; infeasibility is reported through
 /// [`OptimalOutcome::status`].
+#[deprecated(since = "0.2.0", note = "use `DeploymentSession` (builder + solve/resolve)")]
 pub fn solve_optimal(problem: &ProblemInstance, config: &OptimalConfig) -> Result<OptimalOutcome> {
-    let mut encoding: MilpEncoding = build_milp(problem, config.path_mode, config.objective)?;
+    let mut encoding = MilpEncoding::build(problem, config.path_mode, config.objective)?;
     // Collect warm-start candidates and keep the best objective.
     let mut candidates: Vec<Deployment> = Vec::new();
     if config.warm_start_with_heuristic {
-        if let Ok(h) = solve_heuristic(problem) {
+        if let Ok(h) = heuristic_deployment(problem, &ObserverHandle::none()) {
             candidates.push(h);
         }
     }
     if let Some(d) = &config.warm_start_deployment {
         candidates.push(d.clone());
     }
-    let score = |d: &Deployment| match config.objective {
-        DeployObjective::BalanceEnergy => d.energy_report(problem).max_mj(),
-        DeployObjective::MinimizeTotalEnergy => d.energy_report(problem).total_mj(),
-    };
-    let best = candidates
-        .into_iter()
-        .filter(|d| is_valid(problem, d))
-        .min_by(|a, b| score(a).partial_cmp(&score(b)).expect("finite energies"));
-    if let Some(d) = best {
+    if let Some(d) = best_warm_candidate(problem, config.objective, candidates) {
         let vals = encoding.warm_start_values(problem, &d);
         encoding.model.set_warm_start(vals)?;
     }
@@ -124,7 +140,9 @@ pub fn solve_optimal(problem: &ProblemInstance, config: &OptimalConfig) -> Resul
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::DeploymentSession;
     use crate::validate::validate;
+    use ndp_milp::SolveStatus;
     use ndp_noc::{Mesh2D, NocParams, PathKind, WeightedNoc};
     use ndp_platform::Platform;
     use ndp_taskset::{generate, GeneratorConfig, GraphShape};
@@ -150,8 +168,8 @@ mod tests {
     #[test]
     fn optimal_solution_is_valid() {
         let p = small_instance(3, 1, 3.0);
-        let cfg = OptimalConfig { solver: quick_solver(), ..OptimalConfig::default() };
-        let out = solve_optimal(&p, &cfg).unwrap();
+        let mut s = DeploymentSession::builder(p.clone()).solver(quick_solver()).build();
+        let out = s.solve().unwrap();
         assert!(out.is_feasible(), "status {:?}", out.status);
         let d = out.deployment.unwrap();
         let v = validate(&p, &d);
@@ -161,10 +179,10 @@ mod tests {
     #[test]
     fn optimal_beats_or_matches_heuristic() {
         let p = small_instance(3, 2, 3.0);
-        let h = solve_heuristic(&p).unwrap();
+        let mut s = DeploymentSession::builder(p.clone()).solver(quick_solver()).build();
+        let h = s.heuristic().unwrap();
         let h_obj = h.energy_report(&p).max_mj();
-        let cfg = OptimalConfig { solver: quick_solver(), ..OptimalConfig::default() };
-        let out = solve_optimal(&p, &cfg).unwrap();
+        let out = s.solve().unwrap();
         if out.status == SolveStatus::Optimal {
             let o_obj = out.objective_mj.unwrap();
             assert!(o_obj <= h_obj + 1e-6, "optimal {o_obj} must not exceed heuristic {h_obj}");
@@ -174,20 +192,14 @@ mod tests {
     #[test]
     fn single_path_never_beats_multi_path() {
         let p = small_instance(3, 3, 3.0);
-        let multi = solve_optimal(
-            &p,
-            &OptimalConfig { solver: quick_solver(), ..OptimalConfig::default() },
-        )
-        .unwrap();
-        let single = solve_optimal(
-            &p,
-            &OptimalConfig {
-                path_mode: PathMode::SingleFixed(PathKind::EnergyOriented),
-                solver: quick_solver(),
-                ..OptimalConfig::default()
-            },
-        )
-        .unwrap();
+        let multi =
+            DeploymentSession::builder(p.clone()).solver(quick_solver()).build().solve().unwrap();
+        let single = DeploymentSession::builder(p)
+            .path_mode(PathMode::SingleFixed(PathKind::EnergyOriented))
+            .solver(quick_solver())
+            .build()
+            .solve()
+            .unwrap();
         if multi.status == SolveStatus::Optimal && single.status == SolveStatus::Optimal {
             assert!(multi.objective_mj.unwrap() <= single.objective_mj.unwrap() + 1e-6);
         }
@@ -196,13 +208,27 @@ mod tests {
     #[test]
     fn infeasible_under_impossible_horizon() {
         let p = small_instance(3, 4, 3.0).with_horizon(1e-4);
-        let cfg = OptimalConfig {
-            warm_start_with_heuristic: false,
-            solver: quick_solver(),
-            ..OptimalConfig::default()
-        };
-        let out = solve_optimal(&p, &cfg).unwrap();
+        let mut s = DeploymentSession::builder(p)
+            .warm_start_with_heuristic(false)
+            .solver(quick_solver())
+            .build();
+        let out = s.solve().unwrap();
         assert_eq!(out.status, SolveStatus::Infeasible);
         assert!(!out.is_feasible());
+    }
+
+    /// The deprecated one-shot shim must keep solving (with presolve) and
+    /// agree with the session route on a solved-to-optimality instance.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_agrees_with_session() {
+        let p = small_instance(3, 5, 3.0);
+        let cfg = OptimalConfig { solver: quick_solver(), ..OptimalConfig::default() };
+        let legacy = solve_optimal(&p, &cfg).unwrap();
+        let session = DeploymentSession::builder(p).solver(quick_solver()).build().solve().unwrap();
+        if legacy.status == SolveStatus::Optimal && session.status == SolveStatus::Optimal {
+            let (a, b) = (legacy.objective_mj.unwrap(), session.objective_mj.unwrap());
+            assert!((a - b).abs() <= 1e-6 * a.abs().max(1.0), "legacy {a} vs session {b}");
+        }
     }
 }

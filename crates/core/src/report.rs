@@ -80,7 +80,8 @@ pub fn energy_table(problem: &ProblemInstance, d: &Deployment) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::heuristic::solve_heuristic;
+    use crate::heuristic::heuristic_deployment;
+    use ndp_milp::ObserverHandle;
     use ndp_noc::{Mesh2D, NocParams, WeightedNoc};
     use ndp_platform::Platform;
     use ndp_taskset::{generate, GeneratorConfig};
@@ -95,7 +96,7 @@ mod tests {
             6.0,
         )
         .unwrap();
-        let d = solve_heuristic(&p).unwrap();
+        let d = heuristic_deployment(&p, &ObserverHandle::none()).unwrap();
         (p, d)
     }
 

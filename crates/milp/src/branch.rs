@@ -547,8 +547,12 @@ impl<'a> NodeWorker<'a> {
             return Ok((vec![], f64::INFINITY));
         }
         // The LP point is optimal for the *perturbed* costs; subtracting the
-        // margin gives a valid bound for the true costs.
-        let mut bound = self.lp.objective() - self.lp.bound_margin();
+        // margin gives a valid bound for the true costs. The node's own
+        // bound (parent LP bound, or the carried dual bound at a resumed
+        // root) is also valid for this subproblem, so keep the tighter of
+        // the two — this is what lets a carried bound prune the whole tree
+        // once the incumbent reaches the previous optimum.
+        let mut bound = (self.lp.objective() - self.lp.bound_margin()).max(node.bound);
         self.emit_node(node, bound, pivots);
         self.record_pseudocost(node, bound);
         if gap_closed(self.options, incumbent.best_obj(), bound) {
@@ -560,7 +564,7 @@ impl<'a> NodeWorker<'a> {
             match self.separate_in_tree(&mut full)? {
                 TreeCutResult::NoCuts => {}
                 TreeCutResult::Resolved(b) => {
-                    bound = b;
+                    bound = b.max(bound);
                     if gap_closed(self.options, incumbent.best_obj(), bound) {
                         self.xbuf = full;
                         return Ok((vec![], bound));
@@ -882,10 +886,58 @@ pub(crate) struct SearchOutcome {
     pub(crate) conflict_cuts_applied: u64,
 }
 
-/// Entry point used by [`Model::solve_with`].
-pub(crate) fn solve(model: &Model, options: &SolverOptions) -> Result<Solution> {
+/// Carried solver state between the solves of a
+/// [`ResolveSession`](crate::ResolveSession): the standard form the last
+/// search ended on (base rows plus every cut row separated so far) and the
+/// basis the serial worker held when it stopped. The session patches the
+/// form in place after a model delta, remaps the basis for appended
+/// columns, and hands both back to [`solve_session`] so the next search
+/// re-enters warm.
+pub(crate) struct ResumeState {
+    /// The standard form to search over (already patched for any delta).
+    pub(crate) sf: StandardForm,
+    /// Root starting basis, remapped to `sf`'s dimensions. `None` after a
+    /// parallel search (worker bases are private) — cuts still carry.
+    pub(crate) basis: Option<BasisSnapshot>,
+    /// Dual bound of the previous solve (internal minimization scale). A
+    /// pure restriction only shrinks the feasible set, so the old bound
+    /// stays a valid lower bound on the new optimum: the resumed search
+    /// seeds its root node with it, and a re-solve whose incumbent still
+    /// matches the old optimum closes the gap without exploring a single
+    /// node. [`ResolveSession`](crate::ResolveSession) resets this to
+    /// `NEG_INFINITY` whenever a delta adds a variable (a new column can
+    /// improve the objective, invalidating the bound).
+    pub(crate) bound: f64,
+}
+
+/// Entry point of the incremental re-solve engine
+/// ([`ResolveSession`](crate::ResolveSession)): like [`solve`] but
+/// *without presolve* — the carried solver state is indexed by the caller's
+/// model columns, so the model must not be re-shaped under it — and with an
+/// optional carried form + root basis to resume from. On return `capture`
+/// holds the final form and basis for the next re-solve (basis only when
+/// the search ran serial; a parallel search carries its cut rows cold).
+pub(crate) fn solve_session(
+    model: &Model,
+    options: &SolverOptions,
+    resume: Option<ResumeState>,
+    capture: &mut Option<ResumeState>,
+) -> Result<Solution> {
     let start = Instant::now();
-    // Validate expressions for NaN up front.
+    *capture = None;
+    validate_nan(model)?;
+    if model.num_vars() == 0 {
+        return Ok(solve_constant(model, options, start));
+    }
+    let (sf, basis, carried_bound) = match resume {
+        Some(r) => (r.sf, r.basis, Some(r.bound)),
+        None => (StandardForm::from_model(model, options), None, None),
+    };
+    solve_on_form(model, options, sf, basis, carried_bound, Some(capture), start, 0.0)
+}
+
+/// Validates every expression of the model for NaN up front.
+fn validate_nan(model: &Model) -> Result<()> {
     if model.objective().has_nan() {
         return Err(MilpError::NotANumber { context: "objective".into() });
     }
@@ -894,37 +946,45 @@ pub(crate) fn solve(model: &Model, options: &SolverOptions) -> Result<Solution> 
             return Err(MilpError::NotANumber { context: format!("constraint `{}`", row.name) });
         }
     }
+    Ok(())
+}
+
+/// Solves a model with no variables: feasible iff every row holds constant.
+fn solve_constant(model: &Model, options: &SolverOptions, start: Instant) -> Solution {
+    let feasible = model.rows.iter().all(|r| {
+        let lhs = r.expr.constant();
+        match r.sense {
+            crate::ConstraintSense::Le => lhs <= r.rhs + options.feasibility_tol,
+            crate::ConstraintSense::Ge => lhs >= r.rhs - options.feasibility_tol,
+            crate::ConstraintSense::Eq => (lhs - r.rhs).abs() <= options.feasibility_tol,
+        }
+    });
+    let obj = model.objective().constant();
+    let status = if feasible { SolveStatus::Optimal } else { SolveStatus::Infeasible };
+    let reason =
+        if feasible { TerminationReason::GapClosed } else { TerminationReason::ProvenInfeasible };
+    options.observer.emit(|| SolverEvent::Terminated { status, reason });
+    let total = start.elapsed().as_secs_f64();
+    Solution {
+        status,
+        values: vec![],
+        objective: obj,
+        best_bound: obj,
+        nodes: 0,
+        nodes_per_thread: vec![],
+        simplex_iterations: 0,
+        solve_seconds: total,
+        stats: SolveStats { total_seconds: total, ..SolveStats::default() },
+    }
+}
+
+/// Entry point used by [`Model::solve_with`].
+pub(crate) fn solve(model: &Model, options: &SolverOptions) -> Result<Solution> {
+    let start = Instant::now();
+    validate_nan(model)?;
 
     if model.num_vars() == 0 {
-        // Constant problem: feasible iff every row holds with no variables.
-        let feasible = model.rows.iter().all(|r| {
-            let lhs = r.expr.constant();
-            match r.sense {
-                crate::ConstraintSense::Le => lhs <= r.rhs + options.feasibility_tol,
-                crate::ConstraintSense::Ge => lhs >= r.rhs - options.feasibility_tol,
-                crate::ConstraintSense::Eq => (lhs - r.rhs).abs() <= options.feasibility_tol,
-            }
-        });
-        let obj = model.objective().constant();
-        let status = if feasible { SolveStatus::Optimal } else { SolveStatus::Infeasible };
-        let reason = if feasible {
-            TerminationReason::GapClosed
-        } else {
-            TerminationReason::ProvenInfeasible
-        };
-        options.observer.emit(|| SolverEvent::Terminated { status, reason });
-        let total = start.elapsed().as_secs_f64();
-        return Ok(Solution {
-            status,
-            values: vec![],
-            objective: obj,
-            best_bound: obj,
-            nodes: 0,
-            nodes_per_thread: vec![],
-            simplex_iterations: 0,
-            solve_seconds: total,
-            stats: SolveStats { total_seconds: total, ..SolveStats::default() },
-        });
+        return Ok(solve_constant(model, options, start));
     }
 
     // Presolve, solve the reduced model, postsolve the incumbent.
@@ -1005,8 +1065,27 @@ pub(crate) fn solve(model: &Model, options: &SolverOptions) -> Result<Solution> 
         }
     }
 
-    let mut sf = StandardForm::from_model(model, options);
+    let sf = StandardForm::from_model(model, options);
+    solve_on_form(model, options, sf, None, None, None, start, presolve_seconds)
+}
 
+/// The shared back half of [`solve`] and [`solve_session`]: root cuts,
+/// heuristics and branch and bound over a prepared standard form. A
+/// resumed session passes the carried `root_basis` (remapped to `sf`'s
+/// columns) so the serial root node re-enters warm, and `capture` to
+/// receive the final form + basis for the next re-solve.
+#[allow(clippy::too_many_arguments)]
+fn solve_on_form(
+    model: &Model,
+    options: &SolverOptions,
+    mut sf: StandardForm,
+    root_basis: Option<BasisSnapshot>,
+    carried_bound: Option<f64>,
+    capture: Option<&mut Option<ResumeState>>,
+    start: Instant,
+    presolve_seconds: f64,
+) -> Result<Solution> {
+    let resumed = carried_bound.is_some();
     // Integer columns ordered by branch priority (desc), then index.
     let mut int_cols: Vec<usize> =
         (0..model.num_vars()).filter(|&j| model.vars[j].kind != VarKind::Continuous).collect();
@@ -1045,9 +1124,14 @@ pub(crate) fn solve(model: &Model, options: &SolverOptions) -> Result<Solution> 
     }
 
     // Root cutting planes: tighten the shared form before any worker is
-    // built, so every search thread prices the surviving cuts.
+    // built, so every search thread prices the surviving cuts. A resumed
+    // search skips re-separation: the carried form already holds every cut
+    // of the previous search (all still valid after a restriction), and a
+    // fresh separation pass on top of them mostly perturbs the search
+    // while growing every LP.
     let mut cut_stats = crate::cuts::RootCutStats::default();
     if options.cuts
+        && !resumed
         && options.max_cut_rounds > 0
         && !int_cols.is_empty()
         && (options.gomory_cuts || options.cover_cuts)
@@ -1094,9 +1178,28 @@ pub(crate) fn solve(model: &Model, options: &SolverOptions) -> Result<Solution> 
 
     let threads = options.effective_threads();
     let outcome = if threads <= 1 {
-        serial_search(model, &sf, options, &int_cols, &root_bounds, warm, start)?
+        serial_search(
+            model,
+            &sf,
+            options,
+            &int_cols,
+            &root_bounds,
+            warm,
+            start,
+            root_basis.map(Arc::new),
+            carried_bound.unwrap_or(f64::NEG_INFINITY),
+            capture,
+        )?
     } else {
-        parallel::search(model, &sf, options, &int_cols, &root_bounds, warm, start, threads)?
+        let out =
+            parallel::search(model, &sf, options, &int_cols, &root_bounds, warm, start, threads)?;
+        // Parallel workers keep their bases and in-tree cuts private; the
+        // session carries the shared root form (with its root cuts) cold.
+        if let Some(cap) = capture {
+            let bound = if out.hit_limit { out.best_bound_internal } else { out.incumbent_obj };
+            *cap = Some(ResumeState { sf: sf.clone(), basis: None, bound });
+        }
+        out
     };
 
     let solve_seconds = start.elapsed().as_secs_f64();
@@ -1207,6 +1310,7 @@ fn termination_reason(
 
 /// The serial search (`threads = 1`): one [`NodeWorker`], one node stack or
 /// heap, node order identical to the historical single-threaded solver.
+#[allow(clippy::too_many_arguments)]
 fn serial_search(
     model: &Model,
     sf: &StandardForm,
@@ -1215,14 +1319,35 @@ fn serial_search(
     root_bounds: &[(f64, f64)],
     warm: Option<(Vec<f64>, f64)>,
     start: Instant,
+    root_basis: Option<Arc<BasisSnapshot>>,
+    root_bound: f64,
+    capture: Option<&mut Option<ResumeState>>,
 ) -> Result<SearchOutcome> {
     let mut worker = NodeWorker::new(model, sf, options, int_cols, root_bounds, start, true);
     let mut incumbent = LocalIncumbent::from_warm(warm);
 
+    // A carried basis enters through the root node: `enter_node` restores
+    // it like any parent basis and falls back cold if the factorization
+    // fails, so a stale snapshot degrades gracefully. A carried dual bound
+    // seeds the root, so a re-solve whose refreshed incumbent already
+    // matches the previous optimum closes the gap on the first pop.
+    let root = OpenNode { parent_basis: root_basis, bound: root_bound, ..OpenNode::root() };
     let best_bound_internal = match options.node_order {
-        NodeOrder::DepthFirst => run_dfs(&mut worker, &mut incumbent, root_bounds)?,
-        NodeOrder::BestBound => run_best_bound(&mut worker, &mut incumbent, root_bounds)?,
+        NodeOrder::DepthFirst => run_dfs(&mut worker, &mut incumbent, root_bounds, root)?,
+        NodeOrder::BestBound => run_best_bound(&mut worker, &mut incumbent, root_bounds, root)?,
     };
+
+    // Capture the worker's final form (base + root cuts + every in-tree
+    // and conflict cut it appended; structural bounds untouched because
+    // `set_bounds` edits only the working copies) and its last basis.
+    if let Some(cap) = capture {
+        let bound = if worker.hit_limit { best_bound_internal } else { incumbent.obj };
+        *cap = Some(ResumeState {
+            sf: worker.lp.form().clone(),
+            basis: Some(worker.lp.snapshot()),
+            bound,
+        });
+    }
 
     let nodes = worker.nodes;
     options.observer.emit(|| SolverEvent::ThreadStats { worker: 0, nodes, steals: 0 });
@@ -1295,9 +1420,10 @@ fn run_dfs(
     worker: &mut NodeWorker<'_>,
     incumbent: &mut LocalIncumbent,
     root_bounds: &[(f64, f64)],
+    root: OpenNode,
 ) -> Result<f64> {
     let options = worker.options;
-    let mut stack = vec![OpenNode::root()];
+    let mut stack = vec![root];
     let mut best_open_bound = f64::INFINITY;
     while let Some(node) = stack.pop() {
         if options.cancelled() {
@@ -1341,12 +1467,13 @@ fn run_best_bound(
     worker: &mut NodeWorker<'_>,
     incumbent: &mut LocalIncumbent,
     root_bounds: &[(f64, f64)],
+    root: OpenNode,
 ) -> Result<f64> {
     use std::collections::BinaryHeap;
 
     let options = worker.options;
     let mut heap = BinaryHeap::new();
-    heap.push(HeapNode(OpenNode::root()));
+    heap.push(HeapNode(root));
     let mut best_open_bound = f64::INFINITY;
     while let Some(HeapNode(node)) = heap.pop() {
         if options.cancelled() {

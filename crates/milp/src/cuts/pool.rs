@@ -57,6 +57,13 @@ impl CutPool {
     /// other, installs the survivors, and returns them in installation
     /// order (the caller appends them to the LP in exactly this order).
     pub fn select(&mut self, cands: Vec<Cut>, x: &[f64]) -> Vec<Cut> {
+        // A cut referencing a column past the LP point means the form was
+        // mutated (e.g. by a model delta) without refreshing the pool.
+        debug_assert!(
+            cands.iter().all(|c| c.coeffs.iter().all(|&(j, _)| j < x.len())),
+            "cut column index out of range for the LP point ({} values)",
+            x.len()
+        );
         struct Scored {
             cut: Cut,
             score: f64,
@@ -224,6 +231,16 @@ mod tests {
         assert!(pool.select(vec![scaled], &x).is_empty(), "scaled duplicate accepted");
         assert!(pool.select(vec![negated], &x).is_empty(), "sense-flipped duplicate accepted");
         assert_eq!(pool.installed(), 1);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "cut column index out of range")]
+    fn out_of_range_cut_column_is_caught_in_debug() {
+        let mut pool = CutPool::new();
+        let x = [0.5]; // one-column LP point, cut references column 3
+        let stale = cut(vec![(3, 1.0)], 0.1, CutSense::Le);
+        let _ = pool.select(vec![stale], &x);
     }
 
     #[test]

@@ -1,0 +1,465 @@
+//! Incremental model mutation: [`ModelDelta`] and [`Model::apply_delta`].
+//!
+//! A [`ModelDelta`] records a batch of structural edits against a snapshot of
+//! a [`Model`]'s shape (variable and row counts): adding variables and rows,
+//! removing rows (tombstoned in place so existing [`ConstraintId`]s stay
+//! valid), tightening or relaxing bounds, fixing variables and shifting
+//! right-hand sides. Applying the delta mutates the model and reports a
+//! [`DeltaOutcome`], whose `restriction` flag is the key contract for warm
+//! re-solving (see `resolve.rs`): when every edit shrinks the feasible set,
+//! previously separated cuts and the previous optimal basis remain valid and
+//! branch and bound can re-enter warm; otherwise the caller must fall back to
+//! a cold rebuild (previous *incumbents* survive relaxations, so the
+//! incumbent path is handled independently of this flag).
+//!
+//! New variables may only appear in rows added by the same (or a later)
+//! delta. This is not an expressiveness limit for the deployment use case —
+//! an arriving task brings its own assignment rows — and it is what makes
+//! `AddVar` restriction-compatible: any feasible point of the mutated model
+//! projects onto a feasible point of the original, so every valid inequality
+//! over the original columns stays valid.
+
+use crate::error::{MilpError, Result};
+use crate::expr::LinExpr;
+use crate::model::{ConstraintId, ConstraintSense, Model, RowConstraint, VarId, VarKind};
+
+/// One recorded edit inside a [`ModelDelta`].
+#[derive(Debug, Clone)]
+pub(crate) enum DeltaOp {
+    /// Append a variable (optionally with an objective coefficient).
+    AddVar { name: String, kind: VarKind, lb: f64, ub: f64, obj: f64 },
+    /// Append a constraint row.
+    AddRow { name: String, expr: LinExpr, sense: ConstraintSense, rhs: f64 },
+    /// Tombstone a row: its expression is emptied and its relation becomes
+    /// the trivially true `0 ≤ 0`, so every other row keeps its id.
+    RemoveRow { row: ConstraintId },
+    /// Remove a variable by fixing it to the in-bounds value closest to 0.
+    RemoveVar { var: VarId },
+    /// Overwrite a variable's bounds.
+    SetBounds { var: VarId, lb: f64, ub: f64 },
+    /// Overwrite a row's right-hand side.
+    SetRhs { row: ConstraintId, rhs: f64 },
+}
+
+/// A batch of structural edits recorded against a [`Model`] snapshot.
+///
+/// Created by [`Model::delta`]; applied by [`Model::apply_delta`]. Variable
+/// and constraint ids handed out by the builder methods become valid once
+/// the delta is applied to the model it was created from.
+///
+/// ```
+/// use ndp_milp::{LinExpr, Model, Objective};
+///
+/// let mut m = Model::new("t");
+/// let x = m.binary("x");
+/// m.set_objective(Objective::Maximize, LinExpr::from(x));
+///
+/// let mut d = m.delta();
+/// let y = d.binary("y");
+/// d.add_le("cap", LinExpr::from(x) + y, 1.0);
+/// let out = m.apply_delta(&d)?;
+/// assert_eq!(out.new_vars, vec![y]);
+/// assert!(out.restriction);
+/// # Ok::<(), ndp_milp::MilpError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ModelDelta {
+    base_vars: usize,
+    base_rows: usize,
+    added_vars: usize,
+    added_rows: usize,
+    pub(crate) ops: Vec<DeltaOp>,
+}
+
+/// What applying a [`ModelDelta`] did to the model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaOutcome {
+    /// Ids of the variables the delta appended, in creation order.
+    pub new_vars: Vec<VarId>,
+    /// Ids of the rows the delta appended, in creation order.
+    pub new_rows: Vec<ConstraintId>,
+    /// `true` when every edit shrank (or preserved) the feasible set:
+    /// only added rows, tightened bounds/right-hand sides, fixings and new
+    /// variables. Restrictions keep previously derived cuts and bases
+    /// valid; non-restrictions (removed rows, relaxed bounds or rhs)
+    /// require a cold rebuild of solver state.
+    pub restriction: bool,
+}
+
+impl ModelDelta {
+    pub(crate) fn new(base_vars: usize, base_rows: usize) -> Self {
+        ModelDelta { base_vars, base_rows, added_vars: 0, added_rows: 0, ops: Vec::new() }
+    }
+
+    /// Number of variables the delta appends.
+    pub fn num_new_vars(&self) -> usize {
+        self.added_vars
+    }
+
+    /// Number of rows the delta appends.
+    pub fn num_new_rows(&self) -> usize {
+        self.added_rows
+    }
+
+    /// `true` when the delta records no edits.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Appends a variable with explicit kind, bounds and objective
+    /// coefficient. The returned id becomes valid once the delta is applied.
+    /// Bounds are validated at apply time.
+    pub fn add_var(
+        &mut self,
+        name: impl Into<String>,
+        kind: VarKind,
+        lb: f64,
+        ub: f64,
+        obj: f64,
+    ) -> VarId {
+        self.ops.push(DeltaOp::AddVar { name: name.into(), kind, lb, ub, obj });
+        self.added_vars += 1;
+        VarId(self.base_vars + self.added_vars - 1)
+    }
+
+    /// Appends a binary variable with objective coefficient `obj`.
+    pub fn binary(&mut self, name: impl Into<String>) -> VarId {
+        self.add_var(name, VarKind::Binary, 0.0, 1.0, 0.0)
+    }
+
+    /// Appends a continuous variable in `[lb, ub]`.
+    pub fn continuous(&mut self, name: impl Into<String>, lb: f64, ub: f64) -> VarId {
+        self.add_var(name, VarKind::Continuous, lb, ub, 0.0)
+    }
+
+    /// Appends a constraint row. The expression may reference existing
+    /// variables and variables created earlier on this delta.
+    pub fn add_row(
+        &mut self,
+        name: impl Into<String>,
+        expr: LinExpr,
+        sense: ConstraintSense,
+        rhs: f64,
+    ) -> ConstraintId {
+        self.ops.push(DeltaOp::AddRow { name: name.into(), expr, sense, rhs });
+        self.added_rows += 1;
+        ConstraintId(self.base_rows + self.added_rows - 1)
+    }
+
+    /// Shorthand for `expr ≤ rhs`.
+    pub fn add_le(&mut self, name: impl Into<String>, expr: LinExpr, rhs: f64) -> ConstraintId {
+        self.add_row(name, expr, ConstraintSense::Le, rhs)
+    }
+
+    /// Shorthand for `expr ≥ rhs`.
+    pub fn add_ge(&mut self, name: impl Into<String>, expr: LinExpr, rhs: f64) -> ConstraintId {
+        self.add_row(name, expr, ConstraintSense::Ge, rhs)
+    }
+
+    /// Shorthand for `expr = rhs`.
+    pub fn add_eq(&mut self, name: impl Into<String>, expr: LinExpr, rhs: f64) -> ConstraintId {
+        self.add_row(name, expr, ConstraintSense::Eq, rhs)
+    }
+
+    /// Tombstones row `row`: its relation becomes trivially true while every
+    /// constraint id stays valid. A non-restriction (relaxes the model).
+    pub fn remove_row(&mut self, row: ConstraintId) {
+        self.ops.push(DeltaOp::RemoveRow { row });
+    }
+
+    /// Removes variable `var` by fixing it to the in-bounds value closest
+    /// to 0 (its column stays allocated so variable ids keep their meaning).
+    pub fn remove_var(&mut self, var: VarId) {
+        self.ops.push(DeltaOp::RemoveVar { var });
+    }
+
+    /// Overwrites the bounds of `var` (tighten or relax).
+    pub fn set_bounds(&mut self, var: VarId, lb: f64, ub: f64) {
+        self.ops.push(DeltaOp::SetBounds { var, lb, ub });
+    }
+
+    /// Fixes `var` to `value`.
+    pub fn fix(&mut self, var: VarId, value: f64) {
+        self.set_bounds(var, value, value);
+    }
+
+    /// Overwrites the right-hand side of row `row`.
+    pub fn set_rhs(&mut self, row: ConstraintId, rhs: f64) {
+        self.ops.push(DeltaOp::SetRhs { row, rhs });
+    }
+}
+
+impl Model {
+    /// Starts an edit batch against the model's current shape. Apply it with
+    /// [`Model::apply_delta`].
+    pub fn delta(&self) -> ModelDelta {
+        ModelDelta::new(self.num_vars(), self.num_constraints())
+    }
+
+    /// Applies `delta` to the model, mutating it in place.
+    ///
+    /// Edits are applied in the order they were recorded; the returned
+    /// [`DeltaOutcome`] reports the appended ids and whether the batch as a
+    /// whole is a feasible-set restriction. An existing warm-start vector is
+    /// padded for appended variables (each new entry is the in-bounds value
+    /// closest to 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MilpError::DeltaMismatch`] when the delta was recorded
+    /// against a different model shape, [`MilpError::InvalidBounds`] /
+    /// [`MilpError::NotANumber`] for bad bounds or NaNs, and
+    /// [`MilpError::UnknownVariable`] for out-of-range references. The model
+    /// may be partially mutated when an error is returned mid-batch; callers
+    /// that need atomicity should validate on a clone.
+    pub fn apply_delta(&mut self, delta: &ModelDelta) -> Result<DeltaOutcome> {
+        if delta.base_vars != self.num_vars() || delta.base_rows != self.num_constraints() {
+            return Err(MilpError::DeltaMismatch {
+                base_vars: delta.base_vars,
+                base_rows: delta.base_rows,
+                model_vars: self.num_vars(),
+                model_rows: self.num_constraints(),
+            });
+        }
+        let mut out =
+            DeltaOutcome { new_vars: Vec::new(), new_rows: Vec::new(), restriction: true };
+        for op in &delta.ops {
+            match op {
+                DeltaOp::AddVar { name, kind, lb, ub, obj } => {
+                    if obj.is_nan() {
+                        return Err(MilpError::NotANumber {
+                            context: format!("objective coefficient of delta variable `{name}`"),
+                        });
+                    }
+                    let id = self.add_var(name.clone(), *kind, *lb, *ub)?;
+                    if *obj != 0.0 {
+                        self.objective.add_term(id, *obj);
+                    }
+                    out.new_vars.push(id);
+                }
+                DeltaOp::AddRow { name, expr, sense, rhs } => {
+                    if expr.has_nan() || rhs.is_nan() {
+                        return Err(MilpError::NotANumber {
+                            context: format!("delta row `{name}`"),
+                        });
+                    }
+                    let nvars = self.num_vars();
+                    for (var, _) in expr.iter() {
+                        if var.index() >= nvars {
+                            return Err(MilpError::UnknownVariable {
+                                index: var.index(),
+                                len: nvars,
+                            });
+                        }
+                    }
+                    let id = self.add_constraint(name.clone(), expr.clone(), *sense, *rhs);
+                    out.new_rows.push(id);
+                }
+                DeltaOp::RemoveRow { row } => {
+                    let i = self.checked_row(*row)?;
+                    self.rows[i] = RowConstraint {
+                        name: self.rows[i].name.clone(),
+                        expr: LinExpr::new(),
+                        sense: ConstraintSense::Le,
+                        rhs: 0.0,
+                    };
+                    out.restriction = false;
+                }
+                DeltaOp::RemoveVar { var } => {
+                    let i = self.checked_var(*var)?;
+                    let v = &self.vars[i];
+                    let value = 0f64.clamp(v.lb, v.ub);
+                    self.set_bounds(*var, value, value)?;
+                }
+                DeltaOp::SetBounds { var, lb, ub } => {
+                    let i = self.checked_var(*var)?;
+                    let (old_lb, old_ub) = (self.vars[i].lb, self.vars[i].ub);
+                    self.set_bounds(*var, *lb, *ub)?;
+                    let (new_lb, new_ub) = (self.vars[i].lb, self.vars[i].ub);
+                    if new_lb < old_lb || new_ub > old_ub {
+                        out.restriction = false;
+                    }
+                }
+                DeltaOp::SetRhs { row, rhs } => {
+                    if rhs.is_nan() {
+                        return Err(MilpError::NotANumber {
+                            context: format!("delta rhs of row {}", row.index()),
+                        });
+                    }
+                    let i = self.checked_row(*row)?;
+                    let old = self.rows[i].rhs;
+                    let tightens = match self.rows[i].sense {
+                        ConstraintSense::Le => *rhs <= old,
+                        ConstraintSense::Ge => *rhs >= old,
+                        ConstraintSense::Eq => *rhs == old,
+                    };
+                    if !tightens {
+                        out.restriction = false;
+                    }
+                    self.rows[i].rhs = *rhs;
+                }
+            }
+        }
+        if !out.new_vars.is_empty() {
+            let pads: Vec<f64> = out
+                .new_vars
+                .iter()
+                .map(|&v| 0f64.clamp(self.vars[v.index()].lb, self.vars[v.index()].ub))
+                .collect();
+            if let Some(ws) = self.warm_start_mut() {
+                ws.extend(pads);
+            }
+        }
+        Ok(out)
+    }
+
+    fn checked_var(&self, var: VarId) -> Result<usize> {
+        if var.index() >= self.num_vars() {
+            return Err(MilpError::UnknownVariable { index: var.index(), len: self.num_vars() });
+        }
+        Ok(var.index())
+    }
+
+    fn checked_row(&self, row: ConstraintId) -> Result<usize> {
+        if row.index() >= self.num_constraints() {
+            return Err(MilpError::UnknownVariable {
+                index: row.index(),
+                len: self.num_constraints(),
+            });
+        }
+        Ok(row.index())
+    }
+
+    /// Convenience used by tests and the session layer: true when the
+    /// variable is kept at a single value.
+    pub fn is_fixed(&self, var: VarId) -> bool {
+        let (lb, ub) = self.bounds(var);
+        lb == ub
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Objective, SolveStatus};
+
+    fn knapsack() -> (Model, Vec<VarId>) {
+        // max 4a + 5b + 3c s.t. 3a + 4b + 2c <= 6 => optimum 8 (b, c).
+        let mut m = Model::new("ks");
+        let a = m.binary("a");
+        let b = m.binary("b");
+        let c = m.binary("c");
+        let w = LinExpr::term(a, 3.0) + LinExpr::term(b, 4.0) + LinExpr::term(c, 2.0);
+        let v = LinExpr::term(a, 4.0) + LinExpr::term(b, 5.0) + LinExpr::term(c, 3.0);
+        m.add_le("cap", w, 6.0);
+        m.set_objective(Objective::Maximize, v);
+        (m, vec![a, b, c])
+    }
+
+    #[test]
+    fn tightening_delta_is_a_restriction() {
+        let (mut m, vars) = knapsack();
+        let mut d = m.delta();
+        d.fix(vars[1], 0.0);
+        d.set_rhs(ConstraintId(0), 5.0);
+        let out = m.apply_delta(&d).unwrap();
+        assert!(out.restriction);
+        let s = m.solve().unwrap();
+        assert_eq!(s.status(), SolveStatus::Optimal);
+        // Without b: a + c fits (weight 5) for 7.
+        assert!((s.objective_value() - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relaxing_rhs_or_bounds_is_not_a_restriction() {
+        let (mut m, vars) = knapsack();
+        let mut d = m.delta();
+        d.set_rhs(ConstraintId(0), 9.0);
+        assert!(!m.apply_delta(&d).unwrap().restriction);
+
+        let (mut m, _) = knapsack();
+        let mut d = m.delta();
+        // `set_bounds` does not re-clamp binaries, so widening one past 1
+        // genuinely relaxes the model.
+        d.set_bounds(vars[0], 0.0, 2.0);
+        assert!(!m.apply_delta(&d).unwrap().restriction);
+
+        let (mut m, _) = knapsack();
+        let x = {
+            let mut d = m.delta();
+            let x = d.continuous("x", 0.0, 1.0);
+            m.apply_delta(&d).unwrap();
+            x
+        };
+        let mut d = m.delta();
+        d.set_bounds(x, -1.0, 1.0);
+        assert!(!m.apply_delta(&d).unwrap().restriction);
+    }
+
+    #[test]
+    fn removed_rows_are_tombstoned_in_place() {
+        let (mut m, _) = knapsack();
+        let extra = m.add_le("tight", LinExpr::term(VarId(2), 1.0), 0.0);
+        let before_rows = m.num_constraints();
+        let mut d = m.delta();
+        d.remove_row(extra);
+        let out = m.apply_delta(&d).unwrap();
+        assert!(!out.restriction);
+        assert_eq!(m.num_constraints(), before_rows, "ids stay valid");
+        let s = m.solve().unwrap();
+        assert!((s.objective_value() - 8.0).abs() < 1e-6, "tombstone no longer binds");
+    }
+
+    #[test]
+    fn added_vars_and_rows_solve_correctly() {
+        let (mut m, vars) = knapsack();
+        let mut d = m.delta();
+        let z = d.add_var("z", VarKind::Binary, 0.0, 1.0, 6.0);
+        // New var only in a new row: z weighs 5 against a fresh budget shared
+        // with a.
+        d.add_le("cap2", LinExpr::term(z, 5.0) + LinExpr::term(vars[0], 1.0), 5.0);
+        let out = m.apply_delta(&d).unwrap();
+        assert_eq!(out.new_vars, vec![z]);
+        assert!(out.restriction);
+        let s = m.solve().unwrap();
+        // b + c (8) plus z (6): a must stay out of cap2? a=0 keeps cap2 at 5.
+        assert!((s.objective_value() - 14.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stale_delta_is_rejected() {
+        let (mut m, _) = knapsack();
+        let d = {
+            let mut d = m.delta();
+            d.binary("late");
+            d
+        };
+        m.apply_delta(&d).unwrap();
+        assert!(matches!(m.apply_delta(&d), Err(MilpError::DeltaMismatch { .. })));
+    }
+
+    #[test]
+    fn warm_start_is_padded_for_new_vars() {
+        let (mut m, _) = knapsack();
+        m.set_warm_start(vec![0.0, 1.0, 1.0]).unwrap();
+        let mut d = m.delta();
+        d.continuous("x", 2.0, 5.0);
+        m.apply_delta(&d).unwrap();
+        // Padded entry is clamp(0, [2,5]) = 2, and the model accepts the
+        // vector length.
+        assert!(m.is_feasible(&[0.0, 1.0, 1.0, 2.0], 1e-9));
+        let s = m.solve().unwrap();
+        assert_eq!(s.status(), SolveStatus::Optimal);
+    }
+
+    #[test]
+    fn remove_var_fixes_to_nearest_in_bounds_value() {
+        let mut m = Model::new("rv");
+        let x = m.continuous("x", 2.0, 5.0).unwrap();
+        let mut d = m.delta();
+        d.remove_var(x);
+        let out = m.apply_delta(&d).unwrap();
+        assert!(out.restriction);
+        assert_eq!(m.bounds(x), (2.0, 2.0));
+    }
+}

@@ -39,6 +39,18 @@ pub enum MilpError {
         /// The limit that was hit.
         limit: usize,
     },
+    /// A [`ModelDelta`](crate::ModelDelta) was applied to a model whose
+    /// shape differs from the snapshot the delta was recorded against.
+    DeltaMismatch {
+        /// Variable count the delta was recorded against.
+        base_vars: usize,
+        /// Row count the delta was recorded against.
+        base_rows: usize,
+        /// Variable count of the model it was applied to.
+        model_vars: usize,
+        /// Row count of the model it was applied to.
+        model_rows: usize,
+    },
     /// A warm-start vector had the wrong length.
     WarmStartLength {
         /// Supplied length.
@@ -80,6 +92,13 @@ impl fmt::Display for MilpError {
             MilpError::Unbounded => write!(f, "problem is unbounded"),
             MilpError::IterationLimit { limit } => {
                 write!(f, "simplex iteration limit of {limit} exceeded")
+            }
+            MilpError::DeltaMismatch { base_vars, base_rows, model_vars, model_rows } => {
+                write!(
+                    f,
+                    "delta recorded against {base_vars} vars / {base_rows} rows cannot apply to \
+                     a model with {model_vars} vars / {model_rows} rows"
+                )
             }
             MilpError::WarmStartLength { got, expected } => {
                 write!(f, "warm start has {got} values but the model has {expected} variables")

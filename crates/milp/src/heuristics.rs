@@ -121,6 +121,11 @@ pub(crate) fn run_root(
     start: Instant,
     out: &mut HeuristicOutcome,
 ) -> Option<(Vec<f64>, f64)> {
+    // The form's structural columns must mirror the model's variables —
+    // a model delta that was not propagated into `sf` would make every
+    // dive and neighborhood search index the wrong columns.
+    debug_assert_eq!(sf.n, model.num_vars(), "form out of sync with the model");
+    debug_assert_eq!(root_bounds.len(), model.num_vars());
     let t0 = Instant::now();
     let mut best = warm;
     let int_tol = options.integrality_tol;
@@ -295,6 +300,30 @@ mod tests {
         assert!((internal_objective(&model, &sf, &values) - obj).abs() < 1e-9);
         assert!(out.accepted >= 1);
         assert!(out.seconds >= 0.0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "form out of sync with the model")]
+    fn stale_form_is_caught_in_debug() {
+        let mut model = knapsack();
+        let options = SolverOptions::default().threads(1);
+        // Form built before the model grew a column (an unpropagated delta).
+        let sf = StandardForm::from_model(&model, &options);
+        model.binary("late");
+        let int_cols: Vec<usize> = (0..model.num_vars()).collect();
+        let root_bounds = vec![(0.0, 1.0); model.num_vars()];
+        let mut out = HeuristicOutcome::default();
+        let _ = run_root(
+            &model,
+            &sf,
+            &options,
+            &int_cols,
+            &root_bounds,
+            None,
+            Instant::now(),
+            &mut out,
+        );
     }
 
     #[test]

@@ -47,6 +47,7 @@
 
 mod branch;
 mod cuts;
+mod delta;
 mod error;
 mod events;
 mod expr;
@@ -60,12 +61,14 @@ mod parallel;
 mod pool;
 mod presolve;
 mod propagate;
+mod resolve;
 mod simplex;
 mod solution;
 mod standard;
 #[cfg(test)]
 mod testgen;
 
+pub use delta::{DeltaOutcome, ModelDelta};
 pub use error::{MilpError, Result};
 pub use events::{CancelToken, Observer, ObserverHandle, SolverEvent, TerminationReason};
 pub use expr::LinExpr;
@@ -73,6 +76,7 @@ pub use model::{ConstraintId, ConstraintSense, Model, Objective, VarId, VarKind}
 pub use mps::{parse_mps, write_mps};
 pub use options::{BasisKernel, BranchRule, NodeOrder, Pricing, SolverOptions};
 pub use pool::{worker_pool_busy, worker_pool_size};
+pub use resolve::ResolveSession;
 pub use solution::{Solution, SolveStats, SolveStatus};
 
 #[cfg(test)]

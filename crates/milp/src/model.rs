@@ -309,6 +309,10 @@ impl Model {
         self.warm_start.as_deref()
     }
 
+    pub(crate) fn warm_start_mut(&mut self) -> Option<&mut Vec<f64>> {
+        self.warm_start.as_mut()
+    }
+
     /// Checks whether `values` satisfies all bounds, integrality requirements
     /// and constraints within `tol`.
     pub fn is_feasible(&self, values: &[f64], tol: f64) -> bool {

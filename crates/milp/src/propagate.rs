@@ -171,6 +171,21 @@ mod tests {
         assert_eq!(lb, vec![0.0, 0.0]);
     }
 
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic]
+    fn mismatched_bound_buffers_are_caught_in_debug() {
+        let mut m = Model::new("p");
+        let x = m.integer("x", 0.0, 10.0).unwrap();
+        m.integer("y", 0.0, 10.0).unwrap();
+        m.add_le("cap", LinExpr::term(x, 3.0), 7.0);
+        let (sf, is_int, mut lb, mut ub, slb, sub) = setup(&m);
+        // Buffers sized before the form grew a column (unpropagated delta).
+        lb.pop();
+        ub.pop();
+        let _ = propagate(&sf, &is_int, &mut lb, &mut ub, &slb, &sub, 1e-7, 1e-6);
+    }
+
     #[test]
     fn ge_row_raises_lower_bounds() {
         let mut m = Model::new("p");

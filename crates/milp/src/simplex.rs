@@ -96,6 +96,28 @@ pub(crate) struct BasisSnapshot {
     stat: Vec<Stat>,
 }
 
+impl BasisSnapshot {
+    /// Remaps a snapshot taken over a form with `old_n` structural columns
+    /// onto a form with `new_n ≥ old_n` where the new columns were appended
+    /// at the end of the structural range (shifting every slack index up by
+    /// `new_n − old_n`). New structural columns enter nonbasic at their
+    /// lower bound; [`Simplex::restore_snapshot`] flips them to the dual
+    /// feasible side and pads any rows appended after the snapshot, so the
+    /// remapped snapshot restores onto any monotone extension of the form.
+    pub(crate) fn remap_structural_append(&self, old_n: usize, new_n: usize) -> BasisSnapshot {
+        debug_assert!(new_n >= old_n);
+        debug_assert!(self.stat.len() >= old_n);
+        let k = new_n - old_n;
+        let basis =
+            self.basis.iter().map(|&j| if j >= old_n { j + k } else { j }).collect::<Vec<_>>();
+        let mut stat = Vec::with_capacity(self.stat.len() + k);
+        stat.extend_from_slice(&self.stat[..old_n]);
+        stat.extend(std::iter::repeat_n(Stat::Lower, k));
+        stat.extend_from_slice(&self.stat[old_n..]);
+        BasisSnapshot { basis, stat }
+    }
+}
+
 /// The linear-algebra backend representing `B⁻¹`.
 #[derive(Debug, Clone)]
 enum Kernel {

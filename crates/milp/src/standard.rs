@@ -145,6 +145,123 @@ impl StandardForm {
         self.m += 1;
     }
 
+    /// Overwrites the bounds of structural column `j` in place, re-applying
+    /// the clamping rules of [`StandardForm::from_model`]. Used by the
+    /// incremental re-solve engine to patch a cached form after a
+    /// [`ModelDelta`](crate::ModelDelta) instead of rebuilding it.
+    pub fn set_var_bounds(&mut self, j: usize, lb: f64, ub: f64) {
+        debug_assert!(j < self.n, "only structural bounds can be patched");
+        let mut l = lb;
+        let mut u = ub;
+        let mut cl = false;
+        if l.is_infinite() || l < -self.big {
+            l = -self.big;
+            cl = true;
+        }
+        if u.is_infinite() || u > self.big {
+            u = self.big;
+            cl = true;
+        }
+        self.lb[j] = l;
+        self.ub[j] = u;
+        self.clamped[j] = cl;
+    }
+
+    /// Overwrites the right-hand side of row `r` in place. `rhs` must
+    /// already have the row expression's constant moved across (callers
+    /// patch with `model_rhs - expr.constant()`).
+    pub fn set_rhs(&mut self, r: usize, rhs: f64) {
+        debug_assert!(r < self.m);
+        self.b[r] = rhs;
+    }
+
+    /// Tombstones row `r` in place: all structural coefficients are removed
+    /// (from both the column and row mirrors) and the row becomes the
+    /// trivially true `0 ≤ 0`, mirroring how
+    /// [`Model::apply_delta`](crate::Model::apply_delta) tombstones removed
+    /// rows. Every other row and column index keeps its meaning.
+    ///
+    /// Not yet reached from the session layer (a row removal relaxes the
+    /// model, so `ResolveSession` drops its carry instead of patching), but
+    /// kept alongside the other patch methods for a future carry that
+    /// survives removals with cuts re-checked.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn tombstone_row(&mut self, r: usize) {
+        debug_assert!(r < self.m);
+        for &(j, _) in &self.rows_nz[r] {
+            self.cols[j].retain(|&(row, _)| row != r);
+        }
+        self.rows_nz[r].clear();
+        self.b[r] = 0.0;
+        // ≤-sense slack bounds: s ∈ [0, big], satisfied by s = 0.
+        self.lb[self.n + r] = 0.0;
+        self.ub[self.n + r] = self.big;
+        self.clamped[self.n + r] = true;
+    }
+
+    /// Appends a model constraint row `Σ coeffs·x (sense) rhs` at the end of
+    /// the row space, deriving the slack bounds and clamp flag from `sense`
+    /// exactly like [`StandardForm::from_model`]. Returns the new row index.
+    pub fn append_model_row(
+        &mut self,
+        coeffs: &[(usize, f64)],
+        rhs: f64,
+        sense: ConstraintSense,
+    ) -> usize {
+        let r = self.m;
+        let (sl, su) = match sense {
+            ConstraintSense::Le => (0.0, self.big),
+            ConstraintSense::Ge => (-self.big, 0.0),
+            ConstraintSense::Eq => (0.0, 0.0),
+        };
+        for &(j, v) in coeffs {
+            debug_assert!(j < self.n, "row coefficients must be structural");
+            if v != 0.0 {
+                self.cols[j].push((r, v));
+            }
+        }
+        self.rows_nz.push(coeffs.iter().copied().filter(|&(_, v)| v != 0.0).collect());
+        self.b.push(rhs);
+        self.lb.push(sl);
+        self.ub.push(su);
+        self.clamped.push(sense != ConstraintSense::Eq);
+        self.m += 1;
+        r
+    }
+
+    /// Appends a structural column with bounds `[lb, ub]` and model-space
+    /// objective coefficient `obj` (sign-adjusted internally for
+    /// maximization). The column starts empty; nonzeros arrive through
+    /// subsequently appended rows. Returns the new column index.
+    ///
+    /// Appending a structural column implicitly shifts every slack index up
+    /// by one (slack `r` lives at `n + r`); callers holding a
+    /// [`BasisSnapshot`](crate::simplex::BasisSnapshot) must remap it.
+    pub fn append_var(&mut self, lb: f64, ub: f64, obj: f64) -> usize {
+        let j = self.n;
+        let mut l = lb;
+        let mut u = ub;
+        let mut cl = false;
+        if l.is_infinite() || l < -self.big {
+            l = -self.big;
+            cl = true;
+        }
+        if u.is_infinite() || u > self.big {
+            u = self.big;
+            cl = true;
+        }
+        self.cols.push(Vec::new());
+        let sign = if self.maximize { -1.0 } else { 1.0 };
+        self.c.push(sign * obj);
+        // Bounds are laid out structural-then-slack: the new structural slot
+        // is position `n`, in front of every slack.
+        self.lb.insert(j, l);
+        self.ub.insert(j, u);
+        self.clamped.insert(j, cl);
+        self.n += 1;
+        j
+    }
+
     /// The structural nonzeros of row `r` as `(column, coefficient)` pairs
     /// (the slack of row `r` is implicit: column `n + r`, coefficient 1).
     #[inline]
@@ -281,6 +398,64 @@ mod tests {
         for col in &sf.cols {
             assert!(col.windows(2).all(|w| w[0].0 < w[1].0));
         }
+    }
+
+    #[test]
+    fn patch_methods_match_a_rebuild() {
+        // Mutating the form in place must agree with from_model on the
+        // equivalently mutated model.
+        let build = |extra: bool| {
+            let mut m = Model::new("t");
+            let x = m.continuous("x", 0.0, 10.0).unwrap();
+            let y = m.continuous("y", 0.0, 10.0).unwrap();
+            m.add_le("r0", LinExpr::term(x, 2.0) + LinExpr::from(y), if extra { 4.0 } else { 5.0 });
+            m.add_ge("r1", LinExpr::from(y), 1.0);
+            if extra {
+                let z = m.continuous("z", 0.0, f64::INFINITY).unwrap();
+                m.objective.add_term(z, 2.5);
+                m.add_eq("r2", LinExpr::from(z) + LinExpr::from(x), 3.0);
+                m.set_bounds(x, 1.0, 10.0).unwrap();
+            }
+            m
+        };
+        let opts = SolverOptions::default();
+        let mut patched = StandardForm::from_model(&build(false), &opts);
+        patched.set_rhs(0, 4.0);
+        let z = patched.append_var(0.0, f64::INFINITY, 2.5);
+        patched.append_model_row(&[(z, 1.0), (0, 1.0)], 3.0, ConstraintSense::Eq);
+        patched.set_var_bounds(0, 1.0, 10.0);
+        let rebuilt = StandardForm::from_model(&build(true), &opts);
+        assert_eq!(patched.n, rebuilt.n);
+        assert_eq!(patched.m, rebuilt.m);
+        assert_eq!(patched.b, rebuilt.b);
+        assert_eq!(patched.c, rebuilt.c);
+        assert_eq!(patched.lb, rebuilt.lb);
+        assert_eq!(patched.ub, rebuilt.ub);
+        assert_eq!(patched.clamped, rebuilt.clamped);
+        for r in 0..patched.m {
+            let mut a = patched.row(r).to_vec();
+            let mut b = rebuilt.row(r).to_vec();
+            a.sort_by_key(|&(j, _)| j);
+            b.sort_by_key(|&(j, _)| j);
+            assert_eq!(a, b, "row {r}");
+        }
+    }
+
+    #[test]
+    fn tombstoned_row_clears_both_mirrors() {
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 0.0, 1.0).unwrap();
+        let y = m.continuous("y", 0.0, 1.0).unwrap();
+        m.add_le("r0", LinExpr::term(x, 2.0) + LinExpr::from(y), 1.0);
+        m.add_ge("r1", LinExpr::from(y), 0.5);
+        let mut sf = StandardForm::from_model(&m, &SolverOptions::default());
+        sf.tombstone_row(0);
+        assert!(sf.row(0).is_empty());
+        assert!(sf.cols[0].is_empty());
+        assert_eq!(sf.cols[1], vec![(1, 1.0)]);
+        assert_eq!(sf.b[0], 0.0);
+        assert_eq!(sf.lb[sf.n], 0.0);
+        assert_eq!(sf.m, 2, "row indices stay valid");
     }
 
     #[test]

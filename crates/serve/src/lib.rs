@@ -20,24 +20,34 @@
 //!   `catch_unwind`, and the solver itself contains worker panics to the
 //!   owning job ([`ndp_milp::MilpError::WorkerPanicked`]); one tenant's
 //!   crash becomes that job's structured failure, never the server's.
-//! * **Solution cache** — requests are keyed by
-//!   [`ndp_core::instance_fingerprint`] (canonical hash of the built MILP
-//!   plus answer-relevant tolerances). Proven outcomes (optimal or
-//!   infeasible) are cached; an identical later request is answered with
-//!   zero solver nodes. Hit/miss counters surface in [`ServerStats`].
+//! * **Solution cache** — requests are keyed by the canonical model
+//!   fingerprint ([`ndp_core::DeploymentSession::fingerprint`], the hash
+//!   of the built MILP plus answer-relevant tolerances; identical to
+//!   [`ndp_core::instance_fingerprint`] for a fresh request). Proven
+//!   outcomes (optimal or infeasible) are cached; an identical later
+//!   request is answered with zero solver nodes. Hit/miss counters surface
+//!   in [`ServerStats`].
+//! * **Online re-deployment** — a solve submitted with `session=on`
+//!   retains its [`DeploymentSession`] (keyed by the job id) after the
+//!   answer is delivered. A later `delta` request names that session plus
+//!   a scenario event (core fault, deadline change, aperiodic arrival) and
+//!   re-solves *incrementally* on the session's carried solver state
+//!   instead of building a fresh model. The cache key is recomputed from
+//!   the **mutated** model, so a delta can never be answered from the
+//!   stale pre-delta cache entry.
 //! * **Line protocol** — an offline-friendly, transport-agnostic text
-//!   protocol (stdin/stdout in the shipped binary): `solve`/`cancel`/
-//!   `stats`/`shutdown` in, `ack`/`event`/`done`/`stats`/`bye` out, one
-//!   `key=value` record per line. See [`handle_line`].
+//!   protocol (stdin/stdout in the shipped binary): `solve`/`delta`/
+//!   `cancel`/`stats`/`shutdown` in, `ack`/`event`/`done`/`stats`/`bye`
+//!   out, one `key=value` record per line. See [`handle_line`].
 
 use ndp_core::{
-    instance_fingerprint, solve_optimal, CommTimeModel, DeployObjective, OptimalConfig,
-    ProblemInstance,
+    CommTimeModel, DeployObjective, DeploymentSession, OptimalConfig, ProblemInstance,
+    ScenarioEvent,
 };
 use ndp_milp::{CancelToken, Observer, SolveStatus, SolverEvent};
 use ndp_noc::{Mesh2D, NocParams, WeightedNoc};
-use ndp_platform::{Platform, PowerModel, PowerParams, ReliabilityParams, VfTable};
-use ndp_taskset::{generate, GeneratorConfig};
+use ndp_platform::{Platform, PowerModel, PowerParams, ProcessorId, ReliabilityParams, VfTable};
+use ndp_taskset::{generate, GeneratorConfig, Task, TaskId};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -69,6 +79,10 @@ pub struct RequestSpec {
     pub deadline_ms: Option<u64>,
     /// Stream solver events for this job.
     pub events: bool,
+    /// Retain the deployment session after the solve so later `delta`
+    /// requests can re-solve incrementally against it (keyed by this
+    /// job's id).
+    pub session: bool,
 }
 
 impl Default for RequestSpec {
@@ -84,6 +98,7 @@ impl Default for RequestSpec {
             gap: None,
             deadline_ms: None,
             events: false,
+            session: false,
         }
     }
 }
@@ -216,6 +231,8 @@ pub struct ServerStats {
     pub queue_depth: usize,
     /// Threads in the process-global solver worker pool.
     pub pool_workers: usize,
+    /// Deployment sessions currently retained for `delta` requests.
+    pub sessions: usize,
 }
 
 /// Where protocol output lines go (stdout in the binary, a collector in
@@ -243,8 +260,18 @@ enum JobState {
     Done(JobOutcome),
 }
 
+/// What a queued job does when a runner picks it up.
+#[derive(Debug, Clone)]
+enum JobKind {
+    /// Build and solve a fresh instance (optionally retaining a session).
+    Solve(RequestSpec),
+    /// Apply a scenario event to a retained session and re-solve
+    /// incrementally under an optional wall-clock budget.
+    Delta { session: u64, event: ScenarioEvent, budget_ms: Option<u64> },
+}
+
 struct Job {
-    spec: RequestSpec,
+    kind: JobKind,
     token: CancelToken,
     /// Set on an explicit client cancel (distinguishes `Cancelled` from
     /// `Deadline` when the token fires).
@@ -262,6 +289,10 @@ struct Inner {
     jobs: Mutex<HashMap<u64, Job>>,
     done_cv: Condvar,
     cache: Mutex<HashMap<u64, CacheEntry>>,
+    /// Retained deployment sessions keyed by the solve job's id. A `delta`
+    /// job takes its session out while re-solving (one delta in flight per
+    /// session) and puts the mutated session back when done.
+    sessions: Mutex<HashMap<u64, DeploymentSession>>,
     next_id: AtomicU64,
     shutdown: AtomicBool,
     submitted: AtomicU64,
@@ -300,6 +331,7 @@ impl SolveServer {
             jobs: Mutex::new(HashMap::new()),
             done_cv: Condvar::new(),
             cache: Mutex::new(HashMap::new()),
+            sessions: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
             submitted: AtomicU64::new(0),
@@ -349,16 +381,57 @@ impl SolveServer {
     ///
     /// As [`SolveServer::submit`], plus duplicate-id rejection.
     pub fn submit_with_id(&self, id: u64, spec: RequestSpec) -> Result<(), String> {
-        if self.inner.shutdown.load(Ordering::Acquire) {
-            self.inner.rejected.fetch_add(1, Ordering::Relaxed);
-            return Err("server is shutting down".into());
-        }
         if let Err(e) = spec.validate() {
             self.inner.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(e);
         }
+        let deadline_ms = spec.deadline_ms;
+        self.enqueue(id, JobKind::Solve(spec), deadline_ms)
+    }
+
+    /// Submits an incremental re-solve: apply `event` to the retained
+    /// session of solve job `session` and re-solve on its carried solver
+    /// state, under an optional `budget_ms` wall-clock budget. The mutated
+    /// session stays retained for further deltas.
+    ///
+    /// # Errors
+    ///
+    /// Admission failures as [`SolveServer::submit`]; an unknown session
+    /// id is reported on the job outcome, not here (the session may be in
+    /// use by an in-flight delta at submission time).
+    pub fn submit_delta(
+        &self,
+        session: u64,
+        event: ScenarioEvent,
+        budget_ms: Option<u64>,
+    ) -> Result<u64, String> {
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        self.submit_delta_with_id(id, session, event, budget_ms).map(|()| id)
+    }
+
+    /// [`submit_delta`](SolveServer::submit_delta) under a client-chosen
+    /// id (the line protocol path).
+    ///
+    /// # Errors
+    ///
+    /// As [`SolveServer::submit_delta`], plus duplicate-id rejection.
+    pub fn submit_delta_with_id(
+        &self,
+        id: u64,
+        session: u64,
+        event: ScenarioEvent,
+        budget_ms: Option<u64>,
+    ) -> Result<(), String> {
+        self.enqueue(id, JobKind::Delta { session, event, budget_ms }, None)
+    }
+
+    fn enqueue(&self, id: u64, kind: JobKind, deadline_ms: Option<u64>) -> Result<(), String> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err("server is shutting down".into());
+        }
         let submitted = Instant::now();
-        let deadline = spec.deadline_ms.map(|ms| submitted + Duration::from_millis(ms));
+        let deadline = deadline_ms.map(|ms| submitted + Duration::from_millis(ms));
         {
             let mut jobs = self.inner.jobs.lock();
             if jobs.contains_key(&id) {
@@ -373,7 +446,7 @@ impl SolveServer {
             jobs.insert(
                 id,
                 Job {
-                    spec,
+                    kind,
                     token: CancelToken::new(),
                     cancel_requested: Arc::new(AtomicBool::new(false)),
                     submitted,
@@ -426,6 +499,7 @@ impl SolveServer {
             cache_misses: self.inner.cache_misses.load(Ordering::Relaxed),
             queue_depth: self.inner.queue.lock().len(),
             pool_workers: ndp_milp::worker_pool_size(),
+            sessions: self.inner.sessions.lock().len(),
         }
     }
 
@@ -453,6 +527,7 @@ impl SolveServer {
         for t in threads {
             let _ = t.join();
         }
+        self.inner.sessions.lock().clear();
     }
 }
 
@@ -564,15 +639,41 @@ fn finish_job(
     emit(inner, &line);
 }
 
+/// Maps a solver termination status onto the job status, using the
+/// control-plane flags to tell a client cancel from a deadline expiry.
+fn interrupted_status(cancel_requested: &AtomicBool, deadline: Option<Instant>) -> JobStatus {
+    if cancel_requested.load(Ordering::Acquire) {
+        JobStatus::Cancelled
+    } else if deadline.is_some() {
+        JobStatus::Deadline
+    } else {
+        JobStatus::Cancelled
+    }
+}
+
+fn solve_status_to_job(
+    status: SolveStatus,
+    cancel_requested: &AtomicBool,
+    deadline: Option<Instant>,
+) -> JobStatus {
+    match status {
+        SolveStatus::Optimal => JobStatus::Optimal,
+        SolveStatus::Feasible => JobStatus::Feasible,
+        SolveStatus::Infeasible => JobStatus::Infeasible,
+        SolveStatus::Interrupted => interrupted_status(cancel_requested, deadline),
+        SolveStatus::Unbounded | SolveStatus::Unknown => JobStatus::Failed,
+    }
+}
+
 fn run_job(inner: &Arc<Inner>, id: u64) {
-    let (spec, token, cancel_requested, deadline) = {
+    let (kind, token, cancel_requested, deadline) = {
         let mut jobs = inner.jobs.lock();
         let Some(job) = jobs.get_mut(&id) else { return };
         if matches!(job.state, JobState::Done(_)) {
             return;
         }
         job.state = JobState::Running;
-        (job.spec.clone(), job.token.clone(), Arc::clone(&job.cancel_requested), job.deadline)
+        (job.kind.clone(), job.token.clone(), Arc::clone(&job.cancel_requested), job.deadline)
     };
 
     // Admission covers queue wait: a job whose deadline or cancel fired
@@ -590,6 +691,24 @@ fn run_job(inner: &Arc<Inner>, id: u64) {
         return;
     }
 
+    match kind {
+        JobKind::Solve(spec) => {
+            run_solve_job(inner, id, &spec, &token, &cancel_requested, deadline)
+        }
+        JobKind::Delta { session, event, budget_ms } => {
+            run_delta_job(inner, id, session, &event, budget_ms, &token, &cancel_requested);
+        }
+    }
+}
+
+fn run_solve_job(
+    inner: &Arc<Inner>,
+    id: u64,
+    spec: &RequestSpec,
+    token: &CancelToken,
+    cancel_requested: &AtomicBool,
+    deadline: Option<Instant>,
+) {
     let problem = match spec.build_problem() {
         Ok(p) => p,
         Err(e) => {
@@ -597,11 +716,19 @@ fn run_job(inner: &Arc<Inner>, id: u64) {
             return;
         }
     };
-    let mut config = spec.config();
+    let config = spec.config();
+    let mut session = DeploymentSession::builder(problem)
+        .path_mode(config.path_mode)
+        .objective(config.objective)
+        .warm_start_with_heuristic(config.warm_start_with_heuristic)
+        .solver(config.solver)
+        .build();
 
     // Cache lookup under the canonical fingerprint of (program, answer
-    // tolerances) — before the per-job control plane is attached.
-    let fingerprint = match instance_fingerprint(&problem, &config) {
+    // tolerances) — before the per-job control plane is attached. For an
+    // untouched session this equals `ndp_core::instance_fingerprint`, so
+    // one-shot and session-retaining requests share cache entries.
+    let fingerprint = match session.fingerprint() {
         Ok(fp) => fp,
         Err(e) => {
             finish_job(inner, id, JobStatus::Failed, None, 0, false, Some(e.to_string()));
@@ -610,6 +737,11 @@ fn run_job(inner: &Arc<Inner>, id: u64) {
     };
     if let Some(entry) = inner.cache.lock().get(&fingerprint).cloned() {
         inner.cache_hits.fetch_add(1, Ordering::Relaxed);
+        // The session is still retained on a cache hit: later deltas need
+        // live solver state, which the cache entry does not carry.
+        if spec.session {
+            inner.sessions.lock().insert(id, session);
+        }
         finish_job(inner, id, entry.status, entry.objective_mj, 0, true, None);
         return;
     }
@@ -617,11 +749,12 @@ fn run_job(inner: &Arc<Inner>, id: u64) {
 
     // Attach the control plane: cancel token, remaining deadline budget,
     // and (when requested) the event stream.
-    config.solver.cancel = Some(token.clone());
+    session.solver_mut().cancel = Some(token.clone());
     if let Some(d) = deadline {
         let remaining = d.saturating_duration_since(Instant::now()).as_secs_f64();
-        if config.solver.time_limit.is_infinite() || remaining < config.solver.time_limit {
-            config.solver.time_limit = remaining;
+        let solver = session.solver_mut();
+        if solver.time_limit.is_infinite() || remaining < solver.time_limit {
+            solver.time_limit = remaining;
         }
     }
     if spec.events {
@@ -635,27 +768,13 @@ fn run_job(inner: &Arc<Inner>, id: u64) {
                 | SolverEvent::Terminated { .. } => stream(&format!("event id={id} {e}")),
                 _ => {}
             });
-            config.solver = config.solver.observer(observer);
+            session.solver_mut().observer = ndp_milp::ObserverHandle::new(observer);
         }
     }
 
-    match solve_optimal(&problem, &config) {
+    match session.solve() {
         Ok(outcome) => {
-            let status = match outcome.status {
-                SolveStatus::Optimal => JobStatus::Optimal,
-                SolveStatus::Feasible => JobStatus::Feasible,
-                SolveStatus::Infeasible => JobStatus::Infeasible,
-                SolveStatus::Interrupted => {
-                    if cancel_requested.load(Ordering::Acquire) {
-                        JobStatus::Cancelled
-                    } else if deadline.is_some() {
-                        JobStatus::Deadline
-                    } else {
-                        JobStatus::Cancelled
-                    }
-                }
-                SolveStatus::Unbounded | SolveStatus::Unknown => JobStatus::Failed,
-            };
+            let status = solve_status_to_job(outcome.status, cancel_requested, deadline);
             // Only proven answers are sound for every later requester.
             if matches!(status, JobStatus::Optimal | JobStatus::Infeasible) {
                 inner
@@ -663,11 +782,93 @@ fn run_job(inner: &Arc<Inner>, id: u64) {
                     .lock()
                     .insert(fingerprint, CacheEntry { status, objective_mj: outcome.objective_mj });
             }
+            if spec.session {
+                inner.sessions.lock().insert(id, session);
+            }
             let error = (status == JobStatus::Failed)
                 .then(|| format!("solver status {:?}", outcome.status));
             finish_job(inner, id, status, outcome.objective_mj, outcome.nodes, false, error);
         }
         Err(e) => {
+            finish_job(inner, id, JobStatus::Failed, None, 0, false, Some(e.to_string()));
+        }
+    }
+}
+
+fn run_delta_job(
+    inner: &Arc<Inner>,
+    id: u64,
+    session_id: u64,
+    event: &ScenarioEvent,
+    budget_ms: Option<u64>,
+    token: &CancelToken,
+    cancel_requested: &AtomicBool,
+) {
+    // Take the session out of the map while re-solving: ownership transfer
+    // keeps one delta in flight per session without holding the map lock
+    // across a solve. A second delta racing on the same session sees it
+    // missing and fails cleanly.
+    let Some(mut session) = inner.sessions.lock().remove(&session_id) else {
+        finish_job(
+            inner,
+            id,
+            JobStatus::Failed,
+            None,
+            0,
+            false,
+            Some(format!("unknown session {session_id}")),
+        );
+        return;
+    };
+
+    if let Err(e) = session.apply(event) {
+        // A rejected event (e.g. faulting the last working core) leaves the
+        // session untouched and retained.
+        inner.sessions.lock().insert(session_id, session);
+        finish_job(inner, id, JobStatus::Failed, None, 0, false, Some(e.to_string()));
+        return;
+    }
+
+    // Re-fingerprint the *mutated* model: the event changed bounds, rhs or
+    // the row set, so the key must move off the pre-delta entry — serving
+    // the cached pre-delta outcome here would be a stale hit.
+    let fingerprint = match session.fingerprint() {
+        Ok(fp) => fp,
+        Err(e) => {
+            inner.sessions.lock().insert(session_id, session);
+            finish_job(inner, id, JobStatus::Failed, None, 0, false, Some(e.to_string()));
+            return;
+        }
+    };
+    if let Some(entry) = inner.cache.lock().get(&fingerprint).cloned() {
+        inner.cache_hits.fetch_add(1, Ordering::Relaxed);
+        inner.sessions.lock().insert(session_id, session);
+        finish_job(inner, id, entry.status, entry.objective_mj, 0, true, None);
+        return;
+    }
+    inner.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+    session.solver_mut().cancel = Some(token.clone());
+    let result = match budget_ms {
+        Some(ms) => session.resolve(ms as f64 / 1e3),
+        None => session.solve(),
+    };
+    match result {
+        Ok(outcome) => {
+            let status = solve_status_to_job(outcome.status, cancel_requested, None);
+            if matches!(status, JobStatus::Optimal | JobStatus::Infeasible) {
+                inner
+                    .cache
+                    .lock()
+                    .insert(fingerprint, CacheEntry { status, objective_mj: outcome.objective_mj });
+            }
+            inner.sessions.lock().insert(session_id, session);
+            let error = (status == JobStatus::Failed)
+                .then(|| format!("solver status {:?}", outcome.status));
+            finish_job(inner, id, status, outcome.objective_mj, outcome.nodes, false, error);
+        }
+        Err(e) => {
+            inner.sessions.lock().insert(session_id, session);
             finish_job(inner, id, JobStatus::Failed, None, 0, false, Some(e.to_string()));
         }
     }
@@ -717,6 +918,9 @@ fn parse_spec(kv: &HashMap<String, String>) -> Result<RequestSpec, String> {
     if let Some(v) = get("events") {
         spec.events = matches!(v, "on" | "true" | "1");
     }
+    if let Some(v) = get("session") {
+        spec.session = matches!(v, "on" | "true" | "1");
+    }
     if let Some(v) = get("objective") {
         spec.objective = match v {
             "be" => DeployObjective::BalanceEnergy,
@@ -727,14 +931,69 @@ fn parse_spec(kv: &HashMap<String, String>) -> Result<RequestSpec, String> {
     Ok(spec)
 }
 
+/// Parses the `delta` command's event grammar:
+///
+/// * `fault:<proc>` — processor `<proc>` failed;
+/// * `deadline:<task>:<ms>` — original task `<task>` now has relative
+///   deadline `<ms>` milliseconds;
+/// * `arrival:<wcec>:<deadline_ms>[:<pred>x<data>]*` — an aperiodic task
+///   with the given WCEC (megacycles) and deadline arrives, reading
+///   `<data>` units from each existing original task `<pred>`.
+fn parse_event(s: &str) -> Result<ScenarioEvent, String> {
+    let mut parts = s.split(':');
+    let kind = parts.next().unwrap_or_default();
+    let mut next = |what: &str| {
+        parts.next().filter(|p| !p.is_empty()).ok_or_else(|| format!("event missing {what}"))
+    };
+    match kind {
+        "fault" => {
+            let proc: usize =
+                next("processor")?.parse().map_err(|_| "bad fault processor".to_string())?;
+            Ok(ScenarioEvent::CoreFault { processor: ProcessorId(proc) })
+        }
+        "deadline" => {
+            let task: usize = next("task")?.parse().map_err(|_| "bad deadline task".to_string())?;
+            let ms: f64 = next("ms")?.parse().map_err(|_| "bad deadline ms".to_string())?;
+            if !ms.is_finite() || ms <= 0.0 {
+                return Err(format!("deadline ms={ms} must be finite and positive"));
+            }
+            Ok(ScenarioEvent::DeadlineChange { task: TaskId(task), deadline_ms: ms })
+        }
+        "arrival" => {
+            let wcec: f64 = next("wcec")?.parse().map_err(|_| "bad arrival wcec".to_string())?;
+            let ms: f64 =
+                next("deadline_ms")?.parse().map_err(|_| "bad arrival deadline".to_string())?;
+            if !wcec.is_finite() || wcec <= 0.0 || !ms.is_finite() || ms <= 0.0 {
+                return Err("arrival wcec and deadline must be finite and positive".into());
+            }
+            let mut predecessors = Vec::new();
+            for edge in parts {
+                let (pred, data) =
+                    edge.split_once('x').ok_or_else(|| format!("bad arrival edge {edge}"))?;
+                let pred: usize =
+                    pred.parse().map_err(|_| format!("bad arrival predecessor {pred}"))?;
+                let data: f64 =
+                    data.parse().map_err(|_| format!("bad arrival data size {data}"))?;
+                if !data.is_finite() || data < 0.0 {
+                    return Err(format!("arrival data size {data} must be non-negative"));
+                }
+                predecessors.push((TaskId(pred), data));
+            }
+            Ok(ScenarioEvent::TaskArrival { task: Task::new("arrival", wcec, ms), predecessors })
+        }
+        other => Err(format!("unknown event kind {other} (want fault|deadline|arrival)")),
+    }
+}
+
 /// Handles one protocol input line, emitting response lines through the
 /// server's sink. Returns `false` once the client asked for `shutdown`
 /// (the server is already stopped at that point).
 ///
 /// Commands: `solve id=<n> [tasks= mesh= levels= alpha= seed= threads=
-/// gap= deadline_ms= events= objective=]`, `cancel id=<n>`, `stats`,
-/// `shutdown`. Unknown commands get an `err` line; blank lines and `#`
-/// comments are ignored.
+/// gap= deadline_ms= events= session= objective=]`, `delta id=<n>
+/// session=<solve-id> event=<evt> [budget_ms=<ms>]` (see [`parse_event`]
+/// for the event grammar), `cancel id=<n>`, `stats`, `shutdown`. Unknown
+/// commands get an `err` line; blank lines and `#` comments are ignored.
 pub fn handle_line(server: &SolveServer, line: &str) -> bool {
     let line = line.trim();
     if line.is_empty() || line.starts_with('#') {
@@ -759,6 +1018,53 @@ pub fn handle_line(server: &SolveServer, line: &str) -> bool {
                 ),
             }
         }
+        "delta" => {
+            let id = match kv.get("id").map(|v| v.parse::<u64>()) {
+                Some(Ok(id)) => id,
+                _ => {
+                    emit(&server.inner, "err reason=missing-or-bad-id");
+                    return true;
+                }
+            };
+            let session = match kv.get("session").map(|v| v.parse::<u64>()) {
+                Some(Ok(s)) => s,
+                _ => {
+                    emit(&server.inner, &format!("err id={id} reason=missing-or-bad-session"));
+                    return true;
+                }
+            };
+            let budget_ms = match kv.get("budget_ms").map(|v| v.parse::<u64>()) {
+                None => None,
+                Some(Ok(ms)) => Some(ms),
+                Some(Err(_)) => {
+                    emit(&server.inner, &format!("err id={id} reason=bad-budget_ms"));
+                    return true;
+                }
+            };
+            let event = match kv.get("event").map(String::as_str).ok_or("missing event") {
+                Ok(e) => match parse_event(e) {
+                    Ok(event) => event,
+                    Err(reason) => {
+                        emit(
+                            &server.inner,
+                            &format!("err id={id} reason={}", reason.replace([' ', '\n'], "_")),
+                        );
+                        return true;
+                    }
+                },
+                Err(reason) => {
+                    emit(&server.inner, &format!("err id={id} reason={reason}"));
+                    return true;
+                }
+            };
+            match server.submit_delta_with_id(id, session, event, budget_ms) {
+                Ok(()) => emit(&server.inner, &format!("ack id={id}")),
+                Err(e) => emit(
+                    &server.inner,
+                    &format!("err id={id} reason={}", e.replace([' ', '\n'], "_")),
+                ),
+            }
+        }
         "cancel" => {
             let id = match kv.get("id").map(|v| v.parse::<u64>()) {
                 Some(Ok(id)) => id,
@@ -776,7 +1082,7 @@ pub fn handle_line(server: &SolveServer, line: &str) -> bool {
                 &server.inner,
                 &format!(
                     "stats submitted={} completed={} cancelled={} rejected={} cache_hits={} \
-                     cache_misses={} queue={} pool_workers={}",
+                     cache_misses={} queue={} pool_workers={} sessions={}",
                     s.submitted,
                     s.completed,
                     s.cancelled,
@@ -784,7 +1090,8 @@ pub fn handle_line(server: &SolveServer, line: &str) -> bool {
                     s.cache_hits,
                     s.cache_misses,
                     s.queue_depth,
-                    s.pool_workers
+                    s.pool_workers,
+                    s.sessions
                 ),
             );
         }
@@ -871,6 +1178,90 @@ mod tests {
         assert!(server.submit(bad).is_err());
         assert_eq!(server.stats().rejected, 1);
         server.shutdown();
+    }
+
+    #[test]
+    fn a_delta_never_replays_the_stale_pre_delta_cache_entry() {
+        let server = SolveServer::start(ServerConfig { runners: 1, queue_capacity: 8 }, None);
+        let base = RequestSpec { session: true, ..small_spec(3) };
+        let solve_id = server.submit(base.clone()).unwrap();
+        let before = server.wait(solve_id).expect("base outcome");
+        assert_eq!(before.status, JobStatus::Optimal);
+        assert!(!before.cache_hit);
+        assert_eq!(server.stats().sessions, 1, "session=on must retain the session");
+
+        // Fault a core: the feasible set shrinks, so the cached pre-delta
+        // optimum is stale for the mutated model and must NOT be replayed.
+        let delta_id = server
+            .submit_delta(solve_id, ScenarioEvent::CoreFault { processor: ProcessorId(0) }, None)
+            .unwrap();
+        let after = server.wait(delta_id).expect("delta outcome");
+        assert!(
+            !after.cache_hit,
+            "mutated model must re-fingerprint off the pre-delta cache entry"
+        );
+        assert!(
+            matches!(after.status, JobStatus::Optimal | JobStatus::Infeasible),
+            "delta re-solve must reach a proven answer, got {:?}",
+            after.status
+        );
+        if let (Some(b), Some(a)) = (before.objective_mj, after.objective_mj) {
+            assert!(a >= b - 1e-6, "restricting the model cannot improve the optimum");
+        }
+        // The session survives the delta and stays addressable; the
+        // *unmutated* base request still answers from its own cache entry.
+        assert_eq!(server.stats().sessions, 1);
+        let replay = server.submit(RequestSpec { session: false, ..base }).unwrap();
+        let replay = server.wait(replay).expect("replay outcome");
+        assert!(replay.cache_hit, "the untouched base instance must still cache-hit");
+        assert_eq!(replay.objective_mj, before.objective_mj);
+
+        // Unknown session ids fail the job, not the server.
+        let bogus = server
+            .submit_delta(9999, ScenarioEvent::CoreFault { processor: ProcessorId(1) }, None)
+            .unwrap();
+        let bogus = server.wait(bogus).expect("bogus outcome");
+        assert_eq!(bogus.status, JobStatus::Failed);
+        assert!(bogus.error.as_deref().unwrap_or_default().contains("unknown session"));
+        server.shutdown();
+        assert_eq!(server.stats().sessions, 0, "shutdown drops retained sessions");
+    }
+
+    #[test]
+    fn the_delta_line_protocol_round_trips() {
+        let (lines, sink) = collector();
+        let server = SolveServer::start(ServerConfig { runners: 1, queue_capacity: 8 }, Some(sink));
+        assert!(handle_line(
+            &server,
+            "solve id=1 tasks=3 mesh=2 levels=2 session=on deadline_ms=60000"
+        ));
+        let _ = server.wait(1);
+        assert!(handle_line(&server, "delta id=2 session=1 event=deadline:0:900 budget_ms=60000"));
+        let _ = server.wait(2);
+        assert!(handle_line(&server, "delta id=3 session=1 event=arrival:1.5:800:0x2"));
+        let _ = server.wait(3);
+        assert!(handle_line(&server, "delta id=4 session=1 event=bogus:0"));
+        assert!(handle_line(&server, "stats"));
+        assert!(!handle_line(&server, "shutdown"));
+        let lines = lines.lock();
+        for id in [1, 2, 3] {
+            assert!(
+                lines.iter().any(|l| l == &format!("ack id={id}")),
+                "missing ack {id}: {lines:?}"
+            );
+            assert!(
+                lines.iter().any(|l| l.starts_with(&format!("done id={id} status="))),
+                "missing done {id}: {lines:?}"
+            );
+        }
+        assert!(
+            lines.iter().any(|l| l.starts_with("err id=4 reason=unknown_event_kind")),
+            "bad event must be rejected at parse time: {lines:?}"
+        );
+        assert!(
+            lines.iter().any(|l| l.starts_with("stats ") && l.contains("sessions=1")),
+            "stats must count the retained session: {lines:?}"
+        );
     }
 
     #[test]

@@ -172,7 +172,7 @@ pub fn execute(problem: &ProblemInstance, deployment: &Deployment) -> ExecutionT
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ndp_core::{solve_heuristic, validate, ProblemInstance};
+    use ndp_core::{validate, DeploymentSession, ProblemInstance};
     use ndp_noc::{Mesh2D, NocParams, WeightedNoc};
     use ndp_platform::Platform;
     use ndp_taskset::{generate, GeneratorConfig};
@@ -187,7 +187,7 @@ mod tests {
             4.0,
         )
         .unwrap();
-        let d = solve_heuristic(&p).ok()?;
+        let d = DeploymentSession::new(p.clone()).heuristic().ok()?;
         assert!(validate(&p, &d).is_empty());
         Some((p, d))
     }

@@ -117,7 +117,7 @@ pub fn analytic_task_reliability(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ndp_core::solve_heuristic;
+    use ndp_core::DeploymentSession;
     use ndp_noc::{Mesh2D, NocParams, WeightedNoc};
     use ndp_platform::{Platform, PowerModel, ReliabilityParams, VfTable};
     use ndp_taskset::{generate, GeneratorConfig};
@@ -142,7 +142,7 @@ mod tests {
             4.0,
         )
         .unwrap();
-        let d = solve_heuristic(&p).ok()?;
+        let d = DeploymentSession::new(p.clone()).heuristic().ok()?;
         Some((p, d))
     }
 

@@ -12,13 +12,13 @@
 //!   analytic reliability `r′ = 1 − (1 − r₁)(1 − r₂)`.
 //!
 //! ```no_run
-//! use ndp_core::{solve_heuristic, ProblemInstance};
+//! use ndp_core::{DeploymentSession, ProblemInstance};
 //! use ndp_sim::{execute, inject_faults};
 //! # fn problem() -> ProblemInstance { unimplemented!() }
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let problem = problem();
-//! let deployment = solve_heuristic(&problem)?;
+//! let deployment = DeploymentSession::new(problem.clone()).heuristic()?;
 //! let trace = execute(&problem, &deployment);
 //! assert!(trace.makespan_ms <= problem.horizon_ms);
 //! let faults = inject_faults(&problem, &deployment, 100_000, 42);

@@ -57,6 +57,39 @@ impl DuplicatedGraph {
         self.original_count
     }
 
+    /// Overwrites the relative deadline of an original task *and* its
+    /// duplicate (the copy inherits the original's deadline by
+    /// construction). Used by online re-deployment when a deadline changes
+    /// mid-mission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `original` is not an original task id (`i < M`) or
+    /// `deadline_ms` is non-positive or non-finite.
+    pub fn set_deadline(&mut self, original: TaskId, deadline_ms: f64) {
+        assert!(original.index() < self.original_count, "set_deadline takes an original task id");
+        assert!(deadline_ms.is_finite() && deadline_ms > 0.0, "deadline must be positive");
+        self.graph.task_mut(original).deadline_ms = deadline_ms;
+        self.graph.task_mut(TaskId(original.index() + self.original_count)).deadline_ms =
+            deadline_ms;
+    }
+
+    /// Rebuilds the original (non-duplicated) graph: tasks `0..M` and the
+    /// edges among them. `expand(&g.to_original()) == g` for any graph
+    /// produced by [`DuplicatedGraph::expand`].
+    pub fn to_original(&self) -> TaskGraph {
+        let mut original = TaskGraph::new();
+        for i in 0..self.original_count {
+            original.add_task(self.graph.task(TaskId(i)).clone());
+        }
+        for (p, s, d) in self.graph.edges() {
+            if p.index() < self.original_count && s.index() < self.original_count {
+                original.add_edge(p, s, d).expect("original edges stay acyclic");
+            }
+        }
+        original
+    }
+
     /// Total number of tasks `2M`.
     pub fn total_count(&self) -> usize {
         self.graph.num_tasks()

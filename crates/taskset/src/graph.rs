@@ -109,6 +109,16 @@ impl TaskGraph {
         &self.tasks[id.index()]
     }
 
+    /// Mutable access to the task record for `id` (e.g. to update a
+    /// deadline for online re-deployment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn task_mut(&mut self, id: TaskId) -> &mut Task {
+        &mut self.tasks[id.index()]
+    }
+
     /// Iterates all task ids.
     pub fn task_ids(&self) -> impl Iterator<Item = TaskId> {
         (0..self.tasks.len()).map(TaskId)

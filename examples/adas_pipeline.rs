@@ -2,9 +2,11 @@
 //!
 //! The task graph mirrors a camera-based driver-assistance stack — the kind
 //! of dependent, deadline-constrained workload the paper's introduction
-//! motivates. The pipeline is deployed on a 4×4 NoC multicore, then
-//! executed in the discrete-event simulator and stress-tested with
-//! transient-fault injection.
+//! motivates. The pipeline is deployed on a 4×4 NoC multicore, executed in
+//! the discrete-event simulator and stress-tested with transient-fault
+//! injection — and then the mission goes sideways: the busiest core fails
+//! permanently, and the [`DeploymentSession`] re-deploys the pipeline
+//! around it under a wall-clock budget.
 //!
 //! ```text
 //! cargo run -p ndp-examples --bin adas_pipeline
@@ -62,8 +64,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let noc = WeightedNoc::new(Mesh2D::square(4)?, NocParams::typical(), 7)?;
     let problem = ProblemInstance::from_original(&graph, platform, noc, 0.999, 3.0)?;
 
-    let deployment = solve_heuristic(&problem)?;
-    let violations = validate(&problem, &deployment);
+    // Single-path (time-oriented) routing keeps the exact model small enough for the
+    // budgeted online re-solve below; the heuristic is routing-agnostic.
+    let mut session = DeploymentSession::builder(problem)
+        .path_mode(PathMode::SingleFixed(PathKind::TimeOriented))
+        .solver(SolverOptions::default().time_limit(30.0))
+        .build();
+    let deployment = session.heuristic()?;
+    let problem = session.problem();
+    let violations = validate(problem, &deployment);
     assert!(violations.is_empty(), "{violations:?}");
 
     println!("=== ADAS pipeline deployment ===");
@@ -78,24 +87,63 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
-    println!("duplicated tasks: {}", deployment.duplicated_count(&problem));
+    println!("duplicated tasks: {}", deployment.duplicated_count(problem));
 
     // Execute event-driven.
-    let trace = execute(&problem, &deployment);
+    let trace = execute(problem, &deployment);
     println!("\n=== execution ===");
     println!("makespan : {:.3} ms (horizon {:.3} ms)", trace.makespan_ms, problem.horizon_ms);
     println!("energy   : {:.4} mJ", trace.total_energy_mj());
 
     // Fault injection campaign.
-    let campaign = inject_faults(&problem, &deployment, 100_000, 99);
+    let campaign = inject_faults(problem, &deployment, 100_000, 99);
     println!("\n=== 100k-trial fault injection ===");
     println!("injected faults    : {}", campaign.injected_faults);
     println!("system reliability : {:.6}", campaign.system_reliability());
     for i in problem.tasks.originals() {
-        let analytic = analytic_task_reliability(&problem, &deployment, i);
+        let analytic = analytic_task_reliability(problem, &deployment, i);
         let measured = campaign.task_reliability(i);
         let name = &problem.tasks.graph().task(i).name;
         println!("  {name:<20} analytic {analytic:.6}  measured {measured:.6}");
+    }
+
+    // Mid-mission, the busiest core fails permanently. The session absorbs
+    // the fault as a model edit and re-deploys under a wall-clock budget
+    // (the exact model is large at this mesh size, so give the root LP and
+    // its diving heuristics a couple of minutes).
+    let report = deployment.energy_report(problem);
+    let per_proc = report.per_processor_mj().to_vec();
+    let (hot, hot_mj) = per_proc
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .expect("the mesh has processors");
+    println!("\n=== core θ{hot} fails ({hot_mj:.4} mJ of load) — online re-deployment ===");
+    session.apply(&ScenarioEvent::CoreFault { processor: ProcessorId(hot) })?;
+    let outcome = session.resolve(120.0)?;
+    println!("re-solve status: {:?} ({} nodes)", outcome.status, outcome.nodes);
+    let Some(redeployed) = outcome.deployment.as_ref() else {
+        println!("no re-deployment found within the budget — rerun with a larger one");
+        return Ok(());
+    };
+    let problem = session.problem();
+    assert!(validate(problem, redeployed).is_empty());
+    assert!(
+        problem.tasks.graph().task_ids().all(
+            |t| !redeployed.active[t.index()] || redeployed.processor[t.index()].index() != hot
+        ),
+        "no task may run on the faulted core"
+    );
+    println!(
+        "max energy {:.4} mJ (was {:.4} mJ on the full mesh)",
+        redeployed.energy_report(problem).max_mj(),
+        report.max_mj()
+    );
+    for t in problem.tasks.graph().task_ids() {
+        if redeployed.active[t.index()] {
+            let name = &problem.tasks.graph().task(t).name;
+            println!("  {name:<20} θ{:<2}", redeployed.processor[t.index()].index());
+        }
     }
     Ok(())
 }

@@ -22,9 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             0.95,
             4.0,
         )?;
-        match solve_heuristic(&problem) {
+        let session = DeploymentSession::new(problem);
+        match session.heuristic() {
             Ok(d) => {
-                let r = d.energy_report(&problem);
+                let r = d.energy_report(session.problem());
                 println!(
                     "{:>4}x{} {:>10.4} {:>10.4} {:>8.3} {:>8}",
                     side,
@@ -32,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     r.max_mj(),
                     r.total_mj(),
                     r.balance_index(),
-                    d.duplicated_count(&problem)
+                    d.duplicated_count(session.problem())
                 );
             }
             Err(e) => println!("{side}x{side}: infeasible ({e})"),
@@ -49,11 +50,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             thr,
             4.0,
         )?;
-        match solve_heuristic(&problem) {
+        let session = DeploymentSession::new(problem);
+        match session.heuristic() {
             Ok(d) => println!(
                 "{thr:>10} {:>8} {:>10.4}",
-                d.duplicated_count(&problem),
-                d.energy_report(&problem).max_mj()
+                d.duplicated_count(session.problem()),
+                d.energy_report(session.problem()).max_mj()
             ),
             Err(e) => println!("{thr:>10} infeasible ({e})"),
         }
@@ -67,17 +69,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         0.95,
         4.0,
     )?;
-    let deployment = solve_heuristic(&problem)?;
-    assert!(validate(&problem, &deployment).is_empty());
+    let session = DeploymentSession::new(problem);
+    let deployment = session.heuristic()?;
+    let problem = session.problem();
+    assert!(validate(problem, &deployment).is_empty());
     let named: Vec<(&str, ndp_core::Deployment)> = vec![
         ("paper heuristic", deployment.clone()),
-        ("round robin", round_robin(&problem)?),
-        ("first fit", first_fit_fastest(&problem)?),
-        ("random", random_mapping(&problem, 7)?),
+        ("round robin", round_robin(problem)?),
+        ("first fit", first_fit_fastest(problem)?),
+        ("random", random_mapping(problem, 7)?),
     ];
     println!("{:<16} {:>10} {:>10} {:>8}", "mapper", "max (mJ)", "total", "phi");
     for (name, d) in &named {
-        let r = d.energy_report(&problem);
+        let r = d.energy_report(problem);
         println!(
             "{name:<16} {:>10.4} {:>10.4} {:>8.3}",
             r.max_mj(),
@@ -87,7 +91,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\n== schedule of the paper heuristic ==");
-    print!("{}", gantt(&problem, &deployment, 72));
-    println!("\n{}", energy_table(&problem, &deployment));
+    print!("{}", gantt(problem, &deployment, 72));
+    println!("\n{}", energy_table(problem, &deployment));
     Ok(())
 }

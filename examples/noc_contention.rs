@@ -19,7 +19,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let noc = WeightedNoc::new(mesh.clone(), NocParams::typical(), 5)?;
     let problem =
         ProblemInstance::from_original(&graph, Platform::homogeneous(16)?, noc, 0.95, 3.0)?;
-    let deployment = solve_heuristic(&problem)?;
+    let session = DeploymentSession::new(problem);
+    let deployment = session.heuristic()?;
+    let problem = session.problem();
 
     // Collect the cross-processor transfers the deployment performs.
     let mut sim = FlitSim::new(mesh, 4);

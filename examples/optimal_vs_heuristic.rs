@@ -24,26 +24,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         3.0,
     )?;
 
+    // One session serves both methods: the heuristic probe and the exact
+    // solve (which warm-starts from that same heuristic internally).
+    let mut session = DeploymentSession::builder(problem)
+        .solver(SolverOptions::default().time_limit(120.0))
+        .build();
+
     // --- Heuristic ---------------------------------------------------------
     let t0 = Instant::now();
-    let heuristic = solve_heuristic(&problem)?;
+    let heuristic = session.heuristic()?;
     let heuristic_time = t0.elapsed();
-    assert!(validate(&problem, &heuristic).is_empty());
-    let h_energy = heuristic.energy_report(&problem).max_mj();
+    assert!(validate(session.problem(), &heuristic).is_empty());
+    let h_energy = heuristic.energy_report(session.problem()).max_mj();
     println!("heuristic : {h_energy:.4} mJ in {heuristic_time:?}");
 
     // --- Exact ---------------------------------------------------------------
-    let config = OptimalConfig {
-        solver: SolverOptions::default().time_limit(120.0),
-        ..OptimalConfig::default()
-    };
     let t0 = Instant::now();
-    let outcome = solve_optimal(&problem, &config)?;
+    let outcome = session.solve()?;
     let optimal_time = t0.elapsed();
     match outcome.status {
         SolveStatus::Optimal | SolveStatus::Feasible => {
             let d = outcome.deployment.as_ref().expect("deployment exists");
-            assert!(validate(&problem, d).is_empty());
+            assert!(validate(session.problem(), d).is_empty());
             let o_energy = outcome.objective_mj.expect("objective exists");
             println!(
                 "optimal   : {o_energy:.4} mJ in {optimal_time:?} ({} nodes, status {:?})",

@@ -21,13 +21,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let problem = ProblemInstance::from_original(&graph, platform, noc, 0.95, 3.0)?;
     println!("horizon H = {:.3} ms, R_th = {}", problem.horizon_ms, problem.reliability_threshold);
 
-    // 4. Solve with the paper's 3-phase heuristic.
-    let deployment = solve_heuristic(&problem)?;
-    let violations = validate(&problem, &deployment);
+    // 4. Solve with the paper's 3-phase heuristic via the session API.
+    let session = DeploymentSession::new(problem);
+    let deployment = session.heuristic()?;
+    let problem = session.problem();
+    let violations = validate(problem, &deployment);
     assert!(violations.is_empty(), "heuristic output must be valid: {violations:?}");
 
     // 5. Inspect.
-    let report = deployment.energy_report(&problem);
+    let report = deployment.energy_report(problem);
     println!("\nper-processor energy (mJ):");
     for (k, e) in report.per_processor_mj().iter().enumerate() {
         if *e > 0.0 {
@@ -37,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nmax energy  : {:>8.4} mJ (the BE objective)", report.max_mj());
     println!("total energy: {:>8.4} mJ", report.total_mj());
     println!("balance φ   : {:>8.4}", report.balance_index());
-    println!("duplicates  : {}", deployment.duplicated_count(&problem));
+    println!("duplicates  : {}", deployment.duplicated_count(problem));
 
     println!("\nschedule (active tasks):");
     for t in problem.tasks.graph().task_ids() {
@@ -47,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 deployment.processor[t.index()].index(),
                 deployment.frequency[t.index()].index(),
                 deployment.start_ms[t.index()],
-                deployment.end_ms(&problem, t),
+                deployment.end_ms(problem, t),
             );
         }
     }

@@ -1,5 +1,5 @@
 //! End-to-end cancellation through the `ndp-core` facade: a cancelled
-//! `solve_optimal` must come back with `SolveStatus::Interrupted` and the
+//! session solve must come back with `SolveStatus::Interrupted` and the
 //! best incumbent found so far (here: the heuristic warm start), never a
 //! panic or a deadlock.
 
@@ -24,15 +24,17 @@ fn pre_cancelled_solve_returns_the_warm_start_deployment() {
     let token = CancelToken::new();
     token.cancel();
     for threads in [1usize, 4] {
-        let cfg = OptimalConfig {
-            solver: SolverOptions::default()
-                .time_limit(8.0)
-                .threads(threads)
-                .cancel_token(token.clone()),
-            ..OptimalConfig::default()
-        };
         let p = instance(3, 1);
-        let out = solve_optimal(&p, &cfg).unwrap();
+        let out = DeploymentSession::builder(p.clone())
+            .solver(
+                SolverOptions::default()
+                    .time_limit(8.0)
+                    .threads(threads)
+                    .cancel_token(token.clone()),
+            )
+            .build()
+            .solve()
+            .unwrap();
         assert_eq!(out.status, SolveStatus::Interrupted, "threads {threads}");
         // The heuristic warm start (enabled by default) is the incumbent,
         // so a deployment must survive the interruption.
@@ -57,16 +59,18 @@ fn cancelling_from_the_observer_stops_the_facade_solve() {
             t.cancel();
         }
     });
-    let cfg = OptimalConfig {
-        solver: SolverOptions::default()
-            .time_limit(30.0)
-            .threads(1)
-            .observer(observer)
-            .cancel_token(token.clone()),
-        ..OptimalConfig::default()
-    };
     let p = instance(4, 2);
-    let out = solve_optimal(&p, &cfg).unwrap();
+    let out = DeploymentSession::builder(p)
+        .solver(
+            SolverOptions::default()
+                .time_limit(30.0)
+                .threads(1)
+                .observer(observer)
+                .cancel_token(token.clone()),
+        )
+        .build()
+        .solve()
+        .unwrap();
     // Either the tree was tiny and the proof finished before the fifth
     // node, or the cancel landed and the warm-start incumbent survives.
     match out.status {

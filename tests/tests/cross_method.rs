@@ -1,7 +1,7 @@
 //! Optimal-vs-heuristic cross-method properties on small instances.
 
 use ndp_core::{
-    solve_heuristic, solve_optimal, validate, OptimalConfig, PathMode, ProblemInstance,
+    validate, Deployment, DeploymentSession, OptimalOutcome, PathMode, ProblemInstance,
 };
 use ndp_milp::{SolveStatus, SolverOptions};
 use ndp_noc::{Mesh2D, NocParams, PathKind, WeightedNoc};
@@ -26,16 +26,27 @@ fn solver() -> SolverOptions {
     SolverOptions::default().time_limit(8.0)
 }
 
+fn exact(p: &ProblemInstance, path_mode: PathMode) -> OptimalOutcome {
+    DeploymentSession::builder(p.clone())
+        .path_mode(path_mode)
+        .solver(solver())
+        .build()
+        .solve()
+        .unwrap()
+}
+
+fn heuristic(p: &ProblemInstance) -> Option<Deployment> {
+    DeploymentSession::new(p.clone()).heuristic().ok()
+}
+
 #[test]
 fn proven_optimal_never_worse_than_heuristic() {
     let mut proven = 0;
     for seed in 0..6 {
         let p = instance(3, seed, 3.0);
-        let Ok(h) = solve_heuristic(&p) else { continue };
+        let Some(h) = heuristic(&p) else { continue };
         let h_obj = h.energy_report(&p).max_mj();
-        let out =
-            solve_optimal(&p, &OptimalConfig { solver: solver(), ..OptimalConfig::default() })
-                .unwrap();
+        let out = exact(&p, PathMode::Multi);
         if out.status == SolveStatus::Optimal {
             let o = out.objective_mj.unwrap();
             assert!(o <= h_obj + 1e-6, "seed {seed}: optimal {o} > heuristic {h_obj}");
@@ -49,19 +60,9 @@ fn proven_optimal_never_worse_than_heuristic() {
 fn multi_path_dominates_single_path() {
     for seed in 0..4 {
         let p = instance(3, seed, 3.0);
-        let multi =
-            solve_optimal(&p, &OptimalConfig { solver: solver(), ..OptimalConfig::default() })
-                .unwrap();
+        let multi = exact(&p, PathMode::Multi);
         for kind in PathKind::ALL {
-            let single = solve_optimal(
-                &p,
-                &OptimalConfig {
-                    path_mode: PathMode::SingleFixed(kind),
-                    solver: solver(),
-                    ..OptimalConfig::default()
-                },
-            )
-            .unwrap();
+            let single = exact(&p, PathMode::SingleFixed(kind));
             if multi.status == SolveStatus::Optimal && single.status == SolveStatus::Optimal {
                 assert!(
                     multi.objective_mj.unwrap() <= single.objective_mj.unwrap() + 1e-6,
@@ -83,12 +84,10 @@ fn multi_path_dominates_single_path() {
 fn both_routes_satisfy_the_same_referee() {
     for seed in 0..4 {
         let p = instance(4, seed, 3.0);
-        if let Ok(h) = solve_heuristic(&p) {
+        if let Some(h) = heuristic(&p) {
             assert!(validate(&p, &h).is_empty());
         }
-        let out =
-            solve_optimal(&p, &OptimalConfig { solver: solver(), ..OptimalConfig::default() })
-                .unwrap();
+        let out = exact(&p, PathMode::Multi);
         if let Some(d) = out.deployment {
             assert!(validate(&p, &d).is_empty());
         }
@@ -101,10 +100,7 @@ fn tighter_horizon_cannot_improve_the_optimum() {
     for seed in 0..4 {
         let loose = instance(3, seed, 4.0);
         let tight = instance(3, seed, 1.0);
-        let solve = |p: &ProblemInstance| {
-            solve_optimal(p, &OptimalConfig { solver: solver(), ..OptimalConfig::default() })
-                .unwrap()
-        };
+        let solve = |p: &ProblemInstance| exact(p, PathMode::Multi);
         let (lo, ti) = (solve(&loose), solve(&tight));
         if lo.status == SolveStatus::Optimal && ti.status == SolveStatus::Optimal {
             assert!(

@@ -1,7 +1,9 @@
 //! End-to-end pipeline tests: generator → problem → heuristic → referee →
 //! executor → fault injection, across many seeds.
 
-use ndp_core::{solve_heuristic, validate, CommTimeModel, DeployError, ProblemInstance};
+use ndp_core::{
+    validate, CommTimeModel, DeployError, Deployment, DeploymentSession, ProblemInstance,
+};
 use ndp_noc::{Mesh2D, NocParams, WeightedNoc};
 use ndp_platform::Platform;
 use ndp_sim::{analytic_task_reliability, execute, inject_faults};
@@ -19,12 +21,16 @@ fn instance(m: usize, side: usize, alpha: f64, seed: u64) -> ProblemInstance {
     .unwrap()
 }
 
+fn heuristic(p: &ProblemInstance) -> Result<Deployment, DeployError> {
+    DeploymentSession::new(p.clone()).heuristic()
+}
+
 #[test]
 fn heuristic_is_valid_on_every_feasible_seed() {
     let mut feasible = 0;
     for seed in 0..30 {
         let p = instance(14, 4, 3.0, seed);
-        match solve_heuristic(&p) {
+        match heuristic(&p) {
             Ok(d) => {
                 let v = validate(&p, &d);
                 assert!(v.is_empty(), "seed {seed}: {v:?}");
@@ -41,7 +47,7 @@ fn heuristic_is_valid_on_every_feasible_seed() {
 fn executor_agrees_with_static_accounting() {
     for seed in 0..10 {
         let p = instance(12, 3, 3.0, seed);
-        let Ok(d) = solve_heuristic(&p) else { continue };
+        let Ok(d) = heuristic(&p) else { continue };
         let trace = execute(&p, &d);
         let report = d.energy_report(&p);
         assert!((trace.total_energy_mj() - (report.total_mj())).abs() < 1e-6);
@@ -54,7 +60,7 @@ fn deployments_meet_reliability_threshold_analytically_and_by_injection() {
     let mut tested = 0;
     for seed in 0..10 {
         let p = instance(8, 2, 4.0, seed);
-        let Ok(d) = solve_heuristic(&p) else { continue };
+        let Ok(d) = heuristic(&p) else { continue };
         for i in p.tasks.originals() {
             let r = analytic_task_reliability(&p, &d, i);
             assert!(r >= p.reliability_threshold - 1e-9, "seed {seed} task {i}: {r}");
@@ -76,7 +82,7 @@ fn deployments_meet_reliability_threshold_analytically_and_by_injection() {
 fn size_scaled_comm_model_is_consistent_end_to_end() {
     for seed in 0..6 {
         let p = instance(10, 3, 4.0, seed).with_comm_time_model(CommTimeModel::SizeScaled);
-        let Ok(d) = solve_heuristic(&p) else { continue };
+        let Ok(d) = heuristic(&p) else { continue };
         let v = validate(&p, &d);
         assert!(v.is_empty(), "seed {seed}: {v:?}");
         let trace = execute(&p, &d);
@@ -108,7 +114,7 @@ fn all_graph_shapes_deploy() {
             4.0,
         )
         .unwrap();
-        if let Ok(d) = solve_heuristic(&p) {
+        if let Ok(d) = heuristic(&p) {
             assert!(validate(&p, &d).is_empty(), "shape {shape:?}");
         }
     }
@@ -118,7 +124,7 @@ fn all_graph_shapes_deploy() {
 fn same_seed_same_deployment() {
     let run = || {
         let p = instance(10, 3, 3.0, 77);
-        solve_heuristic(&p).ok().map(|d| {
+        heuristic(&p).ok().map(|d| {
             (
                 d.active.clone(),
                 d.processor.clone(),

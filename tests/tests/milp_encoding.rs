@@ -12,8 +12,7 @@
 //!   be missing a paper constraint.
 
 use ndp_core::{
-    build_milp, solve_heuristic, solve_optimal, validate, DeployObjective, OptimalConfig, PathMode,
-    ProblemInstance,
+    validate, DeployObjective, Deployment, DeploymentSession, PathMode, ProblemInstance,
 };
 use ndp_milp::SolverOptions;
 use ndp_noc::{Mesh2D, NocParams, PathKind, WeightedNoc};
@@ -34,6 +33,20 @@ fn instance(m: usize, seed: u64, alpha: f64, shape: GraphShape) -> ProblemInstan
     .unwrap()
 }
 
+/// A session configured purely as an encoder: no heuristic seeding, so the
+/// built model matches a bare encoding of `(p, mode, objective)`.
+fn encoder(p: &ProblemInstance, mode: PathMode, objective: DeployObjective) -> DeploymentSession {
+    DeploymentSession::builder(p.clone())
+        .path_mode(mode)
+        .objective(objective)
+        .warm_start_with_heuristic(false)
+        .build()
+}
+
+fn heuristic(p: &ProblemInstance) -> Option<Deployment> {
+    DeploymentSession::new(p.clone()).heuristic().ok()
+}
+
 #[test]
 fn referee_accepted_deployments_are_milp_feasible() {
     let mut tested = 0;
@@ -44,7 +57,7 @@ fn referee_accepted_deployments_are_milp_feasible() {
             GraphShape::Layered { layers: 2, edge_probability: 0.3 }
         };
         let p = instance(4, seed, 3.0, shape);
-        let Ok(d) = solve_heuristic(&p) else { continue };
+        let Some(d) = heuristic(&p) else { continue };
         assert!(validate(&p, &d).is_empty());
         for mode in [PathMode::Multi, PathMode::SingleFixed(PathKind::EnergyOriented)] {
             // Single-fixed mode constrains paths the heuristic may not have
@@ -63,10 +76,10 @@ fn referee_accepted_deployments_are_milp_feasible() {
                     continue;
                 }
             }
-            let enc = build_milp(&p, mode, DeployObjective::BalanceEnergy).unwrap();
-            let values = enc.warm_start_values(&p, &d);
+            let mut s = encoder(&p, mode, DeployObjective::BalanceEnergy);
+            let values = s.encoding().unwrap().warm_start_values(&p, &d);
             assert!(
-                enc.model.is_feasible(&values, 1e-5),
+                s.model().unwrap().is_feasible(&values, 1e-5),
                 "seed {seed} mode {mode:?}: referee-valid deployment rejected by the MILP"
             );
             tested += 1;
@@ -80,11 +93,11 @@ fn milp_extracted_deployments_pass_the_referee() {
     let mut tested = 0;
     for seed in 0..6 {
         let p = instance(3, seed, 3.0, GraphShape::Chain);
-        let cfg = OptimalConfig {
-            solver: SolverOptions::default().time_limit(8.0),
-            ..OptimalConfig::default()
-        };
-        let out = solve_optimal(&p, &cfg).unwrap();
+        let out = DeploymentSession::builder(p.clone())
+            .solver(SolverOptions::default().time_limit(8.0))
+            .build()
+            .solve()
+            .unwrap();
         if let Some(d) = out.deployment {
             let v = validate(&p, &d);
             assert!(v.is_empty(), "seed {seed}: MILP deployment violates: {v:?}");
@@ -98,11 +111,11 @@ fn milp_extracted_deployments_pass_the_referee() {
 fn warm_start_objective_matches_energy_report() {
     for seed in 0..6 {
         let p = instance(4, seed, 3.0, GraphShape::Chain);
-        let Ok(d) = solve_heuristic(&p) else { continue };
-        let enc = build_milp(&p, PathMode::Multi, DeployObjective::BalanceEnergy).unwrap();
-        let values = enc.warm_start_values(&p, &d);
+        let Some(d) = heuristic(&p) else { continue };
+        let mut s = encoder(&p, PathMode::Multi, DeployObjective::BalanceEnergy);
+        let values = s.encoding().unwrap().warm_start_values(&p, &d);
         // The model objective is the epigraph variable z = max_k E_k.
-        let obj = enc.model.objective().eval(&values);
+        let obj = s.model().unwrap().objective().eval(&values);
         let expected = d.energy_report(&p).max_mj();
         assert!(
             (obj - expected).abs() < 1e-9,
@@ -115,10 +128,10 @@ fn warm_start_objective_matches_energy_report() {
 fn me_objective_value_matches_total_energy() {
     for seed in 0..6 {
         let p = instance(4, seed, 3.0, GraphShape::Chain);
-        let Ok(d) = solve_heuristic(&p) else { continue };
-        let enc = build_milp(&p, PathMode::Multi, DeployObjective::MinimizeTotalEnergy).unwrap();
-        let values = enc.warm_start_values(&p, &d);
-        let obj = enc.model.objective().eval(&values);
+        let Some(d) = heuristic(&p) else { continue };
+        let mut s = encoder(&p, PathMode::Multi, DeployObjective::MinimizeTotalEnergy);
+        let values = s.encoding().unwrap().warm_start_values(&p, &d);
+        let obj = s.model().unwrap().objective().eval(&values);
         let expected = d.energy_report(&p).total_mj();
         assert!(
             (obj - expected).abs() < 1e-9,
@@ -130,13 +143,10 @@ fn me_objective_value_matches_total_energy() {
 #[test]
 fn encoding_sizes_scale_with_path_mode() {
     let p = instance(4, 0, 3.0, GraphShape::Layered { layers: 2, edge_probability: 0.3 });
-    let multi = build_milp(&p, PathMode::Multi, DeployObjective::BalanceEnergy).unwrap();
-    let single = build_milp(
-        &p,
-        PathMode::SingleFixed(PathKind::TimeOriented),
-        DeployObjective::BalanceEnergy,
-    )
-    .unwrap();
-    assert!(multi.model.num_vars() > single.model.num_vars());
-    assert!(multi.model.num_constraints() > single.model.num_constraints());
+    let mut multi = encoder(&p, PathMode::Multi, DeployObjective::BalanceEnergy);
+    let mut single =
+        encoder(&p, PathMode::SingleFixed(PathKind::TimeOriented), DeployObjective::BalanceEnergy);
+    let (multi, single) = (multi.model().unwrap(), single.model().unwrap());
+    assert!(multi.num_vars() > single.num_vars());
+    assert!(multi.num_constraints() > single.num_constraints());
 }

@@ -1,6 +1,8 @@
 //! Property-based tests over randomly generated deployment problems.
 
-use ndp_core::{build_milp, solve_heuristic, validate, DeployObjective, PathMode, ProblemInstance};
+use ndp_core::{
+    validate, DeployObjective, Deployment, DeploymentSession, PathMode, ProblemInstance,
+};
 use ndp_noc::{Mesh2D, NocParams, WeightedNoc};
 use ndp_platform::Platform;
 use ndp_taskset::{generate, GeneratorConfig, GraphShape};
@@ -49,6 +51,10 @@ fn build(s: &Scenario) -> ProblemInstance {
     .expect("valid problem")
 }
 
+fn heuristic(p: &ProblemInstance) -> Option<Deployment> {
+    DeploymentSession::new(p.clone()).heuristic().ok()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -57,7 +63,7 @@ proptest! {
     #[test]
     fn heuristic_never_returns_invalid(s in scenario()) {
         let p = build(&s);
-        if let Ok(d) = solve_heuristic(&p) {
+        if let Some(d) = heuristic(&p) {
             let v = validate(&p, &d);
             prop_assert!(v.is_empty(), "violations: {v:?}");
         }
@@ -67,7 +73,7 @@ proptest! {
     #[test]
     fn energy_report_invariants(s in scenario()) {
         let p = build(&s);
-        if let Ok(d) = solve_heuristic(&p) {
+        if let Some(d) = heuristic(&p) {
             let r = d.energy_report(&p);
             let per = r.per_processor_mj();
             prop_assert!(per.iter().all(|&e| e >= 0.0));
@@ -86,11 +92,14 @@ proptest! {
         // Keep model building cheap inside the property loop.
         prop_assume!(s.tasks <= 6 && s.side == 2);
         let p = build(&s);
-        if let Ok(d) = solve_heuristic(&p) {
-            let enc = build_milp(&p, PathMode::Multi, DeployObjective::BalanceEnergy)
-                .expect("encoding builds");
-            let values = enc.warm_start_values(&p, &d);
-            prop_assert!(enc.model.is_feasible(&values, 1e-5));
+        if let Some(d) = heuristic(&p) {
+            let mut sess = DeploymentSession::builder(p.clone())
+                .path_mode(PathMode::Multi)
+                .objective(DeployObjective::BalanceEnergy)
+                .warm_start_with_heuristic(false)
+                .build();
+            let values = sess.encoding().expect("encoding builds").warm_start_values(&p, &d);
+            prop_assert!(sess.model().expect("model builds").is_feasible(&values, 1e-5));
         }
     }
 
@@ -102,8 +111,8 @@ proptest! {
         let mut s_loose = s.clone();
         s_loose.alpha = s.alpha * 2.0;
         let p_loose = build(&s_loose);
-        if solve_heuristic(&p_tight).is_ok() {
-            prop_assert!(solve_heuristic(&p_loose).is_ok());
+        if heuristic(&p_tight).is_some() {
+            prop_assert!(heuristic(&p_loose).is_some());
         }
     }
 }
