@@ -30,20 +30,32 @@ fn measure(problem: &ProblemInstance, d: &Deployment) -> (f64, f64, f64, bool) {
     (r.max_mj(), r.total_mj(), r.balance_index(), makespan <= problem.horizon_ms + 1e-9)
 }
 
+/// A seed-indexed mapper, shareable with the `'static` work-stealing
+/// tasks `per_seed` now schedules on the global worker pool.
+type Mapper = std::sync::Arc<dyn Fn(&ProblemInstance, u64) -> Option<Deployment> + Send + Sync>;
+
 fn main() {
     let seeds: Vec<u64> = (0..20).collect();
     println!("# Ablation: heuristic vs baselines (N=16, M=20, L=6, alpha=3)");
     println!("{:<18} {:>9} {:>12} {:>12} {:>8}", "mapper", "fits_H", "max_mJ", "total_mJ", "phi");
-    let run = |f: &(dyn Fn(&ProblemInstance, u64) -> Option<Deployment> + Sync)| {
-        per_seed(&seeds, |seed| {
+    let run = |f: Mapper| {
+        per_seed(&seeds, move |seed| {
             let mut spec = InstanceSpec::new(20, 4, 3.0, seed);
             spec.levels = 6;
             let problem = spec.build();
             f(&problem, seed).map(|d| measure(&problem, &d))
         })
     };
-    stats("paper-heuristic", &run(&|p, _| DeploymentSession::new(p.clone()).heuristic().ok()));
-    stats("round-robin", &run(&|p, _| round_robin(p).ok()));
-    stats("first-fit", &run(&|p, _| first_fit_fastest(p).ok()));
-    stats("random", &run(&|p, s| random_mapping(p, s).ok()));
+    stats(
+        "paper-heuristic",
+        &run(std::sync::Arc::new(|p: &ProblemInstance, _| {
+            DeploymentSession::new(p.clone()).heuristic().ok()
+        })),
+    );
+    stats("round-robin", &run(std::sync::Arc::new(|p: &ProblemInstance, _| round_robin(p).ok())));
+    stats(
+        "first-fit",
+        &run(std::sync::Arc::new(|p: &ProblemInstance, _| first_fit_fastest(p).ok())),
+    );
+    stats("random", &run(std::sync::Arc::new(|p: &ProblemInstance, s| random_mapping(p, s).ok())));
 }

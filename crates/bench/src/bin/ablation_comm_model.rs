@@ -16,7 +16,7 @@ fn main() {
     for (label, model) in
         [("per-unit", CommTimeModel::PerUnit), ("size-scaled", CommTimeModel::SizeScaled)]
     {
-        let rows = per_seed(&seeds, |seed| {
+        let rows = per_seed(&seeds, move |seed| {
             let mut spec = InstanceSpec::new(20, 4, 2.0, seed);
             spec.levels = 6;
             let problem = spec.build().with_comm_time_model(model);

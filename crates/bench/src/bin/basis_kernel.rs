@@ -180,6 +180,9 @@ fn record(
         dual_bound: r.dual_bound,
         seconds: r.seconds,
         speedup: None,
+        batch: false,
+        portfolio: false,
+        sweep_wall_seconds: None,
     }
 }
 

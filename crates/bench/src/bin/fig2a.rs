@@ -6,56 +6,14 @@
 //! EXPERIMENTS.md); the *shape* under test is (i) feasibility rises with
 //! `α`, (ii) multi-path is at least as feasible as single-path, and
 //! (iii) multi-path energy ≤ single-path energy.
+//!
+//! Runs on the batch engine in portfolio mode: per seed, the single-path
+//! member is linked into the multi-path member so its solution seeds the
+//! larger search the moment it lands (`ndp_bench::figs::fig2a`). The
+//! whole-family sweep lives in `batch_sweep`.
 
-use ndp_bench::{exact_point, exact_solver_options, mean_finite, per_seed, InstanceSpec};
-
-use ndp_core::{OptimalConfig, PathMode};
-use ndp_noc::PathKind;
+use ndp_bench::figs::{fig2a, ExperimentContext};
 
 fn main() {
-    let seeds: Vec<u64> = (0..6).collect();
-    let alphas = [0.25, 0.5, 1.0, 1.5, 2.0];
-    println!("# Fig 2(a): multi-path vs single-path (exact solver, N=4, M=5, L=4)");
-    println!(
-        "{:>6} {:>12} {:>14} {:>13} {:>15}",
-        "alpha", "multi_feas", "multi_mJ", "single_feas", "single_mJ"
-    );
-    for &alpha in &alphas {
-        let rows = per_seed(&seeds, |seed| {
-            let problem = InstanceSpec::new(5, 2, alpha, seed).build();
-            // Solve the (smaller) single-path model first and seed the
-            // multi-path search with its solution: every single-path
-            // deployment is multi-path feasible, so the printed multi
-            // incumbent can never be worse even under the time budget.
-            let single_cfg = OptimalConfig {
-                path_mode: PathMode::SingleFixed(PathKind::EnergyOriented),
-                solver: exact_solver_options(),
-                ..OptimalConfig::default()
-            };
-            let t0 = std::time::Instant::now();
-            let single_out = ndp_bench::session_for(&problem, &single_cfg).solve();
-            let single = ndp_bench::reduce_outcome(&single_out, t0.elapsed().as_secs_f64());
-            let multi = exact_point(
-                &problem,
-                &OptimalConfig {
-                    warm_start_deployment: single_out.ok().and_then(|o| o.deployment),
-                    solver: exact_solver_options(),
-                    ..OptimalConfig::default()
-                },
-            );
-            (multi, single)
-        });
-        let multi_feas = rows.iter().filter(|(m, _)| m.feasible).count() as f64 / rows.len() as f64;
-        let single_feas =
-            rows.iter().filter(|(_, s)| s.feasible).count() as f64 / rows.len() as f64;
-        // Energy averaged over instances where both arms are feasible, so
-        // the comparison is apples-to-apples.
-        let both: Vec<&(ndp_bench::ExactPoint, ndp_bench::ExactPoint)> =
-            rows.iter().filter(|(m, s)| m.feasible && s.feasible).collect();
-        let multi_mj = mean_finite(&both.iter().map(|(m, _)| m.objective_mj).collect::<Vec<_>>());
-        let single_mj = mean_finite(&both.iter().map(|(_, s)| s.objective_mj).collect::<Vec<_>>());
-        println!(
-            "{alpha:>6.2} {multi_feas:>12.2} {multi_mj:>14.4} {single_feas:>13.2} {single_mj:>15.4}"
-        );
-    }
+    fig2a(&ExperimentContext::new());
 }

@@ -6,39 +6,12 @@
 //! The heuristic's allocation phase is blind to `μ` (its communication
 //! estimate is allocation-independent), so this effect only shows in the
 //! exact arm — which is what we sweep (N = 4, M = 6).
+//!
+//! Runs on the batch engine (`ndp_bench::figs::fig2b`); the whole-family
+//! sweep lives in `batch_sweep`.
 
-use ndp_bench::{exact_solver_options, per_seed, InstanceSpec};
-use ndp_core::{communication_computation_ratio, max_tasks_per_processor, OptimalConfig};
-use ndp_noc::NocParams;
+use ndp_bench::figs::{fig2b, ExperimentContext};
 
 fn main() {
-    let seeds: Vec<u64> = (0..5).collect();
-    let factors = [0.2, 0.5, 1.0, 2.0, 5.0, 10.0];
-    println!("# Fig 2(b): M_max vs mu (exact solver, N=4, M=6, L=4)");
-    println!("{:>8} {:>10} {:>8} {:>10}", "factor", "mu", "M_max", "feasible");
-    for &factor in &factors {
-        let rows = per_seed(&seeds, |seed| {
-            let mut spec = InstanceSpec::new(6, 2, 2.0, seed);
-            spec.noc = NocParams::typical().scale_energy(factor);
-            let problem = spec.build();
-            let mu = communication_computation_ratio(&problem);
-            let cfg = OptimalConfig { solver: exact_solver_options(), ..OptimalConfig::default() };
-            let out = ndp_bench::session_for(&problem, &cfg).solve().ok();
-            let m_max = out
-                .as_ref()
-                .and_then(|o| o.deployment.as_ref())
-                .map(|d| max_tasks_per_processor(&problem, d));
-            let feasible = m_max.is_some();
-            (mu, m_max, feasible)
-        });
-        let mu = rows.iter().map(|(mu, _, _)| *mu).sum::<f64>() / rows.len() as f64;
-        let solved: Vec<usize> = rows.iter().filter_map(|(_, m, _)| *m).collect();
-        let m_max = if solved.is_empty() {
-            f64::NAN
-        } else {
-            solved.iter().sum::<usize>() as f64 / solved.len() as f64
-        };
-        let feas = rows.iter().filter(|(_, m, _)| m.is_some()).count() as f64 / rows.len() as f64;
-        println!("{factor:>8.1} {mu:>10.3} {m_max:>8.2} {feas:>10.2}");
-    }
+    fig2b(&ExperimentContext::new());
 }

@@ -6,62 +6,12 @@
 //! as `ε` grows, running slow + duplicating becomes the cheaper way to meet
 //! `R_th`, so `M_d` rises. We sweep `ε` by widening the voltage range of a
 //! synthetic 4-level table (exact solver, N = 4, M = 6).
+//!
+//! Runs on the batch engine (`ndp_bench::figs::fig2c`); the whole-family
+//! sweep lives in `batch_sweep`.
 
-use ndp_bench::{exact_solver_options, per_seed, InstanceSpec};
-use ndp_core::{duplicated_count, energy_gap_index, DeployObjective, OptimalConfig};
-use ndp_platform::ReliabilityParams;
+use ndp_bench::figs::{fig2c, ExperimentContext};
 
 fn main() {
-    let seeds: Vec<u64> = (0..5).collect();
-    // Wider voltage spans => larger per-cycle energy gap ε.
-    let v_spans = [0.05, 0.15, 0.25, 0.40, 0.55];
-    println!("# Fig 2(c): M_d vs epsilon (exact solver, N=4, M=6, L=4)");
-    println!(
-        "{:>8} {:>10} {:>8} {:>8} {:>10}",
-        "v_span", "epsilon", "M_d_BE", "M_d_ME", "feasible"
-    );
-    for &span in &v_spans {
-        let rows = per_seed(&seeds, |seed| {
-            let mut spec = InstanceSpec::new(6, 2, 2.5, seed);
-            spec.v_range = (0.85, 0.85 + span);
-            // Low leakage keeps the platform dynamic-power dominated, so the
-            // ε index grows monotonically with the voltage span.
-            spec.power.lg = 4.0e4;
-            // A harsher fault model so duplication is genuinely on the
-            // table at the threshold.
-            spec.reliability = ReliabilityParams { lambda_max_freq: 2e-5, sensitivity: 3.0 };
-            spec.reliability_threshold = 0.9995;
-            let problem = spec.build();
-            let eps = energy_gap_index(&problem);
-            let count = |objective| {
-                let cfg = OptimalConfig {
-                    objective,
-                    solver: exact_solver_options(),
-                    ..OptimalConfig::default()
-                };
-                ndp_bench::session_for(&problem, &cfg)
-                    .solve()
-                    .ok()
-                    .and_then(|o| o.deployment)
-                    .map(|d| duplicated_count(&problem, &d))
-            };
-            (
-                eps,
-                count(DeployObjective::BalanceEnergy),
-                count(DeployObjective::MinimizeTotalEnergy),
-            )
-        });
-        let eps = rows.iter().map(|(e, _, _)| *e).sum::<f64>() / rows.len() as f64;
-        let avg = |xs: Vec<usize>| {
-            if xs.is_empty() {
-                f64::NAN
-            } else {
-                xs.iter().sum::<usize>() as f64 / xs.len() as f64
-            }
-        };
-        let m_d_be = avg(rows.iter().filter_map(|(_, b, _)| *b).collect());
-        let m_d_me = avg(rows.iter().filter_map(|(_, _, m)| *m).collect());
-        let feas = rows.iter().filter(|(_, b, _)| b.is_some()).count() as f64 / rows.len() as f64;
-        println!("{span:>8.2} {eps:>10.3} {m_d_be:>8.2} {m_d_me:>8.2} {feas:>10.2}");
-    }
+    fig2c(&ExperimentContext::new());
 }

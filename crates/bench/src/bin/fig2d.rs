@@ -4,38 +4,13 @@
 //! The paper reports ME's total energy is lower than BE's by ≈13.6 % on
 //! average — the price BE pays for spreading load. Exact solver, N = 4,
 //! M = 5, sweeping the task count adds Fig. 2(d)'s x-axis.
+//!
+//! Runs on the batch engine (`ndp_bench::figs::fig2d`); the whole-family
+//! sweep lives in `batch_sweep`, where the BE/ME grid shared with
+//! fig 2(e)–(g) is solved once and replayed.
 
-use ndp_bench::{exact_point, exact_solver_options, mean_finite, per_seed, InstanceSpec};
-use ndp_core::{DeployObjective, OptimalConfig};
+use ndp_bench::figs::{fig2d, ExperimentContext};
 
 fn main() {
-    let seeds: Vec<u64> = (0..5).collect();
-    let task_counts = [3usize, 4, 5, 6];
-    println!("# Fig 2(d): total energy, BE vs ME (exact solver, N=4, L=4)");
-    println!("{:>4} {:>12} {:>12} {:>10}", "M", "BE_total_mJ", "ME_total_mJ", "ME_saving");
-    for &m in &task_counts {
-        let rows = per_seed(&seeds, |seed| {
-            let problem = InstanceSpec::new(m, 2, 2.0, seed).build();
-            let be_cfg =
-                OptimalConfig { solver: exact_solver_options(), ..OptimalConfig::default() };
-            let me_cfg = OptimalConfig {
-                objective: DeployObjective::MinimizeTotalEnergy,
-                solver: exact_solver_options(),
-                ..OptimalConfig::default()
-            };
-            // BE optimizes max-energy; report its *total* via the deployment.
-            let be_total = ndp_bench::session_for(&problem, &be_cfg)
-                .solve()
-                .ok()
-                .and_then(|o| o.deployment)
-                .map(|d| d.energy_report(&problem).total_mj())
-                .unwrap_or(f64::NAN);
-            let me = exact_point(&problem, &me_cfg);
-            (be_total, me.objective_mj)
-        });
-        let be = mean_finite(&rows.iter().map(|(b, _)| *b).collect::<Vec<_>>());
-        let me = mean_finite(&rows.iter().map(|(_, m)| *m).collect::<Vec<_>>());
-        let saving = (1.0 - me / be) * 100.0;
-        println!("{m:>4} {be:>12.4} {me:>12.4} {saving:>9.2}%");
-    }
+    fig2d(&ExperimentContext::new());
 }

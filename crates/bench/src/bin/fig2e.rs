@@ -4,35 +4,13 @@
 //! The paper's claim: BE's `φ` is smaller (better balanced) than ME's,
 //! because ME happily concentrates load to save communication energy.
 //! Exact solver, N = 4, L = 4.
+//!
+//! Runs on the batch engine (`ndp_bench::figs::fig2e`); the whole-family
+//! sweep lives in `batch_sweep`, where this figure replays fig 2(d)'s
+//! BE/ME grid from the shared solve cache instead of re-solving it.
 
-use ndp_bench::{exact_solver_options, mean_finite, per_seed, InstanceSpec};
-use ndp_core::{DeployObjective, OptimalConfig};
+use ndp_bench::figs::{fig2e, ExperimentContext};
 
 fn main() {
-    let seeds: Vec<u64> = (0..5).collect();
-    let task_counts = [3usize, 4, 5, 6];
-    println!("# Fig 2(e): balance index phi, BE vs ME (exact solver, N=4, L=4)");
-    println!("{:>4} {:>10} {:>10}", "M", "BE_phi", "ME_phi");
-    for &m in &task_counts {
-        let rows = per_seed(&seeds, |seed| {
-            let problem = InstanceSpec::new(m, 2, 2.0, seed).build();
-            let phi = |objective| {
-                let cfg = OptimalConfig {
-                    objective,
-                    solver: exact_solver_options(),
-                    ..OptimalConfig::default()
-                };
-                ndp_bench::session_for(&problem, &cfg)
-                    .solve()
-                    .ok()
-                    .and_then(|o| o.deployment)
-                    .map(|d| d.energy_report(&problem).balance_index())
-                    .unwrap_or(f64::NAN)
-            };
-            (phi(DeployObjective::BalanceEnergy), phi(DeployObjective::MinimizeTotalEnergy))
-        });
-        let be = mean_finite(&rows.iter().map(|(b, _)| *b).collect::<Vec<_>>());
-        let me = mean_finite(&rows.iter().map(|(_, m)| *m).collect::<Vec<_>>());
-        println!("{m:>4} {be:>10.3} {me:>10.3}");
-    }
+    fig2e(&ExperimentContext::new());
 }

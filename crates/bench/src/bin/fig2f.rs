@@ -5,45 +5,13 @@
 //! explosion simply arrives at smaller `M` than with Gurobi; the heuristic
 //! additionally runs at the paper's own sizes (M up to 100 on N = 16) to
 //! show its scalability.
+//!
+//! Runs on the batch engine (`ndp_bench::figs::fig2f`); the whole-family
+//! sweep lives in `batch_sweep`, where the exact arm replays fig 2(d)'s
+//! BE grid from the shared solve cache.
 
-use ndp_bench::{
-    exact_point, exact_solver_options, heuristic_point, mean_finite, per_seed, InstanceSpec,
-};
-use ndp_core::OptimalConfig;
+use ndp_bench::figs::{fig2f, ExperimentContext};
 
 fn main() {
-    let seeds: Vec<u64> = (0..5).collect();
-    println!("# Fig 2(f): wall time vs M");
-    println!("## exact arm (N=4, L=4, 6 s budget per solve)");
-    println!(
-        "{:>4} {:>12} {:>10} {:>10} {:>12}",
-        "M", "optimal_s", "nodes", "proven", "heuristic_s"
-    );
-    for m in [3usize, 4, 5, 6] {
-        let rows = per_seed(&seeds, |seed| {
-            let problem = InstanceSpec::new(m, 2, 2.0, seed).build();
-            let cfg = OptimalConfig { solver: exact_solver_options(), ..OptimalConfig::default() };
-            let exact = exact_point(&problem, &cfg);
-            let h_secs = heuristic_point(&problem).seconds;
-            (exact, h_secs)
-        });
-        let opt_s = mean_finite(&rows.iter().map(|(e, _)| e.seconds).collect::<Vec<_>>());
-        let nodes = rows.iter().map(|(e, _)| e.nodes).sum::<u64>() / rows.len() as u64;
-        let proven = rows.iter().filter(|(e, _)| e.proven).count();
-        let heu_s = mean_finite(&rows.iter().map(|(_, h)| *h).collect::<Vec<_>>());
-        println!("{m:>4} {opt_s:>12.3} {nodes:>10} {:>7}/{:<2} {heu_s:>12.6}", proven, rows.len());
-    }
-    println!("## heuristic arm at paper sizes (N=16, L=6)");
-    println!("{:>4} {:>14} {:>10}", "M", "heuristic_s", "feasible");
-    for m in [10usize, 20, 50, 100] {
-        let rows = per_seed(&seeds, |seed| {
-            let mut spec = InstanceSpec::new(m, 4, 3.0, seed);
-            spec.levels = 6;
-            let problem = spec.build();
-            heuristic_point(&problem)
-        });
-        let heu_s = mean_finite(&rows.iter().map(|h| h.seconds).collect::<Vec<_>>());
-        let feas = rows.iter().filter(|h| h.feasible()).count() as f64 / rows.len() as f64;
-        println!("{m:>4} {heu_s:>14.6} {feas:>10.2}");
-    }
+    fig2f(&ExperimentContext::new());
 }

@@ -3,50 +3,13 @@
 //! The paper reports the heuristic costs ≈26 % more energy than the optimum
 //! on average. We compare on instances where the exact arm proves
 //! optimality (N = 4, L = 4).
+//!
+//! Runs on the batch engine (`ndp_bench::figs::fig2g`); the whole-family
+//! sweep lives in `batch_sweep`, where the exact arm replays fig 2(d)'s
+//! BE grid from the shared solve cache.
 
-use ndp_bench::{
-    exact_point, exact_solver_options, heuristic_point, mean_finite, per_seed, InstanceSpec,
-};
-use ndp_core::OptimalConfig;
+use ndp_bench::figs::{fig2g, ExperimentContext};
 
 fn main() {
-    let seeds: Vec<u64> = (0..5).collect();
-    println!("# Fig 2(g): heuristic vs optimal energy (N=4, L=4)");
-    println!(
-        "{:>4} {:>12} {:>14} {:>10} {:>8}",
-        "M", "optimal_mJ", "heuristic_mJ", "overhead", "pairs"
-    );
-    let mut overall: Vec<f64> = Vec::new();
-    for m in [3usize, 4, 5, 6] {
-        let rows = per_seed(&seeds, |seed| {
-            let problem = InstanceSpec::new(m, 2, 2.0, seed).build();
-            let cfg = OptimalConfig { solver: exact_solver_options(), ..OptimalConfig::default() };
-            let exact = exact_point(&problem, &cfg);
-            let heuristic = heuristic_point(&problem);
-            let h_mj = heuristic.deployment.map(|d| d.energy_report(&problem).max_mj());
-            (exact, h_mj)
-        });
-        // Compare against the exact arm's best incumbent. The search is
-        // warm-started by the heuristic, so incumbent ≤ heuristic always and
-        // the reported overhead is a *lower bound* on the heuristic's true
-        // optimality gap (equal to it when `proven`).
-        let pairs: Vec<(f64, f64, bool)> = rows
-            .iter()
-            .filter(|(e, h)| e.feasible && h.is_some())
-            .map(|(e, h)| (e.objective_mj, h.expect("filtered"), e.proven || e.gap <= 0.02))
-            .collect();
-        let o = mean_finite(&pairs.iter().map(|(o, _, _)| *o).collect::<Vec<_>>());
-        let h = mean_finite(&pairs.iter().map(|(_, h, _)| *h).collect::<Vec<_>>());
-        let overhead = (h / o - 1.0) * 100.0;
-        for (o, h, _) in &pairs {
-            overall.push((h / o - 1.0) * 100.0);
-        }
-        let proven = pairs.iter().filter(|(_, _, p)| *p).count();
-        println!("{m:>4} {o:>12.4} {h:>14.4} {overhead:>9.2}% {:>5}({proven} proven)", pairs.len());
-    }
-    println!(
-        "\naverage heuristic overhead (lower bound) over {} instances: {:+.2}% (paper: +26.05%)",
-        overall.len(),
-        mean_finite(&overall)
-    );
+    fig2g(&ExperimentContext::new());
 }

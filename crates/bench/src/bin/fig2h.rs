@@ -1,29 +1,17 @@
 //! Fig. 2(h): feasibility ratio `δ = n_f/n_a` vs the horizon factor `α`,
-//! optimal vs heuristic, over 20 random task graphs per point (scaled from the paper's
-//! `n_a = 30`).
+//! optimal vs heuristic, over 20 random task graphs per point (scaled from
+//! the paper's `n_a = 30`).
 //!
 //! The paper's claims: `δ` rises with `α` for both methods, and the optimal
 //! method is at least as feasible as the heuristic (it optimizes jointly;
 //! the heuristic commits phase by phase). Exact arm at N = 4, M = 5.
+//!
+//! Runs on the batch engine (`ndp_bench::figs::fig2h`); the whole-family
+//! sweep lives in `batch_sweep`, where the `α = 2.0` column shares
+//! members with fig 2(d)'s `M = 5` grid.
 
-use ndp_bench::{exact_point, exact_solver_options, heuristic_point, per_seed, InstanceSpec};
-use ndp_core::{feasibility_ratio, OptimalConfig};
+use ndp_bench::figs::{fig2h, ExperimentContext};
 
 fn main() {
-    let seeds: Vec<u64> = (0..20).collect();
-    let alphas = [0.25, 0.5, 1.0, 1.5, 2.0];
-    println!("# Fig 2(h): feasibility ratio delta vs alpha (N=4, M=5, L=4, 20 graphs)");
-    println!("{:>6} {:>14} {:>16}", "alpha", "optimal_delta", "heuristic_delta");
-    for &alpha in &alphas {
-        let rows = per_seed(&seeds, |seed| {
-            let problem = InstanceSpec::new(5, 2, alpha, seed).build();
-            let cfg = OptimalConfig { solver: exact_solver_options(), ..OptimalConfig::default() };
-            let exact = exact_point(&problem, &cfg);
-            let heuristic = heuristic_point(&problem);
-            (exact.feasible, heuristic.feasible())
-        });
-        let opt = feasibility_ratio(&rows.iter().map(|(o, _)| *o).collect::<Vec<_>>());
-        let heu = feasibility_ratio(&rows.iter().map(|(_, h)| *h).collect::<Vec<_>>());
-        println!("{alpha:>6.2} {opt:>14.2} {heu:>16.2}");
-    }
+    fig2h(&ExperimentContext::new());
 }

@@ -193,6 +193,9 @@ fn record(tasks: usize, mesh: usize, row: &Row) -> BenchRecord {
         dual_bound: out.best_bound_mj,
         seconds: row.incremental.seconds,
         speedup: Some(row.speedup()),
+        batch: false,
+        portfolio: false,
+        sweep_wall_seconds: None,
     }
 }
 

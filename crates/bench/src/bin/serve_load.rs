@@ -64,6 +64,9 @@ fn record(instance: &str, status: &str, nodes: u64, seconds: f64, threads: usize
         dual_bound: f64::INFINITY,
         seconds,
         speedup: None,
+        batch: false,
+        portfolio: false,
+        sweep_wall_seconds: None,
     }
 }
 

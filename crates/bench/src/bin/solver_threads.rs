@@ -159,6 +159,9 @@ fn main() {
                 dual_bound: out.best_bound_mj,
                 seconds: out.solve_seconds,
                 speedup: None,
+                batch: false,
+                portfolio: false,
+                sweep_wall_seconds: None,
             });
         }
         let throughput = nodes as f64 / total_seconds;

@@ -22,8 +22,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod figs;
+
 use ndp_core::{
-    CommTimeModel, Deployment, DeploymentSession, OptimalConfig, OptimalOutcome, ProblemInstance,
+    BatchOutcome, CommTimeModel, Deployment, DeploymentSession, OptimalConfig, OptimalOutcome,
+    ProblemInstance,
 };
 use ndp_milp::{NodeOrder, Observer, Pricing, SolveStats, SolveStatus, SolverEvent, SolverOptions};
 use ndp_noc::{Mesh2D, NocParams, WeightedNoc};
@@ -224,6 +227,25 @@ pub fn exact_point(problem: &ProblemInstance, config: &OptimalConfig) -> ExactPo
     reduce_outcome(&outcome, t0.elapsed().as_secs_f64())
 }
 
+/// Reduces one member result of a `BatchSession::solve_all` to an
+/// [`ExactPoint`]. The `seconds` column carries the member's solver
+/// seconds — for a cache replay that is the solve time of the original
+/// run, not the (near-zero) replay cost.
+pub fn reduce_batch(result: &ndp_core::Result<BatchOutcome>) -> ExactPoint {
+    match result {
+        Ok(b) => reduce_outcome(&Ok(b.outcome.clone()), b.outcome.solve_seconds),
+        Err(_) => ExactPoint {
+            feasible: false,
+            proven: false,
+            objective_mj: f64::NAN,
+            seconds: 0.0,
+            nodes: 0,
+            gap: f64::INFINITY,
+            stats: SolveStats::default(),
+        },
+    }
+}
+
 /// Outcome of one heuristic run, reduced to what the figures need.
 #[derive(Debug, Clone)]
 pub struct HeuristicPoint {
@@ -248,40 +270,22 @@ pub fn heuristic_point(problem: &ProblemInstance) -> HeuristicPoint {
     HeuristicPoint { deployment, seconds: t0.elapsed().as_secs_f64() }
 }
 
-/// Maps `f` over the seeds in parallel (one thread per seed, bounded by the
-/// machine's parallelism) and returns results in seed order.
-pub fn per_seed<T: Send>(seeds: &[u64], f: impl Fn(u64) -> T + Sync) -> Vec<T> {
-    let max_par = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
-    let mut out: Vec<Option<T>> = (0..seeds.len()).map(|_| None).collect();
-    for chunk in seeds.chunks(max_par).zip_longest_indices() {
-        let (start, batch) = chunk;
-        crossbeam::scope(|s| {
-            let f = &f;
-            let handles: Vec<_> = batch.iter().map(|&seed| s.spawn(move |_| f(seed))).collect();
-            for (off, h) in handles.into_iter().enumerate() {
-                out[start + off] = Some(h.join().expect("experiment thread must not panic"));
-            }
-        })
-        .expect("scope");
-    }
-    out.into_iter().map(|o| o.expect("filled")).collect()
-}
-
-/// Helper iterator: chunks with their starting indices.
-trait ChunkIndexExt<'a, T> {
-    fn zip_longest_indices(self) -> Vec<(usize, &'a [T])>;
-}
-
-impl<'a, T> ChunkIndexExt<'a, T> for std::slice::Chunks<'a, T> {
-    fn zip_longest_indices(self) -> Vec<(usize, &'a [T])> {
-        let mut start = 0;
-        let mut out = Vec::new();
-        for c in self {
-            out.push((start, c));
-            start += c.len();
-        }
-        out
-    }
+/// Maps `f` over the seeds as work-stealing tasks on the process-global
+/// solver worker pool and returns results in seed order.
+///
+/// Scheduling is non-barriered: seeds are claimed one at a time from a
+/// shared cursor, so a slow seed never gates the start of later ones (the
+/// old implementation ran fixed chunks under `crossbeam::scope`, where
+/// each chunk waited for its slowest member). Output order stays
+/// deterministic — result `i` is `f(seeds[i])` regardless of which worker
+/// computed it or when it finished.
+pub fn per_seed<T, F>(seeds: &[u64], f: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(u64) -> T + Send + Sync + 'static,
+{
+    let seeds = seeds.to_vec();
+    ndp_milp::run_batch(seeds.len(), move |i| f(seeds[i]))
 }
 
 /// Parses a `--pricing` flag value (`dse`/`steepest-edge`, `devex`,
@@ -379,6 +383,14 @@ pub struct BenchRecord {
     /// solve over the incremental re-solve of the same event (>1 means
     /// the warm path won). `None` for ordinary one-shot records.
     pub speedup: Option<f64>,
+    /// The record came from the batch engine (`BatchSession` /
+    /// `batch_sweep`) rather than a serial one-at-a-time run.
+    pub batch: bool,
+    /// Portfolio racing (heuristic vs exact arms) was enabled.
+    pub portfolio: bool,
+    /// For sweep-level records: end-to-end wall-clock of the full sweep
+    /// this record belongs to. `None` for per-solve records.
+    pub sweep_wall_seconds: Option<f64>,
 }
 
 /// A finite float as JSON, non-finite as `null` (JSON has no Inf/NaN).
@@ -403,7 +415,8 @@ impl BenchRecord {
                 "\"pivots\":{},\"warm_starts\":{},\"cold_starts\":{},\"cuts_applied\":{},",
                 "\"heuristic_incumbents\":{},\"propagated_bounds\":{},",
                 "\"conflict_cuts_applied\":{},",
-                "\"gap\":{},\"dual_bound\":{},\"seconds\":{:.4},\"speedup\":{}}}"
+                "\"gap\":{},\"dual_bound\":{},\"seconds\":{:.4},\"speedup\":{},",
+                "\"batch\":{},\"portfolio\":{},\"sweep_wall_seconds\":{}}}"
             ),
             self.instance,
             self.kernel,
@@ -428,6 +441,9 @@ impl BenchRecord {
             json_f64(self.dual_bound),
             self.seconds,
             self.speedup.map_or_else(|| "null".to_string(), json_f64),
+            self.batch,
+            self.portfolio,
+            self.sweep_wall_seconds.map_or_else(|| "null".to_string(), json_f64),
         )
     }
 }
@@ -573,6 +589,9 @@ mod tests {
             dual_bound: 42.5,
             seconds: 0.25,
             speedup: None,
+            batch: true,
+            portfolio: false,
+            sweep_wall_seconds: Some(123.5),
         };
         let j = r.to_json();
         for needle in [
@@ -596,6 +615,9 @@ mod tests {
             "\"gap\":0.000000",
             "\"dual_bound\":42.500000",
             "\"seconds\":0.2500",
+            "\"batch\":true",
+            "\"portfolio\":false",
+            "\"sweep_wall_seconds\":123.500000",
         ] {
             assert!(j.contains(needle), "missing {needle} in {j}");
         }
@@ -629,10 +651,14 @@ mod tests {
             dual_bound: f64::NAN,
             seconds: 6.0,
             speedup: None,
+            batch: false,
+            portfolio: false,
+            sweep_wall_seconds: Some(f64::NAN),
         };
         let j = r.to_json();
         assert!(j.contains("\"gap\":null"), "{j}");
         assert!(j.contains("\"dual_bound\":null"), "{j}");
+        assert!(j.contains("\"sweep_wall_seconds\":null"), "{j}");
         assert!(!j.contains("inf") && !j.contains("NaN"), "{j}");
     }
 
@@ -661,6 +687,9 @@ mod tests {
             dual_bound: 1.0,
             seconds: 0.1,
             speedup: None,
+            batch: false,
+            portfolio: false,
+            sweep_wall_seconds: None,
         }
     }
 

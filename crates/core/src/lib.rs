@@ -49,6 +49,7 @@
 
 mod analysis;
 mod baselines;
+mod batch;
 mod error;
 mod fingerprint;
 mod formulation;
@@ -66,6 +67,7 @@ pub use analysis::{
     max_tasks_per_processor,
 };
 pub use baselines::{first_fit_fastest, random_mapping, round_robin};
+pub use batch::{BatchOutcome, BatchSession, SolveCache};
 pub use error::{DeployError, Error, Result};
 pub use fingerprint::{instance_fingerprint, model_fingerprint};
 #[allow(deprecated)]
@@ -98,9 +100,9 @@ pub mod prelude {
     //! (including observability and cancellation) and the sibling-crate
     //! types needed to construct a [`ProblemInstance`].
     pub use crate::{
-        validate, DeployObjective, Deployment, DeploymentSession, DeploymentSessionBuilder,
-        EnergyReport, Error, EventDisposition, OptimalConfig, OptimalOutcome, PathMode,
-        ProblemInstance, ScenarioEvent,
+        validate, BatchOutcome, BatchSession, DeployObjective, Deployment, DeploymentSession,
+        DeploymentSessionBuilder, EnergyReport, Error, EventDisposition, OptimalConfig,
+        OptimalOutcome, PathMode, ProblemInstance, ScenarioEvent, SolveCache,
     };
     pub use ndp_milp::{
         CancelToken, Observer, ObserverHandle, Pricing, SolveStats, SolveStatus, SolverEvent,

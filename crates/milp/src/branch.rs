@@ -937,7 +937,7 @@ pub(crate) fn solve_session(
 }
 
 /// Validates every expression of the model for NaN up front.
-fn validate_nan(model: &Model) -> Result<()> {
+pub(crate) fn validate_nan(model: &Model) -> Result<()> {
     if model.objective().has_nan() {
         return Err(MilpError::NotANumber { context: "objective".into() });
     }
@@ -950,7 +950,7 @@ fn validate_nan(model: &Model) -> Result<()> {
 }
 
 /// Solves a model with no variables: feasible iff every row holds constant.
-fn solve_constant(model: &Model, options: &SolverOptions, start: Instant) -> Solution {
+pub(crate) fn solve_constant(model: &Model, options: &SolverOptions, start: Instant) -> Solution {
     let feasible = model.rows.iter().all(|r| {
         let lhs = r.expr.constant();
         match r.sense {
@@ -1029,8 +1029,19 @@ pub(crate) fn solve(model: &Model, options: &SolverOptions) -> Result<Solution> 
                     .emit(|| SolverEvent::Presolve { eliminated_vars, eliminated_rows });
                 let shrunk = eliminated_vars > 0 || eliminated_rows > 0;
                 if shrunk {
+                    let red = Arc::new(red);
                     let mut inner = options.clone();
                     inner.presolve = false;
+                    // A feed publishes points in the caller's column space;
+                    // route them through the same presolve mapping as warm
+                    // starts so the reduced search can consume them.
+                    if let Some(feed) = inner.incumbent_feed.take() {
+                        let map_red = Arc::clone(&red);
+                        let tol = options.integrality_tol.max(options.feasibility_tol);
+                        inner.incumbent_feed = Some(
+                            feed.mapped(Arc::new(move |p: &[f64]| map_red.presolve_point(p, tol))),
+                        );
+                    }
                     let mut reduced_model = red.model.clone();
                     if let Some(ws) = model.warm_start() {
                         if let Some(rws) = red.presolve_point(
@@ -1075,7 +1086,7 @@ pub(crate) fn solve(model: &Model, options: &SolverOptions) -> Result<Solution> 
 /// columns) so the serial root node re-enters warm, and `capture` to
 /// receive the final form + basis for the next re-solve.
 #[allow(clippy::too_many_arguments)]
-fn solve_on_form(
+pub(crate) fn solve_on_form(
     model: &Model,
     options: &SolverOptions,
     mut sf: StandardForm,
@@ -1416,6 +1427,37 @@ fn node_limit_hit(options: &SolverOptions, nodes: u64) -> bool {
     options.node_limit != 0 && nodes >= options.node_limit as u64
 }
 
+/// Polls the registered [`IncumbentFeed`](crate::IncumbentFeed) (if any)
+/// and offers a freshly published point to `incumbent`. Points are vetted
+/// exactly like user warm starts — full-length, feasible at the solver's
+/// tolerances — so a bad publication is dropped rather than corrupting the
+/// search. Returns whether the incumbent improved. Shared by the serial
+/// loops and every parallel worker (each keeps its own `cursor`).
+pub(crate) fn poll_feed(
+    worker: &NodeWorker<'_>,
+    cursor: &mut u64,
+    incumbent: &mut dyn Incumbent,
+    bound_internal: f64,
+) -> bool {
+    let Some(feed) = &worker.options.incumbent_feed else {
+        return false;
+    };
+    let Some(point) = feed.poll(cursor) else {
+        return false;
+    };
+    let tol = worker.options.integrality_tol.max(worker.options.feasibility_tol);
+    if point.len() != worker.model.num_vars() || !worker.model.is_feasible(&point, tol) {
+        return false;
+    }
+    let obj = internal_objective(worker.model, worker.sf, &point);
+    if incumbent.offer(&point, obj) {
+        worker.emit_incumbent(obj, bound_internal);
+        true
+    } else {
+        false
+    }
+}
+
 fn run_dfs(
     worker: &mut NodeWorker<'_>,
     incumbent: &mut LocalIncumbent,
@@ -1425,10 +1467,14 @@ fn run_dfs(
     let options = worker.options;
     let mut stack = vec![root];
     let mut best_open_bound = f64::INFINITY;
+    let mut feed_cursor = 0u64;
     while let Some(node) = stack.pop() {
         if options.cancelled() {
             worker.interrupted = true;
         }
+        // Same cadence as the cancel check: a point published by a racing
+        // portfolio arm lands before this node is bounded or evaluated.
+        poll_feed(worker, &mut feed_cursor, incumbent, node.bound);
         if worker.interrupted || worker.time_up() || node_limit_hit(options, worker.nodes) {
             worker.hit_limit = true;
             best_open_bound = best_open_bound.min(node.bound);
@@ -1475,10 +1521,12 @@ fn run_best_bound(
     let mut heap = BinaryHeap::new();
     heap.push(HeapNode(root));
     let mut best_open_bound = f64::INFINITY;
+    let mut feed_cursor = 0u64;
     while let Some(HeapNode(node)) = heap.pop() {
         if options.cancelled() {
             worker.interrupted = true;
         }
+        poll_feed(worker, &mut feed_cursor, incumbent, node.bound);
         if worker.interrupted || worker.time_up() || node_limit_hit(options, worker.nodes) {
             worker.hit_limit = true;
             best_open_bound = node.bound;

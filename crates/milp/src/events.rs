@@ -43,8 +43,10 @@
 //! far with [`SolveStatus::Interrupted`](crate::SolveStatus::Interrupted).
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use crate::solution::SolveStatus;
 
@@ -360,6 +362,124 @@ impl PartialEq for CancelToken {
     }
 }
 
+/// The versioned slot behind an [`IncumbentFeed`].
+struct FeedSlot {
+    /// Incremented after every publication; pollers compare against their
+    /// last-seen version so an unchanged feed costs one atomic load.
+    version: AtomicU64,
+    /// The most recently published point (later publications overwrite
+    /// earlier ones).
+    point: Mutex<Option<Vec<f64>>>,
+}
+
+/// Mapping applied to published points before a solve consumes them (used
+/// internally to translate a feed into a presolve-reduced column space).
+type FeedMap = dyn Fn(&[f64]) -> Option<Vec<f64>> + Send + Sync;
+
+/// A shared slot through which an external producer — a racing portfolio
+/// arm, a heuristic, or another solve — injects feasible points into a
+/// *running* solve.
+///
+/// Register a clone through
+/// [`SolverOptions::incumbent_feed`](crate::SolverOptions::incumbent_feed)
+/// and call [`IncumbentFeed::publish`] from any thread. The search polls the
+/// feed at every node boundary (the same cadence as [`CancelToken`]);
+/// points that are feasible for the model at the solver's tolerances and
+/// improve on the current incumbent are installed exactly as if a node had
+/// produced them, so pruning tightens mid-solve. Infeasible or worse points
+/// are ignored, which makes feeding always safe: a feed can only shrink the
+/// search, never change the optimum.
+///
+/// Publications overwrite each other (the slot keeps only the latest
+/// point); publish improvements only. Like cancellation, a feed couples the
+/// solve to external timing, so a fed serial solve keeps its *result*
+/// determinism for proven statuses but not its node-for-node event stream.
+#[derive(Clone)]
+pub struct IncumbentFeed {
+    slot: Arc<FeedSlot>,
+    /// Optional column-space translation applied at poll time.
+    map: Option<Arc<FeedMap>>,
+}
+
+impl IncumbentFeed {
+    /// A fresh, empty feed.
+    pub fn new() -> Self {
+        IncumbentFeed {
+            slot: Arc::new(FeedSlot { version: AtomicU64::new(0), point: Mutex::new(None) }),
+            map: None,
+        }
+    }
+
+    /// Publishes `point` (in the column space of the model the consuming
+    /// solve was handed), replacing any earlier publication. Safe from any
+    /// thread, any number of times.
+    pub fn publish(&self, point: Vec<f64>) {
+        *self.slot.point.lock() = Some(point);
+        self.slot.version.fetch_add(1, Ordering::Release);
+    }
+
+    /// Whether anything has ever been published.
+    pub fn has_point(&self) -> bool {
+        self.slot.version.load(Ordering::Acquire) > 0
+    }
+
+    /// Returns the latest published point if its version is newer than
+    /// `*cursor`, advancing the cursor. The unchanged-feed fast path is a
+    /// single atomic load.
+    pub(crate) fn poll(&self, cursor: &mut u64) -> Option<Vec<f64>> {
+        let version = self.slot.version.load(Ordering::Acquire);
+        if version == *cursor {
+            return None;
+        }
+        *cursor = version;
+        let point = self.slot.point.lock().clone()?;
+        match &self.map {
+            Some(map) => map(&point),
+            None => Some(point),
+        }
+    }
+
+    /// A view of the same slot whose polled points pass through `map`
+    /// first (e.g. into a presolve-reduced column space). Publishing goes
+    /// through either handle; mapping composes outside-in.
+    pub(crate) fn mapped(&self, map: Arc<FeedMap>) -> Self {
+        let inner = self.map.clone();
+        let composed: Arc<FeedMap> = match inner {
+            Some(first) => Arc::new(move |p: &[f64]| first(p).and_then(|q| map(&q))),
+            None => map,
+        };
+        IncumbentFeed { slot: Arc::clone(&self.slot), map: Some(composed) }
+    }
+}
+
+impl Default for IncumbentFeed {
+    fn default() -> Self {
+        IncumbentFeed::new()
+    }
+}
+
+impl fmt::Debug for IncumbentFeed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "IncumbentFeed(version {}{})",
+            self.slot.version.load(Ordering::Acquire),
+            if self.map.is_some() { ", mapped" } else { "" }
+        )
+    }
+}
+
+impl PartialEq for IncumbentFeed {
+    fn eq(&self, other: &Self) -> bool {
+        let maps_match = match (&self.map, &other.map) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            (None, None) => true,
+            _ => false,
+        };
+        Arc::ptr_eq(&self.slot, &other.slot) && maps_match
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -387,6 +507,43 @@ mod tests {
         handle.emit(|| SolverEvent::Phase { name: "p" });
         ObserverHandle::none().emit(|| panic!("must not build events when unset"));
         assert_eq!(*seen.lock().unwrap(), vec![SolverEvent::Phase { name: "p" }]);
+    }
+
+    #[test]
+    fn incumbent_feed_polls_latest_once() {
+        let feed = IncumbentFeed::new();
+        let consumer = feed.clone();
+        let mut cursor = 0u64;
+        assert!(!feed.has_point());
+        assert_eq!(consumer.poll(&mut cursor), None);
+        feed.publish(vec![1.0]);
+        feed.publish(vec![2.0]);
+        assert!(feed.has_point());
+        // Only the latest publication is visible, and only once per cursor.
+        assert_eq!(consumer.poll(&mut cursor), Some(vec![2.0]));
+        assert_eq!(consumer.poll(&mut cursor), None);
+        feed.publish(vec![3.0]);
+        assert_eq!(consumer.poll(&mut cursor), Some(vec![3.0]));
+    }
+
+    #[test]
+    fn incumbent_feed_mapping_composes_and_shares_the_slot() {
+        let feed = IncumbentFeed::new();
+        let doubled = feed.mapped(Arc::new(|p: &[f64]| Some(p.iter().map(|x| 2.0 * x).collect())));
+        let gated = doubled.mapped(Arc::new(|p: &[f64]| (p[0] < 10.0).then(|| p.to_vec())));
+        feed.publish(vec![3.0]);
+        let mut cursor = 0u64;
+        assert_eq!(doubled.poll(&mut cursor), Some(vec![6.0]));
+        // A map returning None still advances the cursor (the point is
+        // consumed, just unusable in the mapped space).
+        let mut gated_cursor = 0u64;
+        feed.publish(vec![7.0]);
+        assert_eq!(gated.poll(&mut gated_cursor), None);
+        feed.publish(vec![2.0]);
+        assert_eq!(gated.poll(&mut gated_cursor), Some(vec![4.0]));
+        assert_eq!(feed, feed.clone());
+        assert_ne!(feed, doubled);
+        assert_ne!(feed, IncumbentFeed::new());
     }
 
     #[test]

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod batch;
 mod branch;
 mod cuts;
 mod delta;
@@ -68,9 +69,12 @@ mod standard;
 #[cfg(test)]
 mod testgen;
 
+pub use batch::{run_batch, PreparedModel};
 pub use delta::{DeltaOutcome, ModelDelta};
 pub use error::{MilpError, Result};
-pub use events::{CancelToken, Observer, ObserverHandle, SolverEvent, TerminationReason};
+pub use events::{
+    CancelToken, IncumbentFeed, Observer, ObserverHandle, SolverEvent, TerminationReason,
+};
 pub use expr::LinExpr;
 pub use model::{ConstraintId, ConstraintSense, Model, Objective, VarId, VarKind};
 pub use mps::{parse_mps, write_mps};

@@ -1,6 +1,6 @@
 //! Solver configuration.
 
-use crate::events::{CancelToken, Observer, ObserverHandle};
+use crate::events::{CancelToken, IncumbentFeed, Observer, ObserverHandle};
 use std::sync::Arc;
 
 /// Rule used to pick the fractional integer variable to branch on.
@@ -177,6 +177,10 @@ pub struct SolverOptions {
     /// long simplex loops; unset by default. See
     /// [`SolverOptions::cancel_token`].
     pub cancel: Option<CancelToken>,
+    /// External incumbent feed polled at node boundaries: feasible points
+    /// published by a racing portfolio arm are installed as incumbents
+    /// mid-solve; unset by default. See [`SolverOptions::incumbent_feed`].
+    pub incumbent_feed: Option<IncumbentFeed>,
 }
 
 impl Default for SolverOptions {
@@ -211,6 +215,7 @@ impl Default for SolverOptions {
             conflict_cuts: true,
             observer: ObserverHandle::none(),
             cancel: None,
+            incumbent_feed: None,
         }
     }
 }
@@ -293,6 +298,17 @@ impl SolverOptions {
     #[inline]
     pub(crate) fn cancelled(&self) -> bool {
         self.cancel.as_ref().is_some_and(|t| t.is_cancelled())
+    }
+
+    /// Registers an [`IncumbentFeed`], builder-style. Keep a clone and
+    /// [`publish`](IncumbentFeed::publish) feasible points from any thread
+    /// — a racing heuristic arm, another solve of a portfolio — and the
+    /// search installs improving ones as incumbents at its next node
+    /// boundary. Infeasible or non-improving points are silently dropped,
+    /// so feeding never changes the optimum, only how fast it is proven.
+    pub fn incumbent_feed(mut self, feed: IncumbentFeed) -> Self {
+        self.incumbent_feed = Some(feed);
+        self
     }
 
     /// Sets the worker-thread count, builder-style (`0` = auto, `1` =
@@ -445,10 +461,20 @@ mod tests {
     }
 
     #[test]
+    fn incumbent_feed_registers_builder_style() {
+        let o = SolverOptions::default();
+        assert!(o.incumbent_feed.is_none());
+        let feed = crate::IncumbentFeed::new();
+        let o = o.incumbent_feed(feed.clone());
+        assert_eq!(o.incumbent_feed, Some(feed));
+    }
+
+    #[test]
     fn observer_and_cancel_default_unset() {
         let o = SolverOptions::default();
         assert!(!o.observer.is_set());
         assert!(o.cancel.is_none());
+        assert!(o.incumbent_feed.is_none());
         assert!(!o.cancelled());
         let tok = crate::CancelToken::new();
         let o = o.cancel_token(tok.clone());

@@ -34,7 +34,9 @@
 //! [`MilpError::WorkerPanicked`]; concurrent solves and the pool threads
 //! are untouched.
 
-use crate::branch::{gap_closed, HeapNode, Incumbent, NodeWorker, OpenNode, SearchOutcome};
+use crate::branch::{
+    gap_closed, poll_feed, HeapNode, Incumbent, NodeWorker, OpenNode, SearchOutcome,
+};
 use crate::error::{MilpError, Result};
 use crate::events::SolverEvent;
 use crate::model::Model;
@@ -238,7 +240,7 @@ impl SearchShared {
 }
 
 /// Best-effort extraction of a panic payload's message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -441,6 +443,7 @@ fn worker_loop(shared: &SearchShared, id: usize, local: Option<Deque<OpenNode>>)
     let mut handle = SharedHandle(incumbent);
     let local = local.as_ref();
     let mut steals: u64 = 0;
+    let mut feed_cursor = 0u64;
 
     loop {
         if control.stop.load(Ordering::Acquire) {
@@ -471,6 +474,9 @@ fn worker_loop(shared: &SearchShared, id: usize, local: Option<Deque<OpenNode>>)
             worker.interrupted = true;
             control.interrupted.store(true, Ordering::Release);
         }
+        // Every worker polls the external feed with its own cursor; the
+        // shared incumbent dedups concurrent offers of the same point.
+        poll_feed(&worker, &mut feed_cursor, &mut handle, node.bound);
         if worker.interrupted || worker.time_up() || control.node_limit_hit(options) {
             control.hit_limit.store(true, Ordering::Release);
             control.stop.store(true, Ordering::Release);
