@@ -11,9 +11,11 @@
 //! basis_kernel [--tasks M] [--seconds S] [--seed K] [--instances I]
 //!              [--pricing dse|devex|dantzig] [--node-order dfs|best-bound]
 //!              [--warm on|off] [--cuts on|off] [--heuristics on|off]
-//!              [--propagation on|off] [--conflicts on|off] [--json PATH]
-//!              [--append-json PATH] [--ablation] [--cuts-ablation]
-//!              [--heuristics-ablation] [--trace]
+//!              [--propagation on|off] [--conflicts on|off]
+//!              [--branch-rule most-frac|first-frac|pseudo|reliability]
+//!              [--symmetry on|off] [--json PATH] [--append-json PATH]
+//!              [--ablation] [--cuts-ablation] [--heuristics-ablation]
+//!              [--symmetry-ablation] [--trace]
 //! ```
 //!
 //! `--ablation` replaces the kernel A/B with the full
@@ -36,6 +38,12 @@
 //! tree (when both prove). When the budget stops both endpoint runs early
 //! the gate compares incumbent gaps instead: all-on must not be worse.
 //!
+//! `--symmetry-ablation` runs the tree-shrink grid (baseline, reliability
+//! branching only, symmetry only, both) on the same reference
+//! configuration and **fails** (exit code 1) if proven optima diverge, a
+//! feature arm loses an optimum the baseline proves, or a feature arm's
+//! tree is more than 5% larger than the baseline's.
+//!
 //! `--json PATH` additionally writes the run's records as a JSON array
 //! (see `results/BENCH_milp.json` for the checked-in baseline);
 //! `--append-json PATH` appends them to an existing array instead, the
@@ -48,11 +56,11 @@
 //! termination) to stderr while the table prints to stdout.
 
 use ndp_bench::{
-    append_bench_json, node_order_name, parse_node_order, parse_pricing, pricing_name,
-    trace_observer, write_bench_json, BenchRecord, InstanceSpec,
+    append_bench_json, branch_rule_name, node_order_name, parse_branch_rule, parse_node_order,
+    parse_pricing, pricing_name, trace_observer, write_bench_json, BenchRecord, InstanceSpec,
 };
 use ndp_core::{DeployObjective, MilpEncoding, PathMode};
-use ndp_milp::{BasisKernel, NodeOrder, Pricing, SolverOptions};
+use ndp_milp::{BasisKernel, BranchRule, NodeOrder, Pricing, SolverOptions};
 
 /// The branch-and-bound accelerator toggles threaded through every run.
 #[derive(Debug, Clone, Copy)]
@@ -65,6 +73,19 @@ struct Accel {
 impl Accel {
     const ALL_ON: Accel = Accel { heuristics: true, propagation: true, conflicts: true };
     const ALL_OFF: Accel = Accel { heuristics: false, propagation: false, conflicts: false };
+}
+
+/// The tree-shrink dimensions of PR 10: branching rule and mesh-symmetry
+/// exploitation (lex-leader rows + orbital fixing).
+#[derive(Debug, Clone, Copy)]
+struct Search {
+    branch: BranchRule,
+    symmetry: bool,
+}
+
+impl Search {
+    /// The PR-6-era reference: most-fractional branching, no symmetry.
+    const BASELINE: Search = Search { branch: BranchRule::MostFractional, symmetry: false };
 }
 
 struct KernelRun {
@@ -81,6 +102,9 @@ struct KernelRun {
     gap: f64,
     dual_bound: f64,
     objective: f64,
+    symmetry_orbits: u64,
+    orbital_fixings: u64,
+    strong_branch_probes: u64,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -91,6 +115,7 @@ fn run(
     warm: bool,
     cuts: bool,
     accel: Accel,
+    search: Search,
     tasks: usize,
     seconds: f64,
     seed: u64,
@@ -108,11 +133,20 @@ fn run(
         .cuts(cuts)
         .heuristics(accel.heuristics)
         .propagation(accel.propagation)
-        .conflict_cuts(accel.conflicts);
+        .conflict_cuts(accel.conflicts)
+        .branch_rule(search.branch);
+    if search.symmetry {
+        // The solver verifies each mesh automorphism against the model
+        // coefficients, so an asymmetric (jitter-broken) instance simply
+        // yields no group.
+        opts = opts.symmetry_candidates(enc.symmetry_candidates(&p));
+    } else {
+        opts = opts.symmetry_breaking(false).orbital_fixing(false);
+    }
     if trace {
         eprintln!(
             "[trace] --- kernel={kernel:?} pricing={} order={} warm={warm} cuts={cuts} \
-             accel={accel:?} seed={seed} ---",
+             accel={accel:?} search={search:?} seed={seed} ---",
             pricing_name(pricing),
             node_order_name(order)
         );
@@ -134,6 +168,9 @@ fn run(
         gap: sol.gap(),
         dual_bound: sol.best_bound(),
         objective: if sol.has_incumbent() { sol.objective_value() } else { f64::NAN },
+        symmetry_orbits: sol.stats().symmetry_orbits,
+        orbital_fixings: sol.stats().orbital_fixings,
+        strong_branch_probes: sol.stats().strong_branch_probes,
     }
 }
 
@@ -153,6 +190,7 @@ fn record(
     warm: bool,
     cuts: bool,
     accel: Accel,
+    search: Search,
     tasks: usize,
     s: u64,
 ) -> BenchRecord {
@@ -183,6 +221,8 @@ fn record(
         batch: false,
         portfolio: false,
         sweep_wall_seconds: None,
+        branch_rule: Some(branch_rule_name(search.branch).into()),
+        symmetry: Some(search.symmetry),
     }
 }
 
@@ -211,6 +251,7 @@ fn ablation(
     order: NodeOrder,
     cuts: bool,
     accel: Accel,
+    search: Search,
     trace: bool,
     records: &mut Vec<BenchRecord>,
 ) -> bool {
@@ -223,7 +264,9 @@ fn ablation(
         for pricing in [Pricing::SteepestEdge, Pricing::Devex, Pricing::Dantzig] {
             let mut pivots = [0u64; 2]; // [warm, cold]
             for (slot, warm) in [(0usize, true), (1usize, false)] {
-                let r = run(kernel, pricing, order, warm, cuts, accel, tasks, seconds, seed, trace);
+                let r = run(
+                    kernel, pricing, order, warm, cuts, accel, search, tasks, seconds, seed, trace,
+                );
                 let name = format!(
                     "{}/{}/{}",
                     kernel_name(kernel),
@@ -246,7 +289,9 @@ fn ablation(
                         }
                     }
                 }
-                records.push(record(&r, kernel, pricing, order, warm, cuts, accel, tasks, seed));
+                records.push(record(
+                    &r, kernel, pricing, order, warm, cuts, accel, search, tasks, seed,
+                ));
             }
             if pivots[0] > pivots[1] {
                 eprintln!(
@@ -274,12 +319,14 @@ fn ablation(
 /// Returns `false` when the cuts-on run explored more nodes than cuts-off,
 /// either run failed to prove optimality within the budget, or the two
 /// optima diverge — the regression guard behind the cut engine.
+#[allow(clippy::too_many_arguments)]
 fn cuts_ablation(
     tasks: usize,
     seconds: f64,
     seed: u64,
     order: NodeOrder,
     accel: Accel,
+    search: Search,
     trace: bool,
     records: &mut Vec<BenchRecord>,
 ) -> bool {
@@ -289,12 +336,12 @@ fn cuts_ablation(
     let mut ok = true;
     let kernel = BasisKernel::SparseLu;
     let pricing = Pricing::SteepestEdge;
-    let on = run(kernel, pricing, order, true, true, accel, tasks, seconds, seed, trace);
-    let off = run(kernel, pricing, order, true, false, accel, tasks, seconds, seed, trace);
+    let on = run(kernel, pricing, order, true, true, accel, search, tasks, seconds, seed, trace);
+    let off = run(kernel, pricing, order, true, false, accel, search, tasks, seconds, seed, trace);
     print_row("sparse-lu/dse/cuts-on", tasks, seed, &on);
     print_row("sparse-lu/dse/cuts-off", tasks, seed, &off);
-    records.push(record(&on, kernel, pricing, order, true, true, accel, tasks, seed));
-    records.push(record(&off, kernel, pricing, order, true, false, accel, tasks, seed));
+    records.push(record(&on, kernel, pricing, order, true, true, accel, search, tasks, seed));
+    records.push(record(&off, kernel, pricing, order, true, false, accel, search, tasks, seed));
     println!("  cuts applied (on-run): {}", on.cuts_applied);
     if on.status != "Optimal" || off.status != "Optimal" {
         eprintln!(
@@ -335,11 +382,13 @@ fn cuts_ablation(
 /// from propagation-tightened bounds). If the budget stops both endpoint
 /// runs early the gate falls back to incumbent gaps: all-on must not be
 /// worse than all-off.
+#[allow(clippy::too_many_arguments)]
 fn heuristics_ablation(
     tasks: usize,
     seconds: f64,
     seed: u64,
     order: NodeOrder,
+    search: Search,
     trace: bool,
     records: &mut Vec<BenchRecord>,
 ) -> bool {
@@ -358,9 +407,9 @@ fn heuristics_ablation(
     ];
     let mut runs = Vec::with_capacity(arms.len());
     for (name, accel) in arms {
-        let r = run(kernel, pricing, order, true, true, accel, tasks, seconds, seed, trace);
+        let r = run(kernel, pricing, order, true, true, accel, search, tasks, seconds, seed, trace);
         print_row(name, tasks, seed, &r);
-        records.push(record(&r, kernel, pricing, order, true, true, accel, tasks, seed));
+        records.push(record(&r, kernel, pricing, order, true, true, accel, search, tasks, seed));
         runs.push((name, r));
     }
     let all_on = &runs[0].1;
@@ -438,6 +487,98 @@ fn heuristics_ablation(
     ok
 }
 
+/// Tree-shrink ablation (PR 10): baseline (most-fractional, no symmetry),
+/// reliability branching only, symmetry only, and both together — on the
+/// sparse-lu/dse/warm/cuts-on reference configuration.
+///
+/// Returns `false` when proven optima diverge, when a feature arm fails to
+/// prove an optimum the baseline proves within the same budget, or when a
+/// feature arm's tree is more than 5% larger than the baseline tree (both
+/// proven; the slack absorbs exploration-order noise).
+fn symmetry_ablation(
+    tasks: usize,
+    seconds: f64,
+    seed: u64,
+    order: NodeOrder,
+    accel: Accel,
+    trace: bool,
+    records: &mut Vec<BenchRecord>,
+) -> bool {
+    println!(
+        "config              M  seed  status      nodes  simplex_iters  seconds  nodes/s  pivots/s  warm/cold"
+    );
+    let mut ok = true;
+    let kernel = BasisKernel::SparseLu;
+    let pricing = Pricing::SteepestEdge;
+    let arms = [
+        ("search-baseline", Search::BASELINE),
+        ("reliability-only", Search { branch: BranchRule::Reliability, symmetry: false }),
+        ("symmetry-only", Search { branch: BranchRule::MostFractional, symmetry: true }),
+        ("reliability+sym", Search { branch: BranchRule::Reliability, symmetry: true }),
+    ];
+    let mut runs = Vec::with_capacity(arms.len());
+    for (name, search) in arms {
+        let r = run(kernel, pricing, order, true, true, accel, search, tasks, seconds, seed, trace);
+        print_row(name, tasks, seed, &r);
+        records.push(record(&r, kernel, pricing, order, true, true, accel, search, tasks, seed));
+        runs.push((name, r));
+    }
+    let baseline = &runs[0].1;
+    let both = &runs[runs.len() - 1].1;
+    println!(
+        "  tree-shrink work (both-on): {} symmetry orbit(s), {} orbital fixing(s), \
+         {} strong-branch probe(s)",
+        both.symmetry_orbits, both.orbital_fixings, both.strong_branch_probes
+    );
+
+    // Every proven optimum must agree with the first proven one.
+    let mut objective: Option<f64> = None;
+    for (name, r) in &runs {
+        if r.status != "Optimal" {
+            continue;
+        }
+        match objective {
+            None => objective = Some(r.objective),
+            Some(o) => {
+                if (r.objective - o).abs() > 1e-4 * o.abs().max(1.0) {
+                    eprintln!("FAIL: {name} optimum {} disagrees with {}", r.objective, o);
+                    ok = false;
+                }
+            }
+        }
+    }
+    // The passes must never lose optimality: whatever the baseline proves
+    // within the budget, every feature arm must prove too.
+    if baseline.status == "Optimal" {
+        for (name, r) in &runs[1..] {
+            if r.status != "Optimal" {
+                eprintln!(
+                    "FAIL: search-baseline proved the optimum but {name} stopped at {}",
+                    r.status
+                );
+                ok = false;
+                continue;
+            }
+            // Nor grow the tree: that is the whole point of the passes.
+            if r.nodes as f64 > baseline.nodes as f64 * 1.05 {
+                eprintln!(
+                    "FAIL: {name} grew the tree by more than 5% ({} > {} nodes)",
+                    r.nodes, baseline.nodes
+                );
+                ok = false;
+            } else {
+                println!(
+                    "  node ratio (baseline/{name}): {:.2}x ({} -> {})",
+                    baseline.nodes as f64 / r.nodes.max(1) as f64,
+                    baseline.nodes,
+                    r.nodes
+                );
+            }
+        }
+    }
+    ok
+}
+
 fn main() {
     let mut tasks = 6usize;
     let mut seconds = 60.0f64;
@@ -449,11 +590,13 @@ fn main() {
     let mut warm = true;
     let mut cuts = true;
     let mut accel = Accel::ALL_ON;
+    let mut search = Search::BASELINE;
     let mut json: Option<String> = None;
     let mut append_json: Option<String> = None;
     let mut grid = false;
     let mut cuts_grid = false;
     let mut accel_grid = false;
+    let mut search_grid = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let on_off = |flag: &str, val: &str| match val {
         "on" => true,
@@ -485,6 +628,11 @@ fn main() {
             i += 1;
             continue;
         }
+        if args[i] == "--symmetry-ablation" {
+            search_grid = true;
+            i += 1;
+            continue;
+        }
         let val = args.get(i + 1).unwrap_or_else(|| {
             eprintln!("missing value for {}", args[i]);
             std::process::exit(2);
@@ -511,6 +659,13 @@ fn main() {
             "--heuristics" => accel.heuristics = on_off("--heuristics", val),
             "--propagation" => accel.propagation = on_off("--propagation", val),
             "--conflicts" => accel.conflicts = on_off("--conflicts", val),
+            "--branch-rule" => {
+                search.branch = parse_branch_rule(val).unwrap_or_else(|| {
+                    eprintln!("--branch-rule takes most-frac|first-frac|pseudo|reliability");
+                    std::process::exit(2);
+                })
+            }
+            "--symmetry" => search.symmetry = on_off("--symmetry", val),
             "--json" => json = Some(val.clone()),
             "--append-json" => append_json = Some(val.clone()),
             other => {
@@ -524,12 +679,14 @@ fn main() {
     let mut records: Vec<BenchRecord> = Vec::new();
     let mut failed = false;
 
-    if accel_grid {
-        failed = !heuristics_ablation(tasks, seconds, seed, order, trace, &mut records);
+    if search_grid {
+        failed = !symmetry_ablation(tasks, seconds, seed, order, accel, trace, &mut records);
+    } else if accel_grid {
+        failed = !heuristics_ablation(tasks, seconds, seed, order, search, trace, &mut records);
     } else if cuts_grid {
-        failed = !cuts_ablation(tasks, seconds, seed, order, accel, trace, &mut records);
+        failed = !cuts_ablation(tasks, seconds, seed, order, accel, search, trace, &mut records);
     } else if grid {
-        failed = !ablation(tasks, seconds, seed, order, cuts, accel, trace, &mut records);
+        failed = !ablation(tasks, seconds, seed, order, cuts, accel, search, trace, &mut records);
     } else {
         println!(
             "kernel              M  seed  status      nodes  simplex_iters  seconds  nodes/s  pivots/s  warm/cold"
@@ -544,6 +701,7 @@ fn main() {
                 warm,
                 cuts,
                 accel,
+                search,
                 tasks,
                 seconds,
                 s,
@@ -556,6 +714,7 @@ fn main() {
                 warm,
                 cuts,
                 accel,
+                search,
                 tasks,
                 seconds,
                 s,
@@ -566,7 +725,8 @@ fn main() {
                 ("sparse-lu", BasisKernel::SparseLu, &sparse),
             ] {
                 print_row(name, tasks, s, r);
-                records.push(record(r, kernel, pricing, order, warm, cuts, accel, tasks, s));
+                records
+                    .push(record(r, kernel, pricing, order, warm, cuts, accel, search, tasks, s));
             }
             let dense_tp = dense.nodes as f64 / dense.seconds.max(1e-9);
             let sparse_tp = sparse.nodes as f64 / sparse.seconds.max(1e-9);

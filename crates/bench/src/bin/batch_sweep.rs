@@ -105,6 +105,8 @@ fn sweep_record(
         batch: true,
         portfolio,
         sweep_wall_seconds: Some(sweep_wall),
+        branch_rule: None,
+        symmetry: None,
     }
 }
 

@@ -196,6 +196,8 @@ fn record(tasks: usize, mesh: usize, row: &Row) -> BenchRecord {
         batch: false,
         portfolio: false,
         sweep_wall_seconds: None,
+        branch_rule: None,
+        symmetry: None,
     }
 }
 
@@ -235,12 +237,15 @@ fn main() {
     }
     if smoke {
         // The CI grid: small enough to prove every answer quickly, large
-        // enough to exercise all three event kinds on multiple seeds.
+        // enough to exercise all three event kinds on multiple seeds. The
+        // budget is generous so every arm proves instead of saturating the
+        // time limit — proven runs make the node counts deterministic,
+        // which the per-class gate below relies on.
         tasks = 4;
         mesh = 2;
         alpha = 1.6;
         seeds = 2;
-        budget = 30.0;
+        budget = 60.0;
     }
 
     println!(
@@ -292,19 +297,52 @@ fn main() {
          {scr_total:.3} s, speedup {aggregate:.2}x",
         rows.len()
     );
-    // Events the session could absorb in place (a `Rebuilt` disposition
-    // reconstructs the model exactly like the scratch arm, so those rows
-    // only validate agreement, not speed).
-    let warm: Vec<&Row> =
-        rows.iter().filter(|r| r.disposition == EventDisposition::Incremental).collect();
-    let warm_inc: f64 = warm.iter().map(|r| r.incremental.seconds).sum();
-    let warm_scr: f64 = warm.iter().map(|r| r.scratch.seconds).sum();
-    println!(
-        "# over the {} incremental event(s): incremental {warm_inc:.3} s, from-scratch \
-         {warm_scr:.3} s, speedup {:.2}x",
-        warm.len(),
-        warm_scr / warm_inc.max(1e-9)
-    );
+    // Per-event-class aggregates, so a regression in one class (e.g. the
+    // arrival rebuild) cannot hide behind the speedups of the others.
+    // Wall-clock is noisy per class on a loaded CI box, but node counts
+    // under `threads = 1` are deterministic, so the per-class envelope is
+    // gated on nodes and only the whole-scenario aggregate on time.
+    struct ClassAgg {
+        label: &'static str,
+        inc: f64,
+        scr: f64,
+        inc_nodes: u64,
+        scr_nodes: u64,
+        all_incremental: bool,
+    }
+    let mut classes: Vec<ClassAgg> = Vec::new();
+    for row in &rows {
+        match classes.iter_mut().find(|c| c.label == row.label) {
+            Some(c) => {
+                c.inc += row.incremental.seconds;
+                c.scr += row.scratch.seconds;
+                c.inc_nodes += row.incremental.outcome.nodes;
+                c.scr_nodes += row.scratch.outcome.nodes;
+                c.all_incremental &= row.disposition == EventDisposition::Incremental;
+            }
+            None => classes.push(ClassAgg {
+                label: row.label,
+                inc: row.incremental.seconds,
+                scr: row.scratch.seconds,
+                inc_nodes: row.incremental.outcome.nodes,
+                scr_nodes: row.scratch.outcome.nodes,
+                all_incremental: row.disposition == EventDisposition::Incremental,
+            }),
+        }
+    }
+    for c in &classes {
+        println!(
+            "# class {:>9}: incremental {:.3} s / {} node(s), from-scratch {:.3} s / {} node(s), \
+             speedup {:.2}x ({})",
+            c.label,
+            c.inc,
+            c.inc_nodes,
+            c.scr,
+            c.scr_nodes,
+            c.scr / c.inc.max(1e-9),
+            if c.all_incremental { "warm re-entry" } else { "rebuild" }
+        );
+    }
 
     let divergences: Vec<String> = rows.iter().filter_map(Row::diverged).collect();
     for d in &divergences {
@@ -322,16 +360,39 @@ fn main() {
             eprintln!("smoke gate FAILED: incremental re-solve diverged from scratch");
             std::process::exit(1);
         }
-        if warm_inc >= warm_scr {
+        let mut failed = false;
+        // Node envelope per class: warm re-entry may reshape the tree (the
+        // carried state encodes the *old* problem's exploration order), so
+        // parity is not guaranteed node-for-node — but a class blowing past
+        // 30% extra nodes (plus a small absolute floor for near-zero trees)
+        // means the carried state has become actively harmful.
+        for c in &classes {
+            let cap = (c.scr_nodes as f64 * 1.30) as u64 + 64;
+            if c.inc_nodes > cap {
+                eprintln!(
+                    "smoke gate FAILED: {} class explored {} node(s) incrementally vs {} \
+                     from scratch (envelope {} node(s))",
+                    c.label, c.inc_nodes, c.scr_nodes, cap
+                );
+                failed = true;
+            }
+        }
+        // The engine must stay a net win in wall-clock over the whole event
+        // stream: warm fathoming on the easy events has to pay for any tree
+        // reshaping on the hard ones.
+        if inc_total >= scr_total {
             eprintln!(
-                "smoke gate FAILED: incremental re-solves ({warm_inc:.3} s) not faster than \
-                 from-scratch ({warm_scr:.3} s)"
+                "smoke gate FAILED: incremental aggregate ({inc_total:.3} s) not faster than \
+                 from-scratch ({scr_total:.3} s)"
             );
+            failed = true;
+        }
+        if failed {
             std::process::exit(1);
         }
         println!(
-            "smoke gate ok: proven answers agree, incremental-event speedup {:.2}x",
-            warm_scr / warm_inc.max(1e-9)
+            "smoke gate ok: proven answers agree, every class within its node envelope, \
+             aggregate {aggregate:.2}x"
         );
     }
 }

@@ -67,6 +67,8 @@ fn record(instance: &str, status: &str, nodes: u64, seconds: f64, threads: usize
         batch: false,
         portfolio: false,
         sweep_wall_seconds: None,
+        branch_rule: None,
+        symmetry: None,
     }
 }
 

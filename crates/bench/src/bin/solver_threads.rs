@@ -162,6 +162,8 @@ fn main() {
                 batch: false,
                 portfolio: false,
                 sweep_wall_seconds: None,
+                branch_rule: None,
+                symmetry: None,
             });
         }
         let throughput = nodes as f64 / total_seconds;

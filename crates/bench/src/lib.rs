@@ -326,6 +326,28 @@ pub fn node_order_name(o: NodeOrder) -> &'static str {
     }
 }
 
+/// Parses a `--branch-rule` flag value (`most-frac`, `first-frac`,
+/// `pseudo`/`pseudo-cost`, `reliability`).
+pub fn parse_branch_rule(s: &str) -> Option<ndp_milp::BranchRule> {
+    match s {
+        "most-frac" | "most-fractional" => Some(ndp_milp::BranchRule::MostFractional),
+        "first-frac" | "first-fractional" => Some(ndp_milp::BranchRule::FirstFractional),
+        "pseudo" | "pseudo-cost" => Some(ndp_milp::BranchRule::PseudoCost),
+        "reliability" => Some(ndp_milp::BranchRule::Reliability),
+        _ => None,
+    }
+}
+
+/// Short machine-readable name of a branch rule for bench tables/JSON.
+pub fn branch_rule_name(r: ndp_milp::BranchRule) -> &'static str {
+    match r {
+        ndp_milp::BranchRule::MostFractional => "most-frac",
+        ndp_milp::BranchRule::FirstFractional => "first-frac",
+        ndp_milp::BranchRule::PseudoCost => "pseudo",
+        ndp_milp::BranchRule::Reliability => "reliability",
+    }
+}
+
 /// One machine-readable solve record for `BENCH_milp.json`: what the solver
 /// configuration was and how much work the solve took.
 #[derive(Debug, Clone)]
@@ -391,6 +413,13 @@ pub struct BenchRecord {
     /// For sweep-level records: end-to-end wall-clock of the full sweep
     /// this record belongs to. `None` for per-solve records.
     pub sweep_wall_seconds: Option<f64>,
+    /// Branch rule of the solve (`most-frac` / `first-frac` / `pseudo` /
+    /// `reliability`). `None` (serialized as `null`) for records written
+    /// before the field existed or where the rule is not meaningful.
+    pub branch_rule: Option<String>,
+    /// Symmetry handling (lex rows + orbital fixing) was enabled *and*
+    /// candidates were supplied. `None` (`null`) when not applicable.
+    pub symmetry: Option<bool>,
 }
 
 /// A finite float as JSON, non-finite as `null` (JSON has no Inf/NaN).
@@ -416,7 +445,8 @@ impl BenchRecord {
                 "\"heuristic_incumbents\":{},\"propagated_bounds\":{},",
                 "\"conflict_cuts_applied\":{},",
                 "\"gap\":{},\"dual_bound\":{},\"seconds\":{:.4},\"speedup\":{},",
-                "\"batch\":{},\"portfolio\":{},\"sweep_wall_seconds\":{}}}"
+                "\"batch\":{},\"portfolio\":{},\"sweep_wall_seconds\":{},",
+                "\"branch_rule\":{},\"symmetry\":{}}}"
             ),
             self.instance,
             self.kernel,
@@ -444,6 +474,8 @@ impl BenchRecord {
             self.batch,
             self.portfolio,
             self.sweep_wall_seconds.map_or_else(|| "null".to_string(), json_f64),
+            self.branch_rule.as_ref().map_or_else(|| "null".to_string(), |r| format!("\"{r}\"")),
+            self.symmetry.map_or_else(|| "null".to_string(), |s| s.to_string()),
         )
     }
 }
@@ -564,6 +596,17 @@ mod tests {
     }
 
     #[test]
+    fn branch_rule_names_roundtrip() {
+        use ndp_milp::BranchRule::{FirstFractional, MostFractional, PseudoCost, Reliability};
+        for r in [MostFractional, FirstFractional, PseudoCost, Reliability] {
+            assert_eq!(parse_branch_rule(branch_rule_name(r)), Some(r));
+        }
+        assert_eq!(parse_branch_rule("most-fractional"), Some(MostFractional));
+        assert_eq!(parse_branch_rule("pseudo-cost"), Some(PseudoCost));
+        assert!(parse_branch_rule("bogus").is_none());
+    }
+
+    #[test]
     fn bench_record_json_roundtrips_fields() {
         let r = BenchRecord {
             instance: "M4-N4-seed7".into(),
@@ -592,6 +635,8 @@ mod tests {
             batch: true,
             portfolio: false,
             sweep_wall_seconds: Some(123.5),
+            branch_rule: Some("reliability".into()),
+            symmetry: Some(true),
         };
         let j = r.to_json();
         for needle in [
@@ -618,6 +663,8 @@ mod tests {
             "\"batch\":true",
             "\"portfolio\":false",
             "\"sweep_wall_seconds\":123.500000",
+            "\"branch_rule\":\"reliability\"",
+            "\"symmetry\":true",
         ] {
             assert!(j.contains(needle), "missing {needle} in {j}");
         }
@@ -654,11 +701,15 @@ mod tests {
             batch: false,
             portfolio: false,
             sweep_wall_seconds: Some(f64::NAN),
+            branch_rule: None,
+            symmetry: None,
         };
         let j = r.to_json();
         assert!(j.contains("\"gap\":null"), "{j}");
         assert!(j.contains("\"dual_bound\":null"), "{j}");
         assert!(j.contains("\"sweep_wall_seconds\":null"), "{j}");
+        assert!(j.contains("\"branch_rule\":null"), "{j}");
+        assert!(j.contains("\"symmetry\":null"), "{j}");
         assert!(!j.contains("inf") && !j.contains("NaN"), "{j}");
     }
 
@@ -690,6 +741,8 @@ mod tests {
             batch: false,
             portfolio: false,
             sweep_wall_seconds: None,
+            branch_rule: None,
+            symmetry: None,
         }
     }
 

@@ -12,7 +12,7 @@ use crate::heuristic::heuristic_deployment;
 use crate::problem::ProblemInstance;
 use crate::solution::Deployment;
 use crate::validate::is_valid;
-use ndp_milp::{ObserverHandle, SolveStats, SolveStatus, SolverOptions};
+use ndp_milp::{BranchRule, ObserverHandle, SolveStats, SolveStatus, SolverOptions};
 
 /// Configuration of an exact solve.
 #[derive(Debug, Clone)]
@@ -39,7 +39,11 @@ impl Default for OptimalConfig {
             objective: DeployObjective::BalanceEnergy,
             warm_start_with_heuristic: true,
             warm_start_deployment: None,
-            solver: SolverOptions::default(),
+            // The exact arm defaults to reliability branching: the
+            // strong-branching lookahead pays for itself on deployment
+            // MILPs, whose early duplication/allocation choices dominate
+            // the tree shape.
+            solver: SolverOptions::default().branch_rule(BranchRule::Reliability),
         }
     }
 }
@@ -120,7 +124,13 @@ pub fn solve_optimal(problem: &ProblemInstance, config: &OptimalConfig) -> Resul
         let vals = encoding.warm_start_values(problem, &d);
         encoding.model.set_warm_start(vals)?;
     }
-    let sol = encoding.model.solve_with(&config.solver)?;
+    // Offer the mesh automorphisms as symmetry candidates unless the caller
+    // supplied their own; the solver verifies them against the coefficients.
+    let mut solver = config.solver.clone();
+    if solver.symmetry_candidates.is_empty() {
+        solver = solver.symmetry_candidates(encoding.symmetry_candidates(problem));
+    }
+    let sol = encoding.model.solve_with(&solver)?;
     // `has_incumbent` (not `has_solution`) so a cancelled solve still hands
     // back the best deployment it found.
     let deployment = if sol.has_incumbent() { Some(encoding.extract(problem, &sol)) } else { None };

@@ -55,9 +55,10 @@ use crate::formulation::{DeployObjective, MilpEncoding, PathMode};
 use crate::heuristic::heuristic_deployment;
 use crate::optimal::{best_warm_candidate, OptimalConfig, OptimalOutcome};
 use crate::problem::ProblemInstance;
+use crate::schedule::list_schedule;
 use crate::solution::Deployment;
 use ndp_milp::{Model, ResolveSession, SolverOptions};
-use ndp_platform::ProcessorId;
+use ndp_platform::{LevelId, ProcessorId};
 use ndp_taskset::{Task, TaskId};
 use std::collections::BTreeSet;
 
@@ -387,10 +388,69 @@ impl DeploymentSession {
         match milp.apply(&delta) {
             Ok(out) => {
                 debug_assert!(out.restriction, "fixing binaries to 0 is a restriction");
+                // The carried incumbent dies with the core when it used it;
+                // a repaired copy (displaced tasks re-homed, schedule
+                // rebuilt) is usually a much stronger seed than the
+                // fault-oblivious heuristic. Validated before use.
+                if self.pending_warm.is_none() {
+                    self.pending_warm = match &self.last {
+                        Some(d) => self.repair_after_fault(d),
+                        None => None,
+                    };
+                }
                 Ok(EventDisposition::Incremental)
             }
             Err(e) => Err(DeployError::Solver(e)),
         }
+    }
+
+    /// Re-homes every task the last deployment ran on a now-faulted core:
+    /// greedily, task by task, onto the working core that keeps the
+    /// objective smallest (energy does not depend on start times, so the
+    /// score is exact), then rebuilds the whole schedule by list
+    /// scheduling. Returns `None` when nothing was displaced (the carried
+    /// deployment is still a seed candidate as-is) or no core works. The
+    /// result is a warm-start *candidate* — callers must still validate it.
+    fn repair_after_fault(&self, old: &Deployment) -> Option<Deployment> {
+        let problem = &self.problem;
+        if old.active.len() != problem.tasks.graph().num_tasks() {
+            return None;
+        }
+        let displaced: Vec<usize> = (0..old.active.len())
+            .filter(|&i| old.active[i] && self.faulted.contains(&old.processor[i].index()))
+            .collect();
+        if displaced.is_empty() {
+            return None;
+        }
+        let working: Vec<ProcessorId> = (0..problem.num_processors())
+            .map(ProcessorId)
+            .filter(|p| !self.faulted.contains(&p.index()))
+            .collect();
+        if working.is_empty() {
+            return None;
+        }
+        let score = |d: &Deployment| match self.objective {
+            DeployObjective::BalanceEnergy => d.energy_report(problem).max_mj(),
+            DeployObjective::MinimizeTotalEnergy => d.energy_report(problem).total_mj(),
+        };
+        let mut d = old.clone();
+        for &i in &displaced {
+            let mut best: Option<(f64, ProcessorId)> = None;
+            for &k in &working {
+                d.processor[i] = k;
+                let s = score(&d);
+                if best.is_none_or(|(b, _)| s < b) {
+                    best = Some((s, k));
+                }
+            }
+            d.processor[i] = best?.1;
+        }
+        let placed = d.clone();
+        let schedule = list_schedule(problem, &d.active, &d.frequency, &d.processor, |t| {
+            placed.comm_time_ms(problem, t)
+        });
+        d.start_ms = schedule.start_ms;
+        Some(d)
     }
 
     fn apply_deadline(&mut self, task: TaskId, deadline_ms: f64) -> Result<EventDisposition> {
@@ -458,13 +518,83 @@ impl DeploymentSession {
         } else {
             old_horizon
         };
+        let prev = self.last.take();
         self.problem = rebuilt.with_horizon(horizon);
         // A new task reshapes the whole model: drop encoding + solver
-        // state; the previous deployment no longer matches the task count.
+        // state. The previous deployment no longer matches the task count,
+        // but lifted into the new index space (with the arrival appended
+        // greedily) it is usually a strong warm start; `ensure_model`
+        // validates it and simply drops it when the greedy placement
+        // breaks a constraint.
         self.encoding = None;
         self.milp = None;
-        self.last = None;
+        if self.pending_warm.is_none() {
+            self.pending_warm = prev.and_then(|d| self.lift_after_arrival(&d));
+        }
         Ok(EventDisposition::Rebuilt)
+    }
+
+    /// Lifts a pre-arrival deployment (`m` originals) into the rebuilt
+    /// `m + 1`-original index space: originals keep their indices, the old
+    /// duplicate `m + i` moves to `m + 1 + i`, and the arrival (plus its
+    /// duplicate when the reliability threshold demands one) is appended
+    /// at the tail of its first predecessor's processor schedule. The
+    /// result is a warm-start *candidate* — callers must still validate it.
+    fn lift_after_arrival(&self, old: &Deployment) -> Option<Deployment> {
+        let problem = &self.problem;
+        let m_new = problem.num_original();
+        let m_old = m_new.checked_sub(1)?;
+        if old.active.len() != 2 * m_old {
+            return None;
+        }
+        let total = 2 * m_new;
+        let map = |i: usize| if i < m_old { i } else { i + 1 };
+        let mut d = Deployment {
+            active: vec![false; total],
+            frequency: vec![LevelId(0); total],
+            processor: vec![ProcessorId(0); total],
+            start_ms: vec![0.0; total],
+            paths: old.paths.clone(),
+        };
+        for i in 0..2 * m_old {
+            let j = map(i);
+            d.active[j] = old.active[i];
+            d.frequency[j] = old.frequency[i];
+            d.processor[j] = old.processor[i];
+            d.start_ms[j] = old.start_ms[i];
+        }
+        let arrival = TaskId(m_old);
+        let dup = problem.tasks.copy_of(arrival);
+        // Existing tasks keep their (often proven-optimal) placement and
+        // levels, so the seed quality hinges on where the arrival lands:
+        // try every working processor × level (the duplicate — constraint
+        // (4) is an iff — follows from the level's reliability, on the
+        // same core), rebuild the schedule by list scheduling (energy does
+        // not depend on start times), and let `best_warm_candidate`
+        // validate and score the combinations.
+        let mut cands = Vec::new();
+        for k in (0..problem.num_processors()).map(ProcessorId) {
+            if self.faulted.contains(&k.index()) {
+                continue;
+            }
+            for l in (0..problem.num_levels()).map(LevelId) {
+                let mut c = d.clone();
+                c.active[arrival.index()] = true;
+                c.processor[arrival.index()] = k;
+                c.frequency[arrival.index()] = l;
+                let dup_active = problem.reliability(arrival, l) < problem.reliability_threshold;
+                c.active[dup.index()] = dup_active;
+                c.processor[dup.index()] = k;
+                c.frequency[dup.index()] = l;
+                let placed = c.clone();
+                let schedule = list_schedule(problem, &c.active, &c.frequency, &c.processor, |t| {
+                    placed.comm_time_ms(problem, t)
+                });
+                c.start_ms = schedule.start_ms;
+                cands.push(c);
+            }
+        }
+        best_warm_candidate(problem, self.objective, cands)
     }
 
     /// Builds the encoding and the incremental MILP session on first use

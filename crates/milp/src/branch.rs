@@ -192,6 +192,26 @@ pub(crate) struct NodeWorker<'a> {
     pub(crate) conflict_cuts_generated: u64,
     /// Conflict no-goods accepted by the pool and appended to the LP.
     pub(crate) conflict_cuts_applied: u64,
+    /// Verified symmetry plan for node-level lex (orbital) propagation;
+    /// armed by [`NodeWorker::arm_symmetry`] after construction. `None`
+    /// when no symmetry was verified or orbital fixing is off.
+    symmetry: Option<Arc<crate::symmetry::SymmetryPlan>>,
+    /// Column fixings applied by lex propagation at this worker's nodes.
+    pub(crate) orbital_fixings: u64,
+    /// Strong-branching probe LPs this worker solved (reliability rule).
+    pub(crate) strong_branch_probes: u64,
+}
+
+/// Outcome of a reliability strong-branching pass at one node.
+enum ProbeResult {
+    /// Pseudo-costs seeded (or nothing to probe); branch normally.
+    Done,
+    /// One probe direction proved infeasible: branch single-sided the other
+    /// way (`up` is the direction of the surviving child).
+    Forced { j: usize, v: f64, up: bool },
+    /// Both probe directions proved infeasible: the node carries no integer
+    /// point.
+    Fathomed,
 }
 
 /// Ceiling on in-tree cuts one worker may append to its LP: every row is
@@ -291,7 +311,17 @@ impl<'a> NodeWorker<'a> {
             propagation_seconds: 0.0,
             conflict_cuts_generated: 0,
             conflict_cuts_applied: 0,
+            symmetry: None,
+            orbital_fixings: 0,
+            strong_branch_probes: 0,
         }
+    }
+
+    /// Arms node-level lex (orbital) propagation with a verified symmetry
+    /// plan. Kept out of `new` so the existing construction sites (tests,
+    /// parallel workers) stay untouched when no symmetry is present.
+    pub(crate) fn arm_symmetry(&mut self, plan: Arc<crate::symmetry::SymmetryPlan>) {
+        self.symmetry = Some(plan);
     }
 
     pub(crate) fn time_up(&self) -> bool {
@@ -398,7 +428,10 @@ impl<'a> NodeWorker<'a> {
                         best = Some((j, v, score));
                     }
                 }
-                BranchRule::PseudoCost => {
+                BranchRule::PseudoCost | BranchRule::Reliability => {
+                    // Reliability scores identically; its strong-branching
+                    // probes (run before selection) have already seeded the
+                    // pseudo-costs of unreliable columns.
                     let f = v - v.floor();
                     let pc = &self.pseudo[j];
                     let fallback = 1.0;
@@ -517,6 +550,17 @@ impl<'a> NodeWorker<'a> {
         self.nodes += 1;
         // The solve moves the basis away from whatever snapshot was loaded.
         self.loaded = None;
+        if self.symmetry.is_some() && self.propagate_symmetry() {
+            // Lex propagation refuted the node: every point of its box is
+            // lex-dominated by a symmetric image, so the representative
+            // optimum lives elsewhere. Same event/conflict shape as a
+            // propagation fathom.
+            self.emit_node(node, f64::INFINITY, 0);
+            if self.conflicts_on {
+                self.maybe_conflict_cut(node);
+            }
+            return Ok((vec![], f64::INFINITY));
+        }
         if self.propagate_on && self.propagate_node() {
             // Propagation emptied the node box: fathom without an LP solve.
             // The node still emits its exploration event (bound +inf, zero
@@ -661,6 +705,41 @@ impl<'a> NodeWorker<'a> {
         fathomed
     }
 
+    /// Lex (orbital) propagation on the current node box: under the
+    /// "keep the lex-greatest point of every symmetry orbit" rule, a fixed
+    /// prefix position forces fixings on its image columns, and a provably
+    /// violated prefix means every point of the box is lex-dominated by a
+    /// symmetric image — the surviving representative lives in another
+    /// subtree, so the node fathoms. Returns `true` on fathom. Applied
+    /// fixings land in the live LP exactly like propagation fixings and
+    /// feed the branched children through `branch_or_fathom`'s bound reads.
+    fn propagate_symmetry(&mut self) -> bool {
+        let Some(plan) = self.symmetry.clone() else {
+            return false;
+        };
+        let t0 = Instant::now();
+        let n = self.sf.n;
+        let mut plb = std::mem::take(&mut self.prop_lb);
+        let mut pub_ = std::mem::take(&mut self.prop_ub);
+        plb.clear();
+        plb.extend_from_slice(&self.lp.lb[..n]);
+        pub_.clear();
+        pub_.extend_from_slice(&self.lp.ub[..n]);
+        let mut fixed: Vec<(usize, f64)> = Vec::new();
+        let ok = crate::symmetry::propagate_lex(&plan.pairs, &mut plb, &mut pub_, &mut fixed);
+        if ok && !fixed.is_empty() {
+            for &(j, v) in &fixed {
+                self.lp.set_bounds(j, v, v);
+            }
+            self.orbital_fixings += fixed.len() as u64;
+            self.lp.refresh();
+        }
+        self.prop_lb = plb;
+        self.prop_ub = pub_;
+        self.propagation_seconds += t0.elapsed().as_secs_f64();
+        !ok
+    }
+
     /// Derives a globally valid no-good cut from an infeasible node whose
     /// branching path consists entirely of binary fixings, and appends it
     /// to this worker's LP through the conflict pool. LP (or propagation)
@@ -781,6 +860,151 @@ impl<'a> NodeWorker<'a> {
         }
     }
 
+    /// Ceiling on columns probed by one reliability pass; the rest of the
+    /// unreliable candidates wait for later nodes (or real branch
+    /// observations) to seed their pseudo-costs.
+    const MAX_PROBE_CANDIDATES: usize = 8;
+
+    /// Reliability strong branching: for fractional columns of the active
+    /// priority class whose pseudo-costs have fewer than
+    /// [`SolverOptions::reliability_threshold`] observations on a side,
+    /// solve both child LPs under a pivot budget
+    /// ([`SolverOptions::strong_branch_pivot_limit`]), warm from this
+    /// node's optimal basis, and seed the pseudo-costs with the observed
+    /// degradations. A capped probe still yields a valid degradation
+    /// estimate (any dual-feasible iterate bounds the child from below);
+    /// a primal-infeasible probe is a rigorous proof the child is empty,
+    /// which forces a single-sided branch (or fathoms the node when both
+    /// sides are refuted).
+    fn strong_branch_probe(&mut self, x: &[f64]) -> Result<ProbeResult> {
+        let eta = self.options.reliability_threshold;
+        let cap = self.options.strong_branch_pivot_limit;
+        if eta == 0 || cap == 0 {
+            return Ok(ProbeResult::Done);
+        }
+        let tol = self.options.integrality_tol;
+        // Unreliable fractional candidates of the active (highest) priority
+        // class, most fractional first, index tiebreak for determinism.
+        let mut cands: Vec<(usize, f64)> = Vec::new();
+        let mut active_priority: Option<i32> = None;
+        for &j in self.int_cols {
+            let v = x[j];
+            if (v - v.round()).abs() <= tol {
+                continue;
+            }
+            let prio = self.model.vars[j].branch_priority;
+            match active_priority {
+                None => active_priority = Some(prio),
+                Some(p) if prio < p => break,
+                _ => {}
+            }
+            if self.pseudo[j].down_n.min(self.pseudo[j].up_n) < eta {
+                cands.push((j, v));
+            }
+        }
+        if cands.is_empty() {
+            return Ok(ProbeResult::Done);
+        }
+        cands.sort_by(|a, b| {
+            let fa = (a.1 - a.1.round()).abs();
+            let fb = (b.1 - b.1.round()).abs();
+            fb.partial_cmp(&fa).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
+        cands.truncate(Self::MAX_PROBE_CANDIDATES);
+
+        let node_obj = self.lp.objective();
+        let snap = self.lp.snapshot();
+        let mut outcome = ProbeResult::Done;
+        let mut fatal: Option<MilpError> = None;
+        'cands: for &(j, v) in &cands {
+            let (lb, ub) = (self.lp.lb[j], self.lp.ub[j]);
+            let (mut inf_down, mut inf_up) = (false, false);
+            for up in [false, true] {
+                if self.options.cancelled() {
+                    self.interrupted = true;
+                    break 'cands;
+                }
+                if self.time_up() {
+                    break 'cands;
+                }
+                if up {
+                    self.lp.set_bounds(j, v.ceil(), ub);
+                } else {
+                    self.lp.set_bounds(j, lb, v.floor());
+                }
+                self.lp.refresh();
+                self.strong_branch_probes += 1;
+                let res = self.lp.optimize_capped(cap);
+                self.lp.set_bounds(j, lb, ub);
+                match res {
+                    Ok(LpStatus::Optimal) | Err(MilpError::IterationLimit { .. }) => {
+                        // Optimal or capped (incl. deadline): the current
+                        // objective only *under*states the degradation, the
+                        // safe direction for a pseudo-cost seed.
+                        let deg = (self.lp.objective() - node_obj).max(0.0);
+                        let frac = v - v.floor();
+                        let pc = &mut self.pseudo[j];
+                        if up {
+                            pc.up_sum += deg / (1.0 - frac).max(1e-6);
+                            pc.up_n += 1;
+                        } else {
+                            pc.down_sum += deg / frac.max(1e-6);
+                            pc.down_n += 1;
+                        }
+                    }
+                    Ok(LpStatus::Infeasible) => {
+                        // Primal infeasibility is cost-independent: rigorous.
+                        if up {
+                            inf_up = true;
+                        } else {
+                            inf_down = true;
+                        }
+                    }
+                    Err(MilpError::Interrupted) => {
+                        self.interrupted = true;
+                        break 'cands;
+                    }
+                    Err(MilpError::SingularBasis) => {
+                        // Numerics under the probe bound: abandon probing;
+                        // the restore below recovers the node state.
+                        break 'cands;
+                    }
+                    Err(e) => {
+                        fatal = Some(e);
+                        break 'cands;
+                    }
+                }
+                // Re-seat the node basis so the next probe warm-starts from
+                // the node optimum rather than the previous probe's basis.
+                if self.lp.restore_snapshot(&snap).is_err() {
+                    self.lp.reset_to_slack_basis();
+                    break 'cands;
+                }
+            }
+            if inf_down && inf_up {
+                outcome = ProbeResult::Fathomed;
+                break;
+            }
+            if inf_down {
+                outcome = ProbeResult::Forced { j, v, up: true };
+                break;
+            }
+            if inf_up {
+                outcome = ProbeResult::Forced { j, v, up: false };
+                break;
+            }
+        }
+        // Node bounds were restored per probe; reinstall the node basis for
+        // the branching snapshot (slack fallback keeps the LP usable).
+        if self.lp.restore_snapshot(&snap).is_err() {
+            self.lp.reset_to_slack_basis();
+        }
+        if let Some(e) = fatal {
+            return Err(e);
+        }
+        Ok(outcome)
+    }
+
     /// The post-solve half of [`NodeWorker::eval_node`]: accept an integral
     /// optimum, or pick a branching variable and build the children.
     fn branch_or_fathom(
@@ -791,6 +1015,41 @@ impl<'a> NodeWorker<'a> {
         bound: f64,
     ) -> Result<(Vec<OpenNode>, f64)> {
         let x = &full[..self.model.num_vars()];
+        if matches!(self.options.branch_rule, BranchRule::Reliability) {
+            match self.strong_branch_probe(x)? {
+                ProbeResult::Done => {}
+                ProbeResult::Fathomed => {
+                    // Both directions of some fractional column are primal
+                    // infeasible: no integer point in this box.
+                    if self.conflicts_on {
+                        self.maybe_conflict_cut(node);
+                    }
+                    return Ok((vec![], f64::INFINITY));
+                }
+                ProbeResult::Forced { j, v, up } => {
+                    // One direction refuted: branch single-sided the other
+                    // way — same bookkeeping as a normal branch, one child.
+                    let frac = v - v.floor();
+                    let lb = self.lp.lb[j];
+                    let ub = self.lp.ub[j];
+                    let parent_basis = if self.options.warm_start {
+                        let snap = Arc::new(self.lp.snapshot());
+                        self.loaded = Some(Arc::clone(&snap));
+                        Some(snap)
+                    } else {
+                        None
+                    };
+                    let delta = if up { (j, v.ceil(), ub) } else { (j, lb, v.floor()) };
+                    let child = OpenNode {
+                        deltas: push_delta(&node.deltas, delta),
+                        bound,
+                        branched: Some((j, frac, up)),
+                        parent_basis,
+                    };
+                    return Ok((vec![child], bound));
+                }
+            }
+        }
         match self.pick_branch_var(x) {
             None => {
                 // Integral LP optimum: new incumbent.
@@ -884,6 +1143,12 @@ pub(crate) struct SearchOutcome {
     pub(crate) conflict_cuts_generated: u64,
     /// Conflict no-goods appended to a worker LP (0 for parallel runs).
     pub(crate) conflict_cuts_applied: u64,
+    /// Column fixings applied by lex (orbital) propagation, summed over
+    /// workers.
+    pub(crate) orbital_fixings: u64,
+    /// Strong-branching probe LPs solved (reliability rule), summed over
+    /// workers.
+    pub(crate) strong_branch_probes: u64,
 }
 
 /// Carried solver state between the solves of a
@@ -1032,6 +1297,10 @@ pub(crate) fn solve(model: &Model, options: &SolverOptions) -> Result<Solution> 
                     let red = Arc::new(red);
                     let mut inner = options.clone();
                     inner.presolve = false;
+                    // Symmetry candidates are indexed by the caller's
+                    // columns; presolve re-shapes the model, so they do not
+                    // survive the reduction.
+                    inner.symmetry_candidates = Arc::new(Vec::new());
                     // A feed publishes points in the caller's column space;
                     // route them through the same presolve mapping as warm
                     // starts so the reduced search can consume them.
@@ -1150,6 +1419,43 @@ pub(crate) fn solve_on_form(
         cut_stats =
             crate::cuts::root_separation(model, &mut sf, options, &int_cols, &root_bounds, start);
     }
+
+    // Verified symmetry: lex-leader rows into the shared form (every search
+    // thread prices them) and a propagation plan armed on every worker.
+    // Disabled whenever a resume capture is requested or the search resumes
+    // from carried state — a session's carried form must stay
+    // representative-free, because a later model delta can re-rank the
+    // orbit representatives and turn the lex rows invalid.
+    let mut symmetry_plan: Option<Arc<crate::symmetry::SymmetryPlan>> = None;
+    let mut symmetry_orbits: u64 = 0;
+    if (options.symmetry_breaking || options.orbital_fixing)
+        && capture.is_none()
+        && !resumed
+        && !options.symmetry_candidates.is_empty()
+        && !int_cols.is_empty()
+    {
+        if let Some(plan) =
+            crate::symmetry::build_plan(model, &options.symmetry_candidates, &root_bounds)
+        {
+            let mut rows = 0usize;
+            if options.symmetry_breaking {
+                let big = sf.big;
+                for cut in plan.lex_cuts() {
+                    // Installed directly (not through the cut pool): lex rows
+                    // are structural symmetry breakers, not violated cuts —
+                    // the pool's violation filter would drop them all.
+                    sf.add_cut_row(&cut.coeffs, cut.rhs, -big, 0.0);
+                    rows += 1;
+                }
+            }
+            symmetry_orbits = plan.orbits;
+            let (generators, orbits) = (plan.generators, plan.orbits);
+            options.observer.emit(|| SolverEvent::SymmetryDetected { generators, orbits, rows });
+            if options.orbital_fixing {
+                symmetry_plan = Some(Arc::new(plan));
+            }
+        }
+    }
     let sf = sf;
 
     // Warm start from a user hint.
@@ -1200,10 +1506,20 @@ pub(crate) fn solve_on_form(
             root_basis.map(Arc::new),
             carried_bound.unwrap_or(f64::NEG_INFINITY),
             capture,
+            symmetry_plan,
         )?
     } else {
-        let out =
-            parallel::search(model, &sf, options, &int_cols, &root_bounds, warm, start, threads)?;
+        let out = parallel::search(
+            model,
+            &sf,
+            options,
+            &int_cols,
+            &root_bounds,
+            warm,
+            start,
+            threads,
+            symmetry_plan,
+        )?;
         // Parallel workers keep their bases and in-tree cuts private; the
         // session carries the shared root form (with its root cuts) cold.
         if let Some(cap) = capture {
@@ -1289,6 +1605,9 @@ pub(crate) fn solve_on_form(
             propagation_fathoms: outcome.propagation_fathoms,
             conflict_cuts_generated: outcome.conflict_cuts_generated,
             conflict_cuts_applied: outcome.conflict_cuts_applied,
+            symmetry_orbits,
+            orbital_fixings: outcome.orbital_fixings,
+            strong_branch_probes: outcome.strong_branch_probes,
         },
     })
 }
@@ -1333,8 +1652,12 @@ fn serial_search(
     root_basis: Option<Arc<BasisSnapshot>>,
     root_bound: f64,
     capture: Option<&mut Option<ResumeState>>,
+    symmetry: Option<Arc<crate::symmetry::SymmetryPlan>>,
 ) -> Result<SearchOutcome> {
     let mut worker = NodeWorker::new(model, sf, options, int_cols, root_bounds, start, true);
+    if let Some(plan) = symmetry {
+        worker.arm_symmetry(plan);
+    }
     let mut incumbent = LocalIncumbent::from_warm(warm);
 
     // A carried basis enters through the root node: `enter_node` restores
@@ -1387,6 +1710,8 @@ fn serial_search(
         propagation_seconds: worker.propagation_seconds,
         conflict_cuts_generated: worker.conflict_cuts_generated,
         conflict_cuts_applied: worker.conflict_cuts_applied,
+        orbital_fixings: worker.orbital_fixings,
+        strong_branch_probes: worker.strong_branch_probes,
     })
 }
 

@@ -66,6 +66,7 @@ mod resolve;
 mod simplex;
 mod solution;
 mod standard;
+mod symmetry;
 #[cfg(test)]
 mod testgen;
 
@@ -300,9 +301,12 @@ mod tests {
             m
         };
         let mut objs = vec![];
-        for rule in
-            [BranchRule::MostFractional, BranchRule::FirstFractional, BranchRule::PseudoCost]
-        {
+        for rule in [
+            BranchRule::MostFractional,
+            BranchRule::FirstFractional,
+            BranchRule::PseudoCost,
+            BranchRule::Reliability,
+        ] {
             for order in [NodeOrder::DepthFirst, NodeOrder::BestBound] {
                 let opts = SolverOptions::default().branch_rule(rule).node_order(order);
                 let s = build().solve_with(&opts).unwrap();

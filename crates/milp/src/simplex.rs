@@ -779,6 +779,20 @@ impl Simplex {
         r
     }
 
+    /// [`Simplex::optimize`] under a temporary per-call pivot cap, used by
+    /// strong-branching probes: the configured `simplex_iteration_limit` is
+    /// swapped for `cap` for this one call and restored on every exit path.
+    /// At a cap-induced [`MilpError::IterationLimit`] the state is a
+    /// dual-feasible iterate, so [`Simplex::objective`] still reads a valid
+    /// dual bound for the probe LP (modulo [`Simplex::bound_margin`]).
+    pub(crate) fn optimize_capped(&mut self, cap: usize) -> Result<LpStatus> {
+        let saved = self.iteration_limit;
+        self.iteration_limit = cap;
+        let r = self.optimize();
+        self.iteration_limit = saved;
+        r
+    }
+
     fn optimize_inner(&mut self) -> Result<LpStatus> {
         // Detach the BFRT scratch so the loop can sort and iterate it while
         // reading other fields of `self`; reattached on every exit path.

@@ -1,0 +1,442 @@
+//! Model symmetry: exact verification of candidate column permutations,
+//! group closure, lexicographic symmetry-breaking rows and node-level lex
+//! (orbital) propagation.
+//!
+//! The deployment MILPs place tasks on *identical* DVFS cores, so mesh
+//! automorphisms induce column permutations that map optima to optima. The
+//! encoding layer lifts those automorphisms to *candidate* permutations
+//! ([`crate::SolverOptions::symmetry_candidates`]); this module trusts none
+//! of them. Every candidate is checked **exactly** against the model —
+//! objective coefficients, variable bounds/kinds/branch priorities bitwise
+//! equal under the permutation, and the constraint multiset invariant — so
+//! a candidate broken by per-link jitter, faulted-core restrictions or a
+//! stale lift is rejected instead of corrupting the search. Verified
+//! survivors are closed into a group (capped), which is then used two ways:
+//!
+//! * **Lex-leader rows** ([`SymmetryPlan::lex_cuts`]): for each group
+//!   element `σ`, a root row `Σ_t 2^(K−t) (x_{j_t} − x_{σ(j_t)}) ≥ 0` over
+//!   the first `K ≤ 16` *binary* columns moved by `σ` (ascending). The row
+//!   is implied by the lexicographic order `x ⪰ σ·x`, which the
+//!   lex-greatest element of every solution orbit satisfies for all group
+//!   elements — so at least one optimum always survives.
+//! * **Lex propagation** ([`propagate_lex`]): the node-level fixpoint of
+//!   the same constraints. While a prefix is forced equal position by
+//!   position, a `x_{j_t}` fixed to 0 forces `x_{σ(j_t)} = 0` (and a
+//!   `x_{σ(j_t)}` fixed to 1 forces `x_{j_t} = 1`); a forced `0 < 1`
+//!   violation fathoms the node. Sound with or without the rows installed,
+//!   because both are relaxations of the same lex-leader condition.
+//!
+//! Deliberately **not** implemented: stabilizer-orbit down-fixing ("fix the
+//! whole orbit to 0 when one member is fixed to 0"), which is unsound in
+//! combination with lex rows — the two can disagree on which orbit
+//! representative survives and cut off *all* optima.
+
+use crate::cuts::{Cut, CutFamily, CutSense, CutValidity};
+use crate::model::{Model, VarKind};
+
+/// Ceiling on the closed group size. The mesh groups this targets are tiny
+/// (D4 has 8 elements); the cap only guards against adversarial candidate
+/// sets whose closure explodes. Exceeding it falls back to the verified
+/// generators themselves, which remain individually valid.
+const MAX_GROUP: usize = 64;
+
+/// Ceiling on the lex prefix length per group element, keeping the largest
+/// row coefficient at `2^15`.
+const MAX_PREFIX: usize = 16;
+
+/// The verified symmetry structure of one model, ready for row generation
+/// and node propagation.
+#[derive(Debug, Clone)]
+pub(crate) struct SymmetryPlan {
+    /// Verified non-identity group elements (after closure).
+    pub(crate) generators: usize,
+    /// Nontrivial integer-column orbits under the group.
+    pub(crate) orbits: u64,
+    /// Per group element: the lex prefix as `(j_t, σ(j_t))` pairs over the
+    /// binary columns moved by `σ`, ascending in `j_t`, capped at
+    /// [`MAX_PREFIX`]. Elements that move no binary column contribute no
+    /// entry.
+    pub(crate) pairs: Vec<Vec<(usize, usize)>>,
+}
+
+impl SymmetryPlan {
+    /// Builds the lex-leader symmetry-breaking rows, one per group element
+    /// with a nonempty binary prefix. Rows are `≥ 0` with power-of-two
+    /// coefficients; terms cancelled by prefix overlap are dropped.
+    pub(crate) fn lex_cuts(&self) -> Vec<Cut> {
+        let mut cuts = Vec::with_capacity(self.pairs.len());
+        for prefix in &self.pairs {
+            let k = prefix.len();
+            let mut acc: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
+            for (t, &(a, b)) in prefix.iter().enumerate() {
+                let w = (1u64 << (k - 1 - t)) as f64;
+                *acc.entry(a).or_insert(0.0) += w;
+                *acc.entry(b).or_insert(0.0) -= w;
+            }
+            let coeffs: Vec<(usize, f64)> = acc.into_iter().filter(|&(_, c)| c != 0.0).collect();
+            if coeffs.is_empty() {
+                continue;
+            }
+            cuts.push(Cut {
+                coeffs,
+                rhs: 0.0,
+                sense: CutSense::Ge,
+                family: CutFamily::Symmetry,
+                validity: CutValidity::Global,
+            });
+        }
+        cuts
+    }
+}
+
+/// Verifies the candidates against `model`, closes the survivors into a
+/// group, and derives prefixes and orbit counts. `root_bounds` are the
+/// solver's inward-rounded root bounds (binary columns are those integer
+/// columns whose root box is exactly `[0, 1]`). Returns `None` when no
+/// candidate survives or no element moves a binary column.
+pub(crate) fn build_plan(
+    model: &Model,
+    candidates: &[Vec<usize>],
+    root_bounds: &[(f64, f64)],
+) -> Option<SymmetryPlan> {
+    let n = model.num_vars();
+    let verified: Vec<Vec<usize>> = candidates
+        .iter()
+        .filter(|p| is_permutation(p, n) && !is_identity(p) && model_invariant(model, p))
+        .cloned()
+        .collect();
+    if verified.is_empty() {
+        return None;
+    }
+    let group = close_group(verified);
+
+    let binary: Vec<bool> = (0..n)
+        .map(|j| model.vars[j].kind != VarKind::Continuous && root_bounds[j] == (0.0, 1.0))
+        .collect();
+    let mut pairs = Vec::new();
+    for p in &group {
+        let prefix: Vec<(usize, usize)> = (0..n)
+            .filter(|&j| p[j] != j && binary[j])
+            .take(MAX_PREFIX)
+            .map(|j| (j, p[j]))
+            .collect();
+        if !prefix.is_empty() {
+            pairs.push(prefix);
+        }
+    }
+    if pairs.is_empty() {
+        return None;
+    }
+
+    // Union-find over integer columns to count nontrivial orbits.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut j: usize) -> usize {
+        while parent[j] != j {
+            parent[j] = parent[parent[j]];
+            j = parent[j];
+        }
+        j
+    }
+    for p in &group {
+        for (j, &pj) in p.iter().enumerate().take(n) {
+            if pj != j && model.vars[j].kind != VarKind::Continuous {
+                let (a, b) = (find(&mut parent, j), find(&mut parent, pj));
+                if a != b {
+                    parent[a] = b;
+                }
+            }
+        }
+    }
+    let mut orbit_size = std::collections::HashMap::new();
+    for j in 0..n {
+        if model.vars[j].kind != VarKind::Continuous {
+            *orbit_size.entry(find(&mut parent, j)).or_insert(0u64) += 1;
+        }
+    }
+    let orbits = orbit_size.values().filter(|&&s| s >= 2).count() as u64;
+
+    Some(SymmetryPlan { generators: group.len(), orbits, pairs })
+}
+
+fn is_permutation(p: &[usize], n: usize) -> bool {
+    if p.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for &img in p {
+        if img >= n || seen[img] {
+            return false;
+        }
+        seen[img] = true;
+    }
+    true
+}
+
+fn is_identity(p: &[usize]) -> bool {
+    p.iter().enumerate().all(|(j, &img)| img == j)
+}
+
+/// Exact model invariance under `σ`: objective coefficients, variable
+/// bounds, kinds and branch priorities bit-equal at permuted positions, and
+/// the multiset of constraint rows invariant under relabeling every term
+/// index `j ↦ σ(j)`. Bit equality (not tolerance) keeps the check free of
+/// false positives; a jittered instance simply yields no symmetry.
+fn model_invariant(model: &Model, p: &[usize]) -> bool {
+    let n = model.num_vars();
+    let mut c = vec![0.0f64; n];
+    for (v, coeff) in model.objective.iter() {
+        c[v.index()] = coeff;
+    }
+    for j in 0..n {
+        let (a, b) = (&model.vars[j], &model.vars[p[j]]);
+        if c[j].to_bits() != c[p[j]].to_bits()
+            || a.kind != b.kind
+            || a.lb.to_bits() != b.lb.to_bits()
+            || a.ub.to_bits() != b.ub.to_bits()
+            || a.branch_priority != b.branch_priority
+        {
+            return false;
+        }
+    }
+    // Hash each row as (sense, rhs bits, constant bits, sorted term list);
+    // the permuted key relabels term indices. Row names are metadata and
+    // excluded deliberately.
+    type RowKey = (u8, u64, u64, Vec<(usize, u64)>);
+    let key = |relabel: &dyn Fn(usize) -> usize| -> Vec<RowKey> {
+        let mut keys: Vec<RowKey> = model
+            .rows
+            .iter()
+            .map(|r| {
+                let mut terms: Vec<(usize, u64)> =
+                    r.expr.iter().map(|(v, coeff)| (relabel(v.index()), coeff.to_bits())).collect();
+                terms.sort_unstable();
+                (r.sense as u8, r.rhs.to_bits(), r.expr.constant().to_bits(), terms)
+            })
+            .collect();
+        keys.sort_unstable();
+        keys
+    };
+    key(&|j| j) == key(&|j| p[j])
+}
+
+/// Closes `perms` under composition, capped at [`MAX_GROUP`] elements. The
+/// identity is excluded from the result. Falling short of the full group
+/// (cap reached) is safe: lex rows and propagation are valid for any subset
+/// of a group's elements.
+fn close_group(perms: Vec<Vec<usize>>) -> Vec<Vec<usize>> {
+    let mut group: Vec<Vec<usize>> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let mut queue: std::collections::VecDeque<Vec<usize>> = perms.into();
+    while let Some(p) = queue.pop_front() {
+        if is_identity(&p) || !seen.insert(p.clone()) {
+            continue;
+        }
+        group.push(p.clone());
+        if group.len() >= MAX_GROUP {
+            break;
+        }
+        let snapshot: Vec<Vec<usize>> = group.clone();
+        for q in &snapshot {
+            // Both composition orders, so the closure walks the whole group.
+            queue.push_back(p.iter().map(|&j| q[j]).collect());
+            queue.push_back(q.iter().map(|&j| p[j]).collect());
+        }
+    }
+    group
+}
+
+/// Node-level lex propagation over scratch bounds (structural columns).
+/// Runs the fixpoint of every prefix; appends `(column, value)` fixings it
+/// derives to `fixed` and mutates `lb`/`ub` in place. Returns `false` when
+/// a prefix is provably violated (the node fathoms).
+pub(crate) fn propagate_lex(
+    pairs: &[Vec<(usize, usize)>],
+    lb: &mut [f64],
+    ub: &mut [f64],
+    fixed: &mut Vec<(usize, f64)>,
+) -> bool {
+    loop {
+        let mut changed = false;
+        for prefix in pairs {
+            for &(a, b) in prefix {
+                let a0 = ub[a] < 0.5; // fixed to 0
+                let a1 = lb[a] > 0.5; // fixed to 1
+                let b0 = ub[b] < 0.5;
+                let b1 = lb[b] > 0.5;
+                if a1 && b0 {
+                    // Strict `1 > 0` at the first open position: the whole
+                    // constraint is satisfied, nothing further to infer.
+                    break;
+                }
+                if a0 && b1 {
+                    // Forced `0 < 1` with the prefix equal so far: violated.
+                    return false;
+                }
+                if a0 && !b0 {
+                    // Need `x_b ≤ x_a = 0` at the first difference.
+                    ub[b] = 0.0;
+                    fixed.push((b, 0.0));
+                    changed = true;
+                    continue; // both 0 now: position equal, keep scanning
+                }
+                if b1 && !a1 {
+                    // Need `x_a ≥ x_b = 1` at the first difference.
+                    lb[a] = 1.0;
+                    fixed.push((a, 1.0));
+                    changed = true;
+                    continue;
+                }
+                if (a0 && b0) || (a1 && b1) {
+                    continue; // position forced equal: scan further
+                }
+                break; // undetermined position: no inference past it
+            }
+        }
+        if !changed {
+            return true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinExpr, Objective};
+
+    /// `m` binary variables with symmetric objective and one cover row —
+    /// fully symmetric under any permutation.
+    fn symmetric_model(m: usize) -> Model {
+        let mut model = Model::new("sym");
+        let vars: Vec<_> = (0..m).map(|i| model.binary(format!("x{i}"))).collect();
+        let mut cover = LinExpr::new();
+        let mut obj = LinExpr::new();
+        for &v in &vars {
+            cover.add_term(v, 1.0);
+            obj.add_term(v, 2.5);
+        }
+        model.add_ge("cover", cover, (m as f64 / 2.0).floor());
+        model.set_objective(Objective::Minimize, obj);
+        model
+    }
+
+    fn unit_bounds(n: usize) -> Vec<(f64, f64)> {
+        vec![(0.0, 1.0); n]
+    }
+
+    #[test]
+    fn verifies_symmetric_swap_and_rejects_asymmetric() {
+        let model = symmetric_model(3);
+        let plan = build_plan(&model, &[vec![1, 0, 2]], &unit_bounds(3)).expect("swap must verify");
+        assert_eq!(plan.generators, 1);
+        assert_eq!(plan.orbits, 1);
+
+        // Break the symmetry with an asymmetric objective coefficient.
+        let mut asym = Model::new("asym");
+        let a = asym.binary("a");
+        let b = asym.binary("b");
+        asym.add_ge("r", LinExpr::term(a, 1.0) + LinExpr::term(b, 1.0), 1.0);
+        asym.set_objective(Objective::Minimize, LinExpr::term(a, 1.0) + LinExpr::term(b, 2.0));
+        assert!(build_plan(&asym, &[vec![1, 0]], &unit_bounds(2)).is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_candidates() {
+        let model = symmetric_model(3);
+        let bounds = unit_bounds(3);
+        assert!(build_plan(&model, &[vec![0, 1]], &bounds).is_none(), "wrong length");
+        assert!(build_plan(&model, &[vec![0, 0, 1]], &bounds).is_none(), "not a bijection");
+        assert!(build_plan(&model, &[vec![0, 1, 2]], &bounds).is_none(), "identity is trivial");
+    }
+
+    #[test]
+    fn rejects_candidate_broken_by_bound_restriction() {
+        let mut model = symmetric_model(3);
+        // Fault core 1: its column is pinned to 0, so the swap 0↔1 no
+        // longer preserves the model.
+        model.vars[1].ub = 0.0;
+        assert!(build_plan(&model, &[vec![1, 0, 2]], &unit_bounds(3)).is_none());
+    }
+
+    #[test]
+    fn closure_generates_full_symmetric_group() {
+        let model = symmetric_model(3);
+        // Two transpositions generate S3 (6 elements, 5 without identity).
+        let plan = build_plan(&model, &[vec![1, 0, 2], vec![0, 2, 1]], &unit_bounds(3)).unwrap();
+        assert_eq!(plan.generators, 5);
+        assert_eq!(plan.orbits, 1);
+    }
+
+    #[test]
+    fn lex_cut_has_power_of_two_weights() {
+        let model = symmetric_model(4);
+        // One 4-cycle: 0→1→2→3→0 moves all four binaries.
+        let plan = build_plan(&model, &[vec![1, 2, 3, 0]], &unit_bounds(4)).unwrap();
+        let cut = &plan.lex_cuts()[0];
+        assert_eq!(cut.sense, CutSense::Ge);
+        assert_eq!(cut.rhs, 0.0);
+        assert_eq!(cut.family, CutFamily::Symmetry);
+        // Prefix (0,1),(1,2),(2,3),(3,0): weights 8,4,2,1 accumulate to
+        // 8−1 on x0, 4−8 on x1, 2−4 on x2, 1−2 on x3.
+        assert_eq!(cut.coeffs, vec![(0, 7.0), (1, -4.0), (2, -2.0), (3, -1.0)]);
+    }
+
+    #[test]
+    fn lex_propagation_fixes_and_fathoms() {
+        // Single swap prefix (0, 1): constraint x0 ≥ x1.
+        let pairs = vec![vec![(0usize, 1usize)]];
+        let mut lb = vec![0.0, 0.0];
+        let mut ub = vec![0.0, 1.0]; // x0 fixed 0, x1 free
+        let mut fixed = Vec::new();
+        assert!(propagate_lex(&pairs, &mut lb, &mut ub, &mut fixed));
+        assert_eq!(fixed, vec![(1, 0.0)], "x1 must be forced to 0");
+        assert_eq!(ub[1], 0.0);
+
+        // x1 fixed 1 forces x0 = 1.
+        let (mut lb, mut ub) = (vec![0.0, 1.0], vec![1.0, 1.0]);
+        let mut fixed = Vec::new();
+        assert!(propagate_lex(&pairs, &mut lb, &mut ub, &mut fixed));
+        assert_eq!(fixed, vec![(0, 1.0)]);
+
+        // x0 fixed 0 and x1 fixed 1: infeasible.
+        let (mut lb, mut ub) = (vec![0.0, 1.0], vec![0.0, 1.0]);
+        let mut fixed = Vec::new();
+        assert!(!propagate_lex(&pairs, &mut lb, &mut ub, &mut fixed));
+    }
+
+    #[test]
+    fn lex_propagation_chains_across_prefixes() {
+        // x0 ≥ x1 and x1 ≥ x2: fixing x2 = 1 forces x1 = 1 then x0 = 1.
+        let pairs = vec![vec![(0usize, 1usize)], vec![(1usize, 2usize)]];
+        let mut lb = vec![0.0, 0.0, 1.0];
+        let mut ub = vec![1.0, 1.0, 1.0];
+        let mut fixed = Vec::new();
+        assert!(propagate_lex(&pairs, &mut lb, &mut ub, &mut fixed));
+        assert_eq!(lb, vec![1.0, 1.0, 1.0], "the chain must reach x0");
+    }
+
+    /// The solver with lex rows + propagation on a symmetric model must
+    /// still reach the brute-force optimum (symmetry never cuts off all
+    /// optima).
+    #[test]
+    fn symmetric_solve_matches_enumeration() {
+        let m = 5;
+        let model = symmetric_model(m);
+        let candidates: Vec<Vec<usize>> = vec![
+            // A transposition and a cycle generate the full S5.
+            {
+                let mut p: Vec<usize> = (0..m).collect();
+                p.swap(0, 1);
+                p
+            },
+            (0..m).map(|j| (j + 1) % m).collect(),
+        ];
+        let opts = crate::SolverOptions::default()
+            .threads(1)
+            .presolve(false)
+            .symmetry_candidates(candidates);
+        let sol = model.solve_with(&opts).unwrap();
+        assert_eq!(sol.status(), crate::SolveStatus::Optimal);
+        // Optimum by hand: pick floor(5/2) = 2 vars at cost 2.5 each.
+        assert!((sol.objective_value() - 5.0).abs() < 1e-6);
+    }
+}
